@@ -1,0 +1,240 @@
+//! Finite-difference gradient verification.
+
+use crate::param::Param;
+use crate::tape::Gradients;
+
+/// Verifies the analytic gradient of `loss_fn` w.r.t. `param` against a
+/// central finite difference.
+///
+/// `loss_fn` must build a fresh graph from the parameter's *current* value
+/// and return the scalar loss value plus gradients; in practice pass a
+/// closure that constructs a [`crate::Tape`], binds `param`, and calls
+/// [`crate::Tape::backward`].
+///
+/// Returns the maximum relative error over `probes` randomly spread
+/// elements.
+///
+/// # Panics
+///
+/// Panics if the analytic and numeric gradients disagree by more than
+/// `tol` (relative, with an absolute floor of `tol`).
+pub fn check_gradient(
+    param: &Param,
+    loss_fn: impl Fn() -> (f32, Gradients),
+    probes: &[usize],
+    eps: f32,
+    tol: f32,
+) -> f32 {
+    let (_, grads) = loss_fn();
+    let analytic = grads
+        .get(param)
+        .expect("parameter did not receive a gradient")
+        .clone();
+    let mut worst = 0.0f32;
+    for &i in probes {
+        assert!(i < analytic.numel(), "probe {i} out of range");
+        let orig = param.value();
+        let mut plus = orig.clone();
+        plus.data_mut()[i] += eps;
+        param.replace(plus);
+        let (lp, _) = loss_fn();
+        let mut minus = orig.clone();
+        minus.data_mut()[i] -= eps;
+        param.replace(minus);
+        let (lm, _) = loss_fn();
+        param.replace(orig);
+        let numeric = (lp - lm) / (2.0 * eps);
+        let a = analytic.data()[i];
+        let denom = a.abs().max(numeric.abs()).max(1.0);
+        let rel = (a - numeric).abs() / denom;
+        worst = worst.max(rel);
+        assert!(
+            rel <= tol,
+            "gradient mismatch at element {i}: analytic {a}, numeric {numeric} (rel {rel} > {tol})"
+        );
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tape;
+    use fpdq_tensor::conv::Conv2dSpec;
+    use fpdq_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn probes(n: usize) -> Vec<usize> {
+        // Deterministic spread of probe indices.
+        (0..n.min(6)).map(|i| i * n / n.min(6).max(1)).map(|i| i.min(n - 1)).collect()
+    }
+
+    fn run_check(param: &Param, build: impl Fn(&Tape) -> crate::Var<'_>) {
+        let n = param.numel();
+        let loss_fn = || {
+            let tape = Tape::new();
+            let loss = build(&tape);
+            let l = loss.value().item();
+            (l, tape.backward(loss))
+        };
+        check_gradient(param, loss_fn, &probes(n), 1e-2, 0.05);
+    }
+
+    #[test]
+    fn gradcheck_silu_chain() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let p = Param::new(Tensor::randn(&[4, 3], &mut rng));
+        run_check(&p, |tape| {
+            let x = tape.param(&p);
+            x.silu().powf(2.0).mean()
+        });
+    }
+
+    #[test]
+    fn gradcheck_sigmoid_abs_powf() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let p = Param::new(Tensor::randn(&[8], &mut rng));
+        // The rounding-learning regularizer shape: 1 - (|σ(α)-0.5|·2)^k
+        run_check(&p, |tape| {
+            let a = tape.param(&p);
+            a.sigmoid().add_scalar(-0.5).abs().mul_scalar(2.0).powf(4.0).neg().add_scalar(1.0).mean()
+        });
+    }
+
+    #[test]
+    fn gradcheck_matmul() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let p = Param::new(Tensor::randn(&[3, 4], &mut rng));
+        let other = Tensor::randn(&[4, 5], &mut rng);
+        run_check(&p, |tape| {
+            let w = tape.param(&p);
+            let x = tape.constant(other.clone());
+            w.matmul(x).powf(2.0).mean()
+        });
+    }
+
+    #[test]
+    fn gradcheck_matmul_nt() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let p = Param::new(Tensor::randn(&[5, 4], &mut rng));
+        let x = Tensor::randn(&[3, 4], &mut rng);
+        run_check(&p, |tape| {
+            let w = tape.param(&p);
+            let xv = tape.constant(x.clone());
+            xv.matmul_nt(w).powf(2.0).mean()
+        });
+    }
+
+    #[test]
+    fn gradcheck_bmm() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let p = Param::new(Tensor::randn(&[2, 3, 4], &mut rng));
+        let other = Tensor::randn(&[2, 4, 3], &mut rng);
+        run_check(&p, |tape| {
+            let a = tape.param(&p);
+            let b = tape.constant(other.clone());
+            a.bmm(b).powf(2.0).mean()
+        });
+    }
+
+    #[test]
+    fn gradcheck_conv2d_weight() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let p = Param::new(Tensor::randn(&[2, 3, 3, 3], &mut rng).mul_scalar(0.5));
+        let x = Tensor::randn(&[2, 3, 5, 5], &mut rng);
+        run_check(&p, |tape| {
+            let w = tape.param(&p);
+            let xv = tape.constant(x.clone());
+            xv.conv2d(w, None, Conv2dSpec::new(1, 1)).powf(2.0).mean()
+        });
+    }
+
+    #[test]
+    fn gradcheck_conv2d_input() {
+        let mut rng = StdRng::seed_from_u64(16);
+        let p = Param::new(Tensor::randn(&[1, 2, 4, 4], &mut rng));
+        let w = Tensor::randn(&[3, 2, 3, 3], &mut rng).mul_scalar(0.5);
+        run_check(&p, |tape| {
+            let x = tape.param(&p);
+            let wv = tape.constant(w.clone());
+            x.conv2d(wv, None, Conv2dSpec::new(2, 1)).powf(2.0).mean()
+        });
+    }
+
+    #[test]
+    fn gradcheck_group_norm() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let p = Param::new(Tensor::randn(&[2, 4, 3, 3], &mut rng));
+        let gamma = Tensor::rand_uniform(&[4], 0.5, 1.5, &mut rng);
+        let beta = Tensor::randn(&[4], &mut rng).mul_scalar(0.1);
+        run_check(&p, |tape| {
+            let x = tape.param(&p);
+            let g = tape.constant(gamma.clone());
+            let b = tape.constant(beta.clone());
+            x.group_norm(g, b, 2, 1e-5).powf(2.0).mean()
+        });
+    }
+
+    #[test]
+    fn gradcheck_group_norm_gamma() {
+        let mut rng = StdRng::seed_from_u64(18);
+        let gamma = Param::new(Tensor::rand_uniform(&[4], 0.5, 1.5, &mut rng));
+        let x = Tensor::randn(&[2, 4, 3, 3], &mut rng);
+        let beta = Tensor::zeros(&[4]);
+        run_check(&gamma, |tape| {
+            let xv = tape.constant(x.clone());
+            let g = tape.param(&gamma);
+            let b = tape.constant(beta.clone());
+            xv.group_norm(g, b, 2, 1e-5).powf(2.0).mean()
+        });
+    }
+
+    #[test]
+    fn gradcheck_layer_norm() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let p = Param::new(Tensor::randn(&[3, 6], &mut rng));
+        let gamma = Tensor::rand_uniform(&[6], 0.5, 1.5, &mut rng);
+        let beta = Tensor::randn(&[6], &mut rng).mul_scalar(0.1);
+        run_check(&p, |tape| {
+            let x = tape.param(&p);
+            let g = tape.constant(gamma.clone());
+            let b = tape.constant(beta.clone());
+            x.layer_norm(g, b, 1e-5).powf(2.0).mean()
+        });
+    }
+
+    #[test]
+    fn gradcheck_softmax_attention_shape() {
+        let mut rng = StdRng::seed_from_u64(20);
+        let p = Param::new(Tensor::randn(&[2, 3, 4], &mut rng));
+        let k = Tensor::randn(&[2, 4, 3], &mut rng);
+        run_check(&p, |tape| {
+            let q = tape.param(&p);
+            let kv = tape.constant(k.clone());
+            q.bmm(kv).mul_scalar(0.5).softmax_lastdim().powf(2.0).mean()
+        });
+    }
+
+    #[test]
+    fn gradcheck_pool_and_upsample() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let p = Param::new(Tensor::randn(&[1, 2, 4, 4], &mut rng));
+        run_check(&p, |tape| {
+            let x = tape.param(&p);
+            x.avg_pool2d(2).upsample_nearest(2).powf(2.0).mean()
+        });
+    }
+
+    #[test]
+    fn gradcheck_div() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let p = Param::new(Tensor::rand_uniform(&[6], 0.5, 2.0, &mut rng));
+        let num = Tensor::randn(&[6], &mut rng);
+        run_check(&p, |tape| {
+            let d = tape.param(&p);
+            let n = tape.constant(num.clone());
+            n.div(d).mean()
+        });
+    }
+}

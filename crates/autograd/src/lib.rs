@@ -1,0 +1,46 @@
+//! # fpdq-autograd
+//!
+//! A tape-based reverse-mode automatic differentiation engine over
+//! [`fpdq_tensor::Tensor`].
+//!
+//! Two consumers in the fpdq workspace need gradients:
+//!
+//! 1. **Training the substrate diffusion models** (`fpdq-diffusion`) — the
+//!    paper evaluates on *pre-trained* U-Nets; since no pretrained weights
+//!    are available here, we train small ones from scratch.
+//! 2. **Gradient-based rounding learning** (`fpdq-core`) — the
+//!    paper's key FP4 technique (§V-B) optimises per-weight rounding
+//!    parameters `α` with gradient descent through
+//!    `clamp(s·(⌊W/s⌋ + σ(α)), -c, c)`.
+//!
+//! # Design
+//!
+//! A [`Tape`] records each operation as a node holding its forward value
+//! and a backward closure; [`Var`] is a copyable handle into the tape.
+//! Trainable tensors are wrapped in [`Param`] (shared, interiorly mutable)
+//! so optimizers ([`Adam`], [`Sgd`]) can update them between tapes.
+//!
+//! # Example
+//!
+//! ```
+//! use fpdq_autograd::{Param, Tape};
+//! use fpdq_tensor::Tensor;
+//!
+//! let w = Param::new(Tensor::from_vec(vec![3.0], &[1]));
+//! let tape = Tape::new();
+//! let wv = tape.param(&w);
+//! let loss = wv.mul(wv).mean(); // d(w²)/dw = 2w = 6
+//! let grads = tape.backward(loss);
+//! assert_eq!(grads.get(&w).unwrap().data(), &[6.0]);
+//! ```
+
+mod gradcheck;
+mod ops;
+mod optim;
+mod param;
+mod tape;
+
+pub use gradcheck::check_gradient;
+pub use optim::{Adam, AdamConfig, Sgd};
+pub use param::{Param, ParamId};
+pub use tape::{Gradients, Tape, Var};

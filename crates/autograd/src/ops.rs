@@ -1,0 +1,717 @@
+//! Differentiable operations on [`Var`].
+//!
+//! Each method records a node whose backward closure produces gradient
+//! contributions for its parents. Shapes follow the conventions of
+//! `fpdq-tensor` (NCHW for images, row-major matrices).
+
+use crate::tape::{reduce_grad_to_shape, Var};
+use fpdq_tensor::conv::{
+    avg_pool2d_grad, conv2d_grad_input, conv2d_grad_weight, upsample_nearest_grad, Conv2dSpec,
+};
+use fpdq_tensor::Tensor;
+
+impl<'t> Var<'t> {
+    fn unary(
+        self,
+        value: Tensor,
+        backward: impl Fn(&Tensor) -> Tensor + 'static,
+    ) -> Var<'t> {
+        let parent = self.id;
+        let id = self
+            .tape()
+            .push(value, Some(Box::new(move |g| vec![(parent, backward(g))])));
+        Var { tape: self.tape(), id }
+    }
+
+    // -- elementwise binary ------------------------------------------------
+
+    /// Elementwise addition with broadcasting.
+    pub fn add(self, rhs: Var<'t>) -> Var<'t> {
+        let (a, b) = (self.value(), rhs.value());
+        let (ad, bd) = (a.dims().to_vec(), b.dims().to_vec());
+        let out = a.add(&b);
+        let (pa, pb) = (self.id, rhs.id);
+        let id = self.tape().push(
+            out,
+            Some(Box::new(move |g| {
+                vec![(pa, reduce_grad_to_shape(g, &ad)), (pb, reduce_grad_to_shape(g, &bd))]
+            })),
+        );
+        Var { tape: self.tape(), id }
+    }
+
+    /// Elementwise subtraction with broadcasting.
+    pub fn sub(self, rhs: Var<'t>) -> Var<'t> {
+        let (a, b) = (self.value(), rhs.value());
+        let (ad, bd) = (a.dims().to_vec(), b.dims().to_vec());
+        let out = a.sub(&b);
+        let (pa, pb) = (self.id, rhs.id);
+        let id = self.tape().push(
+            out,
+            Some(Box::new(move |g| {
+                vec![
+                    (pa, reduce_grad_to_shape(g, &ad)),
+                    (pb, reduce_grad_to_shape(&g.neg(), &bd)),
+                ]
+            })),
+        );
+        Var { tape: self.tape(), id }
+    }
+
+    /// Elementwise multiplication with broadcasting.
+    pub fn mul(self, rhs: Var<'t>) -> Var<'t> {
+        let (a, b) = (self.value(), rhs.value());
+        let (ad, bd) = (a.dims().to_vec(), b.dims().to_vec());
+        let out = a.mul(&b);
+        let (pa, pb) = (self.id, rhs.id);
+        let id = self.tape().push(
+            out,
+            Some(Box::new(move |g| {
+                vec![
+                    (pa, reduce_grad_to_shape(&g.mul(&b), &ad)),
+                    (pb, reduce_grad_to_shape(&g.mul(&a), &bd)),
+                ]
+            })),
+        );
+        Var { tape: self.tape(), id }
+    }
+
+    /// Elementwise division with broadcasting.
+    pub fn div(self, rhs: Var<'t>) -> Var<'t> {
+        let (a, b) = (self.value(), rhs.value());
+        let (ad, bd) = (a.dims().to_vec(), b.dims().to_vec());
+        let out = a.div(&b);
+        let (pa, pb) = (self.id, rhs.id);
+        let id = self.tape().push(
+            out,
+            Some(Box::new(move |g| {
+                let ga = g.div(&b);
+                let gb = g.mul(&a).div(&b.mul(&b)).neg();
+                vec![(pa, reduce_grad_to_shape(&ga, &ad)), (pb, reduce_grad_to_shape(&gb, &bd))]
+            })),
+        );
+        Var { tape: self.tape(), id }
+    }
+
+    // -- elementwise unary -------------------------------------------------
+
+    /// Elementwise negation.
+    pub fn neg(self) -> Var<'t> {
+        let v = self.value().neg();
+        self.unary(v, |g| g.neg())
+    }
+
+    /// Multiplies every element by a scalar constant.
+    pub fn mul_scalar(self, s: f32) -> Var<'t> {
+        let v = self.value().mul_scalar(s);
+        self.unary(v, move |g| g.mul_scalar(s))
+    }
+
+    /// Adds a scalar constant to every element.
+    pub fn add_scalar(self, s: f32) -> Var<'t> {
+        let v = self.value().add_scalar(s);
+        self.unary(v, |g| g.clone())
+    }
+
+    /// Elementwise natural exponential.
+    pub fn exp(self) -> Var<'t> {
+        let out = self.value().exp();
+        let saved = out.clone();
+        self.unary(out, move |g| g.mul(&saved))
+    }
+
+    /// Elementwise natural logarithm.
+    pub fn ln(self) -> Var<'t> {
+        let x = self.value();
+        let out = x.ln();
+        self.unary(out, move |g| g.div(&x))
+    }
+
+    /// Elementwise square root.
+    pub fn sqrt(self) -> Var<'t> {
+        let out = self.value().sqrt();
+        let saved = out.clone();
+        self.unary(out, move |g| g.mul(&saved.map(|y| 0.5 / y)))
+    }
+
+    /// Elementwise absolute value (gradient is `sign(x)`, 0 at 0).
+    pub fn abs(self) -> Var<'t> {
+        let x = self.value();
+        let out = x.abs();
+        self.unary(out, move |g| g.mul(&x.map(|v| if v > 0.0 { 1.0 } else if v < 0.0 { -1.0 } else { 0.0 })))
+    }
+
+    /// Elementwise power with constant exponent.
+    pub fn powf(self, p: f32) -> Var<'t> {
+        let x = self.value();
+        let out = x.powf(p);
+        self.unary(out, move |g| g.mul(&x.map(|v| p * v.powf(p - 1.0))))
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(self) -> Var<'t> {
+        let out = self.value().sigmoid();
+        let saved = out.clone();
+        self.unary(out, move |g| g.mul(&saved.map(|s| s * (1.0 - s))))
+    }
+
+    /// SiLU activation `x·σ(x)` (the U-Net nonlinearity).
+    pub fn silu(self) -> Var<'t> {
+        let x = self.value();
+        let out = x.silu();
+        self.unary(out, move |g| {
+            g.mul(&x.map(|v| {
+                let s = 1.0 / (1.0 + (-v).exp());
+                s * (1.0 + v * (1.0 - s))
+            }))
+        })
+    }
+
+    /// Clamp with straight-through-style gating: gradient passes only where
+    /// the input lies strictly inside `(lo, hi)`.
+    ///
+    /// This is the clamp of the paper's eq. (12); elements pushed to the
+    /// clipping boundary stop receiving rounding-parameter gradient.
+    pub fn clamp(self, lo: f32, hi: f32) -> Var<'t> {
+        let x = self.value();
+        let out = x.clamp(lo, hi);
+        self.unary(out, move |g| {
+            g.zip_map(&x, |gv, xv| if xv > lo && xv < hi { gv } else { 0.0 })
+        })
+    }
+
+    // -- reductions ----------------------------------------------------------
+
+    /// Mean over all elements, producing a `[1]` scalar.
+    pub fn mean(self) -> Var<'t> {
+        let x = self.value();
+        let dims = x.dims().to_vec();
+        let n = x.numel() as f32;
+        let out = Tensor::scalar(x.mean());
+        self.unary(out, move |g| Tensor::full(&dims, g.data()[0] / n))
+    }
+
+    /// Sum over all elements, producing a `[1]` scalar.
+    pub fn sum_all(self) -> Var<'t> {
+        let x = self.value();
+        let dims = x.dims().to_vec();
+        let out = Tensor::scalar(x.sum());
+        self.unary(out, move |g| Tensor::full(&dims, g.data()[0]))
+    }
+
+    /// Mean squared error against `target`, producing a `[1]` scalar.
+    ///
+    /// Equivalent to `self.sub(target).powf(2.0).mean()` but records a
+    /// single fused node (this is the objective of the paper's eqs. 11/13).
+    pub fn mse_loss(self, target: Var<'t>) -> Var<'t> {
+        let (a, b) = (self.value(), target.value());
+        assert_eq!(a.dims(), b.dims(), "mse_loss shape mismatch");
+        let n = a.numel() as f32;
+        let out = Tensor::scalar(a.mse(&b));
+        let (pa, pb) = (self.id, target.id);
+        let id = self.tape().push(
+            out,
+            Some(Box::new(move |g| {
+                let scale = 2.0 * g.data()[0] / n;
+                let diff = a.sub(&b).mul_scalar(scale);
+                vec![(pa, diff.clone()), (pb, diff.neg())]
+            })),
+        );
+        Var { tape: self.tape(), id }
+    }
+
+    // -- linear algebra ------------------------------------------------------
+
+    /// 2-D matrix product `[m,k] × [k,n] → [m,n]`.
+    pub fn matmul(self, rhs: Var<'t>) -> Var<'t> {
+        let (a, b) = (self.value(), rhs.value());
+        let out = a.matmul(&b);
+        let (pa, pb) = (self.id, rhs.id);
+        let id = self.tape().push(
+            out,
+            Some(Box::new(move |g| {
+                vec![(pa, g.matmul_nt(&b)), (pb, a.matmul_tn(g))]
+            })),
+        );
+        Var { tape: self.tape(), id }
+    }
+
+    /// `self × rhsᵀ`: `[m,k] × [n,k]ᵀ → [m,n]` (the Linear-layer product).
+    pub fn matmul_nt(self, rhs: Var<'t>) -> Var<'t> {
+        let (a, b) = (self.value(), rhs.value());
+        let out = a.matmul_nt(&b);
+        let (pa, pb) = (self.id, rhs.id);
+        let id = self.tape().push(
+            out,
+            Some(Box::new(move |g| {
+                // y = a bᵀ ⇒ da = g b ; db = gᵀ a
+                vec![(pa, g.matmul(&b)), (pb, g.matmul_tn(&a))]
+            })),
+        );
+        Var { tape: self.tape(), id }
+    }
+
+    /// Batched matrix product `[b,m,k] × [b,k,n] → [b,m,n]` (attention).
+    pub fn bmm(self, rhs: Var<'t>) -> Var<'t> {
+        let (a, b) = (self.value(), rhs.value());
+        let out = a.bmm(&b);
+        let (pa, pb) = (self.id, rhs.id);
+        let id = self.tape().push(
+            out,
+            Some(Box::new(move |g| {
+                let da = g.bmm(&b.permute(&[0, 2, 1]));
+                let db = a.permute(&[0, 2, 1]).bmm(g);
+                vec![(pa, da), (pb, db)]
+            })),
+        );
+        Var { tape: self.tape(), id }
+    }
+
+    /// 2-D convolution (see [`Tensor::conv2d`]).
+    pub fn conv2d(self, weight: Var<'t>, bias: Option<Var<'t>>, spec: Conv2dSpec) -> Var<'t> {
+        let x = self.value();
+        let w = weight.value();
+        let bval = bias.map(|b| b.value());
+        let out = x.conv2d(&w, bval.as_ref(), spec);
+        let xdims = x.dims().to_vec();
+        let kernel = (w.dim(2), w.dim(3));
+        let (px, pw) = (self.id, weight.id);
+        let pbias = bias.map(|b| b.id);
+        let id = self.tape().push(
+            out,
+            Some(Box::new(move |g| {
+                let mut grads = vec![
+                    (px, conv2d_grad_input(g, &w, &xdims, spec)),
+                    (pw, conv2d_grad_weight(g, &x, kernel, spec)),
+                ];
+                if let Some(pb) = pbias {
+                    // Bias gradient: sum over batch and spatial dims.
+                    let gb = g.sum_axis(3).sum_axis(2).sum_axis(0);
+                    grads.push((pb, gb));
+                }
+                grads
+            })),
+        );
+        Var { tape: self.tape(), id }
+    }
+
+    // -- normalisation -------------------------------------------------------
+
+    /// Group normalisation over `[n, c, h, w]` with affine parameters
+    /// `gamma`/`beta` of shape `[c]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is not divisible by `groups`.
+    pub fn group_norm(self, gamma: Var<'t>, beta: Var<'t>, groups: usize, eps: f32) -> Var<'t> {
+        let x = self.value();
+        assert_eq!(x.ndim(), 4, "group_norm input must be [n,c,h,w]");
+        let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+        assert_eq!(c % groups, 0, "channels {c} not divisible by {groups} groups");
+        let gsz = c / groups;
+        let m = gsz * h * w; // elements per group
+        let gm = gamma.value();
+        let bt = beta.value();
+        assert_eq!(gm.numel(), c, "gamma must have {c} elements");
+        assert_eq!(bt.numel(), c, "beta must have {c} elements");
+
+        let mut xhat = vec![0.0f32; x.numel()];
+        let mut invstd = vec![0.0f32; n * groups];
+        let xd = x.data();
+        for b in 0..n {
+            for g in 0..groups {
+                let start = (b * c + g * gsz) * h * w;
+                let slice = &xd[start..start + m];
+                let mu: f32 = slice.iter().sum::<f32>() / m as f32;
+                let var: f32 = slice.iter().map(|&v| (v - mu) * (v - mu)).sum::<f32>() / m as f32;
+                let is = 1.0 / (var + eps).sqrt();
+                invstd[b * groups + g] = is;
+                for (i, &v) in slice.iter().enumerate() {
+                    xhat[start + i] = (v - mu) * is;
+                }
+            }
+        }
+        let xhat = Tensor::from_vec(xhat, x.dims());
+        let mut out = vec![0.0f32; x.numel()];
+        for b in 0..n {
+            for ch in 0..c {
+                let start = (b * c + ch) * h * w;
+                let (gv, bv) = (gm.data()[ch], bt.data()[ch]);
+                for i in 0..h * w {
+                    out[start + i] = xhat.data()[start + i] * gv + bv;
+                }
+            }
+        }
+        let out = Tensor::from_vec(out, x.dims());
+
+        let (px, pg, pb) = (self.id, gamma.id, beta.id);
+        let xhat_saved = xhat;
+        let id = self.tape().push(
+            out,
+            Some(Box::new(move |gout| {
+                let god = gout.data();
+                let xh = xhat_saved.data();
+                // dgamma / dbeta per channel.
+                let mut dgamma = vec![0.0f32; c];
+                let mut dbeta = vec![0.0f32; c];
+                for b in 0..n {
+                    for ch in 0..c {
+                        let start = (b * c + ch) * h * w;
+                        for i in 0..h * w {
+                            dgamma[ch] += god[start + i] * xh[start + i];
+                            dbeta[ch] += god[start + i];
+                        }
+                    }
+                }
+                // dx per group.
+                let mut dx = vec![0.0f32; god.len()];
+                for b in 0..n {
+                    for g in 0..groups {
+                        let gstart = (b * c + g * gsz) * h * w;
+                        let is = invstd[b * groups + g];
+                        // dxhat = gout * gamma (per channel)
+                        let mut sum_dxh = 0.0f32;
+                        let mut sum_dxh_xh = 0.0f32;
+                        for ci in 0..gsz {
+                            let ch = g * gsz + ci;
+                            let start = (b * c + ch) * h * w;
+                            let gv = gm.data()[ch];
+                            for i in 0..h * w {
+                                let dxh = god[start + i] * gv;
+                                sum_dxh += dxh;
+                                sum_dxh_xh += dxh * xh[start + i];
+                            }
+                        }
+                        let mean_dxh = sum_dxh / m as f32;
+                        let mean_dxh_xh = sum_dxh_xh / m as f32;
+                        for ci in 0..gsz {
+                            let ch = g * gsz + ci;
+                            let start = (b * c + ch) * h * w;
+                            let gv = gm.data()[ch];
+                            for i in 0..h * w {
+                                let dxh = god[start + i] * gv;
+                                dx[start + i] =
+                                    is * (dxh - mean_dxh - xh[start + i] * mean_dxh_xh);
+                            }
+                        }
+                        let _ = gstart;
+                    }
+                }
+                vec![
+                    (px, Tensor::from_vec(dx, &[n, c, h, w])),
+                    (pg, Tensor::from_vec(dgamma, &[c])),
+                    (pb, Tensor::from_vec(dbeta, &[c])),
+                ]
+            })),
+        );
+        Var { tape: self.tape(), id }
+    }
+
+    /// Layer normalisation over the innermost dimension with affine
+    /// parameters of shape `[d]`.
+    pub fn layer_norm(self, gamma: Var<'t>, beta: Var<'t>, eps: f32) -> Var<'t> {
+        let x = self.value();
+        let d = *x.dims().last().expect("layer_norm on rank-0");
+        let rows = x.numel() / d;
+        let gm = gamma.value();
+        let bt = beta.value();
+        assert_eq!(gm.numel(), d, "gamma must have {d} elements");
+        assert_eq!(bt.numel(), d, "beta must have {d} elements");
+
+        let mut xhat = vec![0.0f32; x.numel()];
+        let mut invstd = vec![0.0f32; rows];
+        for r in 0..rows {
+            let row = &x.data()[r * d..(r + 1) * d];
+            let mu: f32 = row.iter().sum::<f32>() / d as f32;
+            let var: f32 = row.iter().map(|&v| (v - mu) * (v - mu)).sum::<f32>() / d as f32;
+            let is = 1.0 / (var + eps).sqrt();
+            invstd[r] = is;
+            for (i, &v) in row.iter().enumerate() {
+                xhat[r * d + i] = (v - mu) * is;
+            }
+        }
+        let mut out = vec![0.0f32; x.numel()];
+        for r in 0..rows {
+            for i in 0..d {
+                out[r * d + i] = xhat[r * d + i] * gm.data()[i] + bt.data()[i];
+            }
+        }
+        let out = Tensor::from_vec(out, x.dims());
+        let xdims = x.dims().to_vec();
+        let (px, pg, pb) = (self.id, gamma.id, beta.id);
+        let id = self.tape().push(
+            out,
+            Some(Box::new(move |gout| {
+                let god = gout.data();
+                let mut dgamma = vec![0.0f32; d];
+                let mut dbeta = vec![0.0f32; d];
+                let mut dx = vec![0.0f32; god.len()];
+                for r in 0..rows {
+                    let mut sum_dxh = 0.0f32;
+                    let mut sum_dxh_xh = 0.0f32;
+                    for i in 0..d {
+                        let idx = r * d + i;
+                        dgamma[i] += god[idx] * xhat[idx];
+                        dbeta[i] += god[idx];
+                        let dxh = god[idx] * gm.data()[i];
+                        sum_dxh += dxh;
+                        sum_dxh_xh += dxh * xhat[idx];
+                    }
+                    let mean_dxh = sum_dxh / d as f32;
+                    let mean_dxh_xh = sum_dxh_xh / d as f32;
+                    for i in 0..d {
+                        let idx = r * d + i;
+                        let dxh = god[idx] * gm.data()[i];
+                        dx[idx] = invstd[r] * (dxh - mean_dxh - xhat[idx] * mean_dxh_xh);
+                    }
+                }
+                vec![
+                    (px, Tensor::from_vec(dx, &xdims)),
+                    (pg, Tensor::from_vec(dgamma, &[d])),
+                    (pb, Tensor::from_vec(dbeta, &[d])),
+                ]
+            })),
+        );
+        Var { tape: self.tape(), id }
+    }
+
+    /// Numerically stable softmax over the innermost dimension.
+    pub fn softmax_lastdim(self) -> Var<'t> {
+        let out = self.value().softmax_lastdim();
+        let saved = out.clone();
+        self.unary(out, move |g| {
+            let d = *saved.dims().last().unwrap();
+            let rows = saved.numel() / d;
+            let mut dx = vec![0.0f32; saved.numel()];
+            for r in 0..rows {
+                let s = &saved.data()[r * d..(r + 1) * d];
+                let gr = &g.data()[r * d..(r + 1) * d];
+                let dot: f32 = s.iter().zip(gr.iter()).map(|(&a, &b)| a * b).sum();
+                for i in 0..d {
+                    dx[r * d + i] = s[i] * (gr[i] - dot);
+                }
+            }
+            Tensor::from_vec(dx, saved.dims())
+        })
+    }
+
+    // -- shape ops -----------------------------------------------------------
+
+    /// Reshape (data order preserved).
+    pub fn reshape(self, dims: &[usize]) -> Var<'t> {
+        let x = self.value();
+        let orig = x.dims().to_vec();
+        let out = x.reshape(dims);
+        self.unary(out, move |g| g.reshape(&orig))
+    }
+
+    /// Axis permutation.
+    pub fn permute(self, perm: &[usize]) -> Var<'t> {
+        let out = self.value().permute(perm);
+        let mut inverse = vec![0usize; perm.len()];
+        for (i, &p) in perm.iter().enumerate() {
+            inverse[p] = i;
+        }
+        self.unary(out, move |g| g.permute(&inverse))
+    }
+
+    /// Sub-range along an axis.
+    pub fn narrow(self, axis: usize, start: usize, len: usize) -> Var<'t> {
+        let x = self.value();
+        let orig = x.dims().to_vec();
+        let out = x.narrow(axis, start, len);
+        self.unary(out, move |g| {
+            // Scatter g into a zero tensor at [start, start+len) of `axis`.
+            let mut full = Tensor::zeros(&orig);
+            let outer: usize = orig[..axis].iter().product();
+            let inner: usize = orig[axis + 1..].iter().product();
+            let extent = orig[axis];
+            for o in 0..outer {
+                for a in 0..len {
+                    let src = (o * len + a) * inner;
+                    let dst = (o * extent + start + a) * inner;
+                    full.data_mut()[dst..dst + inner]
+                        .copy_from_slice(&g.data()[src..src + inner]);
+                }
+            }
+            full
+        })
+    }
+
+    /// Concatenation along an axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or shapes disagree outside `axis`.
+    pub fn concat(parts: &[Var<'t>], axis: usize) -> Var<'t> {
+        assert!(!parts.is_empty(), "concat of zero vars");
+        let tape = parts[0].tape();
+        let values: Vec<Tensor> = parts.iter().map(|p| p.value()).collect();
+        let refs: Vec<&Tensor> = values.iter().collect();
+        let out = Tensor::concat(&refs, axis);
+        let ids: Vec<usize> = parts.iter().map(|p| p.id).collect();
+        let extents: Vec<usize> = values.iter().map(|v| v.dims()[axis]).collect();
+        let id = tape.push(
+            out,
+            Some(Box::new(move |g| {
+                let mut grads = Vec::with_capacity(ids.len());
+                let mut offset = 0;
+                for (&pid, &ext) in ids.iter().zip(extents.iter()) {
+                    grads.push((pid, g.narrow(axis, offset, ext)));
+                    offset += ext;
+                }
+                grads
+            })),
+        );
+        Var { tape, id }
+    }
+
+    /// Nearest-neighbour upsampling by an integer factor.
+    pub fn upsample_nearest(self, factor: usize) -> Var<'t> {
+        let out = self.value().upsample_nearest(factor);
+        self.unary(out, move |g| upsample_nearest_grad(g, factor))
+    }
+
+    /// Average pooling with square window and stride `k`.
+    pub fn avg_pool2d(self, k: usize) -> Var<'t> {
+        let out = self.value().avg_pool2d(k);
+        self.unary(out, move |g| avg_pool2d_grad(g, k))
+    }
+
+    /// Embedding lookup: `self` is the `[vocab, dim]` table, `ids` select
+    /// rows, producing `[ids.len(), dim]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id is out of range.
+    pub fn embedding(self, ids: &[usize]) -> Var<'t> {
+        let table = self.value();
+        assert_eq!(table.ndim(), 2, "embedding table must be 2-D");
+        let (vocab, dim) = (table.dim(0), table.dim(1));
+        let out = table.index_select(0, ids);
+        let ids = ids.to_vec();
+        self.unary(out, move |g| {
+            let mut dt = Tensor::zeros(&[vocab, dim]);
+            for (row, &ix) in ids.iter().enumerate() {
+                for d in 0..dim {
+                    dt.data_mut()[ix * dim + d] += g.data()[row * dim + d];
+                }
+            }
+            dt
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Param, Tape};
+    use fpdq_tensor::conv::Conv2dSpec;
+    use fpdq_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mse_loss_matches_composite() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let p = Param::new(Tensor::randn(&[3, 4], &mut rng));
+        let target = Tensor::randn(&[3, 4], &mut rng);
+
+        let tape = Tape::new();
+        let x = tape.param(&p);
+        let t = tape.constant(target.clone());
+        let fused = x.mse_loss(t);
+        let g1 = tape.backward(fused);
+
+        let tape2 = Tape::new();
+        let x2 = tape2.param(&p);
+        let t2 = tape2.constant(target);
+        let composite = x2.sub(t2).powf(2.0).mean();
+        let g2 = tape2.backward(composite);
+
+        assert!((fused.value().item() - composite.value().item()).abs() < 1e-5);
+        for (a, b) in g1.get(&p).unwrap().data().iter().zip(g2.get(&p).unwrap().data()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn broadcast_add_reduces_gradient() {
+        let bias = Param::new(Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        let tape = Tape::new();
+        let x = tape.constant(Tensor::ones(&[3, 2]));
+        let b = tape.param(&bias);
+        let y = x.add(b).sum_all();
+        let grads = tape.backward(y);
+        // Each bias element feeds 3 rows.
+        assert_eq!(grads.get(&bias).unwrap().data(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn clamp_gates_gradient() {
+        let p = Param::new(Tensor::from_vec(vec![-2.0, 0.0, 2.0], &[3]));
+        let tape = Tape::new();
+        let x = tape.param(&p);
+        let y = x.clamp(-1.0, 1.0).sum_all();
+        let grads = tape.backward(y);
+        assert_eq!(grads.get(&p).unwrap().data(), &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn concat_splits_gradient() {
+        let a = Param::new(Tensor::ones(&[2, 1]));
+        let b = Param::new(Tensor::ones(&[2, 3]));
+        let tape = Tape::new();
+        let (va, vb) = (tape.param(&a), tape.param(&b));
+        let joined = crate::Var::concat(&[va, vb], 1);
+        assert_eq!(joined.dims(), vec![2, 4]);
+        let w = tape.constant(Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0],
+            &[2, 4],
+        ));
+        let y = joined.mul(w).sum_all();
+        let grads = tape.backward(y);
+        assert_eq!(grads.get(&a).unwrap().data(), &[1.0, 5.0]);
+        assert_eq!(grads.get(&b).unwrap().data(), &[2.0, 3.0, 4.0, 6.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    fn embedding_scatters_gradient() {
+        let table = Param::new(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]));
+        let tape = Tape::new();
+        let t = tape.param(&table);
+        let e = t.embedding(&[2, 0, 2]);
+        assert_eq!(e.value().data(), &[5.0, 6.0, 1.0, 2.0, 5.0, 6.0]);
+        let y = e.sum_all();
+        let grads = tape.backward(y);
+        // Row 2 selected twice, row 0 once, row 1 never.
+        assert_eq!(grads.get(&table).unwrap().data(), &[1.0, 1.0, 0.0, 0.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn conv2d_bias_gradient_counts_positions() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = Param::new(Tensor::randn(&[2, 1, 3, 3], &mut rng));
+        let b = Param::new(Tensor::zeros(&[2]));
+        let tape = Tape::new();
+        let x = tape.constant(Tensor::randn(&[2, 1, 4, 4], &mut rng));
+        let y = x.conv2d(tape.param(&w), Some(tape.param(&b)), Conv2dSpec::new(1, 1));
+        let loss = y.sum_all();
+        let grads = tape.backward(loss);
+        // d(sum)/d(bias_c) = batch * oh * ow = 2*4*4
+        assert_eq!(grads.get(&b).unwrap().data(), &[32.0, 32.0]);
+    }
+
+    #[test]
+    fn softmax_gradient_sums_to_zero() {
+        let p = Param::new(Tensor::from_vec(vec![0.3, -1.0, 2.0, 0.5], &[1, 4]));
+        let tape = Tape::new();
+        let x = tape.param(&p);
+        let s = x.softmax_lastdim();
+        // Pick out one component: loss = s[0,2]
+        let picked = s.narrow(1, 2, 1).sum_all();
+        let grads = tape.backward(picked);
+        let g = grads.get(&p).unwrap();
+        // Softmax Jacobian rows sum to zero.
+        assert!(g.sum().abs() < 1e-5);
+    }
+}

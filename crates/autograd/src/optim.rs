@@ -1,0 +1,208 @@
+//! First-order optimizers over [`Param`]s.
+
+use crate::param::{Param, ParamId};
+use crate::tape::Gradients;
+use fpdq_tensor::Tensor;
+use std::collections::HashMap;
+
+/// Plain stochastic gradient descent with optional momentum.
+///
+/// # Example
+///
+/// ```
+/// use fpdq_autograd::{Param, Sgd, Tape};
+/// use fpdq_tensor::Tensor;
+///
+/// let p = Param::new(Tensor::from_vec(vec![10.0], &[1]));
+/// let mut opt = Sgd::new(0.1, 0.0);
+/// for _ in 0..100 {
+///     let tape = Tape::new();
+///     let x = tape.param(&p);
+///     let loss = x.mul(x).mean();
+///     let grads = tape.backward(loss);
+///     opt.step(&[p.clone()], &grads);
+/// }
+/// assert!(p.value().data()[0].abs() < 1e-3);
+/// ```
+#[derive(Debug)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: HashMap<ParamId, Tensor>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer with learning rate `lr` and momentum
+    /// coefficient `momentum` (0 disables momentum).
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        Sgd { lr, momentum, velocity: HashMap::new() }
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Sets the learning rate (for schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Applies one update to every parameter that has a gradient.
+    pub fn step(&mut self, params: &[Param], grads: &Gradients) {
+        for p in params {
+            let Some(g) = grads.get(p) else { continue };
+            if self.momentum > 0.0 {
+                let v = self
+                    .velocity
+                    .entry(p.id())
+                    .or_insert_with(|| Tensor::zeros(g.dims()));
+                *v = v.mul_scalar(self.momentum).add(g);
+                let v = v.clone();
+                p.update(|t| t.axpy(-self.lr, &v));
+            } else {
+                p.update(|t| t.axpy(-self.lr, g));
+            }
+        }
+    }
+}
+
+/// Configuration for [`Adam`].
+#[derive(Clone, Copy, Debug)]
+pub struct AdamConfig {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Denominator fuzz.
+    pub eps: f32,
+}
+
+impl Default for AdamConfig {
+    fn default() -> Self {
+        AdamConfig { lr: 1e-3, beta1: 0.9, beta2: 0.999, eps: 1e-8 }
+    }
+}
+
+/// The Adam optimizer (Kingma & Ba), used both for substrate-model training
+/// and for the paper's rounding-learning optimisation of `α`.
+#[derive(Debug)]
+pub struct Adam {
+    cfg: AdamConfig,
+    t: u64,
+    m: HashMap<ParamId, Tensor>,
+    v: HashMap<ParamId, Tensor>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the given configuration.
+    pub fn new(cfg: AdamConfig) -> Self {
+        Adam { cfg, t: 0, m: HashMap::new(), v: HashMap::new() }
+    }
+
+    /// Creates an Adam optimizer with default betas and the given rate.
+    pub fn with_lr(lr: f32) -> Self {
+        Adam::new(AdamConfig { lr, ..AdamConfig::default() })
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.cfg.lr
+    }
+
+    /// Sets the learning rate (for schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.cfg.lr = lr;
+    }
+
+    /// Applies one Adam update to every parameter that has a gradient.
+    pub fn step(&mut self, params: &[Param], grads: &Gradients) {
+        self.t += 1;
+        let bc1 = 1.0 - self.cfg.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.cfg.beta2.powi(self.t as i32);
+        for p in params {
+            let Some(g) = grads.get(p) else { continue };
+            let m = self.m.entry(p.id()).or_insert_with(|| Tensor::zeros(g.dims()));
+            *m = m.mul_scalar(self.cfg.beta1).add(&g.mul_scalar(1.0 - self.cfg.beta1));
+            let v = self.v.entry(p.id()).or_insert_with(|| Tensor::zeros(g.dims()));
+            *v = v.mul_scalar(self.cfg.beta2).add(&g.mul(g).mul_scalar(1.0 - self.cfg.beta2));
+            let mhat = m.mul_scalar(1.0 / bc1);
+            let vhat = v.mul_scalar(1.0 / bc2);
+            let eps = self.cfg.eps;
+            let delta = mhat.zip_map(&vhat, |mh, vh| mh / (vh.sqrt() + eps));
+            let lr = self.cfg.lr;
+            p.update(|t| t.axpy(-lr, &delta));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tape;
+
+    fn quadratic_loss(p: &Param) -> (f32, Gradients) {
+        let tape = Tape::new();
+        let x = tape.param(p);
+        let target = tape.constant(Tensor::from_vec(vec![3.0, -2.0], &[2]));
+        let loss = x.mse_loss(target);
+        let l = loss.value().item();
+        (l, tape.backward(loss))
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let p = Param::new(Tensor::zeros(&[2]));
+        let mut opt = Sgd::new(0.5, 0.0);
+        for _ in 0..100 {
+            let (_, grads) = quadratic_loss(&p);
+            opt.step(&[p.clone()], &grads);
+        }
+        let v = p.value();
+        assert!((v.data()[0] - 3.0).abs() < 1e-3);
+        assert!((v.data()[1] + 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let p = Param::new(Tensor::zeros(&[2]));
+        let mut opt = Sgd::new(0.1, 0.9);
+        for _ in 0..200 {
+            let (_, grads) = quadratic_loss(&p);
+            opt.step(&[p.clone()], &grads);
+        }
+        assert!((p.value().data()[0] - 3.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let p = Param::new(Tensor::zeros(&[2]));
+        let mut opt = Adam::with_lr(0.1);
+        let mut last = f32::INFINITY;
+        for i in 0..300 {
+            let (l, grads) = quadratic_loss(&p);
+            if i % 100 == 99 {
+                assert!(l < last, "loss must decrease: {l} vs {last}");
+                last = l;
+            }
+            opt.step(&[p.clone()], &grads);
+        }
+        assert!((p.value().data()[0] - 3.0).abs() < 1e-2);
+        assert!((p.value().data()[1] + 2.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn step_skips_params_without_grads() {
+        let active = Param::new(Tensor::zeros(&[1]));
+        let inactive = Param::new(Tensor::from_vec(vec![7.0], &[1]));
+        let tape = Tape::new();
+        let x = tape.param(&active);
+        let loss = x.mul(x).mean();
+        let grads = tape.backward(loss);
+        let mut opt = Adam::with_lr(0.1);
+        opt.step(&[active, inactive.clone()], &grads);
+        assert_eq!(inactive.value().data(), &[7.0]);
+    }
+}

@@ -1,0 +1,292 @@
+//! The gradient tape: graph recording and reverse-mode backpropagation.
+
+use crate::param::{Param, ParamId};
+use fpdq_tensor::Tensor;
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Backward closure: given the gradient flowing into a node, produce
+/// `(parent_node, gradient_contribution)` pairs.
+pub(crate) type BackwardFn = Box<dyn Fn(&Tensor) -> Vec<(usize, Tensor)>>;
+
+pub(crate) struct Node {
+    pub value: Tensor,
+    pub backward: Option<BackwardFn>,
+}
+
+/// A recording of a differentiable computation.
+///
+/// Create one tape per forward pass; it grows as operations are applied to
+/// [`Var`] handles and is consumed conceptually by [`Tape::backward`]
+/// (which may be called multiple times with different roots if needed).
+#[derive(Default)]
+pub struct Tape {
+    pub(crate) nodes: RefCell<Vec<Node>>,
+    param_bindings: RefCell<HashMap<ParamId, usize>>,
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Tape::default()
+    }
+
+    /// Number of recorded nodes (useful for memory diagnostics).
+    pub fn len(&self) -> usize {
+        self.nodes.borrow().len()
+    }
+
+    /// Whether the tape has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.borrow().is_empty()
+    }
+
+    pub(crate) fn push(&self, value: Tensor, backward: Option<BackwardFn>) -> usize {
+        let mut nodes = self.nodes.borrow_mut();
+        nodes.push(Node { value, backward });
+        nodes.len() - 1
+    }
+
+    /// Records a constant leaf (no gradient flows to it).
+    pub fn constant(&self, value: Tensor) -> Var<'_> {
+        let id = self.push(value, None);
+        Var { tape: self, id }
+    }
+
+    /// Binds a [`Param`] as a differentiable leaf.
+    ///
+    /// Binding the same param twice returns the same node, so gradient
+    /// contributions from multiple uses accumulate correctly.
+    pub fn param(&self, p: &Param) -> Var<'_> {
+        if let Some(&id) = self.param_bindings.borrow().get(&p.id()) {
+            return Var { tape: self, id };
+        }
+        let id = self.push(p.value(), None);
+        self.param_bindings.borrow_mut().insert(p.id(), id);
+        Var { tape: self, id }
+    }
+
+    /// The forward value of a node (cloned).
+    pub fn value(&self, v: Var<'_>) -> Tensor {
+        self.nodes.borrow()[v.id].value.clone()
+    }
+
+    /// Runs reverse-mode accumulation from `root`, returning gradients for
+    /// all bound parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root` is not a single-element tensor (losses must be
+    /// scalars).
+    pub fn backward(&self, root: Var<'_>) -> Gradients {
+        let nodes = self.nodes.borrow();
+        assert_eq!(
+            nodes[root.id].value.numel(),
+            1,
+            "backward root must be scalar, got {} elements",
+            nodes[root.id].value.numel()
+        );
+        let mut grads: Vec<Option<Tensor>> = vec![None; nodes.len()];
+        grads[root.id] = Some(Tensor::ones(nodes[root.id].value.dims()));
+        // Nodes are created parents-before-children, so a reverse sweep is
+        // a valid topological order.
+        for id in (0..=root.id).rev() {
+            let Some(g) = grads[id].take() else { continue };
+            if let Some(backward) = &nodes[id].backward {
+                for (parent, contrib) in backward(&g) {
+                    debug_assert!(parent < id, "backward edge must point to an earlier node");
+                    match &mut grads[parent] {
+                        Some(acc) => acc.axpy(1.0, &contrib),
+                        slot @ None => *slot = Some(contrib),
+                    }
+                }
+            }
+            grads[id] = Some(g);
+        }
+        let mut by_param = HashMap::new();
+        for (&pid, &nid) in self.param_bindings.borrow().iter() {
+            if let Some(g) = &grads[nid] {
+                by_param.insert(pid, g.clone());
+            }
+        }
+        Gradients { by_param }
+    }
+}
+
+/// Gradients of a backward pass, keyed by parameter identity.
+#[derive(Debug, Default)]
+pub struct Gradients {
+    by_param: HashMap<ParamId, Tensor>,
+}
+
+impl Gradients {
+    /// The gradient for `p`, if it participated in the graph.
+    pub fn get(&self, p: &Param) -> Option<&Tensor> {
+        self.by_param.get(&p.id())
+    }
+
+    /// The gradient by raw parameter id.
+    pub fn get_by_id(&self, id: ParamId) -> Option<&Tensor> {
+        self.by_param.get(&id)
+    }
+
+    /// Number of parameters with gradients.
+    pub fn len(&self) -> usize {
+        self.by_param.len()
+    }
+
+    /// Whether no parameter received a gradient.
+    pub fn is_empty(&self) -> bool {
+        self.by_param.is_empty()
+    }
+
+    /// Global gradient L2 norm (for clipping / diagnostics).
+    pub fn global_norm(&self) -> f32 {
+        let ss: f64 = self
+            .by_param
+            .values()
+            .flat_map(|t| t.data().iter())
+            .map(|&g| (g as f64) * (g as f64))
+            .sum();
+        ss.sqrt() as f32
+    }
+
+    /// Scales every gradient in place (gradient clipping).
+    pub fn scale(&mut self, s: f32) {
+        for g in self.by_param.values_mut() {
+            g.map_inplace(|x| x * s);
+        }
+    }
+}
+
+/// A handle to a node on a [`Tape`].
+///
+/// `Var` is `Copy`; all operations are methods that record new nodes on the
+/// same tape. See [`crate`] docs for an end-to-end example.
+#[derive(Clone, Copy)]
+pub struct Var<'t> {
+    pub(crate) tape: &'t Tape,
+    pub(crate) id: usize,
+}
+
+impl std::fmt::Debug for Var<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Var(#{} {:?})", self.id, self.tape.nodes.borrow()[self.id].value.dims())
+    }
+}
+
+impl<'t> Var<'t> {
+    /// The forward value (cloned).
+    pub fn value(&self) -> Tensor {
+        self.tape.value(*self)
+    }
+
+    /// Shape of the forward value.
+    pub fn dims(&self) -> Vec<usize> {
+        self.tape.nodes.borrow()[self.id].value.dims().to_vec()
+    }
+
+    /// Total elements of the forward value.
+    pub fn numel(&self) -> usize {
+        self.tape.nodes.borrow()[self.id].value.numel()
+    }
+
+    pub(crate) fn tape(&self) -> &'t Tape {
+        self.tape
+    }
+}
+
+/// Reduces a broadcast gradient back to the shape of the original operand
+/// by summing over broadcast axes.
+pub(crate) fn reduce_grad_to_shape(grad: &Tensor, target: &[usize]) -> Tensor {
+    if grad.dims() == target {
+        return grad.clone();
+    }
+    let mut g = grad.clone();
+    // Sum away extra leading axes.
+    while g.ndim() > target.len() {
+        g = g.sum_axis(0);
+    }
+    // Sum (keeping dims) axes where the target extent is 1.
+    for axis in 0..target.len() {
+        if target[axis] == 1 && g.dim(axis) != 1 {
+            let mut keep = g.sum_axis(axis);
+            let mut dims = g.dims().to_vec();
+            dims[axis] = 1;
+            keep = keep.reshape(&dims);
+            g = keep;
+        }
+    }
+    debug_assert_eq!(g.dims(), target, "grad reduction failed");
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_chain_rule() {
+        let p = Param::new(Tensor::from_vec(vec![2.0], &[1]));
+        let tape = Tape::new();
+        let x = tape.param(&p);
+        // y = (x * x) * x = x^3; dy/dx = 3x^2 = 12
+        let y = x.mul(x).mul(x).mean();
+        let grads = tape.backward(y);
+        assert!((grads.get(&p).unwrap().data()[0] - 12.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn param_bound_once_accumulates_multiple_uses() {
+        let p = Param::new(Tensor::from_vec(vec![3.0], &[1]));
+        let tape = Tape::new();
+        let a = tape.param(&p);
+        let b = tape.param(&p); // same node
+        assert_eq!(a.id, b.id);
+        let y = a.add(b).mean(); // y = 2x, dy/dx = 2
+        let grads = tape.backward(y);
+        assert_eq!(grads.get(&p).unwrap().data(), &[2.0]);
+    }
+
+    #[test]
+    fn constants_get_no_gradient() {
+        let p = Param::new(Tensor::from_vec(vec![1.0], &[1]));
+        let tape = Tape::new();
+        let x = tape.param(&p);
+        let c = tape.constant(Tensor::from_vec(vec![5.0], &[1]));
+        let y = x.mul(c).mean();
+        let grads = tape.backward(y);
+        assert_eq!(grads.len(), 1);
+        assert_eq!(grads.get(&p).unwrap().data(), &[5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be scalar")]
+    fn non_scalar_root_panics() {
+        let tape = Tape::new();
+        let c = tape.constant(Tensor::zeros(&[2]));
+        tape.backward(c);
+    }
+
+    #[test]
+    fn reduce_grad_handles_broadcast_axes() {
+        let g = Tensor::ones(&[2, 3]);
+        assert_eq!(reduce_grad_to_shape(&g, &[3]).data(), &[2.0, 2.0, 2.0]);
+        assert_eq!(reduce_grad_to_shape(&g, &[2, 1]).data(), &[3.0, 3.0]);
+        assert_eq!(reduce_grad_to_shape(&g, &[1]).data(), &[6.0]);
+        assert_eq!(reduce_grad_to_shape(&g, &[2, 3]).data(), g.data());
+    }
+
+    #[test]
+    fn gradients_norm_and_scale() {
+        let p = Param::new(Tensor::from_vec(vec![1.0, 1.0], &[2]));
+        let tape = Tape::new();
+        let x = tape.param(&p);
+        let y = x.mul(x).sum_all();
+        let mut grads = tape.backward(y);
+        let norm = grads.global_norm();
+        assert!((norm - (8.0f32).sqrt()).abs() < 1e-5);
+        grads.scale(0.5);
+        assert_eq!(grads.get(&p).unwrap().data(), &[1.0, 1.0]);
+    }
+}

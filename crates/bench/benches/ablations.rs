@@ -1,0 +1,168 @@
+//! Ablations of the method's design choices (DESIGN.md §8):
+//!
+//! 1. bias-grid resolution (the paper settled on 111 candidates);
+//! 2. searched per-tensor formats vs one fixed standard encoding;
+//! 3. rounding-learning budget;
+//! 4. what to quantize (weights only / activations only / both);
+//! 5. Q-Diffusion's split quantization of concatenated skip inputs.
+//!
+//! All ablations score the quantized model by output-MSE against the
+//! full-precision model on held-out calibration states — fast, and a
+//! faithful proxy for the end-metric orderings.
+
+use fpdq_bench::*;
+use fpdq_core::{
+    search_fp_format, CalibrationSet, FpFormat, PtqConfig, RoundingConfig, TensorQuantizer,
+};
+use fpdq_nn::UNet;
+use fpdq_tensor::Tensor;
+
+/// Output MSE of the (quantized) model vs reference outputs.
+fn model_output_mse(unet: &UNet, calib: &CalibrationSet, reference: &[Tensor]) -> f32 {
+    let mut sum = 0.0;
+    for (p, r) in calib.init.iter().zip(reference) {
+        let t = Tensor::from_vec(vec![p.t], &[1]);
+        sum += unet.forward(&p.x, &t, p.ctx.as_ref()).mse(r);
+    }
+    sum / reference.len() as f32
+}
+
+fn reference_outputs(unet: &UNet, calib: &CalibrationSet) -> Vec<Tensor> {
+    calib
+        .init
+        .iter()
+        .map(|p| {
+            let t = Tensor::from_vec(vec![p.t], &[1]);
+            unet.forward(&p.x, &t, p.ctx.as_ref())
+        })
+        .collect()
+}
+
+fn quantized_mse(cfg: &PtqConfig, calib: &CalibrationSet, reference: &[Tensor]) -> f32 {
+    let p = fresh_ldm();
+    apply_ptq(&p.unet, calib, cfg);
+    model_output_mse(&p.unet, calib, reference)
+}
+
+fn main() {
+    let baseline = fresh_ldm();
+    let calib = calibrate_uncond(&baseline.unet, &baseline.schedule, [4, 8, 8]);
+    let reference = reference_outputs(&baseline.unet, &calib);
+
+    // 1. Bias-grid resolution.
+    println!("\n=== Ablation 1: bias-candidate grid resolution (FP4 weight search MSE on one conv tensor) ===");
+    let mut w = None;
+    baseline.unet.visit_quant_layers(&mut |l| {
+        if l.qname() == "mid.res0.conv1" {
+            w = Some(l.weight().value());
+        }
+    });
+    let w = w.expect("probe layer");
+    let mut last = f32::INFINITY;
+    let mut monotone = true;
+    for n in [3usize, 11, 37, 111, 333] {
+        let r = search_fp_format(&[&w], 4, n);
+        println!("  {n:>4} candidates: weight MSE {:.6e} ({})", r.mse, r.quantizer);
+        monotone &= r.mse <= last + 1e-9;
+        last = r.mse;
+    }
+    println!("  diminishing returns beyond ~111 candidates: {}", if monotone { "PASS" } else { "WARN" });
+
+    // 2. Searched formats vs fixed E4M3 everywhere.
+    println!("\n=== Ablation 2: searched per-tensor formats vs fixed standard E4M3 ===");
+    let searched = quantized_mse(&PtqConfig::fp(8, 8), &calib, &reference);
+    let fixed = {
+        let p = fresh_ldm();
+        let fixed_fmt = TensorQuantizer::Fp(FpFormat::new(4, 3));
+        p.unet.visit_quant_layers(&mut |l| {
+            l.weight().replace(fixed_fmt.quantize(&l.weight().value()));
+            l.tap().borrow_mut().act_quant = Some(fixed_fmt.into_act_fn());
+        });
+        model_output_mse(&p.unet, &calib, &reference)
+    };
+    println!("  searched FP8/FP8 output MSE: {searched:.6e}");
+    println!("  fixed E4M3/E4M3 output MSE : {fixed:.6e}");
+    println!("  search wins: {}", if searched < fixed { "PASS" } else { "WARN" });
+
+    // 3. Rounding-learning budget.
+    println!("\n=== Ablation 3: rounding-learning budget (FP4/FP8 output MSE) ===");
+    let mut rl_rows = Vec::new();
+    for iters in [0usize, 30, 120] {
+        let mut cfg = PtqConfig::fp(4, 8);
+        if iters == 0 {
+            cfg = cfg.without_rounding_learning();
+        } else {
+            cfg.rounding = RoundingConfig { iters, batch: 8, ..RoundingConfig::default() };
+        }
+        let mse = {
+            let p = fresh_ldm();
+            apply_ptq_with(&p.unet, &calib, &cfg);
+            model_output_mse(&p.unet, &calib, &reference)
+        };
+        println!("  {iters:>4} RL iters: output MSE {mse:.6e}");
+        rl_rows.push(mse);
+    }
+    println!(
+        "  more RL budget helps: {}",
+        if rl_rows.last().unwrap() < &rl_rows[0] { "PASS" } else { "WARN" }
+    );
+
+    // 4. What to quantize.
+    println!("\n=== Ablation 4: weights-only vs activations-only vs both (FP8) ===");
+    let mut wonly = PtqConfig::fp(8, 8);
+    wonly.quantize_acts = false;
+    let mut aonly = PtqConfig::fp(8, 8);
+    aonly.quantize_weights = false;
+    let w_mse = quantized_mse(&wonly, &calib, &reference);
+    let a_mse = quantized_mse(&aonly, &calib, &reference);
+    let both_mse = quantized_mse(&PtqConfig::fp(8, 8), &calib, &reference);
+    println!("  weights-only: {w_mse:.6e}\n  acts-only   : {a_mse:.6e}\n  both        : {both_mse:.6e}");
+    println!(
+        "  both ≈ superposition of error sources: {}",
+        if both_mse >= w_mse.max(a_mse) * 0.5 { "PASS" } else { "WARN" }
+    );
+
+    ablation_per_channel(&baseline);
+
+    // 5. Split skip-connection quantization (Q-Diffusion trick).
+    println!("\n=== Ablation 5: split quantization of concatenated skip inputs (INT8 acts) ===");
+    let with_split = quantized_mse(&PtqConfig::int(8, 8), &calib, &reference);
+    let without_split = {
+        let mut cfg = PtqConfig::int(8, 8);
+        cfg.split_skip_quant = false;
+        quantized_mse(&cfg, &calib, &reference)
+    };
+    println!("  with split   : {with_split:.6e}");
+    println!("  without split: {without_split:.6e}");
+    println!(
+        "  split helps (or is neutral): {}",
+        if with_split <= without_split * 1.2 { "PASS" } else { "WARN" }
+    );
+}
+
+/// Ablation 6 lives here: per-tensor vs per-channel weight formats.
+fn ablation_per_channel(baseline: &fpdq_diffusion::LdmSim) {
+    println!("\n=== Ablation 6: per-tensor vs per-channel weight formats (FP4, whole model) ===");
+    let mut tensor_mse = 0.0f64;
+    let mut channel_mse = 0.0f64;
+    let mut elems = 0usize;
+    baseline.unet.visit_quant_layers(&mut |l| {
+        let w = l.weight().value();
+        let pt = search_fp_format(&[&w], 4, 37);
+        let (_, pc) = fpdq_core::search_fp_per_channel(&w, 4, 37);
+        tensor_mse += pt.mse as f64 * w.numel() as f64;
+        channel_mse += pc as f64 * w.numel() as f64;
+        elems += w.numel();
+    });
+    let (pt, pc) = (tensor_mse / elems as f64, channel_mse / elems as f64);
+    println!("  per-tensor weight MSE : {pt:.6e}  (1 bias/tensor metadata — the paper's choice)");
+    println!("  per-channel weight MSE: {pc:.6e}  (1 bias+encoding per output channel)");
+    println!("  per-channel never worse: {}", if pc <= pt * 1.001 { "PASS" } else { "WARN" });
+}
+
+/// Like `apply_ptq` but honouring the config's own rounding budget.
+fn apply_ptq_with(unet: &UNet, calib: &CalibrationSet, cfg: &PtqConfig) {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(CALIB_SEED + 1);
+    fpdq_core::quantize_unet(unet, calib, cfg, &mut rng);
+}

@@ -1,0 +1,55 @@
+//! Figure 10 — CLIP-style prompt/image agreement across quantization
+//! configurations on SD-sim.
+//!
+//! Paper reference: all configs land near the full-precision score, but
+//! the FP-quantized models consistently score at or above the
+//! integer-quantized ones (FP4/FP8 even edges out full precision).
+
+use fpdq_bench::*;
+use fpdq_metrics::SimClip;
+
+fn main() {
+    let n = t2i_samples();
+    let steps = t2i_steps();
+    let prompts = eval_prompts(n);
+    let clip = SimClip::new();
+
+    let fp32 = fresh_sd();
+    let calib = calibrate_t2i(&fp32);
+    let t0 = std::time::Instant::now();
+
+    let mut scores: Vec<(String, f32)> = Vec::new();
+    for (name, cfg) in main_table_configs() {
+        let pipeline = fresh_sd();
+        if let Some(cfg) = &cfg {
+            apply_ptq(&pipeline.unet, &calib, cfg);
+        }
+        let imgs = generate_t2i(&pipeline, &prompts, steps);
+        let s = clip.score_batch(&imgs, &prompts);
+        eprintln!("[fig10] {name:<28} clip {s:.4}  ({:.0}s)", t0.elapsed().as_secs_f32());
+        scores.push((name, s));
+    }
+
+    let fp32_score = scores[0].1;
+    println!("\n=== Figure 10: CLIP-style score by configuration (higher = better; dotted line = FP32) ===");
+    for (name, s) in &scores {
+        let bar = "#".repeat((s * 60.0) as usize);
+        println!("{name:<30} {s:.4}  {bar}");
+    }
+    println!("{:<30} {fp32_score:.4}  (reference line)", "FP32 reference");
+
+    let get = |tag: &str| scores.iter().find(|(n, _)| n.contains(tag)).unwrap().1;
+    let mut pass = true;
+    pass &= shape(
+        "all configs near full precision (within 20%)",
+        scores.iter().all(|(_, s)| *s > fp32_score * 0.8),
+    );
+    pass &= shape("FP8 >= INT8", get("FP8/FP8") >= get("INT8/INT8") - 0.01);
+    pass &= shape("FP4 >= INT4", get("FP4/FP8") >= get("INT4/INT8") - 0.01);
+    println!("\nshape checks: {}", if pass { "PASS" } else { "WARN (see above)" });
+}
+
+fn shape(what: &str, ok: bool) -> bool {
+    println!("  [{}] {what}", if ok { "ok" } else { "MISS" });
+    ok
+}

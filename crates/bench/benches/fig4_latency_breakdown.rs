@@ -1,0 +1,59 @@
+//! Figure 4 — inference-latency breakdown of the (SD-scale) U-Net across
+//! layer types, on a CPU and a GPU, at batch sizes 1 and 8 — plus the
+//! §III headline measurements (U-Net dominance, GPU/CPU speedups).
+//!
+//! Paper reference: conv + linear dominate; norm + SiLU ≈ 25% on GPU but
+//! negligible on CPU; GPU 31× / 72× faster at batch 1 / 8; U-Net is 6.1 s
+//! of the 6.6 s total.
+
+use fpdq_bench::print_table;
+use fpdq_perf::census::{sd_scale_config, sd_scale_input, SD_CONTEXT_LEN};
+use fpdq_perf::{census, latency, Device, LayerClass, NumberFormat};
+
+fn main() {
+    let cfg = sd_scale_config();
+    let devices = [Device::xeon_like(), Device::v100_like()];
+    let batches = [1usize, 8];
+
+    let mut rows = Vec::new();
+    let mut totals = Vec::new();
+    for device in &devices {
+        for &batch in &batches {
+            let c = census(&cfg, sd_scale_input(), batch, SD_CONTEXT_LEN);
+            let report = latency(&c, device, NumberFormat::Fp32, NumberFormat::Fp32);
+            let mut row = vec![format!("{} b={batch}", device.name)];
+            for class in LayerClass::ALL {
+                row.push(format!("{:.1}%", 100.0 * report.share_of(class)));
+            }
+            row.push(format!("{:.3}s", report.total));
+            rows.push(row);
+            totals.push((device.name.clone(), batch, report.total));
+        }
+    }
+    print_table(
+        "Figure 4: U-Net per-step latency breakdown by layer type (normalised; total per step at right)",
+        &["Platform", "Conv2d", "Linear", "Norm", "SiLU", "Attn", "total"],
+        &rows,
+    );
+
+    // §III headline numbers.
+    let step = |name: &str, b: usize| {
+        totals.iter().find(|(n, bb, _)| n.starts_with(name) && *bb == b).unwrap().2
+    };
+    let gpu1 = step("V100", 1);
+    let cpu1 = step("Xeon", 1);
+    let gpu8 = step("V100", 8);
+    let cpu8 = step("Xeon", 8);
+    println!("\nSection III headline estimates (50 denoising steps, batch 1):");
+    println!(
+        "  U-Net total on GPU: {:.1}s  (paper measures 6.1s of 6.6s end-to-end)",
+        50.0 * gpu1
+    );
+    println!(
+        "  GPU speedup over CPU: {:.0}x at batch 1, {:.0}x at batch 8 (paper: 31x / 72x)",
+        cpu1 / gpu1,
+        cpu8 / gpu8
+    );
+    let pass = (5.0..150.0).contains(&(cpu1 / gpu1)) && cpu8 / gpu8 > cpu1 / gpu1;
+    println!("shape checks: {}", if pass { "PASS" } else { "WARN" });
+}

@@ -1,0 +1,46 @@
+//! Figure 5 — peak inference memory of the SD-scale U-Net vs batch size,
+//! plus the §III quantization-reduction claim (4× at FP8, 8× at FP4).
+//!
+//! Paper reference: 8.37 GB at batch 1 rising to 54.9 GB at batch 16 on an
+//! 80 GB A100, dominated by attention score tensors.
+
+use fpdq_bench::print_table;
+use fpdq_perf::census::{sd_scale_config, sd_scale_input, SD_CONTEXT_LEN};
+use fpdq_perf::peak_memory;
+
+fn main() {
+    let cfg = sd_scale_config();
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    for batch in [1usize, 2, 4, 8, 16] {
+        let fp32 = peak_memory(&cfg, sd_scale_input(), batch, SD_CONTEXT_LEN, 4.0, 4.0);
+        let fp8 = peak_memory(&cfg, sd_scale_input(), batch, SD_CONTEXT_LEN, 1.0, 1.0);
+        let fp4 = peak_memory(&cfg, sd_scale_input(), batch, SD_CONTEXT_LEN, 0.5, 0.5);
+        rows.push(vec![
+            format!("batch {batch}"),
+            format!("{:.2}", fp32.total_gib()),
+            format!("{:.1}%", 100.0 * fp32.attention / fp32.total()),
+            format!("{:.2}", fp8.total_gib()),
+            format!("{:.2}", fp4.total_gib()),
+        ]);
+        series.push((batch, fp32.total_gib(), fp8.total_gib(), fp4.total_gib()));
+    }
+    print_table(
+        "Figure 5: peak inference memory (GiB) of the SD-scale U-Net",
+        &["Batch", "FP32", "attn%", "FP8", "FP4"],
+        &rows,
+    );
+
+    let b1 = series[0].1;
+    let b16 = series.last().unwrap().1;
+    println!("\npaper anchors: 8.37 GB at batch 1, 54.9 GB at batch 16 (A100-80GB)");
+    println!("model:         {b1:.2} GiB at batch 1, {b16:.2} GiB at batch 16");
+    let (_, fp32_16, fp8_16, fp4_16) = *series.last().unwrap();
+    println!(
+        "quantization reduction at batch 16: FP8 {:.1}x, FP4 {:.1}x (paper claims 4x / 8x)",
+        fp32_16 / fp8_16,
+        fp32_16 / fp4_16
+    );
+    let pass = b16 > 4.0 * b1 && (fp32_16 / fp8_16) > 3.5 && (fp32_16 / fp4_16) > 7.0;
+    println!("shape checks: {}", if pass { "PASS" } else { "WARN" });
+}

@@ -1,0 +1,38 @@
+//! Figure 6 — the rounding-learning regularizer
+//! `λ(α) = 1 − (|σ(α) − 0.5|·2)^β` that pushes each soft rounding
+//! decision to the {0, 1} boundary, shown at the paper's β = 20 and at
+//! the annealed β values the optimiser actually sweeps through.
+
+use fpdq_core::rounding::regularizer;
+use fpdq_core::RoundingConfig;
+
+fn main() {
+    println!("\n=== Figure 6: rounding-learning regularizer 1 - (|sigma-0.5|*2)^beta ===");
+    println!("{:>8} {:>10} {:>10} {:>10}", "sigma", "beta=20", "beta=8", "beta=2");
+    let mut prev20 = f32::NEG_INFINITY;
+    let mut rising = true;
+    for i in 0..=20 {
+        let sigma = i as f32 / 20.0;
+        let r20 = regularizer(sigma, 20.0);
+        let r8 = regularizer(sigma, 8.0);
+        let r2 = regularizer(sigma, 2.0);
+        println!("{sigma:>8.2} {r20:>10.4} {r8:>10.4} {r2:>10.4}");
+        if sigma <= 0.5 {
+            rising &= r20 >= prev20 - 1e-6;
+            prev20 = r20;
+        }
+    }
+    // Annealing trajectory actually used in learning.
+    let cfg = RoundingConfig::default();
+    let betas: Vec<String> = [0usize, 50, 100, 150, 200, 249]
+        .iter()
+        .map(|&it| format!("it {it}: beta {:.1}", cfg.beta_at(it)))
+        .collect();
+    println!("\nannealing schedule over {} iterations: {}", cfg.iters, betas.join(", "));
+
+    let pass = rising
+        && regularizer(0.0, 20.0).abs() < 1e-6
+        && regularizer(1.0, 20.0).abs() < 1e-6
+        && (regularizer(0.5, 20.0) - 1.0).abs() < 1e-6;
+    println!("shape checks: {}", if pass { "PASS" } else { "WARN" });
+}

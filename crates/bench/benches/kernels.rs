@@ -1,0 +1,125 @@
+//! Criterion microbenchmarks over the quantized kernels: packed
+//! encode/decode, dequantize-on-the-fly GEMM vs dense FP32 GEMM, and the
+//! sparsity-exploiting kernels over the zero patterns the paper's
+//! quantizer creates (§VI-G).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use fpdq_core::{FpFormat, IntFormat, TensorQuantizer};
+use fpdq_kernels::{gemm_packed_fp, CsrWeights, PackedFpTensor, PackedIntTensor, TwoFourWeights};
+use fpdq_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+const M: usize = 32;
+const K: usize = 256;
+const N: usize = 256;
+
+fn rand_mat(r: usize, c: usize, seed: u64) -> Tensor {
+    Tensor::randn(&[r, c], &mut StdRng::seed_from_u64(seed))
+}
+
+fn sparse_mat(r: usize, c: usize, keep: f32, seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Tensor::randn(&[r, c], &mut rng).zip_map(
+        &Tensor::rand_uniform(&[r, c], 0.0, 1.0, &mut rng),
+        |v, u| if u < keep { v } else { 0.0 },
+    )
+}
+
+fn bench_quantize(c: &mut Criterion) {
+    let x = rand_mat(N, K, 1);
+    let fp8 = FpFormat::new(4, 3);
+    let fp4 = FpFormat::new(2, 1);
+    let int8 = IntFormat::fit(&x, 8);
+    let mut g = c.benchmark_group("quantize");
+    g.bench_function("fp8_e4m3", |b| b.iter(|| black_box(fp8.quantize(&x))));
+    g.bench_function("fp4_e2m1", |b| b.iter(|| black_box(fp4.quantize(&x))));
+    g.bench_function("int8", |b| b.iter(|| black_box(int8.quantize(&x))));
+    g.finish();
+}
+
+fn bench_pack(c: &mut Criterion) {
+    let w = rand_mat(N, K, 2);
+    let fp8 = FpFormat::new(4, 3);
+    let fp4 = FpFormat::new(2, 1);
+    let mut g = c.benchmark_group("pack");
+    g.bench_function("encode_fp8", |b| b.iter(|| black_box(PackedFpTensor::encode(&w, fp8))));
+    g.bench_function("encode_fp4", |b| b.iter(|| black_box(PackedFpTensor::encode(&w, fp4))));
+    let packed8 = PackedFpTensor::encode(&w, fp8);
+    let packed4 = PackedFpTensor::encode(&w, fp4);
+    g.bench_function("decode_fp8", |b| b.iter(|| black_box(packed8.decode())));
+    g.bench_function("decode_fp4", |b| b.iter(|| black_box(packed4.decode())));
+    g.finish();
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let a = rand_mat(M, K, 3);
+    let w = rand_mat(N, K, 4);
+    let fp8 = PackedFpTensor::encode(&w, FpFormat::new(4, 3));
+    let fp4 = PackedFpTensor::encode(&w, FpFormat::new(2, 1));
+    let int8 = PackedIntTensor::encode(&w, IntFormat::fit(&w, 8));
+    let act8 = TensorQuantizer::Fp(FpFormat::new(4, 3));
+    let mut g = c.benchmark_group("gemm_32x256x256");
+    g.bench_function("dense_fp32", |b| b.iter(|| black_box(a.matmul_nt(&w))));
+    g.bench_function("packed_fp8_w", |b| b.iter(|| black_box(gemm_packed_fp(&a, &fp8, None))));
+    g.bench_function("packed_fp4_w", |b| b.iter(|| black_box(gemm_packed_fp(&a, &fp4, None))));
+    g.bench_function("packed_fp8_wa", |b| {
+        b.iter(|| black_box(gemm_packed_fp(&a, &fp8, Some(&act8))))
+    });
+    g.bench_function("packed_int8_w", |b| {
+        b.iter(|| black_box(fpdq_kernels::gemm_packed_int(&a, &int8, None)))
+    });
+    g.finish();
+}
+
+fn bench_conv(c: &mut Criterion) {
+    use fpdq_kernels::conv2d_packed_fp;
+    use fpdq_tensor::conv::Conv2dSpec;
+    let mut rng = StdRng::seed_from_u64(8);
+    let x = Tensor::randn(&[4, 16, 16, 16], &mut rng);
+    let w = Tensor::randn(&[32, 16, 3, 3], &mut rng);
+    let spec = Conv2dSpec::new(1, 1);
+    let fp8 = PackedFpTensor::encode(&w, FpFormat::new(4, 3));
+    let fp4 = PackedFpTensor::encode(&w, FpFormat::new(2, 1));
+    let mut g = c.benchmark_group("conv2d_4x16x16x16_to_32ch");
+    g.bench_function("dense_fp32", |b| b.iter(|| black_box(x.conv2d(&w, None, spec))));
+    g.bench_function("packed_fp8_w", |b| {
+        b.iter(|| black_box(conv2d_packed_fp(&x, &fp8, None, spec, None)))
+    });
+    g.bench_function("packed_fp4_w", |b| {
+        b.iter(|| black_box(conv2d_packed_fp(&x, &fp4, None, spec, None)))
+    });
+    g.finish();
+}
+
+fn bench_sparse(c: &mut Criterion) {
+    let a = rand_mat(M, K, 5);
+    let mut g = c.benchmark_group("sparse_gemm_32x256x256");
+    for keep in [0.5f32, 0.1, 0.01] {
+        let w = sparse_mat(N, K, keep, 6);
+        let csr = CsrWeights::from_dense(&w);
+        g.bench_function(format!("csr_density_{keep}"), |b| {
+            b.iter_batched(|| a.clone(), |a| black_box(csr.gemm(&a)), BatchSize::SmallInput)
+        });
+    }
+    let dense_w = rand_mat(N, K, 7);
+    g.bench_function("dense_reference", |b| b.iter(|| black_box(a.matmul_nt(&dense_w))));
+    let tf = TwoFourWeights::prune(&dense_w);
+    g.bench_function("two_four_structured", |b| b.iter(|| black_box(tf.gemm(&a))));
+    g.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = kernels;
+    config = configured();
+    targets = bench_quantize, bench_pack, bench_gemm, bench_conv, bench_sparse
+}
+criterion_main!(kernels);

@@ -1,0 +1,61 @@
+//! Table I — the motivation for rounding learning: FP4-weight / FP8-act
+//! quantization by format search alone collapses output quality on both
+//! the text-to-image and the unconditional pipeline.
+//!
+//! Paper reference (Table I): FID 22.71 → 262.8 (Stable Diffusion) and
+//! 2.95 → 288.2 (LDM/Bedrooms) when quantizing W to FP4 without RL.
+
+use fpdq_bench::*;
+use fpdq_core::PtqConfig;
+use fpdq_data::{CaptionedScenes, Dataset, TinyBedrooms};
+use fpdq_metrics::{evaluate, FeatureNet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let n = uncond_samples().min(96);
+    let net = FeatureNet::for_size(16);
+    let no_rl = PtqConfig::fp(4, 8).without_rounding_learning();
+    let t0 = std::time::Instant::now();
+
+    // Column 1: SD-sim (text-to-image), real-scene reference.
+    let prompts = eval_prompts(n);
+    let (scene_ref, _, _) = CaptionedScenes::new().batch_captioned(n, &mut StdRng::seed_from_u64(7));
+    let sd = fresh_sd();
+    let sd_calib = calibrate_t2i(&sd);
+    let sd_fp32 = evaluate(&scene_ref, &generate_t2i(&sd, &prompts, t2i_steps()), &net).fid;
+    let sd_q = {
+        let p = fresh_sd();
+        apply_ptq(&p.unet, &sd_calib, &no_rl);
+        evaluate(&scene_ref, &generate_t2i(&p, &prompts, t2i_steps()), &net).fid
+    };
+    eprintln!("[table1] sd done ({:.0}s)", t0.elapsed().as_secs_f32());
+
+    // Column 2: LDM-sim (unconditional), real-bedroom reference.
+    let bed_ref = TinyBedrooms::new().batch(n, &mut StdRng::seed_from_u64(7));
+    let ldm = fresh_ldm();
+    let ldm_calib = calibrate_uncond(&ldm.unet, &ldm.schedule, [4, 8, 8]);
+    let ldm_fp32 = evaluate(&bed_ref, &generate_uncond(&ldm, n, uncond_steps()), &net).fid;
+    let ldm_q = {
+        let p = fresh_ldm();
+        apply_ptq(&p.unet, &ldm_calib, &no_rl);
+        evaluate(&bed_ref, &generate_uncond(&p, n, uncond_steps()), &net).fid
+    };
+    eprintln!("[table1] ldm done ({:.0}s)", t0.elapsed().as_secs_f32());
+
+    print_table(
+        "Table I: Output quality degradation with FP4-weight/FP8-act quantization, no rounding learning (FID, lower better)",
+        &["Bitwidth (W/A)", "SD-sim", "LDM-sim"],
+        &[
+            vec!["Full Precision".into(), cell(sd_fp32), cell(ldm_fp32)],
+            vec!["FP4/FP8 (no RL)".into(), cell(sd_q), cell(ldm_q)],
+        ],
+    );
+    println!(
+        "\ndegradation factors: SD-sim {:.1}x, LDM-sim {:.1}x (paper: 11.6x and 97.7x)",
+        sd_q / sd_fp32.max(1e-3),
+        ldm_q / ldm_fp32.max(1e-3)
+    );
+    let pass = sd_q > sd_fp32 * 3.0 && ldm_q > ldm_fp32 * 3.0;
+    println!("shape checks: {}", if pass { "PASS" } else { "WARN: expected >3x degradation" });
+}

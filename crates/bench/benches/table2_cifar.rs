@@ -1,0 +1,77 @@
+//! Table II — DDIM on (Tiny)CIFAR: quantitative evaluation of the five
+//! weight/activation configurations with FID / sFID / Precision / Recall.
+//!
+//! Paper reference (Table II): INT8/INT8 and FP8/FP8 both hold
+//! full-precision quality; 4-bit weights degrade mildly; FP4/FP8 clearly
+//! beats INT4/INT8 on sFID.
+
+use fpdq_bench::*;
+use fpdq_data::{Dataset, TinyCifar};
+use fpdq_metrics::{evaluate, FeatureNet, QualityMetrics};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let n = uncond_samples();
+    let steps = uncond_steps();
+    let net = FeatureNet::for_size(8);
+    // Reference images, as in Q-Diffusion's protocol: the training
+    // distribution itself.
+    let reference = TinyCifar::new().batch(n, &mut StdRng::seed_from_u64(7));
+
+    let t0 = std::time::Instant::now();
+    let baseline = fresh_ddim();
+    let calib = calibrate_uncond(&baseline.unet, &baseline.schedule, [3, 8, 8]);
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut results: Vec<(String, QualityMetrics)> = Vec::new();
+    for (name, cfg) in main_table_configs() {
+        let pipeline = fresh_ddim();
+        if let Some(cfg) = &cfg {
+            apply_ptq(&pipeline.unet, &calib, cfg);
+        }
+        let imgs = generate_ddim(&pipeline, n, steps);
+        let m = evaluate(&reference, &imgs, &net);
+        eprintln!("[table2] {name:<28} {m}  ({:.0}s)", t0.elapsed().as_secs_f32());
+        rows.push(vec![
+            name.clone(),
+            cell(m.fid),
+            cell(m.sfid),
+            format!("{:.4}", m.precision),
+            format!("{:.4}", m.recall),
+        ]);
+        results.push((name, m));
+    }
+    print_table(
+        "Table II: (Tiny)CIFAR Quantitative Evaluation — DDIM",
+        &["Bitwidth (W/A)", "FID", "sFID", "Prec", "Recall"],
+        &rows,
+    );
+
+    // Shape checks against the paper's qualitative findings.
+    let get = |tag: &str| {
+        results
+            .iter()
+            .find(|(name, _)| name.contains(tag))
+            .map(|(_, m)| *m)
+            .expect("row present")
+    };
+    let fp32 = get("Full Precision");
+    let fp8 = get("FP8/FP8");
+    let int8 = get("INT8/INT8");
+    let fp4 = get("FP4/FP8");
+    let int4 = get("INT4/INT8");
+    let mut pass = true;
+    pass &= shape(
+        "8-bit holds FP32 quality (both schemes)",
+        fp8.fid < fp32.fid * 2.0 + 0.5 && int8.fid < fp32.fid * 2.0 + 0.5,
+    );
+    pass &= shape("4-bit degrades vs 8-bit", fp4.fid + int4.fid >= fp8.fid + int8.fid - 0.05);
+    pass &= shape("FP4/FP8 beats INT4/INT8 on sFID", fp4.sfid <= int4.sfid + 0.2);
+    println!("\nshape checks: {}", if pass { "PASS" } else { "WARN (see above)" });
+}
+
+fn shape(what: &str, ok: bool) -> bool {
+    println!("  [{}] {what}", if ok { "ok" } else { "MISS" });
+    ok
+}

@@ -1,0 +1,85 @@
+//! Table III — LDM on (Tiny)Bedrooms: the five main configurations plus
+//! the FP4/FP8-without-rounding-learning ablation row.
+//!
+//! Paper reference (Table III): FP8/FP8 matches (even slightly beats)
+//! FP32; INT8 drifts; FP4/FP8 *without* RL fails badly (FID 288) while
+//! FP4/FP8 *with* RL lands near FP32 and beats INT4/INT8.
+
+use fpdq_bench::*;
+use fpdq_core::PtqConfig;
+use fpdq_data::{Dataset, TinyBedrooms};
+use fpdq_metrics::{evaluate, FeatureNet, QualityMetrics};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let n = uncond_samples();
+    let steps = uncond_steps();
+    let net = FeatureNet::for_size(16);
+    let reference = TinyBedrooms::new().batch(n, &mut StdRng::seed_from_u64(7));
+
+    let t0 = std::time::Instant::now();
+    let baseline = fresh_ldm();
+    let calib = calibrate_uncond(&baseline.unet, &baseline.schedule, [4, 8, 8]);
+
+    let mut configs = main_table_configs();
+    configs.insert(
+        4,
+        (
+            "FP4/FP8 no RL (Ours)".into(),
+            Some(PtqConfig::fp(4, 8).without_rounding_learning()),
+        ),
+    );
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut results: Vec<(String, QualityMetrics)> = Vec::new();
+    for (name, cfg) in configs {
+        let pipeline = fresh_ldm();
+        if let Some(cfg) = &cfg {
+            apply_ptq(&pipeline.unet, &calib, cfg);
+        }
+        let imgs = generate_uncond(&pipeline, n, steps);
+        let m = evaluate(&reference, &imgs, &net);
+        eprintln!("[table3] {name:<28} {m}  ({:.0}s)", t0.elapsed().as_secs_f32());
+        rows.push(vec![
+            name.clone(),
+            cell(m.fid),
+            cell(m.sfid),
+            format!("{:.4}", m.precision),
+            format!("{:.4}", m.recall),
+        ]);
+        results.push((name, m));
+    }
+    print_table(
+        "Table III: LDM (TinyBedrooms) Quantitative Evaluation",
+        &["Bitwidth (W/A)", "FID", "sFID", "Prec", "Recall"],
+        &rows,
+    );
+
+    let get = |tag: &str| {
+        results
+            .iter()
+            .find(|(name, _)| name.starts_with(tag))
+            .map(|(_, m)| *m)
+            .expect("row present")
+    };
+    let fp32 = get("Full Precision");
+    let fp8 = get("FP8/FP8");
+    let fp4_norl = get("FP4/FP8 no RL");
+    let fp4 = get("FP4/FP8 (Ours)");
+    let int4 = get("INT4/INT8");
+    let mut pass = true;
+    pass &= shape("FP8/FP8 holds FP32 quality", (fp8.fid - fp32.fid).abs() < fp32.fid * 0.5 + 0.2);
+    pass &= shape(
+        "FP4 without RL fails badly (the Table I/III collapse)",
+        fp4_norl.fid > fp4.fid * 3.0 && fp4_norl.sfid > fp4.sfid * 2.0,
+    );
+    pass &= shape("rounding learning rescues FP4", fp4.fid < fp4_norl.fid * 0.5);
+    pass &= shape("FP4/FP8 (ours) beats INT4/INT8", fp4.fid < int4.fid);
+    println!("\nshape checks: {}", if pass { "PASS" } else { "WARN (see above)" });
+}
+
+fn shape(what: &str, ok: bool) -> bool {
+    println!("  [{}] {what}", if ok { "ok" } else { "MISS" });
+    ok
+}

@@ -1,0 +1,45 @@
+//! Quick end-to-end validation of the headline experiment on the LDM
+//! pipeline (small sample count).
+
+use fpdq_bench::*;
+use fpdq_data::{Dataset, TinyBedrooms};
+use fpdq_metrics::{evaluate, FeatureNet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let n = 64;
+    let steps = 25;
+    let net = FeatureNet::for_size(16);
+    let ds = TinyBedrooms::new();
+    let reference = ds.batch(n, &mut StdRng::seed_from_u64(7));
+
+    let t0 = std::time::Instant::now();
+    let fp32 = fresh_ldm();
+    let calib = calibrate_uncond(&fp32.unet, &fp32.schedule, [4, 8, 8]);
+    eprintln!("[probe] calib ready at {:.1}s ({} init, {} rl)", t0.elapsed().as_secs_f32(), calib.init.len(), calib.rl.len());
+
+    let fp32_imgs = generate_uncond(&fp32, n, steps);
+    let m = evaluate(&reference, &fp32_imgs, &net);
+    eprintln!("[probe] FP32      {m}   ({:.1}s)", t0.elapsed().as_secs_f32());
+
+    for (name, cfg) in [
+        ("FP8/FP8", fpdq_core::PtqConfig::fp(8, 8)),
+        ("INT8/INT8", fpdq_core::PtqConfig::int(8, 8)),
+        ("INT4/INT8", int_w4a8()),
+        ("FP4/FP8 noRL", fpdq_core::PtqConfig::fp(4, 8).without_rounding_learning()),
+        ("FP4/FP8 +RL", fpdq_core::PtqConfig::fp(4, 8)),
+    ] {
+        let p = fresh_ldm();
+        let report = apply_ptq(&p.unet, &calib, &cfg);
+        let imgs = generate_uncond(&p, n, steps);
+        let m = evaluate(&reference, &imgs, &net);
+        let mfp = evaluate(&fp32_imgs, &imgs, &net);
+        eprintln!(
+            "[probe] {name:<13} {m}  | vsFP32: FID {:.3}  sparsity {:.4}  ({:.1}s)",
+            mfp.fid,
+            report.sparsity_after(),
+            t0.elapsed().as_secs_f32()
+        );
+    }
+}

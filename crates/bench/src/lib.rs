@@ -1,0 +1,251 @@
+//! # fpdq-bench
+//!
+//! Shared harness utilities for the per-table / per-figure experiment
+//! benches (see `benches/`). Each bench target regenerates one table or
+//! figure of the paper; this library holds the common machinery:
+//! pipeline loading, calibration, quantization-config construction,
+//! sample generation with paired seeds (paper §VI-C), and table printing.
+//!
+//! Runtime knobs (environment):
+//!
+//! * `FPDQ_SAMPLES` — samples per configuration (default 128
+//!   unconditional / 96 text-to-image);
+//! * `FPDQ_STEPS` — DDIM steps (default 25 unconditional / 20
+//!   text-to-image);
+//! * `FPDQ_FAST=1` — use the fast-trained zoo models (CI smoke runs).
+
+use fpdq_core::{
+    quantize_unet, record_trajectories, CalibrationSet, PtqConfig, QuantReport, RoundingConfig,
+};
+use fpdq_diffusion::{DdimSim, LdmSim, SdSim, Zoo};
+use fpdq_nn::UNet;
+use fpdq_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The master experiment seed (fixed across configurations so every
+/// quantization variant denoises the *same* noise inputs, §VI-C).
+pub const EVAL_SEED: u64 = 0xD1FF;
+
+/// Calibration seed (distinct from evaluation).
+pub const CALIB_SEED: u64 = 0xCA11B;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Samples per configuration for unconditional tables.
+pub fn uncond_samples() -> usize {
+    env_usize("FPDQ_SAMPLES", 128)
+}
+
+/// Samples per configuration for text-to-image tables.
+pub fn t2i_samples() -> usize {
+    env_usize("FPDQ_SAMPLES", 96)
+}
+
+/// DDIM steps for unconditional generation.
+pub fn uncond_steps() -> usize {
+    env_usize("FPDQ_STEPS", 25)
+}
+
+/// DDIM steps for text-to-image generation.
+pub fn t2i_steps() -> usize {
+    env_usize("FPDQ_STEPS", 20)
+}
+
+/// Opens the default zoo (trains on first use).
+pub fn zoo() -> Zoo {
+    Zoo::open_default()
+}
+
+/// The five weight/activation configurations of the paper's main tables,
+/// in presentation order.
+pub fn main_table_configs() -> Vec<(String, Option<PtqConfig>)> {
+    vec![
+        ("Full Precision (FP32/FP32)".into(), None),
+        ("INT8/INT8".into(), Some(PtqConfig::int(8, 8))),
+        ("FP8/FP8 (Ours)".into(), Some(PtqConfig::fp(8, 8))),
+        ("INT4/INT8".into(), Some(int_w4a8())),
+        ("FP4/FP8 (Ours)".into(), Some(PtqConfig::fp(4, 8))),
+    ]
+}
+
+/// INT4 weights / INT8 activations (the paper's Q-Diffusion-style W4A8
+/// baseline).
+pub fn int_w4a8() -> PtqConfig {
+    let mut cfg = PtqConfig::int(4, 8);
+    cfg.act_bits = 8;
+    cfg
+}
+
+/// Rounding-learning budget used by the experiment harnesses
+/// (`FPDQ_RL_ITERS` overrides, for time-constrained runs).
+pub fn bench_rounding() -> RoundingConfig {
+    let iters = env_usize("FPDQ_RL_ITERS", 120);
+    RoundingConfig { iters, batch: 8, ..RoundingConfig::default() }
+}
+
+/// Builds a calibration set for an unconditional pipeline (paper: 128
+/// init samples uniform over timesteps; we scale to the substrate).
+pub fn calibrate_uncond(unet: &UNet, schedule: &fpdq_diffusion::NoiseSchedule, dims: [usize; 3]) -> CalibrationSet {
+    let mut rng = StdRng::seed_from_u64(CALIB_SEED);
+    record_trajectories(unet, schedule, &dims, &[None], 20, 6, 64, 40, &mut rng)
+}
+
+/// Builds a calibration set for a text-to-image pipeline (paper: 16 init
+/// samples; calibration includes conditional and null contexts, matching
+/// guided sampling).
+pub fn calibrate_t2i(sd: &SdSim) -> CalibrationSet {
+    let mut rng = StdRng::seed_from_u64(CALIB_SEED);
+    let prompts = fpdq_data::CaptionedScenes::all_captions();
+    let mut contexts: Vec<Option<Tensor>> = prompts
+        .iter()
+        .step_by(7)
+        .map(|p| Some(sd.encode_prompts(std::slice::from_ref(p))))
+        .collect();
+    contexts.push(Some(sd.null_context(1)));
+    record_trajectories(
+        &sd.unet,
+        &sd.schedule,
+        &[sd.latent_channels, sd.latent_size, sd.latent_size],
+        &contexts,
+        20,
+        8,
+        16,
+        40,
+        &mut rng,
+    )
+}
+
+/// Applies a PTQ config to a pipeline's U-Net (in place) with the bench
+/// rounding budget. Returns the quantization report.
+pub fn apply_ptq(unet: &UNet, calib: &CalibrationSet, cfg: &PtqConfig) -> QuantReport {
+    let mut cfg = cfg.clone();
+    cfg.rounding = bench_rounding();
+    let mut rng = StdRng::seed_from_u64(CALIB_SEED + 1);
+    quantize_unet(unet, calib, &cfg, &mut rng)
+}
+
+/// Loads a fresh (full-precision) LDM pipeline from the zoo.
+pub fn fresh_ldm() -> LdmSim {
+    zoo().ldm_sim()
+}
+
+/// Loads a fresh DDIM pipeline from the zoo.
+pub fn fresh_ddim() -> DdimSim {
+    zoo().ddim_sim()
+}
+
+/// Loads a fresh SD pipeline from the zoo.
+pub fn fresh_sd() -> SdSim {
+    zoo().sd_sim()
+}
+
+/// Loads a fresh SDXL pipeline from the zoo.
+pub fn fresh_sdxl() -> SdSim {
+    zoo().sdxl_sim()
+}
+
+/// Generates with the evaluation seed (identical noise across configs).
+pub fn generate_uncond(p: &LdmSim, n: usize, steps: usize) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(EVAL_SEED);
+    p.generate(n, steps, &mut rng)
+}
+
+/// Generates DDIM samples with the evaluation seed.
+pub fn generate_ddim(p: &DdimSim, n: usize, steps: usize) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(EVAL_SEED);
+    p.generate(n, steps, &mut rng)
+}
+
+/// The fixed evaluation prompt set (cycled to `n` prompts).
+pub fn eval_prompts(n: usize) -> Vec<String> {
+    let all = fpdq_data::CaptionedScenes::all_captions();
+    (0..n).map(|i| all[i % all.len()].clone()).collect()
+}
+
+/// Generates text-to-image samples with the evaluation seed.
+pub fn generate_t2i(p: &SdSim, prompts: &[String], steps: usize) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(EVAL_SEED);
+    p.generate(prompts, steps, &mut rng)
+}
+
+// ---------------------------------------------------------------------------
+// Table formatting
+// ---------------------------------------------------------------------------
+
+/// Prints a header + aligned rows: first column 34 wide, rest 10.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut line = format!("{:<34}", header[0]);
+    for h in &header[1..] {
+        line.push_str(&format!("{h:>10}"));
+    }
+    println!("{line}");
+    println!("{}", "-".repeat(line.len()));
+    for row in rows {
+        let mut line = format!("{:<34}", row[0]);
+        for cell in &row[1..] {
+            line.push_str(&format!("{cell:>10}"));
+        }
+        println!("{line}");
+    }
+}
+
+/// Formats a float cell.
+pub fn cell(v: f32) -> String {
+    if v >= 100.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Where figure artifacts (PPM grids, CSV series) are written.
+pub fn artifact_dir() -> std::path::PathBuf {
+    let dir = std::env::var("FPDQ_ARTIFACTS")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| std::path::PathBuf::from("target/fpdq-artifacts"));
+    std::fs::create_dir_all(&dir).expect("cannot create artifact dir");
+    dir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configs_cover_paper_rows() {
+        let tags: Vec<String> = main_table_configs()
+            .iter()
+            .map(|(name, cfg)| cfg.as_ref().map(|c| c.tag()).unwrap_or_else(|| name.clone()))
+            .collect();
+        assert!(tags.contains(&"INT8/INT8".to_string()));
+        assert!(tags.contains(&"FP8/FP8".to_string()));
+        assert!(tags.contains(&"INT4/INT8".to_string()));
+        assert!(tags.contains(&"FP4/FP8".to_string()));
+    }
+
+    #[test]
+    fn fp4_config_has_rounding_learning_int_does_not() {
+        for (_, cfg) in main_table_configs() {
+            if let Some(cfg) = cfg {
+                match (cfg.tag().as_str(), cfg.rounding_learning) {
+                    ("FP4/FP8", rl) => assert!(rl),
+                    ("INT8/INT8" | "INT4/INT8", rl) => assert!(!rl),
+                    ("FP8/FP8", rl) => assert!(!rl),
+                    (tag, _) => panic!("unexpected tag {tag}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eval_prompts_cycle_deterministically() {
+        let a = eval_prompts(10);
+        let b = eval_prompts(10);
+        assert_eq!(a, b);
+        assert_eq!(eval_prompts(50).len(), 50);
+    }
+}

@@ -1,0 +1,231 @@
+//! Calibration data collection (paper §V-A / §VI-A).
+//!
+//! The paper builds two datasets from the *full-precision* model:
+//!
+//! * the **initialization dataset** — a small sample of intermediate
+//!   states gathered *uniformly across all denoising timesteps*, used to
+//!   search activation formats (128 samples unconditional, 16
+//!   text-to-image);
+//! * the **calibration dataset** — a larger per-step sample used by
+//!   rounding learning, from which each iteration draws a random batch.
+//!
+//! Here a [`CalibPoint`] is one recorded `(x_t, t, context)` network input;
+//! [`record_trajectories`] collects them by running DDIM sampling with the
+//! FP32 U-Net, and [`capture_layer_inputs`] replays points through the
+//! (possibly partially quantized) model with capture taps installed to
+//! harvest every layer's inputs.
+
+use fpdq_diffusion::sampler::{ddim_sample, DdimParams};
+use fpdq_diffusion::NoiseSchedule;
+use fpdq_nn::UNet;
+use fpdq_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// One recorded network input: the state `x_t`, its timestep, and the
+/// conditioning context (if the model is conditional).
+#[derive(Clone, Debug)]
+pub struct CalibPoint {
+    /// Network input state `[1, c, h, w]`.
+    pub x: Tensor,
+    /// Timestep of the state.
+    pub t: f32,
+    /// Cross-attention context `[1, l, d]`, if conditional.
+    pub ctx: Option<Tensor>,
+}
+
+/// The initialization + calibration datasets.
+#[derive(Clone, Debug, Default)]
+pub struct CalibrationSet {
+    /// Uniform-across-timesteps points for activation format search.
+    pub init: Vec<CalibPoint>,
+    /// Randomly drawn points for rounding learning.
+    pub rl: Vec<CalibPoint>,
+}
+
+/// Records sampling trajectories of the full-precision model.
+///
+/// Runs `n_trajectories` DDIM samplings (each `sample_steps` steps) of the
+/// FP32 `unet`, cycling through `contexts` (use a single `None` for
+/// unconditional models), recording every network input. The recorded pool
+/// is then split into the initialization set (`init_count` points spread
+/// uniformly over timesteps) and the rounding-learning set (`rl_count`
+/// random points).
+///
+/// # Panics
+///
+/// Panics if `contexts` is empty or the requested counts exceed the number
+/// of recorded points.
+#[allow(clippy::too_many_arguments)]
+pub fn record_trajectories(
+    unet: &UNet,
+    schedule: &NoiseSchedule,
+    input_dims: &[usize; 3],
+    contexts: &[Option<Tensor>],
+    sample_steps: usize,
+    n_trajectories: usize,
+    init_count: usize,
+    rl_count: usize,
+    rng: &mut StdRng,
+) -> CalibrationSet {
+    assert!(!contexts.is_empty(), "context pool must not be empty (use [None] for unconditional)");
+    let mut pool: Vec<CalibPoint> = Vec::new();
+    for traj in 0..n_trajectories {
+        let ctx = contexts[traj % contexts.len()].clone();
+        let noise = Tensor::randn(&[1, input_dims[0], input_dims[1], input_dims[2]], rng);
+        let recorded = RefCell::new(Vec::new());
+        let _ = ddim_sample(
+            schedule,
+            noise,
+            DdimParams { steps: sample_steps, eta: 0.0, clip_x0: None },
+            rng,
+            |x, t| {
+                recorded.borrow_mut().push(CalibPoint {
+                    x: x.clone(),
+                    t: t.data()[0],
+                    ctx: ctx.clone(),
+                });
+                unet.forward(x, t, ctx.as_ref())
+            },
+        );
+        pool.extend(recorded.into_inner());
+    }
+    assert!(
+        init_count <= pool.len() && rl_count <= pool.len(),
+        "requested {init_count}+{rl_count} points but only recorded {}",
+        pool.len()
+    );
+    // Initialization set: sort by timestep, take an even spread.
+    let mut by_t: Vec<usize> = (0..pool.len()).collect();
+    by_t.sort_by(|&a, &b| pool[a].t.total_cmp(&pool[b].t));
+    let init: Vec<CalibPoint> = (0..init_count)
+        .map(|i| pool[by_t[i * pool.len() / init_count.max(1)]].clone())
+        .collect();
+    // Rounding-learning set: random draw.
+    let mut ids: Vec<usize> = (0..pool.len()).collect();
+    ids.shuffle(rng);
+    let rl: Vec<CalibPoint> = ids[..rl_count].iter().map(|&i| pool[i].clone()).collect();
+    CalibrationSet { init, rl }
+}
+
+/// Replays calibration points through the model with capture taps
+/// installed, returning each layer's recorded inputs aligned with the
+/// point order.
+///
+/// `layer_filter` restricts capture to a single layer name (used by the
+/// driver's error-aware rounding learning, which needs the *partially
+/// quantized* model's inputs for exactly one layer at a time).
+pub fn capture_layer_inputs(
+    unet: &UNet,
+    points: &[CalibPoint],
+    layer_filter: Option<&str>,
+) -> HashMap<String, Vec<Tensor>> {
+    let mut buffers: HashMap<String, Rc<RefCell<Vec<Tensor>>>> = HashMap::new();
+    unet.visit_quant_layers(&mut |layer| {
+        if layer_filter.is_none_or(|f| f == layer.qname()) {
+            let buf = Rc::new(RefCell::new(Vec::new()));
+            layer.tap().borrow_mut().capture = Some(buf.clone());
+            buffers.insert(layer.qname().to_string(), buf);
+        }
+    });
+    for p in points {
+        let t = Tensor::from_vec(vec![p.t], &[1]);
+        let _ = unet.forward(&p.x, &t, p.ctx.as_ref());
+    }
+    unet.visit_quant_layers(&mut |layer| {
+        layer.tap().borrow_mut().capture = None;
+    });
+    buffers
+        .into_iter()
+        .map(|(name, buf)| (name, Rc::try_unwrap(buf).expect("capture buffer still shared").into_inner()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpdq_nn::UNetConfig;
+    use rand::SeedableRng;
+
+    fn tiny_unet(rng: &mut StdRng) -> UNet {
+        UNet::new(UNetConfig::tiny(2), rng)
+    }
+
+    #[test]
+    fn records_expected_point_counts() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let unet = tiny_unet(&mut rng);
+        let schedule = NoiseSchedule::linear_scaled(20);
+        let set = record_trajectories(
+            &unet,
+            &schedule,
+            &[2, 8, 8],
+            &[None],
+            5,
+            3, // 3 trajectories x 5 steps = 15 points
+            6,
+            10,
+            &mut rng,
+        );
+        assert_eq!(set.init.len(), 6);
+        assert_eq!(set.rl.len(), 10);
+    }
+
+    #[test]
+    fn init_points_cover_timesteps_uniformly() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let unet = tiny_unet(&mut rng);
+        let schedule = NoiseSchedule::linear_scaled(40);
+        let set = record_trajectories(&unet, &schedule, &[2, 8, 8], &[None], 8, 2, 8, 4, &mut rng);
+        let mut ts: Vec<f32> = set.init.iter().map(|p| p.t).collect();
+        ts.sort_by(f32::total_cmp);
+        // Spread: earliest recorded step and latest step both present-ish.
+        assert!(ts[0] < 10.0, "missing low-noise timesteps: {ts:?}");
+        assert!(*ts.last().unwrap() > 30.0, "missing high-noise timesteps: {ts:?}");
+    }
+
+    #[test]
+    fn capture_aligns_with_points() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let unet = tiny_unet(&mut rng);
+        let points: Vec<CalibPoint> = (0..3)
+            .map(|i| CalibPoint {
+                x: Tensor::randn(&[1, 2, 8, 8], &mut rng),
+                t: i as f32,
+                ctx: None,
+            })
+            .collect();
+        let caps = capture_layer_inputs(&unet, &points, None);
+        assert!(caps.len() > 20, "expected captures for every layer, got {}", caps.len());
+        // conv_in's input is the raw state itself.
+        let conv_in = &caps["conv_in"];
+        assert_eq!(conv_in.len(), 3);
+        for (c, p) in conv_in.iter().zip(&points) {
+            assert_eq!(c.data(), p.x.data());
+        }
+        // Taps must be cleared afterwards.
+        unet.visit_quant_layers(&mut |l| assert!(l.tap().borrow().capture.is_none()));
+    }
+
+    #[test]
+    fn capture_filter_restricts_to_one_layer() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let unet = tiny_unet(&mut rng);
+        let points = vec![CalibPoint { x: Tensor::randn(&[1, 2, 8, 8], &mut rng), t: 0.0, ctx: None }];
+        let caps = capture_layer_inputs(&unet, &points, Some("conv_out"));
+        assert_eq!(caps.len(), 1);
+        assert!(caps.contains_key("conv_out"));
+    }
+
+    #[test]
+    #[should_panic(expected = "only recorded")]
+    fn over_requesting_points_panics() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let unet = tiny_unet(&mut rng);
+        let schedule = NoiseSchedule::linear_scaled(10);
+        record_trajectories(&unet, &schedule, &[2, 8, 8], &[None], 2, 1, 10, 10, &mut rng);
+    }
+}

@@ -1,0 +1,333 @@
+//! Simulated low-bitwidth floating-point formats (paper §IV-B, eqs. 5-9).
+//!
+//! A format is `1` sign bit + `e` exponent bits + `m` mantissa bits with a
+//! **real-valued per-tensor exponent bias** `b` (the paper stores it as
+//! per-tensor metadata; changing `b` slides the representable range).
+//! Quantization is *simulated*: values stay `f32` but are snapped onto the
+//! format's grid, exactly like the paper's fake-quantized evaluation (the
+//! bit-exact packed representation lives in `fpdq-kernels`).
+
+use fpdq_tensor::Tensor;
+
+/// An ExMy floating-point format with flexible exponent bias.
+///
+/// The clipping maximum follows eq. (7):
+/// `c = (2 - 2^-m) · 2^(2^e - b - 1)`, and the per-element quantization
+/// scale follows eq. (9):
+/// `s_i = 2^(max(⌊log2|x_i| + b⌋, 1) - b - m)` (the `max` branch is the
+/// subnormal region).
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FpFormat {
+    exp_bits: u32,
+    man_bits: u32,
+    bias: f32,
+}
+
+impl FpFormat {
+    /// Creates a format with the standard bias `2^(e-1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `exp_bits == 0` (a zero-exponent format is a fixed-point
+    /// grid, not a float) or `exp_bits > 8`.
+    pub fn new(exp_bits: u32, man_bits: u32) -> Self {
+        Self::with_bias(exp_bits, man_bits, 2f32.powi(exp_bits as i32 - 1))
+    }
+
+    /// Creates a format with an explicit real-valued bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `exp_bits` is 0 or greater than 8, or `bias` is not
+    /// finite.
+    pub fn with_bias(exp_bits: u32, man_bits: u32, bias: f32) -> Self {
+        assert!(exp_bits >= 1 && exp_bits <= 8, "exp_bits {exp_bits} outside 1..=8");
+        assert!(man_bits <= 10, "man_bits {man_bits} unreasonably large");
+        assert!(bias.is_finite(), "bias must be finite");
+        FpFormat { exp_bits, man_bits, bias }
+    }
+
+    /// Exponent bit count.
+    pub fn exp_bits(&self) -> u32 {
+        self.exp_bits
+    }
+
+    /// Mantissa bit count.
+    pub fn man_bits(&self) -> u32 {
+        self.man_bits
+    }
+
+    /// The per-tensor exponent bias.
+    pub fn bias(&self) -> f32 {
+        self.bias
+    }
+
+    /// Returns this format with a different bias.
+    pub fn rebias(&self, bias: f32) -> Self {
+        FpFormat::with_bias(self.exp_bits, self.man_bits, bias)
+    }
+
+    /// Total bit count (sign + exponent + mantissa).
+    pub fn total_bits(&self) -> u32 {
+        1 + self.exp_bits + self.man_bits
+    }
+
+    /// Short name like `"E4M3"`.
+    pub fn name(&self) -> String {
+        format!("E{}M{}", self.exp_bits, self.man_bits)
+    }
+
+    /// The clipping maximum `c` (eq. 7).
+    pub fn max_value(&self) -> f32 {
+        (2.0 - 2f32.powi(-(self.man_bits as i32)))
+            * 2f32.powf(2f32.powi(self.exp_bits as i32) - self.bias - 1.0)
+    }
+
+    /// The smallest positive representable value (one subnormal step).
+    pub fn min_positive(&self) -> f32 {
+        2f32.powf(1.0 - self.bias - self.man_bits as f32)
+    }
+
+    /// The candidate encodings for a total bitwidth (paper §IV-B):
+    /// FP8 → E2M5, E3M4, E4M3, E5M2; FP4 → E1M2, E2M1.
+    ///
+    /// # Panics
+    ///
+    /// Panics for bitwidths below 3 or above 16.
+    pub fn encodings_for_bits(bits: u32) -> Vec<FpFormat> {
+        assert!((3..=16).contains(&bits), "unsupported bitwidth {bits}");
+        match bits {
+            8 => vec![FpFormat::new(2, 5), FpFormat::new(3, 4), FpFormat::new(4, 3), FpFormat::new(5, 2)],
+            4 => vec![FpFormat::new(1, 2), FpFormat::new(2, 1)],
+            _ => {
+                // General rule: every split with >= 1 exponent bit.
+                (1..bits - 1).map(|e| FpFormat::new(e, bits - 1 - e)).collect()
+            }
+        }
+    }
+
+    /// The per-element quantization scale (eq. 9).
+    #[inline]
+    pub fn scale_for(&self, x: f32) -> f32 {
+        let e = (x.abs().log2() + self.bias).floor().max(1.0);
+        2f32.powf(e - self.bias - self.man_bits as f32)
+    }
+
+    /// Quantizes one value: clip to `±c` (eq. 6), then round-to-nearest on
+    /// the per-element grid (eq. 8).
+    ///
+    /// Non-finite inputs are clipped to `±c` (NaN maps to 0).
+    #[inline]
+    pub fn quantize_scalar(&self, x: f32) -> f32 {
+        if x.is_nan() {
+            return 0.0;
+        }
+        let c = self.max_value();
+        let clipped = x.clamp(-c, c);
+        let s = self.scale_for(clipped);
+        (s * (clipped / s).round()).clamp(-c, c)
+    }
+
+    /// Quantizes a tensor elementwise (simulated/fake quantization).
+    pub fn quantize(&self, x: &Tensor) -> Tensor {
+        x.map(|v| self.quantize_scalar(v))
+    }
+
+    /// Enumerates every non-negative representable value in ascending
+    /// order (the negative half is symmetric). Used by the packed kernels
+    /// and by exhaustiveness tests; the count is `2^(e+m)` points
+    /// (including 0 and the subnormals).
+    pub fn enumerate_non_negative(&self) -> Vec<f32> {
+        let mut out = Vec::new();
+        let m = self.man_bits;
+        let steps = 1u32 << m;
+        // Subnormals + first normal binade share the scale 2^(1-b-m).
+        let sub_scale = self.min_positive();
+        for k in 0..steps {
+            out.push(sub_scale * k as f32);
+        }
+        // Normal binades: exponent field p = 1 .. 2^e - 1. Values are
+        // computed as `scale × integer-mantissa` — the *same* float
+        // expression `quantize_scalar` evaluates — so table entries are
+        // bit-identical to quantizer outputs even for fractional biases.
+        for p in 1..(1u32 << self.exp_bits) {
+            let s = 2f32.powf(p as f32 - self.bias - m as f32);
+            for k in 0..steps {
+                out.push(s * (steps + k) as f32);
+            }
+        }
+        out.truncate((1usize << (self.exp_bits + m)) as usize);
+        out
+    }
+}
+
+impl std::fmt::Display for FpFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}(b={})", self.name(), self.bias)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn e4m3_standard_constants() {
+        let f = FpFormat::new(4, 3);
+        assert_eq!(f.bias(), 8.0);
+        // c = (2 - 1/8) * 2^(16 - 8 - 1) = 1.875 * 128 = 240
+        assert_eq!(f.max_value(), 240.0);
+        // min positive = 2^(1-8-3) = 2^-10
+        assert_eq!(f.min_positive(), 2f32.powi(-10));
+    }
+
+    #[test]
+    fn e5m2_and_fp4_constants() {
+        let e5m2 = FpFormat::new(5, 2);
+        assert_eq!(e5m2.bias(), 16.0);
+        assert_eq!(e5m2.max_value(), 1.75 * 2f32.powi(15));
+        let e2m1 = FpFormat::new(2, 1);
+        // c = (2 - 0.5) * 2^(4 - 2 - 1) = 1.5 * 2 = 3
+        assert_eq!(e2m1.max_value(), 3.0);
+        let e1m2 = FpFormat::new(1, 2);
+        // c = (2 - 0.25) * 2^(2 - 1 - 1) = 1.75
+        assert_eq!(e1m2.max_value(), 1.75);
+    }
+
+    #[test]
+    fn quantize_snaps_to_mantissa_grid() {
+        let f = FpFormat::new(4, 3);
+        // In [1, 2) the grid step is 1/8.
+        assert_eq!(f.quantize_scalar(1.0), 1.0);
+        assert_eq!(f.quantize_scalar(1.06), 1.0);
+        assert_eq!(f.quantize_scalar(1.07), 1.125);
+        assert_eq!(f.quantize_scalar(1.9999), 2.0);
+        // In [2, 4) the step is 1/4.
+        assert_eq!(f.quantize_scalar(2.12), 2.0);
+        assert_eq!(f.quantize_scalar(2.13), 2.25);
+    }
+
+    #[test]
+    fn quantize_clips_to_max(){
+        let f = FpFormat::new(4, 3);
+        assert_eq!(f.quantize_scalar(1e9), 240.0);
+        assert_eq!(f.quantize_scalar(-1e9), -240.0);
+        assert_eq!(f.quantize_scalar(f32::INFINITY), 240.0);
+        assert_eq!(f.quantize_scalar(f32::NEG_INFINITY), -240.0);
+        assert_eq!(f.quantize_scalar(f32::NAN), 0.0);
+    }
+
+    #[test]
+    fn subnormal_region_uses_fixed_scale() {
+        let f = FpFormat::new(4, 3);
+        let step = f.min_positive(); // 2^-10
+        // Values below the first normal (2^-7) snap to multiples of 2^-10.
+        assert_eq!(f.quantize_scalar(step * 3.4), step * 3.0);
+        assert_eq!(f.quantize_scalar(step * 0.5), step);
+        assert_eq!(f.quantize_scalar(step * 0.49), 0.0);
+        assert_eq!(f.quantize_scalar(0.0), 0.0);
+    }
+
+    #[test]
+    fn bias_shifts_range() {
+        // Larger bias -> smaller max value -> finer grid near zero.
+        let coarse = FpFormat::with_bias(4, 3, 8.0);
+        let fine = FpFormat::with_bias(4, 3, 12.0);
+        assert!(fine.max_value() < coarse.max_value());
+        assert!(fine.min_positive() < coarse.min_positive());
+        // A value near the coarse format's max clips in the fine format.
+        assert_eq!(fine.quantize_scalar(240.0), fine.max_value());
+    }
+
+    #[test]
+    fn real_valued_bias_is_honoured() {
+        let f = FpFormat::with_bias(4, 3, 8.5);
+        // c = 1.875 * 2^(16 - 8.5 - 1) = 1.875 * 2^6.5
+        let expect = 1.875 * 2f32.powf(6.5);
+        assert!((f.max_value() - expect).abs() < 1e-3);
+        // Quantized outputs remain self-consistent (idempotent).
+        for &x in &[0.013, 0.5, 1.77, 90.0] {
+            let q = f.quantize_scalar(x);
+            assert_eq!(f.quantize_scalar(q), q, "not idempotent at {x}");
+        }
+    }
+
+    #[test]
+    fn encodings_for_bits_match_paper() {
+        let fp8: Vec<String> = FpFormat::encodings_for_bits(8).iter().map(|f| f.name()).collect();
+        assert_eq!(fp8, vec!["E2M5", "E3M4", "E4M3", "E5M2"]);
+        let fp4: Vec<String> = FpFormat::encodings_for_bits(4).iter().map(|f| f.name()).collect();
+        assert_eq!(fp4, vec!["E1M2", "E2M1"]);
+    }
+
+    #[test]
+    fn enumerate_has_exact_cardinality_and_is_sorted() {
+        for f in [FpFormat::new(2, 1), FpFormat::new(1, 2), FpFormat::new(3, 4), FpFormat::new(4, 3)] {
+            let vals = f.enumerate_non_negative();
+            assert_eq!(vals.len(), 1usize << (f.exp_bits() + f.man_bits()), "{f}");
+            for w in vals.windows(2) {
+                assert!(w[1] > w[0], "{f}: not strictly increasing at {w:?}");
+            }
+            assert_eq!(vals[0], 0.0);
+            let max = *vals.last().unwrap();
+            assert!((max - f.max_value()).abs() < f.max_value() * 1e-6, "{f}: top {max} vs c {}", f.max_value());
+        }
+    }
+
+    #[test]
+    fn quantized_values_are_exactly_enumerable() {
+        // Every quantizer output must be one of the format's representable
+        // values (bit-exactness; the kernels crate depends on this).
+        let f = FpFormat::new(2, 1);
+        let grid = f.enumerate_non_negative();
+        for i in -300..300 {
+            let x = i as f32 * 0.017;
+            let q = f.quantize_scalar(x).abs();
+            assert!(
+                grid.iter().any(|&g| (g - q).abs() < 1e-7),
+                "{x} -> {q} not on the E2M1 grid {grid:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn e2m1_full_grid() {
+        // E2M1 standard (bias 2): subnormals {0, 0.25}, binades
+        // {0.5,0.75}, {1.0,1.5}, {2.0,3.0}.
+        let f = FpFormat::new(2, 1);
+        assert_eq!(f.enumerate_non_negative(), vec![0.0, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn quantization_is_idempotent(x in -500.0f32..500.0, e in 1u32..6, m in 0u32..5) {
+            let f = FpFormat::new(e, m);
+            let q = f.quantize_scalar(x);
+            prop_assert_eq!(f.quantize_scalar(q), q);
+        }
+
+        #[test]
+        fn quantization_error_bounded_by_half_step(x in -100.0f32..100.0) {
+            let f = FpFormat::new(4, 3);
+            let q = f.quantize_scalar(x);
+            if x.abs() < f.max_value() {
+                let s = f.scale_for(x);
+                prop_assert!((q - x).abs() <= s * 0.5 + 1e-7, "err {} > step/2 {}", (q - x).abs(), s * 0.5);
+            }
+        }
+
+        #[test]
+        fn quantization_is_odd_symmetric(x in -100.0f32..100.0, e in 1u32..6, m in 0u32..5) {
+            let f = FpFormat::new(e, m);
+            prop_assert_eq!(f.quantize_scalar(-x), -f.quantize_scalar(x));
+        }
+
+        #[test]
+        fn quantization_is_monotone(a in -50.0f32..50.0, b in -50.0f32..50.0) {
+            let f = FpFormat::new(3, 4);
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(f.quantize_scalar(lo) <= f.quantize_scalar(hi));
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Uniform asymmetric integer quantization (paper §IV-A, eq. 4) — the
+//! Q-Diffusion-class baseline the floating-point method is compared
+//! against.
+
+use fpdq_tensor::Tensor;
+
+/// A calibrated uniform integer format: `b` bits, scale `s`, zero point
+/// `z`, quantizing as
+/// `x ↦ s · (clamp(⌊x/s⌉ + z; 0, 2^b - 1) - z)`.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct IntFormat {
+    bits: u32,
+    scale: f32,
+    zero_point: f32,
+}
+
+impl IntFormat {
+    /// Builds a format from an explicit `[lo, hi]` clipping range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is outside `2..=16` or the range is inverted.
+    pub fn from_range(bits: u32, lo: f32, hi: f32) -> Self {
+        assert!((2..=16).contains(&bits), "unsupported bitwidth {bits}");
+        assert!(lo <= hi, "inverted range [{lo}, {hi}]");
+        let levels = (1u32 << bits) as f32 - 1.0;
+        let span = (hi - lo).max(1e-12);
+        let scale = span / levels;
+        let zero_point = -(lo / scale).round();
+        IntFormat { bits, scale, zero_point }
+    }
+
+    /// Builds a format covering a tensor's full min/max range.
+    pub fn fit(x: &Tensor, bits: u32) -> Self {
+        Self::from_range(bits, x.min(), x.max())
+    }
+
+    /// Bit count.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Quantization step.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Zero-point offset (in integer units).
+    pub fn zero_point(&self) -> f32 {
+        self.zero_point
+    }
+
+    /// Quantizes one value per eq. (4).
+    #[inline]
+    pub fn quantize_scalar(&self, x: f32) -> f32 {
+        if x.is_nan() {
+            return self.scale * (self.zero_point.clamp(0.0, (1u32 << self.bits) as f32 - 1.0)
+                - self.zero_point);
+        }
+        let qmax = (1u32 << self.bits) as f32 - 1.0;
+        let q = ((x / self.scale).round() + self.zero_point).clamp(0.0, qmax);
+        self.scale * (q - self.zero_point)
+    }
+
+    /// Quantizes a tensor elementwise (simulated quantization).
+    pub fn quantize(&self, x: &Tensor) -> Tensor {
+        x.map(|v| self.quantize_scalar(v))
+    }
+
+    /// The representable range `[lo, hi]`.
+    pub fn range(&self) -> (f32, f32) {
+        let qmax = (1u32 << self.bits) as f32 - 1.0;
+        (self.scale * (0.0 - self.zero_point), self.scale * (qmax - self.zero_point))
+    }
+}
+
+impl std::fmt::Display for IntFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "INT{}(s={:.3e}, z={})", self.bits, self.scale, self.zero_point)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fit_covers_range_endpoints() {
+        let x = Tensor::from_vec(vec![-2.0, -1.0, 0.0, 3.0], &[4]);
+        let f = IntFormat::fit(&x, 8);
+        let (lo, hi) = f.range();
+        assert!((lo - -2.0).abs() < 0.05, "lo {lo}");
+        assert!((hi - 3.0).abs() < 0.05, "hi {hi}");
+        // Endpoints quantize near themselves.
+        assert!((f.quantize_scalar(-2.0) - -2.0).abs() < f.scale());
+        assert!((f.quantize_scalar(3.0) - 3.0).abs() < f.scale());
+    }
+
+    #[test]
+    fn int8_error_bounded_by_half_step() {
+        let x = Tensor::linspace(-1.0, 1.0, 101);
+        let f = IntFormat::fit(&x, 8);
+        let q = f.quantize(&x);
+        for (a, b) in x.data().iter().zip(q.data()) {
+            assert!((a - b).abs() <= f.scale() * 0.5 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn int4_has_16_levels() {
+        let f = IntFormat::from_range(4, -1.0, 1.0);
+        let x = Tensor::linspace(-1.2, 1.2, 1001);
+        let q = f.quantize(&x);
+        let mut distinct: Vec<f32> = q.data().to_vec();
+        distinct.sort_by(f32::total_cmp);
+        distinct.dedup();
+        assert_eq!(distinct.len(), 16);
+    }
+
+    #[test]
+    fn zero_is_exactly_representable() {
+        // Asymmetric quantization guarantees an exact zero (important for
+        // sparsity and padding semantics).
+        for (lo, hi) in [(-1.0f32, 1.0f32), (-0.3, 2.7), (0.0, 5.0), (-4.0, 0.0)] {
+            let f = IntFormat::from_range(8, lo, hi);
+            assert_eq!(f.quantize_scalar(0.0), 0.0, "range [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn degenerate_constant_tensor() {
+        let x = Tensor::full(&[4], 1.5);
+        let f = IntFormat::fit(&x, 8);
+        let q = f.quantize(&x);
+        assert!(q.data().iter().all(|v| v.is_finite()));
+        assert!((q.data()[0] - 1.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn values_outside_range_clip() {
+        let f = IntFormat::from_range(8, -1.0, 1.0);
+        let (lo, hi) = f.range();
+        assert_eq!(f.quantize_scalar(10.0), hi);
+        assert_eq!(f.quantize_scalar(-10.0), lo);
+    }
+
+    proptest! {
+        #[test]
+        fn idempotent(x in -10.0f32..10.0, bits in 2u32..9) {
+            let f = IntFormat::from_range(bits, -3.0, 5.0);
+            let q = f.quantize_scalar(x);
+            prop_assert!((f.quantize_scalar(q) - q).abs() < 1e-5);
+        }
+
+        #[test]
+        fn monotone(a in -5.0f32..5.0, b in -5.0f32..5.0) {
+            let f = IntFormat::from_range(4, -2.0, 2.0);
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(f.quantize_scalar(lo) <= f.quantize_scalar(hi));
+        }
+
+        #[test]
+        fn output_in_levels(x in -20.0f32..20.0) {
+            let f = IntFormat::from_range(8, -1.5, 2.5);
+            let q = f.quantize_scalar(x);
+            // q/scale + z must be a whole level index in [0, 255].
+            let level = q / f.scale() + f.zero_point();
+            prop_assert!((level - level.round()).abs() < 1e-3);
+            prop_assert!((-0.5..=255.5).contains(&level));
+        }
+    }
+}

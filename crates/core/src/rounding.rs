@@ -1,0 +1,428 @@
+//! Gradient-based rounding learning for low-bitwidth weights (paper §V-B,
+//! eqs. 12-14).
+//!
+//! Round-to-nearest is replaced by `Wq(α) = clamp(s·(⌊W/s⌋ + σ(α)), -c, c)`
+//! (eq. 12) where `σ` is the logistic sigmoid and `α` is optimised by
+//! gradient descent to minimise the layer's output reconstruction error
+//! (eq. 13) plus a regularizer `1 - (|σ(α) - 0.5|·2)^β` (eq. 14, β = 20)
+//! that pushes each σ(α) to a hard 0/1 rounding decision. At export, σ(α)
+//! ≥ 0.5 rounds up, otherwise down.
+//!
+//! The paper applies this only where it is needed: FP4 weights (FP8 is
+//! accurate without it, §V-B).
+
+use crate::format::FpFormat;
+use fpdq_autograd::{Adam, Param, Tape, Var};
+use fpdq_nn::{QuantKind, QuantLayer};
+use fpdq_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+/// Hyper-parameters of the rounding-learning optimisation.
+///
+/// The regularizer exponent β is *annealed* from `beta_start` (the paper's
+/// eq. 14 value of 20) down to `beta_end` over the post-warmup iterations,
+/// following AdaRound practice: at β = 20 the term `(|σ-0.5|·2)^β` is flat
+/// almost everywhere (vanishing gradient), so a fixed β = 20 cannot push
+/// undecided σ to the boundary; annealing makes the pressure progressively
+/// broader while the reconstruction term keeps choosing *which* boundary.
+#[derive(Clone, Copy, Debug)]
+pub struct RoundingConfig {
+    /// Gradient-descent iterations per layer.
+    pub iters: usize,
+    /// Adam learning rate on `α`.
+    pub lr: f32,
+    /// Weight of the boundary-pushing regularizer.
+    pub lambda: f32,
+    /// Initial regularizer sharpness (eq. 14 uses 20).
+    pub beta_start: f32,
+    /// Final regularizer sharpness.
+    pub beta_end: f32,
+    /// Calibration samples drawn per iteration (the paper uses 16
+    /// unconditional / 8 text-to-image).
+    pub batch: usize,
+    /// Fraction of iterations before the regularizer activates (lets the
+    /// reconstruction term move α freely first, as in AdaRound practice).
+    pub warmup: f32,
+}
+
+impl Default for RoundingConfig {
+    fn default() -> Self {
+        RoundingConfig {
+            iters: 250,
+            lr: 2e-2,
+            lambda: 0.02,
+            beta_start: 20.0,
+            beta_end: 2.0,
+            batch: 8,
+            warmup: 0.2,
+        }
+    }
+}
+
+impl RoundingConfig {
+    /// The annealed β at iteration `it`.
+    pub fn beta_at(&self, it: usize) -> f32 {
+        let warmup_iters = (self.iters as f32 * self.warmup) as usize;
+        if it < warmup_iters || self.iters <= warmup_iters + 1 {
+            return self.beta_start;
+        }
+        let p = (it - warmup_iters) as f32 / (self.iters - warmup_iters - 1).max(1) as f32;
+        self.beta_start + (self.beta_end - self.beta_start) * p
+    }
+}
+
+/// The regularizer of eq. (14): `1 - (|σ - 0.5|·2)^β`, minimised when
+/// `σ ∈ {0, 1}` (see paper Fig. 6).
+pub fn regularizer(sigma: f32, beta: f32) -> f32 {
+    1.0 - ((sigma - 0.5).abs() * 2.0).powf(beta)
+}
+
+/// Result of learning one layer's rounding.
+#[derive(Clone, Debug)]
+pub struct RoundingOutcome {
+    /// The final hard-rounded quantized weight.
+    pub weight: Tensor,
+    /// Output-MSE of plain round-to-nearest quantization.
+    pub rtn_mse: f32,
+    /// Output-MSE of the learned rounding.
+    pub learned_mse: f32,
+    /// Fraction of elements whose rounding decision changed vs RTN.
+    pub flipped: f32,
+}
+
+/// Stacks per-sample captures into a batch and (for linear layers over
+/// sequences) flattens to 2-D.
+fn stack_inputs(inputs: &[&Tensor], kind: QuantKind) -> Tensor {
+    let refs: Vec<&Tensor> = inputs.to_vec();
+    let x = Tensor::concat(&refs, 0);
+    match (kind, x.ndim()) {
+        (QuantKind::Linear, 3) => {
+            let (b, l, d) = (x.dim(0), x.dim(1), x.dim(2));
+            x.reshape(&[b * l, d])
+        }
+        _ => x,
+    }
+}
+
+/// Applies a layer with an explicit weight on the autograd tape.
+fn apply_layer_var<'t>(
+    layer: &dyn QuantLayer,
+    tape: &'t Tape,
+    x: Var<'t>,
+    w: Var<'t>,
+) -> Var<'t> {
+    match layer.kind() {
+        QuantKind::Conv => {
+            let bias = layer.bias().map(|b| tape.constant(b.value()));
+            x.conv2d(w, bias, layer.conv_spec().expect("conv layer must have a spec"))
+        }
+        QuantKind::Linear => {
+            let mut y = x.matmul_nt(w);
+            if let Some(b) = layer.bias() {
+                y = y.add(tape.constant(b.value()));
+            }
+            y
+        }
+    }
+}
+
+/// Learns the rounding of one layer's weights (paper §V-B).
+///
+/// * `format` — the searched FP format (scale grid is frozen from it).
+/// * `inputs` — captured inputs to this layer in the partially quantized
+///   model (`x̂`), one `[1, ...]` tensor per calibration point.
+/// * `ref_inputs` — matching inputs in the full-precision model (`x`);
+///   the optimisation target is the FP32 layer output on these.
+///
+/// Returns the hard-rounded weight plus before/after reconstruction MSE.
+///
+/// # Panics
+///
+/// Panics if the input lists are empty or their lengths differ.
+pub fn learn_rounding(
+    layer: &dyn QuantLayer,
+    format: FpFormat,
+    inputs: &[Tensor],
+    ref_inputs: &[Tensor],
+    cfg: &RoundingConfig,
+    rng: &mut StdRng,
+) -> RoundingOutcome {
+    assert!(!inputs.is_empty(), "rounding learning needs calibration inputs");
+    assert_eq!(inputs.len(), ref_inputs.len(), "input/reference count mismatch");
+    let w = layer.weight().value();
+    let wdims = w.dims().to_vec();
+    let c = format.max_value();
+    let clipped = w.clamp(-c, c);
+    let scales = clipped.map(|v| format.scale_for(v));
+    let floorw = clipped.div(&scales).map(f32::floor);
+    let frac = clipped.div(&scales).sub(&floorw);
+
+    // σ(α₀) = frac ⇒ rounding starts at (soft) round-to-nearest.
+    let alpha0 = frac.map(|p| {
+        let p = p.clamp(0.01, 0.99);
+        (p / (1.0 - p)).ln()
+    });
+    let alpha = Param::new(alpha0);
+    let mut opt = Adam::with_lr(cfg.lr);
+
+    // Reference outputs: FP32 weights on FP32 inputs.
+    let ref_outputs: Vec<Tensor> =
+        ref_inputs.iter().map(|x| layer.forward_with_weight(x, &w)).collect();
+
+    // RTN baseline for reporting.
+    let rtn = format.quantize(&w);
+    let rtn_mse = reconstruction_mse(layer, &rtn, inputs, &ref_outputs);
+
+    let warmup_iters = (cfg.iters as f32 * cfg.warmup) as usize;
+    let mut order: Vec<usize> = (0..inputs.len()).collect();
+    for it in 0..cfg.iters {
+        order.shuffle(rng);
+        let take = cfg.batch.min(order.len());
+        let picked = &order[..take];
+        let xb: Vec<&Tensor> = picked.iter().map(|&i| &inputs[i]).collect();
+        let yb: Vec<&Tensor> = picked.iter().map(|&i| &ref_outputs[i]).collect();
+        let x = stack_inputs(&xb, layer.kind());
+        let mut y_ref = Tensor::concat(&yb, 0);
+        if layer.kind() == QuantKind::Linear && y_ref.ndim() == 3 {
+            let (b, l, d) = (y_ref.dim(0), y_ref.dim(1), y_ref.dim(2));
+            y_ref = y_ref.reshape(&[b * l, d]);
+        }
+
+        let tape = Tape::new();
+        let a = tape.param(&alpha);
+        let sig = a.sigmoid();
+        // eq. (12): clamp(s · (⌊W/s⌋ + σ(α)), -c, c)
+        let wq = sig
+            .add(tape.constant(floorw.clone()))
+            .mul(tape.constant(scales.clone()))
+            .clamp(-c, c)
+            .reshape(&wdims);
+        let y = apply_layer_var(layer, &tape, tape.constant(x), wq);
+        let recon = y.mse_loss(tape.constant(y_ref));
+        let loss = if it >= warmup_iters {
+            // eq. (14) regularizer (annealed β), mean over elements.
+            let reg = sig
+                .add_scalar(-0.5)
+                .abs()
+                .mul_scalar(2.0)
+                .powf(cfg.beta_at(it))
+                .neg()
+                .add_scalar(1.0)
+                .mean();
+            recon.add(reg.mul_scalar(cfg.lambda))
+        } else {
+            recon
+        };
+        let grads = tape.backward(loss);
+        opt.step(&[alpha.clone()], &grads);
+    }
+
+    // Export: hard rounding decisions (σ ≥ 0.5 rounds up).
+    let sig = alpha.value().sigmoid();
+    let up = sig.map(|p| if p >= 0.5 { 1.0 } else { 0.0 });
+    let learned = floorw.add(&up).mul(&scales).clamp(-c, c);
+    let learned_mse = reconstruction_mse(layer, &learned, inputs, &ref_outputs);
+    let flipped = learned
+        .data()
+        .iter()
+        .zip(rtn.data().iter())
+        .filter(|(a, b)| (*a - *b).abs() > 1e-12)
+        .count() as f32
+        / learned.numel() as f32;
+    RoundingOutcome { weight: learned, rtn_mse, learned_mse, flipped }
+}
+
+/// Mean reconstruction MSE of a candidate weight over the calibration set.
+pub fn reconstruction_mse(
+    layer: &dyn QuantLayer,
+    weight: &Tensor,
+    inputs: &[Tensor],
+    ref_outputs: &[Tensor],
+) -> f32 {
+    let mut sum = 0.0f64;
+    for (x, y_ref) in inputs.iter().zip(ref_outputs) {
+        let y = layer.forward_with_weight(x, weight);
+        sum += y.mse(y_ref) as f64;
+    }
+    (sum / inputs.len().max(1) as f64) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::search_fp_format;
+    use crate::TensorQuantizer;
+    use fpdq_nn::{Conv2d, Linear};
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn regularizer_shape_matches_fig6() {
+        // Zero at the boundaries, maximal at σ = 0.5, symmetric.
+        assert!(regularizer(0.0, 20.0).abs() < 1e-6);
+        assert!(regularizer(1.0, 20.0).abs() < 1e-6);
+        assert!((regularizer(0.5, 20.0) - 1.0).abs() < 1e-6);
+        assert!((regularizer(0.3, 20.0) - regularizer(0.7, 20.0)).abs() < 1e-6);
+        // At β = 20 the bowl is extremely flat: still ≈1 even at σ = 0.9,
+        // only collapsing right at the boundary — which is exactly why
+        // β is annealed during learning.
+        assert!(regularizer(0.9, 20.0) > 0.98);
+        assert!(regularizer(0.999, 20.0) < 0.1);
+        // At β = 2 the pressure is broad.
+        assert!(regularizer(0.7, 2.0) < 0.9);
+    }
+
+    fn searched_fp4(w: &Tensor) -> FpFormat {
+        match search_fp_format(&[w], 4, 41).quantizer {
+            TensorQuantizer::Fp(f) => f,
+            TensorQuantizer::Int(_) => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn learned_rounding_beats_round_to_nearest_on_conv() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let conv = Conv2d::new("c", 4, 4, 3, 1, 1, &mut rng);
+        let fmt = searched_fp4(&conv.weight.value());
+        let inputs: Vec<Tensor> =
+            (0..24).map(|_| Tensor::randn(&[1, 4, 6, 6], &mut rng)).collect();
+        let cfg = RoundingConfig { iters: 120, batch: 6, ..RoundingConfig::default() };
+        let out = learn_rounding(&conv, fmt, &inputs, &inputs, &cfg, &mut rng);
+        assert!(
+            out.learned_mse < out.rtn_mse,
+            "learned {:.4e} must beat RTN {:.4e}",
+            out.learned_mse,
+            out.rtn_mse
+        );
+        assert!(out.flipped > 0.0, "no rounding decisions changed");
+    }
+
+    #[test]
+    fn learned_rounding_beats_rtn_on_linear_3d() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let lin = Linear::new("l", 8, 8, &mut rng);
+        let fmt = searched_fp4(&lin.weight.value());
+        let inputs: Vec<Tensor> = (0..24).map(|_| Tensor::randn(&[1, 5, 8], &mut rng)).collect();
+        let cfg = RoundingConfig { iters: 120, batch: 6, ..RoundingConfig::default() };
+        let out = learn_rounding(&lin, fmt, &inputs, &inputs, &cfg, &mut rng);
+        assert!(out.learned_mse < out.rtn_mse, "{} vs {}", out.learned_mse, out.rtn_mse);
+    }
+
+    #[test]
+    fn exported_weights_are_on_the_format_grid() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let conv = Conv2d::new("c", 2, 2, 3, 1, 1, &mut rng);
+        let fmt = searched_fp4(&conv.weight.value());
+        let inputs: Vec<Tensor> = (0..8).map(|_| Tensor::randn(&[1, 2, 4, 4], &mut rng)).collect();
+        let cfg = RoundingConfig { iters: 30, batch: 4, ..RoundingConfig::default() };
+        let out = learn_rounding(&conv, fmt, &inputs, &inputs, &cfg, &mut rng);
+        for &v in out.weight.data() {
+            let requantized = fmt.quantize_scalar(v);
+            assert!(
+                (requantized - v).abs() < 1e-6,
+                "learned weight {v} is not representable in {fmt}"
+            );
+        }
+    }
+
+    #[test]
+    fn annealed_regularizer_drives_sigmas_to_hard_decisions() {
+        // Start a synthetic α mid-range and descend on the *annealed*
+        // regularizer alone: nearly every σ must commit to a boundary.
+        let mut rng = StdRng::seed_from_u64(3);
+        let alpha = Param::new(Tensor::rand_uniform(&[64], -1.0, 1.0, &mut rng));
+        let cfg = RoundingConfig { iters: 300, warmup: 0.0, ..RoundingConfig::default() };
+        let mut opt = Adam::with_lr(0.05);
+        for it in 0..cfg.iters {
+            let tape = Tape::new();
+            let a = tape.param(&alpha);
+            let reg = a
+                .sigmoid()
+                .add_scalar(-0.5)
+                .abs()
+                .mul_scalar(2.0)
+                .powf(cfg.beta_at(it))
+                .neg()
+                .add_scalar(1.0)
+                .mean();
+            let grads = tape.backward(reg);
+            opt.step(&[alpha.clone()], &grads);
+        }
+        let sig = alpha.value().sigmoid();
+        let undecided = sig.data().iter().filter(|&&s| s > 0.05 && s < 0.95).count();
+        assert!(
+            undecided <= 4,
+            "{undecided}/64 sigmas still undecided: {:?}",
+            &sig.data()[..8]
+        );
+    }
+
+    #[test]
+    fn beta_anneals_from_start_to_end_after_warmup() {
+        let cfg = RoundingConfig { iters: 100, warmup: 0.2, ..RoundingConfig::default() };
+        assert_eq!(cfg.beta_at(0), 20.0);
+        assert_eq!(cfg.beta_at(19), 20.0); // still in warmup
+        assert_eq!(cfg.beta_at(20), 20.0); // annealing starts here
+        assert!((cfg.beta_at(99) - 2.0).abs() < 1e-5);
+        let mid = cfg.beta_at(60);
+        assert!(mid < 20.0 && mid > 2.0, "mid-anneal beta {mid}");
+    }
+
+    #[test]
+    fn rounding_learning_repairs_adversarial_inputs() {
+        // Construct a case where RTN is provably suboptimal: inputs that
+        // strongly weight one column make per-output reconstruction prefer
+        // rounding that column's weights *away* from nearest.
+        let mut rng = StdRng::seed_from_u64(4);
+        let lin = Linear::new("l", 4, 2, &mut rng);
+        let fmt = searched_fp4(&lin.weight.value());
+        let inputs: Vec<Tensor> = (0..20)
+            .map(|_| {
+                let mut x = Tensor::randn(&[1, 4], &mut rng);
+                x.data_mut()[0] *= 10.0; // dominant feature
+                x
+            })
+            .collect();
+        let cfg = RoundingConfig { iters: 150, batch: 8, ..RoundingConfig::default() };
+        let out = learn_rounding(&lin, fmt, &inputs, &inputs, &cfg, &mut rng);
+        assert!(out.learned_mse <= out.rtn_mse * 1.001);
+    }
+
+    #[test]
+    #[should_panic(expected = "calibration inputs")]
+    fn empty_calibration_panics() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let lin = Linear::new("l", 2, 2, &mut rng);
+        let fmt = FpFormat::new(2, 1);
+        learn_rounding(&lin, fmt, &[], &[], &RoundingConfig::default(), &mut rng);
+    }
+
+    #[test]
+    fn respects_reference_vs_quantized_input_split() {
+        // When x̂ differs from x, the objective targets W·x, not W·x̂:
+        // passing clean references must not panic and must return finite
+        // results.
+        let mut rng = StdRng::seed_from_u64(6);
+        let lin = Linear::new("l", 4, 4, &mut rng);
+        let fmt = searched_fp4(&lin.weight.value());
+        let clean: Vec<Tensor> = (0..10).map(|_| Tensor::randn(&[1, 4], &mut rng)).collect();
+        let noisy: Vec<Tensor> = clean
+            .iter()
+            .map(|x| x.add(&Tensor::randn(&[1, 4], &mut rng).mul_scalar(0.05)))
+            .collect();
+        let cfg = RoundingConfig { iters: 60, batch: 4, ..RoundingConfig::default() };
+        let out = learn_rounding(&lin, fmt, &noisy, &clean, &cfg, &mut rng);
+        assert!(out.learned_mse.is_finite() && out.rtn_mse.is_finite());
+    }
+
+    #[allow(unused_imports)]
+    use fpdq_autograd::{Param, Tape};
+
+    // Silence the unused-import lint for Rng (used via SliceRandom's
+    // internals in some rustc versions).
+    #[allow(dead_code)]
+    fn _rng_used(r: &mut StdRng) -> f32 {
+        r.gen()
+    }
+}

@@ -1,0 +1,132 @@
+//! `TinyBedrooms`: a procedural "room scene" distribution standing in for
+//! LSUN-Bedrooms (the paper's unconditional LDM dataset, Tables I/III and
+//! Figure 7).
+//!
+//! Every sample is a 16×16 room: a wall with a window, a floor, a bed with
+//! a headboard and blanket, and optionally a side table — with continuous
+//! jitter in geometry and lighting, giving a structured but diverse
+//! distribution.
+
+use crate::draw::{shade, Canvas};
+use crate::{jitter, Dataset};
+use fpdq_tensor::Tensor;
+use rand::Rng;
+
+const WALL_TONES: [[f32; 3]; 4] = [
+    [0.55, 0.45, 0.30],  // warm beige
+    [0.35, 0.45, 0.60],  // cool blue-grey
+    [0.45, 0.55, 0.40],  // sage
+    [0.55, 0.35, 0.35],  // terracotta
+];
+
+const BLANKET_COLORS: [[f32; 3]; 5] = [
+    [0.8, -0.4, -0.4],
+    [-0.4, -0.2, 0.8],
+    [-0.2, 0.7, -0.2],
+    [0.8, 0.6, -0.5],
+    [0.6, -0.3, 0.7],
+];
+
+/// The procedural bedroom-scene dataset (16×16 images).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TinyBedrooms {
+    _priv: (),
+}
+
+impl TinyBedrooms {
+    /// Creates the dataset.
+    pub fn new() -> Self {
+        TinyBedrooms { _priv: () }
+    }
+}
+
+impl Dataset for TinyBedrooms {
+    fn size(&self) -> usize {
+        16
+    }
+
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> Tensor {
+        let light = rng.gen_range(0.6..1.1);
+        let wall = shade(WALL_TONES[rng.gen_range(0..WALL_TONES.len())], light);
+        let floor = shade([0.35, 0.22, 0.10], light * rng.gen_range(0.8..1.2));
+        let blanket = BLANKET_COLORS[rng.gen_range(0..BLANKET_COLORS.len())];
+
+        let mut c = Canvas::new(16, wall);
+        // Floor: bottom band with jittered horizon.
+        let horizon = 0.55 + jitter(rng, 0.08);
+        c.rect(0.0, horizon, 1.0, 1.0, floor);
+
+        // Window on the wall: bright square with dark frame.
+        let wx = rng.gen_range(0.08..0.55);
+        let ww = rng.gen_range(0.18..0.3);
+        let wy = 0.08 + jitter(rng, 0.05);
+        let glow = shade([0.9, 0.9, 0.7], light);
+        c.rect(wx - 0.03, wy - 0.03, wx + ww + 0.03, wy + ww + 0.03, shade(wall, 0.5));
+        c.rect(wx, wy, wx + ww, wy + ww, glow);
+
+        // Bed: body on the floor, headboard against the wall, pillow.
+        let bx = rng.gen_range(0.3..0.55);
+        let bw = rng.gen_range(0.35..0.45);
+        let bed_top = horizon - 0.08 + jitter(rng, 0.03);
+        let frame = shade([0.30, 0.18, 0.08], light);
+        c.rect(bx - 0.04, bed_top - 0.18, bx + 0.02, bed_top, frame); // headboard
+        c.rect(bx, bed_top, bx + bw, 0.95, shade(blanket, light)); // blanket
+        c.rect(bx + 0.02, bed_top, bx + bw * 0.4, bed_top + 0.12, shade([0.9, 0.9, 0.9], light)); // pillow
+
+        // Optional side table.
+        if rng.gen_bool(0.6) {
+            let tx = if bx > 0.45 { rng.gen_range(0.08..0.2) } else { rng.gen_range(0.78..0.88) };
+            c.rect(tx, horizon - 0.12, tx + 0.1, horizon + 0.15, frame);
+        }
+        c.into_tensor()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_shape_and_range() {
+        let ds = TinyBedrooms::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let img = ds.sample(&mut rng);
+        assert_eq!(img.dims(), &[3, 16, 16]);
+        assert!(img.min() >= -1.0 && img.max() <= 1.0);
+    }
+
+    #[test]
+    fn scenes_are_diverse() {
+        let ds = TinyBedrooms::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = ds.sample(&mut rng);
+        let b = ds.sample(&mut rng);
+        assert!(a.mse(&b) > 1e-3, "two consecutive scenes identical");
+    }
+
+    #[test]
+    fn floor_is_below_wall_on_average() {
+        let ds = TinyBedrooms::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let batch = ds.batch(32, &mut rng);
+        // Average blue channel: wall tones have more blue than the brown floor.
+        let top = batch.narrow(2, 0, 3).mean_axis(0);
+        let bottom = batch.narrow(2, 13, 3).mean_axis(0);
+        let top_blue = top.narrow(0, 2, 1).mean();
+        let bottom_blue = bottom.narrow(0, 2, 1).mean();
+        assert!(
+            top_blue > bottom_blue,
+            "expected bluer walls above brown floor: {top_blue} vs {bottom_blue}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ds = TinyBedrooms::new();
+        let a = ds.sample(&mut StdRng::seed_from_u64(5));
+        let b = ds.sample(&mut StdRng::seed_from_u64(5));
+        assert_eq!(a.data(), b.data());
+    }
+}

@@ -1,0 +1,226 @@
+//! A tiny float RGB canvas with the drawing primitives the procedural
+//! datasets are built from.
+
+use fpdq_tensor::Tensor;
+
+/// An RGB drawing surface with values in `[-1, 1]`.
+///
+/// Coordinates are fractional: `(0.0, 0.0)` is the top-left corner and
+/// `(1.0, 1.0)` the bottom-right, so scenes are resolution-independent.
+#[derive(Clone, Debug)]
+pub struct Canvas {
+    size: usize,
+    data: Vec<f32>, // [3, size, size]
+}
+
+impl Canvas {
+    /// Creates a canvas filled with a background color.
+    pub fn new(size: usize, background: [f32; 3]) -> Self {
+        let mut data = vec![0.0f32; 3 * size * size];
+        for c in 0..3 {
+            data[c * size * size..(c + 1) * size * size].fill(background[c]);
+        }
+        Canvas { size, data }
+    }
+
+    /// Canvas spatial extent.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Converts into a `[3, size, size]` tensor clamped to `[-1, 1]`.
+    pub fn into_tensor(self) -> Tensor {
+        let size = self.size;
+        Tensor::from_vec(self.data, &[3, size, size]).clamp(-1.0, 1.0)
+    }
+
+    fn put(&mut self, x: usize, y: usize, color: [f32; 3]) {
+        if x < self.size && y < self.size {
+            let hw = self.size * self.size;
+            for c in 0..3 {
+                self.data[c * hw + y * self.size + x] = color[c];
+            }
+        }
+    }
+
+    fn to_px(&self, v: f32) -> isize {
+        (v * self.size as f32).round() as isize
+    }
+
+    /// Fills the axis-aligned rectangle `[x0, x1) × [y0, y1)` (fractions).
+    pub fn rect(&mut self, x0: f32, y0: f32, x1: f32, y1: f32, color: [f32; 3]) {
+        let (px0, py0) = (self.to_px(x0).max(0), self.to_px(y0).max(0));
+        let (px1, py1) = (self.to_px(x1), self.to_px(y1));
+        for y in py0..py1.min(self.size as isize) {
+            for x in px0..px1.min(self.size as isize) {
+                self.put(x as usize, y as usize, color);
+            }
+        }
+    }
+
+    /// Fills a disc centred at `(cx, cy)` with radius `r` (fractions).
+    pub fn disc(&mut self, cx: f32, cy: f32, r: f32, color: [f32; 3]) {
+        let s = self.size as f32;
+        let (pcx, pcy, pr) = (cx * s, cy * s, r * s);
+        for y in 0..self.size {
+            for x in 0..self.size {
+                let dx = x as f32 + 0.5 - pcx;
+                let dy = y as f32 + 0.5 - pcy;
+                if dx * dx + dy * dy <= pr * pr {
+                    self.put(x, y, color);
+                }
+            }
+        }
+    }
+
+    /// Draws an annulus (ring) centred at `(cx, cy)`.
+    pub fn ring(&mut self, cx: f32, cy: f32, r_outer: f32, r_inner: f32, color: [f32; 3]) {
+        let s = self.size as f32;
+        let (pcx, pcy) = (cx * s, cy * s);
+        let (ro, ri) = (r_outer * s, r_inner * s);
+        for y in 0..self.size {
+            for x in 0..self.size {
+                let dx = x as f32 + 0.5 - pcx;
+                let dy = y as f32 + 0.5 - pcy;
+                let d2 = dx * dx + dy * dy;
+                if d2 <= ro * ro && d2 >= ri * ri {
+                    self.put(x, y, color);
+                }
+            }
+        }
+    }
+
+    /// Alternating stripes of `period` pixels; vertical when `vertical`.
+    pub fn stripes(&mut self, period: usize, vertical: bool, a: [f32; 3], b: [f32; 3]) {
+        let period = period.max(1);
+        for y in 0..self.size {
+            for x in 0..self.size {
+                let k = if vertical { x } else { y };
+                self.put(x, y, if (k / period) % 2 == 0 { a } else { b });
+            }
+        }
+    }
+
+    /// Checkerboard with `cell`-pixel cells.
+    pub fn checker(&mut self, cell: usize, a: [f32; 3], b: [f32; 3]) {
+        let cell = cell.max(1);
+        for y in 0..self.size {
+            for x in 0..self.size {
+                self.put(x, y, if ((x / cell) + (y / cell)) % 2 == 0 { a } else { b });
+            }
+        }
+    }
+
+    /// A `+`-shaped cross centred at `(cx, cy)` with arm half-length `r`
+    /// and thickness `t` (fractions).
+    pub fn cross(&mut self, cx: f32, cy: f32, r: f32, t: f32, color: [f32; 3]) {
+        self.rect(cx - r, cy - t, cx + r, cy + t, color);
+        self.rect(cx - t, cy - r, cx + t, cy + r, color);
+    }
+
+    /// Vertical linear gradient between two colors.
+    pub fn vgradient(&mut self, top: [f32; 3], bottom: [f32; 3]) {
+        for y in 0..self.size {
+            let t = y as f32 / (self.size - 1).max(1) as f32;
+            let color = [
+                top[0] + (bottom[0] - top[0]) * t,
+                top[1] + (bottom[1] - top[1]) * t,
+                top[2] + (bottom[2] - top[2]) * t,
+            ];
+            for x in 0..self.size {
+                self.put(x, y, color);
+            }
+        }
+    }
+}
+
+/// Scales an RGB color by a brightness factor (stays in `[-1, 1]` after
+/// canvas clamping).
+pub fn shade(color: [f32; 3], brightness: f32) -> [f32; 3] {
+    [color[0] * brightness, color[1] * brightness, color[2] * brightness]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn background_fill() {
+        let c = Canvas::new(4, [0.5, -0.5, 1.0]);
+        let t = c.into_tensor();
+        assert_eq!(t.dims(), &[3, 4, 4]);
+        assert_eq!(t.at(&[0, 2, 2]), 0.5);
+        assert_eq!(t.at(&[1, 0, 0]), -0.5);
+        assert_eq!(t.at(&[2, 3, 3]), 1.0);
+    }
+
+    #[test]
+    fn rect_covers_expected_pixels() {
+        let mut c = Canvas::new(8, [0.0; 3]);
+        c.rect(0.25, 0.25, 0.75, 0.5, [1.0, 1.0, 1.0]);
+        let t = c.into_tensor();
+        assert_eq!(t.at(&[0, 2, 2]), 1.0); // inside
+        assert_eq!(t.at(&[0, 2, 1]), 0.0); // left of rect
+        assert_eq!(t.at(&[0, 4, 4]), 0.0); // below rect
+    }
+
+    #[test]
+    fn disc_is_roughly_circular() {
+        let mut c = Canvas::new(16, [-1.0; 3]);
+        c.disc(0.5, 0.5, 0.25, [1.0; 3]);
+        let t = c.into_tensor();
+        assert_eq!(t.at(&[0, 8, 8]), 1.0); // centre
+        assert_eq!(t.at(&[0, 0, 0]), -1.0); // corner
+        // Area of a r=4px disc ≈ 50 px.
+        let lit = t.data()[..256].iter().filter(|&&v| v > 0.0).count();
+        assert!((30..80).contains(&lit), "{lit} pixels lit");
+    }
+
+    #[test]
+    fn ring_has_hole() {
+        let mut c = Canvas::new(16, [-1.0; 3]);
+        c.ring(0.5, 0.5, 0.4, 0.25, [1.0; 3]);
+        let t = c.into_tensor();
+        assert_eq!(t.at(&[0, 8, 8]), -1.0); // hole
+        assert_eq!(t.at(&[0, 8, 13]), 1.0); // ring body
+    }
+
+    #[test]
+    fn stripes_alternate() {
+        let mut c = Canvas::new(8, [0.0; 3]);
+        c.stripes(2, true, [1.0; 3], [-1.0; 3]);
+        let t = c.into_tensor();
+        assert_eq!(t.at(&[0, 0, 0]), 1.0);
+        assert_eq!(t.at(&[0, 0, 2]), -1.0);
+        assert_eq!(t.at(&[0, 0, 4]), 1.0);
+    }
+
+    #[test]
+    fn checker_alternates_both_axes() {
+        let mut c = Canvas::new(4, [0.0; 3]);
+        c.checker(1, [1.0; 3], [-1.0; 3]);
+        let t = c.into_tensor();
+        assert_eq!(t.at(&[0, 0, 0]), 1.0);
+        assert_eq!(t.at(&[0, 0, 1]), -1.0);
+        assert_eq!(t.at(&[0, 1, 0]), -1.0);
+        assert_eq!(t.at(&[0, 1, 1]), 1.0);
+    }
+
+    #[test]
+    fn out_of_bounds_drawing_is_clipped() {
+        let mut c = Canvas::new(4, [0.0; 3]);
+        c.rect(-0.5, -0.5, 2.0, 2.0, [1.0; 3]);
+        let t = c.into_tensor();
+        assert!(t.data().iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn gradient_monotonic() {
+        let mut c = Canvas::new(8, [0.0; 3]);
+        c.vgradient([-1.0; 3], [1.0; 3]);
+        let t = c.into_tensor();
+        for y in 1..8 {
+            assert!(t.at(&[0, y, 3]) > t.at(&[0, y - 1, 3]));
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! # fpdq-data
+//!
+//! Procedural synthetic image distributions standing in for the paper's
+//! datasets, plus the caption grammar and tokenizer for text-to-image:
+//!
+//! | Paper dataset | Here | Used by |
+//! |---|---|---|
+//! | CIFAR-10 32×32 | [`TinyCifar`]: 10 classes of 8×8 geometric textures | DDIM-sim (Table II) |
+//! | LSUN-Bedrooms 256×256 | [`TinyBedrooms`]: 16×16 procedural room scenes | LDM-sim (Tables I/III, Fig. 7) |
+//! | LAION-5B / MS-COCO captions | [`CaptionedScenes`]: attribute-grammar scenes with deterministic captions | SD-sim / SDXL-sim (Tables IV/V, Figs. 8-10) |
+//!
+//! All sampling is deterministic given a seeded RNG, which the paper's
+//! evaluation methodology (fixed seeds across compared runs, §VI-C)
+//! requires. Images are `[3, h, w]` `f32` tensors in `[-1, 1]`.
+//!
+//! # Example
+//!
+//! ```
+//! use fpdq_data::{Dataset, TinyCifar};
+//! use rand::SeedableRng;
+//! let ds = TinyCifar::new();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let img = ds.sample(&mut rng);
+//! assert_eq!(img.dims(), &[3, 8, 8]);
+//! ```
+
+pub mod bedrooms;
+pub mod cifar;
+pub mod draw;
+pub mod ppm;
+pub mod scenes;
+pub mod tokenizer;
+
+pub use bedrooms::TinyBedrooms;
+pub use cifar::TinyCifar;
+pub use draw::Canvas;
+pub use ppm::save_ppm;
+pub use scenes::{CaptionedScenes, ColorName, ObjectKind, PlaceKind, SceneSpec};
+pub use tokenizer::Tokenizer;
+
+use fpdq_tensor::Tensor;
+use rand::Rng;
+
+/// A synthetic image distribution.
+pub trait Dataset {
+    /// Spatial size (images are square `[3, size, size]`).
+    fn size(&self) -> usize;
+
+    /// Draws one image.
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> Tensor;
+
+    /// Draws a `[n, 3, size, size]` batch.
+    fn batch(&self, n: usize, rng: &mut dyn rand::RngCore) -> Tensor {
+        let imgs: Vec<Tensor> = (0..n).map(|_| self.sample(rng)).collect();
+        let refs: Vec<&Tensor> = imgs.iter().collect();
+        Tensor::stack(&refs)
+    }
+}
+
+/// Uniform jitter helper in `[-amount, amount]`.
+pub(crate) fn jitter(rng: &mut dyn rand::RngCore, amount: f32) -> f32 {
+    rng.gen_range(-amount..=amount)
+}

@@ -1,0 +1,100 @@
+//! PPM image export for the qualitative figures (paper Figs. 7-9).
+
+use fpdq_tensor::Tensor;
+use std::io::Write;
+use std::path::Path;
+
+/// Writes a `[3, h, w]` tensor in `[-1, 1]` as a binary PPM (P6) file,
+/// upscaled by `scale` with nearest-neighbour so 16×16 samples are
+/// viewable.
+///
+/// # Errors
+///
+/// Returns filesystem errors from writing.
+///
+/// # Panics
+///
+/// Panics if the tensor is not `[3, h, w]` or `scale` is zero.
+pub fn save_ppm(img: &Tensor, path: impl AsRef<Path>, scale: usize) -> std::io::Result<()> {
+    assert_eq!(img.ndim(), 3, "save_ppm expects [3, h, w]");
+    assert_eq!(img.dim(0), 3, "save_ppm expects 3 channels");
+    assert!(scale >= 1, "scale must be >= 1");
+    let (h, w) = (img.dim(1), img.dim(2));
+    let (oh, ow) = (h * scale, w * scale);
+    let mut f = std::fs::File::create(path)?;
+    write!(f, "P6\n{ow} {oh}\n255\n")?;
+    let mut row = Vec::with_capacity(ow * 3);
+    for y in 0..oh {
+        row.clear();
+        for x in 0..ow {
+            for c in 0..3 {
+                let v = img.at(&[c, y / scale, x / scale]);
+                let byte = (((v + 1.0) / 2.0).clamp(0.0, 1.0) * 255.0).round() as u8;
+                row.push(byte);
+            }
+        }
+        f.write_all(&row)?;
+    }
+    Ok(())
+}
+
+/// Arranges equally sized `[3, h, w]` images into a `[3, H, W]` grid tensor
+/// with a 1-pixel black gutter (for contact sheets).
+///
+/// # Panics
+///
+/// Panics if `images` is empty or shapes differ.
+pub fn image_grid(images: &[Tensor], cols: usize) -> Tensor {
+    assert!(!images.is_empty(), "image_grid of zero images");
+    let (h, w) = (images[0].dim(1), images[0].dim(2));
+    let cols = cols.max(1);
+    let rows = images.len().div_ceil(cols);
+    let (gh, gw) = (rows * (h + 1) - 1, cols * (w + 1) - 1);
+    let mut out = Tensor::full(&[3, gh, gw], -1.0);
+    for (i, img) in images.iter().enumerate() {
+        assert_eq!(img.dims(), images[0].dims(), "image_grid shape mismatch");
+        let (r, c) = (i / cols, i % cols);
+        let (oy, ox) = (r * (h + 1), c * (w + 1));
+        for ch in 0..3 {
+            for y in 0..h {
+                for x in 0..w {
+                    out.set(&[ch, oy + y, ox + x], img.at(&[ch, y, x]));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_valid_ppm_header_and_size() {
+        let dir = std::env::temp_dir().join("fpdq-ppm-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("test.ppm");
+        let img = Tensor::zeros(&[3, 4, 5]);
+        save_ppm(&img, &path, 2).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let header = String::from_utf8_lossy(&bytes[..15]);
+        assert!(header.starts_with("P6\n10 8\n255\n"), "header: {header:?}");
+        // 10*8 pixels * 3 bytes after the 12-byte header.
+        assert_eq!(bytes.len(), 12 + 240);
+        // Value 0.0 in [-1,1] maps to 128.
+        assert_eq!(bytes[12], 128);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn grid_layout() {
+        let a = Tensor::full(&[3, 2, 2], 1.0);
+        let b = Tensor::full(&[3, 2, 2], 0.0);
+        let g = image_grid(&[a, b], 2);
+        assert_eq!(g.dims(), &[3, 2, 5]);
+        assert_eq!(g.at(&[0, 0, 0]), 1.0); // first image
+        assert_eq!(g.at(&[0, 0, 2]), -1.0); // gutter
+        assert_eq!(g.at(&[0, 0, 3]), 0.0); // second image
+    }
+}

@@ -1,0 +1,345 @@
+//! `CaptionedScenes`: the text-to-image dataset — an attribute grammar of
+//! scenes with deterministic captions, standing in for the captioned
+//! LAION-5B / MS-COCO data of the paper's Stable-Diffusion experiments
+//! (Tables IV/V, Figures 8-10).
+//!
+//! The grammar is `"a {color} {object} in a {place} room"`; the image
+//! renders exactly those attributes (plus caption-irrelevant jitter in
+//! position and size). Because captions map deterministically onto visual
+//! attributes, a CLIP-style prompt/image agreement score can be computed
+//! exactly (`fpdq-metrics`).
+
+use crate::draw::{shade, Canvas};
+use crate::{jitter, Dataset};
+use fpdq_tensor::Tensor;
+use rand::Rng;
+
+/// Object colors in the caption grammar.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum ColorName {
+    /// Red.
+    Red,
+    /// Green.
+    Green,
+    /// Blue.
+    Blue,
+    /// Yellow.
+    Yellow,
+    /// Magenta.
+    Magenta,
+    /// Cyan.
+    Cyan,
+}
+
+impl ColorName {
+    /// All colors, in grammar order.
+    pub const ALL: [ColorName; 6] = [
+        ColorName::Red,
+        ColorName::Green,
+        ColorName::Blue,
+        ColorName::Yellow,
+        ColorName::Magenta,
+        ColorName::Cyan,
+    ];
+
+    /// The caption word.
+    pub fn word(self) -> &'static str {
+        match self {
+            ColorName::Red => "red",
+            ColorName::Green => "green",
+            ColorName::Blue => "blue",
+            ColorName::Yellow => "yellow",
+            ColorName::Magenta => "magenta",
+            ColorName::Cyan => "cyan",
+        }
+    }
+
+    /// The RGB value (in `[-1, 1]` space).
+    pub fn rgb(self) -> [f32; 3] {
+        match self {
+            ColorName::Red => [0.9, -0.7, -0.7],
+            ColorName::Green => [-0.7, 0.9, -0.7],
+            ColorName::Blue => [-0.7, -0.7, 0.9],
+            ColorName::Yellow => [0.9, 0.9, -0.7],
+            ColorName::Magenta => [0.9, -0.7, 0.9],
+            ColorName::Cyan => [-0.7, 0.9, 0.9],
+        }
+    }
+}
+
+/// Object shapes in the caption grammar.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum ObjectKind {
+    /// A filled disc.
+    Ball,
+    /// A filled square.
+    Box,
+    /// A plus-shaped cross.
+    Cross,
+    /// An annulus.
+    Ring,
+}
+
+impl ObjectKind {
+    /// All objects, in grammar order.
+    pub const ALL: [ObjectKind; 4] =
+        [ObjectKind::Ball, ObjectKind::Box, ObjectKind::Cross, ObjectKind::Ring];
+
+    /// The caption word.
+    pub fn word(self) -> &'static str {
+        match self {
+            ObjectKind::Ball => "ball",
+            ObjectKind::Box => "box",
+            ObjectKind::Cross => "cross",
+            ObjectKind::Ring => "ring",
+        }
+    }
+}
+
+/// Room lighting in the caption grammar.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum PlaceKind {
+    /// Dark background.
+    Dark,
+    /// Bright background.
+    Bright,
+}
+
+impl PlaceKind {
+    /// All places, in grammar order.
+    pub const ALL: [PlaceKind; 2] = [PlaceKind::Dark, PlaceKind::Bright];
+
+    /// The caption word.
+    pub fn word(self) -> &'static str {
+        match self {
+            PlaceKind::Dark => "dark",
+            PlaceKind::Bright => "bright",
+        }
+    }
+
+    /// The background grey level.
+    pub fn background(self) -> [f32; 3] {
+        match self {
+            PlaceKind::Dark => [-0.75, -0.75, -0.75],
+            PlaceKind::Bright => [0.55, 0.55, 0.55],
+        }
+    }
+}
+
+/// A fully specified scene: the caption-relevant attributes plus
+/// caption-irrelevant nuisance parameters.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SceneSpec {
+    /// Object color (captioned).
+    pub color: ColorName,
+    /// Object shape (captioned).
+    pub object: ObjectKind,
+    /// Room lighting (captioned).
+    pub place: PlaceKind,
+    /// Object centre x (not captioned).
+    pub x: f32,
+    /// Object centre y (not captioned).
+    pub y: f32,
+    /// Object scale (not captioned).
+    pub size: f32,
+}
+
+impl SceneSpec {
+    /// Draws a random scene specification.
+    pub fn random(rng: &mut dyn rand::RngCore) -> Self {
+        SceneSpec {
+            color: ColorName::ALL[rng.gen_range(0..ColorName::ALL.len())],
+            object: ObjectKind::ALL[rng.gen_range(0..ObjectKind::ALL.len())],
+            place: PlaceKind::ALL[rng.gen_range(0..PlaceKind::ALL.len())],
+            x: 0.5 + jitter(rng, 0.15),
+            y: 0.5 + jitter(rng, 0.15),
+            size: 0.3 + jitter(rng, 0.06),
+        }
+    }
+
+    /// The deterministic caption, e.g. `"a red ball in a dark room"`.
+    pub fn caption(&self) -> String {
+        format!(
+            "a {} {} in a {} room",
+            self.color.word(),
+            self.object.word(),
+            self.place.word()
+        )
+    }
+
+    /// Renders the scene at the given resolution.
+    pub fn render(&self, size: usize) -> Tensor {
+        let mut c = Canvas::new(size, self.place.background());
+        let rgb = self.color.rgb();
+        match self.object {
+            ObjectKind::Ball => c.disc(self.x, self.y, self.size, rgb),
+            ObjectKind::Box => c.rect(
+                self.x - self.size,
+                self.y - self.size,
+                self.x + self.size,
+                self.y + self.size,
+                rgb,
+            ),
+            ObjectKind::Cross => c.cross(self.x, self.y, self.size + 0.05, 0.09, rgb),
+            ObjectKind::Ring => c.ring(self.x, self.y, self.size + 0.03, (self.size - 0.12).max(0.08), rgb),
+        }
+        // A soft floor shadow under the object grounds it in the "room".
+        let shadow = shade(self.place.background(), 0.6);
+        c.rect(self.x - self.size, 0.92, self.x + self.size, 1.0, shadow);
+        c.into_tensor()
+    }
+}
+
+/// The captioned-scene dataset (16×16 images + captions).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CaptionedScenes {
+    _priv: (),
+}
+
+impl CaptionedScenes {
+    /// Creates the dataset.
+    pub fn new() -> Self {
+        CaptionedScenes { _priv: () }
+    }
+
+    /// Samples a `(image, caption, spec)` triple.
+    pub fn sample_captioned(&self, rng: &mut dyn rand::RngCore) -> (Tensor, String, SceneSpec) {
+        let spec = SceneSpec::random(rng);
+        (spec.render(self.size()), spec.caption(), spec)
+    }
+
+    /// Samples a batch of `(images, captions, specs)`.
+    pub fn batch_captioned(
+        &self,
+        n: usize,
+        rng: &mut dyn rand::RngCore,
+    ) -> (Tensor, Vec<String>, Vec<SceneSpec>) {
+        let mut imgs = Vec::with_capacity(n);
+        let mut caps = Vec::with_capacity(n);
+        let mut specs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (img, cap, spec) = self.sample_captioned(rng);
+            imgs.push(img);
+            caps.push(cap);
+            specs.push(spec);
+        }
+        let refs: Vec<&Tensor> = imgs.iter().collect();
+        (Tensor::stack(&refs), caps, specs)
+    }
+
+    /// Every distinct caption in the grammar (6 colors × 4 objects × 2
+    /// places = 48 prompts) — the fixed prompt set for evaluation.
+    pub fn all_captions() -> Vec<String> {
+        let mut out = Vec::new();
+        for color in ColorName::ALL {
+            for object in ObjectKind::ALL {
+                for place in PlaceKind::ALL {
+                    out.push(
+                        SceneSpec { color, object, place, x: 0.5, y: 0.5, size: 0.3 }.caption(),
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Dataset for CaptionedScenes {
+    fn size(&self) -> usize {
+        16
+    }
+
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> Tensor {
+        self.sample_captioned(rng).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn caption_matches_attributes() {
+        let spec = SceneSpec {
+            color: ColorName::Blue,
+            object: ObjectKind::Ring,
+            place: PlaceKind::Bright,
+            x: 0.5,
+            y: 0.5,
+            size: 0.3,
+        };
+        assert_eq!(spec.caption(), "a blue ring in a bright room");
+    }
+
+    #[test]
+    fn render_reflects_place_brightness() {
+        let base = SceneSpec {
+            color: ColorName::Red,
+            object: ObjectKind::Ball,
+            place: PlaceKind::Dark,
+            x: 0.5,
+            y: 0.5,
+            size: 0.25,
+        };
+        let dark = base.render(16);
+        let bright = SceneSpec { place: PlaceKind::Bright, ..base }.render(16);
+        assert!(bright.mean() > dark.mean() + 0.5);
+    }
+
+    #[test]
+    fn render_reflects_color() {
+        let spec = SceneSpec {
+            color: ColorName::Green,
+            object: ObjectKind::Box,
+            place: PlaceKind::Dark,
+            x: 0.5,
+            y: 0.5,
+            size: 0.3,
+        };
+        let img = spec.render(16);
+        // Centre pixel must be green-dominant.
+        let (r, g, b) = (img.at(&[0, 8, 8]), img.at(&[1, 8, 8]), img.at(&[2, 8, 8]));
+        assert!(g > r && g > b, "centre not green: {r} {g} {b}");
+    }
+
+    #[test]
+    fn all_captions_enumerates_grammar() {
+        let caps = CaptionedScenes::all_captions();
+        assert_eq!(caps.len(), 48);
+        let set: std::collections::HashSet<_> = caps.iter().collect();
+        assert_eq!(set.len(), 48, "captions must be unique");
+        assert!(caps.contains(&"a cyan cross in a dark room".to_string()));
+    }
+
+    #[test]
+    fn batch_is_consistent() {
+        let ds = CaptionedScenes::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let (imgs, caps, specs) = ds.batch_captioned(4, &mut rng);
+        assert_eq!(imgs.dims(), &[4, 3, 16, 16]);
+        assert_eq!(caps.len(), 4);
+        for (cap, spec) in caps.iter().zip(&specs) {
+            assert_eq!(cap, &spec.caption());
+        }
+    }
+
+    #[test]
+    fn ring_has_hole_ball_does_not() {
+        let ball = SceneSpec {
+            color: ColorName::Red,
+            object: ObjectKind::Ball,
+            place: PlaceKind::Dark,
+            x: 0.5,
+            y: 0.5,
+            size: 0.3,
+        };
+        let ring = SceneSpec { object: ObjectKind::Ring, ..ball };
+        let bi = ball.render(16);
+        let ri = ring.render(16);
+        // Ball centre is red; ring centre is background.
+        assert!(bi.at(&[0, 8, 8]) > 0.5);
+        assert!(ri.at(&[0, 8, 8]) < -0.5);
+    }
+}

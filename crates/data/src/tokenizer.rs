@@ -1,0 +1,124 @@
+//! Word-level tokenizer over the caption grammar's vocabulary.
+
+use std::collections::HashMap;
+
+/// Padding token id (also used for empty/null prompts in
+/// classifier-free guidance).
+pub const PAD: usize = 0;
+/// Unknown-word token id.
+pub const UNK: usize = 1;
+
+/// A fixed word-level tokenizer.
+///
+/// Token 0 is padding, token 1 is unknown; words get ids 2.. in
+/// registration order, so vocabularies are stable across runs.
+///
+/// # Example
+///
+/// ```
+/// use fpdq_data::Tokenizer;
+/// let tok = Tokenizer::caption_grammar();
+/// let ids = tok.encode("a red ball in a dark room");
+/// assert_eq!(ids.len(), 7);
+/// assert_eq!(tok.decode(&ids), "a red ball in a dark room");
+/// ```
+#[derive(Clone, Debug)]
+pub struct Tokenizer {
+    word_to_id: HashMap<String, usize>,
+    id_to_word: Vec<String>,
+}
+
+impl Tokenizer {
+    /// Builds a tokenizer from a word list (duplicates ignored).
+    pub fn new(words: &[&str]) -> Self {
+        let mut id_to_word = vec!["<pad>".to_string(), "<unk>".to_string()];
+        let mut word_to_id = HashMap::new();
+        word_to_id.insert("<pad>".to_string(), PAD);
+        word_to_id.insert("<unk>".to_string(), UNK);
+        for &w in words {
+            if !word_to_id.contains_key(w) {
+                word_to_id.insert(w.to_string(), id_to_word.len());
+                id_to_word.push(w.to_string());
+            }
+        }
+        Tokenizer { word_to_id, id_to_word }
+    }
+
+    /// The tokenizer covering the [`crate::CaptionedScenes`] grammar.
+    pub fn caption_grammar() -> Self {
+        Tokenizer::new(&[
+            "a", "in", "room", // structure words
+            "red", "green", "blue", "yellow", "magenta", "cyan", // colors
+            "ball", "box", "cross", "ring", // objects
+            "dark", "bright", // places
+        ])
+    }
+
+    /// Vocabulary size (including pad/unk).
+    pub fn vocab_size(&self) -> usize {
+        self.id_to_word.len()
+    }
+
+    /// Encodes a whitespace-separated prompt.
+    pub fn encode(&self, prompt: &str) -> Vec<usize> {
+        prompt
+            .split_whitespace()
+            .map(|w| self.word_to_id.get(w).copied().unwrap_or(UNK))
+            .collect()
+    }
+
+    /// Decodes token ids back to words (pad tokens are dropped).
+    pub fn decode(&self, ids: &[usize]) -> String {
+        ids.iter()
+            .filter(|&&id| id != PAD)
+            .map(|&id| self.id_to_word.get(id).map(|s| s.as_str()).unwrap_or("<unk>"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_grammar_captions() {
+        let tok = Tokenizer::caption_grammar();
+        for cap in crate::CaptionedScenes::all_captions() {
+            let ids = tok.encode(&cap);
+            assert!(!ids.contains(&UNK), "caption '{cap}' has unknown words");
+            assert_eq!(tok.decode(&ids), cap);
+        }
+    }
+
+    #[test]
+    fn unknown_words_map_to_unk() {
+        let tok = Tokenizer::caption_grammar();
+        let ids = tok.encode("a purple elephant");
+        assert_eq!(ids[0], tok.encode("a")[0]);
+        assert_eq!(ids[1], UNK);
+        assert_eq!(ids[2], UNK);
+    }
+
+    #[test]
+    fn ids_are_stable() {
+        let a = Tokenizer::caption_grammar();
+        let b = Tokenizer::caption_grammar();
+        assert_eq!(a.encode("red ball"), b.encode("red ball"));
+    }
+
+    #[test]
+    fn duplicates_ignored() {
+        let tok = Tokenizer::new(&["x", "x", "y"]);
+        assert_eq!(tok.vocab_size(), 4); // pad, unk, x, y
+    }
+
+    #[test]
+    fn decode_drops_padding() {
+        let tok = Tokenizer::caption_grammar();
+        let mut ids = tok.encode("red ball");
+        ids.push(PAD);
+        ids.push(PAD);
+        assert_eq!(tok.decode(&ids), "red ball");
+    }
+}

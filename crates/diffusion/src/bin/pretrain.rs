@@ -1,0 +1,18 @@
+//! Pre-trains and caches every zoo model (run once before benchmarking).
+
+use fpdq_diffusion::Zoo;
+
+fn main() {
+    let zoo = Zoo::open_default();
+    eprintln!("[pretrain] zoo dir: {:?} (fast = {})", zoo.dir(), zoo.is_fast());
+    let t0 = std::time::Instant::now();
+    zoo.ddim_sim();
+    eprintln!("[pretrain] ddim ready at {:.1}s", t0.elapsed().as_secs_f32());
+    zoo.ldm_sim();
+    eprintln!("[pretrain] ldm ready at {:.1}s", t0.elapsed().as_secs_f32());
+    zoo.sd_sim();
+    eprintln!("[pretrain] sd ready at {:.1}s", t0.elapsed().as_secs_f32());
+    zoo.sdxl_sim();
+    eprintln!("[pretrain] sdxl ready at {:.1}s", t0.elapsed().as_secs_f32());
+    eprintln!("[pretrain] all models cached in {:.1}s", t0.elapsed().as_secs_f32());
+}

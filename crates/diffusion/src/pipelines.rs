@@ -1,0 +1,311 @@
+//! The evaluated pipelines: pixel-space DDIM, unconditional latent
+//! diffusion, and text-to-image latent diffusion with classifier-free
+//! guidance (Figure 1 of the paper).
+
+use crate::sampler::{ddim_sample, DdimParams};
+use crate::schedule::NoiseSchedule;
+use fpdq_data::Tokenizer;
+use fpdq_nn::{Autoencoder, TextEncoder, UNet};
+use fpdq_tensor::Tensor;
+use rand::rngs::StdRng;
+
+/// Upper bound on the batch size used inside `generate` calls (keeps the
+/// attention intermediates small).
+const GEN_CHUNK: usize = 16;
+
+/// Pixel-space DDIM pipeline (the paper's DDIM-on-CIFAR-10 configuration).
+#[derive(Debug)]
+pub struct DdimSim {
+    /// The denoising network (quantization taps live inside its layers).
+    pub unet: UNet,
+    /// The training noise schedule.
+    pub schedule: NoiseSchedule,
+    /// Image channels.
+    pub channels: usize,
+    /// Image spatial size.
+    pub image_size: usize,
+}
+
+impl DdimSim {
+    /// Generates `n` images `[n, c, s, s]` with `steps` DDIM steps.
+    ///
+    /// Noise is drawn from `rng`, so fixing the seed fixes the generated
+    /// batch across quantization configurations (paper §VI-C).
+    pub fn generate(&self, n: usize, steps: usize, rng: &mut StdRng) -> Tensor {
+        let mut outs = Vec::new();
+        let mut remaining = n;
+        while remaining > 0 {
+            let b = remaining.min(GEN_CHUNK);
+            let noise = Tensor::randn(&[b, self.channels, self.image_size, self.image_size], rng);
+            let img = ddim_sample(
+                &self.schedule,
+                noise,
+                DdimParams { steps, eta: 0.0, clip_x0: Some(1.0) },
+                rng,
+                |x, t| self.unet.forward(x, t, None),
+            );
+            outs.push(img.clamp(-1.0, 1.0));
+            remaining -= b;
+        }
+        let refs: Vec<&Tensor> = outs.iter().collect();
+        Tensor::concat(&refs, 0)
+    }
+}
+
+/// Unconditional latent-diffusion pipeline (the paper's LDM-on-Bedrooms
+/// configuration): U-Net denoises in the autoencoder's latent space; the
+/// decoder runs once at the end.
+#[derive(Debug)]
+pub struct LdmSim {
+    /// First-stage autoencoder (kept full-precision, as in the paper).
+    pub ae: Autoencoder,
+    /// The latent denoising network.
+    pub unet: UNet,
+    /// The training noise schedule.
+    pub schedule: NoiseSchedule,
+    /// Latent channels.
+    pub latent_channels: usize,
+    /// Latent spatial size.
+    pub latent_size: usize,
+    /// Multiplier bringing raw latents to ~unit variance.
+    pub latent_scale: f32,
+}
+
+impl LdmSim {
+    /// Encodes images to scaled latents (the diffusion space).
+    pub fn encode_scaled(&self, images: &Tensor) -> Tensor {
+        self.ae.encode(images).mul_scalar(self.latent_scale)
+    }
+
+    /// Decodes scaled latents back to images.
+    pub fn decode_scaled(&self, latents: &Tensor) -> Tensor {
+        self.ae.decode(&latents.mul_scalar(1.0 / self.latent_scale)).clamp(-1.0, 1.0)
+    }
+
+    /// Generates `n` images with `steps` DDIM steps.
+    pub fn generate(&self, n: usize, steps: usize, rng: &mut StdRng) -> Tensor {
+        let mut outs = Vec::new();
+        let mut remaining = n;
+        while remaining > 0 {
+            let b = remaining.min(GEN_CHUNK);
+            let noise = Tensor::randn(&[b, self.latent_channels, self.latent_size, self.latent_size], rng);
+            let z = ddim_sample(
+                &self.schedule,
+                noise,
+                DdimParams { steps, eta: 0.0, clip_x0: None },
+                rng,
+                |x, t| self.unet.forward(x, t, None),
+            );
+            outs.push(self.decode_scaled(&z));
+            remaining -= b;
+        }
+        let refs: Vec<&Tensor> = outs.iter().collect();
+        Tensor::concat(&refs, 0)
+    }
+}
+
+/// Text-to-image latent diffusion with classifier-free guidance (the
+/// paper's Stable Diffusion / SDXL configuration).
+#[derive(Debug)]
+pub struct SdSim {
+    /// Prompt tokenizer.
+    pub tokenizer: Tokenizer,
+    /// Text encoder (runs once per prompt; full precision, as in the
+    /// paper).
+    pub text: TextEncoder,
+    /// First-stage autoencoder.
+    pub ae: Autoencoder,
+    /// The conditional latent denoising network.
+    pub unet: UNet,
+    /// The training noise schedule.
+    pub schedule: NoiseSchedule,
+    /// Latent channels.
+    pub latent_channels: usize,
+    /// Latent spatial size.
+    pub latent_size: usize,
+    /// Multiplier bringing raw latents to ~unit variance.
+    pub latent_scale: f32,
+    /// Classifier-free guidance scale (1 = no guidance).
+    pub guidance: f32,
+}
+
+impl SdSim {
+    /// Encodes images to scaled latents.
+    pub fn encode_scaled(&self, images: &Tensor) -> Tensor {
+        self.ae.encode(images).mul_scalar(self.latent_scale)
+    }
+
+    /// Decodes scaled latents back to images.
+    pub fn decode_scaled(&self, latents: &Tensor) -> Tensor {
+        self.ae.decode(&latents.mul_scalar(1.0 / self.latent_scale)).clamp(-1.0, 1.0)
+    }
+
+    /// Encodes prompts into conditioning context `[n, max_len, dim]`.
+    pub fn encode_prompts(&self, prompts: &[String]) -> Tensor {
+        let tokens: Vec<Vec<usize>> = prompts.iter().map(|p| self.tokenizer.encode(p)).collect();
+        self.text.forward(&tokens)
+    }
+
+    /// The null (empty-prompt) context used for guidance, batched to `n`.
+    pub fn null_context(&self, n: usize) -> Tensor {
+        let empty: Vec<Vec<usize>> = vec![Vec::new(); n];
+        self.text.forward(&empty)
+    }
+
+    /// Generates one image per prompt with `steps` DDIM steps and
+    /// classifier-free guidance.
+    pub fn generate(&self, prompts: &[String], steps: usize, rng: &mut StdRng) -> Tensor {
+        let mut outs = Vec::new();
+        let mut start = 0;
+        while start < prompts.len() {
+            let b = (prompts.len() - start).min(GEN_CHUNK);
+            let chunk = &prompts[start..start + b];
+            let cond = self.encode_prompts(chunk);
+            let null = self.null_context(b);
+            let noise = Tensor::randn(&[b, self.latent_channels, self.latent_size, self.latent_size], rng);
+            let z = ddim_sample(
+                &self.schedule,
+                noise,
+                DdimParams { steps, eta: 0.0, clip_x0: None },
+                rng,
+                |x, t| {
+                    let e_cond = self.unet.forward(x, t, Some(&cond));
+                    if (self.guidance - 1.0).abs() < f32::EPSILON {
+                        return e_cond;
+                    }
+                    let e_null = self.unet.forward(x, t, Some(&null));
+                    // ε = ε_null + g · (ε_cond - ε_null)
+                    e_null.add(&e_cond.sub(&e_null).mul_scalar(self.guidance))
+                },
+            );
+            outs.push(self.decode_scaled(&z));
+            start += b;
+        }
+        let refs: Vec<&Tensor> = outs.iter().collect();
+        Tensor::concat(&refs, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpdq_nn::{AutoencoderConfig, TextEncoderConfig, UNetConfig};
+    use rand::SeedableRng;
+
+    fn micro_ddim() -> DdimSim {
+        let mut rng = StdRng::seed_from_u64(1);
+        DdimSim {
+            unet: UNet::new(UNetConfig::tiny(3), &mut rng),
+            schedule: NoiseSchedule::linear_scaled(20),
+            channels: 3,
+            image_size: 8,
+        }
+    }
+
+    #[test]
+    fn ddim_pipeline_shapes_and_range() {
+        let p = micro_ddim();
+        let mut rng = StdRng::seed_from_u64(2);
+        let imgs = p.generate(3, 4, &mut rng);
+        assert_eq!(imgs.dims(), &[3, 3, 8, 8]);
+        assert!(imgs.min() >= -1.0 && imgs.max() <= 1.0);
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let p = micro_ddim();
+        let a = p.generate(2, 4, &mut StdRng::seed_from_u64(5));
+        let b = p.generate(2, 4, &mut StdRng::seed_from_u64(5));
+        let c = p.generate(2, 4, &mut StdRng::seed_from_u64(6));
+        assert_eq!(a.data(), b.data());
+        assert_ne!(a.data(), c.data());
+    }
+
+    #[test]
+    fn ldm_pipeline_roundtrip_shapes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = LdmSim {
+            ae: Autoencoder::new(AutoencoderConfig::small(3, 4), &mut rng),
+            unet: UNet::new(UNetConfig::tiny(4), &mut rng),
+            schedule: NoiseSchedule::linear_scaled(20),
+            latent_channels: 4,
+            latent_size: 8,
+            latent_scale: 1.0,
+        };
+        let mut g = StdRng::seed_from_u64(4);
+        let imgs = p.generate(2, 3, &mut g);
+        assert_eq!(imgs.dims(), &[2, 3, 16, 16]);
+        // encode/decode round shape.
+        let z = p.encode_scaled(&imgs);
+        assert_eq!(z.dims(), &[2, 4, 8, 8]);
+    }
+
+    #[test]
+    fn sd_pipeline_generates_per_prompt() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let tokenizer = Tokenizer::caption_grammar();
+        let text = TextEncoder::new(
+            TextEncoderConfig { layers: 1, ..TextEncoderConfig::small(tokenizer.vocab_size(), 8, 8) },
+            &mut rng,
+        );
+        let p = SdSim {
+            tokenizer,
+            text,
+            ae: Autoencoder::new(AutoencoderConfig::small(3, 4), &mut rng),
+            unet: UNet::new(UNetConfig { context_dim: Some(8), ..UNetConfig::tiny(4) }, &mut rng),
+            schedule: NoiseSchedule::linear_scaled(20),
+            latent_channels: 4,
+            latent_size: 8,
+            latent_scale: 1.0,
+            guidance: 2.0,
+        };
+        let prompts = vec!["a red ball in a dark room".to_string(), "a blue box in a bright room".to_string()];
+        let mut g = StdRng::seed_from_u64(6);
+        let imgs = p.generate(&prompts, 3, &mut g);
+        assert_eq!(imgs.dims(), &[2, 3, 16, 16]);
+        // Same seed, different prompts -> different images (conditioning
+        // reaches the output even in an untrained net).
+        let mut g2 = StdRng::seed_from_u64(6);
+        let imgs2 = p.generate(
+            &vec!["a cyan ring in a bright room".to_string(), "a blue box in a bright room".to_string()],
+            3,
+            &mut g2,
+        );
+        let first_diff: f32 = imgs
+            .narrow(0, 0, 1)
+            .data()
+            .iter()
+            .zip(imgs2.narrow(0, 0, 1).data())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(first_diff > 1e-4, "prompt change had no effect");
+    }
+
+    #[test]
+    fn guidance_one_skips_null_branch() {
+        // With guidance == 1 the pipeline must produce cond-only results;
+        // we verify it differs from guidance = 3 on the same seed.
+        let mut rng = StdRng::seed_from_u64(7);
+        let tokenizer = Tokenizer::caption_grammar();
+        let text = TextEncoder::new(
+            TextEncoderConfig { layers: 1, ..TextEncoderConfig::small(tokenizer.vocab_size(), 8, 8) },
+            &mut rng,
+        );
+        let mut p = SdSim {
+            tokenizer,
+            text,
+            ae: Autoencoder::new(AutoencoderConfig::small(3, 4), &mut rng),
+            unet: UNet::new(UNetConfig { context_dim: Some(8), ..UNetConfig::tiny(4) }, &mut rng),
+            schedule: NoiseSchedule::linear_scaled(20),
+            latent_channels: 4,
+            latent_size: 8,
+            latent_scale: 1.0,
+            guidance: 1.0,
+        };
+        let prompts = vec!["a red ball in a dark room".to_string()];
+        let a = p.generate(&prompts, 3, &mut StdRng::seed_from_u64(8));
+        p.guidance = 3.0;
+        let b = p.generate(&prompts, 3, &mut StdRng::seed_from_u64(8));
+        assert_ne!(a.data(), b.data());
+    }
+}

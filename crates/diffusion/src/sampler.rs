@@ -1,0 +1,213 @@
+//! Reverse-process samplers: DDPM ancestral sampling and DDIM (paper §II,
+//! eq. 3; Song et al. for DDIM).
+//!
+//! Samplers are generic over the noise predictor — a closure
+//! `eps(x_t, t) -> ε̂` — so the full-precision model, the FP-quantized
+//! model and the INT-quantized model all drive the *same* sampling code,
+//! which is what makes the paper's fixed-seed comparisons meaningful.
+
+use crate::schedule::NoiseSchedule;
+use fpdq_tensor::Tensor;
+use rand::Rng;
+
+/// DDIM sampling options.
+#[derive(Clone, Copy, Debug)]
+pub struct DdimParams {
+    /// Number of sampling steps (a uniform subset of the schedule).
+    pub steps: usize,
+    /// Stochasticity: 0 = deterministic DDIM, 1 = DDPM-like.
+    pub eta: f32,
+    /// Clamp range for the predicted `x_0` (stabilises low-step sampling);
+    /// `None` disables clamping (latent space).
+    pub clip_x0: Option<f32>,
+}
+
+impl Default for DdimParams {
+    fn default() -> Self {
+        DdimParams { steps: 20, eta: 0.0, clip_x0: None }
+    }
+}
+
+/// Returns the decreasing timestep subsequence used by DDIM.
+fn ddim_timesteps(schedule: &NoiseSchedule, steps: usize) -> Vec<usize> {
+    let t = schedule.steps();
+    let steps = steps.clamp(1, t);
+    let mut ts: Vec<usize> = (0..steps).map(|i| i * t / steps).collect();
+    ts.dedup();
+    ts.reverse(); // high noise -> low noise
+    ts
+}
+
+/// Deterministic (η=0) or stochastic DDIM sampling.
+///
+/// `x_t` starts from `noise` (`[b, c, h, w]`); `eps` is the noise
+/// predictor. Returns the final `x_0` estimate.
+pub fn ddim_sample(
+    schedule: &NoiseSchedule,
+    noise: Tensor,
+    params: DdimParams,
+    rng: &mut impl Rng,
+    mut eps: impl FnMut(&Tensor, &Tensor) -> Tensor,
+) -> Tensor {
+    let ts = ddim_timesteps(schedule, params.steps);
+    let b = noise.dim(0);
+    let mut x = noise;
+    for (i, &t) in ts.iter().enumerate() {
+        let t_batch = Tensor::full(&[b], t as f32);
+        let e = eps(&x, &t_batch);
+        let ab_t = schedule.alpha_bar(t);
+        let ab_prev = if i + 1 < ts.len() { schedule.alpha_bar(ts[i + 1]) } else { 1.0 };
+        // x0 prediction from the ε-parameterisation (paper eq. 3 rearranged).
+        let mut x0 = x
+            .sub(&e.mul_scalar((1.0 - ab_t).sqrt()))
+            .mul_scalar(1.0 / ab_t.sqrt());
+        if let Some(c) = params.clip_x0 {
+            x0 = x0.clamp(-c, c);
+        }
+        let sigma = params.eta
+            * ((1.0 - ab_prev) / (1.0 - ab_t)).sqrt()
+            * (1.0 - ab_t / ab_prev).sqrt();
+        let dir = e.mul_scalar((1.0 - ab_prev - sigma * sigma).max(0.0).sqrt());
+        x = x0.mul_scalar(ab_prev.sqrt()).add(&dir);
+        if sigma > 0.0 && i + 1 < ts.len() {
+            let z = Tensor::randn(x.dims(), rng);
+            x = x.add(&z.mul_scalar(sigma));
+        }
+    }
+    x
+}
+
+/// Full-length DDPM ancestral sampling (one network call per schedule
+/// step).
+pub fn ddpm_sample(
+    schedule: &NoiseSchedule,
+    noise: Tensor,
+    clip_x0: Option<f32>,
+    rng: &mut impl Rng,
+    mut eps: impl FnMut(&Tensor, &Tensor) -> Tensor,
+) -> Tensor {
+    let b = noise.dim(0);
+    let mut x = noise;
+    for t in (0..schedule.steps()).rev() {
+        let t_batch = Tensor::full(&[b], t as f32);
+        let e = eps(&x, &t_batch);
+        let (a_t, ab_t, beta_t) = (schedule.alpha(t), schedule.alpha_bar(t), schedule.beta(t));
+        // μ_θ(x_t, t) (paper eq. 3).
+        let mut mean = x
+            .sub(&e.mul_scalar(beta_t / (1.0 - ab_t).sqrt()))
+            .mul_scalar(1.0 / a_t.sqrt());
+        if let Some(c) = clip_x0 {
+            // Clamp via the x0 reconstruction for stability.
+            let x0 = x
+                .sub(&e.mul_scalar((1.0 - ab_t).sqrt()))
+                .mul_scalar(1.0 / ab_t.sqrt())
+                .clamp(-c, c);
+            let ab_prev = if t > 0 { schedule.alpha_bar(t - 1) } else { 1.0 };
+            let coef0 = ab_prev.sqrt() * beta_t / (1.0 - ab_t);
+            let coeft = a_t.sqrt() * (1.0 - ab_prev) / (1.0 - ab_t);
+            mean = x0.mul_scalar(coef0).add(&x.mul_scalar(coeft));
+        }
+        if t > 0 {
+            let z = Tensor::randn(x.dims(), rng);
+            x = mean.add(&z.mul_scalar(beta_t.sqrt()));
+        } else {
+            x = mean;
+        }
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// An "oracle" predictor for data concentrated at a single point `mu`:
+    /// given x_t = √ᾱ·μ + √(1-ᾱ)·ε, the optimal ε̂ = (x_t - √ᾱ·μ)/√(1-ᾱ).
+    fn oracle_eps(
+        schedule: &NoiseSchedule,
+        mu: Tensor,
+    ) -> impl FnMut(&Tensor, &Tensor) -> Tensor + '_ {
+        move |x, t| {
+            let t = t.data()[0] as usize;
+            let ab = schedule.alpha_bar(t);
+            x.sub(&mu.mul_scalar(ab.sqrt())).mul_scalar(1.0 / (1.0 - ab).sqrt())
+        }
+    }
+
+    #[test]
+    fn ddim_recovers_point_mass_with_oracle() {
+        let schedule = NoiseSchedule::linear_scaled(100);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mu = Tensor::from_vec(vec![0.5, -0.3, 0.8, 0.1], &[1, 1, 2, 2]);
+        let noise = Tensor::randn(&[1, 1, 2, 2], &mut rng);
+        let out = ddim_sample(
+            &schedule,
+            noise,
+            DdimParams { steps: 25, eta: 0.0, clip_x0: Some(1.0) },
+            &mut rng,
+            oracle_eps(&schedule, mu.clone()),
+        );
+        assert!(out.mse(&mu) < 1e-3, "DDIM did not converge to the mode: {}", out.mse(&mu));
+    }
+
+    #[test]
+    fn ddpm_recovers_point_mass_with_oracle() {
+        let schedule = NoiseSchedule::linear_scaled(60);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mu = Tensor::full(&[1, 1, 2, 2], 0.4);
+        let noise = Tensor::randn(&[1, 1, 2, 2], &mut rng);
+        let out = ddpm_sample(&schedule, noise, Some(1.0), &mut rng, oracle_eps(&schedule, mu.clone()));
+        // Ancestral sampling is stochastic; just require proximity.
+        assert!(out.mse(&mu) < 0.05, "DDPM far from mode: {}", out.mse(&mu));
+    }
+
+    #[test]
+    fn ddim_is_deterministic_at_eta_zero() {
+        let schedule = NoiseSchedule::linear_scaled(50);
+        let mu = Tensor::full(&[1, 1, 2, 2], -0.2);
+        let noise = Tensor::randn(&[1, 1, 2, 2], &mut StdRng::seed_from_u64(7));
+        let run = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            ddim_sample(
+                &schedule,
+                noise.clone(),
+                DdimParams { steps: 10, eta: 0.0, clip_x0: None },
+                &mut rng,
+                oracle_eps(&schedule, mu.clone()),
+            )
+        };
+        // Different sampler RNG seeds, same starting noise -> same output.
+        assert_eq!(run(1).data(), run(2).data());
+    }
+
+    #[test]
+    fn ddim_timestep_subsequence_is_decreasing_and_unique() {
+        let schedule = NoiseSchedule::linear_scaled(100);
+        let ts = ddim_timesteps(&schedule, 16);
+        for w in ts.windows(2) {
+            assert!(w[0] > w[1]);
+        }
+        assert!(ts.len() <= 16 && !ts.is_empty());
+    }
+
+    #[test]
+    fn more_ddim_steps_improve_oracle_accuracy() {
+        let schedule = NoiseSchedule::linear_scaled(100);
+        let mu = Tensor::from_vec(vec![0.9, -0.9, 0.4, -0.4], &[1, 1, 2, 2]);
+        let noise = Tensor::randn(&[1, 1, 2, 2], &mut StdRng::seed_from_u64(3));
+        let err = |steps: usize| {
+            let mut rng = StdRng::seed_from_u64(4);
+            let out = ddim_sample(
+                &schedule,
+                noise.clone(),
+                DdimParams { steps, eta: 0.0, clip_x0: None },
+                &mut rng,
+                oracle_eps(&schedule, mu.clone()),
+            );
+            out.mse(&mu)
+        };
+        assert!(err(25) <= err(2) + 1e-6, "more steps should not hurt: {} vs {}", err(25), err(2));
+    }
+}

@@ -1,0 +1,184 @@
+//! Forward-process noise schedules (paper §II, eqs. 1-2).
+
+use fpdq_tensor::Tensor;
+use rand::Rng;
+
+/// A discrete diffusion noise schedule: `β_t`, `α_t = 1 - β_t`, and the
+/// cumulative `ᾱ_t = Π α_i`.
+///
+/// # Example
+///
+/// ```
+/// use fpdq_diffusion::NoiseSchedule;
+/// let s = NoiseSchedule::linear(100, 1e-4, 0.02);
+/// assert_eq!(s.steps(), 100);
+/// assert!(s.alpha_bar(99) < s.alpha_bar(0));
+/// ```
+#[derive(Clone, Debug)]
+pub struct NoiseSchedule {
+    betas: Vec<f32>,
+    alpha_bars: Vec<f32>,
+}
+
+impl NoiseSchedule {
+    /// The DDPM linear schedule from `beta_start` to `beta_end` over `t`
+    /// steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t == 0` or the betas are outside `(0, 1)`.
+    pub fn linear(t: usize, beta_start: f32, beta_end: f32) -> Self {
+        assert!(t > 0, "schedule needs at least one step");
+        assert!(beta_start > 0.0 && beta_end < 1.0 && beta_start <= beta_end, "invalid beta range");
+        let betas: Vec<f32> = (0..t)
+            .map(|i| beta_start + (beta_end - beta_start) * i as f32 / (t - 1).max(1) as f32)
+            .collect();
+        Self::from_betas(betas)
+    }
+
+    /// The DDPM linear schedule rescaled to `t` steps.
+    ///
+    /// DDPM's canonical betas (1e-4 → 0.02) are tuned for `T = 1000`;
+    /// using them at smaller `T` leaves substantial signal at the final
+    /// step (`ᾱ_T` far from 0), breaking the "start from pure noise"
+    /// assumption. This constructor scales both endpoints by `1000 / t`
+    /// so the total noise injected matches the canonical schedule.
+    pub fn linear_scaled(t: usize) -> Self {
+        assert!(t > 0, "schedule needs at least one step");
+        let scale = 1000.0 / t as f32;
+        NoiseSchedule::linear(t, (1e-4 * scale).min(0.5), (0.02 * scale).min(0.5))
+    }
+
+    /// The cosine schedule of Nichol & Dhariwal.
+    pub fn cosine(t: usize) -> Self {
+        assert!(t > 0, "schedule needs at least one step");
+        let f = |i: f32| ((i / t as f32 + 0.008) / 1.008 * std::f32::consts::FRAC_PI_2).cos().powi(2);
+        let betas: Vec<f32> = (0..t)
+            .map(|i| (1.0 - f(i as f32 + 1.0) / f(i as f32)).clamp(1e-5, 0.999))
+            .collect();
+        Self::from_betas(betas)
+    }
+
+    /// Builds a schedule from explicit betas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any beta is outside `(0, 1)`.
+    pub fn from_betas(betas: Vec<f32>) -> Self {
+        assert!(!betas.is_empty(), "empty beta sequence");
+        let mut alpha_bars = Vec::with_capacity(betas.len());
+        let mut prod = 1.0f32;
+        for &b in &betas {
+            assert!(b > 0.0 && b < 1.0, "beta {b} outside (0, 1)");
+            prod *= 1.0 - b;
+            alpha_bars.push(prod);
+        }
+        NoiseSchedule { betas, alpha_bars }
+    }
+
+    /// Number of diffusion steps `T`.
+    pub fn steps(&self) -> usize {
+        self.betas.len()
+    }
+
+    /// `β_t`.
+    pub fn beta(&self, t: usize) -> f32 {
+        self.betas[t]
+    }
+
+    /// `α_t = 1 - β_t`.
+    pub fn alpha(&self, t: usize) -> f32 {
+        1.0 - self.betas[t]
+    }
+
+    /// `ᾱ_t`.
+    pub fn alpha_bar(&self, t: usize) -> f32 {
+        self.alpha_bars[t]
+    }
+
+    /// Samples the forward process `q(x_t | x_0)` (paper eq. 2, closed
+    /// form): `x_t = √ᾱ_t · x_0 + √(1-ᾱ_t) · ε`.
+    pub fn q_sample(&self, x0: &Tensor, t: usize, noise: &Tensor) -> Tensor {
+        let ab = self.alpha_bar(t);
+        x0.mul_scalar(ab.sqrt()).add(&noise.mul_scalar((1.0 - ab).sqrt()))
+    }
+
+    /// Draws a per-sample random timestep vector `[b]`.
+    pub fn random_timesteps(&self, b: usize, rng: &mut impl Rng) -> Vec<usize> {
+        (0..b).map(|_| rng.gen_range(0..self.steps())).collect()
+    }
+
+    /// `count` timestep indices spread uniformly over `[0, T)` — the
+    /// paper's initialization-dataset sampling ("uniformly across all
+    /// timesteps", §V-A).
+    pub fn uniform_timesteps(&self, count: usize) -> Vec<usize> {
+        let t = self.steps();
+        (0..count).map(|i| (i * t / count.max(1)).min(t - 1)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn alpha_bar_monotonically_decreasing() {
+        for s in [
+            NoiseSchedule::linear(1000, 1e-4, 0.02),
+            NoiseSchedule::linear_scaled(100),
+            NoiseSchedule::cosine(50),
+        ] {
+            for t in 1..s.steps() {
+                assert!(s.alpha_bar(t) < s.alpha_bar(t - 1), "ᾱ must decrease at t={t}");
+            }
+            assert!(s.alpha_bar(0) > 0.9, "early steps barely noise");
+            assert!(s.alpha_bar(s.steps() - 1) < 0.1, "late steps mostly noise");
+        }
+    }
+
+    #[test]
+    fn q_sample_interpolates_between_signal_and_noise() {
+        let s = NoiseSchedule::linear_scaled(100);
+        let mut rng = StdRng::seed_from_u64(0);
+        let x0 = Tensor::full(&[1, 3, 4, 4], 1.0);
+        let noise = Tensor::randn(&[1, 3, 4, 4], &mut rng);
+        let early = s.q_sample(&x0, 0, &noise);
+        let late = s.q_sample(&x0, 99, &noise);
+        // Early: mostly signal. Late: mostly noise.
+        assert!(early.mse(&x0) < 0.05, "early sample too noisy: {}", early.mse(&x0));
+        assert!(late.mse(&noise) < 0.2, "late sample too clean: {}", late.mse(&noise));
+    }
+
+    #[test]
+    fn q_sample_preserves_variance_for_unit_inputs() {
+        // With x0 ~ N(0,1) and ε ~ N(0,1), x_t should stay ~unit variance.
+        let s = NoiseSchedule::linear_scaled(100);
+        let mut rng = StdRng::seed_from_u64(1);
+        let x0 = Tensor::randn(&[4096], &mut rng);
+        let noise = Tensor::randn(&[4096], &mut rng);
+        for t in [0, 50, 99] {
+            let xt = s.q_sample(&x0, t, &noise);
+            assert!((xt.var() - 1.0).abs() < 0.1, "variance drift at t={t}: {}", xt.var());
+        }
+    }
+
+    #[test]
+    fn uniform_timesteps_cover_range() {
+        let s = NoiseSchedule::linear_scaled(100);
+        let ts = s.uniform_timesteps(10);
+        assert_eq!(ts.len(), 10);
+        assert_eq!(ts[0], 0);
+        assert!(*ts.last().unwrap() >= 90 - 10);
+        for w in ts.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn zero_steps_panics() {
+        NoiseSchedule::linear(0, 1e-4, 0.02);
+    }
+}

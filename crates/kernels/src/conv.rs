@@ -1,0 +1,120 @@
+//! Dequantize-on-the-fly 2-D convolution over packed weights.
+//!
+//! Shares the exact `im2col` lowering of the dense path
+//! ([`fpdq_tensor::conv::im2col_matrix`]) but streams the filter bank from
+//! its packed low-bit representation one output-channel row at a time —
+//! the memory-traffic pattern of weight-quantized convolution inference.
+
+use crate::packed::PackedFpTensor;
+use fpdq_core::TensorQuantizer;
+use fpdq_tensor::conv::{im2col_matrix, Conv2dSpec};
+use fpdq_tensor::parallel::parallel_rows;
+use fpdq_tensor::Tensor;
+
+/// 2-D convolution with packed FP weights: input `[n, c, h, w]`, packed
+/// weight `[o, c, kh, kw]`, optional bias `[o]`, optional activation
+/// fake-quantizer (applied to the input, as the model taps do).
+///
+/// # Panics
+///
+/// Panics on rank/shape mismatches.
+pub fn conv2d_packed_fp(
+    x: &Tensor,
+    weight: &PackedFpTensor,
+    bias: Option<&Tensor>,
+    spec: Conv2dSpec,
+    act: Option<&TensorQuantizer>,
+) -> Tensor {
+    assert_eq!(x.ndim(), 4, "input must be [n, c, h, w]");
+    let wd = weight.dims();
+    assert_eq!(wd.len(), 4, "packed weight must be [o, c, kh, kw]");
+    let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+    let (o, wc, kh, kw) = (wd[0], wd[1], wd[2], wd[3]);
+    assert_eq!(c, wc, "channel mismatch: input {c}, weight {wc}");
+    if let Some(b) = bias {
+        assert_eq!(b.numel(), o, "bias must have {o} elements");
+    }
+    let x_q = match act {
+        Some(q) => q.quantize(x),
+        None => x.clone(),
+    };
+    let oh = spec.out_extent(h, kh);
+    let ow = spec.out_extent(w, kw);
+    let ckk = c * kh * kw;
+    let mut out = vec![0.0f32; n * o * oh * ow];
+    parallel_rows(&mut out, n, o * oh * ow, 1, |batch_start, chunk| {
+        let mut filter = vec![0.0f32; ckk];
+        for (bi, obatch) in chunk.chunks_mut(o * oh * ow).enumerate() {
+            let batch = batch_start + bi;
+            let img = x_q.narrow(0, batch, 1).reshape(&[c, h, w]);
+            let cols = im2col_matrix(&img, kh, kw, spec);
+            for (oc, plane) in obatch.chunks_mut(oh * ow).enumerate() {
+                weight.decode_row(oc, &mut filter);
+                let bv = bias.map(|b| b.data()[oc]).unwrap_or(0.0);
+                plane.fill(bv);
+                for (kk, &fv) in filter.iter().enumerate() {
+                    if fv == 0.0 {
+                        continue; // quantization-induced sparsity skip
+                    }
+                    let crow = &cols.data()[kk * oh * ow..(kk + 1) * oh * ow];
+                    for (pv, &cv) in plane.iter_mut().zip(crow.iter()) {
+                        *pv += fv * cv;
+                    }
+                }
+            }
+        }
+    });
+    Tensor::from_vec(out, &[n, o, oh, ow])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpdq_core::FpFormat;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn packed_conv_matches_dense_reference() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let x = Tensor::randn(&[2, 3, 6, 6], &mut rng);
+        let w = Tensor::randn(&[5, 3, 3, 3], &mut rng);
+        let b = Tensor::randn(&[5], &mut rng);
+        for (fmt, spec) in [
+            (FpFormat::new(4, 3), Conv2dSpec::new(1, 1)),
+            (FpFormat::new(2, 1), Conv2dSpec::new(2, 1)),
+        ] {
+            let packed = PackedFpTensor::encode(&w, fmt);
+            let fast = conv2d_packed_fp(&x, &packed, Some(&b), spec, None);
+            let reference = x.conv2d(&fmt.quantize(&w), Some(&b), spec);
+            assert_eq!(fast.dims(), reference.dims());
+            for (a, e) in fast.data().iter().zip(reference.data()) {
+                assert!((a - e).abs() < 1e-4, "{fmt}: {a} vs {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_conv_with_act_quant_matches_model_taps() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = Tensor::randn(&[1, 2, 5, 5], &mut rng);
+        let w = Tensor::randn(&[3, 2, 3, 3], &mut rng);
+        let wfmt = FpFormat::new(2, 1);
+        let act = TensorQuantizer::Fp(FpFormat::new(4, 3));
+        let spec = Conv2dSpec::new(1, 1);
+        let packed = PackedFpTensor::encode(&w, wfmt);
+        let fast = conv2d_packed_fp(&x, &packed, None, spec, Some(&act));
+        let reference = act.quantize(&x).conv2d(&wfmt.quantize(&w), None, spec);
+        for (a, e) in fast.data().iter().zip(reference.data()) {
+            assert!((a - e).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "channel mismatch")]
+    fn channel_mismatch_panics() {
+        let x = Tensor::zeros(&[1, 3, 4, 4]);
+        let w = PackedFpTensor::encode(&Tensor::zeros(&[2, 2, 3, 3]), FpFormat::new(4, 3));
+        conv2d_packed_fp(&x, &w, None, Conv2dSpec::new(1, 1), None);
+    }
+}

@@ -1,0 +1,28 @@
+//! # fpdq-kernels
+//!
+//! Bit-exact software kernels for the quantized representations — the
+//! "kernel evaluation" layer of the reproduction:
+//!
+//! * [`packed`] — bit-packed storage of arbitrary ExMy floating-point and
+//!   INT formats (FP8 → 1 byte/element, FP4/INT4 → 2 elements/byte),
+//!   proving the memory-footprint claims of the paper's §III and
+//!   providing the lookup-table encode/decode a software FP8/FP4 runtime
+//!   needs;
+//! * [`gemm`] — dequantize-on-the-fly matrix multiplication over packed
+//!   weights (the compute pattern of weight-only-quantized inference);
+//! * [`sparse`] — sparsity-exploiting kernels over the zeros that the
+//!   paper's quantizer creates (§VI-G): an unstructured compressed-row
+//!   format and NVIDIA-style structured 2:4 pruning with metadata, the
+//!   "future work" optimisation the paper points at.
+//!
+//! Criterion microbenchmarks over these kernels live in `fpdq-bench`.
+
+pub mod conv;
+pub mod gemm;
+pub mod packed;
+pub mod sparse;
+
+pub use conv::conv2d_packed_fp;
+pub use gemm::{gemm_packed_fp, gemm_packed_int};
+pub use packed::{PackedFpTensor, PackedIntTensor};
+pub use sparse::{CsrWeights, TwoFourWeights};

@@ -1,0 +1,278 @@
+//! Sparsity-exploiting weight formats and kernels (paper §VI-G).
+//!
+//! The paper's quantizer multiplies weight sparsity by 20-620×; these
+//! kernels turn that into skipped work: an unstructured compressed-row
+//! format ([`CsrWeights`]) whose GEMM cost scales with the non-zero count,
+//! and NVIDIA-style structured 2:4 pruning ([`TwoFourWeights`]) with 2-bit
+//! position metadata — the paper's "future work" direction.
+
+use fpdq_tensor::parallel::parallel_rows;
+use fpdq_tensor::Tensor;
+
+/// Compressed sparse rows over a `[n, k]` weight matrix.
+#[derive(Clone, Debug)]
+pub struct CsrWeights {
+    n: usize,
+    k: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl CsrWeights {
+    /// Builds CSR from a dense `[n, k]` matrix (exact zeros are dropped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is not 2-D.
+    pub fn from_dense(w: &Tensor) -> Self {
+        assert_eq!(w.ndim(), 2, "CSR weights must be a matrix");
+        let (n, k) = (w.dim(0), w.dim(1));
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for i in 0..n {
+            for j in 0..k {
+                let v = w.data()[i * k + j];
+                if v != 0.0 {
+                    col_idx.push(j as u32);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(values.len());
+        }
+        CsrWeights { n, k, row_ptr, col_idx, values }
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Fraction of zeros skipped.
+    pub fn sparsity(&self) -> f32 {
+        1.0 - self.nnz() as f32 / (self.n * self.k) as f32
+    }
+
+    /// Storage bytes (values + column indices + row pointers).
+    pub fn payload_bytes(&self) -> usize {
+        self.values.len() * 4 + self.col_idx.len() * 4 + self.row_ptr.len() * 8
+    }
+
+    /// `a [m,k] × selfᵀ → [m,n]`, touching only non-zero weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches.
+    pub fn gemm(&self, a: &Tensor) -> Tensor {
+        assert_eq!(a.ndim(), 2, "activations must be [m, k]");
+        let (m, k) = (a.dim(0), a.dim(1));
+        assert_eq!(k, self.k, "inner dims differ: {k} vs {}", self.k);
+        let mut out = vec![0.0f32; m * self.n];
+        let n = self.n;
+        parallel_rows(&mut out, m, n, 4, |row_start, chunk| {
+            for (r, orow) in chunk.chunks_mut(n).enumerate() {
+                let arow = &a.data()[(row_start + r) * k..(row_start + r + 1) * k];
+                for (j, slot) in orow.iter_mut().enumerate() {
+                    let (s, e) = (self.row_ptr[j], self.row_ptr[j + 1]);
+                    let mut acc = 0.0f32;
+                    for idx in s..e {
+                        acc += arow[self.col_idx[idx] as usize] * self.values[idx];
+                    }
+                    *slot = acc;
+                }
+            }
+        });
+        Tensor::from_vec(out, &[m, self.n])
+    }
+}
+
+/// Structured 2:4 sparsity: within every group of 4 consecutive weights,
+/// only the 2 largest-magnitude survive; positions are stored as 2-bit
+/// metadata (the hardware pattern of NVIDIA sparse tensor cores).
+#[derive(Clone, Debug)]
+pub struct TwoFourWeights {
+    n: usize,
+    k: usize,
+    /// Two surviving values per group of 4.
+    values: Vec<f32>,
+    /// Two 2-bit positions per group, packed one byte per group.
+    positions: Vec<u8>,
+}
+
+impl TwoFourWeights {
+    /// Prunes a dense `[n, k]` matrix to 2:4 structure.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `k` is a multiple of 4.
+    pub fn prune(w: &Tensor) -> Self {
+        assert_eq!(w.ndim(), 2, "2:4 weights must be a matrix");
+        let (n, k) = (w.dim(0), w.dim(1));
+        assert_eq!(k % 4, 0, "2:4 pruning needs k divisible by 4, got {k}");
+        let groups = n * k / 4;
+        let mut values = Vec::with_capacity(groups * 2);
+        let mut positions = Vec::with_capacity(groups);
+        for g in 0..groups {
+            let base = g * 4;
+            let quad = &w.data()[base..base + 4];
+            // Pick the two largest magnitudes (stable order).
+            let mut idx = [0usize, 1, 2, 3];
+            idx.sort_by(|&a, &b| quad[b].abs().total_cmp(&quad[a].abs()));
+            let mut keep = [idx[0], idx[1]];
+            keep.sort_unstable();
+            values.push(quad[keep[0]]);
+            values.push(quad[keep[1]]);
+            positions.push((keep[0] as u8) | ((keep[1] as u8) << 2));
+        }
+        TwoFourWeights { n, k, values, positions }
+    }
+
+    /// Reconstructs the dense pruned matrix.
+    pub fn to_dense(&self) -> Tensor {
+        let mut data = vec![0.0f32; self.n * self.k];
+        for (g, &meta) in self.positions.iter().enumerate() {
+            let base = g * 4;
+            let p0 = (meta & 0b11) as usize;
+            let p1 = ((meta >> 2) & 0b11) as usize;
+            data[base + p0] = self.values[g * 2];
+            data[base + p1] = self.values[g * 2 + 1];
+        }
+        Tensor::from_vec(data, &[self.n, self.k])
+    }
+
+    /// Storage bytes: half the values + 1 metadata byte per group.
+    pub fn payload_bytes(&self) -> usize {
+        self.values.len() * 4 + self.positions.len()
+    }
+
+    /// Relative Frobenius error introduced by pruning.
+    pub fn pruning_error(&self, original: &Tensor) -> f32 {
+        let dense = self.to_dense();
+        (dense.mse(original) * original.numel() as f32).sqrt()
+            / (original.data().iter().map(|v| v * v).sum::<f32>().sqrt() + 1e-12)
+    }
+
+    /// `a [m,k] × selfᵀ → [m,n]` over the pruned structure (2 MACs per
+    /// group instead of 4).
+    pub fn gemm(&self, a: &Tensor) -> Tensor {
+        assert_eq!(a.ndim(), 2, "activations must be [m, k]");
+        let (m, k) = (a.dim(0), a.dim(1));
+        assert_eq!(k, self.k, "inner dims differ");
+        let groups_per_row = self.k / 4;
+        let mut out = vec![0.0f32; m * self.n];
+        let n = self.n;
+        parallel_rows(&mut out, m, n, 4, |row_start, chunk| {
+            for (r, orow) in chunk.chunks_mut(n).enumerate() {
+                let arow = &a.data()[(row_start + r) * k..(row_start + r + 1) * k];
+                for (j, slot) in orow.iter_mut().enumerate() {
+                    let mut acc = 0.0f32;
+                    for g in 0..groups_per_row {
+                        let gi = j * groups_per_row + g;
+                        let meta = self.positions[gi];
+                        let base = g * 4;
+                        acc += arow[base + (meta & 0b11) as usize] * self.values[gi * 2];
+                        acc += arow[base + ((meta >> 2) & 0b11) as usize]
+                            * self.values[gi * 2 + 1];
+                    }
+                    *slot = acc;
+                }
+            }
+        });
+        Tensor::from_vec(out, &[m, self.n])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sparse_matrix(n: usize, k: usize, keep: f32, rng: &mut StdRng) -> Tensor {
+        Tensor::randn(&[n, k], rng).zip_map(
+            &Tensor::rand_uniform(&[n, k], 0.0, 1.0, rng),
+            |v, u| if u < keep { v } else { 0.0 },
+        )
+    }
+
+    #[test]
+    fn csr_gemm_matches_dense() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let w = sparse_matrix(9, 16, 0.3, &mut rng);
+        let a = Tensor::randn(&[5, 16], &mut rng);
+        let csr = CsrWeights::from_dense(&w);
+        let fast = csr.gemm(&a);
+        let reference = a.matmul_nt(&w);
+        for (x, y) in fast.data().iter().zip(reference.data()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+        assert!(csr.sparsity() > 0.5, "sparsity {}", csr.sparsity());
+    }
+
+    #[test]
+    fn csr_payload_shrinks_with_sparsity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let dense_bytes = 64 * 64 * 4;
+        let very_sparse = CsrWeights::from_dense(&sparse_matrix(64, 64, 0.05, &mut rng));
+        assert!(
+            very_sparse.payload_bytes() < dense_bytes / 2,
+            "{} vs dense {dense_bytes}",
+            very_sparse.payload_bytes()
+        );
+    }
+
+    #[test]
+    fn two_four_keeps_exactly_half() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = Tensor::randn(&[8, 16], &mut rng);
+        let pruned = TwoFourWeights::prune(&w).to_dense();
+        let zeros = pruned.data().iter().filter(|&&v| v == 0.0).count();
+        assert_eq!(zeros, 8 * 16 / 2);
+        // Within each quad exactly 2 survive.
+        for quad in pruned.data().chunks(4) {
+            assert_eq!(quad.iter().filter(|&&v| v != 0.0).count(), 2);
+        }
+    }
+
+    #[test]
+    fn two_four_keeps_largest_magnitudes() {
+        let w = Tensor::from_vec(vec![0.1, -5.0, 0.2, 3.0], &[1, 4]);
+        let pruned = TwoFourWeights::prune(&w).to_dense();
+        assert_eq!(pruned.data(), &[0.0, -5.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn two_four_gemm_matches_dense_of_pruned() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = Tensor::randn(&[6, 20], &mut rng);
+        let a = Tensor::randn(&[4, 20], &mut rng);
+        let tf = TwoFourWeights::prune(&w);
+        let fast = tf.gemm(&a);
+        let reference = a.matmul_nt(&tf.to_dense());
+        for (x, y) in fast.data().iter().zip(reference.data()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn two_four_payload_is_roughly_half_plus_metadata() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let w = Tensor::randn(&[32, 32], &mut rng);
+        let tf = TwoFourWeights::prune(&w);
+        let dense_bytes = 32 * 32 * 4;
+        // values: half the elements ×4 B; metadata: 1 B per 4 elements.
+        assert_eq!(tf.payload_bytes(), dense_bytes / 2 + 32 * 32 / 4);
+    }
+
+    #[test]
+    fn pruning_error_small_when_half_already_zero() {
+        let mut rng = StdRng::seed_from_u64(5);
+        // With ≥ half of each quad zero, 2:4 pruning is (near) lossless.
+        let w = Tensor::randn(&[4, 16], &mut rng).map(|v| if v.abs() < 0.6 { 0.0 } else { v });
+        let tf = TwoFourWeights::prune(&w);
+        // Quads with >2 nonzeros exist occasionally; allow small error.
+        assert!(tf.pruning_error(&w) < 0.35, "error {}", tf.pruning_error(&w));
+    }
+}

@@ -1,0 +1,289 @@
+//! `SimClip`: the CLIP-score stand-in (paper §VI-F, Fig. 10).
+//!
+//! CLIP-score measures how well a generated image matches its prompt. For
+//! the synthetic caption grammar this is *exactly measurable*: captions
+//! name an object color, an object shape and a room brightness, and all
+//! three leave direct visual evidence. `SimClip` extracts that evidence
+//! (background estimate → object mask → color / shape / brightness
+//! statistics) and scores the captioned attributes' posterior probability,
+//! averaged over the three attribute groups. A perfect match scores near
+//! 1; chance level is `(1/6 + 1/4 + 1/2) / 3 ≈ 0.31`.
+
+use fpdq_data::{ColorName, ObjectKind, PlaceKind};
+use fpdq_tensor::Tensor;
+
+/// The prompt/image agreement scorer.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SimClip {
+    _priv: (),
+}
+
+/// Shape prototypes: (bounding-box fill ratio, has-center-hole).
+fn shape_prototype(kind: ObjectKind) -> (f32, f32) {
+    match kind {
+        ObjectKind::Ball => (0.78, 0.0),
+        ObjectKind::Box => (0.95, 0.0),
+        ObjectKind::Cross => (0.38, 0.0),
+        ObjectKind::Ring => (0.55, 1.0),
+    }
+}
+
+fn softmax(scores: &[f32]) -> Vec<f32> {
+    let m = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = scores.iter().map(|&s| (s - m).exp()).collect();
+    let z: f32 = exps.iter().sum();
+    exps.iter().map(|&e| e / z).collect()
+}
+
+/// Visual attribute evidence extracted from one image.
+#[derive(Clone, Debug)]
+pub struct AttributeEvidence {
+    /// P(color) over [`ColorName::ALL`].
+    pub color: Vec<f32>,
+    /// P(object) over [`ObjectKind::ALL`].
+    pub object: Vec<f32>,
+    /// P(place) over [`PlaceKind::ALL`].
+    pub place: Vec<f32>,
+}
+
+impl SimClip {
+    /// Creates the scorer.
+    pub fn new() -> Self {
+        SimClip { _priv: () }
+    }
+
+    /// Parses a grammar caption into its attributes; `None` when words are
+    /// missing (e.g. corrupted or out-of-grammar prompts).
+    pub fn parse_caption(caption: &str) -> Option<(ColorName, ObjectKind, PlaceKind)> {
+        let words: Vec<&str> = caption.split_whitespace().collect();
+        let color = ColorName::ALL.iter().copied().find(|c| words.contains(&c.word()))?;
+        let object = ObjectKind::ALL.iter().copied().find(|o| words.contains(&o.word()))?;
+        let place = PlaceKind::ALL.iter().copied().find(|p| words.contains(&p.word()))?;
+        Some((color, object, place))
+    }
+
+    /// Extracts attribute evidence from a `[3, h, w]` image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image is not `[3, h, w]`.
+    pub fn evidence(&self, image: &Tensor) -> AttributeEvidence {
+        assert_eq!(image.ndim(), 3, "expected [3, h, w]");
+        assert_eq!(image.dim(0), 3, "expected RGB");
+        let (h, w) = (image.dim(1), image.dim(2));
+
+        // Background estimate: mean over the image border.
+        let mut bg = [0.0f32; 3];
+        let mut border_n = 0usize;
+        for y in 0..h {
+            for x in 0..w {
+                if y == 0 || y == h - 1 || x == 0 || x == w - 1 {
+                    for (c, b) in bg.iter_mut().enumerate() {
+                        *b += image.at(&[c, y, x]);
+                    }
+                    border_n += 1;
+                }
+            }
+        }
+        for b in bg.iter_mut() {
+            *b /= border_n as f32;
+        }
+
+        // Place evidence from background brightness.
+        let brightness = (bg[0] + bg[1] + bg[2]) / 3.0;
+        let place_scores: Vec<f32> = PlaceKind::ALL
+            .iter()
+            .map(|p| {
+                let target = p.background()[0];
+                -(brightness - target).powi(2) * 8.0
+            })
+            .collect();
+
+        // Object mask: pixels far from the background color.
+        let mut mask = vec![false; h * w];
+        let mut obj_color = [0.0f32; 3];
+        let mut obj_n = 0usize;
+        let (mut min_x, mut max_x, mut min_y, mut max_y) = (w, 0usize, h, 0usize);
+        for y in 0..h {
+            for x in 0..w {
+                let d: f32 = (0..3).map(|c| (image.at(&[c, y, x]) - bg[c]).abs()).sum();
+                if d > 0.9 {
+                    mask[y * w + x] = true;
+                    obj_n += 1;
+                    for (c, oc) in obj_color.iter_mut().enumerate() {
+                        *oc += image.at(&[c, y, x]);
+                    }
+                    min_x = min_x.min(x);
+                    max_x = max_x.max(x);
+                    min_y = min_y.min(y);
+                    max_y = max_y.max(y);
+                }
+            }
+        }
+
+        if obj_n < 3 {
+            // No discernible object: uniform object/color evidence.
+            return AttributeEvidence {
+                color: vec![1.0 / 6.0; 6],
+                object: vec![0.25; 4],
+                place: softmax(&place_scores),
+            };
+        }
+        for oc in obj_color.iter_mut() {
+            *oc /= obj_n as f32;
+        }
+
+        // Color evidence: proximity of the object's mean color to each
+        // grammar color.
+        let color_scores: Vec<f32> = ColorName::ALL
+            .iter()
+            .map(|c| {
+                let rgb = c.rgb();
+                let d2: f32 = (0..3).map(|i| (obj_color[i] - rgb[i]).powi(2)).sum();
+                -d2 * 2.0
+            })
+            .collect();
+
+        // Shape evidence: bounding-box fill ratio + centre-hole test.
+        let bw = (max_x - min_x + 1) as f32;
+        let bh = (max_y - min_y + 1) as f32;
+        let fill = obj_n as f32 / (bw * bh);
+        let (cy, cx) = ((min_y + max_y) / 2, (min_x + max_x) / 2);
+        let hole = if mask[cy * w + cx] { 0.0 } else { 1.0 };
+        let object_scores: Vec<f32> = ObjectKind::ALL
+            .iter()
+            .map(|o| {
+                let (pf, ph) = shape_prototype(*o);
+                -((fill - pf).powi(2) * 12.0 + (hole - ph).powi(2) * 2.0)
+            })
+            .collect();
+
+        AttributeEvidence {
+            color: softmax(&color_scores),
+            object: softmax(&object_scores),
+            place: softmax(&place_scores),
+        }
+    }
+
+    /// Scores one `[3, h, w]` image against its caption: the mean
+    /// posterior probability of the captioned attributes, in `[0, 1]`.
+    ///
+    /// Out-of-grammar captions score 0.
+    pub fn score(&self, image: &Tensor, caption: &str) -> f32 {
+        let Some((color, object, place)) = Self::parse_caption(caption) else {
+            return 0.0;
+        };
+        let ev = self.evidence(image);
+        let ci = ColorName::ALL.iter().position(|&c| c == color).expect("color in grammar");
+        let oi = ObjectKind::ALL.iter().position(|&o| o == object).expect("object in grammar");
+        let pi = PlaceKind::ALL.iter().position(|&p| p == place).expect("place in grammar");
+        (ev.color[ci] + ev.object[oi] + ev.place[pi]) / 3.0
+    }
+
+    /// Mean score over a `[n, 3, h, w]` batch with per-image captions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if counts mismatch.
+    pub fn score_batch(&self, images: &Tensor, captions: &[String]) -> f32 {
+        assert_eq!(images.dim(0), captions.len(), "image/caption count mismatch");
+        let n = captions.len();
+        let mut sum = 0.0;
+        for (i, cap) in captions.iter().enumerate() {
+            let dims = images.dims();
+            let img = images.narrow(0, i, 1).reshape(&[3, dims[2], dims[3]]);
+            sum += self.score(&img, cap);
+        }
+        sum / n as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpdq_data::SceneSpec;
+
+    fn scene(color: ColorName, object: ObjectKind, place: PlaceKind) -> (Tensor, String) {
+        let spec = SceneSpec { color, object, place, x: 0.5, y: 0.5, size: 0.3 };
+        (spec.render(16), spec.caption())
+    }
+
+    #[test]
+    fn matched_caption_scores_high() {
+        let clip = SimClip::new();
+        for (color, object, place) in [
+            (ColorName::Red, ObjectKind::Ball, PlaceKind::Dark),
+            (ColorName::Blue, ObjectKind::Box, PlaceKind::Bright),
+            (ColorName::Green, ObjectKind::Ring, PlaceKind::Dark),
+            (ColorName::Cyan, ObjectKind::Cross, PlaceKind::Bright),
+        ] {
+            let (img, cap) = scene(color, object, place);
+            let s = clip.score(&img, &cap);
+            assert!(s > 0.7, "{cap}: score {s}");
+        }
+    }
+
+    #[test]
+    fn wrong_color_scores_lower() {
+        let clip = SimClip::new();
+        let (img, cap) = scene(ColorName::Red, ObjectKind::Ball, PlaceKind::Dark);
+        let wrong = cap.replace("red", "blue");
+        assert!(clip.score(&img, &cap) > clip.score(&img, &wrong) + 0.2);
+    }
+
+    #[test]
+    fn wrong_object_scores_lower() {
+        let clip = SimClip::new();
+        let (img, cap) = scene(ColorName::Yellow, ObjectKind::Ring, PlaceKind::Dark);
+        let wrong = cap.replace("ring", "box");
+        assert!(clip.score(&img, &cap) > clip.score(&img, &wrong) + 0.1);
+    }
+
+    #[test]
+    fn wrong_place_scores_lower() {
+        let clip = SimClip::new();
+        let (img, cap) = scene(ColorName::Magenta, ObjectKind::Box, PlaceKind::Bright);
+        let wrong = cap.replace("bright", "dark");
+        assert!(clip.score(&img, &cap) > clip.score(&img, &wrong) + 0.1);
+    }
+
+    #[test]
+    fn degradation_lowers_score() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let clip = SimClip::new();
+        let (img, cap) = scene(ColorName::Green, ObjectKind::Ball, PlaceKind::Dark);
+        let clean = clip.score(&img, &cap);
+        let mut rng = StdRng::seed_from_u64(0);
+        let noisy = img.add(&Tensor::randn(img.dims(), &mut rng).mul_scalar(0.8)).clamp(-1.0, 1.0);
+        let degraded = clip.score(&noisy, &cap);
+        assert!(degraded < clean, "noise should hurt: {clean} -> {degraded}");
+    }
+
+    #[test]
+    fn out_of_grammar_caption_scores_zero() {
+        let clip = SimClip::new();
+        let (img, _) = scene(ColorName::Red, ObjectKind::Ball, PlaceKind::Dark);
+        assert_eq!(clip.score(&img, "a purple elephant in space"), 0.0);
+    }
+
+    #[test]
+    fn batch_score_averages() {
+        let clip = SimClip::new();
+        let (a, ca) = scene(ColorName::Red, ObjectKind::Ball, PlaceKind::Dark);
+        let (b, cb) = scene(ColorName::Blue, ObjectKind::Box, PlaceKind::Bright);
+        let batch = Tensor::stack(&[&a, &b]);
+        let avg = clip.score_batch(&batch, &[ca.clone(), cb.clone()]);
+        let manual = (clip.score(&a, &ca) + clip.score(&b, &cb)) / 2.0;
+        assert!((avg - manual).abs() < 1e-6);
+    }
+
+    #[test]
+    fn parse_caption_roundtrips_grammar() {
+        for cap in fpdq_data::CaptionedScenes::all_captions() {
+            let parsed = SimClip::parse_caption(&cap);
+            assert!(parsed.is_some(), "failed to parse {cap}");
+        }
+        assert!(SimClip::parse_caption("nothing here").is_none());
+    }
+}

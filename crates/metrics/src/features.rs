@@ -1,0 +1,143 @@
+//! The feature extractor standing in for InceptionV3 (see crate docs).
+//!
+//! A three-stage convolutional network with *fixed-seed random weights*:
+//! deterministic across runs, shared by reference and generated sets, and
+//! nonlinear enough that distribution differences in image space surface
+//! as mean/covariance differences in feature space. Pooled features feed
+//! FID and precision/recall; the pre-pool feature map (channel ×
+//! downsampled positions) provides the "spatial features" that sFID uses.
+
+use fpdq_tensor::conv::Conv2dSpec;
+use fpdq_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Seed fixing the extractor weights for the whole workspace.
+const FEATURE_NET_SEED: u64 = 0xF1D0;
+
+/// Deterministic random-convolution feature extractor.
+#[derive(Clone, Debug)]
+pub struct FeatureNet {
+    w1: Tensor, // [16, 3, 3, 3]
+    w2: Tensor, // [32, 16, 3, 3]
+    w3: Tensor, // [48, 32, 3, 3]
+    image_size: usize,
+}
+
+impl FeatureNet {
+    /// Builds the extractor for square images of the given size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `image_size < 4`.
+    pub fn for_size(image_size: usize) -> Self {
+        assert!(image_size >= 4, "images must be at least 4x4");
+        let mut rng = StdRng::seed_from_u64(FEATURE_NET_SEED);
+        FeatureNet {
+            w1: Tensor::kaiming(&[16, 3, 3, 3], 27, &mut rng),
+            w2: Tensor::kaiming(&[32, 16, 3, 3], 144, &mut rng),
+            w3: Tensor::kaiming(&[48, 32, 3, 3], 288, &mut rng),
+            image_size,
+        }
+    }
+
+    /// Pooled feature dimensionality.
+    pub fn feature_dim(&self) -> usize {
+        48
+    }
+
+    fn trunk(&self, images: &Tensor) -> Tensor {
+        assert_eq!(images.ndim(), 4, "expected [n, 3, h, w] images");
+        assert_eq!(images.dim(1), 3, "expected RGB images");
+        assert_eq!(
+            images.dim(2),
+            self.image_size,
+            "FeatureNet built for {}px images, got {}px",
+            self.image_size,
+            images.dim(2)
+        );
+        let same = Conv2dSpec::new(1, 1);
+        let mut h = images.conv2d(&self.w1, None, same).silu();
+        if h.dim(2) >= 8 {
+            h = h.avg_pool2d(2);
+        }
+        h = h.conv2d(&self.w2, None, same).silu();
+        if h.dim(2) >= 8 {
+            h = h.avg_pool2d(2);
+        }
+        h.conv2d(&self.w3, None, same).silu()
+    }
+
+    /// Global-average-pooled features `[n, 48]` (FID, precision/recall).
+    pub fn pooled_features(&self, images: &Tensor) -> Tensor {
+        let h = self.trunk(images);
+        let (n, c) = (h.dim(0), h.dim(1));
+        h.reshape(&[n, c, h.dim(2) * h.dim(3)]).mean_axis(2)
+    }
+
+    /// Spatial features `[n, c·h·w]` from the last feature map (sFID).
+    pub fn spatial_features(&self, images: &Tensor) -> Tensor {
+        let h = self.trunk(images);
+        let n = h.dim(0);
+        let d = h.numel() / n;
+        // Cap the spatial dimensionality so covariance stays tractable.
+        let features = h.reshape(&[n, d]);
+        if d > 192 {
+            features.narrow(1, 0, 192)
+        } else {
+            features
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a = FeatureNet::for_size(16);
+        let b = FeatureNet::for_size(16);
+        let mut rng = StdRng::seed_from_u64(1);
+        let imgs = Tensor::randn(&[2, 3, 16, 16], &mut rng);
+        assert_eq!(a.pooled_features(&imgs).data(), b.pooled_features(&imgs).data());
+    }
+
+    #[test]
+    fn pooled_shape() {
+        let net = FeatureNet::for_size(16);
+        let mut rng = StdRng::seed_from_u64(2);
+        let imgs = Tensor::randn(&[5, 3, 16, 16], &mut rng);
+        let f = net.pooled_features(&imgs);
+        assert_eq!(f.dims(), &[5, 48]);
+        assert!(f.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn works_on_8px_images() {
+        let net = FeatureNet::for_size(8);
+        let mut rng = StdRng::seed_from_u64(3);
+        let imgs = Tensor::randn(&[3, 3, 8, 8], &mut rng);
+        assert_eq!(net.pooled_features(&imgs).dims(), &[3, 48]);
+        let s = net.spatial_features(&imgs);
+        assert_eq!(s.dim(0), 3);
+        assert!(s.dim(1) <= 192);
+    }
+
+    #[test]
+    fn distinct_images_get_distinct_features() {
+        let net = FeatureNet::for_size(16);
+        let dark = Tensor::full(&[1, 3, 16, 16], -0.8);
+        let light = Tensor::full(&[1, 3, 16, 16], 0.8);
+        let fd = net.pooled_features(&dark);
+        let fl = net.pooled_features(&light);
+        assert!(fd.mse(&fl) > 1e-4, "features collapse: {}", fd.mse(&fl));
+    }
+
+    #[test]
+    #[should_panic(expected = "built for")]
+    fn wrong_size_panics() {
+        let net = FeatureNet::for_size(16);
+        net.pooled_features(&Tensor::zeros(&[1, 3, 8, 8]));
+    }
+}

@@ -1,0 +1,111 @@
+//! Fréchet Inception Distance over feature sets (paper §VI-B).
+
+use crate::linalg::{trace, trace_sqrtm_psd, sqrtm_psd};
+use fpdq_tensor::Tensor;
+
+/// Mean and covariance of a feature set.
+#[derive(Clone, Debug)]
+pub struct GaussianStats {
+    /// Feature mean `[d]`.
+    pub mean: Tensor,
+    /// Feature covariance `[d, d]`.
+    pub cov: Tensor,
+}
+
+impl GaussianStats {
+    /// Fits mean/covariance to feature rows `[n, d]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 2 rows are given.
+    pub fn fit(features: &Tensor) -> Self {
+        assert_eq!(features.ndim(), 2, "features must be [n, d]");
+        let (n, d) = (features.dim(0), features.dim(1));
+        assert!(n >= 2, "need at least 2 samples to fit a covariance, got {n}");
+        let mean = features.mean_axis(0);
+        let centered = features.sub(&mean.reshape(&[1, d]));
+        let cov = centered.matmul_tn(&centered).mul_scalar(1.0 / (n - 1) as f32);
+        GaussianStats { mean, cov }
+    }
+}
+
+/// Fréchet distance between two Gaussians:
+/// `‖μ₁-μ₂‖² + tr(C₁ + C₂ - 2·(C₁C₂)^½)`.
+///
+/// `tr((C₁C₂)^½)` is computed as `tr((C₁^½ C₂ C₁^½)^½)`, which is the same
+/// value but goes through symmetric PSD square roots only.
+pub fn frechet_distance(a: &GaussianStats, b: &GaussianStats) -> f32 {
+    let diff = a.mean.sub(&b.mean);
+    let mean_term = diff.mul(&diff).sum();
+    let sqrt_a = sqrtm_psd(&a.cov);
+    let inner = sqrt_a.matmul(&b.cov).matmul(&sqrt_a);
+    // Symmetrise against round-off before the eigen-decomposition.
+    let inner_sym = inner.add(&inner.transpose()).mul_scalar(0.5);
+    let cov_term = trace(&a.cov) + trace(&b.cov) - 2.0 * trace_sqrtm_psd(&inner_sym);
+    (mean_term + cov_term).max(0.0)
+}
+
+/// FID between two feature sets `[n, d]` (reference first).
+pub fn fid_from_features(reference: &Tensor, generated: &Tensor) -> f32 {
+    frechet_distance(&GaussianStats::fit(reference), &GaussianStats::fit(generated))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identical_distributions_have_zero_fid() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let x = Tensor::randn(&[64, 8], &mut rng);
+        assert!(fid_from_features(&x, &x) < 1e-3);
+    }
+
+    #[test]
+    fn mean_shift_shows_up_quadratically() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = Tensor::randn(&[256, 4], &mut rng);
+        let y1 = x.add_scalar(1.0);
+        let y2 = x.add_scalar(2.0);
+        let f1 = fid_from_features(&x, &y1);
+        let f2 = fid_from_features(&x, &y2);
+        // ‖Δμ‖² in 4 dims: shift 1 -> 4, shift 2 -> 16.
+        assert!((f1 - 4.0).abs() < 0.5, "f1 = {f1}");
+        assert!((f2 - 16.0).abs() < 1.5, "f2 = {f2}");
+    }
+
+    #[test]
+    fn variance_mismatch_detected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let x = Tensor::randn(&[512, 4], &mut rng);
+        let wide = Tensor::randn(&[512, 4], &mut rng).mul_scalar(3.0);
+        // Analytic: per-dim (σ₁-σ₂)² = (1-3)² = 4, times 4 dims = 16.
+        let f = fid_from_features(&x, &wide);
+        assert!((f - 16.0).abs() < 2.5, "f = {f}");
+    }
+
+    #[test]
+    fn gaussian_fit_matches_hand_computation() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]);
+        let g = GaussianStats::fit(&x);
+        assert_eq!(g.mean.data(), &[3.0, 4.0]);
+        // Columns are perfectly correlated with variance 4 (sample var,
+        // n-1 denominator).
+        assert!((g.cov.at(&[0, 0]) - 4.0).abs() < 1e-5);
+        assert!((g.cov.at(&[0, 1]) - 4.0).abs() < 1e-5);
+        assert!((g.cov.at(&[1, 1]) - 4.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn frechet_is_nonnegative_and_symmetric() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = Tensor::randn(&[128, 6], &mut rng);
+        let b = Tensor::randn(&[128, 6], &mut rng).mul_scalar(1.5).add_scalar(0.3);
+        let ab = fid_from_features(&a, &b);
+        let ba = fid_from_features(&b, &a);
+        assert!(ab >= 0.0);
+        assert!((ab - ba).abs() < 0.05 * ab.max(1.0), "{ab} vs {ba}");
+    }
+}

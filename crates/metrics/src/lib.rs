@@ -1,0 +1,154 @@
+//! # fpdq-metrics
+//!
+//! The image-quality metrics of the paper's evaluation (§VI-B):
+//!
+//! * **FID** — Fréchet distance between Gaussian fits of pooled features
+//!   of the reference and generated image sets;
+//! * **sFID** — the same Fréchet distance over *spatial* features;
+//! * **Precision / Recall** — the improved k-NN manifold estimates of
+//!   Kynkäänniemi et al.;
+//! * **CLIP-style score** — prompt/image agreement ([`SimClip`]).
+//!
+//! The paper extracts features with InceptionV3 and scores prompt
+//! alignment with CLIP; neither pre-trained network exists offline, so:
+//!
+//! * [`FeatureNet`] is a *fixed-seed random convolutional feature
+//!   extractor* — a deterministic nonlinear feature map shared by both
+//!   image sets, which is all the Fréchet construction requires (random
+//!   conv features are a standard lightweight Inception stand-in);
+//! * [`SimClip`] scores agreement between a caption from the
+//!   `fpdq-data` grammar and the visual attribute evidence (object color /
+//!   shape / room brightness) actually present in the image — exactly the
+//!   property CLIP-score measures for the paper's prompts.
+//!
+//! The headline API is [`evaluate`] + [`QualityMetrics`].
+
+pub mod clip;
+pub mod features;
+pub mod fid;
+pub mod linalg;
+pub mod prdc;
+
+pub use clip::SimClip;
+pub use features::FeatureNet;
+pub use fid::{fid_from_features, frechet_distance, GaussianStats};
+pub use prdc::{precision_recall, PrecisionRecall};
+
+use fpdq_tensor::Tensor;
+
+/// The four quality numbers reported in the paper's tables.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct QualityMetrics {
+    /// Fréchet distance on pooled features (lower = better).
+    pub fid: f32,
+    /// Fréchet distance on spatial features (lower = better).
+    pub sfid: f32,
+    /// k-NN precision (higher = better).
+    pub precision: f32,
+    /// k-NN recall (higher = better).
+    pub recall: f32,
+}
+
+impl std::fmt::Display for QualityMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "FID {:.3}  sFID {:.3}  P {:.4}  R {:.4}",
+            self.fid, self.sfid, self.precision, self.recall
+        )
+    }
+}
+
+/// Computes all four table metrics for a generated set against a
+/// reference set (both `[n, 3, h, w]` in `[-1, 1]`).
+///
+/// # Panics
+///
+/// Panics if the sets are empty or have mismatched image shapes.
+pub fn evaluate(reference: &Tensor, generated: &Tensor, net: &FeatureNet) -> QualityMetrics {
+    let ref_pooled = net.pooled_features(reference);
+    let gen_pooled = net.pooled_features(generated);
+    let ref_spatial = net.spatial_features(reference);
+    let gen_spatial = net.spatial_features(generated);
+    let pr = precision_recall(&ref_pooled, &gen_pooled, 3);
+    QualityMetrics {
+        fid: fid_from_features(&ref_pooled, &gen_pooled),
+        sfid: fid_from_features(&ref_spatial, &gen_spatial),
+        precision: pr.precision,
+        recall: pr.recall,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpdq_data::{Dataset, TinyBedrooms};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identical_sets_score_perfectly() {
+        let ds = TinyBedrooms::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let imgs = ds.batch(48, &mut rng);
+        let net = FeatureNet::for_size(16);
+        let m = evaluate(&imgs, &imgs, &net);
+        assert!(m.fid < 1e-2, "FID(X,X) = {}", m.fid);
+        assert!(m.sfid < 1e-1, "sFID(X,X) = {}", m.sfid);
+        assert!(m.precision > 0.99 && m.recall > 0.99);
+    }
+
+    #[test]
+    fn noise_scores_much_worse_than_real_data() {
+        let ds = TinyBedrooms::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let real_a = ds.batch(48, &mut rng);
+        let real_b = ds.batch(48, &mut rng);
+        let noise = Tensor::rand_uniform(&[48, 3, 16, 16], -1.0, 1.0, &mut rng);
+        let net = FeatureNet::for_size(16);
+        let good = evaluate(&real_a, &real_b, &net);
+        let bad = evaluate(&real_a, &noise, &net);
+        assert!(bad.fid > good.fid * 5.0, "FID failed to separate: {} vs {}", good.fid, bad.fid);
+        assert!(bad.precision < good.precision);
+    }
+
+    #[test]
+    fn fid_is_roughly_symmetric() {
+        let ds = TinyBedrooms::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = ds.batch(40, &mut rng);
+        let b = ds.batch(40, &mut rng);
+        let net = FeatureNet::for_size(16);
+        let ab = evaluate(&a, &b, &net).fid;
+        let ba = evaluate(&b, &a, &net).fid;
+        assert!((ab - ba).abs() < 0.05 * ab.max(1e-3), "{ab} vs {ba}");
+    }
+
+    #[test]
+    fn degradation_is_monotone_in_noise_level() {
+        // Corrupting generated images with increasing noise must increase
+        // FID — the property every table in the paper relies on.
+        let ds = TinyBedrooms::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let reference = ds.batch(64, &mut rng);
+        let clean = ds.batch(64, &mut rng);
+        let net = FeatureNet::for_size(16);
+        let mut fids = Vec::new();
+        for noise_level in [0.0f32, 0.2, 0.6] {
+            let noisy = clean
+                .add(&Tensor::randn(clean.dims(), &mut rng).mul_scalar(noise_level))
+                .clamp(-1.0, 1.0);
+            let m = evaluate(&reference, &noisy, &net);
+            if let Some(&prev) = fids.last() {
+                assert!(m.fid >= prev, "FID not monotone at noise {noise_level}: {} < {prev}", m.fid);
+            }
+            fids.push(m.fid);
+        }
+        // Heavy corruption must dominate clean-set sampling noise by a
+        // large factor (absolute FID scale depends on the extractor).
+        assert!(
+            fids[2] > fids[0] * 4.0,
+            "heavy corruption barely moved FID: {fids:?}"
+        );
+    }
+}

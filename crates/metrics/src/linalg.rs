@@ -1,0 +1,181 @@
+//! Dense symmetric linear algebra for the Fréchet metrics: Jacobi
+//! eigendecomposition and the PSD matrix square root.
+
+use fpdq_tensor::Tensor;
+
+/// Eigendecomposition of a symmetric matrix by the cyclic Jacobi method.
+///
+/// Returns `(eigenvalues, eigenvectors)` where column `j` of the
+/// eigenvector matrix corresponds to `eigenvalues[j]`, satisfying
+/// `A ≈ V diag(λ) Vᵀ`.
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+pub fn sym_eig(a: &Tensor) -> (Vec<f32>, Tensor) {
+    assert_eq!(a.ndim(), 2, "sym_eig expects a matrix");
+    let n = a.dim(0);
+    assert_eq!(n, a.dim(1), "sym_eig expects a square matrix, got {}", a.shape());
+    let mut m: Vec<f64> = a.data().iter().map(|&v| v as f64).collect();
+    let mut v = vec![0.0f64; n * n];
+    for i in 0..n {
+        v[i * n + i] = 1.0;
+    }
+    let max_sweeps = 64;
+    for _ in 0..max_sweeps {
+        let mut off = 0.0f64;
+        for i in 0..n {
+            for j in i + 1..n {
+                off += m[i * n + j] * m[i * n + j];
+            }
+        }
+        if off.sqrt() < 1e-12 {
+            break;
+        }
+        for p in 0..n {
+            for q in p + 1..n {
+                let apq = m[p * n + q];
+                if apq.abs() < 1e-18 {
+                    continue;
+                }
+                let app = m[p * n + p];
+                let aqq = m[q * n + q];
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Rotate rows/cols p and q of m.
+                for k in 0..n {
+                    let akp = m[k * n + p];
+                    let akq = m[k * n + q];
+                    m[k * n + p] = c * akp - s * akq;
+                    m[k * n + q] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = m[p * n + k];
+                    let aqk = m[q * n + k];
+                    m[p * n + k] = c * apk - s * aqk;
+                    m[q * n + k] = s * apk + c * aqk;
+                }
+                // Accumulate eigenvectors.
+                for k in 0..n {
+                    let vkp = v[k * n + p];
+                    let vkq = v[k * n + q];
+                    v[k * n + p] = c * vkp - s * vkq;
+                    v[k * n + q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    let eigenvalues: Vec<f32> = (0..n).map(|i| m[i * n + i] as f32).collect();
+    let vectors = Tensor::from_vec(v.iter().map(|&x| x as f32).collect(), &[n, n]);
+    (eigenvalues, vectors)
+}
+
+/// The PSD square root `A^(1/2) = V diag(√max(λ,0)) Vᵀ` of a symmetric
+/// positive-semidefinite matrix (small negative eigenvalues from numerical
+/// noise are clamped).
+pub fn sqrtm_psd(a: &Tensor) -> Tensor {
+    let (vals, vecs) = sym_eig(a);
+    let n = vals.len();
+    let mut scaled = vecs.clone();
+    // scaled[:, j] = vecs[:, j] * sqrt(λ_j)
+    for j in 0..n {
+        let s = vals[j].max(0.0).sqrt();
+        for i in 0..n {
+            let idx = i * n + j;
+            scaled.data_mut()[idx] *= s;
+        }
+    }
+    scaled.matmul_nt(&vecs) // scaled × vecsᵀ
+}
+
+/// Trace of the PSD square root: `tr(A^(1/2)) = Σ √max(λ_i, 0)`.
+pub fn trace_sqrtm_psd(a: &Tensor) -> f32 {
+    sym_eig(a).0.iter().map(|&l| l.max(0.0).sqrt()).sum()
+}
+
+/// Trace of a square matrix.
+pub fn trace(a: &Tensor) -> f32 {
+    let n = a.dim(0);
+    (0..n).map(|i| a.at(&[i, i])).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_psd(n: usize, seed: u64) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let b = Tensor::randn(&[n, n], &mut rng);
+        b.matmul_tn(&b) // BᵀB is PSD
+    }
+
+    #[test]
+    fn eig_reconstructs_matrix() {
+        let a = random_psd(6, 0);
+        let (vals, vecs) = sym_eig(&a);
+        // A ≈ V diag(λ) Vᵀ
+        let mut diag = Tensor::zeros(&[6, 6]);
+        for (i, &l) in vals.iter().enumerate() {
+            diag.set(&[i, i], l);
+        }
+        let recon = vecs.matmul(&diag).matmul(&vecs.transpose());
+        for (x, y) in recon.data().iter().zip(a.data()) {
+            assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn eig_of_diagonal_matrix() {
+        let mut a = Tensor::zeros(&[3, 3]);
+        a.set(&[0, 0], 3.0);
+        a.set(&[1, 1], 1.0);
+        a.set(&[2, 2], 2.0);
+        let (mut vals, _) = sym_eig(&a);
+        vals.sort_by(f32::total_cmp);
+        assert!((vals[0] - 1.0).abs() < 1e-5);
+        assert!((vals[1] - 2.0).abs() < 1e-5);
+        assert!((vals[2] - 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn eigenvalues_of_psd_are_nonnegative() {
+        let a = random_psd(8, 1);
+        let (vals, _) = sym_eig(&a);
+        for &l in &vals {
+            assert!(l > -1e-3, "PSD matrix with eigenvalue {l}");
+        }
+    }
+
+    #[test]
+    fn sqrtm_squares_back() {
+        let a = random_psd(5, 2);
+        let r = sqrtm_psd(&a);
+        let r2 = r.matmul(&r);
+        let scale = a.abs().max().max(1e-6);
+        for (x, y) in r2.data().iter().zip(a.data()) {
+            assert!((x - y).abs() < 1e-3 * scale, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn trace_sqrtm_matches_explicit_sqrtm() {
+        let a = random_psd(5, 3);
+        let direct = trace(&sqrtm_psd(&a));
+        let fast = trace_sqrtm_psd(&a);
+        assert!((direct - fast).abs() < 1e-2 * direct.abs().max(1.0));
+    }
+
+    #[test]
+    fn identity_sqrt_is_identity() {
+        let i = Tensor::eye(4);
+        let r = sqrtm_psd(&i);
+        for (x, y) in r.data().iter().zip(i.data()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+        assert!((trace_sqrtm_psd(&i) - 4.0).abs() < 1e-4);
+    }
+}

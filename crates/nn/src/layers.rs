@@ -1,0 +1,641 @@
+//! Primitive layers: [`Linear`], [`Conv2d`], [`GroupNorm`], [`LayerNorm`],
+//! and the quantization tap machinery.
+
+use fpdq_autograd::{Param, Tape, Var};
+use fpdq_tensor::conv::Conv2dSpec;
+use fpdq_tensor::Tensor;
+use rand::Rng;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// An activation fake-quantizer installed into a layer's [`Tap`].
+///
+/// Implemented by `fpdq-core`'s searched FP/INT quantizers; the nn crate
+/// only knows the function shape.
+pub type ActQuantFn = Rc<dyn Fn(&Tensor) -> Tensor>;
+
+/// Which kind of quantizable layer (the paper quantizes convolution and
+/// linear layers, leaving normalisation and SiLU in full precision, §VI-A).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum QuantKind {
+    /// A 2-D convolution.
+    Conv,
+    /// A fully connected layer (including attention projections).
+    Linear,
+}
+
+/// Post-training-quantization hooks on a quantizable layer's *input*.
+///
+/// * `capture` — when set, inference pushes a clone of each input here
+///   (used to build the paper's initialization/calibration datasets).
+/// * `act_quant` — fake-quantizes the input (whole tensor, or the trunk
+///   half when `split` is set).
+/// * `act_quant_skip` — independent quantizer for the skip-connection half
+///   of a concatenated input (Q-Diffusion's split quantization, §VI-A).
+#[derive(Clone, Default)]
+pub struct Tap {
+    /// Calibration capture buffer.
+    pub capture: Option<Rc<RefCell<Vec<Tensor>>>>,
+    /// Input activation quantizer (trunk half when split).
+    pub act_quant: Option<ActQuantFn>,
+    /// Skip-half activation quantizer (only used when the layer consumes a
+    /// concatenation and a split point is configured).
+    pub act_quant_skip: Option<ActQuantFn>,
+}
+
+impl std::fmt::Debug for Tap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tap")
+            .field("capture", &self.capture.as_ref().map(|c| c.borrow().len()))
+            .field("act_quant", &self.act_quant.is_some())
+            .field("act_quant_skip", &self.act_quant_skip.is_some())
+            .finish()
+    }
+}
+
+impl Tap {
+    /// Applies the tap to a layer input: capture first, then quantize.
+    ///
+    /// `split` is the channel (conv) or feature (linear) index where the
+    /// skip half of a concatenated input begins; `axis` is the channel axis.
+    fn apply(&self, x: &Tensor, split: Option<usize>, axis: usize) -> Tensor {
+        if let Some(buf) = &self.capture {
+            buf.borrow_mut().push(x.clone());
+        }
+        match (&self.act_quant, split, &self.act_quant_skip) {
+            (Some(q), Some(at), Some(qs)) if at < x.dim(axis) => {
+                let trunk = x.narrow(axis, 0, at);
+                let skip = x.narrow(axis, at, x.dim(axis) - at);
+                Tensor::concat(&[&q(&trunk), &qs(&skip)], axis)
+            }
+            (Some(q), _, _) => q(x),
+            (None, _, _) => x.clone(),
+        }
+    }
+}
+
+/// Object-safe view of a quantizable layer, the coupling surface between
+/// the model zoo and the quantization driver in `fpdq-core`.
+pub trait QuantLayer {
+    /// Hierarchical layer name (e.g. `"down0.res0.conv1"`).
+    fn qname(&self) -> &str;
+    /// Convolution or linear.
+    fn kind(&self) -> QuantKind;
+    /// The weight parameter (`[o,c,kh,kw]` or `[out,in]`).
+    fn weight(&self) -> &Param;
+    /// The bias parameter, if any.
+    fn bias(&self) -> Option<&Param>;
+    /// Mutable access to the input tap.
+    fn tap(&self) -> &RefCell<Tap>;
+    /// For convolutions, the stride/padding spec.
+    fn conv_spec(&self) -> Option<Conv2dSpec>;
+    /// If this layer consumes `concat(trunk, skip)`, the channel index
+    /// where the skip half begins.
+    fn concat_split(&self) -> Option<usize>;
+    /// Applies the layer to `x` with an explicit weight, bypassing the tap
+    /// (used by rounding-learning reconstruction).
+    fn forward_with_weight(&self, x: &Tensor, weight: &Tensor) -> Tensor;
+}
+
+// ---------------------------------------------------------------------------
+// Linear
+// ---------------------------------------------------------------------------
+
+/// A fully connected layer `y = x Wᵀ + b` with weight `[out, in]`.
+///
+/// Accepts 2-D `[batch, in]` or 3-D `[batch, seq, in]` inputs.
+#[derive(Debug)]
+pub struct Linear {
+    name: String,
+    /// Weight `[out, in]`.
+    pub weight: Param,
+    /// Bias `[out]`, if enabled.
+    pub bias: Option<Param>,
+    tap: RefCell<Tap>,
+    concat_split: Option<usize>,
+}
+
+impl Linear {
+    /// Creates a linear layer with Kaiming-initialised weights.
+    pub fn new(name: impl Into<String>, in_f: usize, out_f: usize, rng: &mut impl Rng) -> Self {
+        Linear {
+            name: name.into(),
+            weight: Param::new(Tensor::kaiming(&[out_f, in_f], in_f, rng)),
+            bias: Some(Param::new(Tensor::zeros(&[out_f]))),
+            tap: RefCell::new(Tap::default()),
+            concat_split: None,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.weight.dims()[1]
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.weight.dims()[0]
+    }
+
+    /// Marks this layer as consuming `concat(trunk, skip)` with the skip
+    /// half starting at feature `split`.
+    pub fn set_concat_split(&mut self, split: usize) {
+        self.concat_split = Some(split);
+    }
+
+    fn affine(&self, x2: &Tensor, w: &Tensor) -> Tensor {
+        let mut y = x2.matmul_nt(w);
+        if let Some(b) = &self.bias {
+            y = y.add(&b.value());
+        }
+        y
+    }
+
+    /// Inference forward (applies the tap).
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let axis = x.ndim() - 1;
+        let x = self.tap.borrow().apply(x, self.concat_split, axis);
+        self.forward_no_tap(&x)
+    }
+
+    fn forward_no_tap(&self, x: &Tensor) -> Tensor {
+        let w = self.weight.value();
+        match x.ndim() {
+            2 => self.affine(x, &w),
+            3 => {
+                let (b, l, d) = (x.dim(0), x.dim(1), x.dim(2));
+                let y = self.affine(&x.reshape(&[b * l, d]), &w);
+                y.reshape(&[b, l, self.out_features()])
+            }
+            n => panic!("Linear expects 2-D or 3-D input, got rank {n}"),
+        }
+    }
+
+    /// Training forward over autograd variables.
+    pub fn forward_var<'t>(&self, tape: &'t Tape, x: Var<'t>) -> Var<'t> {
+        let w = tape.param(&self.weight);
+        let dims = x.dims();
+        let out = match dims.len() {
+            2 => {
+                let mut y = x.matmul_nt(w);
+                if let Some(b) = &self.bias {
+                    y = y.add(tape.param(b));
+                }
+                y
+            }
+            3 => {
+                let (b, l, d) = (dims[0], dims[1], dims[2]);
+                let mut y = x.reshape(&[b * l, d]).matmul_nt(w);
+                if let Some(bias) = &self.bias {
+                    y = y.add(tape.param(bias));
+                }
+                y.reshape(&[b, l, self.out_features()])
+            }
+            n => panic!("Linear expects 2-D or 3-D input, got rank {n}"),
+        };
+        out
+    }
+
+    /// Collects `(name, param)` pairs.
+    pub fn collect_params(&self, out: &mut Vec<(String, Param)>) {
+        out.push((format!("{}.weight", self.name), self.weight.clone()));
+        if let Some(b) = &self.bias {
+            out.push((format!("{}.bias", self.name), b.clone()));
+        }
+    }
+}
+
+impl QuantLayer for Linear {
+    fn qname(&self) -> &str {
+        &self.name
+    }
+    fn kind(&self) -> QuantKind {
+        QuantKind::Linear
+    }
+    fn weight(&self) -> &Param {
+        &self.weight
+    }
+    fn bias(&self) -> Option<&Param> {
+        self.bias.as_ref()
+    }
+    fn tap(&self) -> &RefCell<Tap> {
+        &self.tap
+    }
+    fn conv_spec(&self) -> Option<Conv2dSpec> {
+        None
+    }
+    fn concat_split(&self) -> Option<usize> {
+        self.concat_split
+    }
+    fn forward_with_weight(&self, x: &Tensor, weight: &Tensor) -> Tensor {
+        match x.ndim() {
+            2 => self.affine(x, weight),
+            3 => {
+                let (b, l, d) = (x.dim(0), x.dim(1), x.dim(2));
+                self.affine(&x.reshape(&[b * l, d]), weight).reshape(&[
+                    b,
+                    l,
+                    self.out_features(),
+                ])
+            }
+            n => panic!("Linear expects 2-D or 3-D input, got rank {n}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Conv2d
+// ---------------------------------------------------------------------------
+
+/// A 2-D convolution layer with weight `[out, in, kh, kw]`.
+#[derive(Debug)]
+pub struct Conv2d {
+    name: String,
+    /// Weight `[out, in, kh, kw]`.
+    pub weight: Param,
+    /// Bias `[out]`, if enabled.
+    pub bias: Option<Param>,
+    spec: Conv2dSpec,
+    tap: RefCell<Tap>,
+    concat_split: Option<usize>,
+}
+
+impl Conv2d {
+    /// Creates a convolution with Kaiming-initialised weights.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: impl Into<String>,
+        in_c: usize,
+        out_c: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let fan_in = in_c * kernel * kernel;
+        Conv2d {
+            name: name.into(),
+            weight: Param::new(Tensor::kaiming(&[out_c, in_c, kernel, kernel], fan_in, rng)),
+            bias: Some(Param::new(Tensor::zeros(&[out_c]))),
+            spec: Conv2dSpec::new(stride, padding),
+            tap: RefCell::new(Tap::default()),
+            concat_split: None,
+        }
+    }
+
+    /// Input channel count.
+    pub fn in_channels(&self) -> usize {
+        self.weight.dims()[1]
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.weight.dims()[0]
+    }
+
+    /// The stride/padding specification.
+    pub fn spec(&self) -> Conv2dSpec {
+        self.spec
+    }
+
+    /// Marks this layer as consuming `concat(trunk, skip)` with the skip
+    /// half starting at channel `split`.
+    pub fn set_concat_split(&mut self, split: usize) {
+        self.concat_split = Some(split);
+    }
+
+    /// Inference forward (applies the tap).
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let x = self.tap.borrow().apply(x, self.concat_split, 1);
+        let bias = self.bias.as_ref().map(|b| b.value());
+        x.conv2d(&self.weight.value(), bias.as_ref(), self.spec)
+    }
+
+    /// Training forward over autograd variables.
+    pub fn forward_var<'t>(&self, tape: &'t Tape, x: Var<'t>) -> Var<'t> {
+        let w = tape.param(&self.weight);
+        let b = self.bias.as_ref().map(|b| tape.param(b));
+        x.conv2d(w, b, self.spec)
+    }
+
+    /// Collects `(name, param)` pairs.
+    pub fn collect_params(&self, out: &mut Vec<(String, Param)>) {
+        out.push((format!("{}.weight", self.name), self.weight.clone()));
+        if let Some(b) = &self.bias {
+            out.push((format!("{}.bias", self.name), b.clone()));
+        }
+    }
+}
+
+impl QuantLayer for Conv2d {
+    fn qname(&self) -> &str {
+        &self.name
+    }
+    fn kind(&self) -> QuantKind {
+        QuantKind::Conv
+    }
+    fn weight(&self) -> &Param {
+        &self.weight
+    }
+    fn bias(&self) -> Option<&Param> {
+        self.bias.as_ref()
+    }
+    fn tap(&self) -> &RefCell<Tap> {
+        &self.tap
+    }
+    fn conv_spec(&self) -> Option<Conv2dSpec> {
+        Some(self.spec)
+    }
+    fn concat_split(&self) -> Option<usize> {
+        self.concat_split
+    }
+    fn forward_with_weight(&self, x: &Tensor, weight: &Tensor) -> Tensor {
+        let bias = self.bias.as_ref().map(|b| b.value());
+        x.conv2d(weight, bias.as_ref(), self.spec)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Normalisation layers (kept in full precision by the paper, §VI-A)
+// ---------------------------------------------------------------------------
+
+/// Reference (tensor-path) group-norm forward.
+pub fn group_norm_ref(x: &Tensor, gamma: &Tensor, beta: &Tensor, groups: usize, eps: f32) -> Tensor {
+    assert_eq!(x.ndim(), 4, "group_norm input must be [n,c,h,w]");
+    let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+    assert_eq!(c % groups, 0, "channels {c} not divisible by {groups} groups");
+    let gsz = c / groups;
+    let m = gsz * h * w;
+    let mut out = vec![0.0f32; x.numel()];
+    let xd = x.data();
+    for b in 0..n {
+        for g in 0..groups {
+            let start = (b * c + g * gsz) * h * w;
+            let slice = &xd[start..start + m];
+            let mu: f32 = slice.iter().sum::<f32>() / m as f32;
+            let var: f32 = slice.iter().map(|&v| (v - mu) * (v - mu)).sum::<f32>() / m as f32;
+            let is = 1.0 / (var + eps).sqrt();
+            for ci in 0..gsz {
+                let ch = g * gsz + ci;
+                let cstart = (b * c + ch) * h * w;
+                let (gv, bv) = (gamma.data()[ch], beta.data()[ch]);
+                for i in 0..h * w {
+                    out[cstart + i] = (xd[cstart + i] - mu) * is * gv + bv;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, x.dims())
+}
+
+/// Reference (tensor-path) layer-norm forward over the innermost dim.
+pub fn layer_norm_ref(x: &Tensor, gamma: &Tensor, beta: &Tensor, eps: f32) -> Tensor {
+    let d = *x.dims().last().expect("layer_norm on rank-0");
+    let rows = x.numel() / d;
+    let mut out = vec![0.0f32; x.numel()];
+    for r in 0..rows {
+        let row = &x.data()[r * d..(r + 1) * d];
+        let mu: f32 = row.iter().sum::<f32>() / d as f32;
+        let var: f32 = row.iter().map(|&v| (v - mu) * (v - mu)).sum::<f32>() / d as f32;
+        let is = 1.0 / (var + eps).sqrt();
+        for i in 0..d {
+            out[r * d + i] = (row[i] - mu) * is * gamma.data()[i] + beta.data()[i];
+        }
+    }
+    Tensor::from_vec(out, x.dims())
+}
+
+/// Group normalisation with learned affine parameters.
+#[derive(Debug)]
+pub struct GroupNorm {
+    name: String,
+    /// Scale `[c]`.
+    pub gamma: Param,
+    /// Shift `[c]`.
+    pub beta: Param,
+    groups: usize,
+    eps: f32,
+}
+
+impl GroupNorm {
+    /// Creates a group norm over `channels` split into `groups`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` is not divisible by `groups`.
+    pub fn new(name: impl Into<String>, channels: usize, groups: usize) -> Self {
+        assert_eq!(channels % groups, 0, "channels {channels} not divisible by {groups}");
+        GroupNorm {
+            name: name.into(),
+            gamma: Param::new(Tensor::ones(&[channels])),
+            beta: Param::new(Tensor::zeros(&[channels])),
+            groups,
+            eps: 1e-5,
+        }
+    }
+
+    /// Inference forward.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        group_norm_ref(x, &self.gamma.value(), &self.beta.value(), self.groups, self.eps)
+    }
+
+    /// Training forward.
+    pub fn forward_var<'t>(&self, tape: &'t Tape, x: Var<'t>) -> Var<'t> {
+        x.group_norm(tape.param(&self.gamma), tape.param(&self.beta), self.groups, self.eps)
+    }
+
+    /// Collects `(name, param)` pairs.
+    pub fn collect_params(&self, out: &mut Vec<(String, Param)>) {
+        out.push((format!("{}.gamma", self.name), self.gamma.clone()));
+        out.push((format!("{}.beta", self.name), self.beta.clone()));
+    }
+}
+
+/// Layer normalisation over the innermost dimension.
+#[derive(Debug)]
+pub struct LayerNorm {
+    name: String,
+    /// Scale `[d]`.
+    pub gamma: Param,
+    /// Shift `[d]`.
+    pub beta: Param,
+    eps: f32,
+}
+
+impl LayerNorm {
+    /// Creates a layer norm over `dim` features.
+    pub fn new(name: impl Into<String>, dim: usize) -> Self {
+        LayerNorm {
+            name: name.into(),
+            gamma: Param::new(Tensor::ones(&[dim])),
+            beta: Param::new(Tensor::zeros(&[dim])),
+            eps: 1e-5,
+        }
+    }
+
+    /// Inference forward.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        layer_norm_ref(x, &self.gamma.value(), &self.beta.value(), self.eps)
+    }
+
+    /// Training forward.
+    pub fn forward_var<'t>(&self, tape: &'t Tape, x: Var<'t>) -> Var<'t> {
+        x.layer_norm(tape.param(&self.gamma), tape.param(&self.beta), self.eps)
+    }
+
+    /// Collects `(name, param)` pairs.
+    pub fn collect_params(&self, out: &mut Vec<(String, Param)>) {
+        out.push((format!("{}.gamma", self.name), self.gamma.clone()));
+        out.push((format!("{}.beta", self.name), self.beta.clone()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_paths_agree() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let lin = Linear::new("l", 4, 3, &mut rng);
+        let x = Tensor::randn(&[2, 4], &mut rng);
+        let y_tensor = lin.forward(&x);
+        let tape = Tape::new();
+        let y_var = lin.forward_var(&tape, tape.constant(x.clone()));
+        for (a, b) in y_tensor.data().iter().zip(y_var.value().data()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn linear_3d_input() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let lin = Linear::new("l", 4, 6, &mut rng);
+        let x = Tensor::randn(&[2, 5, 4], &mut rng);
+        let y = lin.forward(&x);
+        assert_eq!(y.dims(), &[2, 5, 6]);
+        // Row independence: each (b, l) position is a separate affine map.
+        let row = x.narrow(0, 1, 1).narrow(1, 3, 1).reshape(&[1, 4]);
+        let yr = lin.forward(&row);
+        for (a, b) in yr.data().iter().zip(y.narrow(0, 1, 1).narrow(1, 3, 1).data()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn conv_paths_agree() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let conv = Conv2d::new("c", 3, 5, 3, 1, 1, &mut rng);
+        let x = Tensor::randn(&[2, 3, 6, 6], &mut rng);
+        let y_tensor = conv.forward(&x);
+        let tape = Tape::new();
+        let y_var = conv.forward_var(&tape, tape.constant(x.clone()));
+        assert_eq!(y_tensor.dims(), &[2, 5, 6, 6]);
+        for (a, b) in y_tensor.data().iter().zip(y_var.value().data()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn tap_capture_records_inputs() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let conv = Conv2d::new("c", 2, 2, 1, 1, 0, &mut rng);
+        let buf = Rc::new(RefCell::new(Vec::new()));
+        conv.tap().borrow_mut().capture = Some(buf.clone());
+        let x = Tensor::randn(&[1, 2, 3, 3], &mut rng);
+        conv.forward(&x);
+        conv.forward(&x);
+        assert_eq!(buf.borrow().len(), 2);
+        assert_eq!(buf.borrow()[0].data(), x.data());
+    }
+
+    #[test]
+    fn tap_act_quant_applies() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let lin = Linear::new("l", 2, 2, &mut rng);
+        // A "quantizer" that zeroes everything: output must equal bias.
+        lin.tap().borrow_mut().act_quant = Some(Rc::new(|_x: &Tensor| Tensor::zeros(&[1, 2])));
+        lin.bias.as_ref().unwrap().update(|b| b.data_mut().copy_from_slice(&[1.5, -2.5]));
+        let y = lin.forward(&Tensor::ones(&[1, 2]));
+        assert_eq!(y.data(), &[1.5, -2.5]);
+    }
+
+    #[test]
+    fn tap_split_quantizes_halves_independently() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut conv = Conv2d::new("c", 4, 1, 1, 1, 0, &mut rng);
+        conv.set_concat_split(2);
+        conv.weight.replace(Tensor::ones(&[1, 4, 1, 1]));
+        conv.bias.as_ref().unwrap().update(|b| b.data_mut()[0] = 0.0);
+        // Trunk quantizer doubles; skip quantizer negates.
+        conv.tap().borrow_mut().act_quant = Some(Rc::new(|x: &Tensor| x.mul_scalar(2.0)));
+        conv.tap().borrow_mut().act_quant_skip = Some(Rc::new(|x: &Tensor| x.neg()));
+        let x = Tensor::ones(&[1, 4, 1, 1]);
+        let y = conv.forward(&x);
+        // 2 trunk channels doubled (2+2) + 2 skip channels negated (-1-1) = 2
+        assert_eq!(y.data(), &[2.0]);
+    }
+
+    #[test]
+    fn group_norm_normalises() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let gn = GroupNorm::new("gn", 8, 4);
+        let x = Tensor::randn(&[2, 8, 4, 4], &mut rng).mul_scalar(5.0).add_scalar(3.0);
+        let y = gn.forward(&x);
+        // With unit gamma / zero beta each group is standardised.
+        assert!(y.mean().abs() < 1e-4);
+        assert!((y.std() - 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn group_norm_paths_agree() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let gn = GroupNorm::new("gn", 6, 3);
+        gn.gamma.replace(Tensor::rand_uniform(&[6], 0.5, 1.5, &mut rng));
+        gn.beta.replace(Tensor::randn(&[6], &mut rng));
+        let x = Tensor::randn(&[2, 6, 3, 3], &mut rng);
+        let y1 = gn.forward(&x);
+        let tape = Tape::new();
+        let y2 = gn.forward_var(&tape, tape.constant(x));
+        for (a, b) in y1.data().iter().zip(y2.value().data()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn layer_norm_paths_agree() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let ln = LayerNorm::new("ln", 10);
+        ln.gamma.replace(Tensor::rand_uniform(&[10], 0.5, 1.5, &mut rng));
+        let x = Tensor::randn(&[4, 10], &mut rng);
+        let y1 = ln.forward(&x);
+        let tape = Tape::new();
+        let y2 = ln.forward_var(&tape, tape.constant(x));
+        for (a, b) in y1.data().iter().zip(y2.value().data()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn params_are_collected_with_names() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let lin = Linear::new("block.proj", 2, 2, &mut rng);
+        let mut params = Vec::new();
+        lin.collect_params(&mut params);
+        let names: Vec<&str> = params.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["block.proj.weight", "block.proj.bias"]);
+    }
+
+    #[test]
+    fn forward_with_weight_bypasses_tap() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let lin = Linear::new("l", 2, 2, &mut rng);
+        lin.tap().borrow_mut().act_quant = Some(Rc::new(|_x: &Tensor| panic!("tap must not run")));
+        let x = Tensor::ones(&[1, 2]);
+        let w = Tensor::eye(2);
+        let y = lin.forward_with_weight(&x, &w);
+        assert_eq!(y.dims(), &[1, 2]);
+    }
+}

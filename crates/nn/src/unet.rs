@@ -1,0 +1,501 @@
+//! The diffusion U-Net: the noise-prediction network `ε_θ(x_t, t, ctx)`.
+//!
+//! Mirrors the Stable-Diffusion/LDM architecture at reduced scale:
+//! ResNet blocks with timestep injection, spatial transformers with
+//! optional cross-attention, stride-2 down/upsampling, and the
+//! block-to-block **skip connections** whose concatenation consumers the
+//! paper singles out for split activation quantization (§VI-A).
+
+use crate::blocks::{timestep_embedding, Downsample, ResBlock, SpatialTransformer, Upsample};
+use crate::layers::{Conv2d, GroupNorm, Linear, QuantLayer};
+use fpdq_autograd::{Param, Tape, Var};
+use fpdq_tensor::Tensor;
+use rand::Rng;
+
+/// Architecture hyper-parameters of a [`UNet`].
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct UNetConfig {
+    /// Input channels (image or latent channels).
+    pub in_channels: usize,
+    /// Output channels (predicted noise channels).
+    pub out_channels: usize,
+    /// Channel width at the first level.
+    pub base_channels: usize,
+    /// Per-level channel multipliers (also sets the number of levels).
+    pub channel_mults: Vec<usize>,
+    /// Residual blocks per level.
+    pub num_res_blocks: usize,
+    /// Level indices that get spatial-transformer attention.
+    pub attn_levels: Vec<usize>,
+    /// Attention heads.
+    pub heads: usize,
+    /// Cross-attention context dimensionality (None = unconditional).
+    pub context_dim: Option<usize>,
+    /// GroupNorm group count.
+    pub norm_groups: usize,
+}
+
+impl UNetConfig {
+    /// A small unconditional config suitable for unit tests.
+    pub fn tiny(in_channels: usize) -> Self {
+        UNetConfig {
+            in_channels,
+            out_channels: in_channels,
+            base_channels: 8,
+            channel_mults: vec![1, 2],
+            num_res_blocks: 1,
+            attn_levels: vec![1],
+            heads: 2,
+            context_dim: None,
+            norm_groups: 4,
+        }
+    }
+
+    fn time_dim(&self) -> usize {
+        self.base_channels * 4
+    }
+}
+
+#[derive(Debug)]
+struct DownLevel {
+    blocks: Vec<(ResBlock, Option<SpatialTransformer>)>,
+    down: Option<Downsample>,
+}
+
+#[derive(Debug)]
+struct UpLevel {
+    blocks: Vec<(ResBlock, Option<SpatialTransformer>)>,
+    up: Option<Upsample>,
+}
+
+/// The denoising U-Net (see module docs).
+#[derive(Debug)]
+pub struct UNet {
+    cfg: UNetConfig,
+    conv_in: Conv2d,
+    time1: Linear,
+    time2: Linear,
+    down: Vec<DownLevel>,
+    mid: (ResBlock, Option<SpatialTransformer>, ResBlock),
+    up: Vec<UpLevel>,
+    out_norm: GroupNorm,
+    conv_out: Conv2d,
+}
+
+impl UNet {
+    /// Builds a U-Net with freshly initialised weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (no levels, zero blocks).
+    pub fn new(cfg: UNetConfig, rng: &mut impl Rng) -> Self {
+        assert!(!cfg.channel_mults.is_empty(), "need at least one level");
+        assert!(cfg.num_res_blocks >= 1, "need at least one res block per level");
+        let base = cfg.base_channels;
+        let tdim = cfg.time_dim();
+        let levels = cfg.channel_mults.len();
+        let groups = cfg.norm_groups;
+
+        let conv_in = Conv2d::new("conv_in", cfg.in_channels, base, 3, 1, 1, rng);
+        let time1 = Linear::new("time1", base, tdim, rng);
+        let time2 = Linear::new("time2", tdim, tdim, rng);
+
+        // Track skip channels exactly as forward will push them.
+        let mut skip_chs = vec![base];
+        let mut ch = base;
+        let mut down = Vec::new();
+        for (i, &mult) in cfg.channel_mults.iter().enumerate() {
+            let out_ch = base * mult;
+            let mut blocks = Vec::new();
+            for j in 0..cfg.num_res_blocks {
+                let rb = ResBlock::new(
+                    &format!("down{i}.res{j}"),
+                    ch,
+                    out_ch,
+                    tdim,
+                    groups,
+                    None,
+                    rng,
+                );
+                ch = out_ch;
+                let attn = cfg.attn_levels.contains(&i).then(|| {
+                    SpatialTransformer::new(
+                        &format!("down{i}.attn{j}"),
+                        ch,
+                        cfg.context_dim,
+                        cfg.heads,
+                        groups,
+                        rng,
+                    )
+                });
+                blocks.push((rb, attn));
+                skip_chs.push(ch);
+            }
+            let is_last = i == levels - 1;
+            let downsample = (!is_last).then(|| {
+                skip_chs.push(ch);
+                Downsample::new(&format!("down{i}.down"), ch, rng)
+            });
+            down.push(DownLevel { blocks, down: downsample });
+        }
+
+        let mid_attn = (!cfg.attn_levels.is_empty() || cfg.context_dim.is_some()).then(|| {
+            SpatialTransformer::new("mid.attn", ch, cfg.context_dim, cfg.heads, groups, rng)
+        });
+        let mid = (
+            ResBlock::new("mid.res0", ch, ch, tdim, groups, None, rng),
+            mid_attn,
+            ResBlock::new("mid.res1", ch, ch, tdim, groups, None, rng),
+        );
+
+        let mut up = Vec::new();
+        for (i, &mult) in cfg.channel_mults.iter().enumerate().rev() {
+            let out_ch = base * mult;
+            let mut blocks = Vec::new();
+            for j in 0..cfg.num_res_blocks + 1 {
+                let skip_ch = skip_chs.pop().expect("skip channel bookkeeping out of sync");
+                let rb = ResBlock::new(
+                    &format!("up{i}.res{j}"),
+                    ch + skip_ch,
+                    out_ch,
+                    tdim,
+                    groups,
+                    Some(ch),
+                    rng,
+                );
+                ch = out_ch;
+                let attn = cfg.attn_levels.contains(&i).then(|| {
+                    SpatialTransformer::new(
+                        &format!("up{i}.attn{j}"),
+                        ch,
+                        cfg.context_dim,
+                        cfg.heads,
+                        groups,
+                        rng,
+                    )
+                });
+                blocks.push((rb, attn));
+            }
+            let upsample = (i != 0).then(|| Upsample::new(&format!("up{i}.up"), ch, rng));
+            up.push(UpLevel { blocks, up: upsample });
+        }
+        assert!(skip_chs.is_empty(), "skip channel bookkeeping out of sync");
+
+        let out_norm = GroupNorm::new("out_norm", ch, groups.min(ch));
+        let conv_out = Conv2d::new("conv_out", ch, cfg.out_channels, 3, 1, 1, rng);
+        UNet { cfg, conv_in, time1, time2, down, mid, up, out_norm, conv_out }
+    }
+
+    /// The architecture configuration.
+    pub fn config(&self) -> &UNetConfig {
+        &self.cfg
+    }
+
+    /// Total parameter count.
+    pub fn param_count(&self) -> usize {
+        let mut params = Vec::new();
+        self.collect_params(&mut params);
+        params.iter().map(|(_, p)| p.numel()).sum()
+    }
+
+    fn time_embed(&self, t: &Tensor) -> Tensor {
+        let emb = timestep_embedding(t, self.cfg.base_channels, 10_000.0);
+        self.time2.forward(&self.time1.forward(&emb).silu())
+    }
+
+    /// Inference forward: predicts noise for `x` `[b, c, h, w]` at
+    /// timesteps `t` `[b]` with optional cross-attention `context`
+    /// `[b, l, context_dim]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config expects context and none is given.
+    pub fn forward(&self, x: &Tensor, t: &Tensor, context: Option<&Tensor>) -> Tensor {
+        if self.cfg.context_dim.is_some() {
+            assert!(context.is_some(), "this U-Net is conditional: context required");
+        }
+        let temb = self.time_embed(t);
+        let mut h = self.conv_in.forward(x);
+        let mut skips = vec![h.clone()];
+        for level in &self.down {
+            for (rb, attn) in &level.blocks {
+                h = rb.forward(&h, &temb);
+                if let Some(a) = attn {
+                    h = a.forward(&h, context);
+                }
+                skips.push(h.clone());
+            }
+            if let Some(d) = &level.down {
+                h = d.forward(&h);
+                skips.push(h.clone());
+            }
+        }
+        h = self.mid.0.forward(&h, &temb);
+        if let Some(a) = &self.mid.1 {
+            h = a.forward(&h, context);
+        }
+        h = self.mid.2.forward(&h, &temb);
+        for level in &self.up {
+            for (rb, attn) in &level.blocks {
+                let skip = skips.pop().expect("skip stack underflow");
+                // Trunk first, then skip: conv1.concat_split == trunk channels.
+                let joined = Tensor::concat(&[&h, &skip], 1);
+                h = rb.forward(&joined, &temb);
+                if let Some(a) = attn {
+                    h = a.forward(&h, context);
+                }
+            }
+            if let Some(u) = &level.up {
+                h = u.forward(&h);
+            }
+        }
+        debug_assert!(skips.is_empty(), "skip stack not fully consumed");
+        self.conv_out.forward(&self.out_norm.forward(&h).silu())
+    }
+
+    /// Training forward over autograd variables.
+    pub fn forward_var<'t>(
+        &self,
+        tape: &'t Tape,
+        x: Var<'t>,
+        t: &Tensor,
+        context: Option<Var<'t>>,
+    ) -> Var<'t> {
+        if self.cfg.context_dim.is_some() {
+            assert!(context.is_some(), "this U-Net is conditional: context required");
+        }
+        let emb = tape.constant(timestep_embedding(t, self.cfg.base_channels, 10_000.0));
+        let temb = self.time2.forward_var(tape, self.time1.forward_var(tape, emb).silu());
+        let mut h = self.conv_in.forward_var(tape, x);
+        let mut skips = vec![h];
+        for level in &self.down {
+            for (rb, attn) in &level.blocks {
+                h = rb.forward_var(tape, h, temb);
+                if let Some(a) = attn {
+                    h = a.forward_var(tape, h, context);
+                }
+                skips.push(h);
+            }
+            if let Some(d) = &level.down {
+                h = d.forward_var(tape, h);
+                skips.push(h);
+            }
+        }
+        h = self.mid.0.forward_var(tape, h, temb);
+        if let Some(a) = &self.mid.1 {
+            h = a.forward_var(tape, h, context);
+        }
+        h = self.mid.2.forward_var(tape, h, temb);
+        for level in &self.up {
+            for (rb, attn) in &level.blocks {
+                let skip = skips.pop().expect("skip stack underflow");
+                let joined = Var::concat(&[h, skip], 1);
+                h = rb.forward_var(tape, joined, temb);
+                if let Some(a) = attn {
+                    h = a.forward_var(tape, h, context);
+                }
+            }
+            if let Some(u) = &level.up {
+                h = u.forward_var(tape, h);
+            }
+        }
+        self.conv_out.forward_var(tape, self.out_norm.forward_var(tape, h).silu())
+    }
+
+    /// Collects `(name, param)` pairs for checkpointing and optimization.
+    pub fn collect_params(&self, out: &mut Vec<(String, Param)>) {
+        self.conv_in.collect_params(out);
+        self.time1.collect_params(out);
+        self.time2.collect_params(out);
+        for level in &self.down {
+            for (rb, attn) in &level.blocks {
+                rb.collect_params(out);
+                if let Some(a) = attn {
+                    a.collect_params(out);
+                }
+            }
+            if let Some(d) = &level.down {
+                d.collect_params(out);
+            }
+        }
+        self.mid.0.collect_params(out);
+        if let Some(a) = &self.mid.1 {
+            a.collect_params(out);
+        }
+        self.mid.2.collect_params(out);
+        for level in &self.up {
+            for (rb, attn) in &level.blocks {
+                rb.collect_params(out);
+                if let Some(a) = attn {
+                    a.collect_params(out);
+                }
+            }
+            if let Some(u) = &level.up {
+                u.collect_params(out);
+            }
+        }
+        self.out_norm.collect_params(out);
+        self.conv_out.collect_params(out);
+    }
+
+    /// Visits every quantizable (conv/linear) layer in breadth-first model
+    /// order — the greedy search order of the paper's Algorithm 1.
+    pub fn visit_quant_layers<'a>(&'a self, f: &mut dyn FnMut(&'a dyn QuantLayer)) {
+        f(&self.conv_in);
+        f(&self.time1);
+        f(&self.time2);
+        for level in &self.down {
+            for (rb, attn) in &level.blocks {
+                rb.visit_quant_layers(f);
+                if let Some(a) = attn {
+                    a.visit_quant_layers(f);
+                }
+            }
+            if let Some(d) = &level.down {
+                d.visit_quant_layers(f);
+            }
+        }
+        self.mid.0.visit_quant_layers(f);
+        if let Some(a) = &self.mid.1 {
+            a.visit_quant_layers(f);
+        }
+        self.mid.2.visit_quant_layers(f);
+        for level in &self.up {
+            for (rb, attn) in &level.blocks {
+                rb.visit_quant_layers(f);
+                if let Some(a) = attn {
+                    a.visit_quant_layers(f);
+                }
+            }
+            if let Some(u) = &level.up {
+                u.visit_quant_layers(f);
+            }
+        }
+        f(&self.conv_out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn unconditional_forward_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let unet = UNet::new(UNetConfig::tiny(3), &mut rng);
+        let x = Tensor::randn(&[2, 3, 8, 8], &mut rng);
+        let t = Tensor::from_vec(vec![3.0, 77.0], &[2]);
+        let y = unet.forward(&x, &t, None);
+        assert_eq!(y.dims(), &[2, 3, 8, 8]);
+        assert!(y.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn conditional_forward_uses_context() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = UNetConfig { context_dim: Some(12), ..UNetConfig::tiny(4) };
+        let unet = UNet::new(cfg, &mut rng);
+        let x = Tensor::randn(&[1, 4, 8, 8], &mut rng);
+        let t = Tensor::from_vec(vec![5.0], &[1]);
+        let ctx_a = Tensor::randn(&[1, 6, 12], &mut rng);
+        let ctx_b = Tensor::randn(&[1, 6, 12], &mut rng);
+        let ya = unet.forward(&x, &t, Some(&ctx_a));
+        let yb = unet.forward(&x, &t, Some(&ctx_b));
+        assert_eq!(ya.dims(), &[1, 4, 8, 8]);
+        // Different context must change the output (cross-attention works).
+        let diff: f32 = ya.data().iter().zip(yb.data()).map(|(a, b)| (a - b).abs()).sum();
+        assert!(diff > 1e-3, "context had no effect: {diff}");
+    }
+
+    #[test]
+    #[should_panic(expected = "context required")]
+    fn conditional_unet_requires_context() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = UNetConfig { context_dim: Some(8), ..UNetConfig::tiny(3) };
+        let unet = UNet::new(cfg, &mut rng);
+        let x = Tensor::randn(&[1, 3, 8, 8], &mut rng);
+        unet.forward(&x, &Tensor::from_vec(vec![1.0], &[1]), None);
+    }
+
+    #[test]
+    fn forward_paths_agree() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let unet = UNet::new(UNetConfig::tiny(3), &mut rng);
+        let x = Tensor::randn(&[1, 3, 8, 8], &mut rng);
+        let t = Tensor::from_vec(vec![9.0], &[1]);
+        let y1 = unet.forward(&x, &t, None);
+        let tape = Tape::new();
+        let y2 = unet.forward_var(&tape, tape.constant(x), &t, None);
+        for (a, b) in y1.data().iter().zip(y2.value().data()) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn timestep_changes_output() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let unet = UNet::new(UNetConfig::tiny(3), &mut rng);
+        let x = Tensor::randn(&[1, 3, 8, 8], &mut rng);
+        let y1 = unet.forward(&x, &Tensor::from_vec(vec![1.0], &[1]), None);
+        let y2 = unet.forward(&x, &Tensor::from_vec(vec![90.0], &[1]), None);
+        let diff: f32 = y1.data().iter().zip(y2.data()).map(|(a, b)| (a - b).abs()).sum();
+        assert!(diff > 1e-3, "timestep had no effect");
+    }
+
+    #[test]
+    fn quant_layers_have_unique_names_and_splits_on_up_path() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let unet = UNet::new(UNetConfig::tiny(3), &mut rng);
+        let mut names = std::collections::HashSet::new();
+        let mut split_count = 0;
+        let mut total = 0;
+        unet.visit_quant_layers(&mut |l| {
+            assert!(names.insert(l.qname().to_string()), "duplicate name {}", l.qname());
+            if l.concat_split().is_some() {
+                split_count += 1;
+                assert!(l.qname().starts_with("up"), "split only on up-path conv1");
+            }
+            total += 1;
+        });
+        // Every up-level res block's conv1 consumes a concatenation:
+        // levels * (num_res_blocks + 1) = 2 * 2.
+        assert_eq!(split_count, 4);
+        assert!(total > 20, "expected a realistic layer count, got {total}");
+    }
+
+    #[test]
+    fn param_names_unique_and_counted() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let unet = UNet::new(UNetConfig::tiny(3), &mut rng);
+        let mut params = Vec::new();
+        unet.collect_params(&mut params);
+        let mut names = std::collections::HashSet::new();
+        for (n, _) in &params {
+            assert!(names.insert(n.clone()), "duplicate param name {n}");
+        }
+        assert_eq!(unet.param_count(), params.iter().map(|(_, p)| p.numel()).sum::<usize>());
+        assert!(unet.param_count() > 1000);
+    }
+
+    #[test]
+    fn three_level_unet_builds_and_runs() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let cfg = UNetConfig {
+            in_channels: 2,
+            out_channels: 2,
+            base_channels: 8,
+            channel_mults: vec![1, 2, 2],
+            num_res_blocks: 2,
+            attn_levels: vec![2],
+            heads: 2,
+            context_dim: None,
+            norm_groups: 4,
+        };
+        let unet = UNet::new(cfg, &mut rng);
+        let x = Tensor::randn(&[1, 2, 16, 16], &mut rng);
+        let y = unet.forward(&x, &Tensor::from_vec(vec![42.0], &[1]), None);
+        assert_eq!(y.dims(), &[1, 2, 16, 16]);
+    }
+}

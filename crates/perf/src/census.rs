@@ -1,0 +1,394 @@
+//! Layer-by-layer cost census of a U-Net architecture.
+//!
+//! Mirrors `fpdq_nn::UNet::new` exactly (the tests enforce parameter-count
+//! equality against a live model), tracking the spatial resolution at each
+//! level and emitting one [`LayerCost`] per primitive operation.
+
+use fpdq_nn::UNetConfig;
+
+/// The layer classes of the paper's Figure 4 breakdown.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LayerClass {
+    /// 2-D convolutions.
+    Conv2d,
+    /// Fully connected layers, including attention projections (the
+    /// paper's "linear layers (including layers inside the attention
+    /// units)").
+    Linear,
+    /// Group / layer normalisation.
+    Norm,
+    /// SiLU activations.
+    Silu,
+    /// Attention internals that are neither conv nor linear: QKᵀ / AV
+    /// batched matmuls and the softmax.
+    Attention,
+}
+
+impl LayerClass {
+    /// All classes in display order.
+    pub const ALL: [LayerClass; 5] = [
+        LayerClass::Conv2d,
+        LayerClass::Linear,
+        LayerClass::Norm,
+        LayerClass::Silu,
+        LayerClass::Attention,
+    ];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LayerClass::Conv2d => "Conv2d",
+            LayerClass::Linear => "Linear",
+            LayerClass::Norm => "Norm",
+            LayerClass::Silu => "SiLU",
+            LayerClass::Attention => "Attention",
+        }
+    }
+}
+
+/// Cost model of one primitive operation.
+#[derive(Clone, Debug)]
+pub struct LayerCost {
+    /// Hierarchical name.
+    pub name: String,
+    /// Figure-4 class.
+    pub class: LayerClass,
+    /// Floating-point operations (multiply-accumulate = 2 FLOPs).
+    pub flops: f64,
+    /// Parameter count (elements).
+    pub params: u64,
+    /// Activation elements read.
+    pub reads: u64,
+    /// Activation elements written.
+    pub writes: u64,
+}
+
+/// A complete architecture census.
+#[derive(Clone, Debug, Default)]
+pub struct Census {
+    /// Every primitive in execution order.
+    pub layers: Vec<LayerCost>,
+}
+
+impl Census {
+    /// Total FLOPs of one forward pass.
+    pub fn total_flops(&self) -> f64 {
+        self.layers.iter().map(|l| l.flops).sum()
+    }
+
+    /// Total parameter elements.
+    pub fn total_params(&self) -> u64 {
+        self.layers.iter().map(|l| l.params).sum()
+    }
+
+    /// FLOPs grouped by class, in [`LayerClass::ALL`] order.
+    pub fn flops_by_class(&self) -> Vec<(LayerClass, f64)> {
+        LayerClass::ALL
+            .iter()
+            .map(|&c| (c, self.layers.iter().filter(|l| l.class == c).map(|l| l.flops).sum()))
+            .collect()
+    }
+}
+
+struct Walker {
+    census: Census,
+    batch: u64,
+    ctx_len: u64,
+    ctx_dim: u64,
+    temb_dim: u64,
+}
+
+impl Walker {
+    fn push(&mut self, name: String, class: LayerClass, flops: f64, params: u64, reads: u64, writes: u64) {
+        self.census.layers.push(LayerCost { name, class, flops, params, reads, writes });
+    }
+
+    fn conv(&mut self, name: &str, in_c: u64, out_c: u64, k: u64, h: u64, w: u64, stride: u64) {
+        let (oh, ow) = (h.div_ceil(stride), w.div_ceil(stride));
+        let flops = 2.0 * (self.batch * out_c * in_c * k * k * oh * ow) as f64;
+        self.push(
+            name.to_string(),
+            LayerClass::Conv2d,
+            flops,
+            out_c * in_c * k * k + out_c,
+            self.batch * in_c * h * w,
+            self.batch * out_c * oh * ow,
+        );
+    }
+
+    fn linear(&mut self, name: &str, in_f: u64, out_f: u64, tokens: u64) {
+        let flops = 2.0 * (self.batch * tokens * in_f * out_f) as f64;
+        self.push(
+            name.to_string(),
+            LayerClass::Linear,
+            flops,
+            in_f * out_f + out_f,
+            self.batch * tokens * in_f,
+            self.batch * tokens * out_f,
+        );
+    }
+
+    fn norm(&mut self, name: &str, channels: u64, elems_per_sample: u64) {
+        let n = self.batch * elems_per_sample;
+        self.push(name.to_string(), LayerClass::Norm, 5.0 * n as f64, 2 * channels, n, n);
+    }
+
+    fn silu(&mut self, name: &str, elems_per_sample: u64) {
+        let n = self.batch * elems_per_sample;
+        self.push(name.to_string(), LayerClass::Silu, 4.0 * n as f64, 0, n, n);
+    }
+
+    fn attention_core(&mut self, name: &str, tokens: u64, kv_tokens: u64, dim: u64) {
+        // QKᵀ and AV batched matmuls + softmax over [tokens, kv_tokens].
+        let qk = 2.0 * (self.batch * tokens * kv_tokens * dim) as f64;
+        let av = 2.0 * (self.batch * tokens * kv_tokens * dim) as f64;
+        let scores = self.batch * tokens * kv_tokens;
+        self.push(
+            format!("{name}.qk_av"),
+            LayerClass::Attention,
+            qk + av,
+            0,
+            self.batch * (tokens + kv_tokens) * dim,
+            scores,
+        );
+        self.push(
+            format!("{name}.softmax"),
+            LayerClass::Attention,
+            5.0 * scores as f64,
+            0,
+            scores,
+            scores,
+        );
+    }
+
+    fn res_block(&mut self, name: &str, in_c: u64, out_c: u64, h: u64, w: u64) {
+        self.norm(&format!("{name}.norm1"), in_c, in_c * h * w);
+        self.silu(&format!("{name}.silu1"), in_c * h * w);
+        self.conv(&format!("{name}.conv1"), in_c, out_c, 3, h, w, 1);
+        self.silu(&format!("{name}.silu_t"), self.temb_dim);
+        self.linear(&format!("{name}.time_proj"), self.temb_dim, out_c, 1);
+        self.norm(&format!("{name}.norm2"), out_c, out_c * h * w);
+        self.silu(&format!("{name}.silu2"), out_c * h * w);
+        self.conv(&format!("{name}.conv2"), out_c, out_c, 3, h, w, 1);
+        if in_c != out_c {
+            self.conv(&format!("{name}.shortcut"), in_c, out_c, 1, h, w, 1);
+        }
+    }
+
+    fn transformer(&mut self, name: &str, c: u64, h: u64, w: u64, cross: bool) {
+        let tokens = h * w;
+        self.norm(&format!("{name}.norm"), c, c * tokens);
+        self.conv(&format!("{name}.proj_in"), c, c, 1, h, w, 1);
+        // Self-attention.
+        self.norm(&format!("{name}.block.norm1"), c, c * tokens);
+        for p in ["to_q", "to_k", "to_v"] {
+            self.linear(&format!("{name}.block.attn1.{p}"), c, c, tokens);
+        }
+        self.attention_core(&format!("{name}.block.attn1"), tokens, tokens, c);
+        self.linear(&format!("{name}.block.attn1.to_out"), c, c, tokens);
+        // Cross-attention.
+        if cross {
+            self.norm(&format!("{name}.block.norm2"), c, c * tokens);
+            self.linear(&format!("{name}.block.attn2.to_q"), c, c, tokens);
+            self.linear(&format!("{name}.block.attn2.to_k"), self.ctx_dim, c, self.ctx_len);
+            self.linear(&format!("{name}.block.attn2.to_v"), self.ctx_dim, c, self.ctx_len);
+            self.attention_core(&format!("{name}.block.attn2"), tokens, self.ctx_len, c);
+            self.linear(&format!("{name}.block.attn2.to_out"), c, c, tokens);
+        }
+        // Feed-forward (hidden = 2c, SiLU between).
+        self.norm(&format!("{name}.block.norm_ff"), c, c * tokens);
+        self.linear(&format!("{name}.block.ff1"), c, 2 * c, tokens);
+        self.silu(&format!("{name}.block.ff_silu"), 2 * c * tokens);
+        self.linear(&format!("{name}.block.ff2"), 2 * c, c, tokens);
+        self.conv(&format!("{name}.proj_out"), c, c, 1, h, w, 1);
+    }
+}
+
+/// Walks the architecture, mirroring `UNet::new`, and returns the census.
+///
+/// `input` is `(channels, height, width)` of the U-Net input; `ctx_len`
+/// the cross-attention sequence length (ignored for unconditional
+/// configs).
+pub fn census(cfg: &UNetConfig, input: (usize, usize, usize), batch: usize, ctx_len: usize) -> Census {
+    let base = cfg.base_channels as u64;
+    let temb = 4 * base;
+    let mut w = Walker {
+        census: Census::default(),
+        batch: batch as u64,
+        ctx_len: ctx_len as u64,
+        ctx_dim: cfg.context_dim.unwrap_or(0) as u64,
+        temb_dim: temb,
+    };
+    let cross = cfg.context_dim.is_some();
+    let (in_c, mut h, mut wd) = (input.0 as u64, input.1 as u64, input.2 as u64);
+    let levels = cfg.channel_mults.len();
+
+    w.conv("conv_in", in_c, base, 3, h, wd, 1);
+    w.linear("time1", base, temb, 1);
+    w.silu("time_silu", temb);
+    w.linear("time2", temb, temb, 1);
+
+    let mut skip_chs = vec![base];
+    let mut ch = base;
+    for (i, &mult) in cfg.channel_mults.iter().enumerate() {
+        let out_ch = base * mult as u64;
+        for j in 0..cfg.num_res_blocks {
+            w.res_block(&format!("down{i}.res{j}"), ch, out_ch, h, wd);
+            ch = out_ch;
+            if cfg.attn_levels.contains(&i) {
+                w.transformer(&format!("down{i}.attn{j}"), ch, h, wd, cross);
+            }
+            skip_chs.push(ch);
+        }
+        if i != levels - 1 {
+            w.conv(&format!("down{i}.down"), ch, ch, 3, h, wd, 2);
+            h = h.div_ceil(2);
+            wd = wd.div_ceil(2);
+            skip_chs.push(ch);
+        }
+    }
+
+    w.res_block("mid.res0", ch, ch, h, wd);
+    if !cfg.attn_levels.is_empty() || cross {
+        w.transformer("mid.attn", ch, h, wd, cross);
+    }
+    w.res_block("mid.res1", ch, ch, h, wd);
+
+    for (i, &mult) in cfg.channel_mults.iter().enumerate().rev() {
+        let out_ch = base * mult as u64;
+        for j in 0..cfg.num_res_blocks + 1 {
+            let skip_ch = skip_chs.pop().expect("census skip bookkeeping");
+            w.res_block(&format!("up{i}.res{j}"), ch + skip_ch, out_ch, h, wd);
+            ch = out_ch;
+            if cfg.attn_levels.contains(&i) {
+                w.transformer(&format!("up{i}.attn{j}"), ch, h, wd, cross);
+            }
+        }
+        if i != 0 {
+            h *= 2;
+            wd *= 2;
+            w.conv(&format!("up{i}.up"), ch, ch, 3, h, wd, 1);
+        }
+    }
+
+    w.norm("out_norm", ch, ch * h * wd);
+    w.silu("out_silu", ch * h * wd);
+    w.conv("conv_out", ch, cfg.out_channels as u64, 3, h, wd, 1);
+    w.census
+}
+
+/// A U-Net configuration at real Stable-Diffusion-v1 scale (≈ 860M
+/// parameters, 64×64×4 latents, 77-token CLIP context) for reproducing the
+/// paper's §III characterization numbers.
+pub fn sd_scale_config() -> UNetConfig {
+    UNetConfig {
+        in_channels: 4,
+        out_channels: 4,
+        base_channels: 320,
+        channel_mults: vec![1, 2, 4, 4],
+        num_res_blocks: 2,
+        attn_levels: vec![0, 1, 2],
+        heads: 8,
+        context_dim: Some(768),
+        norm_groups: 32,
+        }
+}
+
+/// Input dims that go with [`sd_scale_config`].
+pub fn sd_scale_input() -> (usize, usize, usize) {
+    (4, 64, 64)
+}
+
+/// CLIP context length that goes with [`sd_scale_config`].
+pub const SD_CONTEXT_LEN: usize = 77;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpdq_nn::UNet;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn census_params_match_live_model_exactly() {
+        // The census must mirror UNet::new including every bias and norm
+        // parameter (excluding nothing).
+        for cfg in [
+            UNetConfig::tiny(3),
+            UNetConfig { context_dim: Some(12), ..UNetConfig::tiny(4) },
+            UNetConfig {
+                in_channels: 4,
+                out_channels: 4,
+                base_channels: 16,
+                channel_mults: vec![1, 2, 2],
+                num_res_blocks: 2,
+                attn_levels: vec![1, 2],
+                heads: 2,
+                context_dim: Some(16),
+                norm_groups: 4,
+            },
+        ] {
+            let mut rng = StdRng::seed_from_u64(0);
+            let unet = UNet::new(cfg.clone(), &mut rng);
+            let c = census(&cfg, (cfg.in_channels, 8, 8), 1, 6);
+            assert_eq!(
+                c.total_params(),
+                unet.param_count() as u64,
+                "census/model param mismatch for {cfg:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn census_quant_layer_count_matches_model() {
+        let cfg = UNetConfig { context_dim: Some(12), ..UNetConfig::tiny(4) };
+        let mut rng = StdRng::seed_from_u64(1);
+        let unet = UNet::new(cfg.clone(), &mut rng);
+        let mut model_count = 0;
+        unet.visit_quant_layers(&mut |_| model_count += 1);
+        let c = census(&cfg, (4, 8, 8), 1, 6);
+        let census_count = c
+            .layers
+            .iter()
+            .filter(|l| matches!(l.class, LayerClass::Conv2d | LayerClass::Linear))
+            .count();
+        assert_eq!(census_count, model_count);
+    }
+
+    #[test]
+    fn sd_scale_parameter_count_near_860m() {
+        let c = census(&sd_scale_config(), sd_scale_input(), 1, SD_CONTEXT_LEN);
+        let params = c.total_params() as f64;
+        // The paper quotes 860M for Stable Diffusion's U-Net; our
+        // architecture is the same family with a simplified transformer,
+        // so demand the right order of magnitude.
+        assert!(
+            (500e6..1_300e6).contains(&params),
+            "SD-scale census has {params:.3e} params"
+        );
+    }
+
+    #[test]
+    fn conv_and_linear_dominate_flops_at_sd_scale() {
+        // §III: "Most of the time is spent on the Conv2d and linear
+        // layers". At minimum they must dominate the FLOP census.
+        let c = census(&sd_scale_config(), sd_scale_input(), 1, SD_CONTEXT_LEN);
+        let by_class = c.flops_by_class();
+        let total = c.total_flops();
+        let convlin: f64 = by_class
+            .iter()
+            .filter(|(cl, _)| matches!(cl, LayerClass::Conv2d | LayerClass::Linear))
+            .map(|(_, f)| f)
+            .sum();
+        assert!(convlin / total > 0.75, "conv+linear = {:.1}%", 100.0 * convlin / total);
+    }
+
+    #[test]
+    fn flops_scale_linearly_with_batch() {
+        let cfg = UNetConfig::tiny(3);
+        let c1 = census(&cfg, (3, 8, 8), 1, 0);
+        let c8 = census(&cfg, (3, 8, 8), 8, 0);
+        assert!((c8.total_flops() / c1.total_flops() - 8.0).abs() < 1e-9);
+        assert_eq!(c1.total_params(), c8.total_params());
+    }
+}

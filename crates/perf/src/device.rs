@@ -1,0 +1,192 @@
+//! Roofline device presets calibrated to the paper's hardware.
+//!
+//! §I of the paper motivates FP quantization with the observation that on
+//! modern accelerators *integer and floating-point operations of the same
+//! bitwidth have equal peak throughput* (H100: 2000 TFLOPS FP8 = 2000 TOPS
+//! INT8; Blackwell adds FP4). The presets encode exactly that.
+
+/// Number formats with distinct peak-throughput/footprint classes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum NumberFormat {
+    /// 32-bit float (the full-precision baseline).
+    Fp32,
+    /// 16-bit float.
+    Fp16,
+    /// 8-bit float (E4M3/E5M2-class).
+    Fp8,
+    /// 8-bit integer.
+    Int8,
+    /// 4-bit float.
+    Fp4,
+    /// 4-bit integer.
+    Int4,
+}
+
+impl NumberFormat {
+    /// Bytes per element.
+    pub fn bytes(&self) -> f64 {
+        match self {
+            NumberFormat::Fp32 => 4.0,
+            NumberFormat::Fp16 => 2.0,
+            NumberFormat::Fp8 | NumberFormat::Int8 => 1.0,
+            NumberFormat::Fp4 | NumberFormat::Int4 => 0.5,
+        }
+    }
+}
+
+/// A roofline device model.
+#[derive(Clone, Debug)]
+pub struct Device {
+    /// Human-readable name.
+    pub name: String,
+    /// Peak FP32 throughput (FLOP/s).
+    pub fp32_flops: f64,
+    /// Peak FP16 throughput (FLOP/s).
+    pub fp16_flops: f64,
+    /// Peak 8-bit throughput — identical for FP8 and INT8 (OP/s).
+    pub bit8_flops: f64,
+    /// Peak 4-bit throughput — identical for FP4 and INT4 (OP/s).
+    pub bit4_flops: f64,
+    /// Memory bandwidth (bytes/s).
+    pub mem_bw: f64,
+    /// Fixed per-layer overhead (kernel launch / framework dispatch), s.
+    pub launch_overhead: f64,
+    /// Sustained fraction of peak for dense GEMM-class work.
+    pub gemm_efficiency: f64,
+    /// Sustained fraction of peak for elementwise/memory-bound work.
+    pub elementwise_efficiency: f64,
+    /// Fraction of peak memory bandwidth that elementwise kernels
+    /// (norms, activations) actually achieve. Eager-framework norm
+    /// kernels make several strided passes and sustain only a small
+    /// fraction of HBM bandwidth — this is what makes Norm+SiLU ≈ 25% of
+    /// GPU latency in the paper's Fig. 4 despite their tiny FLOP count.
+    pub elementwise_bw_fraction: f64,
+}
+
+impl Device {
+    /// Peak throughput for a format.
+    pub fn peak_for(&self, fmt: NumberFormat) -> f64 {
+        match fmt {
+            NumberFormat::Fp32 => self.fp32_flops,
+            NumberFormat::Fp16 => self.fp16_flops,
+            NumberFormat::Fp8 | NumberFormat::Int8 => self.bit8_flops,
+            NumberFormat::Fp4 | NumberFormat::Int4 => self.bit4_flops,
+        }
+    }
+
+    /// A V100-class GPU (the paper's §III measurement platform):
+    /// 15.7 TFLOPS FP32, 125 TFLOPS FP16 tensor cores, 900 GB/s HBM2.
+    /// V100 has no 8-/4-bit tensor cores; those rates fall back to FP16.
+    pub fn v100_like() -> Self {
+        Device {
+            name: "V100-class GPU".into(),
+            fp32_flops: 15.7e12,
+            fp16_flops: 125e12,
+            bit8_flops: 125e12,
+            bit4_flops: 125e12,
+            mem_bw: 900e9,
+            launch_overhead: 6e-6,
+            gemm_efficiency: 0.45,
+            elementwise_efficiency: 0.08,
+            elementwise_bw_fraction: 0.08,
+        }
+    }
+
+    /// An A100-class GPU (the paper's Fig. 5 memory platform): 19.5 TFLOPS
+    /// FP32, 312 TFLOPS FP16, 624 TOPS INT8, 2.0 TB/s, 80 GB.
+    pub fn a100_like() -> Self {
+        Device {
+            name: "A100-class GPU".into(),
+            fp32_flops: 19.5e12,
+            fp16_flops: 312e12,
+            bit8_flops: 624e12,
+            bit4_flops: 624e12,
+            mem_bw: 2.0e12,
+            launch_overhead: 5e-6,
+            gemm_efficiency: 0.5,
+            elementwise_efficiency: 0.1,
+            elementwise_bw_fraction: 0.08,
+        }
+    }
+
+    /// An H100-class GPU: the paper's headline premise — 2000 TFLOPS FP8
+    /// **equal to** 2000 TOPS INT8 (§I).
+    pub fn h100_like() -> Self {
+        Device {
+            name: "H100-class GPU".into(),
+            fp32_flops: 67e12,
+            fp16_flops: 1000e12,
+            bit8_flops: 2000e12,
+            bit4_flops: 2000e12,
+            mem_bw: 3.35e12,
+            launch_overhead: 4e-6,
+            gemm_efficiency: 0.5,
+            elementwise_efficiency: 0.12,
+            elementwise_bw_fraction: 0.10,
+        }
+    }
+
+    /// A Blackwell-class GPU: adds native FP4 at 2× the FP8 rate (§I).
+    pub fn blackwell_like() -> Self {
+        Device {
+            name: "Blackwell-class GPU".into(),
+            fp32_flops: 80e12,
+            fp16_flops: 2250e12,
+            bit8_flops: 4500e12,
+            bit4_flops: 9000e12,
+            mem_bw: 8e12,
+            launch_overhead: 4e-6,
+            gemm_efficiency: 0.5,
+            elementwise_efficiency: 0.12,
+            elementwise_bw_fraction: 0.10,
+        }
+    }
+
+    /// A Xeon-Gold-5115-class CPU (the paper's CPU platform): 10 cores ×
+    /// 2.4 GHz × AVX-512 FMA ≈ 0.38 TFLOPS FP32, ~100 GB/s DDR4.
+    pub fn xeon_like() -> Self {
+        Device {
+            name: "Xeon-Gold-class CPU".into(),
+            fp32_flops: 0.38e12,
+            fp16_flops: 0.38e12,
+            bit8_flops: 0.76e12,
+            bit4_flops: 0.76e12,
+            mem_bw: 100e9,
+            launch_overhead: 0.5e-6,
+            gemm_efficiency: 0.35,
+            elementwise_efficiency: 0.5,
+            elementwise_bw_fraction: 0.8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_bitwidth_equal_throughput_premise() {
+        // The paper's core hardware argument (§I): same-bitwidth FP and
+        // INT rates are identical on the modeled accelerators.
+        for d in [Device::h100_like(), Device::a100_like(), Device::blackwell_like()] {
+            assert_eq!(d.peak_for(NumberFormat::Fp8), d.peak_for(NumberFormat::Int8), "{}", d.name);
+            assert_eq!(d.peak_for(NumberFormat::Fp4), d.peak_for(NumberFormat::Int4), "{}", d.name);
+        }
+    }
+
+    #[test]
+    fn footprint_halves_with_bitwidth() {
+        assert_eq!(NumberFormat::Fp32.bytes(), 4.0);
+        assert_eq!(NumberFormat::Fp8.bytes(), 1.0);
+        assert_eq!(NumberFormat::Int8.bytes(), 1.0);
+        assert_eq!(NumberFormat::Fp4.bytes(), 0.5);
+    }
+
+    #[test]
+    fn gpu_vastly_outclasses_cpu() {
+        let gpu = Device::v100_like();
+        let cpu = Device::xeon_like();
+        let ratio = gpu.peak_for(NumberFormat::Fp32) / cpu.peak_for(NumberFormat::Fp32);
+        assert!(ratio > 20.0 && ratio < 100.0, "FP32 peak ratio {ratio}");
+    }
+}

@@ -1,0 +1,174 @@
+//! Roofline latency estimation over a layer census (paper Fig. 4).
+
+use crate::census::{Census, LayerClass};
+use crate::device::{Device, NumberFormat};
+
+/// Per-class and total latency estimates.
+#[derive(Clone, Debug)]
+pub struct LatencyReport {
+    /// `(class, seconds)` in [`LayerClass::ALL`] order.
+    pub by_class: Vec<(LayerClass, f64)>,
+    /// End-to-end seconds for one forward pass.
+    pub total: f64,
+}
+
+impl LatencyReport {
+    /// Normalised per-class shares (sums to 1).
+    pub fn shares(&self) -> Vec<(LayerClass, f64)> {
+        self.by_class.iter().map(|&(c, s)| (c, s / self.total.max(1e-12))).collect()
+    }
+
+    /// Share of one class.
+    pub fn share_of(&self, class: LayerClass) -> f64 {
+        self.shares()
+            .iter()
+            .find(|(c, _)| *c == class)
+            .map(|&(_, s)| s)
+            .unwrap_or(0.0)
+    }
+}
+
+/// Estimates per-layer latency as
+/// `max(flops / (peak·eff), bytes / bandwidth) + launch overhead` and
+/// aggregates by class.
+///
+/// `weights_fmt` and `acts_fmt` set the representation of parameters and
+/// activations (the quantization lever: FP8/INT8 halve traffic 4× vs FP32
+/// and raise usable compute on 8-bit-capable devices). Normalisation and
+/// SiLU stay in FP32, as in the paper's method.
+pub fn latency(
+    census: &Census,
+    device: &Device,
+    weights_fmt: NumberFormat,
+    acts_fmt: NumberFormat,
+) -> LatencyReport {
+    let mut by_class: Vec<(LayerClass, f64)> =
+        LayerClass::ALL.iter().map(|&c| (c, 0.0)).collect();
+    let mut total = 0.0;
+    for layer in &census.layers {
+        let quantized = matches!(layer.class, LayerClass::Conv2d | LayerClass::Linear);
+        let (wfmt, afmt, compute_fmt) = if quantized {
+            (weights_fmt, acts_fmt, acts_fmt)
+        } else {
+            (NumberFormat::Fp32, NumberFormat::Fp32, NumberFormat::Fp32)
+        };
+        // GEMM-class work (conv, linear, attention matmuls) sustains high
+        // utilisation; norms/activations are elementwise/memory-bound.
+        let gemm_like = matches!(
+            layer.class,
+            LayerClass::Conv2d | LayerClass::Linear | LayerClass::Attention
+        );
+        let eff = if gemm_like { device.gemm_efficiency } else { device.elementwise_efficiency };
+        let compute = layer.flops / (device.peak_for(compute_fmt) * eff);
+        let bytes = layer.params as f64 * wfmt.bytes()
+            + (layer.reads + layer.writes) as f64 * afmt.bytes();
+        let bw = if gemm_like {
+            device.mem_bw
+        } else {
+            device.mem_bw * device.elementwise_bw_fraction
+        };
+        let memory = bytes / bw;
+        let t = compute.max(memory) + device.launch_overhead;
+        total += t;
+        let slot = by_class.iter_mut().find(|(c, _)| *c == layer.class).expect("class slot");
+        slot.1 += t;
+    }
+    LatencyReport { by_class, total }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::census::{census, sd_scale_config, sd_scale_input, SD_CONTEXT_LEN};
+    use crate::device::Device;
+
+    fn sd_census(batch: usize) -> Census {
+        census(&sd_scale_config(), sd_scale_input(), batch, SD_CONTEXT_LEN)
+    }
+
+    #[test]
+    fn sd_step_latency_in_plausible_v100_range() {
+        // §III measures ~6.1 s for 50 U-Net steps on a V100 (FP32),
+        // i.e. ~120 ms per step at batch 1. The roofline estimate should
+        // land within a small factor.
+        let report = latency(&sd_census(1), &Device::v100_like(), NumberFormat::Fp32, NumberFormat::Fp32);
+        let ms = report.total * 1e3;
+        assert!((30.0..400.0).contains(&ms), "V100 step estimate {ms:.1} ms");
+    }
+
+    #[test]
+    fn gpu_speedup_over_cpu_matches_paper_order() {
+        // §III: GPU is 31× (batch 1) and 72× (batch 8) faster than the
+        // Xeon. Check the ratio grows with batch and is order-10–100.
+        let gpu = Device::v100_like();
+        let cpu = Device::xeon_like();
+        let r1 = {
+            let c = sd_census(1);
+            latency(&c, &cpu, NumberFormat::Fp32, NumberFormat::Fp32).total
+                / latency(&c, &gpu, NumberFormat::Fp32, NumberFormat::Fp32).total
+        };
+        let r8 = {
+            let c = sd_census(8);
+            latency(&c, &cpu, NumberFormat::Fp32, NumberFormat::Fp32).total
+                / latency(&c, &gpu, NumberFormat::Fp32, NumberFormat::Fp32).total
+        };
+        assert!(r1 > 8.0 && r1 < 150.0, "batch-1 speedup {r1:.1}");
+        assert!(r8 > r1, "speedup should grow with batch: {r1:.1} -> {r8:.1}");
+    }
+
+    #[test]
+    fn conv_and_linear_dominate_latency() {
+        // Fig. 4: conv + linear (the paper folds the attention matmuls
+        // into "linear layers ... inside the attention units") are the
+        // large bars on both platforms.
+        for device in [Device::v100_like(), Device::xeon_like()] {
+            let report =
+                latency(&sd_census(1), &device, NumberFormat::Fp32, NumberFormat::Fp32);
+            let convlin = report.share_of(LayerClass::Conv2d)
+                + report.share_of(LayerClass::Linear)
+                + report.share_of(LayerClass::Attention);
+            assert!(convlin > 0.6, "{}: conv+linear share {convlin:.2}", device.name);
+        }
+    }
+
+    #[test]
+    fn norm_silu_share_larger_on_gpu_than_cpu() {
+        // Fig. 4: normalisation + SiLU ≈ 25% on the GPU but negligible on
+        // the CPU (launch overhead + memory-bound elementwise work hurt
+        // the GPU relatively more).
+        let gpu = latency(&sd_census(1), &Device::v100_like(), NumberFormat::Fp32, NumberFormat::Fp32);
+        let cpu = latency(&sd_census(1), &Device::xeon_like(), NumberFormat::Fp32, NumberFormat::Fp32);
+        let gpu_aux = gpu.share_of(LayerClass::Norm) + gpu.share_of(LayerClass::Silu);
+        let cpu_aux = cpu.share_of(LayerClass::Norm) + cpu.share_of(LayerClass::Silu);
+        assert!(
+            gpu_aux > cpu_aux * 1.5,
+            "aux share gpu {gpu_aux:.3} vs cpu {cpu_aux:.3}"
+        );
+    }
+
+    #[test]
+    fn linear_share_stable_under_batch_on_gpu() {
+        // Fig. 4 reports a modest *increase* of the linear share at batch
+        // 8 on the GPU, which the paper attributes to memory-traffic and
+        // cache effects. A pure roofline (traffic and compute both scale
+        // linearly with batch) predicts a near-constant share; we assert
+        // stability here and record the residual gap in EXPERIMENTS.md.
+        let gpu = Device::v100_like();
+        let b1 = latency(&sd_census(1), &gpu, NumberFormat::Fp32, NumberFormat::Fp32);
+        let b8 = latency(&sd_census(8), &gpu, NumberFormat::Fp32, NumberFormat::Fp32);
+        let (s1, s8) = (b1.share_of(LayerClass::Linear), b8.share_of(LayerClass::Linear));
+        assert!((s1 - s8).abs() < 0.05, "linear share b1 {s1:.3} vs b8 {s8:.3}");
+    }
+
+    #[test]
+    fn quantization_reduces_latency_on_8bit_hardware() {
+        let h100 = Device::h100_like();
+        let c = sd_census(8);
+        let fp32 = latency(&c, &h100, NumberFormat::Fp32, NumberFormat::Fp32).total;
+        let fp8 = latency(&c, &h100, NumberFormat::Fp8, NumberFormat::Fp8).total;
+        let int8 = latency(&c, &h100, NumberFormat::Int8, NumberFormat::Int8).total;
+        assert!(fp8 < fp32, "FP8 should be faster than FP32");
+        // The premise: FP8 and INT8 cost the same.
+        assert!((fp8 - int8).abs() < 1e-9 * fp32.max(1.0));
+    }
+}

@@ -1,0 +1,526 @@
+//! 2-D convolution, pooling and upsampling kernels (NCHW layout).
+//!
+//! Convolution lowers to `im2col` + GEMM, the textbook CPU strategy and the
+//! one whose cost model (`fpdq-perf`) mirrors what GPU libraries do. The
+//! gradient kernels (`conv2d_grad_input` / `conv2d_grad_weight`) are used by
+//! `fpdq-autograd` both for training the substrate models and for the
+//! paper's gradient-based rounding learning on convolution layers.
+
+use crate::matmul::gemm_serial;
+use crate::parallel::parallel_rows;
+use crate::Tensor;
+
+/// Hyper-parameters of a 2-D convolution (square stride/padding).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct Conv2dSpec {
+    /// Stride in both spatial dimensions.
+    pub stride: usize,
+    /// Zero-padding in both spatial dimensions.
+    pub padding: usize,
+}
+
+impl Conv2dSpec {
+    /// A unit-stride convolution with the given padding.
+    pub fn new(stride: usize, padding: usize) -> Self {
+        assert!(stride >= 1, "stride must be >= 1");
+        Conv2dSpec { stride, padding }
+    }
+
+    /// Output spatial extent for an input extent and kernel extent.
+    pub fn out_extent(&self, input: usize, kernel: usize) -> usize {
+        (input + 2 * self.padding).saturating_sub(kernel) / self.stride + 1
+    }
+}
+
+/// Unfolds one image `[c, h, w]` into a column matrix
+/// `[c·kh·kw, oh·ow]` (the GEMM lowering used by [`Tensor::conv2d`];
+/// public so quantized kernels can share the exact same lowering).
+///
+/// # Panics
+///
+/// Panics if `img` is not 3-D.
+pub fn im2col_matrix(img: &Tensor, kh: usize, kw: usize, spec: Conv2dSpec) -> Tensor {
+    assert_eq!(img.ndim(), 3, "im2col_matrix expects [c, h, w]");
+    let (c, h, w) = (img.dim(0), img.dim(1), img.dim(2));
+    let oh = spec.out_extent(h, kh);
+    let ow = spec.out_extent(w, kw);
+    let mut cols = vec![0.0f32; c * kh * kw * oh * ow];
+    im2col(img.data(), c, h, w, kh, kw, spec, &mut cols);
+    Tensor::from_vec(cols, &[c * kh * kw, oh * ow])
+}
+
+/// Unfolds one image `[c, h, w]` into columns `[c*kh*kw, oh*ow]`.
+fn im2col(
+    img: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    spec: Conv2dSpec,
+    cols: &mut [f32],
+) {
+    let oh = spec.out_extent(h, kh);
+    let ow = spec.out_extent(w, kw);
+    debug_assert_eq!(cols.len(), c * kh * kw * oh * ow);
+    let (s, p) = (spec.stride as isize, spec.padding as isize);
+    let mut row = 0usize;
+    for ci in 0..c {
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let base = row * oh * ow;
+                for oy in 0..oh {
+                    let iy = oy as isize * s + ky as isize - p;
+                    let orow = base + oy * ow;
+                    if iy < 0 || iy >= h as isize {
+                        cols[orow..orow + ow].fill(0.0);
+                        continue;
+                    }
+                    let irow = (ci * h + iy as usize) * w;
+                    for ox in 0..ow {
+                        let ix = ox as isize * s + kx as isize - p;
+                        cols[orow + ox] = if ix < 0 || ix >= w as isize {
+                            0.0
+                        } else {
+                            img[irow + ix as usize]
+                        };
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+}
+
+/// Folds columns `[c*kh*kw, oh*ow]` back into an image `[c, h, w]`,
+/// accumulating overlapping contributions (transpose of [`im2col`]).
+fn col2im(
+    cols: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    spec: Conv2dSpec,
+    img: &mut [f32],
+) {
+    let oh = spec.out_extent(h, kh);
+    let ow = spec.out_extent(w, kw);
+    debug_assert_eq!(cols.len(), c * kh * kw * oh * ow);
+    debug_assert_eq!(img.len(), c * h * w);
+    let (s, p) = (spec.stride as isize, spec.padding as isize);
+    let mut row = 0usize;
+    for ci in 0..c {
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let base = row * oh * ow;
+                for oy in 0..oh {
+                    let iy = oy as isize * s + ky as isize - p;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let irow = (ci * h + iy as usize) * w;
+                    for ox in 0..ow {
+                        let ix = ox as isize * s + kx as isize - p;
+                        if ix >= 0 && ix < w as isize {
+                            img[irow + ix as usize] += cols[base + oy * ow + ox];
+                        }
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+}
+
+impl Tensor {
+    /// 2-D convolution: input `[n, c, h, w]`, weight `[o, c, kh, kw]`,
+    /// optional bias `[o]`, producing `[n, o, oh, ow]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank or channel mismatches.
+    pub fn conv2d(&self, weight: &Tensor, bias: Option<&Tensor>, spec: Conv2dSpec) -> Tensor {
+        assert_eq!(self.ndim(), 4, "conv2d input must be 4-D [n,c,h,w], got {}", self.shape());
+        assert_eq!(weight.ndim(), 4, "conv2d weight must be 4-D [o,c,kh,kw]");
+        let (n, c, h, w) = (self.dim(0), self.dim(1), self.dim(2), self.dim(3));
+        let (o, wc, kh, kw) = (weight.dim(0), weight.dim(1), weight.dim(2), weight.dim(3));
+        assert_eq!(c, wc, "conv2d channel mismatch: input {c}, weight {wc}");
+        if let Some(b) = bias {
+            assert_eq!(b.numel(), o, "conv2d bias must have {o} elements");
+        }
+        let oh = spec.out_extent(h, kh);
+        let ow = spec.out_extent(w, kw);
+        let ckk = c * kh * kw;
+        let mut out = vec![0.0f32; n * o * oh * ow];
+        let input = self.data();
+        let wdat = weight.data();
+        parallel_rows(&mut out, n, o * oh * ow, 1, |batch_start, chunk| {
+            let mut cols = vec![0.0f32; ckk * oh * ow];
+            for (bi, obatch) in chunk.chunks_mut(o * oh * ow).enumerate() {
+                let batch = batch_start + bi;
+                im2col(&input[batch * c * h * w..(batch + 1) * c * h * w], c, h, w, kh, kw, spec, &mut cols);
+                gemm_serial(wdat, &cols, obatch, o, ckk, oh * ow);
+                if let Some(b) = bias {
+                    for (oc, plane) in obatch.chunks_mut(oh * ow).enumerate() {
+                        let bv = b.data()[oc];
+                        for v in plane.iter_mut() {
+                            *v += bv;
+                        }
+                    }
+                }
+            }
+        });
+        Tensor::from_vec(out, &[n, o, oh, ow])
+    }
+
+    /// Average pooling with a square `k`×`k` window and stride `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 4-D or the spatial extents are not
+    /// divisible by `k`.
+    pub fn avg_pool2d(&self, k: usize) -> Tensor {
+        assert_eq!(self.ndim(), 4, "avg_pool2d input must be 4-D");
+        let (n, c, h, w) = (self.dim(0), self.dim(1), self.dim(2), self.dim(3));
+        assert!(h % k == 0 && w % k == 0, "avg_pool2d extents {h}x{w} not divisible by {k}");
+        let (oh, ow) = (h / k, w / k);
+        let inv = 1.0 / (k * k) as f32;
+        let mut out = vec![0.0f32; n * c * oh * ow];
+        for nc in 0..n * c {
+            let plane = &self.data()[nc * h * w..(nc + 1) * h * w];
+            let oplane = &mut out[nc * oh * ow..(nc + 1) * oh * ow];
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut s = 0.0;
+                    for dy in 0..k {
+                        for dx in 0..k {
+                            s += plane[(oy * k + dy) * w + ox * k + dx];
+                        }
+                    }
+                    oplane[oy * ow + ox] = s * inv;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[n, c, oh, ow])
+    }
+
+    /// Nearest-neighbour upsampling by an integer factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 4-D.
+    pub fn upsample_nearest(&self, factor: usize) -> Tensor {
+        assert_eq!(self.ndim(), 4, "upsample_nearest input must be 4-D");
+        let (n, c, h, w) = (self.dim(0), self.dim(1), self.dim(2), self.dim(3));
+        let (oh, ow) = (h * factor, w * factor);
+        let mut out = vec![0.0f32; n * c * oh * ow];
+        for nc in 0..n * c {
+            let plane = &self.data()[nc * h * w..(nc + 1) * h * w];
+            let oplane = &mut out[nc * oh * ow..(nc + 1) * oh * ow];
+            for oy in 0..oh {
+                let iy = oy / factor;
+                for ox in 0..ow {
+                    oplane[oy * ow + ox] = plane[iy * w + ox / factor];
+                }
+            }
+        }
+        Tensor::from_vec(out, &[n, c, oh, ow])
+    }
+}
+
+/// Gradient of [`Tensor::conv2d`] w.r.t. its input.
+///
+/// `grad_out` is `[n, o, oh, ow]`; returns `[n, c, h, w]`.
+///
+/// # Panics
+///
+/// Panics on rank or shape mismatches.
+pub fn conv2d_grad_input(
+    grad_out: &Tensor,
+    weight: &Tensor,
+    input_dims: &[usize],
+    spec: Conv2dSpec,
+) -> Tensor {
+    assert_eq!(grad_out.ndim(), 4, "grad_out must be 4-D");
+    assert_eq!(input_dims.len(), 4, "input_dims must be 4-D");
+    let (n, c, h, w) = (input_dims[0], input_dims[1], input_dims[2], input_dims[3]);
+    let (o, _wc, kh, kw) = (weight.dim(0), weight.dim(1), weight.dim(2), weight.dim(3));
+    let oh = spec.out_extent(h, kh);
+    let ow = spec.out_extent(w, kw);
+    assert_eq!(grad_out.dims(), &[n, o, oh, ow], "grad_out shape mismatch");
+    let ckk = c * kh * kw;
+    // w2 = weight reshaped [o, ckk]; cols_grad = w2^T (.) gout
+    let w2 = weight.reshape(&[o, ckk]);
+    let gout = grad_out.data();
+    let mut gin = vec![0.0f32; n * c * h * w];
+    parallel_rows(&mut gin, n, c * h * w, 1, |batch_start, chunk| {
+        let mut cols = vec![0.0f32; ckk * oh * ow];
+        for (bi, ibatch) in chunk.chunks_mut(c * h * w).enumerate() {
+            let batch = batch_start + bi;
+            cols.fill(0.0);
+            // cols[ckk, ohow] = w2^T [ckk, o] × gout_b [o, ohow]
+            let gb = &gout[batch * o * oh * ow..(batch + 1) * o * oh * ow];
+            for oc in 0..o {
+                let grow = &gb[oc * oh * ow..(oc + 1) * oh * ow];
+                for r in 0..ckk {
+                    let wv = w2.data()[oc * ckk + r];
+                    if wv == 0.0 {
+                        continue;
+                    }
+                    let crow = &mut cols[r * oh * ow..(r + 1) * oh * ow];
+                    for (cv, &gv) in crow.iter_mut().zip(grow.iter()) {
+                        *cv += wv * gv;
+                    }
+                }
+            }
+            col2im(&cols, c, h, w, kh, kw, spec, ibatch);
+        }
+    });
+    Tensor::from_vec(gin, &[n, c, h, w])
+}
+
+/// Gradient of [`Tensor::conv2d`] w.r.t. its weight.
+///
+/// Returns `[o, c, kh, kw]`, summed over the batch.
+///
+/// # Panics
+///
+/// Panics on rank or shape mismatches.
+pub fn conv2d_grad_weight(
+    grad_out: &Tensor,
+    input: &Tensor,
+    kernel: (usize, usize),
+    spec: Conv2dSpec,
+) -> Tensor {
+    assert_eq!(grad_out.ndim(), 4, "grad_out must be 4-D");
+    assert_eq!(input.ndim(), 4, "input must be 4-D");
+    let (n, c, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
+    let (kh, kw) = kernel;
+    let o = grad_out.dim(1);
+    let oh = spec.out_extent(h, kh);
+    let ow = spec.out_extent(w, kw);
+    assert_eq!(grad_out.dims(), &[n, o, oh, ow], "grad_out shape mismatch");
+    let ckk = c * kh * kw;
+    let mut gw = vec![0.0f32; o * ckk];
+    let mut cols = vec![0.0f32; ckk * oh * ow];
+    for batch in 0..n {
+        im2col(
+            &input.data()[batch * c * h * w..(batch + 1) * c * h * w],
+            c,
+            h,
+            w,
+            kh,
+            kw,
+            spec,
+            &mut cols,
+        );
+        // gw[o, ckk] += gout_b [o, ohow] × cols^T [ohow, ckk]
+        let gb = &grad_out.data()[batch * o * oh * ow..(batch + 1) * o * oh * ow];
+        for oc in 0..o {
+            let grow = &gb[oc * oh * ow..(oc + 1) * oh * ow];
+            let gwrow = &mut gw[oc * ckk..(oc + 1) * ckk];
+            for (r, gwv) in gwrow.iter_mut().enumerate() {
+                *gwv += crate::matmul::dot(grow, &cols[r * oh * ow..(r + 1) * oh * ow]);
+            }
+        }
+    }
+    Tensor::from_vec(gw, &[o, c, kh, kw])
+}
+
+/// Gradient of [`Tensor::avg_pool2d`]: spreads each output gradient evenly
+/// over its `k`×`k` window.
+pub fn avg_pool2d_grad(grad_out: &Tensor, k: usize) -> Tensor {
+    let (n, c, oh, ow) = (grad_out.dim(0), grad_out.dim(1), grad_out.dim(2), grad_out.dim(3));
+    let (h, w) = (oh * k, ow * k);
+    let inv = 1.0 / (k * k) as f32;
+    let mut gin = vec![0.0f32; n * c * h * w];
+    for nc in 0..n * c {
+        let gplane = &grad_out.data()[nc * oh * ow..(nc + 1) * oh * ow];
+        let iplane = &mut gin[nc * h * w..(nc + 1) * h * w];
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let g = gplane[oy * ow + ox] * inv;
+                for dy in 0..k {
+                    for dx in 0..k {
+                        iplane[(oy * k + dy) * w + ox * k + dx] = g;
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(gin, &[n, c, h, w])
+}
+
+/// Gradient of [`Tensor::upsample_nearest`]: sums gradients over each
+/// replicated block.
+pub fn upsample_nearest_grad(grad_out: &Tensor, factor: usize) -> Tensor {
+    let (n, c, oh, ow) = (grad_out.dim(0), grad_out.dim(1), grad_out.dim(2), grad_out.dim(3));
+    assert!(oh % factor == 0 && ow % factor == 0, "grad extents not divisible by factor");
+    let (h, w) = (oh / factor, ow / factor);
+    let mut gin = vec![0.0f32; n * c * h * w];
+    for nc in 0..n * c {
+        let gplane = &grad_out.data()[nc * oh * ow..(nc + 1) * oh * ow];
+        let iplane = &mut gin[nc * h * w..(nc + 1) * h * w];
+        for oy in 0..oh {
+            for ox in 0..ow {
+                iplane[(oy / factor) * w + ox / factor] += gplane[oy * ow + ox];
+            }
+        }
+    }
+    Tensor::from_vec(gin, &[n, c, h, w])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rand_tensor(dims: &[usize], seed: u64) -> Tensor {
+        let n: usize = dims.iter().product();
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let data = (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+            })
+            .collect();
+        Tensor::from_vec(data, dims)
+    }
+
+    /// Direct (non-im2col) convolution for cross-checking.
+    fn conv2d_naive(x: &Tensor, wgt: &Tensor, bias: Option<&Tensor>, spec: Conv2dSpec) -> Tensor {
+        let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+        let (o, _, kh, kw) = (wgt.dim(0), wgt.dim(1), wgt.dim(2), wgt.dim(3));
+        let oh = spec.out_extent(h, kh);
+        let ow = spec.out_extent(w, kw);
+        let mut out = Tensor::zeros(&[n, o, oh, ow]);
+        for b in 0..n {
+            for oc in 0..o {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut s = bias.map(|bb| bb.data()[oc]).unwrap_or(0.0);
+                        for ic in 0..c {
+                            for ky in 0..kh {
+                                for kx in 0..kw {
+                                    let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                                    let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                                    if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                                        s += x.at(&[b, ic, iy as usize, ix as usize])
+                                            * wgt.at(&[oc, ic, ky, kx]);
+                                    }
+                                }
+                            }
+                        }
+                        out.set(&[b, oc, oy, ox], s);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn conv2d_matches_naive() {
+        for (stride, padding) in [(1, 0), (1, 1), (2, 1)] {
+            let x = rand_tensor(&[2, 3, 6, 6], 1);
+            let w = rand_tensor(&[4, 3, 3, 3], 2);
+            let b = rand_tensor(&[4], 3);
+            let spec = Conv2dSpec::new(stride, padding);
+            let fast = x.conv2d(&w, Some(&b), spec);
+            let slow = conv2d_naive(&x, &w, Some(&b), spec);
+            assert_eq!(fast.dims(), slow.dims());
+            for (a, e) in fast.data().iter().zip(slow.data().iter()) {
+                assert!((a - e).abs() < 1e-4, "stride={stride} pad={padding}: {a} vs {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn conv2d_1x1_is_channel_mix() {
+        let x = rand_tensor(&[1, 2, 3, 3], 4);
+        let w = rand_tensor(&[5, 2, 1, 1], 5);
+        let y = x.conv2d(&w, None, Conv2dSpec::new(1, 0));
+        assert_eq!(y.dims(), &[1, 5, 3, 3]);
+        // Spot-check one output pixel.
+        let expect = x.at(&[0, 0, 1, 1]) * w.at(&[3, 0, 0, 0]) + x.at(&[0, 1, 1, 1]) * w.at(&[3, 1, 0, 0]);
+        assert!((y.at(&[0, 3, 1, 1]) - expect).abs() < 1e-5);
+    }
+
+    #[test]
+    fn grad_input_matches_finite_difference() {
+        let spec = Conv2dSpec::new(1, 1);
+        let x = rand_tensor(&[1, 2, 4, 4], 6);
+        let w = rand_tensor(&[3, 2, 3, 3], 7);
+        let y = x.conv2d(&w, None, spec);
+        // Loss = sum(y); dL/dy = ones.
+        let gout = Tensor::ones(y.dims());
+        let gin = conv2d_grad_input(&gout, &w, x.dims(), spec);
+        let eps = 1e-3;
+        for probe in [0usize, 5, 17, 31] {
+            let mut xp = x.clone();
+            xp.data_mut()[probe] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[probe] -= eps;
+            let fd = (xp.conv2d(&w, None, spec).sum() - xm.conv2d(&w, None, spec).sum()) / (2.0 * eps);
+            assert!(
+                (gin.data()[probe] - fd).abs() < 1e-2,
+                "probe {probe}: analytic {} vs fd {fd}",
+                gin.data()[probe]
+            );
+        }
+    }
+
+    #[test]
+    fn grad_weight_matches_finite_difference() {
+        let spec = Conv2dSpec::new(2, 1);
+        let x = rand_tensor(&[2, 2, 4, 4], 8);
+        let w = rand_tensor(&[3, 2, 3, 3], 9);
+        let y = x.conv2d(&w, None, spec);
+        let gout = Tensor::ones(y.dims());
+        let gw = conv2d_grad_weight(&gout, &x, (3, 3), spec);
+        assert_eq!(gw.dims(), w.dims());
+        let eps = 1e-3;
+        for probe in [0usize, 7, 23, 53] {
+            let mut wp = w.clone();
+            wp.data_mut()[probe] += eps;
+            let mut wm = w.clone();
+            wm.data_mut()[probe] -= eps;
+            let fd = (x.conv2d(&wp, None, spec).sum() - x.conv2d(&wm, None, spec).sum()) / (2.0 * eps);
+            assert!(
+                (gw.data()[probe] - fd).abs() < 1e-2,
+                "probe {probe}: analytic {} vs fd {fd}",
+                gw.data()[probe]
+            );
+        }
+    }
+
+    #[test]
+    fn avg_pool_and_grad() {
+        let x = Tensor::from_vec((0..16).map(|i| i as f32).collect(), &[1, 1, 4, 4]);
+        let y = x.avg_pool2d(2);
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[2.5, 4.5, 10.5, 12.5]);
+        let g = avg_pool2d_grad(&Tensor::ones(&[1, 1, 2, 2]), 2);
+        assert_eq!(g.dims(), &[1, 1, 4, 4]);
+        assert!(g.data().iter().all(|&v| (v - 0.25).abs() < 1e-6));
+    }
+
+    #[test]
+    fn upsample_and_grad() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        let y = x.upsample_nearest(2);
+        assert_eq!(y.dims(), &[1, 1, 4, 4]);
+        assert_eq!(y.at(&[0, 0, 0, 1]), 1.0);
+        assert_eq!(y.at(&[0, 0, 3, 3]), 4.0);
+        let g = upsample_nearest_grad(&Tensor::ones(&[1, 1, 4, 4]), 2);
+        assert_eq!(g.data(), &[4.0, 4.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn out_extent_math() {
+        let s = Conv2dSpec::new(1, 1);
+        assert_eq!(s.out_extent(8, 3), 8); // same padding
+        let s2 = Conv2dSpec::new(2, 1);
+        assert_eq!(s2.out_extent(8, 3), 4); // halving conv
+    }
+}

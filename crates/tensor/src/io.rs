@@ -1,0 +1,204 @@
+//! Binary serialization of named tensor collections (model checkpoints).
+//!
+//! The format is deliberately trivial — magic, version, then
+//! length-prefixed `(name, shape, f32-LE data)` records — so checkpoints
+//! written by the model zoo can be inspected and are stable across runs.
+
+use crate::Tensor;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"FPDQTNSR";
+const VERSION: u32 = 1;
+
+/// Error raised by tensor (de)serialization.
+#[derive(Debug)]
+pub enum TensorIoError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// The file is not an fpdq tensor archive or is truncated/corrupt.
+    Format(String),
+}
+
+impl std::fmt::Display for TensorIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TensorIoError::Io(e) => write!(f, "tensor archive i/o error: {e}"),
+            TensorIoError::Format(msg) => write!(f, "invalid tensor archive: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TensorIoError::Io(e) => Some(e),
+            TensorIoError::Format(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TensorIoError {
+    fn from(e: std::io::Error) -> Self {
+        TensorIoError::Io(e)
+    }
+}
+
+/// Serializes a named tensor map into bytes.
+pub fn to_bytes(tensors: &BTreeMap<String, Tensor>) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u32_le(tensors.len() as u32);
+    for (name, t) in tensors {
+        let nb = name.as_bytes();
+        buf.put_u32_le(nb.len() as u32);
+        buf.put_slice(nb);
+        buf.put_u32_le(t.ndim() as u32);
+        for &d in t.dims() {
+            buf.put_u64_le(d as u64);
+        }
+        for &v in t.data() {
+            buf.put_f32_le(v);
+        }
+    }
+    buf.freeze()
+}
+
+/// Deserializes a named tensor map from bytes.
+///
+/// # Errors
+///
+/// Returns [`TensorIoError::Format`] if the magic/version is wrong or the
+/// buffer is truncated.
+pub fn from_bytes(mut buf: &[u8]) -> Result<BTreeMap<String, Tensor>, TensorIoError> {
+    fn need(buf: &[u8], n: usize, what: &str) -> Result<(), TensorIoError> {
+        if buf.remaining() < n {
+            return Err(TensorIoError::Format(format!("truncated while reading {what}")));
+        }
+        Ok(())
+    }
+    need(buf, 8, "magic")?;
+    let mut magic = [0u8; 8];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(TensorIoError::Format("bad magic".into()));
+    }
+    need(buf, 8, "header")?;
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(TensorIoError::Format(format!("unsupported version {version}")));
+    }
+    let count = buf.get_u32_le() as usize;
+    let mut out = BTreeMap::new();
+    for _ in 0..count {
+        need(buf, 4, "name length")?;
+        let name_len = buf.get_u32_le() as usize;
+        need(buf, name_len, "name")?;
+        let mut name_bytes = vec![0u8; name_len];
+        buf.copy_to_slice(&mut name_bytes);
+        let name = String::from_utf8(name_bytes)
+            .map_err(|_| TensorIoError::Format("non-utf8 tensor name".into()))?;
+        need(buf, 4, "rank")?;
+        let ndim = buf.get_u32_le() as usize;
+        need(buf, ndim * 8, "dims")?;
+        let mut dims = Vec::with_capacity(ndim);
+        for _ in 0..ndim {
+            dims.push(buf.get_u64_le() as usize);
+        }
+        let numel: usize = dims.iter().product();
+        need(buf, numel * 4, "data")?;
+        let mut data = Vec::with_capacity(numel);
+        for _ in 0..numel {
+            data.push(buf.get_f32_le());
+        }
+        out.insert(name, Tensor::from_vec(data, &dims));
+    }
+    Ok(out)
+}
+
+/// Writes a named tensor map to `path`.
+///
+/// # Errors
+///
+/// Returns [`TensorIoError::Io`] on filesystem failure.
+pub fn save_tensors(path: impl AsRef<Path>, tensors: &BTreeMap<String, Tensor>) -> Result<(), TensorIoError> {
+    let bytes = to_bytes(tensors);
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&bytes)?;
+    Ok(())
+}
+
+/// Reads a named tensor map from `path`.
+///
+/// # Errors
+///
+/// Returns [`TensorIoError::Io`] on filesystem failure or
+/// [`TensorIoError::Format`] for a corrupt archive.
+pub fn load_tensors(path: impl AsRef<Path>) -> Result<BTreeMap<String, Tensor>, TensorIoError> {
+    let mut f = std::fs::File::open(path)?;
+    let mut buf = Vec::new();
+    f.read_to_end(&mut buf)?;
+    from_bytes(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_map() -> BTreeMap<String, Tensor> {
+        let mut m = BTreeMap::new();
+        m.insert("w".into(), Tensor::from_vec(vec![1.5, -2.25, 0.0, 3.0], &[2, 2]));
+        m.insert("b".into(), Tensor::from_vec(vec![0.125], &[1]));
+        m.insert("conv.weight".into(), Tensor::ones(&[2, 3, 1, 1]));
+        m
+    }
+
+    #[test]
+    fn roundtrip_bytes() {
+        let m = sample_map();
+        let bytes = to_bytes(&m);
+        let back = from_bytes(&bytes).unwrap();
+        assert_eq!(back.len(), 3);
+        for (k, v) in &m {
+            assert_eq!(back[k].dims(), v.dims(), "{k}");
+            assert_eq!(back[k].data(), v.data(), "{k}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_file() {
+        let dir = std::env::temp_dir().join("fpdq-tensor-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.fpdq");
+        let m = sample_map();
+        save_tensors(&path, &m).unwrap();
+        let back = load_tensors(&path).unwrap();
+        assert_eq!(back["w"].data(), m["w"].data());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = from_bytes(b"NOTMAGIC\x01\x00\x00\x00\x00\x00\x00\x00").unwrap_err();
+        assert!(matches!(err, TensorIoError::Format(_)));
+        assert!(err.to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let m = sample_map();
+        let bytes = to_bytes(&m);
+        let err = from_bytes(&bytes[..bytes.len() - 3]).unwrap_err();
+        assert!(matches!(err, TensorIoError::Format(_)));
+    }
+
+    #[test]
+    fn empty_map_roundtrips() {
+        let m = BTreeMap::new();
+        let back = from_bytes(&to_bytes(&m)).unwrap();
+        assert!(back.is_empty());
+    }
+}

@@ -1,0 +1,40 @@
+//! # fpdq-tensor
+//!
+//! A small, dependency-light, CPU n-dimensional `f32` tensor library that
+//! serves as the numerical substrate for the `fpdq` workspace (a
+//! reproduction of *"Low-Bitwidth Floating Point Quantization for Efficient
+//! High-Quality Diffusion Models"*, IISWC 2024).
+//!
+//! The library provides exactly what a diffusion-model stack needs:
+//!
+//! * contiguous row-major tensors with NumPy-style broadcasting,
+//! * a threaded matrix multiply and batched matmul (attention),
+//! * `im2col`-based 2-D convolution plus the gradient kernels that the
+//!   autograd crate builds on,
+//! * pooling / nearest-neighbour upsampling,
+//! * deterministic random initialisation helpers, and
+//! * a simple named-tensor binary serialization format for model
+//!   checkpoints.
+//!
+//! # Example
+//!
+//! ```
+//! use fpdq_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c.data(), a.data());
+//! ```
+
+pub mod conv;
+pub mod io;
+pub mod matmul;
+pub mod parallel;
+pub mod rng;
+pub mod shape;
+mod tensor;
+
+pub use io::{load_tensors, save_tensors, TensorIoError};
+pub use shape::{broadcast_shapes, Shape};
+pub use tensor::Tensor;

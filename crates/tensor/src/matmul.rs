@@ -1,0 +1,271 @@
+//! Threaded matrix multiplication kernels.
+//!
+//! The `i-k-j` loop order keeps the innermost traversal contiguous in both
+//! the `B` operand and the output row, which is the cache-friendly layout
+//! for row-major storage. Work is split across cores by output row chunks
+//! via [`crate::parallel`].
+
+use crate::parallel::parallel_rows;
+use crate::Tensor;
+
+impl Tensor {
+    /// Matrix product of two 2-D tensors: `[m, k] × [k, n] → [m, n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not 2-D or the inner dimensions differ.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.ndim(), 2, "matmul lhs must be 2-D, got {}", self.shape());
+        assert_eq!(other.ndim(), 2, "matmul rhs must be 2-D, got {}", other.shape());
+        let (m, k) = (self.dim(0), self.dim(1));
+        let (k2, n) = (other.dim(0), other.dim(1));
+        assert_eq!(k, k2, "matmul inner dims differ: {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        gemm(self.data(), other.data(), &mut out, m, k, n);
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// `self × otherᵀ` for 2-D tensors: `[m, k] × [n, k]ᵀ → [m, n]`.
+    ///
+    /// Avoids materialising the transpose; rows of both operands are
+    /// contiguous, so this uses a dot-product kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not 2-D or the `k` dimensions differ.
+    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.ndim(), 2, "matmul_nt lhs must be 2-D");
+        assert_eq!(other.ndim(), 2, "matmul_nt rhs must be 2-D");
+        let (m, k) = (self.dim(0), self.dim(1));
+        let (n, k2) = (other.dim(0), other.dim(1));
+        assert_eq!(k, k2, "matmul_nt inner dims differ: {k} vs {k2}");
+        let a = self.data();
+        let b = other.data();
+        let mut out = vec![0.0f32; m * n];
+        parallel_rows(&mut out, m, n, 8, |row_start, chunk| {
+            for (r, orow) in chunk.chunks_mut(n).enumerate() {
+                let arow = &a[(row_start + r) * k..(row_start + r + 1) * k];
+                for (j, o) in orow.iter_mut().enumerate() {
+                    let brow = &b[j * k..(j + 1) * k];
+                    *o = dot(arow, brow);
+                }
+            }
+        });
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// `selfᵀ × other` for 2-D tensors: `[k, m]ᵀ × [k, n] → [m, n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not 2-D or the `k` dimensions differ.
+    pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.ndim(), 2, "matmul_tn lhs must be 2-D");
+        assert_eq!(other.ndim(), 2, "matmul_tn rhs must be 2-D");
+        let (k, m) = (self.dim(0), self.dim(1));
+        let (k2, n) = (other.dim(0), other.dim(1));
+        assert_eq!(k, k2, "matmul_tn inner dims differ: {k} vs {k2}");
+        let a = self.data();
+        let b = other.data();
+        let mut out = vec![0.0f32; m * n];
+        // out[i, j] = sum_k a[k, i] * b[k, j]; accumulate row-wise over k.
+        parallel_rows(&mut out, m, n, 8, |row_start, chunk| {
+            for (r, orow) in chunk.chunks_mut(n).enumerate() {
+                let i = row_start + r;
+                for kk in 0..k {
+                    let av = a[kk * m + i];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let brow = &b[kk * n..kk * n + n];
+                    for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                        *o += av * bv;
+                    }
+                }
+            }
+        });
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Batched matrix product: `[b, m, k] × [b, k, n] → [b, m, n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands are not 3-D with matching batch and inner
+    /// dimensions.
+    pub fn bmm(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.ndim(), 3, "bmm lhs must be 3-D, got {}", self.shape());
+        assert_eq!(other.ndim(), 3, "bmm rhs must be 3-D, got {}", other.shape());
+        let (b, m, k) = (self.dim(0), self.dim(1), self.dim(2));
+        let (b2, k2, n) = (other.dim(0), other.dim(1), other.dim(2));
+        assert_eq!(b, b2, "bmm batch dims differ: {b} vs {b2}");
+        assert_eq!(k, k2, "bmm inner dims differ: {k} vs {k2}");
+        let mut out = vec![0.0f32; b * m * n];
+        let a = self.data();
+        let bd = other.data();
+        parallel_rows(&mut out, b, m * n, 1, |batch_start, chunk| {
+            for (bi, obatch) in chunk.chunks_mut(m * n).enumerate() {
+                let batch = batch_start + bi;
+                gemm_serial(
+                    &a[batch * m * k..(batch + 1) * m * k],
+                    &bd[batch * k * n..(batch + 1) * k * n],
+                    obatch,
+                    m,
+                    k,
+                    n,
+                );
+            }
+        });
+        Tensor::from_vec(out, &[b, m, n])
+    }
+}
+
+/// Dot product with 4-way unrolled accumulation.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; 4];
+    let chunks = a.len() / 4;
+    for c in 0..chunks {
+        let i = c * 4;
+        acc[0] += a[i] * b[i];
+        acc[1] += a[i + 1] * b[i + 1];
+        acc[2] += a[i + 2] * b[i + 2];
+        acc[3] += a[i + 3] * b[i + 3];
+    }
+    let mut s = acc[0] + acc[1] + acc[2] + acc[3];
+    for i in chunks * 4..a.len() {
+        s += a[i] * b[i];
+    }
+    s
+}
+
+/// Threaded GEMM: `c[m×n] = a[m×k] × b[k×n]` (c must be zeroed).
+pub fn gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "gemm lhs size");
+    assert_eq!(b.len(), k * n, "gemm rhs size");
+    assert_eq!(c.len(), m * n, "gemm out size");
+    parallel_rows(c, m, n, 8, |row_start, chunk| {
+        let rows = chunk.len() / n.max(1);
+        gemm_serial(&a[row_start * k..(row_start + rows) * k], b, chunk, rows, k, n);
+    });
+}
+
+/// Single-threaded GEMM micro-kernel (i-k-j order, contiguous inner loop).
+pub fn gemm_serial(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    for i in 0..m {
+        let crow = &mut c[i * n..(i + 1) * n];
+        let arow = &a[i * k..(i + 1) * k];
+        for (kk, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[kk * n..kk * n + n];
+            for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k, n) = (a.dim(0), a.dim(1), b.dim(1));
+        let mut out = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0;
+                for kk in 0..k {
+                    s += a.at(&[i, kk]) * b.at(&[kk, j]);
+                }
+                out.set(&[i, j], s);
+            }
+        }
+        out
+    }
+
+    fn rand_tensor(dims: &[usize], seed: u64) -> Tensor {
+        // Simple LCG so this test does not depend on the rng module.
+        let n: usize = dims.iter().product();
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let data = (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+            })
+            .collect();
+        Tensor::from_vec(data, dims)
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        for (m, k, n) in [(1, 1, 1), (3, 4, 5), (17, 9, 23), (64, 32, 48)] {
+            let a = rand_tensor(&[m, k], 1);
+            let b = rand_tensor(&[k, n], 2);
+            let fast = a.matmul(&b);
+            let slow = naive(&a, &b);
+            for (x, y) in fast.data().iter().zip(slow.data().iter()) {
+                assert!((x - y).abs() < 1e-4, "{x} vs {y} at ({m},{k},{n})");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = rand_tensor(&[5, 5], 3);
+        let i = Tensor::eye(5);
+        assert_eq!(a.matmul(&i).data(), a.data());
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let a = rand_tensor(&[7, 11], 4);
+        let b = rand_tensor(&[13, 11], 5);
+        let fast = a.matmul_nt(&b);
+        let slow = a.matmul(&b.transpose());
+        for (x, y) in fast.data().iter().zip(slow.data().iter()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let a = rand_tensor(&[11, 7], 6);
+        let b = rand_tensor(&[11, 13], 7);
+        let fast = a.matmul_tn(&b);
+        let slow = a.transpose().matmul(&b);
+        for (x, y) in fast.data().iter().zip(slow.data().iter()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn bmm_matches_per_batch_matmul() {
+        let a = rand_tensor(&[3, 4, 5], 8);
+        let b = rand_tensor(&[3, 5, 6], 9);
+        let fast = a.bmm(&b);
+        for batch in 0..3 {
+            let ab = a.narrow(0, batch, 1).reshape(&[4, 5]);
+            let bb = b.narrow(0, batch, 1).reshape(&[5, 6]);
+            let expect = ab.matmul(&bb);
+            let got = fast.narrow(0, batch, 1).reshape(&[4, 6]);
+            for (x, y) in got.data().iter().zip(expect.data().iter()) {
+                assert!((x - y).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims differ")]
+    fn matmul_dim_mismatch_panics() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        a.matmul(&b);
+    }
+}

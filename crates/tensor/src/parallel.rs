@@ -1,0 +1,153 @@
+//! Minimal data-parallel helpers built on `std::thread::scope`.
+//!
+//! The workspace deliberately avoids a work-stealing runtime; the tensor
+//! kernels only need "split this range across cores" parallelism, which
+//! scoped threads provide with zero dependencies.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Returns the number of worker threads to use for parallel kernels.
+///
+/// Respects the `FPDQ_THREADS` environment variable when set (useful for
+/// reproducible benchmarking); otherwise uses the machine's available
+/// parallelism, capped at 16.
+pub fn num_threads() -> usize {
+    static CACHED: AtomicUsize = AtomicUsize::new(0);
+    let cached = CACHED.load(Ordering::Relaxed);
+    if cached != 0 {
+        return cached;
+    }
+    let n = std::env::var("FPDQ_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(16)
+        });
+    CACHED.store(n, Ordering::Relaxed);
+    n
+}
+
+/// Runs `body(start, end)` over disjoint chunks of `0..len` in parallel.
+///
+/// Falls back to a single in-line call when the range is small (below
+/// `min_per_thread` elements per worker) so tiny tensors do not pay thread
+/// spawn costs.
+///
+/// # Example
+///
+/// ```
+/// let mut out = vec![0.0f32; 1000];
+/// let chunks = std::sync::Mutex::new(Vec::new());
+/// fpdq_tensor::parallel::parallel_for(1000, 64, |s, e| {
+///     chunks.lock().unwrap().push((s, e));
+/// });
+/// let total: usize = chunks.lock().unwrap().iter().map(|&(s, e)| e - s).sum();
+/// assert_eq!(total, 1000);
+/// # let _ = out.pop();
+/// ```
+pub fn parallel_for<F>(len: usize, min_per_thread: usize, body: F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    if len == 0 {
+        return;
+    }
+    let workers = num_threads().min(len / min_per_thread.max(1)).max(1);
+    if workers <= 1 {
+        body(0, len);
+        return;
+    }
+    let chunk = len.div_ceil(workers);
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let start = w * chunk;
+            let end = ((w + 1) * chunk).min(len);
+            if start >= end {
+                break;
+            }
+            let body = &body;
+            scope.spawn(move || body(start, end));
+        }
+    });
+}
+
+/// Splits a mutable slice into `0..len` row-chunks of `row` elements each and
+/// processes them in parallel: `body(row_start, rows_chunk)`.
+///
+/// This is the writer-side companion of [`parallel_for`]: each worker
+/// receives an exclusive `&mut [f32]` window covering whole rows, so kernels
+/// can write without synchronisation.
+pub fn parallel_rows<F>(out: &mut [f32], rows: usize, row: usize, min_rows: usize, body: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    assert_eq!(out.len(), rows * row, "output length must equal rows * row");
+    if rows == 0 {
+        return;
+    }
+    let workers = num_threads().min(rows / min_rows.max(1)).max(1);
+    if workers <= 1 {
+        body(0, out);
+        return;
+    }
+    let rows_per = rows.div_ceil(workers);
+    std::thread::scope(|scope| {
+        let mut rest = out;
+        let mut row_start = 0usize;
+        while row_start < rows {
+            let take = rows_per.min(rows - row_start);
+            let (head, tail) = rest.split_at_mut(take * row);
+            rest = tail;
+            let body = &body;
+            let rs = row_start;
+            scope.spawn(move || body(rs, head));
+            row_start += take;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn covers_whole_range_without_overlap() {
+        let seen = Mutex::new(vec![0u8; 1013]);
+        parallel_for(1013, 8, |s, e| {
+            let mut v = seen.lock().unwrap();
+            for i in s..e {
+                v[i] += 1;
+            }
+        });
+        assert!(seen.lock().unwrap().iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn empty_range_is_noop() {
+        parallel_for(0, 8, |_, _| panic!("must not be called"));
+    }
+
+    #[test]
+    fn rows_partition_exclusive() {
+        let mut out = vec![0.0f32; 7 * 5];
+        parallel_rows(&mut out, 7, 5, 1, |row_start, chunk| {
+            for (r, row) in chunk.chunks_mut(5).enumerate() {
+                for v in row.iter_mut() {
+                    *v = (row_start + r) as f32;
+                }
+            }
+        });
+        for r in 0..7 {
+            for c in 0..5 {
+                assert_eq!(out[r * 5 + c], r as f32);
+            }
+        }
+    }
+
+    #[test]
+    fn num_threads_is_at_least_one() {
+        assert!(num_threads() >= 1);
+    }
+}

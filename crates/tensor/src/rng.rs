@@ -1,0 +1,102 @@
+//! Deterministic random tensor initialisation.
+//!
+//! Every stochastic component in the workspace takes an explicit
+//! [`rand::Rng`], so experiments are reproducible bit-for-bit — the paper's
+//! §VI-C methodology ("fix the seed across runs that are to be compared")
+//! depends on this.
+
+use crate::Tensor;
+use rand::Rng;
+
+impl Tensor {
+    /// Standard-normal samples (Box–Muller over the `rand` uniform source).
+    pub fn randn(dims: &[usize], rng: &mut impl Rng) -> Tensor {
+        let n: usize = dims.iter().product();
+        let mut data = Vec::with_capacity(n);
+        while data.len() < n {
+            let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+            let u2: f32 = rng.gen_range(0.0..1.0);
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f32::consts::PI * u2;
+            data.push(r * theta.cos());
+            if data.len() < n {
+                data.push(r * theta.sin());
+            }
+        }
+        Tensor::from_vec(data, dims)
+    }
+
+    /// Uniform samples from `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn rand_uniform(dims: &[usize], lo: f32, hi: f32, rng: &mut impl Rng) -> Tensor {
+        assert!(lo < hi, "rand_uniform requires lo < hi, got [{lo}, {hi})");
+        let n: usize = dims.iter().product();
+        let data = (0..n).map(|_| rng.gen_range(lo..hi)).collect();
+        Tensor::from_vec(data, dims)
+    }
+
+    /// Kaiming/He-style fan-in scaled normal initialisation for weights.
+    ///
+    /// `fan_in` is the number of input connections per output unit (e.g.
+    /// `c * kh * kw` for a convolution).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fan_in` is zero.
+    pub fn kaiming(dims: &[usize], fan_in: usize, rng: &mut impl Rng) -> Tensor {
+        assert!(fan_in > 0, "kaiming fan_in must be positive");
+        let std = (2.0 / fan_in as f32).sqrt();
+        Tensor::randn(dims, rng).mul_scalar(std)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn randn_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let t = Tensor::randn(&[10_000], &mut rng);
+        assert!(t.mean().abs() < 0.05, "mean {}", t.mean());
+        assert!((t.std() - 1.0).abs() < 0.05, "std {}", t.std());
+    }
+
+    #[test]
+    fn randn_is_deterministic_per_seed() {
+        let a = Tensor::randn(&[16], &mut StdRng::seed_from_u64(7));
+        let b = Tensor::randn(&[16], &mut StdRng::seed_from_u64(7));
+        let c = Tensor::randn(&[16], &mut StdRng::seed_from_u64(8));
+        assert_eq!(a.data(), b.data());
+        assert_ne!(a.data(), c.data());
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = Tensor::rand_uniform(&[1000], -2.0, 3.0, &mut rng);
+        assert!(t.min() >= -2.0 && t.max() < 3.0);
+        assert!(t.max() > 2.0 && t.min() < -1.0, "should roughly fill the range");
+    }
+
+    #[test]
+    fn kaiming_scale() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = Tensor::kaiming(&[64, 64], 64, &mut rng);
+        let expect = (2.0f32 / 64.0).sqrt();
+        assert!((t.std() - expect).abs() < 0.02, "std {} vs {expect}", t.std());
+    }
+
+    #[test]
+    fn odd_element_count_randn() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = Tensor::randn(&[7], &mut rng);
+        assert_eq!(t.numel(), 7);
+        assert!(t.data().iter().all(|v| v.is_finite()));
+    }
+}

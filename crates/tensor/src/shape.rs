@@ -1,0 +1,217 @@
+//! Shape utilities: dimension bookkeeping and NumPy-style broadcasting.
+
+/// A tensor shape: the extent of each dimension, outermost first.
+///
+/// `Shape` is a thin newtype over `Vec<usize>` providing the index
+/// arithmetic used throughout the crate. Tensors are always contiguous
+/// row-major, so strides are derived, never stored.
+///
+/// # Example
+///
+/// ```
+/// use fpdq_tensor::Shape;
+/// let s = Shape::new(&[2, 3, 4]);
+/// assert_eq!(s.numel(), 24);
+/// assert_eq!(s.strides(), vec![12, 4, 1]);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from a slice of dimension extents.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+
+    /// The dimension extents, outermost first.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of dimensions.
+    pub fn ndim(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements (product of extents; 1 for a scalar shape).
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Row-major strides (in elements) for this shape.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Converts a multi-dimensional index to a flat offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` has the wrong rank or any coordinate is out of
+    /// bounds.
+    pub fn offset(&self, idx: &[usize]) -> usize {
+        assert_eq!(
+            idx.len(),
+            self.0.len(),
+            "index rank {} does not match shape rank {}",
+            idx.len(),
+            self.0.len()
+        );
+        let mut off = 0;
+        let strides = self.strides();
+        for (d, (&i, &s)) in idx.iter().zip(strides.iter()).enumerate() {
+            assert!(i < self.0[d], "index {i} out of bounds for dim {d} of extent {}", self.0[d]);
+            off += i * s;
+        }
+        off
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Computes the broadcast shape of two shapes under NumPy rules.
+///
+/// Dimensions are aligned from the innermost end; extents must match or one
+/// of them must be 1.
+///
+/// # Panics
+///
+/// Panics if the shapes are not broadcast-compatible.
+///
+/// # Example
+///
+/// ```
+/// use fpdq_tensor::broadcast_shapes;
+/// assert_eq!(broadcast_shapes(&[4, 1, 3], &[2, 3]), vec![4, 2, 3]);
+/// ```
+pub fn broadcast_shapes(a: &[usize], b: &[usize]) -> Vec<usize> {
+    let ndim = a.len().max(b.len());
+    let mut out = vec![0usize; ndim];
+    for i in 0..ndim {
+        let da = if i < ndim - a.len() { 1 } else { a[i - (ndim - a.len())] };
+        let db = if i < ndim - b.len() { 1 } else { b[i - (ndim - b.len())] };
+        out[i] = if da == db {
+            da
+        } else if da == 1 {
+            db
+        } else if db == 1 {
+            da
+        } else {
+            panic!("shapes {a:?} and {b:?} are not broadcast-compatible at dim {i}");
+        };
+    }
+    out
+}
+
+/// Iterates flat offsets of a broadcast operand.
+///
+/// Given the broadcast output shape `out` and an operand shape `src`
+/// (right-aligned), yields for each output element the flat offset into the
+/// operand's storage.
+pub(crate) fn broadcast_offsets(out: &[usize], src: &[usize]) -> Vec<usize> {
+    let n: usize = out.iter().product();
+    let ndim = out.len();
+    let pad = ndim - src.len();
+    // Effective strides of src in out-space: 0 where src extent is 1.
+    let src_strides_raw = Shape::new(src).strides();
+    let mut strides = vec![0usize; ndim];
+    for i in 0..ndim {
+        if i >= pad && src[i - pad] != 1 {
+            strides[i] = src_strides_raw[i - pad];
+        }
+    }
+    let mut offsets = Vec::with_capacity(n);
+    let mut idx = vec![0usize; ndim];
+    let mut off = 0usize;
+    for _ in 0..n {
+        offsets.push(off);
+        // Increment the multi-index (row-major) and adjust `off`.
+        for d in (0..ndim).rev() {
+            idx[d] += 1;
+            off += strides[d];
+            if idx[d] < out[d] {
+                break;
+            }
+            off -= strides[d] * out[d];
+            idx[d] = 0;
+        }
+    }
+    offsets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(Shape::new(&[2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::new(&[5]).strides(), vec![1]);
+        assert_eq!(Shape::new(&[]).strides(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn offset_math() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.offset(&[0, 0, 0]), 0);
+        assert_eq!(s.offset(&[1, 2, 3]), 23);
+        assert_eq!(s.offset(&[1, 0, 1]), 13);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn offset_out_of_bounds_panics() {
+        Shape::new(&[2, 2]).offset(&[2, 0]);
+    }
+
+    #[test]
+    fn broadcast_basic() {
+        assert_eq!(broadcast_shapes(&[2, 3], &[2, 3]), vec![2, 3]);
+        assert_eq!(broadcast_shapes(&[2, 1], &[1, 3]), vec![2, 3]);
+        assert_eq!(broadcast_shapes(&[3], &[2, 3]), vec![2, 3]);
+        assert_eq!(broadcast_shapes(&[1], &[7]), vec![7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not broadcast-compatible")]
+    fn broadcast_incompatible_panics() {
+        broadcast_shapes(&[2, 3], &[4, 3]);
+    }
+
+    #[test]
+    fn broadcast_offset_iteration() {
+        // out = [2,3], src = [3] -> offsets cycle 0,1,2,0,1,2
+        assert_eq!(broadcast_offsets(&[2, 3], &[3]), vec![0, 1, 2, 0, 1, 2]);
+        // out = [2,3], src = [2,1] -> 0,0,0,1,1,1
+        assert_eq!(broadcast_offsets(&[2, 3], &[2, 1]), vec![0, 0, 0, 1, 1, 1]);
+        // scalar src
+        assert_eq!(broadcast_offsets(&[2, 2], &[1]), vec![0, 0, 0, 0]);
+    }
+}

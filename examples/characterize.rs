@@ -1,0 +1,54 @@
+//! Compute/memory characterization of an SD-scale U-Net (the paper's
+//! §III analysis) using the analytic roofline model: per-layer-class
+//! latency shares, peak memory vs batch size, and the quantization
+//! savings on 8-bit-capable hardware.
+//!
+//! ```sh
+//! cargo run --release --example characterize
+//! ```
+
+use fpdq::perf::census::{sd_scale_config, sd_scale_input, SD_CONTEXT_LEN};
+use fpdq::perf::{census, latency, peak_memory, Device, LayerClass, NumberFormat};
+
+fn main() {
+    let cfg = sd_scale_config();
+    let c1 = census(&cfg, sd_scale_input(), 1, SD_CONTEXT_LEN);
+    println!(
+        "SD-scale U-Net: {:.0}M parameters, {:.0} GFLOP per forward (batch 1)",
+        c1.total_params() as f64 / 1e6,
+        c1.total_flops() / 1e9
+    );
+
+    println!("\nlatency breakdown by layer class:");
+    for device in [Device::v100_like(), Device::xeon_like(), Device::h100_like()] {
+        let report = latency(&c1, &device, NumberFormat::Fp32, NumberFormat::Fp32);
+        print!("  {:<22} total {:>8.1} ms |", device.name, report.total * 1e3);
+        for class in LayerClass::ALL {
+            print!(" {} {:>5.1}%", class.name(), 100.0 * report.share_of(class));
+        }
+        println!();
+    }
+
+    println!("\npeak inference memory (GiB):");
+    println!("  {:<8}{:>8}{:>8}{:>8}", "batch", "FP32", "FP8", "FP4");
+    for batch in [1usize, 4, 16] {
+        let f32m = peak_memory(&cfg, sd_scale_input(), batch, SD_CONTEXT_LEN, 4.0, 4.0);
+        let f8m = peak_memory(&cfg, sd_scale_input(), batch, SD_CONTEXT_LEN, 1.0, 1.0);
+        let f4m = peak_memory(&cfg, sd_scale_input(), batch, SD_CONTEXT_LEN, 0.5, 0.5);
+        println!(
+            "  {:<8}{:>8.2}{:>8.2}{:>8.2}",
+            batch,
+            f32m.total_gib(),
+            f8m.total_gib(),
+            f4m.total_gib()
+        );
+    }
+
+    // The paper's hardware premise: FP8 and INT8 cost the same.
+    let h100 = Device::h100_like();
+    let fp8 = latency(&c1, &h100, NumberFormat::Fp8, NumberFormat::Fp8).total;
+    let int8 = latency(&c1, &h100, NumberFormat::Int8, NumberFormat::Int8).total;
+    let fp32 = latency(&c1, &h100, NumberFormat::Fp32, NumberFormat::Fp32).total;
+    println!("\nH100-class step latency: FP32 {:.2} ms, FP8 {:.2} ms, INT8 {:.2} ms", fp32 * 1e3, fp8 * 1e3, int8 * 1e3);
+    println!("=> same-bitwidth FP and INT cost the same; choosing FP is free (paper §I).");
+}

@@ -1,0 +1,62 @@
+//! Quickstart: quantize a diffusion U-Net to FP8 with the paper's method
+//! and inspect what the search chose.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use fpdq::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // 1. A trained unconditional latent-diffusion pipeline. The zoo
+    //    trains it from scratch on first use and caches the checkpoint
+    //    (set FPDQ_FAST=1 for a quick low-quality training run).
+    let pipeline = Zoo::open_default().ldm_sim();
+    println!("U-Net parameters: {}", pipeline.unet.param_count());
+
+    // 2. Calibration data: the paper records the FP32 model's own
+    //    denoising trajectories and samples them uniformly over timesteps.
+    let mut rng = StdRng::seed_from_u64(0);
+    let calib = record_trajectories(
+        &pipeline.unet,
+        &pipeline.schedule,
+        &[4, 8, 8], // latent channels × spatial
+        &[None],    // unconditional
+        20,         // DDIM steps per recorded trajectory
+        6,          // trajectories
+        64,         // initialization points (activation format search)
+        40,         // rounding-learning points
+        &mut rng,
+    );
+
+    // 3. Quantize weights and activations to FP8 (Algorithm 1: per-tensor
+    //    encoding + bias search; rounding learning auto-enables at FP4).
+    let report = quantize_unet(&pipeline.unet, &calib, &PtqConfig::fp(8, 8), &mut rng);
+    println!("\nper-layer choices (first 8):");
+    for layer in report.layers.iter().take(8) {
+        println!(
+            "  {:<22} W: {:<14} A: {:<14} wMSE {:.2e}",
+            layer.name,
+            layer.weight_quantizer.as_deref().unwrap_or("-"),
+            layer.act_quantizer.as_deref().unwrap_or("-"),
+            layer.weight_mse,
+        );
+    }
+    println!(
+        "\nweight sparsity: {:.4}% -> {:.4}%",
+        100.0 * report.sparsity_before(),
+        100.0 * report.sparsity_after()
+    );
+
+    // 4. Generate with the quantized model (the fake-quantizers run
+    //    inside the layers' input taps).
+    let images = pipeline.generate(8, 25, &mut StdRng::seed_from_u64(7));
+    println!(
+        "\ngenerated {} images, value range [{:.2}, {:.2}]",
+        images.dims()[0],
+        images.min(),
+        images.max()
+    );
+}

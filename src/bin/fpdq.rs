@@ -1,0 +1,349 @@
+//! The `fpdq` command-line tool: train, quantize, generate, evaluate and
+//! characterize from a shell.
+//!
+//! ```text
+//! fpdq pretrain                               train + cache all zoo models
+//! fpdq quantize   --model ldm --config fp8    quantize and report per layer
+//! fpdq generate   --model sd --prompt "..."   sample images to PPM
+//! fpdq evaluate   --model ldm --config int8   FID/sFID/P/R vs the dataset
+//! fpdq sparsity   --model sd                  weight-sparsity census
+//! fpdq characterize                           roofline latency + memory
+//! ```
+
+use fpdq::data::ppm::{image_grid, save_ppm};
+use fpdq::prelude::*;
+use fpdq::quant::sparsity::weight_sparsity;
+use fpdq::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = parse_flags(&args[1..]);
+    match cmd.as_str() {
+        "pretrain" => pretrain(),
+        "quantize" => quantize(&opts),
+        "generate" => generate(&opts),
+        "evaluate" => evaluate_cmd(&opts),
+        "sparsity" => sparsity(&opts),
+        "characterize" => characterize(),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown command '{other}'\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+fpdq — low-bitwidth floating-point quantization for diffusion models
+
+USAGE: fpdq <COMMAND> [--flag value]...
+
+COMMANDS:
+  pretrain                       train and cache every zoo model
+  quantize      --model <ddim|ldm|sd|sdxl> --config <fp8|fp4|fp4-norl|int8|int4>
+  generate      --model <...> --config <...> [--prompt \"...\"] [--count N] [--out DIR]
+  evaluate      --model <...> --config <...> [--count N]
+  sparsity      --model <...> [--config <...>]
+  characterize                   roofline latency + memory of an SD-scale U-Net
+  help                           this message
+
+ENVIRONMENT:
+  FPDQ_ZOO_DIR   model cache directory (default target/fpdq-zoo)
+  FPDQ_FAST=1    reduced training budgets";
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut out = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            let value = args.get(i + 1).cloned().unwrap_or_default();
+            out.insert(key.to_string(), value);
+            i += 2;
+        } else {
+            eprintln!("ignoring stray argument '{}'", args[i]);
+            i += 1;
+        }
+    }
+    out
+}
+
+fn config_from(name: &str) -> Option<Option<PtqConfig>> {
+    match name {
+        "fp32" | "none" => Some(None),
+        "fp8" => Some(Some(PtqConfig::fp(8, 8))),
+        "fp4" => Some(Some(PtqConfig::fp(4, 8))),
+        "fp4-norl" => Some(Some(PtqConfig::fp(4, 8).without_rounding_learning())),
+        "int8" => Some(Some(PtqConfig::int(8, 8))),
+        "int4" => Some(Some(PtqConfig::int(4, 8))),
+        _ => None,
+    }
+}
+
+/// A uniform handle over the four pipelines.
+enum Pipeline {
+    Ddim(DdimSim),
+    Ldm(LdmSim),
+    Sd(SdSim),
+}
+
+impl Pipeline {
+    fn load(model: &str) -> Option<Pipeline> {
+        let zoo = Zoo::open_default();
+        match model {
+            "ddim" => Some(Pipeline::Ddim(zoo.ddim_sim())),
+            "ldm" => Some(Pipeline::Ldm(zoo.ldm_sim())),
+            "sd" => Some(Pipeline::Sd(zoo.sd_sim())),
+            "sdxl" => Some(Pipeline::Sd(zoo.sdxl_sim())),
+            _ => None,
+        }
+    }
+
+    fn unet(&self) -> &UNet {
+        match self {
+            Pipeline::Ddim(p) => &p.unet,
+            Pipeline::Ldm(p) => &p.unet,
+            Pipeline::Sd(p) => &p.unet,
+        }
+    }
+
+    fn image_size(&self) -> usize {
+        match self {
+            Pipeline::Ddim(p) => p.image_size,
+            Pipeline::Ldm(_) | Pipeline::Sd(_) => 16,
+        }
+    }
+
+    fn calibrate(&self) -> CalibrationSet {
+        let mut rng = StdRng::seed_from_u64(0xCA11B);
+        match self {
+            Pipeline::Ddim(p) => fpdq::quant::record_trajectories(
+                &p.unet, &p.schedule, &[p.channels, p.image_size, p.image_size],
+                &[None], 20, 6, 64, 40, &mut rng,
+            ),
+            Pipeline::Ldm(p) => fpdq::quant::record_trajectories(
+                &p.unet, &p.schedule, &[p.latent_channels, p.latent_size, p.latent_size],
+                &[None], 20, 6, 64, 40, &mut rng,
+            ),
+            Pipeline::Sd(p) => {
+                let prompts = CaptionedScenes::all_captions();
+                let mut ctx: Vec<Option<Tensor>> = prompts
+                    .iter()
+                    .step_by(7)
+                    .map(|c| Some(p.encode_prompts(std::slice::from_ref(c))))
+                    .collect();
+                ctx.push(Some(p.null_context(1)));
+                fpdq::quant::record_trajectories(
+                    &p.unet, &p.schedule, &[p.latent_channels, p.latent_size, p.latent_size],
+                    &ctx, 20, 8, 16, 40, &mut rng,
+                )
+            }
+        }
+    }
+
+    fn generate(&self, count: usize, prompt: Option<&str>, seed: u64) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        match self {
+            Pipeline::Ddim(p) => p.generate(count, 25, &mut rng),
+            Pipeline::Ldm(p) => p.generate(count, 25, &mut rng),
+            Pipeline::Sd(p) => {
+                let prompts: Vec<String> = match prompt {
+                    Some(text) => vec![text.to_string(); count],
+                    None => {
+                        let all = CaptionedScenes::all_captions();
+                        (0..count).map(|i| all[i % all.len()].clone()).collect()
+                    }
+                };
+                p.generate(&prompts, 20, &mut rng)
+            }
+        }
+    }
+
+    fn reference(&self, count: usize) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(7);
+        match self {
+            Pipeline::Ddim(_) => TinyCifar::new().batch(count, &mut rng),
+            Pipeline::Ldm(_) => TinyBedrooms::new().batch(count, &mut rng),
+            Pipeline::Sd(_) => CaptionedScenes::new().batch(count, &mut rng),
+        }
+    }
+}
+
+fn require<'a>(opts: &'a HashMap<String, String>, key: &str) -> Option<&'a str> {
+    match opts.get(key) {
+        Some(v) if !v.is_empty() => Some(v),
+        _ => {
+            eprintln!("missing required flag --{key}");
+            None
+        }
+    }
+}
+
+fn pretrain() -> ExitCode {
+    let zoo = Zoo::open_default();
+    println!("zoo: {:?} (fast = {})", zoo.dir(), zoo.is_fast());
+    zoo.ddim_sim();
+    zoo.ldm_sim();
+    zoo.sd_sim();
+    zoo.sdxl_sim();
+    println!("all models cached");
+    ExitCode::SUCCESS
+}
+
+fn quantize(opts: &HashMap<String, String>) -> ExitCode {
+    let (Some(model), Some(config)) = (require(opts, "model"), require(opts, "config")) else {
+        return ExitCode::FAILURE;
+    };
+    let Some(pipeline) = Pipeline::load(model) else {
+        eprintln!("unknown model '{model}'");
+        return ExitCode::FAILURE;
+    };
+    let Some(Some(cfg)) = config_from(config) else {
+        eprintln!("unknown or trivial config '{config}'");
+        return ExitCode::FAILURE;
+    };
+    let calib = pipeline.calibrate();
+    let mut rng = StdRng::seed_from_u64(1);
+    let report = quantize_unet(pipeline.unet(), &calib, &cfg, &mut rng);
+    println!("{:<26} {:<15} {:<15} {:>10} {:>9}", "layer", "weight fmt", "act fmt", "wMSE", "sparsity");
+    for l in &report.layers {
+        println!(
+            "{:<26} {:<15} {:<15} {:>10.2e} {:>8.2}%",
+            l.name,
+            l.weight_quantizer.as_deref().unwrap_or("-"),
+            l.act_quantizer.as_deref().unwrap_or("-"),
+            l.weight_mse,
+            100.0 * l.sparsity_after
+        );
+    }
+    let hist = |m: std::collections::BTreeMap<String, usize>| {
+        m.into_iter().map(|(k, v)| format!("{k}:{v}")).collect::<Vec<_>>().join(" ")
+    };
+    println!("\nweight encodings: {}", hist(report.weight_encoding_histogram()));
+    println!("act encodings   : {}", hist(report.act_encoding_histogram()));
+    println!(
+        "\n{} layers | mean weight MSE {:.3e} | sparsity {:.3}% -> {:.3}% | RL improved {}",
+        report.layers.len(),
+        report.mean_weight_mse(),
+        100.0 * report.sparsity_before(),
+        100.0 * report.sparsity_after(),
+        report.rl_improved_layers(),
+    );
+    ExitCode::SUCCESS
+}
+
+fn generate(opts: &HashMap<String, String>) -> ExitCode {
+    let Some(model) = require(opts, "model") else { return ExitCode::FAILURE };
+    let Some(pipeline) = Pipeline::load(model) else {
+        eprintln!("unknown model '{model}'");
+        return ExitCode::FAILURE;
+    };
+    let config = opts.get("config").map(String::as_str).unwrap_or("fp32");
+    let Some(cfg) = config_from(config) else {
+        eprintln!("unknown config '{config}'");
+        return ExitCode::FAILURE;
+    };
+    if let Some(cfg) = &cfg {
+        let calib = pipeline.calibrate();
+        let mut rng = StdRng::seed_from_u64(1);
+        quantize_unet(pipeline.unet(), &calib, cfg, &mut rng);
+    }
+    let count: usize = opts.get("count").and_then(|v| v.parse().ok()).unwrap_or(8);
+    let out_dir = std::path::PathBuf::from(
+        opts.get("out").cloned().unwrap_or_else(|| "target/fpdq-cli".into()),
+    );
+    std::fs::create_dir_all(&out_dir).expect("create output dir");
+    let imgs = pipeline.generate(count, opts.get("prompt").map(String::as_str), 42);
+    let size = pipeline.image_size();
+    let tiles: Vec<Tensor> =
+        (0..count).map(|i| imgs.narrow(0, i, 1).reshape(&[3, size, size])).collect();
+    let sheet = image_grid(&tiles, 4);
+    let path = out_dir.join(format!("{model}_{config}.ppm"));
+    save_ppm(&sheet, &path, 8).expect("write ppm");
+    println!("wrote {} ({count} samples, config {config})", path.display());
+    ExitCode::SUCCESS
+}
+
+fn evaluate_cmd(opts: &HashMap<String, String>) -> ExitCode {
+    let (Some(model), Some(config)) = (require(opts, "model"), require(opts, "config")) else {
+        return ExitCode::FAILURE;
+    };
+    let Some(pipeline) = Pipeline::load(model) else {
+        eprintln!("unknown model '{model}'");
+        return ExitCode::FAILURE;
+    };
+    let Some(cfg) = config_from(config) else {
+        eprintln!("unknown config '{config}'");
+        return ExitCode::FAILURE;
+    };
+    if let Some(cfg) = &cfg {
+        let calib = pipeline.calibrate();
+        let mut rng = StdRng::seed_from_u64(1);
+        quantize_unet(pipeline.unet(), &calib, cfg, &mut rng);
+    }
+    let count: usize = opts.get("count").and_then(|v| v.parse().ok()).unwrap_or(64);
+    let reference = pipeline.reference(count);
+    let imgs = pipeline.generate(count, None, 42);
+    let net = FeatureNet::for_size(pipeline.image_size());
+    let m = fpdq::metrics::evaluate(&reference, &imgs, &net);
+    println!("{model} @ {config} over {count} samples: {m}");
+    ExitCode::SUCCESS
+}
+
+fn sparsity(opts: &HashMap<String, String>) -> ExitCode {
+    let Some(model) = require(opts, "model") else { return ExitCode::FAILURE };
+    let Some(pipeline) = Pipeline::load(model) else {
+        eprintln!("unknown model '{model}'");
+        return ExitCode::FAILURE;
+    };
+    if let Some(config) = opts.get("config") {
+        if let Some(Some(cfg)) = config_from(config) {
+            let calib = pipeline.calibrate();
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut cfg = cfg;
+            cfg.quantize_acts = false;
+            quantize_unet(pipeline.unet(), &calib, &cfg, &mut rng);
+        }
+    }
+    let report = weight_sparsity(pipeline.unet());
+    for l in &report.per_layer {
+        println!("{:<26} {:>8.3}%  ({} weights)", l.name, 100.0 * l.sparsity, l.numel);
+    }
+    println!("\noverall: {:.4}% of weights are zero", 100.0 * report.overall());
+    ExitCode::SUCCESS
+}
+
+fn characterize() -> ExitCode {
+    use fpdq::perf::census::{sd_scale_config, sd_scale_input, SD_CONTEXT_LEN};
+    use fpdq::perf::{census, latency, peak_memory, Device, LayerClass, NumberFormat};
+    let cfg = sd_scale_config();
+    let c = census(&cfg, sd_scale_input(), 1, SD_CONTEXT_LEN);
+    println!(
+        "SD-scale U-Net: {:.0}M params, {:.0} GFLOP/forward",
+        c.total_params() as f64 / 1e6,
+        c.total_flops() / 1e9
+    );
+    for device in [Device::xeon_like(), Device::v100_like(), Device::h100_like()] {
+        let r = latency(&c, &device, NumberFormat::Fp32, NumberFormat::Fp32);
+        print!("{:<22} {:>8.1} ms |", device.name, r.total * 1e3);
+        for class in LayerClass::ALL {
+            print!(" {} {:>4.1}%", class.name(), 100.0 * r.share_of(class));
+        }
+        println!();
+    }
+    for batch in [1usize, 8, 16] {
+        let m = peak_memory(&cfg, sd_scale_input(), batch, SD_CONTEXT_LEN, 4.0, 4.0);
+        println!("peak memory @ batch {batch:>2}: {:>6.2} GiB (attention {:>4.1}%)", m.total_gib(), 100.0 * m.attention / m.total());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,89 @@
+//! Cross-crate consistency: the bit-packed kernels (fpdq-kernels) compute
+//! exactly what the fake-quantized model layers (fpdq-nn + fpdq-core)
+//! compute — the property that licenses evaluating image quality with
+//! simulated quantization while claiming real-footprint deployment.
+
+use fpdq::kernels::{gemm_packed_fp, CsrWeights, PackedFpTensor};
+use fpdq::nn::{Linear, QuantLayer};
+use fpdq::quant::{search_fp_format, FpFormat, TensorQuantizer};
+use fpdq::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn packed_gemm_reproduces_quantized_linear_layer() {
+    let mut rng = StdRng::seed_from_u64(0);
+    let lin = Linear::new("l", 24, 16, &mut rng);
+    let x = Tensor::randn(&[5, 24], &mut rng);
+
+    // Quantize the weight with a searched FP8 format and bake it, as the
+    // PTQ driver does.
+    let w = lin.weight.value();
+    let found = search_fp_format(&[&w], 8, 41);
+    let TensorQuantizer::Fp(fmt) = found.quantizer else { panic!("fp expected") };
+    let baked = fmt.quantize(&w);
+    lin.weight.replace(baked.clone());
+
+    // Model path: fake-quantized layer forward (bias included).
+    let model_out = lin.forward(&x);
+
+    // Kernel path: packed weights + explicit bias addition.
+    let packed = PackedFpTensor::encode(&w, fmt);
+    let bias = lin.bias.as_ref().unwrap().value();
+    let kernel_out = gemm_packed_fp(&x, &packed, None).add(&bias);
+
+    for (a, b) in model_out.data().iter().zip(kernel_out.data()) {
+        assert!((a - b).abs() < 1e-4, "model {a} vs kernel {b}");
+    }
+}
+
+#[test]
+fn fp4_packing_cuts_footprint_8x_and_stays_exact() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let w = Tensor::randn(&[32, 64], &mut rng).mul_scalar(0.1);
+    let found = search_fp_format(&[&w], 4, 41);
+    let TensorQuantizer::Fp(fmt) = found.quantizer else { panic!("fp expected") };
+    let packed = PackedFpTensor::encode(&w, fmt);
+    assert_eq!(packed.payload_bytes(), w.numel() / 2, "FP4 = 1/8 of FP32 bytes");
+    let decoded = packed.decode();
+    let simulated = fmt.quantize(&w);
+    assert_eq!(decoded.data(), simulated.data(), "bit-exact roundtrip");
+}
+
+#[test]
+fn sparse_kernel_exploits_quantization_zeros() {
+    // FP4 quantization zeroes small weights (paper §VI-G); the CSR kernel
+    // must then reproduce the dense result while storing fewer values.
+    let mut rng = StdRng::seed_from_u64(2);
+    let w = Tensor::randn(&[16, 32], &mut rng).mul_scalar(0.02);
+    let fmt = FpFormat::new(2, 1); // standard-bias FP4 clips tiny values to 0
+    let quantized = fmt.quantize(&w);
+    assert!(quantized.sparsity() > 0.2, "expected quantization-induced zeros");
+
+    let csr = CsrWeights::from_dense(&quantized);
+    let x = Tensor::randn(&[3, 32], &mut rng);
+    let sparse_out = csr.gemm(&x);
+    let dense_out = x.matmul_nt(&quantized);
+    for (a, b) in sparse_out.data().iter().zip(dense_out.data()) {
+        assert!((a - b).abs() < 1e-4);
+    }
+    assert_eq!(csr.sparsity(), quantized.sparsity());
+}
+
+#[test]
+fn quant_layer_trait_exposes_what_the_driver_needs() {
+    // The QuantLayer surface is the contract between model and method.
+    let mut rng = StdRng::seed_from_u64(3);
+    let lin = Linear::new("attn.to_q", 8, 8, &mut rng);
+    let layer: &dyn QuantLayer = &lin;
+    assert_eq!(layer.qname(), "attn.to_q");
+    assert!(layer.conv_spec().is_none());
+    assert!(layer.bias().is_some());
+    let x = Tensor::randn(&[2, 8], &mut rng);
+    let y = layer.forward_with_weight(&x, &Tensor::eye(8));
+    // Identity weight + bias: y = x + b.
+    let expect = x.add(&layer.bias().unwrap().value());
+    for (a, b) in y.data().iter().zip(expect.data()) {
+        assert!((a - b).abs() < 1e-6);
+    }
+}

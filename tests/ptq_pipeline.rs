@@ -1,0 +1,143 @@
+//! Cross-crate integration: the full PTQ pipeline (calibrate → quantize →
+//! generate → score) on a small U-Net, exercising fpdq-core, fpdq-nn,
+//! fpdq-diffusion and fpdq-metrics together.
+
+use fpdq::prelude::*;
+use fpdq::quant::CalibPoint;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tiny_pipeline(seed: u64) -> DdimSim {
+    let mut rng = StdRng::seed_from_u64(seed);
+    DdimSim {
+        unet: UNet::new(UNetConfig::tiny(3), &mut rng),
+        schedule: NoiseSchedule::linear_scaled(40),
+        channels: 3,
+        image_size: 8,
+    }
+}
+
+fn calib_for(p: &DdimSim) -> CalibrationSet {
+    let mut rng = StdRng::seed_from_u64(99);
+    record_trajectories(&p.unet, &p.schedule, &[3, 8, 8], &[None], 10, 3, 12, 12, &mut rng)
+}
+
+fn fast(mut cfg: PtqConfig) -> PtqConfig {
+    cfg.bias_candidates = 21;
+    cfg.rounding = RoundingConfig { iters: 15, batch: 4, ..RoundingConfig::default() };
+    cfg
+}
+
+/// Mean single-forward output drift of a quantized copy vs the original,
+/// over the calibration points.
+///
+/// (Full sampling trajectories of an *untrained* random U-Net are
+/// chaotic — any perturbation decorrelates them — so per-forward drift is
+/// the right integration-level signal here; trajectory-level quality
+/// ordering is exercised on trained models by the experiment benches.)
+fn forward_drift(seed: u64, calib: &CalibrationSet, cfg: PtqConfig) -> f32 {
+    let p = tiny_pipeline(seed);
+    let reference: Vec<Tensor> = calib
+        .init
+        .iter()
+        .map(|pt| {
+            let t = Tensor::from_vec(vec![pt.t], &[1]);
+            p.unet.forward(&pt.x, &t, None)
+        })
+        .collect();
+    let mut rng = StdRng::seed_from_u64(0);
+    quantize_unet(&p.unet, calib, &fast(cfg), &mut rng);
+    let mut err = 0.0;
+    let mut var = 0.0;
+    for (pt, r) in calib.init.iter().zip(&reference) {
+        let t = Tensor::from_vec(vec![pt.t], &[1]);
+        err += p.unet.forward(&pt.x, &t, None).mse(r);
+        var += r.var();
+    }
+    err / var.max(1e-9)
+}
+
+fn weights_only(mut cfg: PtqConfig) -> PtqConfig {
+    cfg.quantize_acts = false;
+    cfg
+}
+
+#[test]
+fn fp8_forward_stays_bounded() {
+    // An untrained random U-Net is the worst case for per-tensor
+    // activation formats (every timestep has a different range); even so
+    // the FP8/FP8 forward must stay well-correlated with FP32, and
+    // weights-only FP8 must be near-exact.
+    let p = tiny_pipeline(1);
+    let calib = calib_for(&p);
+    let both = forward_drift(1, &calib, PtqConfig::fp(8, 8));
+    assert!(both < 0.5, "FP8/FP8 forward decorrelated: relative error {both}");
+    let w_only = forward_drift(1, &calib, weights_only(PtqConfig::fp(8, 8)));
+    assert!(w_only < 0.02, "FP8 weights-only drift too large: {w_only}");
+}
+
+#[test]
+fn lower_weight_bitwidth_drifts_further() {
+    // 4-bit weights carry ~16x the per-element MSE of 8-bit; isolating
+    // the weight path makes the ordering sharp even on an untrained net.
+    let p = tiny_pipeline(2);
+    let calib = calib_for(&p);
+    let d8 = forward_drift(2, &calib, weights_only(PtqConfig::fp(8, 8)));
+    let d4 = forward_drift(
+        2,
+        &calib,
+        weights_only(PtqConfig::fp(4, 8).without_rounding_learning()),
+    );
+    assert!(
+        d4 > d8 * 4.0,
+        "4-bit weights should produce much more error than 8-bit: {d4} vs {d8}"
+    );
+}
+
+#[test]
+fn quantized_generation_is_deterministic() {
+    let p = tiny_pipeline(3);
+    let calib = calib_for(&p);
+    let mut rng = StdRng::seed_from_u64(0);
+    quantize_unet(&p.unet, &calib, &fast(PtqConfig::int(8, 8)), &mut rng);
+    let a = p.generate(2, 6, &mut StdRng::seed_from_u64(11));
+    let b = p.generate(2, 6, &mut StdRng::seed_from_u64(11));
+    assert_eq!(a.data(), b.data());
+}
+
+#[test]
+fn quantization_report_is_complete_and_metrics_run() {
+    let p = tiny_pipeline(4);
+    let calib = calib_for(&p);
+    let mut rng = StdRng::seed_from_u64(0);
+    let report = quantize_unet(&p.unet, &calib, &fast(PtqConfig::fp(8, 8)), &mut rng);
+
+    let mut layer_count = 0;
+    p.unet.visit_quant_layers(&mut |_| layer_count += 1);
+    assert_eq!(report.layers.len(), layer_count);
+    assert!(report.layers.iter().all(|l| l.weight_quantizer.is_some()));
+
+    // Metrics pipeline runs on generated output.
+    let imgs = p.generate(16, 6, &mut StdRng::seed_from_u64(3));
+    let reference = TinyCifar::new().batch(16, &mut StdRng::seed_from_u64(4));
+    let net = FeatureNet::for_size(8);
+    let m = evaluate(&reference, &imgs, &net);
+    assert!(m.fid.is_finite() && m.sfid.is_finite());
+}
+
+#[test]
+fn capture_replay_sees_act_quantizers_of_previous_layers() {
+    // Error-aware behaviour: after quantization, replaying calibration
+    // points must flow through the installed taps without panicking and
+    // produce finite activations everywhere.
+    let p = tiny_pipeline(5);
+    let calib = calib_for(&p);
+    let mut rng = StdRng::seed_from_u64(0);
+    quantize_unet(&p.unet, &calib, &fast(PtqConfig::fp(8, 8)), &mut rng);
+    for point in &calib.init {
+        let t = Tensor::from_vec(vec![point.t], &[1]);
+        let out = p.unet.forward(&point.x, &t, None);
+        assert!(out.data().iter().all(|v| v.is_finite()));
+    }
+    let _unused: Option<CalibPoint> = None;
+}
