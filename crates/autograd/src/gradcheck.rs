@@ -26,10 +26,7 @@ pub fn check_gradient(
     tol: f32,
 ) -> f32 {
     let (_, grads) = loss_fn();
-    let analytic = grads
-        .get(param)
-        .expect("parameter did not receive a gradient")
-        .clone();
+    let analytic = grads.get(param).expect("parameter did not receive a gradient").clone();
     let mut worst = 0.0f32;
     for &i in probes {
         assert!(i < analytic.numel(), "probe {i} out of range");
@@ -67,7 +64,7 @@ mod tests {
 
     fn probes(n: usize) -> Vec<usize> {
         // Deterministic spread of probe indices.
-        (0..n.min(6)).map(|i| i * n / n.min(6).max(1)).map(|i| i.min(n - 1)).collect()
+        (0..n.min(6)).map(|i| i * n / n.clamp(1, 6)).map(|i| i.min(n - 1)).collect()
     }
 
     fn run_check(param: &Param, build: impl Fn(&Tape) -> crate::Var<'_>) {
@@ -98,7 +95,14 @@ mod tests {
         // The rounding-learning regularizer shape: 1 - (|σ(α)-0.5|·2)^k
         run_check(&p, |tape| {
             let a = tape.param(&p);
-            a.sigmoid().add_scalar(-0.5).abs().mul_scalar(2.0).powf(4.0).neg().add_scalar(1.0).mean()
+            a.sigmoid()
+                .add_scalar(-0.5)
+                .abs()
+                .mul_scalar(2.0)
+                .powf(4.0)
+                .neg()
+                .add_scalar(1.0)
+                .mean()
         });
     }
 

@@ -11,21 +11,16 @@ use fpdq_tensor::conv::{
 use fpdq_tensor::Tensor;
 
 impl<'t> Var<'t> {
-    fn unary(
-        self,
-        value: Tensor,
-        backward: impl Fn(&Tensor) -> Tensor + 'static,
-    ) -> Var<'t> {
+    fn unary(self, value: Tensor, backward: impl Fn(&Tensor) -> Tensor + 'static) -> Var<'t> {
         let parent = self.id;
-        let id = self
-            .tape()
-            .push(value, Some(Box::new(move |g| vec![(parent, backward(g))])));
+        let id = self.tape().push(value, Some(Box::new(move |g| vec![(parent, backward(g))])));
         Var { tape: self.tape(), id }
     }
 
     // -- elementwise binary ------------------------------------------------
 
     /// Elementwise addition with broadcasting.
+    #[allow(clippy::should_implement_trait)] // tape ops mirror Tensor's inherent names
     pub fn add(self, rhs: Var<'t>) -> Var<'t> {
         let (a, b) = (self.value(), rhs.value());
         let (ad, bd) = (a.dims().to_vec(), b.dims().to_vec());
@@ -41,6 +36,7 @@ impl<'t> Var<'t> {
     }
 
     /// Elementwise subtraction with broadcasting.
+    #[allow(clippy::should_implement_trait)] // tape ops mirror Tensor's inherent names
     pub fn sub(self, rhs: Var<'t>) -> Var<'t> {
         let (a, b) = (self.value(), rhs.value());
         let (ad, bd) = (a.dims().to_vec(), b.dims().to_vec());
@@ -49,16 +45,14 @@ impl<'t> Var<'t> {
         let id = self.tape().push(
             out,
             Some(Box::new(move |g| {
-                vec![
-                    (pa, reduce_grad_to_shape(g, &ad)),
-                    (pb, reduce_grad_to_shape(&g.neg(), &bd)),
-                ]
+                vec![(pa, reduce_grad_to_shape(g, &ad)), (pb, reduce_grad_to_shape(&g.neg(), &bd))]
             })),
         );
         Var { tape: self.tape(), id }
     }
 
     /// Elementwise multiplication with broadcasting.
+    #[allow(clippy::should_implement_trait)] // tape ops mirror Tensor's inherent names
     pub fn mul(self, rhs: Var<'t>) -> Var<'t> {
         let (a, b) = (self.value(), rhs.value());
         let (ad, bd) = (a.dims().to_vec(), b.dims().to_vec());
@@ -77,6 +71,7 @@ impl<'t> Var<'t> {
     }
 
     /// Elementwise division with broadcasting.
+    #[allow(clippy::should_implement_trait)] // tape ops mirror Tensor's inherent names
     pub fn div(self, rhs: Var<'t>) -> Var<'t> {
         let (a, b) = (self.value(), rhs.value());
         let (ad, bd) = (a.dims().to_vec(), b.dims().to_vec());
@@ -96,6 +91,7 @@ impl<'t> Var<'t> {
     // -- elementwise unary -------------------------------------------------
 
     /// Elementwise negation.
+    #[allow(clippy::should_implement_trait)] // tape ops mirror Tensor's inherent names
     pub fn neg(self) -> Var<'t> {
         let v = self.value().neg();
         self.unary(v, |g| g.neg())
@@ -138,7 +134,17 @@ impl<'t> Var<'t> {
     pub fn abs(self) -> Var<'t> {
         let x = self.value();
         let out = x.abs();
-        self.unary(out, move |g| g.mul(&x.map(|v| if v > 0.0 { 1.0 } else if v < 0.0 { -1.0 } else { 0.0 })))
+        self.unary(out, move |g| {
+            g.mul(&x.map(|v| {
+                if v > 0.0 {
+                    1.0
+                } else if v < 0.0 {
+                    -1.0
+                } else {
+                    0.0
+                }
+            }))
+        })
     }
 
     /// Elementwise power with constant exponent.
@@ -175,9 +181,7 @@ impl<'t> Var<'t> {
     pub fn clamp(self, lo: f32, hi: f32) -> Var<'t> {
         let x = self.value();
         let out = x.clamp(lo, hi);
-        self.unary(out, move |g| {
-            g.zip_map(&x, |gv, xv| if xv > lo && xv < hi { gv } else { 0.0 })
-        })
+        self.unary(out, move |g| g.zip_map(&x, |gv, xv| if xv > lo && xv < hi { gv } else { 0.0 }))
     }
 
     // -- reductions ----------------------------------------------------------
@@ -227,12 +231,9 @@ impl<'t> Var<'t> {
         let (a, b) = (self.value(), rhs.value());
         let out = a.matmul(&b);
         let (pa, pb) = (self.id, rhs.id);
-        let id = self.tape().push(
-            out,
-            Some(Box::new(move |g| {
-                vec![(pa, g.matmul_nt(&b)), (pb, a.matmul_tn(g))]
-            })),
-        );
+        let id = self
+            .tape()
+            .push(out, Some(Box::new(move |g| vec![(pa, g.matmul_nt(&b)), (pb, a.matmul_tn(g))])));
         Var { tape: self.tape(), id }
     }
 
@@ -390,8 +391,7 @@ impl<'t> Var<'t> {
                             let gv = gm.data()[ch];
                             for i in 0..h * w {
                                 let dxh = god[start + i] * gv;
-                                dx[start + i] =
-                                    is * (dxh - mean_dxh - xh[start + i] * mean_dxh_xh);
+                                dx[start + i] = is * (dxh - mean_dxh - xh[start + i] * mean_dxh_xh);
                             }
                         }
                         let _ = gstart;
@@ -446,6 +446,7 @@ impl<'t> Var<'t> {
                 let mut dgamma = vec![0.0f32; d];
                 let mut dbeta = vec![0.0f32; d];
                 let mut dx = vec![0.0f32; god.len()];
+                #[allow(clippy::needless_range_loop)] // r indexes three parallel arrays
                 for r in 0..rows {
                     let mut sum_dxh = 0.0f32;
                     let mut sum_dxh_xh = 0.0f32;
@@ -530,8 +531,7 @@ impl<'t> Var<'t> {
                 for a in 0..len {
                     let src = (o * len + a) * inner;
                     let dst = (o * extent + start + a) * inner;
-                    full.data_mut()[dst..dst + inner]
-                        .copy_from_slice(&g.data()[src..src + inner]);
+                    full.data_mut()[dst..dst + inner].copy_from_slice(&g.data()[src..src + inner]);
                 }
             }
             full
@@ -664,10 +664,8 @@ mod tests {
         let (va, vb) = (tape.param(&a), tape.param(&b));
         let joined = crate::Var::concat(&[va, vb], 1);
         assert_eq!(joined.dims(), vec![2, 4]);
-        let w = tape.constant(Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0],
-            &[2, 4],
-        ));
+        let w =
+            tape.constant(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0], &[2, 4]));
         let y = joined.mul(w).sum_all();
         let grads = tape.backward(y);
         assert_eq!(grads.get(&a).unwrap().data(), &[1.0, 5.0]);

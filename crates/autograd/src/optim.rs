@@ -20,7 +20,7 @@ use std::collections::HashMap;
 ///     let x = tape.param(&p);
 ///     let loss = x.mul(x).mean();
 ///     let grads = tape.backward(loss);
-///     opt.step(&[p.clone()], &grads);
+///     opt.step(std::slice::from_ref(&p), &grads);
 /// }
 /// assert!(p.value().data()[0].abs() < 1e-3);
 /// ```
@@ -53,10 +53,7 @@ impl Sgd {
         for p in params {
             let Some(g) = grads.get(p) else { continue };
             if self.momentum > 0.0 {
-                let v = self
-                    .velocity
-                    .entry(p.id())
-                    .or_insert_with(|| Tensor::zeros(g.dims()));
+                let v = self.velocity.entry(p.id()).or_insert_with(|| Tensor::zeros(g.dims()));
                 *v = v.mul_scalar(self.momentum).add(g);
                 let v = v.clone();
                 p.update(|t| t.axpy(-self.lr, &v));
@@ -158,7 +155,7 @@ mod tests {
         let mut opt = Sgd::new(0.5, 0.0);
         for _ in 0..100 {
             let (_, grads) = quadratic_loss(&p);
-            opt.step(&[p.clone()], &grads);
+            opt.step(std::slice::from_ref(&p), &grads);
         }
         let v = p.value();
         assert!((v.data()[0] - 3.0).abs() < 1e-3);
@@ -171,7 +168,7 @@ mod tests {
         let mut opt = Sgd::new(0.1, 0.9);
         for _ in 0..200 {
             let (_, grads) = quadratic_loss(&p);
-            opt.step(&[p.clone()], &grads);
+            opt.step(std::slice::from_ref(&p), &grads);
         }
         assert!((p.value().data()[0] - 3.0).abs() < 1e-2);
     }
@@ -187,7 +184,7 @@ mod tests {
                 assert!(l < last, "loss must decrease: {l} vs {last}");
                 last = l;
             }
-            opt.step(&[p.clone()], &grads);
+            opt.step(std::slice::from_ref(&p), &grads);
         }
         assert!((p.value().data()[0] - 3.0).abs() < 1e-2);
         assert!((p.value().data()[1] + 2.0).abs() < 1e-2);

@@ -66,7 +66,10 @@ fn main() {
         monotone &= r.mse <= last + 1e-9;
         last = r.mse;
     }
-    println!("  diminishing returns beyond ~111 candidates: {}", if monotone { "PASS" } else { "WARN" });
+    println!(
+        "  diminishing returns beyond ~111 candidates: {}",
+        if monotone { "PASS" } else { "WARN" }
+    );
 
     // 2. Searched formats vs fixed E4M3 everywhere.
     println!("\n=== Ablation 2: searched per-tensor formats vs fixed standard E4M3 ===");
@@ -116,7 +119,9 @@ fn main() {
     let w_mse = quantized_mse(&wonly, &calib, &reference);
     let a_mse = quantized_mse(&aonly, &calib, &reference);
     let both_mse = quantized_mse(&PtqConfig::fp(8, 8), &calib, &reference);
-    println!("  weights-only: {w_mse:.6e}\n  acts-only   : {a_mse:.6e}\n  both        : {both_mse:.6e}");
+    println!(
+        "  weights-only: {w_mse:.6e}\n  acts-only   : {a_mse:.6e}\n  both        : {both_mse:.6e}"
+    );
     println!(
         "  both ≈ superposition of error sources: {}",
         if both_mse >= w_mse.max(a_mse) * 0.5 { "PASS" } else { "WARN" }

@@ -10,7 +10,10 @@ use fpdq_core::sparsity::weight_sparsity;
 use fpdq_core::PtqConfig;
 use fpdq_nn::UNet;
 
-fn measure(model: &str, make: &dyn Fn() -> (UNet, fpdq_core::CalibrationSet)) -> Vec<(String, f32)> {
+fn measure(
+    model: &str,
+    make: &dyn Fn() -> (UNet, fpdq_core::CalibrationSet),
+) -> Vec<(String, f32)> {
     let mut out = Vec::new();
     for (name, cfg) in [
         ("FP32".to_string(), None),
@@ -46,12 +49,7 @@ fn main() {
     println!("\n=== Figure 11: percentage of zero weights ===");
     println!("{:<16}{:>12}{:>12}", "Config", "SD-sim", "LDM-sim");
     for i in 0..sd.len() {
-        println!(
-            "{:<16}{:>11.4}%{:>11.4}%",
-            sd[i].0,
-            100.0 * sd[i].1,
-            100.0 * ldm[i].1
-        );
+        println!("{:<16}{:>11.4}%{:>11.4}%", sd[i].0, 100.0 * sd[i].1, 100.0 * ldm[i].1);
     }
     // Increase factors vs the FP32 baseline (floored to one weight).
     let factor = |set: &[(String, f32)], i: usize| set[i].1 / set[0].1.max(1e-6);
@@ -59,7 +57,8 @@ fn main() {
     println!("  SD-sim : FP8 {:.1}x, FP4 {:.1}x", factor(&sd, 1), factor(&sd, 2));
     println!("  LDM-sim: FP8 {:.1}x, FP4 {:.1}x", factor(&ldm, 1), factor(&ldm, 2));
 
-    let pass = sd[1].1 > sd[0].1 && sd[2].1 > 8.0 * sd[1].1.max(1e-6) / 8.0
+    let pass = sd[1].1 > sd[0].1
+        && sd[2].1 > 8.0 * sd[1].1.max(1e-6) / 8.0
         && sd[2].1 > sd[1].1 * 3.0
         && ldm[2].1 > ldm[1].1 * 3.0;
     println!(

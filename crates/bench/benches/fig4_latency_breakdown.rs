@@ -45,10 +45,7 @@ fn main() {
     let gpu8 = step("V100", 8);
     let cpu8 = step("Xeon", 8);
     println!("\nSection III headline estimates (50 denoising steps, batch 1):");
-    println!(
-        "  U-Net total on GPU: {:.1}s  (paper measures 6.1s of 6.6s end-to-end)",
-        50.0 * gpu1
-    );
+    println!("  U-Net total on GPU: {:.1}s  (paper measures 6.1s of 6.6s end-to-end)", 50.0 * gpu1);
     println!(
         "  GPU speedup over CPU: {:.0}x at batch 1, {:.0}x at batch 8 (paper: 31x / 72x)",
         cpu1 / gpu1,

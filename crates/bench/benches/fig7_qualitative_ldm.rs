@@ -32,9 +32,8 @@ fn main() {
             apply_ptq(&pipeline.unet, &calib, cfg);
         }
         let imgs = generate_uncond(&pipeline, n, steps);
-        let singles: Vec<Tensor> = (0..n)
-            .map(|i| imgs.narrow(0, i, 1).reshape(&[3, 16, 16]))
-            .collect();
+        let singles: Vec<Tensor> =
+            (0..n).map(|i| imgs.narrow(0, i, 1).reshape(&[3, 16, 16])).collect();
         let grid = image_grid(&singles, 4);
         let path = dir.join(format!("fig7_{tag}.ppm"));
         save_ppm(&grid, &path, 8).expect("write ppm");
@@ -46,5 +45,8 @@ fn main() {
     let fp32_std = panel_stats[0].1;
     let no_rl_std = panel_stats[3].1;
     let pass = (no_rl_std - fp32_std).abs() > 0.05;
-    println!("shape checks: {}", if pass { "PASS" } else { "WARN (no-RL panel suspiciously close)" });
+    println!(
+        "shape checks: {}",
+        if pass { "PASS" } else { "WARN (no-RL panel suspiciously close)" }
+    );
 }

@@ -51,7 +51,8 @@ fn main() {
         let imgs = generate_t2i(&pipeline, &prompts, steps);
         let score = clip.score_batch(&imgs, &prompts);
         println!("fig8: {tag:<16} clip-sim {score:.3}");
-        columns.push((0..prompts.len()).map(|i| imgs.narrow(0, i, 1).reshape(&[3, 16, 16])).collect());
+        columns
+            .push((0..prompts.len()).map(|i| imgs.narrow(0, i, 1).reshape(&[3, 16, 16])).collect());
     }
     // Write one grid per prompt row: [truth, fp32, fp8, int8, fp4, int4].
     for (row, prompt) in prompts.iter().enumerate() {

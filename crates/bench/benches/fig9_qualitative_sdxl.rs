@@ -13,10 +13,8 @@ use fpdq_tensor::Tensor;
 fn main() {
     let steps = t2i_steps();
     let dir = artifact_dir();
-    let prompts: Vec<String> = vec![
-        "a yellow cross in a dark room".into(),
-        "a magenta ball in a bright room".into(),
-    ];
+    let prompts: Vec<String> =
+        vec!["a yellow cross in a dark room".into(), "a magenta ball in a bright room".into()];
 
     let fp32 = fresh_sdxl();
     let calib = calibrate_t2i(&fp32);

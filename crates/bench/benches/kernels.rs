@@ -2,14 +2,52 @@
 //! encode/decode, dequantize-on-the-fly GEMM vs dense FP32 GEMM, and the
 //! sparsity-exploiting kernels over the zero patterns the paper's
 //! quantizer creates (§VI-G).
+//!
+//! The `pack` and `gemm` groups carry explicit before/after pairs: the
+//! `*_bitloop` / `*_rowwise_seed` entries re-run the pre-optimisation
+//! implementations (per-bit unpacking; row-at-a-time decode + dot) so the
+//! LUT-decode and tiled-kernel speedups can be read off one run.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use fpdq_core::{FpFormat, IntFormat, TensorQuantizer};
+use fpdq_kernels::packed::unpack_bits_range_bitloop;
 use fpdq_kernels::{gemm_packed_fp, CsrWeights, PackedFpTensor, PackedIntTensor, TwoFourWeights};
+use fpdq_tensor::matmul::dot;
+use fpdq_tensor::parallel::parallel_rows;
 use fpdq_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
+
+/// The seed implementation of the packed-FP GEMM: decode one weight row
+/// at a time through the per-bit unpack loop (allocating per row, as the
+/// original `decode_row` did), then dot it against every activation row.
+/// Kept as the baseline side of the `gemm` group's tiled-vs-seed
+/// comparison.
+fn gemm_packed_fp_rowwise_seed(a: &Tensor, w: &PackedFpTensor, payload: &[u8]) -> Tensor {
+    let (m, k) = (a.dim(0), a.dim(1));
+    let n = w.dims()[0];
+    let bits = w.format().total_bits();
+    let mut out = vec![0.0f32; m * n];
+    parallel_rows(&mut out, n, m, 4, |row_start, chunk| {
+        for (r, col) in chunk.chunks_mut(m).enumerate() {
+            let codes = unpack_bits_range_bitloop(payload, bits, (row_start + r) * k, k);
+            let wrow: Vec<f32> = codes.iter().map(|&c| w.decode_code(c)).collect();
+            for (i, slot) in col.iter_mut().enumerate() {
+                *slot = dot(&a.data()[i * k..(i + 1) * k], &wrow);
+            }
+        }
+    });
+    Tensor::from_vec(out, &[n, m]).transpose()
+}
+
+/// Strips the serialisation header off [`PackedFpTensor::to_bytes`],
+/// leaving the raw packed payload.
+fn payload_of(w: &PackedFpTensor, elems: usize) -> Vec<u8> {
+    let bytes = w.to_bytes();
+    let payload_len = (elems * w.format().total_bits() as usize).div_ceil(8);
+    bytes[bytes.len() - payload_len..].to_vec()
+}
 
 const M: usize = 32;
 const K: usize = 256;
@@ -50,6 +88,16 @@ fn bench_pack(c: &mut Criterion) {
     let packed4 = PackedFpTensor::encode(&w, fp4);
     g.bench_function("decode_fp8", |b| b.iter(|| black_box(packed8.decode())));
     g.bench_function("decode_fp4", |b| b.iter(|| black_box(packed4.decode())));
+    // Before/after: the seed per-bit decode path vs the byte-LUT path.
+    g.bench_function("decode_fp8_bitloop", |b| b.iter(|| black_box(packed8.decode_via_bitloop())));
+    g.bench_function("decode_fp4_bitloop", |b| b.iter(|| black_box(packed4.decode_via_bitloop())));
+    let payload4 = payload_of(&packed4, N * K);
+    g.bench_function("unpack_bits_fp4", |b| {
+        b.iter(|| black_box(fpdq_kernels::packed::unpack_bits(&payload4, 4, N * K)))
+    });
+    g.bench_function("unpack_bits_fp4_bitloop", |b| {
+        b.iter(|| black_box(unpack_bits_range_bitloop(&payload4, 4, 0, N * K)))
+    });
     g.finish();
 }
 
@@ -69,6 +117,14 @@ fn bench_gemm(c: &mut Criterion) {
     });
     g.bench_function("packed_int8_w", |b| {
         b.iter(|| black_box(fpdq_kernels::gemm_packed_int(&a, &int8, None)))
+    });
+    // Before/after: the seed row-at-a-time kernel vs the tiled one above.
+    let (payload8, payload4) = (payload_of(&fp8, N * K), payload_of(&fp4, N * K));
+    g.bench_function("packed_fp8_w_rowwise_seed", |b| {
+        b.iter(|| black_box(gemm_packed_fp_rowwise_seed(&a, &fp8, &payload8)))
+    });
+    g.bench_function("packed_fp4_w_rowwise_seed", |b| {
+        b.iter(|| black_box(gemm_packed_fp_rowwise_seed(&a, &fp4, &payload4)))
     });
     g.finish();
 }

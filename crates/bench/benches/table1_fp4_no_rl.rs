@@ -20,7 +20,8 @@ fn main() {
 
     // Column 1: SD-sim (text-to-image), real-scene reference.
     let prompts = eval_prompts(n);
-    let (scene_ref, _, _) = CaptionedScenes::new().batch_captioned(n, &mut StdRng::seed_from_u64(7));
+    let (scene_ref, _, _) =
+        CaptionedScenes::new().batch_captioned(n, &mut StdRng::seed_from_u64(7));
     let sd = fresh_sd();
     let sd_calib = calibrate_t2i(&sd);
     let sd_fp32 = evaluate(&scene_ref, &generate_t2i(&sd, &prompts, t2i_steps()), &net).fid;

@@ -25,10 +25,7 @@ fn main() {
     let mut configs = main_table_configs();
     configs.insert(
         4,
-        (
-            "FP4/FP8 no RL (Ours)".into(),
-            Some(PtqConfig::fp(4, 8).without_rounding_learning()),
-        ),
+        ("FP4/FP8 no RL (Ours)".into(), Some(PtqConfig::fp(4, 8).without_rounding_learning())),
     );
 
     let mut rows: Vec<Vec<String>> = Vec::new();

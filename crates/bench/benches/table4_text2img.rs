@@ -35,10 +35,7 @@ fn main() {
     let mut configs = main_table_configs();
     configs.insert(
         4,
-        (
-            "FP4/FP8 no RL (Ours)".into(),
-            Some(PtqConfig::fp(4, 8).without_rounding_learning()),
-        ),
+        ("FP4/FP8 no RL (Ours)".into(), Some(PtqConfig::fp(4, 8).without_rounding_learning())),
     );
 
     let mut rows: Vec<Vec<String>> = Vec::new();
@@ -80,7 +77,10 @@ fn main() {
     );
 
     let get = |set: &[(String, QualityMetrics)], tag: &str| {
-        set.iter().find(|(name, _)| name.starts_with(tag)).map(|(_, m)| *m).expect("row")
+        set.iter()
+            .find(|(name, _)| name.starts_with(tag))
+            .map(|(_, m)| *m)
+            .expect("row")
     };
     let fp8 = get(&vs_fp32, "FP8/FP8");
     let int8 = get(&vs_fp32, "INT8/INT8");
@@ -95,11 +95,8 @@ fn main() {
     // The paper's §VI-E observation: the real-image reference compresses
     // differences that the FP32 reference exposes.
     let spread = |set: &[(String, QualityMetrics)]| {
-        let fids: Vec<f32> = set
-            .iter()
-            .filter(|(n, _)| !n.contains("no RL"))
-            .map(|(_, m)| m.fid)
-            .collect();
+        let fids: Vec<f32> =
+            set.iter().filter(|(n, _)| !n.contains("no RL")).map(|(_, m)| m.fid).collect();
         let max = fids.iter().copied().fold(f32::MIN, f32::max);
         let min = fids.iter().copied().fold(f32::MAX, f32::min);
         (max - min) / (min.abs() + 1e-3)

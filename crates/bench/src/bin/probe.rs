@@ -17,7 +17,12 @@ fn main() {
     let t0 = std::time::Instant::now();
     let fp32 = fresh_ldm();
     let calib = calibrate_uncond(&fp32.unet, &fp32.schedule, [4, 8, 8]);
-    eprintln!("[probe] calib ready at {:.1}s ({} init, {} rl)", t0.elapsed().as_secs_f32(), calib.init.len(), calib.rl.len());
+    eprintln!(
+        "[probe] calib ready at {:.1}s ({} init, {} rl)",
+        t0.elapsed().as_secs_f32(),
+        calib.init.len(),
+        calib.rl.len()
+    );
 
     let fp32_imgs = generate_uncond(&fp32, n, steps);
     let m = evaluate(&reference, &fp32_imgs, &net);

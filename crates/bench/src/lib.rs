@@ -88,7 +88,11 @@ pub fn bench_rounding() -> RoundingConfig {
 
 /// Builds a calibration set for an unconditional pipeline (paper: 128
 /// init samples uniform over timesteps; we scale to the substrate).
-pub fn calibrate_uncond(unet: &UNet, schedule: &fpdq_diffusion::NoiseSchedule, dims: [usize; 3]) -> CalibrationSet {
+pub fn calibrate_uncond(
+    unet: &UNet,
+    schedule: &fpdq_diffusion::NoiseSchedule,
+    dims: [usize; 3],
+) -> CalibrationSet {
     let mut rng = StdRng::seed_from_u64(CALIB_SEED);
     record_trajectories(unet, schedule, &dims, &[None], 20, 6, 64, 40, &mut rng)
 }

@@ -1,0 +1,287 @@
+//! Offline micro-benchmark harness.
+//!
+//! Stands in for `criterion` in a no-network build: same API surface
+//! (`Criterion`, benchmark groups, `Bencher::iter`/`iter_batched`, the
+//! `criterion_group!`/`criterion_main!` macros) but a deliberately simple
+//! measurement loop — warm-up, then `sample_size` timed samples, then a
+//! one-line report of the minimum/mean per-iteration time. The minimum is
+//! the headline number: it is the least noise-contaminated statistic on a
+//! shared machine.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup (accepted, not differentiated).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Setup output is small; batches of inputs are prebuilt.
+    SmallInput,
+    /// Large inputs; still prebuilt, just fewer per batch here.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Benchmark configuration + sink for reports.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(1000),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Warm-up duration before sampling starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Total measurement budget across samples.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(self, None, name, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing the parent configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = name.into();
+        run_benchmark(self.criterion, Some(&self.name), &id, f);
+        self
+    }
+
+    /// Ends the group (separator line in the report).
+    pub fn finish(self) {
+        eprintln!();
+    }
+}
+
+/// Passed to the benchmark closure; drives the timed loop.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    mode: Mode,
+}
+
+enum Mode {
+    /// Estimate iteration count against the measurement budget.
+    Calibrate(Duration),
+    /// Collect one timed sample per call.
+    Measure,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            Mode::Calibrate(budget) => {
+                let start = Instant::now();
+                let mut iters = 0u64;
+                while start.elapsed() < budget {
+                    black_box(routine());
+                    iters += 1;
+                }
+                self.iters_per_sample = iters.max(1);
+            }
+            Mode::Measure => {
+                let start = Instant::now();
+                for _ in 0..self.iters_per_sample {
+                    black_box(routine());
+                }
+                self.samples.push(start.elapsed());
+            }
+        }
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        match self.mode {
+            Mode::Calibrate(budget) => {
+                let mut iters = 0u64;
+                let mut spent = Duration::ZERO;
+                while spent < budget {
+                    let input = setup();
+                    let t = Instant::now();
+                    black_box(routine(input));
+                    spent += t.elapsed();
+                    iters += 1;
+                }
+                self.iters_per_sample = iters.max(1);
+            }
+            Mode::Measure => {
+                let inputs: Vec<I> = (0..self.iters_per_sample).map(|_| setup()).collect();
+                let start = Instant::now();
+                for input in inputs {
+                    black_box(routine(input));
+                }
+                self.samples.push(start.elapsed());
+            }
+        }
+    }
+}
+
+fn run_benchmark<F>(c: &Criterion, group: Option<&str>, name: &str, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let label = match group {
+        Some(g) => format!("{g}/{name}"),
+        None => name.to_string(),
+    };
+    // Warm-up + calibration: find an iteration count that roughly fills
+    // measurement_time / sample_size per sample.
+    let mut b = Bencher {
+        iters_per_sample: 1,
+        samples: Vec::new(),
+        mode: Mode::Calibrate(c.warm_up.max(Duration::from_millis(1))),
+    };
+    f(&mut b);
+    let calibrated = b.iters_per_sample;
+    let per_sample_budget = c.measurement.as_secs_f64() / c.sample_size as f64;
+    let warm_secs = c.warm_up.as_secs_f64().max(1e-6);
+    let scale = per_sample_budget / warm_secs;
+    let iters = ((calibrated as f64 * scale).ceil() as u64).max(1);
+
+    let mut b = Bencher { iters_per_sample: iters, samples: Vec::new(), mode: Mode::Measure };
+    for _ in 0..c.sample_size {
+        f(&mut b);
+    }
+    let per_iter: Vec<f64> = b.samples.iter().map(|d| d.as_secs_f64() / iters as f64).collect();
+    let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len().max(1) as f64;
+    eprintln!(
+        "{label:<40} time: [min {:>10}  mean {:>10}]  ({} samples × {iters} iters)",
+        fmt_time(min),
+        fmt_time(mean),
+        per_iter.len(),
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Declares a benchmark entry point: either
+/// `criterion_group!(name, target, ...)` or the long form with
+/// `name = ...; config = ...; targets = ...`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(15))
+    }
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = quick();
+        let mut g = c.benchmark_group("g");
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+
+    criterion_group!(simple, smoke);
+    criterion_group! {
+        name = configured;
+        config = quick();
+        targets = smoke
+    }
+
+    fn smoke(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn group_macros_produce_runnable_fns() {
+        configured();
+        let _ = simple; // plain form compiles; skip running (default budget).
+    }
+}

@@ -1,0 +1,130 @@
+//! Offline mini property-testing harness.
+//!
+//! Stands in for `proptest` in a no-network build. Supports the surface
+//! the workspace tests use: the [`proptest!`] macro, `prop_assert!` /
+//! `prop_assert_eq!`, range strategies over numeric types,
+//! `prop::collection::vec`, and the `prop_map` / `prop_flat_map`
+//! combinators. Each property runs a fixed number of deterministic cases
+//! (seeded from the test name); there is no shrinking — a failing case
+//! reports its inputs via the panic message instead.
+
+pub mod prop;
+pub mod strategy;
+pub mod test_runner;
+
+/// Cases executed per property. Deliberately modest: these run inside
+/// `cargo test` on every commit.
+pub const CASES: u32 = 64;
+
+/// What `use proptest::prelude::*` is expected to provide.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over [`CASES`] sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        #[$meta:meta]
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        #[$meta]
+        fn $name() {
+            let mut __rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+            for __case in 0..$crate::CASES {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                let __inputs = format!(concat!($(stringify!($arg), " = {:?}; "),+), $(&$arg),+);
+                let __result: ::std::result::Result<(), ::std::string::String> =
+                    (|| { $body Ok(()) })();
+                if let Err(msg) = __result {
+                    panic!("property {} failed at case {}: {}\n  inputs: {}",
+                        stringify!($name), __case, msg, __inputs);
+                }
+            }
+        }
+    )*};
+}
+
+/// Fails the enclosing property when `cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// Fails the enclosing property when the operands differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err(format!("assertion failed: {:?} != {:?}", a, b));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err(format!($($fmt)*));
+        }
+    }};
+}
+
+/// Fails the enclosing property when the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if a == b {
+            return Err(format!("assertion failed: {:?} == {:?}", a, b));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in -5.0f32..5.0, n in 1usize..9) {
+            prop_assert!((-5.0..5.0).contains(&x), "x out of range: {x}");
+            prop_assert!((1..9).contains(&n));
+        }
+
+        #[test]
+        fn vec_respects_length_range(v in prop::collection::vec(0u16..16, 1..64)) {
+            prop_assert!(!v.is_empty() && v.len() < 64);
+            prop_assert!(v.iter().all(|&c| c < 16));
+        }
+
+        #[test]
+        fn combinators_compose(v in prop::collection::vec(1usize..4, 2..5)
+            .prop_map(|dims| dims.iter().product::<usize>())
+            .prop_flat_map(|n| prop::collection::vec(-1.0f32..1.0, n))) {
+            prop_assert!(!v.is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property always_fails failed")]
+    fn failures_report_inputs() {
+        proptest! {
+            #[allow(unused)]
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 100, "x was {x}");
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,14 @@
+//! The `prop::` namespace (`prop::collection::vec` et al.).
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::{IntoLenRange, Strategy, VecStrategy};
+
+    /// Strategy for vectors whose length is drawn from `len` (a fixed
+    /// `usize` or a `Range<usize>`) and whose elements come from
+    /// `element`.
+    pub fn vec<S: Strategy>(element: S, len: impl IntoLenRange) -> VecStrategy<S> {
+        let (min_len, max_len_exclusive) = len.bounds();
+        VecStrategy { element, min_len, max_len_exclusive }
+    }
+}

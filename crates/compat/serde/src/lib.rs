@@ -1,0 +1,8 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports the no-op derive macros so `#[derive(serde::Serialize,
+//! serde::Deserialize)]` attributes compile without the real crate. No
+//! code in the workspace performs serde serialisation (checkpoints use
+//! `fpdq-tensor::io`), so no trait machinery is needed.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,21 @@
+//! No-op derive macros standing in for `serde_derive`.
+//!
+//! The workspace tags config structs with
+//! `#[derive(serde::Serialize, serde::Deserialize)]` for forward
+//! compatibility, but never calls a serializer (checkpoints use the
+//! hand-rolled binary format in `fpdq-tensor::io`). Offline, the derives
+//! therefore expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts and discards a `#[derive(Serialize)]` request.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts and discards a `#[derive(Deserialize)]` request.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

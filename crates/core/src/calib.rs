@@ -140,7 +140,9 @@ pub fn capture_layer_inputs(
     });
     buffers
         .into_iter()
-        .map(|(name, buf)| (name, Rc::try_unwrap(buf).expect("capture buffer still shared").into_inner()))
+        .map(|(name, buf)| {
+            (name, Rc::try_unwrap(buf).expect("capture buffer still shared").into_inner())
+        })
         .collect()
 }
 
@@ -214,7 +216,8 @@ mod tests {
     fn capture_filter_restricts_to_one_layer() {
         let mut rng = StdRng::seed_from_u64(3);
         let unet = tiny_unet(&mut rng);
-        let points = vec![CalibPoint { x: Tensor::randn(&[1, 2, 8, 8], &mut rng), t: 0.0, ctx: None }];
+        let points =
+            vec![CalibPoint { x: Tensor::randn(&[1, 2, 8, 8], &mut rng), t: 0.0, ctx: None }];
         let caps = capture_layer_inputs(&unet, &points, Some("conv_out"));
         assert_eq!(caps.len(), 1);
         assert!(caps.contains_key("conv_out"));

@@ -124,6 +124,10 @@ pub struct LayerReport {
     pub kind: QuantKind,
     /// Chosen weight quantizer description.
     pub weight_quantizer: Option<String>,
+    /// The chosen weight quantizer itself (drives packed-weight
+    /// deployment: `fpdq-kernels` re-encodes the baked weights with this
+    /// exact format).
+    pub weight_format: Option<TensorQuantizer>,
     /// Weight-tensor quantization MSE of the searched format.
     pub weight_mse: f32,
     /// Output reconstruction MSE with round-to-nearest (when RL ran).
@@ -192,7 +196,9 @@ impl QuantReport {
 
 /// Groups quantizer descriptions by their encoding prefix ("E4M3(b=8)"
 /// -> "E4M3"; "INT8(s=...)" -> "INT8").
-fn histogram<'a>(descs: impl Iterator<Item = &'a str>) -> std::collections::BTreeMap<String, usize> {
+fn histogram<'a>(
+    descs: impl Iterator<Item = &'a str>,
+) -> std::collections::BTreeMap<String, usize> {
     let mut out = std::collections::BTreeMap::new();
     for d in descs {
         let key = d.split('(').next().unwrap_or(d).to_string();
@@ -245,11 +251,8 @@ pub fn quantize_unet(
         && cfg.rounding_learning
         && cfg.weight_scheme == Scheme::Fp
         && !calib.rl.is_empty();
-    let fp_inputs = if needs_rl {
-        capture_layer_inputs(unet, &calib.rl, None)
-    } else {
-        Default::default()
-    };
+    let fp_inputs =
+        if needs_rl { capture_layer_inputs(unet, &calib.rl, None) } else { Default::default() };
 
     // Layer list in greedy (breadth-first model) order.
     let mut names = Vec::new();
@@ -277,6 +280,7 @@ pub fn quantize_unet(
                     name: name.clone(),
                     kind: layer.kind(),
                     weight_quantizer: Some(found.quantizer.describe()),
+                    weight_format: Some(found.quantizer),
                     weight_mse: found.mse,
                     rtn_mse: None,
                     learned_mse: None,
@@ -288,11 +292,9 @@ pub fn quantize_unet(
                 };
                 let baked = match (&found.quantizer, needs_rl, &rl_inputs) {
                     (TensorQuantizer::Fp(fmt), true, Some(inputs)) => {
-                        let refs = fp_inputs
-                            .get(name)
-                            .expect("fp reference inputs missing for layer");
-                        let out =
-                            learn_rounding(layer, *fmt, inputs, refs, &cfg.rounding, rng);
+                        let refs =
+                            fp_inputs.get(name).expect("fp reference inputs missing for layer");
+                        let out = learn_rounding(layer, *fmt, inputs, refs, &cfg.rounding, rng);
                         rep.rtn_mse = Some(out.rtn_mse);
                         rep.learned_mse = Some(out.learned_mse);
                         out.weight
@@ -315,6 +317,7 @@ pub fn quantize_unet(
                         name: name.clone(),
                         kind: layer.kind(),
                         weight_quantizer: None,
+                        weight_format: None,
                         weight_mse: 0.0,
                         rtn_mse: None,
                         learned_mse: None,
@@ -496,8 +499,7 @@ mod tests {
         cfg.rounding.iters = 40;
         assert!(cfg.rounding_learning, "FP4 must enable RL by default");
         let report = quantize_unet(&unet, &calib, &cfg, &mut rng);
-        let with_rl =
-            report.layers.iter().filter(|l| l.rtn_mse.is_some()).count();
+        let with_rl = report.layers.iter().filter(|l| l.rtn_mse.is_some()).count();
         assert_eq!(with_rl, report.layers.len(), "RL must run on every layer");
         assert!(
             report.rl_improved_layers() * 2 >= report.layers.len(),
@@ -510,7 +512,12 @@ mod tests {
     #[test]
     fn quantization_increases_sparsity() {
         let (unet, calib, mut rng) = tiny_setup(6);
-        let report = quantize_unet(&unet, &calib, &fast_cfg(PtqConfig::fp(4, 8).without_rounding_learning()), &mut rng);
+        let report = quantize_unet(
+            &unet,
+            &calib,
+            &fast_cfg(PtqConfig::fp(4, 8).without_rounding_learning()),
+            &mut rng,
+        );
         assert!(
             report.sparsity_after() > report.sparsity_before(),
             "FP4 should zero small weights: {} -> {}",

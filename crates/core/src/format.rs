@@ -41,7 +41,7 @@ impl FpFormat {
     /// Panics if `exp_bits` is 0 or greater than 8, or `bias` is not
     /// finite.
     pub fn with_bias(exp_bits: u32, man_bits: u32, bias: f32) -> Self {
-        assert!(exp_bits >= 1 && exp_bits <= 8, "exp_bits {exp_bits} outside 1..=8");
+        assert!((1..=8).contains(&exp_bits), "exp_bits {exp_bits} outside 1..=8");
         assert!(man_bits <= 10, "man_bits {man_bits} unreasonably large");
         assert!(bias.is_finite(), "bias must be finite");
         FpFormat { exp_bits, man_bits, bias }
@@ -97,7 +97,12 @@ impl FpFormat {
     pub fn encodings_for_bits(bits: u32) -> Vec<FpFormat> {
         assert!((3..=16).contains(&bits), "unsupported bitwidth {bits}");
         match bits {
-            8 => vec![FpFormat::new(2, 5), FpFormat::new(3, 4), FpFormat::new(4, 3), FpFormat::new(5, 2)],
+            8 => vec![
+                FpFormat::new(2, 5),
+                FpFormat::new(3, 4),
+                FpFormat::new(4, 3),
+                FpFormat::new(5, 2),
+            ],
             4 => vec![FpFormat::new(1, 2), FpFormat::new(2, 1)],
             _ => {
                 // General rule: every split with >= 1 exponent bit.
@@ -156,7 +161,7 @@ impl FpFormat {
                 out.push(s * (steps + k) as f32);
             }
         }
-        out.truncate((1usize << (self.exp_bits + m)) as usize);
+        out.truncate(1usize << (self.exp_bits + m));
         out
     }
 }
@@ -209,7 +214,7 @@ mod tests {
     }
 
     #[test]
-    fn quantize_clips_to_max(){
+    fn quantize_clips_to_max() {
         let f = FpFormat::new(4, 3);
         assert_eq!(f.quantize_scalar(1e9), 240.0);
         assert_eq!(f.quantize_scalar(-1e9), -240.0);
@@ -222,7 +227,7 @@ mod tests {
     fn subnormal_region_uses_fixed_scale() {
         let f = FpFormat::new(4, 3);
         let step = f.min_positive(); // 2^-10
-        // Values below the first normal (2^-7) snap to multiples of 2^-10.
+                                     // Values below the first normal (2^-7) snap to multiples of 2^-10.
         assert_eq!(f.quantize_scalar(step * 3.4), step * 3.0);
         assert_eq!(f.quantize_scalar(step * 0.5), step);
         assert_eq!(f.quantize_scalar(step * 0.49), 0.0);
@@ -263,7 +268,9 @@ mod tests {
 
     #[test]
     fn enumerate_has_exact_cardinality_and_is_sorted() {
-        for f in [FpFormat::new(2, 1), FpFormat::new(1, 2), FpFormat::new(3, 4), FpFormat::new(4, 3)] {
+        for f in
+            [FpFormat::new(2, 1), FpFormat::new(1, 2), FpFormat::new(3, 4), FpFormat::new(4, 3)]
+        {
             let vals = f.enumerate_non_negative();
             assert_eq!(vals.len(), 1usize << (f.exp_bits() + f.man_bits()), "{f}");
             for w in vals.windows(2) {
@@ -271,7 +278,11 @@ mod tests {
             }
             assert_eq!(vals[0], 0.0);
             let max = *vals.last().unwrap();
-            assert!((max - f.max_value()).abs() < f.max_value() * 1e-6, "{f}: top {max} vs c {}", f.max_value());
+            assert!(
+                (max - f.max_value()).abs() < f.max_value() * 1e-6,
+                "{f}: top {max} vs c {}",
+                f.max_value()
+            );
         }
     }
 

@@ -54,8 +54,8 @@ impl IntFormat {
     #[inline]
     pub fn quantize_scalar(&self, x: f32) -> f32 {
         if x.is_nan() {
-            return self.scale * (self.zero_point.clamp(0.0, (1u32 << self.bits) as f32 - 1.0)
-                - self.zero_point);
+            return self.scale
+                * (self.zero_point.clamp(0.0, (1u32 << self.bits) as f32 - 1.0) - self.zero_point);
         }
         let qmax = (1u32 << self.bits) as f32 - 1.0;
         let q = ((x / self.scale).round() + self.zero_point).clamp(0.0, qmax);

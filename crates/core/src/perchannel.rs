@@ -85,7 +85,7 @@ mod tests {
     /// formats handle worst.
     fn multi_scale_weight(rng: &mut StdRng) -> Tensor {
         let rows: Vec<Tensor> = (0..8)
-            .map(|c| Tensor::randn(&[1, 32], rng).mul_scalar(4f32.powi(c as i32 - 4)))
+            .map(|c| Tensor::randn(&[1, 32], rng).mul_scalar(4f32.powi(c - 4)))
             .collect();
         let refs: Vec<&Tensor> = rows.iter().collect();
         Tensor::concat(&refs, 0)

@@ -106,12 +106,7 @@ fn stack_inputs(inputs: &[&Tensor], kind: QuantKind) -> Tensor {
 }
 
 /// Applies a layer with an explicit weight on the autograd tape.
-fn apply_layer_var<'t>(
-    layer: &dyn QuantLayer,
-    tape: &'t Tape,
-    x: Var<'t>,
-    w: Var<'t>,
-) -> Var<'t> {
+fn apply_layer_var<'t>(layer: &dyn QuantLayer, tape: &'t Tape, x: Var<'t>, w: Var<'t>) -> Var<'t> {
     match layer.kind() {
         QuantKind::Conv => {
             let bias = layer.bias().map(|b| tape.constant(b.value()));
@@ -215,7 +210,7 @@ pub fn learn_rounding(
             recon
         };
         let grads = tape.backward(loss);
-        opt.step(&[alpha.clone()], &grads);
+        opt.step(std::slice::from_ref(&alpha), &grads);
     }
 
     // Export: hard rounding decisions (σ ≥ 0.5 rounds up).
@@ -285,8 +280,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let conv = Conv2d::new("c", 4, 4, 3, 1, 1, &mut rng);
         let fmt = searched_fp4(&conv.weight.value());
-        let inputs: Vec<Tensor> =
-            (0..24).map(|_| Tensor::randn(&[1, 4, 6, 6], &mut rng)).collect();
+        let inputs: Vec<Tensor> = (0..24).map(|_| Tensor::randn(&[1, 4, 6, 6], &mut rng)).collect();
         let cfg = RoundingConfig { iters: 120, batch: 6, ..RoundingConfig::default() };
         let out = learn_rounding(&conv, fmt, &inputs, &inputs, &cfg, &mut rng);
         assert!(
@@ -347,15 +341,11 @@ mod tests {
                 .add_scalar(1.0)
                 .mean();
             let grads = tape.backward(reg);
-            opt.step(&[alpha.clone()], &grads);
+            opt.step(std::slice::from_ref(&alpha), &grads);
         }
         let sig = alpha.value().sigmoid();
         let undecided = sig.data().iter().filter(|&&s| s > 0.05 && s < 0.95).count();
-        assert!(
-            undecided <= 4,
-            "{undecided}/64 sigmas still undecided: {:?}",
-            &sig.data()[..8]
-        );
+        assert!(undecided <= 4, "{undecided}/64 sigmas still undecided: {:?}", &sig.data()[..8]);
     }
 
     #[test]

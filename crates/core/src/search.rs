@@ -216,8 +216,8 @@ mod tests {
         // (At 8 bits with a single extreme outlier, clipping the outlier
         // costs more than it saves — min/max is already near-optimal.)
         let mut rng = StdRng::seed_from_u64(3);
-        let x = fpdq_tensor::Tensor::randn(&[4096], &mut rng)
-            .map(|z| z.abs().powf(1.5).copysign(z));
+        let x =
+            fpdq_tensor::Tensor::randn(&[4096], &mut rng).map(|z| z.abs().powf(1.5).copysign(z));
         let naive = TensorQuantizer::Int(IntFormat::fit(&x, 4));
         let naive_mse = quantization_mse(&[&x], &naive);
         let found = search_int_format(&[&x], 4, PAPER_BIAS_CANDIDATES);
@@ -236,10 +236,9 @@ mod tests {
         // MSE-clipped INT baseline.
         let mut rng = StdRng::seed_from_u64(4);
         let x = fpdq_tensor::Tensor::rand_uniform(&[8192], 1e-6, 1.0, &mut rng)
-            .zip_map(
-                &fpdq_tensor::Tensor::rand_uniform(&[8192], -1.0, 1.0, &mut rng),
-                |u, v| -0.05 * u.ln() * v.signum(),
-            );
+            .zip_map(&fpdq_tensor::Tensor::rand_uniform(&[8192], -1.0, 1.0, &mut rng), |u, v| {
+                -0.05 * u.ln() * v.signum()
+            });
         let fp = search_fp_format(&[&x], 4, PAPER_BIAS_CANDIDATES);
         let int = search_int_format(&[&x], 4, PAPER_BIAS_CANDIDATES);
         assert!(

@@ -13,19 +13,14 @@ use fpdq_tensor::Tensor;
 use rand::Rng;
 
 const WALL_TONES: [[f32; 3]; 4] = [
-    [0.55, 0.45, 0.30],  // warm beige
-    [0.35, 0.45, 0.60],  // cool blue-grey
-    [0.45, 0.55, 0.40],  // sage
-    [0.55, 0.35, 0.35],  // terracotta
+    [0.55, 0.45, 0.30], // warm beige
+    [0.35, 0.45, 0.60], // cool blue-grey
+    [0.45, 0.55, 0.40], // sage
+    [0.55, 0.35, 0.35], // terracotta
 ];
 
-const BLANKET_COLORS: [[f32; 3]; 5] = [
-    [0.8, -0.4, -0.4],
-    [-0.4, -0.2, 0.8],
-    [-0.2, 0.7, -0.2],
-    [0.8, 0.6, -0.5],
-    [0.6, -0.3, 0.7],
-];
+const BLANKET_COLORS: [[f32; 3]; 5] =
+    [[0.8, -0.4, -0.4], [-0.4, -0.2, 0.8], [-0.2, 0.7, -0.2], [0.8, 0.6, -0.5], [0.6, -0.3, 0.7]];
 
 /// The procedural bedroom-scene dataset (16×16 images).
 #[derive(Clone, Copy, Debug, Default)]

@@ -37,6 +37,7 @@ impl Canvas {
     fn put(&mut self, x: usize, y: usize, color: [f32; 3]) {
         if x < self.size && y < self.size {
             let hw = self.size * self.size;
+            #[allow(clippy::needless_range_loop)] // c indexes color and the plane offset
             for c in 0..3 {
                 self.data[c * hw + y * self.size + x] = color[c];
             }
@@ -96,7 +97,7 @@ impl Canvas {
         for y in 0..self.size {
             for x in 0..self.size {
                 let k = if vertical { x } else { y };
-                self.put(x, y, if (k / period) % 2 == 0 { a } else { b });
+                self.put(x, y, if (k / period).is_multiple_of(2) { a } else { b });
             }
         }
     }
@@ -106,7 +107,7 @@ impl Canvas {
         let cell = cell.max(1);
         for y in 0..self.size {
             for x in 0..self.size {
-                self.put(x, y, if ((x / cell) + (y / cell)) % 2 == 0 { a } else { b });
+                self.put(x, y, if ((x / cell) + (y / cell)).is_multiple_of(2) { a } else { b });
             }
         }
     }
@@ -171,7 +172,7 @@ mod tests {
         let t = c.into_tensor();
         assert_eq!(t.at(&[0, 8, 8]), 1.0); // centre
         assert_eq!(t.at(&[0, 0, 0]), -1.0); // corner
-        // Area of a r=4px disc ≈ 50 px.
+                                            // Area of a r=4px disc ≈ 50 px.
         let lit = t.data()[..256].iter().filter(|&&v| v > 0.0).count();
         assert!((30..80).contains(&lit), "{lit} pixels lit");
     }

@@ -159,12 +159,7 @@ impl SceneSpec {
 
     /// The deterministic caption, e.g. `"a red ball in a dark room"`.
     pub fn caption(&self) -> String {
-        format!(
-            "a {} {} in a {} room",
-            self.color.word(),
-            self.object.word(),
-            self.place.word()
-        )
+        format!("a {} {} in a {} room", self.color.word(), self.object.word(), self.place.word())
     }
 
     /// Renders the scene at the given resolution.
@@ -181,7 +176,9 @@ impl SceneSpec {
                 rgb,
             ),
             ObjectKind::Cross => c.cross(self.x, self.y, self.size + 0.05, 0.09, rgb),
-            ObjectKind::Ring => c.ring(self.x, self.y, self.size + 0.03, (self.size - 0.12).max(0.08), rgb),
+            ObjectKind::Ring => {
+                c.ring(self.x, self.y, self.size + 0.03, (self.size - 0.12).max(0.08), rgb)
+            }
         }
         // A soft floor shadow under the object grounds it in the "room".
         let shadow = shade(self.place.background(), 0.6);

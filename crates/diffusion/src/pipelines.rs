@@ -88,7 +88,8 @@ impl LdmSim {
         let mut remaining = n;
         while remaining > 0 {
             let b = remaining.min(GEN_CHUNK);
-            let noise = Tensor::randn(&[b, self.latent_channels, self.latent_size, self.latent_size], rng);
+            let noise =
+                Tensor::randn(&[b, self.latent_channels, self.latent_size, self.latent_size], rng);
             let z = ddim_sample(
                 &self.schedule,
                 noise,
@@ -162,7 +163,8 @@ impl SdSim {
             let chunk = &prompts[start..start + b];
             let cond = self.encode_prompts(chunk);
             let null = self.null_context(b);
-            let noise = Tensor::randn(&[b, self.latent_channels, self.latent_size, self.latent_size], rng);
+            let noise =
+                Tensor::randn(&[b, self.latent_channels, self.latent_size, self.latent_size], rng);
             let z = ddim_sample(
                 &self.schedule,
                 noise,
@@ -245,7 +247,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let tokenizer = Tokenizer::caption_grammar();
         let text = TextEncoder::new(
-            TextEncoderConfig { layers: 1, ..TextEncoderConfig::small(tokenizer.vocab_size(), 8, 8) },
+            TextEncoderConfig {
+                layers: 1,
+                ..TextEncoderConfig::small(tokenizer.vocab_size(), 8, 8)
+            },
             &mut rng,
         );
         let p = SdSim {
@@ -259,7 +264,10 @@ mod tests {
             latent_scale: 1.0,
             guidance: 2.0,
         };
-        let prompts = vec!["a red ball in a dark room".to_string(), "a blue box in a bright room".to_string()];
+        let prompts = vec![
+            "a red ball in a dark room".to_string(),
+            "a blue box in a bright room".to_string(),
+        ];
         let mut g = StdRng::seed_from_u64(6);
         let imgs = p.generate(&prompts, 3, &mut g);
         assert_eq!(imgs.dims(), &[2, 3, 16, 16]);
@@ -267,7 +275,10 @@ mod tests {
         // reaches the output even in an untrained net).
         let mut g2 = StdRng::seed_from_u64(6);
         let imgs2 = p.generate(
-            &vec!["a cyan ring in a bright room".to_string(), "a blue box in a bright room".to_string()],
+            &[
+                "a cyan ring in a bright room".to_string(),
+                "a blue box in a bright room".to_string(),
+            ],
             3,
             &mut g2,
         );
@@ -288,7 +299,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let tokenizer = Tokenizer::caption_grammar();
         let text = TextEncoder::new(
-            TextEncoderConfig { layers: 1, ..TextEncoderConfig::small(tokenizer.vocab_size(), 8, 8) },
+            TextEncoderConfig {
+                layers: 1,
+                ..TextEncoderConfig::small(tokenizer.vocab_size(), 8, 8)
+            },
             &mut rng,
         );
         let mut p = SdSim {

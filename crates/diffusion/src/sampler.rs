@@ -58,15 +58,12 @@ pub fn ddim_sample(
         let ab_t = schedule.alpha_bar(t);
         let ab_prev = if i + 1 < ts.len() { schedule.alpha_bar(ts[i + 1]) } else { 1.0 };
         // x0 prediction from the ε-parameterisation (paper eq. 3 rearranged).
-        let mut x0 = x
-            .sub(&e.mul_scalar((1.0 - ab_t).sqrt()))
-            .mul_scalar(1.0 / ab_t.sqrt());
+        let mut x0 = x.sub(&e.mul_scalar((1.0 - ab_t).sqrt())).mul_scalar(1.0 / ab_t.sqrt());
         if let Some(c) = params.clip_x0 {
             x0 = x0.clamp(-c, c);
         }
-        let sigma = params.eta
-            * ((1.0 - ab_prev) / (1.0 - ab_t)).sqrt()
-            * (1.0 - ab_t / ab_prev).sqrt();
+        let sigma =
+            params.eta * ((1.0 - ab_prev) / (1.0 - ab_t)).sqrt() * (1.0 - ab_t / ab_prev).sqrt();
         let dir = e.mul_scalar((1.0 - ab_prev - sigma * sigma).max(0.0).sqrt());
         x = x0.mul_scalar(ab_prev.sqrt()).add(&dir);
         if sigma > 0.0 && i + 1 < ts.len() {
@@ -93,9 +90,8 @@ pub fn ddpm_sample(
         let e = eps(&x, &t_batch);
         let (a_t, ab_t, beta_t) = (schedule.alpha(t), schedule.alpha_bar(t), schedule.beta(t));
         // μ_θ(x_t, t) (paper eq. 3).
-        let mut mean = x
-            .sub(&e.mul_scalar(beta_t / (1.0 - ab_t).sqrt()))
-            .mul_scalar(1.0 / a_t.sqrt());
+        let mut mean =
+            x.sub(&e.mul_scalar(beta_t / (1.0 - ab_t).sqrt())).mul_scalar(1.0 / a_t.sqrt());
         if let Some(c) = clip_x0 {
             // Clamp via the x0 reconstruction for stability.
             let x0 = x
@@ -158,7 +154,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let mu = Tensor::full(&[1, 1, 2, 2], 0.4);
         let noise = Tensor::randn(&[1, 1, 2, 2], &mut rng);
-        let out = ddpm_sample(&schedule, noise, Some(1.0), &mut rng, oracle_eps(&schedule, mu.clone()));
+        let out =
+            ddpm_sample(&schedule, noise, Some(1.0), &mut rng, oracle_eps(&schedule, mu.clone()));
         // Ancestral sampling is stochastic; just require proximity.
         assert!(out.mse(&mu) < 0.05, "DDPM far from mode: {}", out.mse(&mu));
     }

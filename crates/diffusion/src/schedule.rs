@@ -52,7 +52,8 @@ impl NoiseSchedule {
     /// The cosine schedule of Nichol & Dhariwal.
     pub fn cosine(t: usize) -> Self {
         assert!(t > 0, "schedule needs at least one step");
-        let f = |i: f32| ((i / t as f32 + 0.008) / 1.008 * std::f32::consts::FRAC_PI_2).cos().powi(2);
+        let f =
+            |i: f32| ((i / t as f32 + 0.008) / 1.008 * std::f32::consts::FRAC_PI_2).cos().powi(2);
         let betas: Vec<f32> = (0..t)
             .map(|i| (1.0 - f(i as f32 + 1.0) / f(i as f32)).clamp(1e-5, 0.999))
             .collect();

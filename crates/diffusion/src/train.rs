@@ -195,9 +195,8 @@ mod tests {
             }
             t
         };
-        let losses = train_unet(&unet, &schedule, &cfg, &mut rng, |_| {
-            target.broadcast_to(&[8, 2, 8, 8])
-        });
+        let losses =
+            train_unet(&unet, &schedule, &cfg, &mut rng, |_| target.broadcast_to(&[8, 2, 8, 8]));
         let head: f32 = losses[..5].iter().sum::<f32>() / 5.0;
         let tail = tail_loss(&losses);
         assert!(tail < head * 0.8, "loss did not drop: {head} -> {tail}");

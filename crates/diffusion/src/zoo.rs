@@ -105,7 +105,12 @@ impl Zoo {
         } else {
             std::fs::create_dir_all(&dir).expect("cannot create zoo dir");
             let ds = TinyCifar::new();
-            let cfg = TrainConfig { steps: self.budget(900), batch: 16, lr: 2e-3, ..TrainConfig::default() };
+            let cfg = TrainConfig {
+                steps: self.budget(900),
+                batch: 16,
+                lr: 2e-3,
+                ..TrainConfig::default()
+            };
             eprintln!("[zoo] training ddim-cifar ({} steps)...", cfg.steps);
             let losses = train_unet(&unet, &schedule, &cfg, &mut rng, |r| ds.batch(16, r));
             eprintln!("[zoo] ddim-cifar loss {:.4} -> {:.4}", losses[0], tail_loss(&losses));
@@ -147,7 +152,12 @@ impl Zoo {
         } else {
             std::fs::create_dir_all(&dir).expect("cannot create zoo dir");
             let ds = TinyBedrooms::new();
-            let ae_cfg = TrainConfig { steps: self.budget(500), batch: 16, lr: 3e-3, ..TrainConfig::default() };
+            let ae_cfg = TrainConfig {
+                steps: self.budget(500),
+                batch: 16,
+                lr: 3e-3,
+                ..TrainConfig::default()
+            };
             eprintln!("[zoo] training ldm-bedroom autoencoder ({} steps)...", ae_cfg.steps);
             let ae_losses = train_autoencoder(&ae, &ae_cfg, &mut rng, |r| ds.batch(16, r));
             eprintln!("[zoo] ae loss {:.4} -> {:.4}", ae_losses[0], tail_loss(&ae_losses));
@@ -155,7 +165,12 @@ impl Zoo {
             latent_scale = compute_latent_scale(&ae, &mut rng, |r| ds.batch(64, r));
             eprintln!("[zoo] latent scale {latent_scale:.4}");
 
-            let cfg = TrainConfig { steps: self.budget(900), batch: 16, lr: 2e-3, ..TrainConfig::default() };
+            let cfg = TrainConfig {
+                steps: self.budget(900),
+                batch: 16,
+                lr: 2e-3,
+                ..TrainConfig::default()
+            };
             eprintln!("[zoo] training ldm-bedroom unet ({} steps)...", cfg.steps);
             let losses = train_unet(&unet, &schedule, &cfg, &mut rng, |r| {
                 ae.encode(&ds.batch(16, r)).mul_scalar(latent_scale)
@@ -251,7 +266,12 @@ impl Zoo {
         } else {
             std::fs::create_dir_all(&dir).expect("cannot create zoo dir");
             let ds = CaptionedScenes::new();
-            let ae_cfg = TrainConfig { steps: self.budget(500), batch: 16, lr: 3e-3, ..TrainConfig::default() };
+            let ae_cfg = TrainConfig {
+                steps: self.budget(500),
+                batch: 16,
+                lr: 3e-3,
+                ..TrainConfig::default()
+            };
             eprintln!("[zoo] training {name} autoencoder ({} steps)...", ae_cfg.steps);
             let ae_losses = train_autoencoder(&ae, &ae_cfg, &mut rng, |r| ds.batch(16, r));
             eprintln!("[zoo] ae loss {:.4} -> {:.4}", ae_losses[0], tail_loss(&ae_losses));
@@ -259,7 +279,13 @@ impl Zoo {
             latent_scale = compute_latent_scale(&ae, &mut rng, |r| ds.batch(64, r));
             eprintln!("[zoo] latent scale {latent_scale:.4}");
 
-            let cfg = TrainConfig { steps: train_steps, batch: 16, lr: 2e-3, cfg_drop: 0.1, ..TrainConfig::default() };
+            let cfg = TrainConfig {
+                steps: train_steps,
+                batch: 16,
+                lr: 2e-3,
+                cfg_drop: 0.1,
+                ..TrainConfig::default()
+            };
             eprintln!("[zoo] training {name} unet+text ({} steps)...", cfg.steps);
             let tok = tokenizer.clone();
             let losses = train_text_to_image(&unet, &text, &schedule, &cfg, &mut rng, |r| {

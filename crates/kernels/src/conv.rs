@@ -1,26 +1,35 @@
 //! Dequantize-on-the-fly 2-D convolution over packed weights.
 //!
 //! Shares the exact `im2col` lowering of the dense path
-//! ([`fpdq_tensor::conv::im2col_matrix`]) but streams the filter bank from
-//! its packed low-bit representation one output-channel row at a time —
-//! the memory-traffic pattern of weight-quantized convolution inference.
+//! ([`fpdq_tensor::conv::im2col_into`]) but expands the filter bank from
+//! its packed low-bit representation — the memory-traffic pattern of
+//! weight-quantized convolution inference.
+//!
+//! Each worker thread owns a small scratch arena (decoded filter bank +
+//! one `im2col` column buffer) allocated once and reused across every
+//! batch element the worker processes; the per-batch allocations and
+//! tensor narrowing of the original implementation are gone, and the
+//! filter bank is LUT-decoded once per worker instead of once per
+//! (batch, output-channel) pair.
 
-use crate::packed::PackedFpTensor;
+use crate::packed::{PackedFpTensor, PackedIntTensor, PackedWeights};
 use fpdq_core::TensorQuantizer;
-use fpdq_tensor::conv::{im2col_matrix, Conv2dSpec};
+use fpdq_tensor::conv::{im2col_into, Conv2dSpec};
+use fpdq_tensor::matmul::gemm_serial;
 use fpdq_tensor::parallel::parallel_rows;
 use fpdq_tensor::Tensor;
 
-/// 2-D convolution with packed FP weights: input `[n, c, h, w]`, packed
-/// weight `[o, c, kh, kw]`, optional bias `[o]`, optional activation
-/// fake-quantizer (applied to the input, as the model taps do).
+/// 2-D convolution with any packed weight representation: input
+/// `[n, c, h, w]`, packed weight `[o, c, kh, kw]`, optional bias `[o]`,
+/// optional activation fake-quantizer (applied to the input, as the model
+/// taps do).
 ///
 /// # Panics
 ///
 /// Panics on rank/shape mismatches.
-pub fn conv2d_packed_fp(
+pub fn conv2d_packed<W: PackedWeights>(
     x: &Tensor,
-    weight: &PackedFpTensor,
+    weight: &W,
     bias: Option<&Tensor>,
     spec: Conv2dSpec,
     act: Option<&TensorQuantizer>,
@@ -38,39 +47,72 @@ pub fn conv2d_packed_fp(
         Some(q) => q.quantize(x),
         None => x.clone(),
     };
+    let xd = x_q.data();
     let oh = spec.out_extent(h, kh);
     let ow = spec.out_extent(w, kw);
     let ckk = c * kh * kw;
+    let chw = c * h * w;
     let mut out = vec![0.0f32; n * o * oh * ow];
     parallel_rows(&mut out, n, o * oh * ow, 1, |batch_start, chunk| {
-        let mut filter = vec![0.0f32; ckk];
+        // Per-thread scratch arena, reused across this worker's batches.
+        let mut filters = vec![0.0f32; o * ckk];
+        weight.decode_range_into(0, &mut filters);
+        let mut cols = vec![0.0f32; ckk * oh * ow];
         for (bi, obatch) in chunk.chunks_mut(o * oh * ow).enumerate() {
             let batch = batch_start + bi;
-            let img = x_q.narrow(0, batch, 1).reshape(&[c, h, w]);
-            let cols = im2col_matrix(&img, kh, kw, spec);
-            for (oc, plane) in obatch.chunks_mut(oh * ow).enumerate() {
-                weight.decode_row(oc, &mut filter);
-                let bv = bias.map(|b| b.data()[oc]).unwrap_or(0.0);
-                plane.fill(bv);
-                for (kk, &fv) in filter.iter().enumerate() {
-                    if fv == 0.0 {
-                        continue; // quantization-induced sparsity skip
-                    }
-                    let crow = &cols.data()[kk * oh * ow..(kk + 1) * oh * ow];
-                    for (pv, &cv) in plane.iter_mut().zip(crow.iter()) {
-                        *pv += fv * cv;
+            im2col_into(&xd[batch * chw..(batch + 1) * chw], c, h, w, kh, kw, spec, &mut cols);
+            // Prefill with the bias, then accumulate the filter × column
+            // product through the same row-blocked kernel as the dense
+            // conv (which also skips all-zero filter taps, preserving the
+            // quantization-induced sparsity shortcut).
+            match bias {
+                Some(b) => {
+                    for (oc, plane) in obatch.chunks_mut(oh * ow).enumerate() {
+                        plane.fill(b.data()[oc]);
                     }
                 }
+                None => obatch.fill(0.0),
             }
+            gemm_serial(&filters, &cols, obatch, o, ckk, oh * ow);
         }
     });
     Tensor::from_vec(out, &[n, o, oh, ow])
 }
 
+/// 2-D convolution with packed FP weights (see [`conv2d_packed`]).
+///
+/// # Panics
+///
+/// Panics on rank/shape mismatches.
+pub fn conv2d_packed_fp(
+    x: &Tensor,
+    weight: &PackedFpTensor,
+    bias: Option<&Tensor>,
+    spec: Conv2dSpec,
+    act: Option<&TensorQuantizer>,
+) -> Tensor {
+    conv2d_packed(x, weight, bias, spec, act)
+}
+
+/// 2-D convolution with packed INT weights (see [`conv2d_packed`]).
+///
+/// # Panics
+///
+/// Panics on rank/shape mismatches.
+pub fn conv2d_packed_int(
+    x: &Tensor,
+    weight: &PackedIntTensor,
+    bias: Option<&Tensor>,
+    spec: Conv2dSpec,
+    act: Option<&TensorQuantizer>,
+) -> Tensor {
+    conv2d_packed(x, weight, bias, spec, act)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fpdq_core::FpFormat;
+    use fpdq_core::{FpFormat, IntFormat};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -90,6 +132,24 @@ mod tests {
             assert_eq!(fast.dims(), reference.dims());
             for (a, e) in fast.data().iter().zip(reference.data()) {
                 assert!((a - e).abs() < 1e-4, "{fmt}: {a} vs {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_int_conv_matches_dense_reference() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let x = Tensor::randn(&[2, 2, 5, 5], &mut rng);
+        let w = Tensor::randn(&[4, 2, 3, 3], &mut rng);
+        let b = Tensor::randn(&[4], &mut rng);
+        let spec = Conv2dSpec::new(1, 1);
+        for bits in [4u32, 8] {
+            let fmt = IntFormat::fit(&w, bits);
+            let packed = PackedIntTensor::encode(&w, fmt);
+            let fast = conv2d_packed_int(&x, &packed, Some(&b), spec, None);
+            let reference = x.conv2d(&fmt.quantize(&w), Some(&b), spec);
+            for (a, e) in fast.data().iter().zip(reference.data()) {
+                assert!((a - e).abs() < 1e-4, "INT{bits}: {a} vs {e}");
             }
         }
     }

@@ -1,0 +1,246 @@
+//! Packed-weight execution mode for the model stack.
+//!
+//! After the PTQ driver (`fpdq_core::quantize_unet`) bakes quantized
+//! weights into a U-Net, every quantized Linear/Conv layer still executes
+//! as a *dense* FP32 matmul over fake-quantized values. This module flips
+//! the model into real packed execution: each layer's baked weight is
+//! re-encoded into its chosen low-bit format ([`PackedFpTensor`] /
+//! [`PackedIntTensor`] — bit-exact with the baked values by construction)
+//! and a [`PackedForwardFn`] dispatching to the dequantize-on-the-fly
+//! kernels is installed into the layer's [`fpdq_nn::PackedSlot`]. From
+//! then on, end-to-end sampling streams 4-8× less weight traffic than
+//! FP32 — the execution pattern whose cost the paper's §III motivates.
+//!
+//! Activation fake-quantizers keep running inside the layer taps, ahead
+//! of the packed kernels, so packed execution composes with the paper's
+//! weight+activation configurations unchanged.
+
+use crate::conv::conv2d_packed;
+use crate::gemm::gemm_packed;
+use crate::packed::{PackedFpTensor, PackedIntTensor, PackedWeights};
+use fpdq_core::{QuantReport, TensorQuantizer};
+use fpdq_nn::{PackedForwardFn, QuantKind, QuantLayer, UNet};
+use fpdq_tensor::conv::Conv2dSpec;
+use fpdq_tensor::Tensor;
+use std::rc::Rc;
+
+/// Per-layer outcome of packing a model.
+#[derive(Clone, Debug)]
+pub struct PackedLayerInfo {
+    /// Hierarchical layer name.
+    pub name: String,
+    /// Conv or linear.
+    pub kind: QuantKind,
+    /// Storage format description (e.g. `"E4M3(b=8)"`).
+    pub format: String,
+    /// Packed payload bytes.
+    pub payload_bytes: usize,
+    /// Dense FP32 bytes the payload replaces.
+    pub dense_bytes: usize,
+}
+
+/// Outcome of [`pack_unet`]: which layers now execute packed, and the
+/// aggregate weight-memory footprint.
+#[derive(Clone, Debug, Default)]
+pub struct PackReport {
+    /// One entry per packed layer, in model order.
+    pub layers: Vec<PackedLayerInfo>,
+}
+
+impl PackReport {
+    /// Total packed payload bytes across layers.
+    pub fn payload_bytes(&self) -> usize {
+        self.layers.iter().map(|l| l.payload_bytes).sum()
+    }
+
+    /// Total dense FP32 bytes the payloads replace.
+    pub fn dense_bytes(&self) -> usize {
+        self.layers.iter().map(|l| l.dense_bytes).sum()
+    }
+
+    /// Weight-memory compression ratio (dense / packed).
+    pub fn compression(&self) -> f32 {
+        let p = self.payload_bytes();
+        if p == 0 {
+            return 1.0;
+        }
+        self.dense_bytes() as f32 / p as f32
+    }
+}
+
+fn linear_forward<W: PackedWeights + 'static>(
+    w: Rc<W>,
+    bias: Option<Tensor>,
+    out_features: usize,
+) -> PackedForwardFn {
+    Rc::new(move |x: &Tensor| {
+        let affine = |x2: &Tensor| {
+            let y = gemm_packed(x2, &*w, None);
+            match &bias {
+                Some(b) => y.add(b),
+                None => y,
+            }
+        };
+        match x.ndim() {
+            2 => affine(x),
+            3 => {
+                let (b, l, d) = (x.dim(0), x.dim(1), x.dim(2));
+                affine(&x.reshape(&[b * l, d])).reshape(&[b, l, out_features])
+            }
+            n => panic!("packed Linear expects 2-D or 3-D input, got rank {n}"),
+        }
+    })
+}
+
+fn conv_forward<W: PackedWeights + 'static>(
+    w: Rc<W>,
+    bias: Option<Tensor>,
+    spec: Conv2dSpec,
+) -> PackedForwardFn {
+    Rc::new(move |x: &Tensor| conv2d_packed(x, &*w, bias.as_ref(), spec, None))
+}
+
+/// Re-encodes one layer's (already baked) weight into `format` and
+/// installs the packed forward override. Returns the packing stats.
+///
+/// # Panics
+///
+/// Panics if a conv layer reports no [`Conv2dSpec`].
+pub fn install_packed_weight(layer: &dyn QuantLayer, format: &TensorQuantizer) -> PackedLayerInfo {
+    let w = layer.weight().value();
+    let bias = layer.bias().map(|b| b.value());
+    let dense_bytes = w.numel() * std::mem::size_of::<f32>();
+    let (payload_bytes, forward): (usize, PackedForwardFn) = match (format, layer.kind()) {
+        (TensorQuantizer::Fp(fmt), QuantKind::Linear) => {
+            let packed = Rc::new(PackedFpTensor::encode(&w, *fmt));
+            (packed.payload_bytes(), linear_forward(packed, bias, w.dims()[0]))
+        }
+        (TensorQuantizer::Fp(fmt), QuantKind::Conv) => {
+            let packed = Rc::new(PackedFpTensor::encode(&w, *fmt));
+            let spec = layer.conv_spec().expect("conv layer without spec");
+            (packed.payload_bytes(), conv_forward(packed, bias, spec))
+        }
+        (TensorQuantizer::Int(fmt), QuantKind::Linear) => {
+            let packed = Rc::new(PackedIntTensor::encode(&w, *fmt));
+            (packed.payload_bytes(), linear_forward(packed, bias, w.dims()[0]))
+        }
+        (TensorQuantizer::Int(fmt), QuantKind::Conv) => {
+            let packed = Rc::new(PackedIntTensor::encode(&w, *fmt));
+            let spec = layer.conv_spec().expect("conv layer without spec");
+            (packed.payload_bytes(), conv_forward(packed, bias, spec))
+        }
+    };
+    layer.packed().install(forward);
+    PackedLayerInfo {
+        name: layer.qname().to_string(),
+        kind: layer.kind(),
+        format: format.describe(),
+        payload_bytes,
+        dense_bytes,
+    }
+}
+
+/// Switches a quantized U-Net to packed-weight execution: every layer the
+/// PTQ report assigned a weight format is re-encoded into that format and
+/// dispatched to the dequantize-on-the-fly kernels from now on.
+///
+/// The model must already hold the baked (quantized) weights the report
+/// describes — re-encoding is then bit-exact, so packed sampling matches
+/// the fake-quantized evaluation up to float summation order.
+pub fn pack_unet(unet: &UNet, report: &QuantReport) -> PackReport {
+    let mut packed = PackReport::default();
+    unet.visit_quant_layers(&mut |layer| {
+        let Some(rep) = report.layers.iter().find(|l| l.name == layer.qname()) else {
+            return;
+        };
+        let Some(format) = &rep.weight_format else {
+            return;
+        };
+        packed.layers.push(install_packed_weight(layer, format));
+    });
+    packed
+}
+
+/// Reverts a U-Net to dense execution (clears every packed override).
+pub fn unpack_unet(unet: &UNet) {
+    unet.visit_quant_layers(&mut |layer| layer.packed().clear());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpdq_core::calib::{CalibPoint, CalibrationSet};
+    use fpdq_core::{quantize_unet, PtqConfig, RoundingConfig};
+    use fpdq_nn::UNetConfig;
+    use fpdq_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn quantized_tiny_unet(cfg: PtqConfig) -> (UNet, QuantReport, StdRng) {
+        let mut rng = StdRng::seed_from_u64(0);
+        let unet = UNet::new(UNetConfig::tiny(2), &mut rng);
+        let points: Vec<CalibPoint> = (0..4)
+            .map(|i| CalibPoint {
+                x: Tensor::randn(&[1, 2, 8, 8], &mut rng),
+                t: (i * 5) as f32,
+                ctx: None,
+            })
+            .collect();
+        let calib = CalibrationSet { init: points.clone(), rl: points };
+        let mut cfg = cfg;
+        cfg.bias_candidates = 15;
+        cfg.rounding = RoundingConfig { iters: 8, batch: 2, ..RoundingConfig::default() };
+        let report = quantize_unet(&unet, &calib, &cfg, &mut rng);
+        (unet, report, rng)
+    }
+
+    #[test]
+    fn packed_unet_matches_fake_quantized_forward() {
+        let (unet, report, mut rng) = quantized_tiny_unet(PtqConfig::fp(8, 8));
+        let x = Tensor::randn(&[1, 2, 8, 8], &mut rng);
+        let t = Tensor::from_vec(vec![3.0], &[1]);
+        let dense = unet.forward(&x, &t, None);
+
+        let pack = pack_unet(&unet, &report);
+        assert_eq!(pack.layers.len(), report.layers.len(), "every layer packs");
+        let mut installed = 0;
+        unet.visit_quant_layers(&mut |l| installed += usize::from(l.packed().is_installed()));
+        assert_eq!(installed, pack.layers.len());
+
+        let packed = unet.forward(&x, &t, None);
+        let scale = dense.data().iter().fold(0.0f32, |m, v| m.max(v.abs())).max(1.0);
+        for (a, b) in dense.data().iter().zip(packed.data()) {
+            assert!((a - b).abs() < 1e-3 * scale, "packed forward diverged: {a} vs {b}");
+        }
+
+        unpack_unet(&unet);
+        let reverted = unet.forward(&x, &t, None);
+        assert_eq!(reverted.data(), dense.data(), "unpack must restore dense path");
+    }
+
+    #[test]
+    fn fp8_packing_compresses_weights_4x() {
+        let (unet, report, _) = quantized_tiny_unet(PtqConfig::fp(8, 8));
+        let pack = pack_unet(&unet, &report);
+        assert!(
+            (pack.compression() - 4.0).abs() < 0.2,
+            "FP8 compression {} != ~4x",
+            pack.compression()
+        );
+    }
+
+    #[test]
+    fn int_packing_also_streams() {
+        let (unet, report, mut rng) = quantized_tiny_unet(PtqConfig::int(8, 8));
+        let x = Tensor::randn(&[1, 2, 8, 8], &mut rng);
+        let t = Tensor::from_vec(vec![11.0], &[1]);
+        let dense = unet.forward(&x, &t, None);
+        let pack = pack_unet(&unet, &report);
+        assert!(pack.compression() > 3.5, "INT8 compression {}", pack.compression());
+        let packed = unet.forward(&x, &t, None);
+        let scale = dense.data().iter().fold(0.0f32, |m, v| m.max(v.abs())).max(1.0);
+        for (a, b) in dense.data().iter().zip(packed.data()) {
+            assert!((a - b).abs() < 1e-3 * scale, "{a} vs {b}");
+        }
+    }
+}

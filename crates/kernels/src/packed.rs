@@ -5,10 +5,38 @@
 //! magnitude grid); INT codes are the affine levels of eq. (4). Decode is
 //! bit-exact against the simulated quantizers in `fpdq-core` — the
 //! property that makes the fake-quantized evaluation trustworthy.
+//!
+//! # Fast paths
+//!
+//! The hot kernels never touch bits one at a time:
+//!
+//! * **Encode** goes through a precomputed *boundary table* (one decision
+//!   threshold per adjacent pair of representable magnitudes, found by
+//!   exact bit-level bisection against [`FpFormat::quantize_scalar`] +
+//!   nearest-index), replacing the per-element `log2`/`powf` quantization
+//!   plus binary search of the original implementation while staying
+//!   bit-identical to it.
+//! * **Decode** for formats whose width divides a byte (FP4/INT4 → 2
+//!   codes/byte, FP8/INT8 → 1) goes through a 256-entry *per-byte LUT*
+//!   holding the already-signed `f32` values, so expanding a packed row is
+//!   one table load per element.
+//! * **`pack_bits` / `unpack_bits_range`** use whole-byte copies for 8/16
+//!   bit codes, nibble splits for 4-bit codes, and a word-level
+//!   shift-accumulator otherwise. The original per-bit loops survive as
+//!   [`pack_bits_bitloop`] / [`unpack_bits_range_bitloop`] — the reference
+//!   implementations the property tests and benchmarks compare against.
+//!
+//! Row kernels use the allocation-free `decode_row_into`-style APIs
+//! ([`PackedFpTensor::decode_range_into`]) to stream packed weights into
+//! caller-owned scratch.
 
 use bytes::{BufMut, BytesMut};
 use fpdq_core::{FpFormat, IntFormat};
 use fpdq_tensor::Tensor;
+
+// ---------------------------------------------------------------------------
+// Bit packing
+// ---------------------------------------------------------------------------
 
 /// Packs `codes` (each below `2^bits`) densely into bytes, little-endian
 /// bit order.
@@ -16,8 +44,56 @@ pub fn pack_bits(codes: &[u16], bits: u32) -> Vec<u8> {
     assert!((1..=16).contains(&bits), "bits out of range");
     let total_bits = codes.len() * bits as usize;
     let mut out = vec![0u8; total_bits.div_ceil(8)];
+    match bits {
+        8 => {
+            for (slot, &code) in out.iter_mut().zip(codes) {
+                debug_assert!(code < 1 << 8, "code {code} exceeds 8 bits");
+                *slot = code as u8;
+            }
+        }
+        16 => {
+            for (slot, &code) in out.chunks_exact_mut(2).zip(codes) {
+                slot.copy_from_slice(&code.to_le_bytes());
+            }
+        }
+        4 => {
+            for (slot, pair) in out.iter_mut().zip(codes.chunks(2)) {
+                debug_assert!(pair.iter().all(|&c| c < 16), "code exceeds 4 bits");
+                *slot = pair[0] as u8 | (pair.get(1).copied().unwrap_or(0) as u8) << 4;
+            }
+        }
+        _ => {
+            // Word-level accumulator: shift each code into a 64-bit window
+            // and drain whole bytes (≤ 23 live bits at any point).
+            let mut acc = 0u64;
+            let mut acc_bits = 0u32;
+            let mut byte = 0usize;
+            for &code in codes {
+                debug_assert!(u32::from(code) < (1u32 << bits), "code {code} exceeds {bits} bits");
+                acc |= u64::from(code) << acc_bits;
+                acc_bits += bits;
+                while acc_bits >= 8 {
+                    out[byte] = acc as u8;
+                    byte += 1;
+                    acc >>= 8;
+                    acc_bits -= 8;
+                }
+            }
+            if acc_bits > 0 {
+                out[byte] = acc as u8;
+            }
+        }
+    }
+    out
+}
+
+/// Reference bit-at-a-time implementation of [`pack_bits`], kept for
+/// property tests and the `pack` benchmark's before/after comparison.
+pub fn pack_bits_bitloop(codes: &[u16], bits: u32) -> Vec<u8> {
+    assert!((1..=16).contains(&bits), "bits out of range");
+    let total_bits = codes.len() * bits as usize;
+    let mut out = vec![0u8; total_bits.div_ceil(8)];
     for (i, &code) in codes.iter().enumerate() {
-        debug_assert!(u32::from(code) < (1u32 << bits), "code {code} exceeds {bits} bits");
         let bit0 = i * bits as usize;
         for b in 0..bits as usize {
             if code >> b & 1 == 1 {
@@ -37,6 +113,81 @@ pub fn unpack_bits(bytes: &[u8], bits: u32, count: usize) -> Vec<u16> {
 /// kernels stream one packed row without touching the rest of the
 /// payload.
 pub fn unpack_bits_range(bytes: &[u8], bits: u32, start: usize, count: usize) -> Vec<u16> {
+    let mut out = vec![0u16; count];
+    unpack_bits_range_into(bytes, bits, start, &mut out);
+    out
+}
+
+/// Allocation-free core of [`unpack_bits_range`]: unpacks `out.len()`
+/// codes starting at element index `start` into caller scratch.
+pub fn unpack_bits_range_into(bytes: &[u8], bits: u32, start: usize, out: &mut [u16]) {
+    assert!((1..=16).contains(&bits), "bits out of range");
+    match bits {
+        8 => {
+            let end = start + out.len();
+            for (slot, &b) in out.iter_mut().zip(&bytes[start..end]) {
+                *slot = u16::from(b);
+            }
+        }
+        16 => {
+            for (slot, b) in out.iter_mut().zip(bytes[start * 2..].chunks_exact(2)) {
+                *slot = u16::from_le_bytes([b[0], b[1]]);
+            }
+        }
+        4 => nibble_walk(bytes, start, out, |b, parity| {
+            u16::from(if parity == 0 { b & 0xF } else { b >> 4 })
+        }),
+        _ => {
+            let mask = (1u32 << bits) - 1;
+            let mut bitpos = start * bits as usize;
+            for slot in out.iter_mut() {
+                let byte0 = bitpos / 8;
+                let shift = (bitpos % 8) as u32;
+                // ≤ 7 + 16 = 23 bits needed: at most 3 bytes.
+                let mut w = 0u32;
+                for (k, &b) in
+                    bytes[byte0..].iter().take(((shift + bits) as usize).div_ceil(8)).enumerate()
+                {
+                    w |= u32::from(b) << (8 * k as u32);
+                }
+                *slot = ((w >> shift) & mask) as u16;
+                bitpos += bits as usize;
+            }
+        }
+    }
+}
+
+/// Walks the 2-codes-per-byte nibble stream over elements
+/// `[start, start + out.len())`, writing `emit(byte, parity)` per element
+/// (parity 0 = low nibble, 1 = high). Handles mid-byte entry/exit and
+/// empty ranges; shared by the 4-bit unpack and the nibble-LUT decode so
+/// the alignment logic exists exactly once.
+fn nibble_walk<T>(bytes: &[u8], start: usize, out: &mut [T], emit: impl Fn(u8, usize) -> T) {
+    if out.is_empty() {
+        return;
+    }
+    let last = start + out.len() - 1;
+    let mut idx = start;
+    let mut rem = &mut out[..];
+    if idx % 2 == 1 {
+        rem[0] = emit(bytes[idx / 2], 1);
+        rem = &mut rem[1..];
+        idx += 1;
+    }
+    let mut pairs = rem.chunks_exact_mut(2);
+    for (pair, &b) in (&mut pairs).zip(&bytes[idx / 2..]) {
+        pair[0] = emit(b, 0);
+        pair[1] = emit(b, 1);
+    }
+    if let [slot] = pairs.into_remainder() {
+        // A trailing low nibble (the range ends mid-byte).
+        *slot = emit(bytes[last / 2], last % 2);
+    }
+}
+
+/// Reference bit-at-a-time implementation of [`unpack_bits_range`], kept
+/// for property tests and the `pack` benchmark's before/after comparison.
+pub fn unpack_bits_range_bitloop(bytes: &[u8], bits: u32, start: usize, count: usize) -> Vec<u16> {
     let mut out = Vec::with_capacity(count);
     for i in start..start + count {
         let bit0 = i * bits as usize;
@@ -51,6 +202,170 @@ pub fn unpack_bits_range(bytes: &[u8], bits: u32, start: usize, count: usize) ->
     out
 }
 
+// ---------------------------------------------------------------------------
+// Shared decode surface
+// ---------------------------------------------------------------------------
+
+/// Common decode surface of packed tensors, letting the GEMM/conv kernels
+/// stream FP and INT weights through one implementation.
+pub trait PackedWeights: Sync {
+    /// Logical shape.
+    fn dims(&self) -> &[usize];
+    /// Decodes elements `[start, start + out.len())` into caller scratch.
+    fn decode_range_into(&self, start: usize, out: &mut [f32]);
+}
+
+/// Builds the 256-entry per-byte decode LUT for a `bits`-wide code space
+/// (`bits` ∈ {4, 8}), given the signed value of each code.
+fn build_byte_lut(bits: u32, decode: impl Fn(u16) -> f32) -> Vec<f32> {
+    match bits {
+        8 => (0u16..256).map(decode).collect(),
+        4 => (0u16..256).flat_map(|byte| [decode(byte & 0xF), decode(byte >> 4)]).collect(),
+        _ => Vec::new(),
+    }
+}
+
+/// Decodes elements `[start, start + out.len())` of a packed payload via
+/// the per-byte LUT (`codes_per_byte` ∈ {1, 2}).
+fn lut_decode_range(
+    lut: &[f32],
+    codes_per_byte: usize,
+    bytes: &[u8],
+    start: usize,
+    out: &mut [f32],
+) {
+    match codes_per_byte {
+        1 => {
+            let end = start + out.len();
+            for (slot, &b) in out.iter_mut().zip(&bytes[start..end]) {
+                *slot = lut[b as usize];
+            }
+        }
+        2 => nibble_walk(bytes, start, out, |b, parity| lut[b as usize * 2 + parity]),
+        _ => unreachable!("codes_per_byte must be 1 or 2"),
+    }
+}
+
+/// Generic (any-bitwidth) decode of elements `[start, start + out.len())`
+/// through a per-code decoder, using a fixed stack scratch so row decodes
+/// stay allocation-free.
+fn generic_decode_range(
+    bytes: &[u8],
+    bits: u32,
+    start: usize,
+    out: &mut [f32],
+    decode: impl Fn(u16) -> f32,
+) {
+    let mut scratch = [0u16; 128];
+    let mut offset = 0usize;
+    while offset < out.len() {
+        let n = scratch.len().min(out.len() - offset);
+        unpack_bits_range_into(bytes, bits, start + offset, &mut scratch[..n]);
+        for (slot, &code) in out[offset..offset + n].iter_mut().zip(&scratch[..n]) {
+            *slot = decode(code);
+        }
+        offset += n;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Floating point
+// ---------------------------------------------------------------------------
+
+/// Precomputed encoder for one FP format: the decision threshold between
+/// every adjacent pair of representable magnitudes, refined to the exact
+/// float against [`FpFormat::quantize_scalar`] so `encode_scalar` is
+/// bit-identical to "quantize, then find the index" — without the
+/// per-element `log2`/`powf`.
+#[derive(Clone, Debug)]
+pub struct FpEncoder {
+    /// `boundaries[i]` is the smallest positive `f32` whose quantized
+    /// magnitude is `table[i + 1]`.
+    boundaries: Vec<f32>,
+    sign_shift: u32,
+}
+
+impl FpEncoder {
+    /// Builds the boundary table for `format` (`table` must be the
+    /// format's non-negative value enumeration).
+    ///
+    /// Each boundary is found by bisection over `f32` bit patterns against
+    /// the reference pipeline "quantize, then nearest table index", which
+    /// is monotone in `|x|`. The thresholds are therefore *exact*: the
+    /// fast encoder reproduces the reference for every input, including
+    /// searched fractional biases whose clip maximum `c` is not itself a
+    /// table entry (there the top code may be unreachable and the boundary
+    /// becomes `+∞`).
+    pub fn new(format: FpFormat, table: &[f32]) -> Self {
+        let sign_shift = format.exp_bits() + format.man_bits();
+        let index_of = |x: f32| nearest_index(table, format.quantize_scalar(x).abs());
+        let top = index_of(f32::MAX);
+        let mut boundaries = Vec::with_capacity(table.len().saturating_sub(1));
+        for i in 0..table.len().saturating_sub(1) {
+            if top <= i {
+                // Even the largest input never reaches magnitude i+1.
+                boundaries.push(f32::INFINITY);
+                continue;
+            }
+            // Smallest positive float whose index exceeds i: bisect on bit
+            // patterns (non-negative floats order like their bits).
+            let mut lb = 0u32; // index_of(0) == 0 <= i
+            let mut ub = f32::MAX.to_bits();
+            while ub - lb > 1 {
+                let mid = lb + (ub - lb) / 2;
+                if index_of(f32::from_bits(mid)) > i {
+                    ub = mid;
+                } else {
+                    lb = mid;
+                }
+            }
+            boundaries.push(f32::from_bits(ub));
+        }
+        FpEncoder { boundaries, sign_shift }
+    }
+
+    /// Encodes one value to its packed code. Bit-identical to quantizing
+    /// with the format and locating the result in the value table; NaN
+    /// deterministically maps to code 0 (positive zero) and ±∞ clip to
+    /// the largest magnitude, matching [`FpFormat::quantize_scalar`].
+    #[inline]
+    pub fn encode_scalar(&self, v: f32) -> u16 {
+        if v.is_nan() {
+            return 0;
+        }
+        // ∞ behaves like the largest finite value (clipping), keeping the
+        // `+∞` sentinel boundaries of unreachable top codes inert.
+        let a = v.abs().min(f32::MAX);
+        // partition_point: number of boundaries ≤ a == magnitude index.
+        let mag = self.boundaries.partition_point(|&b| b <= a) as u16;
+        if v.is_sign_negative() && mag != 0 {
+            (1 << self.sign_shift) | mag
+        } else {
+            mag
+        }
+    }
+}
+
+/// Index of the table value nearest to `v` (ties toward the lower index)
+/// — the reference encode's second stage, and the oracle the boundary
+/// bisection in [`FpEncoder::new`] matches exactly.
+fn nearest_index(sorted: &[f32], v: f32) -> usize {
+    match sorted.binary_search_by(|x| x.total_cmp(&v)) {
+        Ok(i) => i,
+        Err(i) => {
+            if i == 0 {
+                0
+            } else if i >= sorted.len() {
+                sorted.len() - 1
+            } else if (v - sorted[i - 1]).abs() <= (sorted[i] - v).abs() {
+                i - 1
+            } else {
+                i
+            }
+        }
+    }
+}
+
 /// A tensor stored in a packed ExMy floating-point format.
 #[derive(Clone, Debug)]
 pub struct PackedFpTensor {
@@ -59,28 +374,31 @@ pub struct PackedFpTensor {
     bytes: Vec<u8>,
     /// Non-negative value table indexed by magnitude code.
     table: Vec<f32>,
+    /// Per-byte signed decode LUT (empty unless `total_bits` ∈ {4, 8}).
+    byte_lut: Vec<f32>,
 }
 
 impl PackedFpTensor {
     /// Quantizes and packs a tensor.
     pub fn encode(x: &Tensor, format: FpFormat) -> Self {
         let table = format.enumerate_non_negative();
+        let encoder = FpEncoder::new(format, &table);
+        let codes: Vec<u16> = x.data().iter().map(|&v| encoder.encode_scalar(v)).collect();
         let mag_bits = format.exp_bits() + format.man_bits();
-        let codes: Vec<u16> = x
-            .data()
-            .iter()
-            .map(|&v| {
-                let q = format.quantize_scalar(v);
-                let mag = nearest_index(&table, q.abs());
-                let sign = if q.is_sign_negative() && q != 0.0 { 1u16 } else { 0 };
-                (sign << mag_bits) | mag as u16
-            })
-            .collect();
+        let byte_lut = build_byte_lut(format.total_bits(), |code| {
+            let v = table[(code & ((1 << mag_bits) - 1)) as usize];
+            if code >> mag_bits & 1 == 1 {
+                -v
+            } else {
+                v
+            }
+        });
         PackedFpTensor {
             format,
             dims: x.dims().to_vec(),
             bytes: pack_bits(&codes, format.total_bits()),
             table,
+            byte_lut,
         }
     }
 
@@ -107,11 +425,13 @@ impl PackedFpTensor {
 
     /// Decodes one element by flat index.
     pub fn get(&self, i: usize) -> f32 {
-        let code = unpack_bits_range(&self.bytes, self.format.total_bits(), i, 1)[0];
-        self.decode_code(code)
+        let mut out = [0.0f32];
+        self.decode_range_into(i, &mut out);
+        out[0]
     }
 
-    fn decode_code(&self, code: u16) -> f32 {
+    /// Decodes one packed code to its signed value.
+    pub fn decode_code(&self, code: u16) -> f32 {
         let mag_bits = self.format.exp_bits() + self.format.man_bits();
         let mag = (code & ((1 << mag_bits) - 1)) as usize;
         let sign = code >> mag_bits & 1;
@@ -125,13 +445,23 @@ impl PackedFpTensor {
 
     /// Decodes the whole tensor.
     pub fn decode(&self) -> Tensor {
-        let codes = unpack_bits(&self.bytes, self.format.total_bits(), self.numel());
+        let mut data = vec![0.0f32; self.numel()];
+        self.decode_range_into(0, &mut data);
+        Tensor::from_vec(data, &self.dims)
+    }
+
+    /// Reference decode through the bit-loop unpack path (no LUT), kept
+    /// for the property tests and the decode benchmark's before/after
+    /// comparison.
+    pub fn decode_via_bitloop(&self) -> Tensor {
+        let codes =
+            unpack_bits_range_bitloop(&self.bytes, self.format.total_bits(), 0, self.numel());
         let data = codes.iter().map(|&c| self.decode_code(c)).collect();
         Tensor::from_vec(data, &self.dims)
     }
 
     /// Decodes one leading-axis slice (`[dims[0], rest]` row) into `out`,
-    /// unpacking only that row's packed range.
+    /// unpacking only that row's packed range. Allocation-free.
     ///
     /// # Panics
     ///
@@ -140,11 +470,7 @@ impl PackedFpTensor {
         assert!(!self.dims.is_empty(), "decode_row needs at least one axis");
         let cols = self.numel() / self.dims[0];
         assert_eq!(out.len(), cols, "row buffer size");
-        let bits = self.format.total_bits();
-        let codes = unpack_bits_range(&self.bytes, bits, row * cols, cols);
-        for (slot, &code) in out.iter_mut().zip(codes.iter()) {
-            *slot = self.decode_code(code);
-        }
+        self.decode_range_into(row * cols, out);
     }
 
     /// Serialises format + dims + payload (for weight files).
@@ -162,22 +488,36 @@ impl PackedFpTensor {
     }
 }
 
-fn nearest_index(sorted: &[f32], v: f32) -> usize {
-    match sorted.binary_search_by(|x| x.total_cmp(&v)) {
-        Ok(i) => i,
-        Err(i) => {
-            if i == 0 {
-                0
-            } else if i >= sorted.len() {
-                sorted.len() - 1
-            } else if (v - sorted[i - 1]).abs() <= (sorted[i] - v).abs() {
-                i - 1
-            } else {
-                i
-            }
+impl PackedWeights for PackedFpTensor {
+    fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    fn decode_range_into(&self, start: usize, out: &mut [f32]) {
+        debug_assert!(start + out.len() <= self.numel(), "decode range out of bounds");
+        if self.byte_lut.is_empty() {
+            generic_decode_range(&self.bytes, self.format.total_bits(), start, out, |c| {
+                self.decode_code(c)
+            });
+        } else {
+            let cpb = if self.format.total_bits() == 4 { 2 } else { 1 };
+            lut_decode_range(&self.byte_lut, cpb, &self.bytes, start, out);
         }
     }
 }
+
+impl PackedFpTensor {
+    /// Decodes elements `[start, start + out.len())` into caller scratch
+    /// (inherent forwarding of [`PackedWeights::decode_range_into`] so
+    /// callers need no trait import).
+    pub fn decode_range_into(&self, start: usize, out: &mut [f32]) {
+        <Self as PackedWeights>::decode_range_into(self, start, out);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Integer
+// ---------------------------------------------------------------------------
 
 /// A tensor stored as packed affine-integer levels.
 #[derive(Clone, Debug)]
@@ -185,25 +525,37 @@ pub struct PackedIntTensor {
     format: IntFormat,
     dims: Vec<usize>,
     bytes: Vec<u8>,
+    /// Per-byte decode LUT (empty unless `bits` ∈ {4, 8}).
+    byte_lut: Vec<f32>,
 }
 
 impl PackedIntTensor {
     /// Quantizes and packs a tensor.
+    ///
+    /// NaN inputs deterministically map to the zero-point level (the
+    /// level [`IntFormat::quantize_scalar`] assigns NaN), ±∞ clip to the
+    /// extreme levels.
     pub fn encode(x: &Tensor, format: IntFormat) -> Self {
-        let qmax = (1u32 << format.bits()) - 1;
+        let qmax = (1u32 << format.bits()) as f32 - 1.0;
+        let zp = format.zero_point();
+        let nan_level = zp.clamp(0.0, qmax) as u16;
         let codes: Vec<u16> = x
             .data()
             .iter()
             .map(|&v| {
-                let level = ((v / format.scale()).round() + format.zero_point())
-                    .clamp(0.0, qmax as f32);
-                level as u16
+                if v.is_nan() {
+                    nan_level
+                } else {
+                    ((v / format.scale()).round() + zp).clamp(0.0, qmax) as u16
+                }
             })
             .collect();
+        let lut = build_byte_lut(format.bits(), |c| format.scale() * (f32::from(c) - zp));
         PackedIntTensor {
             format,
             dims: x.dims().to_vec(),
             bytes: pack_bits(&codes, format.bits()),
+            byte_lut: lut,
         }
     }
 
@@ -229,12 +581,48 @@ impl PackedIntTensor {
 
     /// Decodes the whole tensor.
     pub fn decode(&self) -> Tensor {
-        let codes = unpack_bits(&self.bytes, self.format.bits(), self.numel());
-        let data = codes
-            .iter()
-            .map(|&c| self.format.scale() * (c as f32 - self.format.zero_point()))
-            .collect();
+        let mut data = vec![0.0f32; self.numel()];
+        self.decode_range_into(0, &mut data);
         Tensor::from_vec(data, &self.dims)
+    }
+
+    /// Decodes one leading-axis slice into `out`. Allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` does not match the row length.
+    pub fn decode_row(&self, row: usize, out: &mut [f32]) {
+        assert!(!self.dims.is_empty(), "decode_row needs at least one axis");
+        let cols = self.numel() / self.dims[0];
+        assert_eq!(out.len(), cols, "row buffer size");
+        self.decode_range_into(row * cols, out);
+    }
+}
+
+impl PackedWeights for PackedIntTensor {
+    fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    fn decode_range_into(&self, start: usize, out: &mut [f32]) {
+        debug_assert!(start + out.len() <= self.numel(), "decode range out of bounds");
+        if self.byte_lut.is_empty() {
+            let (scale, zp) = (self.format.scale(), self.format.zero_point());
+            generic_decode_range(&self.bytes, self.format.bits(), start, out, |c| {
+                scale * (f32::from(c) - zp)
+            });
+        } else {
+            let cpb = if self.format.bits() == 4 { 2 } else { 1 };
+            lut_decode_range(&self.byte_lut, cpb, &self.bytes, start, out);
+        }
+    }
+}
+
+impl PackedIntTensor {
+    /// Decodes elements `[start, start + out.len())` into caller scratch
+    /// (inherent forwarding of [`PackedWeights::decode_range_into`]).
+    pub fn decode_range_into(&self, start: usize, out: &mut [f32]) {
+        <Self as PackedWeights>::decode_range_into(self, start, out);
     }
 }
 
@@ -244,6 +632,14 @@ mod tests {
     use proptest::prelude::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    fn next_up_positive(x: f32) -> f32 {
+        f32::from_bits(x.to_bits() + 1)
+    }
+
+    fn next_down_positive(x: f32) -> f32 {
+        f32::from_bits(x.to_bits() - 1)
+    }
 
     #[test]
     fn pack_unpack_roundtrip() {
@@ -287,10 +683,80 @@ mod tests {
             let decoded = packed.decode();
             let simulated = fmt.quantize(&x);
             for (i, (a, b)) in decoded.data().iter().zip(simulated.data()).enumerate() {
-                assert_eq!(a.to_bits(), b.abs().to_bits() | (a.to_bits() & 0x8000_0000),
-                    "mismatch at {i} for {fmt}: packed {a} vs simulated {b}");
+                assert_eq!(
+                    a.to_bits(),
+                    b.abs().to_bits() | (a.to_bits() & 0x8000_0000),
+                    "mismatch at {i} for {fmt}: packed {a} vs simulated {b}"
+                );
                 assert!((a - b).abs() == 0.0, "{fmt}: {a} vs {b}");
             }
+        }
+    }
+
+    #[test]
+    fn boundary_encode_is_bit_exact_on_adversarial_values() {
+        // Stress the boundary table exactly where it can go wrong: on and
+        // one ULP around every representable value and every midpoint,
+        // for standard and fractional biases.
+        for fmt in [
+            FpFormat::new(4, 3),
+            FpFormat::new(5, 2),
+            FpFormat::new(2, 1),
+            FpFormat::new(1, 2),
+            FpFormat::new(3, 4),
+            FpFormat::with_bias(3, 4, 6.5),
+            FpFormat::with_bias(4, 3, 8.37),
+            FpFormat::with_bias(2, 1, 1.25),
+        ] {
+            let table = fmt.enumerate_non_negative();
+            let mut probes = Vec::new();
+            for pair in table.windows(2) {
+                let mid = ((f64::from(pair[0]) + f64::from(pair[1])) * 0.5) as f32;
+                for v in [pair[0], pair[1], mid] {
+                    probes.extend([v, next_up_positive(v)]);
+                    if v > 0.0 {
+                        probes.push(next_down_positive(v));
+                    }
+                }
+            }
+            probes.extend([0.0, f32::INFINITY, f32::NEG_INFINITY, table[table.len() - 1] * 2.0]);
+            let signed: Vec<f32> = probes.iter().flat_map(|&v| [v, -v]).collect();
+            let x = Tensor::from_vec(signed.clone(), &[signed.len()]);
+            let decoded = PackedFpTensor::encode(&x, fmt).decode();
+            let simulated = fmt.quantize(&x);
+            for (i, (a, b)) in decoded.data().iter().zip(simulated.data()).enumerate() {
+                assert!(
+                    (a - b).abs() == 0.0,
+                    "{fmt}: probe {} -> packed {a} vs simulated {b}",
+                    signed[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_finite_inputs_encode_deterministically() {
+        // Regression: NaN must map to code 0 (positive zero) and ±∞ to the
+        // clipping maxima, for both FP and INT packing.
+        let x = Tensor::from_vec(vec![f32::NAN, f32::INFINITY, f32::NEG_INFINITY, 0.0, -0.5], &[5]);
+        for fmt in [FpFormat::new(4, 3), FpFormat::new(2, 1), FpFormat::with_bias(3, 4, 6.5)] {
+            let packed = PackedFpTensor::encode(&x, fmt);
+            let d = packed.decode();
+            assert_eq!(d.data()[0].to_bits(), 0.0f32.to_bits(), "{fmt}: NaN -> +0");
+            assert_eq!(d.data()[1], fmt.max_value(), "{fmt}: +inf clips");
+            assert_eq!(d.data()[2], -fmt.max_value(), "{fmt}: -inf clips");
+        }
+        for bits in [4u32, 8] {
+            let fmt = IntFormat::from_range(bits, -1.0, 1.0);
+            let packed = PackedIntTensor::encode(&x, fmt);
+            let d = packed.decode();
+            let sim = fmt.quantize(&x);
+            for (i, (a, b)) in d.data().iter().zip(sim.data()).enumerate() {
+                assert!((a - b).abs() < 1e-6, "INT{bits} elem {i}: {a} vs {b}");
+            }
+            let (lo, hi) = fmt.range();
+            assert_eq!(d.data()[1], hi, "INT{bits}: +inf clips to range max");
+            assert_eq!(d.data()[2], lo, "INT{bits}: -inf clips to range min");
         }
     }
 
@@ -322,6 +788,57 @@ mod tests {
     }
 
     #[test]
+    fn int_decode_row_matches_full_decode() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let x = Tensor::randn(&[7, 9], &mut rng);
+        for bits in [3u32, 4, 8] {
+            let packed = PackedIntTensor::encode(&x, IntFormat::fit(&x, bits));
+            let full = packed.decode();
+            let mut row = vec![0.0f32; 9];
+            for r in 0..7 {
+                packed.decode_row(r, &mut row);
+                assert_eq!(&full.data()[r * 9..(r + 1) * 9], &row[..], "bits={bits} row {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_ranges_are_noops() {
+        // Regression: zero-length unpacks/decodes (including at odd
+        // nibble offsets) must return empty, as the bit-loop reference
+        // does, not panic.
+        let bytes = [0xABu8, 0xCD];
+        for bits in [3u32, 4, 8] {
+            assert!(unpack_bits_range(&bytes, bits, 1, 0).is_empty(), "bits={bits}");
+        }
+        let x = Tensor::randn(&[6], &mut StdRng::seed_from_u64(9));
+        let fp4 = PackedFpTensor::encode(&x, FpFormat::new(2, 1));
+        fp4.decode_range_into(1, &mut []);
+        fp4.decode_range_into(0, &mut []);
+        let int4 = PackedIntTensor::encode(&x, IntFormat::from_range(4, -1.0, 1.0));
+        int4.decode_range_into(3, &mut []);
+        let empty = PackedFpTensor::encode(&Tensor::zeros(&[0]), FpFormat::new(4, 3));
+        assert_eq!(empty.decode().numel(), 0);
+    }
+
+    #[test]
+    fn unaligned_fp4_range_decode_is_consistent() {
+        // Odd start indices exercise the mid-byte entry of the nibble LUT
+        // path.
+        let mut rng = StdRng::seed_from_u64(6);
+        let x = Tensor::randn(&[45], &mut rng);
+        let packed = PackedFpTensor::encode(&x, FpFormat::new(2, 1));
+        let full = packed.decode();
+        for start in [0usize, 1, 2, 7, 13] {
+            for len in [1usize, 2, 5, 45 - start] {
+                let mut buf = vec![0.0f32; len];
+                packed.decode_range_into(start, &mut buf);
+                assert_eq!(&full.data()[start..start + len], &buf[..], "start={start} len={len}");
+            }
+        }
+    }
+
+    #[test]
     fn serialization_header_contains_format() {
         let x = Tensor::ones(&[2, 2]);
         let packed = PackedFpTensor::encode(&x, FpFormat::with_bias(4, 3, 9.25));
@@ -336,6 +853,53 @@ mod tests {
         fn pack_roundtrip_property(codes in prop::collection::vec(0u16..16, 1..64)) {
             let packed = pack_bits(&codes, 4);
             prop_assert_eq!(unpack_bits(&packed, 4, codes.len()), codes);
+        }
+
+        #[test]
+        fn fast_pack_matches_bitloop_for_every_width(
+            raw in prop::collection::vec(0u16..u16::MAX, 1..48),
+            bits in 1u32..17,
+        ) {
+            let mask = ((1u32 << bits) - 1) as u16;
+            let codes: Vec<u16> = raw.iter().map(|&c| c & mask).collect();
+            prop_assert_eq!(pack_bits(&codes, bits), pack_bits_bitloop(&codes, bits));
+        }
+
+        #[test]
+        fn fast_unpack_matches_bitloop_at_any_offset(
+            raw in prop::collection::vec(0u16..u16::MAX, 2..48),
+            bits in 1u32..17,
+            start_frac in 0.0f64..1.0,
+        ) {
+            let mask = ((1u32 << bits) - 1) as u16;
+            let codes: Vec<u16> = raw.iter().map(|&c| c & mask).collect();
+            let packed = pack_bits(&codes, bits);
+            let start = (start_frac * (codes.len() - 1) as f64) as usize;
+            let count = codes.len() - start;
+            prop_assert_eq!(
+                unpack_bits_range(&packed, bits, start, count),
+                unpack_bits_range_bitloop(&packed, bits, start, count)
+            );
+        }
+
+        #[test]
+        fn lut_decode_matches_bitloop_decode(
+            vals in prop::collection::vec(-300.0f32..300.0, 1..64),
+            pick in 0usize..6,
+        ) {
+            let fmt = [
+                FpFormat::new(4, 3),
+                FpFormat::new(5, 2),
+                FpFormat::new(2, 1),
+                FpFormat::new(1, 2),
+                FpFormat::new(3, 4),
+                FpFormat::with_bias(3, 4, 6.5),
+            ][pick];
+            let x = Tensor::from_vec(vals.clone(), &[vals.len()]);
+            let packed = PackedFpTensor::encode(&x, fmt);
+            let fast = packed.decode();
+            let reference = packed.decode_via_bitloop();
+            prop_assert_eq!(fast.data(), reference.data());
         }
 
         #[test]

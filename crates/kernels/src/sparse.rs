@@ -173,8 +173,7 @@ impl TwoFourWeights {
                         let meta = self.positions[gi];
                         let base = g * 4;
                         acc += arow[base + (meta & 0b11) as usize] * self.values[gi * 2];
-                        acc += arow[base + ((meta >> 2) & 0b11) as usize]
-                            * self.values[gi * 2 + 1];
+                        acc += arow[base + ((meta >> 2) & 0b11) as usize] * self.values[gi * 2 + 1];
                     }
                     *slot = acc;
                 }

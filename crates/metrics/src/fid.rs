@@ -1,6 +1,6 @@
 //! Fréchet Inception Distance over feature sets (paper §VI-B).
 
-use crate::linalg::{trace, trace_sqrtm_psd, sqrtm_psd};
+use crate::linalg::{sqrtm_psd, trace, trace_sqrtm_psd};
 use fpdq_tensor::Tensor;
 
 /// Mean and covariance of a feature set.

@@ -140,15 +140,16 @@ mod tests {
                 .clamp(-1.0, 1.0);
             let m = evaluate(&reference, &noisy, &net);
             if let Some(&prev) = fids.last() {
-                assert!(m.fid >= prev, "FID not monotone at noise {noise_level}: {} < {prev}", m.fid);
+                assert!(
+                    m.fid >= prev,
+                    "FID not monotone at noise {noise_level}: {} < {prev}",
+                    m.fid
+                );
             }
             fids.push(m.fid);
         }
         // Heavy corruption must dominate clean-set sampling noise by a
         // large factor (absolute FID scale depends on the extractor).
-        assert!(
-            fids[2] > fids[0] * 4.0,
-            "heavy corruption barely moved FID: {fids:?}"
-        );
+        assert!(fids[2] > fids[0] * 4.0, "heavy corruption barely moved FID: {fids:?}");
     }
 }

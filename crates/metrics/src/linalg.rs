@@ -80,6 +80,7 @@ pub fn sqrtm_psd(a: &Tensor) -> Tensor {
     let n = vals.len();
     let mut scaled = vecs.clone();
     // scaled[:, j] = vecs[:, j] * sqrt(λ_j)
+    #[allow(clippy::needless_range_loop)] // j indexes vals and the column stride
     for j in 0..n {
         let s = vals[j].max(0.0).sqrt();
         for i in 0..n {

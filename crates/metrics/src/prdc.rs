@@ -23,6 +23,7 @@ fn pairwise_sq(a: &Tensor, b: &Tensor) -> Vec<Vec<f32>> {
     let (n, d) = (a.dim(0), a.dim(1));
     let m = b.dim(0);
     let mut out = vec![vec![0.0f32; m]; n];
+    #[allow(clippy::needless_range_loop)] // i/j index rows of two operands
     for i in 0..n {
         let ra = &a.data()[i * d..(i + 1) * d];
         for j in 0..m {
@@ -67,12 +68,14 @@ pub fn precision_recall(reference: &Tensor, generated: &Tensor, k: usize) -> Pre
     let n_gen = generated.dim(0);
     let n_ref = reference.dim(0);
     let mut covered_gen = 0usize;
+    #[allow(clippy::needless_range_loop)] // i pairs cross rows with radii
     for i in 0..n_gen {
         if (0..n_ref).any(|j| cross[i][j] <= ref_radii[j]) {
             covered_gen += 1;
         }
     }
     let mut covered_ref = 0usize;
+    #[allow(clippy::needless_range_loop)] // j pairs cross columns with radii
     for j in 0..n_ref {
         if (0..n_gen).any(|i| cross[i][j] <= gen_radii[i]) {
             covered_ref += 1;

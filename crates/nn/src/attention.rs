@@ -58,17 +58,21 @@ impl MultiHeadAttention {
     /// Splits `[b, n, d]` into `[b*h, n, dh]`.
     fn split_heads(&self, x: &Tensor) -> Tensor {
         let (b, n, _d) = (x.dim(0), x.dim(1), x.dim(2));
-        x.reshape(&[b, n, self.heads, self.head_dim])
-            .permute(&[0, 2, 1, 3])
-            .reshape(&[b * self.heads, n, self.head_dim])
+        x.reshape(&[b, n, self.heads, self.head_dim]).permute(&[0, 2, 1, 3]).reshape(&[
+            b * self.heads,
+            n,
+            self.head_dim,
+        ])
     }
 
     /// Merges `[b*h, n, dh]` back into `[b, n, d]`.
     fn merge_heads(&self, x: &Tensor, b: usize) -> Tensor {
         let n = x.dim(1);
-        x.reshape(&[b, self.heads, n, self.head_dim])
-            .permute(&[0, 2, 1, 3])
-            .reshape(&[b, n, self.heads * self.head_dim])
+        x.reshape(&[b, self.heads, n, self.head_dim]).permute(&[0, 2, 1, 3]).reshape(&[
+            b,
+            n,
+            self.heads * self.head_dim,
+        ])
     }
 
     /// Inference forward: `x` is `[b, n, d]`, `context` (if any) `[b, m, c]`.
@@ -84,12 +88,7 @@ impl MultiHeadAttention {
     }
 
     /// Training forward over autograd variables.
-    pub fn forward_var<'t>(
-        &self,
-        tape: &'t Tape,
-        x: Var<'t>,
-        context: Option<Var<'t>>,
-    ) -> Var<'t> {
+    pub fn forward_var<'t>(&self, tape: &'t Tape, x: Var<'t>, context: Option<Var<'t>>) -> Var<'t> {
         let dims = x.dims();
         let (b, n) = (dims[0], dims[1]);
         let ctx = context.unwrap_or(x);
@@ -179,20 +178,16 @@ impl TransformerBlock {
     }
 
     /// Training forward.
-    pub fn forward_var<'t>(
-        &self,
-        tape: &'t Tape,
-        x: Var<'t>,
-        context: Option<Var<'t>>,
-    ) -> Var<'t> {
+    pub fn forward_var<'t>(&self, tape: &'t Tape, x: Var<'t>, context: Option<Var<'t>>) -> Var<'t> {
         let mut h = x.add(self.attn1.forward_var(tape, self.norm1.forward_var(tape, x), None));
         if let Some((norm2, attn2)) = &self.cross {
             let n = norm2.forward_var(tape, h);
             h = h.add(attn2.forward_var(tape, n, context));
         }
-        let ff = self
-            .ff2
-            .forward_var(tape, self.ff1.forward_var(tape, self.norm_ff.forward_var(tape, h)).silu());
+        let ff = self.ff2.forward_var(
+            tape,
+            self.ff1.forward_var(tape, self.norm_ff.forward_var(tape, h)).silu(),
+        );
         h.add(ff)
     }
 

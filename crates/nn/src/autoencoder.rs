@@ -54,7 +54,8 @@ pub struct Autoencoder {
 impl Autoencoder {
     /// Builds an autoencoder with freshly initialised weights.
     pub fn new(cfg: AutoencoderConfig, rng: &mut impl Rng) -> Self {
-        let (ic, ch, lc, g) = (cfg.image_channels, cfg.base_channels, cfg.latent_channels, cfg.norm_groups);
+        let (ic, ch, lc, g) =
+            (cfg.image_channels, cfg.base_channels, cfg.latent_channels, cfg.norm_groups);
         Autoencoder {
             cfg: cfg.clone(),
             e_conv_in: Conv2d::new("ae.e_conv_in", ic, ch, 3, 1, 1, rng),

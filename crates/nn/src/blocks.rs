@@ -152,7 +152,13 @@ impl SpatialTransformer {
         SpatialTransformer {
             norm: GroupNorm::new(format!("{name}.norm"), channels, groups.min(channels)),
             proj_in: Conv2d::new(format!("{name}.proj_in"), channels, channels, 1, 1, 0, rng),
-            block: TransformerBlock::new(&format!("{name}.block"), channels, context_dim, heads, rng),
+            block: TransformerBlock::new(
+                &format!("{name}.block"),
+                channels,
+                context_dim,
+                heads,
+                rng,
+            ),
             proj_out: Conv2d::new(format!("{name}.proj_out"), channels, channels, 1, 1, 0, rng),
         }
     }
@@ -169,12 +175,7 @@ impl SpatialTransformer {
     }
 
     /// Training forward.
-    pub fn forward_var<'t>(
-        &self,
-        tape: &'t Tape,
-        x: Var<'t>,
-        context: Option<Var<'t>>,
-    ) -> Var<'t> {
+    pub fn forward_var<'t>(&self, tape: &'t Tape, x: Var<'t>, context: Option<Var<'t>>) -> Var<'t> {
         let dims = x.dims();
         let (b, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
         let mut t = self.proj_in.forward_var(tape, self.norm.forward_var(tape, x));

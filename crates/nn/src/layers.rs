@@ -14,6 +14,47 @@ use std::rc::Rc;
 /// only knows the function shape.
 pub type ActQuantFn = Rc<dyn Fn(&Tensor) -> Tensor>;
 
+/// A packed-weight forward override: maps the layer's (already tapped)
+/// input to its output using a bit-packed weight representation.
+///
+/// Implemented by `fpdq-kernels`' dequantize-on-the-fly GEMM/conv kernels;
+/// the nn crate only knows the function shape. Installing one switches the
+/// layer's inference forward from the dense fake-quantized path to real
+/// packed execution.
+pub type PackedForwardFn = Rc<dyn Fn(&Tensor) -> Tensor>;
+
+/// Slot on a quantizable layer holding an optional [`PackedForwardFn`].
+#[derive(Clone, Default)]
+pub struct PackedSlot(RefCell<Option<PackedForwardFn>>);
+
+impl std::fmt::Debug for PackedSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("PackedSlot").field(&self.0.borrow().is_some()).finish()
+    }
+}
+
+impl PackedSlot {
+    /// Installs a packed-execution override.
+    pub fn install(&self, f: PackedForwardFn) {
+        *self.0.borrow_mut() = Some(f);
+    }
+
+    /// Removes the override (reverting to dense execution).
+    pub fn clear(&self) {
+        *self.0.borrow_mut() = None;
+    }
+
+    /// Whether an override is installed.
+    pub fn is_installed(&self) -> bool {
+        self.0.borrow().is_some()
+    }
+
+    /// Runs the override on a tapped input, if installed.
+    pub fn run(&self, x: &Tensor) -> Option<Tensor> {
+        self.0.borrow().as_ref().map(|f| f(x))
+    }
+}
+
 /// Which kind of quantizable layer (the paper quantizes convolution and
 /// linear layers, leaving normalisation and SiLU in full precision, §VI-A).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -92,6 +133,9 @@ pub trait QuantLayer {
     /// If this layer consumes `concat(trunk, skip)`, the channel index
     /// where the skip half begins.
     fn concat_split(&self) -> Option<usize>;
+    /// The layer's packed-execution slot, letting the packing driver in
+    /// `fpdq-kernels` swap the inference forward to bit-packed kernels.
+    fn packed(&self) -> &PackedSlot;
     /// Applies the layer to `x` with an explicit weight, bypassing the tap
     /// (used by rounding-learning reconstruction).
     fn forward_with_weight(&self, x: &Tensor, weight: &Tensor) -> Tensor;
@@ -112,6 +156,7 @@ pub struct Linear {
     /// Bias `[out]`, if enabled.
     pub bias: Option<Param>,
     tap: RefCell<Tap>,
+    packed: PackedSlot,
     concat_split: Option<usize>,
 }
 
@@ -123,6 +168,7 @@ impl Linear {
             weight: Param::new(Tensor::kaiming(&[out_f, in_f], in_f, rng)),
             bias: Some(Param::new(Tensor::zeros(&[out_f]))),
             tap: RefCell::new(Tap::default()),
+            packed: PackedSlot::default(),
             concat_split: None,
         }
     }
@@ -151,10 +197,14 @@ impl Linear {
         y
     }
 
-    /// Inference forward (applies the tap).
+    /// Inference forward: applies the tap, then either the packed-weight
+    /// override (when installed) or the dense path.
     pub fn forward(&self, x: &Tensor) -> Tensor {
         let axis = x.ndim() - 1;
         let x = self.tap.borrow().apply(x, self.concat_split, axis);
+        if let Some(y) = self.packed.run(&x) {
+            return y;
+        }
         self.forward_no_tap(&x)
     }
 
@@ -227,16 +277,16 @@ impl QuantLayer for Linear {
     fn concat_split(&self) -> Option<usize> {
         self.concat_split
     }
+    fn packed(&self) -> &PackedSlot {
+        &self.packed
+    }
     fn forward_with_weight(&self, x: &Tensor, weight: &Tensor) -> Tensor {
         match x.ndim() {
             2 => self.affine(x, weight),
             3 => {
                 let (b, l, d) = (x.dim(0), x.dim(1), x.dim(2));
-                self.affine(&x.reshape(&[b * l, d]), weight).reshape(&[
-                    b,
-                    l,
-                    self.out_features(),
-                ])
+                self.affine(&x.reshape(&[b * l, d]), weight)
+                    .reshape(&[b, l, self.out_features()])
             }
             n => panic!("Linear expects 2-D or 3-D input, got rank {n}"),
         }
@@ -257,6 +307,7 @@ pub struct Conv2d {
     pub bias: Option<Param>,
     spec: Conv2dSpec,
     tap: RefCell<Tap>,
+    packed: PackedSlot,
     concat_split: Option<usize>,
 }
 
@@ -279,6 +330,7 @@ impl Conv2d {
             bias: Some(Param::new(Tensor::zeros(&[out_c]))),
             spec: Conv2dSpec::new(stride, padding),
             tap: RefCell::new(Tap::default()),
+            packed: PackedSlot::default(),
             concat_split: None,
         }
     }
@@ -304,9 +356,13 @@ impl Conv2d {
         self.concat_split = Some(split);
     }
 
-    /// Inference forward (applies the tap).
+    /// Inference forward: applies the tap, then either the packed-weight
+    /// override (when installed) or the dense path.
     pub fn forward(&self, x: &Tensor) -> Tensor {
         let x = self.tap.borrow().apply(x, self.concat_split, 1);
+        if let Some(y) = self.packed.run(&x) {
+            return y;
+        }
         let bias = self.bias.as_ref().map(|b| b.value());
         x.conv2d(&self.weight.value(), bias.as_ref(), self.spec)
     }
@@ -349,6 +405,9 @@ impl QuantLayer for Conv2d {
     fn concat_split(&self) -> Option<usize> {
         self.concat_split
     }
+    fn packed(&self) -> &PackedSlot {
+        &self.packed
+    }
     fn forward_with_weight(&self, x: &Tensor, weight: &Tensor) -> Tensor {
         let bias = self.bias.as_ref().map(|b| b.value());
         x.conv2d(weight, bias.as_ref(), self.spec)
@@ -360,7 +419,13 @@ impl QuantLayer for Conv2d {
 // ---------------------------------------------------------------------------
 
 /// Reference (tensor-path) group-norm forward.
-pub fn group_norm_ref(x: &Tensor, gamma: &Tensor, beta: &Tensor, groups: usize, eps: f32) -> Tensor {
+pub fn group_norm_ref(
+    x: &Tensor,
+    gamma: &Tensor,
+    beta: &Tensor,
+    groups: usize,
+    eps: f32,
+) -> Tensor {
     assert_eq!(x.ndim(), 4, "group_norm input must be [n,c,h,w]");
     let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
     assert_eq!(c % groups, 0, "channels {c} not divisible by {groups} groups");
@@ -557,7 +622,10 @@ mod tests {
         let lin = Linear::new("l", 2, 2, &mut rng);
         // A "quantizer" that zeroes everything: output must equal bias.
         lin.tap().borrow_mut().act_quant = Some(Rc::new(|_x: &Tensor| Tensor::zeros(&[1, 2])));
-        lin.bias.as_ref().unwrap().update(|b| b.data_mut().copy_from_slice(&[1.5, -2.5]));
+        lin.bias
+            .as_ref()
+            .unwrap()
+            .update(|b| b.data_mut().copy_from_slice(&[1.5, -2.5]));
         let y = lin.forward(&Tensor::ones(&[1, 2]));
         assert_eq!(y.data(), &[1.5, -2.5]);
     }

@@ -49,7 +49,10 @@ impl ParamCollector for crate::text::TextEncoder {
 /// # Errors
 ///
 /// Propagates filesystem errors from the tensor archive writer.
-pub fn save_params(model: &dyn ParamCollector, path: impl AsRef<Path>) -> Result<(), TensorIoError> {
+pub fn save_params(
+    model: &dyn ParamCollector,
+    path: impl AsRef<Path>,
+) -> Result<(), TensorIoError> {
     let mut map = BTreeMap::new();
     for (name, p) in model.named_params() {
         map.insert(name, p.value());
@@ -64,7 +67,10 @@ pub fn save_params(model: &dyn ParamCollector, path: impl AsRef<Path>) -> Result
 ///
 /// Returns a [`TensorIoError::Format`] if a parameter is missing from the
 /// archive or has the wrong shape, or I/O errors from reading.
-pub fn load_params(model: &dyn ParamCollector, path: impl AsRef<Path>) -> Result<(), TensorIoError> {
+pub fn load_params(
+    model: &dyn ParamCollector,
+    path: impl AsRef<Path>,
+) -> Result<(), TensorIoError> {
     let map: BTreeMap<String, Tensor> = load_tensors(path)?;
     for (name, p) in model.named_params() {
         let t = map.get(&name).ok_or_else(|| {

@@ -46,11 +46,12 @@ pub struct TextEncoder {
 impl TextEncoder {
     /// Builds a text encoder with freshly initialised weights.
     pub fn new(cfg: TextEncoderConfig, rng: &mut impl Rng) -> Self {
-        let token_emb =
-            Param::new(Tensor::randn(&[cfg.vocab_size, cfg.dim], rng).mul_scalar(0.02));
+        let token_emb = Param::new(Tensor::randn(&[cfg.vocab_size, cfg.dim], rng).mul_scalar(0.02));
         let pos_emb = Param::new(Tensor::randn(&[cfg.max_len, cfg.dim], rng).mul_scalar(0.02));
         let blocks = (0..cfg.layers)
-            .map(|i| TransformerBlock::new(&format!("text.block{i}"), cfg.dim, None, cfg.heads, rng))
+            .map(|i| {
+                TransformerBlock::new(&format!("text.block{i}"), cfg.dim, None, cfg.heads, rng)
+            })
             .collect();
         TextEncoder {
             final_norm: LayerNorm::new("text.final_norm", cfg.dim),
@@ -84,7 +85,8 @@ impl TextEncoder {
             for (li, &tok) in padded.iter().enumerate() {
                 assert!(tok < self.cfg.vocab_size, "token {tok} out of vocabulary");
                 for di in 0..d {
-                    out[(bi * l + li) * d + di] = table.data()[tok * d + di] + pos.data()[li * d + di];
+                    out[(bi * l + li) * d + di] =
+                        table.data()[tok * d + di] + pos.data()[li * d + di];
                 }
             }
         }

@@ -108,15 +108,8 @@ impl UNet {
             let out_ch = base * mult;
             let mut blocks = Vec::new();
             for j in 0..cfg.num_res_blocks {
-                let rb = ResBlock::new(
-                    &format!("down{i}.res{j}"),
-                    ch,
-                    out_ch,
-                    tdim,
-                    groups,
-                    None,
-                    rng,
-                );
+                let rb =
+                    ResBlock::new(&format!("down{i}.res{j}"), ch, out_ch, tdim, groups, None, rng);
                 ch = out_ch;
                 let attn = cfg.attn_levels.contains(&i).then(|| {
                     SpatialTransformer::new(

@@ -99,10 +99,19 @@ struct Walker {
 }
 
 impl Walker {
-    fn push(&mut self, name: String, class: LayerClass, flops: f64, params: u64, reads: u64, writes: u64) {
+    fn push(
+        &mut self,
+        name: String,
+        class: LayerClass,
+        flops: f64,
+        params: u64,
+        reads: u64,
+        writes: u64,
+    ) {
         self.census.layers.push(LayerCost { name, class, flops, params, reads, writes });
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn conv(&mut self, name: &str, in_c: u64, out_c: u64, k: u64, h: u64, w: u64, stride: u64) {
         let (oh, ow) = (h.div_ceil(stride), w.div_ceil(stride));
         let flops = 2.0 * (self.batch * out_c * in_c * k * k * oh * ow) as f64;
@@ -209,7 +218,12 @@ impl Walker {
 /// `input` is `(channels, height, width)` of the U-Net input; `ctx_len`
 /// the cross-attention sequence length (ignored for unconditional
 /// configs).
-pub fn census(cfg: &UNetConfig, input: (usize, usize, usize), batch: usize, ctx_len: usize) -> Census {
+pub fn census(
+    cfg: &UNetConfig,
+    input: (usize, usize, usize),
+    batch: usize,
+    ctx_len: usize,
+) -> Census {
     let base = cfg.base_channels as u64;
     let temb = 4 * base;
     let mut w = Walker {
@@ -291,7 +305,7 @@ pub fn sd_scale_config() -> UNetConfig {
         heads: 8,
         context_dim: Some(768),
         norm_groups: 32,
-        }
+    }
 }
 
 /// Input dims that go with [`sd_scale_config`].
@@ -362,10 +376,7 @@ mod tests {
         // The paper quotes 860M for Stable Diffusion's U-Net; our
         // architecture is the same family with a simplified transformer,
         // so demand the right order of magnitude.
-        assert!(
-            (500e6..1_300e6).contains(&params),
-            "SD-scale census has {params:.3e} params"
-        );
+        assert!((500e6..1_300e6).contains(&params), "SD-scale census has {params:.3e} params");
     }
 
     #[test]

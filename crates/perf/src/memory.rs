@@ -67,14 +67,18 @@ pub fn peak_memory(
         // Live set: stash + current map + one working copy.
         *peak_live = (*peak_live).max(live_stash + 2.0 * feat);
     };
-    let visit_attention =
-        |feat: f64, tokens: f64, kv: f64, peak_attn: &mut f64, live_stash: f64, peak_live: &mut f64| {
-            // Scores and their softmax: [b·heads, tokens, kv] ×2.
-            let scores = b * heads * tokens * kv * 2.0;
-            *peak_attn = (*peak_attn).max(scores * act_bytes / (b * heads).max(1.0) * (b * heads));
-            *peak_attn = (*peak_attn).max(scores * act_bytes);
-            *peak_live = (*peak_live).max(live_stash + 2.0 * feat);
-        };
+    let visit_attention = |feat: f64,
+                           tokens: f64,
+                           kv: f64,
+                           peak_attn: &mut f64,
+                           live_stash: f64,
+                           peak_live: &mut f64| {
+        // Scores and their softmax: [b·heads, tokens, kv] ×2.
+        let scores = b * heads * tokens * kv * 2.0;
+        *peak_attn = (*peak_attn).max(scores * act_bytes / (b * heads).max(1.0) * (b * heads));
+        *peak_attn = (*peak_attn).max(scores * act_bytes);
+        *peak_live = (*peak_live).max(live_stash + 2.0 * feat);
+    };
 
     for (i, &mult) in cfg.channel_mults.iter().enumerate() {
         let out_ch = base * mult as f64;
@@ -159,11 +163,7 @@ mod tests {
     fn batch1_fp32_lands_in_single_digit_gib() {
         // Paper: 8.37 GB at batch 1.
         let m = sd_mem(1, 4.0, 4.0);
-        assert!(
-            (1.0..20.0).contains(&m.total_gib()),
-            "batch-1 estimate {:.1} GiB",
-            m.total_gib()
-        );
+        assert!((1.0..20.0).contains(&m.total_gib()), "batch-1 estimate {:.1} GiB", m.total_gib());
     }
 
     #[test]
@@ -171,11 +171,7 @@ mod tests {
         // §III: "most of the memory consumed is largely due to ... the
         // attention layers".
         let m = sd_mem(16, 4.0, 4.0);
-        assert!(
-            m.attention > m.total() * 0.4,
-            "attention share {:.2}",
-            m.attention / m.total()
-        );
+        assert!(m.attention > m.total() * 0.4, "attention share {:.2}", m.attention / m.total());
     }
 
     #[test]

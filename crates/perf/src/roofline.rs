@@ -20,11 +20,7 @@ impl LatencyReport {
 
     /// Share of one class.
     pub fn share_of(&self, class: LayerClass) -> f64 {
-        self.shares()
-            .iter()
-            .find(|(c, _)| *c == class)
-            .map(|&(_, s)| s)
-            .unwrap_or(0.0)
+        self.shares().iter().find(|(c, _)| *c == class).map(|&(_, s)| s).unwrap_or(0.0)
     }
 }
 
@@ -42,8 +38,7 @@ pub fn latency(
     weights_fmt: NumberFormat,
     acts_fmt: NumberFormat,
 ) -> LatencyReport {
-    let mut by_class: Vec<(LayerClass, f64)> =
-        LayerClass::ALL.iter().map(|&c| (c, 0.0)).collect();
+    let mut by_class: Vec<(LayerClass, f64)> = LayerClass::ALL.iter().map(|&c| (c, 0.0)).collect();
     let mut total = 0.0;
     for layer in &census.layers {
         let quantized = matches!(layer.class, LayerClass::Conv2d | LayerClass::Linear);
@@ -54,19 +49,14 @@ pub fn latency(
         };
         // GEMM-class work (conv, linear, attention matmuls) sustains high
         // utilisation; norms/activations are elementwise/memory-bound.
-        let gemm_like = matches!(
-            layer.class,
-            LayerClass::Conv2d | LayerClass::Linear | LayerClass::Attention
-        );
+        let gemm_like =
+            matches!(layer.class, LayerClass::Conv2d | LayerClass::Linear | LayerClass::Attention);
         let eff = if gemm_like { device.gemm_efficiency } else { device.elementwise_efficiency };
         let compute = layer.flops / (device.peak_for(compute_fmt) * eff);
-        let bytes = layer.params as f64 * wfmt.bytes()
-            + (layer.reads + layer.writes) as f64 * afmt.bytes();
-        let bw = if gemm_like {
-            device.mem_bw
-        } else {
-            device.mem_bw * device.elementwise_bw_fraction
-        };
+        let bytes =
+            layer.params as f64 * wfmt.bytes() + (layer.reads + layer.writes) as f64 * afmt.bytes();
+        let bw =
+            if gemm_like { device.mem_bw } else { device.mem_bw * device.elementwise_bw_fraction };
         let memory = bytes / bw;
         let t = compute.max(memory) + device.launch_overhead;
         total += t;
@@ -91,7 +81,8 @@ mod tests {
         // §III measures ~6.1 s for 50 U-Net steps on a V100 (FP32),
         // i.e. ~120 ms per step at batch 1. The roofline estimate should
         // land within a small factor.
-        let report = latency(&sd_census(1), &Device::v100_like(), NumberFormat::Fp32, NumberFormat::Fp32);
+        let report =
+            latency(&sd_census(1), &Device::v100_like(), NumberFormat::Fp32, NumberFormat::Fp32);
         let ms = report.total * 1e3;
         assert!((30.0..400.0).contains(&ms), "V100 step estimate {ms:.1} ms");
     }
@@ -122,8 +113,7 @@ mod tests {
         // into "linear layers ... inside the attention units") are the
         // large bars on both platforms.
         for device in [Device::v100_like(), Device::xeon_like()] {
-            let report =
-                latency(&sd_census(1), &device, NumberFormat::Fp32, NumberFormat::Fp32);
+            let report = latency(&sd_census(1), &device, NumberFormat::Fp32, NumberFormat::Fp32);
             let convlin = report.share_of(LayerClass::Conv2d)
                 + report.share_of(LayerClass::Linear)
                 + report.share_of(LayerClass::Attention);
@@ -136,14 +126,13 @@ mod tests {
         // Fig. 4: normalisation + SiLU ≈ 25% on the GPU but negligible on
         // the CPU (launch overhead + memory-bound elementwise work hurt
         // the GPU relatively more).
-        let gpu = latency(&sd_census(1), &Device::v100_like(), NumberFormat::Fp32, NumberFormat::Fp32);
-        let cpu = latency(&sd_census(1), &Device::xeon_like(), NumberFormat::Fp32, NumberFormat::Fp32);
+        let gpu =
+            latency(&sd_census(1), &Device::v100_like(), NumberFormat::Fp32, NumberFormat::Fp32);
+        let cpu =
+            latency(&sd_census(1), &Device::xeon_like(), NumberFormat::Fp32, NumberFormat::Fp32);
         let gpu_aux = gpu.share_of(LayerClass::Norm) + gpu.share_of(LayerClass::Silu);
         let cpu_aux = cpu.share_of(LayerClass::Norm) + cpu.share_of(LayerClass::Silu);
-        assert!(
-            gpu_aux > cpu_aux * 1.5,
-            "aux share gpu {gpu_aux:.3} vs cpu {cpu_aux:.3}"
-        );
+        assert!(gpu_aux > cpu_aux * 1.5, "aux share gpu {gpu_aux:.3} vs cpu {cpu_aux:.3}");
     }
 
     #[test]

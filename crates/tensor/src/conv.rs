@@ -45,12 +45,21 @@ pub fn im2col_matrix(img: &Tensor, kh: usize, kw: usize, spec: Conv2dSpec) -> Te
     let oh = spec.out_extent(h, kh);
     let ow = spec.out_extent(w, kw);
     let mut cols = vec![0.0f32; c * kh * kw * oh * ow];
-    im2col(img.data(), c, h, w, kh, kw, spec, &mut cols);
+    im2col_into(img.data(), c, h, w, kh, kw, spec, &mut cols);
     Tensor::from_vec(cols, &[c * kh * kw, oh * ow])
 }
 
-/// Unfolds one image `[c, h, w]` into columns `[c*kh*kw, oh*ow]`.
-fn im2col(
+/// Unfolds one image `[c, h, w]` (given as a raw `c*h*w` slice) into
+/// columns `[c*kh*kw, oh*ow]` written into caller-owned scratch — the
+/// allocation-free core shared by the dense conv, the gradient kernels and
+/// the packed conv in `fpdq-kernels`, whose per-thread arenas reuse one
+/// `cols` buffer across batches.
+///
+/// # Panics
+///
+/// Panics (debug) if `cols` does not match `c*kh*kw*oh*ow`.
+#[allow(clippy::too_many_arguments)] // raw-slice kernel signature
+pub fn im2col_into(
     img: &[f32],
     c: usize,
     h: usize,
@@ -79,11 +88,8 @@ fn im2col(
                     let irow = (ci * h + iy as usize) * w;
                     for ox in 0..ow {
                         let ix = ox as isize * s + kx as isize - p;
-                        cols[orow + ox] = if ix < 0 || ix >= w as isize {
-                            0.0
-                        } else {
-                            img[irow + ix as usize]
-                        };
+                        cols[orow + ox] =
+                            if ix < 0 || ix >= w as isize { 0.0 } else { img[irow + ix as usize] };
                     }
                 }
                 row += 1;
@@ -93,7 +99,8 @@ fn im2col(
 }
 
 /// Folds columns `[c*kh*kw, oh*ow]` back into an image `[c, h, w]`,
-/// accumulating overlapping contributions (transpose of [`im2col`]).
+/// accumulating overlapping contributions (transpose of [`im2col_into`]).
+#[allow(clippy::too_many_arguments)] // raw-slice kernel signature
 fn col2im(
     cols: &[f32],
     c: usize,
@@ -159,7 +166,16 @@ impl Tensor {
             let mut cols = vec![0.0f32; ckk * oh * ow];
             for (bi, obatch) in chunk.chunks_mut(o * oh * ow).enumerate() {
                 let batch = batch_start + bi;
-                im2col(&input[batch * c * h * w..(batch + 1) * c * h * w], c, h, w, kh, kw, spec, &mut cols);
+                im2col_into(
+                    &input[batch * c * h * w..(batch + 1) * c * h * w],
+                    c,
+                    h,
+                    w,
+                    kh,
+                    kw,
+                    spec,
+                    &mut cols,
+                );
                 gemm_serial(wdat, &cols, obatch, o, ckk, oh * ow);
                 if let Some(b) = bias {
                     for (oc, plane) in obatch.chunks_mut(oh * ow).enumerate() {
@@ -305,7 +321,7 @@ pub fn conv2d_grad_weight(
     let mut gw = vec![0.0f32; o * ckk];
     let mut cols = vec![0.0f32; ckk * oh * ow];
     for batch in 0..n {
-        im2col(
+        im2col_into(
             &input.data()[batch * c * h * w..(batch + 1) * c * h * w],
             c,
             h,
@@ -402,8 +418,10 @@ mod tests {
                         for ic in 0..c {
                             for ky in 0..kh {
                                 for kx in 0..kw {
-                                    let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
-                                    let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                                    let iy =
+                                        (oy * spec.stride + ky) as isize - spec.padding as isize;
+                                    let ix =
+                                        (ox * spec.stride + kx) as isize - spec.padding as isize;
                                     if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
                                         s += x.at(&[b, ic, iy as usize, ix as usize])
                                             * wgt.at(&[oc, ic, ky, kx]);
@@ -442,7 +460,8 @@ mod tests {
         let y = x.conv2d(&w, None, Conv2dSpec::new(1, 0));
         assert_eq!(y.dims(), &[1, 5, 3, 3]);
         // Spot-check one output pixel.
-        let expect = x.at(&[0, 0, 1, 1]) * w.at(&[3, 0, 0, 0]) + x.at(&[0, 1, 1, 1]) * w.at(&[3, 1, 0, 0]);
+        let expect =
+            x.at(&[0, 0, 1, 1]) * w.at(&[3, 0, 0, 0]) + x.at(&[0, 1, 1, 1]) * w.at(&[3, 1, 0, 0]);
         assert!((y.at(&[0, 3, 1, 1]) - expect).abs() < 1e-5);
     }
 
@@ -461,7 +480,8 @@ mod tests {
             xp.data_mut()[probe] += eps;
             let mut xm = x.clone();
             xm.data_mut()[probe] -= eps;
-            let fd = (xp.conv2d(&w, None, spec).sum() - xm.conv2d(&w, None, spec).sum()) / (2.0 * eps);
+            let fd =
+                (xp.conv2d(&w, None, spec).sum() - xm.conv2d(&w, None, spec).sum()) / (2.0 * eps);
             assert!(
                 (gin.data()[probe] - fd).abs() < 1e-2,
                 "probe {probe}: analytic {} vs fd {fd}",
@@ -485,7 +505,8 @@ mod tests {
             wp.data_mut()[probe] += eps;
             let mut wm = w.clone();
             wm.data_mut()[probe] -= eps;
-            let fd = (x.conv2d(&wp, None, spec).sum() - x.conv2d(&wm, None, spec).sum()) / (2.0 * eps);
+            let fd =
+                (x.conv2d(&wp, None, spec).sum() - x.conv2d(&wm, None, spec).sum()) / (2.0 * eps);
             assert!(
                 (gw.data()[probe] - fd).abs() < 1e-2,
                 "probe {probe}: analytic {} vs fd {fd}",

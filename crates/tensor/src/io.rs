@@ -124,7 +124,10 @@ pub fn from_bytes(mut buf: &[u8]) -> Result<BTreeMap<String, Tensor>, TensorIoEr
 /// # Errors
 ///
 /// Returns [`TensorIoError::Io`] on filesystem failure.
-pub fn save_tensors(path: impl AsRef<Path>, tensors: &BTreeMap<String, Tensor>) -> Result<(), TensorIoError> {
+pub fn save_tensors(
+    path: impl AsRef<Path>,
+    tensors: &BTreeMap<String, Tensor>,
+) -> Result<(), TensorIoError> {
     let bytes = to_bytes(tensors);
     let mut f = std::fs::File::create(path)?;
     f.write_all(&bytes)?;

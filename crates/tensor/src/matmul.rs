@@ -1,9 +1,19 @@
 //! Threaded matrix multiplication kernels.
 //!
-//! The `i-k-j` loop order keeps the innermost traversal contiguous in both
-//! the `B` operand and the output row, which is the cache-friendly layout
-//! for row-major storage. Work is split across cores by output row chunks
-//! via [`crate::parallel`].
+//! Two serial micro-kernels back every matmul in the workspace:
+//!
+//! * [`gemm_nt_serial`] — a register-blocked 4×4-output NT kernel
+//!   (`c = a · bᵀ` with rows of both operands contiguous). Each tile keeps
+//!   sixteen accumulators live across the whole `k` loop, so every loaded
+//!   `a`/`b` element feeds four multiplies instead of one. This is the
+//!   kernel [`Tensor::matmul_nt`] parallelises over and the one the packed
+//!   dequantize-on-the-fly kernels in `fpdq-kernels` reuse against decoded
+//!   weight tiles.
+//! * [`gemm_serial`] — the NN kernel (`c = a · b`) in `i-k-j` order with a
+//!   4-row block over `i`, amortising each streamed `b` row across four
+//!   output rows while keeping the innermost traversal contiguous.
+//!
+//! Work is split across cores by output row chunks via [`crate::parallel`].
 
 use crate::parallel::parallel_rows;
 use crate::Tensor;
@@ -43,13 +53,8 @@ impl Tensor {
         let b = other.data();
         let mut out = vec![0.0f32; m * n];
         parallel_rows(&mut out, m, n, 8, |row_start, chunk| {
-            for (r, orow) in chunk.chunks_mut(n).enumerate() {
-                let arow = &a[(row_start + r) * k..(row_start + r + 1) * k];
-                for (j, o) in orow.iter_mut().enumerate() {
-                    let brow = &b[j * k..(j + 1) * k];
-                    *o = dot(arow, brow);
-                }
-            }
+            let rows = chunk.len() / n.max(1);
+            gemm_nt_serial(&a[row_start * k..(row_start + rows) * k], b, chunk, rows, k, n);
         });
         Tensor::from_vec(out, &[m, n])
     }
@@ -151,13 +156,102 @@ pub fn gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     });
 }
 
-/// Single-threaded GEMM micro-kernel (i-k-j order, contiguous inner loop).
+/// Serial register-blocked NT kernel: `c[m,n] = a[m,k] · b[n,k]ᵀ`
+/// (overwrites `c`). Rows of `a`, `b` and `c` are contiguous.
+///
+/// Interior 4×4 tiles keep sixteen accumulators live across the `k` loop;
+/// edge tiles (when `m` or `n` is not a multiple of 4) fall back to plain
+/// dot products, so any shape — including `m = 1` and tiny `k` — is
+/// handled.
+pub fn gemm_nt_serial(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(c.len(), m * n);
+    const MR: usize = 4;
+    const NR: usize = 4;
+    let mut i0 = 0;
+    while i0 < m {
+        let mh = MR.min(m - i0);
+        let mut j0 = 0;
+        while j0 < n {
+            let nh = NR.min(n - j0);
+            if mh == MR && nh == NR {
+                // Full tile: 16 live accumulators, each a/b load shared
+                // four ways.
+                let a0 = &a[i0 * k..(i0 + 1) * k];
+                let a1 = &a[(i0 + 1) * k..(i0 + 2) * k];
+                let a2 = &a[(i0 + 2) * k..(i0 + 3) * k];
+                let a3 = &a[(i0 + 3) * k..(i0 + 4) * k];
+                let b0 = &b[j0 * k..(j0 + 1) * k];
+                let b1 = &b[(j0 + 1) * k..(j0 + 2) * k];
+                let b2 = &b[(j0 + 2) * k..(j0 + 3) * k];
+                let b3 = &b[(j0 + 3) * k..(j0 + 4) * k];
+                let mut acc = [[0.0f32; NR]; MR];
+                for kk in 0..k {
+                    let bv = [b0[kk], b1[kk], b2[kk], b3[kk]];
+                    let av = [a0[kk], a1[kk], a2[kk], a3[kk]];
+                    for ii in 0..MR {
+                        for jj in 0..NR {
+                            acc[ii][jj] += av[ii] * bv[jj];
+                        }
+                    }
+                }
+                for ii in 0..MR {
+                    c[(i0 + ii) * n + j0..(i0 + ii) * n + j0 + NR].copy_from_slice(&acc[ii]);
+                }
+            } else {
+                for ii in 0..mh {
+                    let arow = &a[(i0 + ii) * k..(i0 + ii + 1) * k];
+                    for jj in 0..nh {
+                        let brow = &b[(j0 + jj) * k..(j0 + jj + 1) * k];
+                        c[(i0 + ii) * n + j0 + jj] = dot(arow, brow);
+                    }
+                }
+            }
+            j0 += nh;
+        }
+        i0 += mh;
+    }
+}
+
+/// Single-threaded NN GEMM micro-kernel (`i-k-j` order, contiguous inner
+/// loop), blocked four output rows at a time so each streamed `b` row is
+/// reused fourfold. `c` must be zeroed (accumulates).
 pub fn gemm_serial(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
-    for i in 0..m {
-        let crow = &mut c[i * n..(i + 1) * n];
+    if m == 0 || n == 0 {
+        return;
+    }
+    let mut rows = c.chunks_exact_mut(4 * n);
+    let mut i = 0;
+    for block in &mut rows {
+        let (c0, rest) = block.split_at_mut(n);
+        let (c1, rest) = rest.split_at_mut(n);
+        let (c2, c3) = rest.split_at_mut(n);
+        let (a0, a1, a2, a3) = (
+            &a[i * k..(i + 1) * k],
+            &a[(i + 1) * k..(i + 2) * k],
+            &a[(i + 2) * k..(i + 3) * k],
+            &a[(i + 3) * k..(i + 4) * k],
+        );
+        for kk in 0..k {
+            let (v0, v1, v2, v3) = (a0[kk], a1[kk], a2[kk], a3[kk]);
+            if v0 == 0.0 && v1 == 0.0 && v2 == 0.0 && v3 == 0.0 {
+                continue; // quantization-induced sparsity skip
+            }
+            let brow = &b[kk * n..kk * n + n];
+            for (j, &bv) in brow.iter().enumerate() {
+                c0[j] += v0 * bv;
+                c1[j] += v1 * bv;
+                c2[j] += v2 * bv;
+                c3[j] += v3 * bv;
+            }
+        }
+        i += 4;
+    }
+    for crow in rows.into_remainder().chunks_mut(n.max(1)) {
         let arow = &a[i * k..(i + 1) * k];
         for (kk, &av) in arow.iter().enumerate() {
             if av == 0.0 {
@@ -168,6 +262,7 @@ pub fn gemm_serial(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: u
                 *cv += av * bv;
             }
         }
+        i += 1;
     }
 }
 
@@ -231,6 +326,31 @@ mod tests {
         let slow = a.matmul(&b.transpose());
         for (x, y) in fast.data().iter().zip(slow.data().iter()) {
             assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn tiled_nt_kernel_handles_edge_shapes() {
+        // m/n/k off the 4×4 register-tile grid, single rows, and k below
+        // the unroll width must all match the naive product.
+        for (m, n, k) in [
+            (1usize, 1usize, 1usize),
+            (1, 9, 16),
+            (2, 2, 2),
+            (3, 5, 3),
+            (4, 4, 4),
+            (5, 4, 1),
+            (6, 7, 2),
+            (9, 13, 31),
+            (17, 19, 23),
+        ] {
+            let a = rand_tensor(&[m, k], (m * 31 + n) as u64);
+            let b = rand_tensor(&[n, k], (k * 17 + m) as u64);
+            let fast = a.matmul_nt(&b);
+            let slow = naive(&a, &b.transpose());
+            for (i, (x, y)) in fast.data().iter().zip(slow.data().iter()).enumerate() {
+                assert!((x - y).abs() < 1e-4, "({m},{n},{k}) elem {i}: {x} vs {y}");
+            }
         }
     }
 

@@ -207,10 +207,7 @@ impl Tensor {
 impl Tensor {
     /// Applies `f` to every element, returning a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor {
-            shape: self.shape.clone(),
-            data: self.data.iter().map(|&x| f(x)).collect(),
-        }
+        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
     }
 
     /// Applies `f` to every element in place.
@@ -227,8 +224,7 @@ impl Tensor {
     /// Panics if shapes are not broadcast-compatible.
     pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
         if self.shape == other.shape {
-            let data =
-                self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect();
+            let data = self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect();
             return Tensor { shape: self.shape.clone(), data };
         }
         let out_dims = broadcast_shapes(self.dims(), other.dims());

@@ -49,6 +49,11 @@ fn main() {
     let fp8 = latency(&c1, &h100, NumberFormat::Fp8, NumberFormat::Fp8).total;
     let int8 = latency(&c1, &h100, NumberFormat::Int8, NumberFormat::Int8).total;
     let fp32 = latency(&c1, &h100, NumberFormat::Fp32, NumberFormat::Fp32).total;
-    println!("\nH100-class step latency: FP32 {:.2} ms, FP8 {:.2} ms, INT8 {:.2} ms", fp32 * 1e3, fp8 * 1e3, int8 * 1e3);
+    println!(
+        "\nH100-class step latency: FP32 {:.2} ms, FP8 {:.2} ms, INT8 {:.2} ms",
+        fp32 * 1e3,
+        fp8 * 1e3,
+        int8 * 1e3
+    );
     println!("=> same-bitwidth FP and INT cost the same; choosing FP is free (paper §I).");
 }

@@ -24,10 +24,10 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(0);
     let n = 8192;
     let gaussian = Tensor::randn(&[n], &mut rng).mul_scalar(0.05);
-    let laplacian = Tensor::rand_uniform(&[n], 1e-6, 1.0, &mut rng).zip_map(
-        &Tensor::rand_uniform(&[n], -1.0, 1.0, &mut rng),
-        |u, v| -0.05 * u.ln() * v.signum(),
-    );
+    let laplacian = Tensor::rand_uniform(&[n], 1e-6, 1.0, &mut rng)
+        .zip_map(&Tensor::rand_uniform(&[n], -1.0, 1.0, &mut rng), |u, v| {
+            -0.05 * u.ln() * v.signum()
+        });
     let uniform = Tensor::rand_uniform(&[n], -0.1, 0.1, &mut rng);
     let distributions = [("gaussian", &gaussian), ("laplacian", &laplacian), ("uniform", &uniform)];
 

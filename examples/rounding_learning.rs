@@ -25,8 +25,7 @@ fn main() {
     println!("searched FP4 format: {fmt} (weight MSE {:.3e})", found.mse);
 
     // Step 2: calibration inputs (stand-ins for captured activations).
-    let inputs: Vec<Tensor> =
-        (0..32).map(|_| Tensor::randn(&[1, 8, 10, 10], &mut rng)).collect();
+    let inputs: Vec<Tensor> = (0..32).map(|_| Tensor::randn(&[1, 8, 10, 10], &mut rng)).collect();
 
     // Step 3: learn the rounding.
     let cfg = RoundingConfig { iters: 200, batch: 8, ..RoundingConfig::default() };
@@ -37,10 +36,7 @@ fn main() {
         outcome.learned_mse,
         100.0 * (1.0 - outcome.learned_mse / outcome.rtn_mse)
     );
-    println!(
-        "{:.1}% of weights flipped their rounding direction",
-        100.0 * outcome.flipped
-    );
+    println!("{:.1}% of weights flipped their rounding direction", 100.0 * outcome.flipped);
 
     // The regularizer that forces hard decisions (paper Fig. 6).
     println!("\nregularizer 1-(|sigma-0.5|*2)^20 at a few points:");
@@ -56,8 +52,7 @@ fn main() {
         .iter()
         .zip(requant.data())
         .map(|(a, b)| (a - b).abs())
-        .fold(0.0f32, f32::max)
-        ;
+        .fold(0.0f32, f32::max);
     println!("\nmax deviation from the FP4 grid: {max_dev:.e} (must be 0)");
     let _ = conv.qname();
 }

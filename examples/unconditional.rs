@@ -27,14 +27,20 @@ fn main() {
     let fp32 = zoo.ldm_sim();
     let mut rng = StdRng::seed_from_u64(0);
     let calib = record_trajectories(
-        &fp32.unet, &fp32.schedule, &[4, 8, 8], &[None], 20, 6, 64, 40, &mut rng,
+        &fp32.unet,
+        &fp32.schedule,
+        &[4, 8, 8],
+        &[None],
+        20,
+        6,
+        64,
+        40,
+        &mut rng,
     );
 
-    for (tag, cfg) in [
-        ("fp32", None),
-        ("fp8", Some(PtqConfig::fp(8, 8))),
-        ("int8", Some(PtqConfig::int(8, 8))),
-    ] {
+    for (tag, cfg) in
+        [("fp32", None), ("fp8", Some(PtqConfig::fp(8, 8))), ("int8", Some(PtqConfig::int(8, 8)))]
+    {
         let pipeline = zoo.ldm_sim(); // fresh full-precision weights
         if let Some(cfg) = &cfg {
             let report = quantize_unet(&pipeline.unet, &calib, cfg, &mut rng);

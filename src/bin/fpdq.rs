@@ -91,6 +91,7 @@ fn config_from(name: &str) -> Option<Option<PtqConfig>> {
 }
 
 /// A uniform handle over the four pipelines.
+#[allow(clippy::large_enum_variant)] // a handful of these exist at once
 enum Pipeline {
     Ddim(DdimSim),
     Ldm(LdmSim),
@@ -128,12 +129,26 @@ impl Pipeline {
         let mut rng = StdRng::seed_from_u64(0xCA11B);
         match self {
             Pipeline::Ddim(p) => fpdq::quant::record_trajectories(
-                &p.unet, &p.schedule, &[p.channels, p.image_size, p.image_size],
-                &[None], 20, 6, 64, 40, &mut rng,
+                &p.unet,
+                &p.schedule,
+                &[p.channels, p.image_size, p.image_size],
+                &[None],
+                20,
+                6,
+                64,
+                40,
+                &mut rng,
             ),
             Pipeline::Ldm(p) => fpdq::quant::record_trajectories(
-                &p.unet, &p.schedule, &[p.latent_channels, p.latent_size, p.latent_size],
-                &[None], 20, 6, 64, 40, &mut rng,
+                &p.unet,
+                &p.schedule,
+                &[p.latent_channels, p.latent_size, p.latent_size],
+                &[None],
+                20,
+                6,
+                64,
+                40,
+                &mut rng,
             ),
             Pipeline::Sd(p) => {
                 let prompts = CaptionedScenes::all_captions();
@@ -144,8 +159,15 @@ impl Pipeline {
                     .collect();
                 ctx.push(Some(p.null_context(1)));
                 fpdq::quant::record_trajectories(
-                    &p.unet, &p.schedule, &[p.latent_channels, p.latent_size, p.latent_size],
-                    &ctx, 20, 8, 16, 40, &mut rng,
+                    &p.unet,
+                    &p.schedule,
+                    &[p.latent_channels, p.latent_size, p.latent_size],
+                    &ctx,
+                    20,
+                    8,
+                    16,
+                    40,
+                    &mut rng,
                 )
             }
         }
@@ -215,7 +237,10 @@ fn quantize(opts: &HashMap<String, String>) -> ExitCode {
     let calib = pipeline.calibrate();
     let mut rng = StdRng::seed_from_u64(1);
     let report = quantize_unet(pipeline.unet(), &calib, &cfg, &mut rng);
-    println!("{:<26} {:<15} {:<15} {:>10} {:>9}", "layer", "weight fmt", "act fmt", "wMSE", "sparsity");
+    println!(
+        "{:<26} {:<15} {:<15} {:>10} {:>9}",
+        "layer", "weight fmt", "act fmt", "wMSE", "sparsity"
+    );
     for l in &report.layers {
         println!(
             "{:<26} {:<15} {:<15} {:>10.2e} {:>8.2}%",
@@ -343,7 +368,11 @@ fn characterize() -> ExitCode {
     }
     for batch in [1usize, 8, 16] {
         let m = peak_memory(&cfg, sd_scale_input(), batch, SD_CONTEXT_LEN, 4.0, 4.0);
-        println!("peak memory @ batch {batch:>2}: {:>6.2} GiB (attention {:>4.1}%)", m.total_gib(), 100.0 * m.attention / m.total());
+        println!(
+            "peak memory @ batch {batch:>2}: {:>6.2} GiB (attention {:>4.1}%)",
+            m.total_gib(),
+            100.0 * m.attention / m.total()
+        );
     }
     ExitCode::SUCCESS
 }

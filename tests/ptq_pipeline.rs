@@ -83,15 +83,9 @@ fn lower_weight_bitwidth_drifts_further() {
     let p = tiny_pipeline(2);
     let calib = calib_for(&p);
     let d8 = forward_drift(2, &calib, weights_only(PtqConfig::fp(8, 8)));
-    let d4 = forward_drift(
-        2,
-        &calib,
-        weights_only(PtqConfig::fp(4, 8).without_rounding_learning()),
-    );
-    assert!(
-        d4 > d8 * 4.0,
-        "4-bit weights should produce much more error than 8-bit: {d4} vs {d8}"
-    );
+    let d4 =
+        forward_drift(2, &calib, weights_only(PtqConfig::fp(4, 8).without_rounding_learning()));
+    assert!(d4 > d8 * 4.0, "4-bit weights should produce much more error than 8-bit: {d4} vs {d8}");
 }
 
 #[test]
