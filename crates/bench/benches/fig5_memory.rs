@@ -4,7 +4,9 @@
 //! Paper reference: 8.37 GB at batch 1 rising to 54.9 GB at batch 16 on an
 //! 80 GB A100, dominated by attention score tensors.
 
-use fpdq_bench::print_table;
+use fpdq_bench::{print_table, tiny_quantized_unet};
+use fpdq_core::PtqConfig;
+use fpdq_kernels::pack_unet;
 use fpdq_perf::census::{sd_scale_config, sd_scale_input, SD_CONTEXT_LEN};
 use fpdq_perf::peak_memory;
 
@@ -43,4 +45,31 @@ fn main() {
     );
     let pass = b16 > 4.0 * b1 && (fp32_16 / fp8_16) > 3.5 && (fp32_16 / fp4_16) > 7.0;
     println!("shape checks: {}", if pass { "PASS" } else { "WARN" });
+
+    // Measured section: real bit-packed weight payloads (not the analytic
+    // model) on a tiny substrate U-Net — §III's 4×/8× weight-memory
+    // claim on actual packed storage.
+    let mut rows = Vec::new();
+    let mut measured_pass = true;
+    for (label, cfg, want) in [
+        ("FP8/FP8", PtqConfig::fp(8, 8), 4.0f32),
+        ("FP4/FP8", PtqConfig::fp(4, 8).without_rounding_learning(), 8.0),
+    ] {
+        let (unet, report) = tiny_quantized_unet(&cfg);
+        let pack = pack_unet(&unet, &report);
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.1}", pack.dense_bytes() as f32 / 1024.0),
+            format!("{:.1}", pack.payload_bytes() as f32 / 1024.0),
+            format!("{:.2}x", pack.compression()),
+            format!("{want:.0}x"),
+        ]);
+        measured_pass &= (pack.compression() - want).abs() < 0.5;
+    }
+    print_table(
+        "Figure 5 (measured): real packed weight payloads (KiB) vs dense FP32",
+        &["Config", "dense", "packed", "ratio", "claim"],
+        &rows,
+    );
+    println!("measured packed-storage checks: {}", if measured_pass { "PASS" } else { "WARN" });
 }

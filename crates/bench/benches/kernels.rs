@@ -8,7 +8,7 @@
 //! implementations (per-bit unpacking; row-at-a-time decode + dot) so the
 //! LUT-decode and tiled-kernel speedups can be read off one run.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use criterion::{criterion_group, BatchSize, Criterion};
 use fpdq_core::{FpFormat, IntFormat, TensorQuantizer};
 use fpdq_kernels::packed::unpack_bits_range_bitloop;
 use fpdq_kernels::{gemm_packed_fp, CsrWeights, PackedFpTensor, PackedIntTensor, TwoFourWeights};
@@ -167,10 +167,20 @@ fn bench_sparse(c: &mut Criterion) {
 }
 
 fn configured() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_millis(800))
+    // FPDQ_BENCH_FAST=1 is the CI smoke mode: one sample per benchmark,
+    // minimal budgets — enough to prove every kernel still runs and the
+    // JSON writer still works, without meaningful timing.
+    if std::env::var("FPDQ_BENCH_FAST").is_ok_and(|v| v == "1") {
+        Criterion::default()
+            .sample_size(1)
+            .warm_up_time(std::time::Duration::from_millis(5))
+            .measurement_time(std::time::Duration::from_millis(10))
+    } else {
+        Criterion::default()
+            .sample_size(10)
+            .warm_up_time(std::time::Duration::from_millis(300))
+            .measurement_time(std::time::Duration::from_millis(800))
+    }
 }
 
 criterion_group! {
@@ -178,4 +188,19 @@ criterion_group! {
     config = configured();
     targets = bench_quantize, bench_pack, bench_gemm, bench_conv, bench_sparse
 }
-criterion_main!(kernels);
+
+fn main() {
+    kernels();
+    // Machine-readable results (group/name -> ns/op) so the perf
+    // trajectory is tracked across PRs. FPDQ_BENCH_JSON overrides the
+    // file name; relative paths resolve against the workspace root
+    // (cargo runs benches from the package directory).
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = root.join(
+        std::env::var("FPDQ_BENCH_JSON").unwrap_or_else(|_| "BENCH_kernels.json".to_string()),
+    );
+    match criterion::write_json_report(&path) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+    }
+}

@@ -176,6 +176,47 @@ pub fn generate_t2i(p: &SdSim, prompts: &[String], steps: usize) -> Tensor {
 }
 
 // ---------------------------------------------------------------------------
+// Measured packed engine (fig. 4/5 real-execution sections)
+// ---------------------------------------------------------------------------
+
+/// Builds a tiny synthetic U-Net (no zoo training) and quantizes it with
+/// `cfg` on synthetic calibration data — the substrate the measured
+/// packed-engine sections of figures 4/5 run on, so those benches
+/// exercise the real bit-packed kernels instead of only the analytic
+/// performance model.
+pub fn tiny_quantized_unet(cfg: &PtqConfig) -> (UNet, QuantReport) {
+    use fpdq_core::CalibPoint;
+    let mut rng = StdRng::seed_from_u64(CALIB_SEED + 2);
+    let unet = UNet::new(fpdq_nn::UNetConfig::tiny(2), &mut rng);
+    let points: Vec<CalibPoint> = (0..4)
+        .map(|i| CalibPoint {
+            x: Tensor::randn(&[1, 2, 8, 8], &mut rng),
+            t: (i * 7) as f32,
+            ctx: None,
+        })
+        .collect();
+    let calib = CalibrationSet { init: points.clone(), rl: points };
+    let mut cfg = cfg.clone();
+    cfg.bias_candidates = 15;
+    cfg.rounding = RoundingConfig { iters: 8, batch: 2, ..RoundingConfig::default() };
+    let report = quantize_unet(&unet, &calib, &cfg, &mut rng);
+    (unet, report)
+}
+
+/// Times one U-Net forward (best of `reps`) on a fixed input.
+pub fn time_unet_forward(unet: &UNet, reps: usize) -> f64 {
+    let x = Tensor::randn(&[1, 2, 8, 8], &mut StdRng::seed_from_u64(EVAL_SEED));
+    let t = Tensor::from_vec(vec![5.0], &[1]);
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t0 = std::time::Instant::now();
+        std::hint::black_box(unet.forward(&x, &t, None));
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+// ---------------------------------------------------------------------------
 // Table formatting
 // ---------------------------------------------------------------------------
 

@@ -7,10 +7,53 @@
 //! one-line report of the minimum/mean per-iteration time. The minimum is
 //! the headline number: it is the least noise-contaminated statistic on a
 //! shared machine.
+//!
+//! Beyond the stock API, every finished benchmark is recorded in a
+//! process-wide registry so a bench `main` can persist machine-readable
+//! results with [`write_json_report`] — letting the perf trajectory be
+//! tracked across commits instead of living in log scrollback.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// One finished benchmark: label plus min/mean per-iteration nanoseconds.
+#[derive(Clone, Debug)]
+pub struct BenchRecord {
+    /// `group/name` label.
+    pub label: String,
+    /// Fastest observed per-iteration time (ns) — the headline number.
+    pub min_ns: f64,
+    /// Mean per-iteration time (ns) across samples.
+    pub mean_ns: f64,
+}
+
+static RECORDS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+/// All benchmarks finished so far in this process, in execution order.
+pub fn records() -> Vec<BenchRecord> {
+    RECORDS.lock().unwrap_or_else(|e| e.into_inner()).clone()
+}
+
+/// Writes every recorded benchmark as a JSON object
+/// `{"label": {"min_ns": .., "mean_ns": ..}, ..}` (labels in execution
+/// order). Numbers use enough digits to round-trip.
+pub fn write_json_report(path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+    let records = records();
+    let mut json = String::from("{\n");
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 == records.len() { "" } else { "," };
+        json.push_str(&format!(
+            "  \"{}\": {{\"min_ns\": {:.1}, \"mean_ns\": {:.1}}}{comma}\n",
+            r.label.replace('"', "\\\""),
+            r.min_ns,
+            r.mean_ns
+        ));
+    }
+    json.push_str("}\n");
+    std::fs::write(path, json)
+}
 
 /// How `iter_batched` amortises setup (accepted, not differentiated).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -202,6 +245,11 @@ where
         fmt_time(mean),
         per_iter.len(),
     );
+    RECORDS.lock().unwrap_or_else(|e| e.into_inner()).push(BenchRecord {
+        label,
+        min_ns: min * 1e9,
+        mean_ns: mean * 1e9,
+    });
 }
 
 fn fmt_time(secs: f64) -> String {
@@ -283,5 +331,20 @@ mod tests {
     fn group_macros_produce_runnable_fns() {
         configured();
         let _ = simple; // plain form compiles; skip running (default budget).
+    }
+
+    #[test]
+    fn finished_benchmarks_are_recorded_and_serialised() {
+        let mut c = quick();
+        c.bench_function("record_me", |b| b.iter(|| 2 + 2));
+        let recs = records();
+        let rec = recs.iter().find(|r| r.label == "record_me").expect("benchmark recorded");
+        assert!(rec.min_ns > 0.0 && rec.mean_ns >= rec.min_ns);
+        let path = std::env::temp_dir().join("criterion_compat_report_test.json");
+        write_json_report(&path).expect("write report");
+        let json = std::fs::read_to_string(&path).expect("read report");
+        assert!(json.contains("\"record_me\""), "label missing from {json}");
+        assert!(json.contains("min_ns"), "min_ns missing");
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -136,6 +136,10 @@ pub struct LayerReport {
     pub learned_mse: Option<f32>,
     /// Chosen activation quantizer (trunk half when split).
     pub act_quantizer: Option<String>,
+    /// The chosen whole-input activation quantizer itself (drives the
+    /// fused weight+activation kernels in `fpdq-kernels`; `None` for
+    /// split layers, whose two quantizers stay in the tap).
+    pub act_format: Option<TensorQuantizer>,
     /// Chosen activation quantizer for the skip half (when split).
     pub act_quantizer_skip: Option<String>,
     /// Weight sparsity before quantization.
@@ -285,6 +289,7 @@ pub fn quantize_unet(
                     rtn_mse: None,
                     learned_mse: None,
                     act_quantizer: None,
+                    act_format: None,
                     act_quantizer_skip: None,
                     sparsity_before: w.sparsity(),
                     sparsity_after: 0.0,
@@ -322,6 +327,7 @@ pub fn quantize_unet(
                         rtn_mse: None,
                         learned_mse: None,
                         act_quantizer: None,
+                        act_format: None,
                         act_quantizer_skip: None,
                         sparsity_before: w.sparsity(),
                         sparsity_after: w.sparsity(),
@@ -370,6 +376,7 @@ pub fn quantize_unet(
                         let refs: Vec<&Tensor> = samples.iter().collect();
                         let q = search_act(&refs, cfg);
                         rep.act_quantizer = Some(q.quantizer.describe());
+                        rep.act_format = Some(q.quantizer);
                         layer.tap().borrow_mut().act_quant = Some(q.quantizer.into_act_fn());
                     }
                 }

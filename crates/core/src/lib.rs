@@ -37,6 +37,7 @@
 //! assert_eq!(q.data()[2], fmt.max_value()); // clipped to c
 //! ```
 
+pub mod boundary;
 pub mod calib;
 pub mod driver;
 pub mod format;
@@ -47,6 +48,7 @@ pub mod rounding;
 pub mod search;
 pub mod sparsity;
 
+pub use boundary::{BoundaryQuantizer, PanelQuantizer};
 pub use calib::{record_trajectories, CalibPoint, CalibrationSet};
 pub use driver::{quantize_unet, LayerReport, PtqConfig, QuantReport, Scheme};
 pub use format::FpFormat;

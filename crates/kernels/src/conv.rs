@@ -1,28 +1,43 @@
-//! Dequantize-on-the-fly 2-D convolution over packed weights.
+//! Dequantize-on-the-fly 2-D convolution over packed weights, with the
+//! activation quantizer fused into the per-batch pipeline.
 //!
 //! Shares the exact `im2col` lowering of the dense path
 //! ([`fpdq_tensor::conv::im2col_into`]) but expands the filter bank from
 //! its packed low-bit representation — the memory-traffic pattern of
-//! weight-quantized convolution inference.
+//! weight-quantized convolution inference. Input activations quantize
+//! through the boundary tables of [`fpdq_core::BoundaryQuantizer`]
+//! (per-tensor or per-input-channel) into a per-worker scratch image just
+//! before lowering: no whole-tensor fake-quant pass, no `log2`/`powf`.
 //!
-//! Each worker thread owns a small scratch arena (decoded filter bank +
-//! one `im2col` column buffer) allocated once and reused across every
-//! batch element the worker processes; the per-batch allocations and
-//! tensor narrowing of the original implementation are gone, and the
-//! filter bank is LUT-decoded once per worker instead of once per
-//! (batch, output-channel) pair.
+//! # Tile schedule
+//!
+//! Two regimes, picked by batch size:
+//!
+//! * **Batch-parallel** (`n ≥` worker count): each worker owns a scratch
+//!   arena (decoded filter bank + one `im2col` buffer + quantized-image
+//!   scratch) allocated once and reused across every batch element the
+//!   worker processes.
+//! * **Channel-parallel** (`n <` worker count, the batch-1 sampling
+//!   case): batches run in sequence; within one batch the output-channel
+//!   range is split across workers on the 4-row block grid, and each
+//!   worker decodes *only its own* packed filter rows — the `im2col`
+//!   columns are computed once and shared read-only.
+//!
+//! Both regimes group filter rows in the same 4-row blocks as the serial
+//! kernel (`parallel_rows_aligned`), so the schedule does not change the
+//! results.
 
 use crate::packed::{PackedFpTensor, PackedIntTensor, PackedWeights};
-use fpdq_core::TensorQuantizer;
+use fpdq_core::{PanelQuantizer, TensorQuantizer};
 use fpdq_tensor::conv::{im2col_into, Conv2dSpec};
 use fpdq_tensor::matmul::gemm_serial;
-use fpdq_tensor::parallel::parallel_rows;
+use fpdq_tensor::parallel::{num_threads, parallel_rows, parallel_rows_aligned};
 use fpdq_tensor::Tensor;
 
 /// 2-D convolution with any packed weight representation: input
 /// `[n, c, h, w]`, packed weight `[o, c, kh, kw]`, optional bias `[o]`,
-/// optional activation fake-quantizer (applied to the input, as the model
-/// taps do).
+/// optional per-tensor activation fake-quantizer fused into the input
+/// lowering (as the model taps do).
 ///
 /// # Panics
 ///
@@ -34,6 +49,25 @@ pub fn conv2d_packed<W: PackedWeights>(
     spec: Conv2dSpec,
     act: Option<&TensorQuantizer>,
 ) -> Tensor {
+    let pq = act.map(PanelQuantizer::per_tensor);
+    conv2d_packed_fused(x, weight, bias, spec, pq.as_ref())
+}
+
+/// [`conv2d_packed`] with an explicit [`PanelQuantizer`], covering the
+/// per-channel activation granularity: with `channels == c`, input
+/// channel `ci` quantizes through table `ci`.
+///
+/// # Panics
+///
+/// Panics on rank/shape mismatches, or if a per-channel quantizer's
+/// channel count differs from `c`.
+pub fn conv2d_packed_fused<W: PackedWeights>(
+    x: &Tensor,
+    weight: &W,
+    bias: Option<&Tensor>,
+    spec: Conv2dSpec,
+    act: Option<&PanelQuantizer>,
+) -> Tensor {
     assert_eq!(x.ndim(), 4, "input must be [n, c, h, w]");
     let wd = weight.dims();
     assert_eq!(wd.len(), 4, "packed weight must be [o, c, kh, kw]");
@@ -43,40 +77,93 @@ pub fn conv2d_packed<W: PackedWeights>(
     if let Some(b) = bias {
         assert_eq!(b.numel(), o, "bias must have {o} elements");
     }
-    let x_q = match act {
-        Some(q) => q.quantize(x),
-        None => x.clone(),
-    };
-    let xd = x_q.data();
+    if let Some(pq) = act {
+        assert!(
+            pq.channels() == 1 || pq.channels() == c,
+            "per-channel activation quantizer has {} channels for c = {c}",
+            pq.channels()
+        );
+    }
+    let xd = x.data();
     let oh = spec.out_extent(h, kh);
     let ow = spec.out_extent(w, kw);
     let ckk = c * kh * kw;
     let chw = c * h * w;
-    let mut out = vec![0.0f32; n * o * oh * ow];
-    parallel_rows(&mut out, n, o * oh * ow, 1, |batch_start, chunk| {
-        // Per-thread scratch arena, reused across this worker's batches.
-        let mut filters = vec![0.0f32; o * ckk];
-        weight.decode_range_into(0, &mut filters);
-        let mut cols = vec![0.0f32; ckk * oh * ow];
-        for (bi, obatch) in chunk.chunks_mut(o * oh * ow).enumerate() {
-            let batch = batch_start + bi;
-            im2col_into(&xd[batch * chw..(batch + 1) * chw], c, h, w, kh, kw, spec, &mut cols);
-            // Prefill with the bias, then accumulate the filter × column
-            // product through the same row-blocked kernel as the dense
-            // conv (which also skips all-zero filter taps, preserving the
-            // quantization-induced sparsity shortcut).
-            match bias {
-                Some(b) => {
-                    for (oc, plane) in obatch.chunks_mut(oh * ow).enumerate() {
-                        plane.fill(b.data()[oc]);
-                    }
-                }
-                None => obatch.fill(0.0),
+    let ohow = oh * ow;
+    let mut out = vec![0.0f32; n * o * ohow];
+    if n == 0 || o == 0 || ohow == 0 || ckk == 0 {
+        return Tensor::from_vec(out, &[n, o, oh, ow]);
+    }
+    if n >= num_threads() {
+        // Batch-parallel: per-thread scratch arena, reused across this
+        // worker's batches.
+        parallel_rows(&mut out, n, o * ohow, 1, |batch_start, chunk| {
+            let mut filters = vec![0.0f32; o * ckk];
+            weight.decode_range_into(0, &mut filters);
+            let mut cols = vec![0.0f32; ckk * ohow];
+            let mut xq = act.map(|_| vec![0.0f32; chw]);
+            for (bi, obatch) in chunk.chunks_mut(o * ohow).enumerate() {
+                let batch = batch_start + bi;
+                let src = &xd[batch * chw..(batch + 1) * chw];
+                let img = quantize_image(src, act, xq.as_deref_mut(), h * w);
+                im2col_into(img, c, h, w, kh, kw, spec, &mut cols);
+                prefill_bias(obatch, bias, ohow, 0);
+                gemm_serial(&filters, &cols, obatch, o, ckk, ohow);
             }
-            gemm_serial(&filters, &cols, obatch, o, ckk, oh * ow);
+        });
+    } else {
+        // Channel-parallel: batches in sequence; workers split the
+        // output channels and decode only their own filter rows. The
+        // shared `im2col` lowering is computed once per batch.
+        let mut cols = vec![0.0f32; ckk * ohow];
+        let mut xq = act.map(|_| vec![0.0f32; chw]);
+        for batch in 0..n {
+            let src = &xd[batch * chw..(batch + 1) * chw];
+            let img = quantize_image(src, act, xq.as_deref_mut(), h * w);
+            im2col_into(img, c, h, w, kh, kw, spec, &mut cols);
+            let obatch = &mut out[batch * o * ohow..(batch + 1) * o * ohow];
+            parallel_rows_aligned(obatch, o, ohow, 1, 4, |oc0, chunk| {
+                let rows = chunk.len() / ohow;
+                let mut filters = vec![0.0f32; rows * ckk];
+                weight.decode_range_into(oc0 * ckk, &mut filters);
+                prefill_bias(chunk, bias, ohow, oc0);
+                gemm_serial(&filters, &cols, chunk, rows, ckk, ohow);
+            });
         }
-    });
+    }
     Tensor::from_vec(out, &[n, o, oh, ow])
+}
+
+/// Fused input quantization: streams `src` (`[c, h, w]` flat) through the
+/// boundary tables into `scratch` and returns it, or passes `src` through
+/// untouched when no quantizer is installed.
+fn quantize_image<'a>(
+    src: &'a [f32],
+    act: Option<&PanelQuantizer>,
+    scratch: Option<&'a mut [f32]>,
+    plane: usize,
+) -> &'a [f32] {
+    match (act, scratch) {
+        (Some(pq), Some(buf)) => {
+            pq.quantize_panel_into(src, buf, plane);
+            buf
+        }
+        _ => src,
+    }
+}
+
+/// Prefills an output-channel block with its bias values (or zeros), so
+/// the row-blocked kernel can accumulate on top — preserving the
+/// quantization-induced sparsity shortcut of the dense conv.
+fn prefill_bias(chunk: &mut [f32], bias: Option<&Tensor>, ohow: usize, oc0: usize) {
+    match bias {
+        Some(b) => {
+            for (oc, plane) in chunk.chunks_mut(ohow).enumerate() {
+                plane.fill(b.data()[oc0 + oc]);
+            }
+        }
+        None => chunk.fill(0.0),
+    }
 }
 
 /// 2-D convolution with packed FP weights (see [`conv2d_packed`]).
@@ -168,6 +255,115 @@ mod tests {
         for (a, e) in fast.data().iter().zip(reference.data()) {
             assert!((a - e).abs() < 1e-4);
         }
+    }
+
+    /// Reference for the fused path: fake-quantize the whole input first,
+    /// then the identical packed conv without the fused quantizer.
+    fn reference_wa(
+        x: &Tensor,
+        w: &PackedFpTensor,
+        bias: Option<&Tensor>,
+        spec: Conv2dSpec,
+        act: &TensorQuantizer,
+    ) -> Tensor {
+        conv2d_packed_fp(&act.quantize(x), w, bias, spec, None)
+    }
+
+    #[test]
+    fn fused_act_quant_is_bit_exact_with_prequantized_path() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let x = Tensor::randn(&[3, 4, 7, 7], &mut rng).mul_scalar(1.7);
+        let w = Tensor::randn(&[6, 4, 3, 3], &mut rng);
+        let b = Tensor::randn(&[6], &mut rng);
+        let spec = Conv2dSpec::new(1, 1);
+        for wfmt in [FpFormat::new(4, 3), FpFormat::new(2, 1)] {
+            let packed = PackedFpTensor::encode(&w, wfmt);
+            for act in [
+                TensorQuantizer::Fp(FpFormat::new(4, 3)),
+                TensorQuantizer::Fp(FpFormat::new(2, 1)),
+                TensorQuantizer::Int(IntFormat::fit(&x, 8)),
+                TensorQuantizer::Int(IntFormat::fit(&x, 4)),
+            ] {
+                let fused = conv2d_packed_fp(&x, &packed, Some(&b), spec, Some(&act));
+                let reference = reference_wa(&x, &packed, Some(&b), spec, &act);
+                for (i, (a, e)) in fused.data().iter().zip(reference.data()).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        e.to_bits(),
+                        "{wfmt}/{act} elem {i}: {a} vs {e} not bit-exact"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_handles_nan_and_inf_inputs() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut vals: Vec<f32> = Tensor::randn(&[2 * 3 * 5 * 5], &mut rng).data().to_vec();
+        vals[7] = f32::NAN;
+        vals[31] = f32::INFINITY;
+        vals[99] = f32::NEG_INFINITY;
+        let x = Tensor::from_vec(vals, &[2, 3, 5, 5]);
+        let w = Tensor::randn(&[4, 3, 3, 3], &mut rng);
+        let spec = Conv2dSpec::new(1, 1);
+        let packed = PackedFpTensor::encode(&w, FpFormat::new(4, 3));
+        for act in [
+            TensorQuantizer::Fp(FpFormat::new(2, 1)),
+            TensorQuantizer::Int(IntFormat::from_range(8, -2.0, 2.0)),
+        ] {
+            let fused = conv2d_packed_fp(&x, &packed, None, spec, Some(&act));
+            let reference = reference_wa(&x, &packed, None, spec, &act);
+            assert!(fused.data().iter().all(|v| v.is_finite()), "{act}: non-finite output");
+            for (a, e) in fused.data().iter().zip(reference.data()) {
+                assert_eq!(a.to_bits(), e.to_bits(), "{act}: {a} vs {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn per_channel_fused_matches_planewise_prequantization() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let (c, h, w_) = (3usize, 5usize, 5usize);
+        let x = Tensor::randn(&[2, c, h, w_], &mut rng);
+        let w = Tensor::randn(&[4, c, 3, 3], &mut rng);
+        let spec = Conv2dSpec::new(1, 1);
+        let packed = PackedFpTensor::encode(&w, FpFormat::new(4, 3));
+        let formats: Vec<TensorQuantizer> = (0..c)
+            .map(|ci| TensorQuantizer::Fp(FpFormat::with_bias(4, 3, 7.0 + ci as f32)))
+            .collect();
+        let pq = PanelQuantizer::per_channel(&formats);
+        let fused = conv2d_packed_fused(&x, &packed, None, spec, Some(&pq));
+        // Reference: quantize each input-channel plane with its format.
+        let mut xq = x.clone();
+        for b in 0..2 {
+            for (ci, fmt) in formats.iter().enumerate() {
+                let start = (b * c + ci) * h * w_;
+                let plane = Tensor::from_vec(x.data()[start..start + h * w_].to_vec(), &[h * w_]);
+                let qplane = fmt.quantize(&plane);
+                xq.data_mut()[start..start + h * w_].copy_from_slice(qplane.data());
+            }
+        }
+        let reference = conv2d_packed_fused(&xq, &packed, None, spec, None);
+        for (i, (a, e)) in fused.data().iter().zip(reference.data()).enumerate() {
+            assert_eq!(a.to_bits(), e.to_bits(), "elem {i}: {a} vs {e}");
+        }
+    }
+
+    #[test]
+    fn degenerate_conv_shapes_are_panic_free() {
+        let fmt = FpFormat::new(4, 3);
+        // Zero batch.
+        let w = PackedFpTensor::encode(&Tensor::zeros(&[2, 3, 3, 3]), fmt);
+        let y =
+            conv2d_packed_fp(&Tensor::zeros(&[0, 3, 5, 5]), &w, None, Conv2dSpec::new(1, 1), None);
+        assert_eq!(y.dims(), &[0, 2, 5, 5]);
+        // Zero input channels: an empty reduction, all-zero output.
+        let w2 = PackedFpTensor::encode(&Tensor::zeros(&[2, 0, 3, 3]), fmt);
+        let y2 =
+            conv2d_packed_fp(&Tensor::zeros(&[1, 0, 5, 5]), &w2, None, Conv2dSpec::new(1, 1), None);
+        assert_eq!(y2.dims(), &[1, 2, 5, 5]);
+        assert!(y2.data().iter().all(|&v| v == 0.0));
     }
 
     #[test]

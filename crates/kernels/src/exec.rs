@@ -11,14 +11,22 @@
 //! then on, end-to-end sampling streams 4-8× less weight traffic than
 //! FP32 — the execution pattern whose cost the paper's §III motivates.
 //!
-//! Activation fake-quantizers keep running inside the layer taps, ahead
-//! of the packed kernels, so packed execution composes with the paper's
-//! weight+activation configurations unchanged.
+//! Activation quantization is *fused into the packed kernels*: when the
+//! PTQ report assigned a layer one whole-input activation format, the
+//! layer's tap quantizer is suspended (parked in the
+//! [`fpdq_nn::PackedSlot`]) and the packed forward quantizes the
+//! activations inside its tile loop through the boundary tables of
+//! [`fpdq_core::BoundaryQuantizer`] — bit-exact with the tap's simulated
+//! quantizer, without the per-element `log2`/`powf` or the intermediate
+//! activation tensor. Split-quantized layers (separate trunk/skip
+//! formats) keep their tap quantizers; the packed kernel then runs on the
+//! already-quantized input, which is idempotent and therefore still
+//! exact. [`unpack_unet`] restores the suspended tap closures.
 
-use crate::conv::conv2d_packed;
-use crate::gemm::gemm_packed;
+use crate::conv::conv2d_packed_fused;
+use crate::gemm::gemm_packed_fused;
 use crate::packed::{PackedFpTensor, PackedIntTensor, PackedWeights};
-use fpdq_core::{QuantReport, TensorQuantizer};
+use fpdq_core::{PanelQuantizer, QuantReport, TensorQuantizer};
 use fpdq_nn::{PackedForwardFn, QuantKind, QuantLayer, UNet};
 use fpdq_tensor::conv::Conv2dSpec;
 use fpdq_tensor::Tensor;
@@ -33,6 +41,9 @@ pub struct PackedLayerInfo {
     pub kind: QuantKind,
     /// Storage format description (e.g. `"E4M3(b=8)"`).
     pub format: String,
+    /// Fused activation format description, when the packed forward
+    /// quantizes activations inside its tile loop.
+    pub fused_act: Option<String>,
     /// Packed payload bytes.
     pub payload_bytes: usize,
     /// Dense FP32 bytes the payload replaces.
@@ -66,16 +77,23 @@ impl PackReport {
         }
         self.dense_bytes() as f32 / p as f32
     }
+
+    /// Number of layers whose activation quantizer runs fused inside the
+    /// packed kernel (vs. staying in the layer tap).
+    pub fn fused_act_layers(&self) -> usize {
+        self.layers.iter().filter(|l| l.fused_act.is_some()).count()
+    }
 }
 
 fn linear_forward<W: PackedWeights + 'static>(
     w: Rc<W>,
     bias: Option<Tensor>,
     out_features: usize,
+    act: Option<PanelQuantizer>,
 ) -> PackedForwardFn {
     Rc::new(move |x: &Tensor| {
         let affine = |x2: &Tensor| {
-            let y = gemm_packed(x2, &*w, None);
+            let y = gemm_packed_fused(x2, &*w, act.as_ref());
             match &bias {
                 Some(b) => y.add(b),
                 None => y,
@@ -96,45 +114,77 @@ fn conv_forward<W: PackedWeights + 'static>(
     w: Rc<W>,
     bias: Option<Tensor>,
     spec: Conv2dSpec,
+    act: Option<PanelQuantizer>,
 ) -> PackedForwardFn {
-    Rc::new(move |x: &Tensor| conv2d_packed(x, &*w, bias.as_ref(), spec, None))
+    Rc::new(move |x: &Tensor| conv2d_packed_fused(x, &*w, bias.as_ref(), spec, act.as_ref()))
 }
 
 /// Re-encodes one layer's (already baked) weight into `format` and
-/// installs the packed forward override. Returns the packing stats.
+/// installs the packed forward override; when `act` names the layer's
+/// whole-input activation format, the tap's quantizer closure is
+/// suspended into the [`fpdq_nn::PackedSlot`] and quantization runs fused
+/// inside the packed kernel instead. Returns the packing stats.
 ///
 /// # Panics
 ///
 /// Panics if a conv layer reports no [`Conv2dSpec`].
-pub fn install_packed_weight(layer: &dyn QuantLayer, format: &TensorQuantizer) -> PackedLayerInfo {
+pub fn install_packed_weight(
+    layer: &dyn QuantLayer,
+    format: &TensorQuantizer,
+    act: Option<&TensorQuantizer>,
+) -> PackedLayerInfo {
     let w = layer.weight().value();
     let bias = layer.bias().map(|b| b.value());
     let dense_bytes = w.numel() * std::mem::size_of::<f32>();
+    // Re-packing an already-packed layer must behave like packing the
+    // dense layer: restore any closure a previous fused install parked,
+    // so the fusing decision below sees the original tap state
+    // (idempotency).
+    if let Some(f) = layer.packed().take_suspended_act() {
+        layer.tap().borrow_mut().act_quant = Some(f);
+    }
+    // Only fuse when the tap holds exactly the whole-input quantizer this
+    // format describes (split trunk/skip taps keep their closures — the
+    // fused kernel would need the concatenation geometry).
+    let fused_act = act.filter(|_| {
+        let tap = layer.tap().borrow();
+        tap.act_quant.is_some() && tap.act_quant_skip.is_none()
+    });
+    let pq = fused_act.map(PanelQuantizer::per_tensor);
     let (payload_bytes, forward): (usize, PackedForwardFn) = match (format, layer.kind()) {
         (TensorQuantizer::Fp(fmt), QuantKind::Linear) => {
             let packed = Rc::new(PackedFpTensor::encode(&w, *fmt));
-            (packed.payload_bytes(), linear_forward(packed, bias, w.dims()[0]))
+            (packed.payload_bytes(), linear_forward(packed, bias, w.dims()[0], pq))
         }
         (TensorQuantizer::Fp(fmt), QuantKind::Conv) => {
             let packed = Rc::new(PackedFpTensor::encode(&w, *fmt));
             let spec = layer.conv_spec().expect("conv layer without spec");
-            (packed.payload_bytes(), conv_forward(packed, bias, spec))
+            (packed.payload_bytes(), conv_forward(packed, bias, spec, pq))
         }
         (TensorQuantizer::Int(fmt), QuantKind::Linear) => {
             let packed = Rc::new(PackedIntTensor::encode(&w, *fmt));
-            (packed.payload_bytes(), linear_forward(packed, bias, w.dims()[0]))
+            (packed.payload_bytes(), linear_forward(packed, bias, w.dims()[0], pq))
         }
         (TensorQuantizer::Int(fmt), QuantKind::Conv) => {
             let packed = Rc::new(PackedIntTensor::encode(&w, *fmt));
             let spec = layer.conv_spec().expect("conv layer without spec");
-            (packed.payload_bytes(), conv_forward(packed, bias, spec))
+            (packed.payload_bytes(), conv_forward(packed, bias, spec, pq))
         }
     };
+    if fused_act.is_some() {
+        // The fused kernel now owns activation quantization; park the
+        // tap's closure so unpacking can restore it.
+        let suspended = layer.tap().borrow_mut().act_quant.take();
+        if let Some(f) = suspended {
+            layer.packed().suspend_act(f);
+        }
+    }
     layer.packed().install(forward);
     PackedLayerInfo {
         name: layer.qname().to_string(),
         kind: layer.kind(),
         format: format.describe(),
+        fused_act: fused_act.map(TensorQuantizer::describe),
         payload_bytes,
         dense_bytes,
     }
@@ -142,7 +192,8 @@ pub fn install_packed_weight(layer: &dyn QuantLayer, format: &TensorQuantizer) -
 
 /// Switches a quantized U-Net to packed-weight execution: every layer the
 /// PTQ report assigned a weight format is re-encoded into that format and
-/// dispatched to the dequantize-on-the-fly kernels from now on.
+/// dispatched to the dequantize-on-the-fly kernels from now on, with
+/// whole-input activation quantizers fused into the kernels' tile loops.
 ///
 /// The model must already hold the baked (quantized) weights the report
 /// describes — re-encoding is then bit-exact, so packed sampling matches
@@ -156,14 +207,21 @@ pub fn pack_unet(unet: &UNet, report: &QuantReport) -> PackReport {
         let Some(format) = &rep.weight_format else {
             return;
         };
-        packed.layers.push(install_packed_weight(layer, format));
+        packed
+            .layers
+            .push(install_packed_weight(layer, format, rep.act_format.as_ref()));
     });
     packed
 }
 
-/// Reverts a U-Net to dense execution (clears every packed override).
+/// Reverts a U-Net to dense execution: clears every packed override and
+/// restores any tap activation quantizer the fused path had suspended.
 pub fn unpack_unet(unet: &UNet) {
-    unet.visit_quant_layers(&mut |layer| layer.packed().clear());
+    unet.visit_quant_layers(&mut |layer| {
+        if let Some(f) = layer.packed().clear() {
+            layer.tap().borrow_mut().act_quant = Some(f);
+        }
+    });
 }
 
 #[cfg(test)]
@@ -216,6 +274,45 @@ mod tests {
         unpack_unet(&unet);
         let reverted = unet.forward(&x, &t, None);
         assert_eq!(reverted.data(), dense.data(), "unpack must restore dense path");
+    }
+
+    #[test]
+    fn fused_act_quant_suspends_and_restores_taps() {
+        let (unet, report, mut rng) = quantized_tiny_unet(PtqConfig::fp(8, 8));
+        let x = Tensor::randn(&[1, 2, 8, 8], &mut rng);
+        let t = Tensor::from_vec(vec![5.0], &[1]);
+        let dense = unet.forward(&x, &t, None);
+
+        let mut taps_before = 0;
+        unet.visit_quant_layers(&mut |l| {
+            taps_before += usize::from(l.tap().borrow().act_quant.is_some());
+        });
+        assert!(taps_before > 0, "PTQ must have installed tap quantizers");
+
+        let pack = pack_unet(&unet, &report);
+        assert!(pack.fused_act_layers() > 0, "whole-input layers must fuse");
+        // Every fused layer's tap closure is parked in the slot.
+        let mut suspended_taps = 0;
+        unet.visit_quant_layers(&mut |l| {
+            suspended_taps += usize::from(l.tap().borrow().act_quant.is_none());
+        });
+        assert_eq!(suspended_taps, pack.fused_act_layers(), "fused layers suspend their taps");
+
+        // Fused execution still matches the fake-quantized reference.
+        let packed = unet.forward(&x, &t, None);
+        let scale = dense.data().iter().fold(0.0f32, |m, v| m.max(v.abs())).max(1.0);
+        for (a, b) in dense.data().iter().zip(packed.data()) {
+            assert!((a - b).abs() < 1e-3 * scale, "fused forward diverged: {a} vs {b}");
+        }
+
+        // Unpacking puts every tap closure back.
+        unpack_unet(&unet);
+        let mut taps_after = 0;
+        unet.visit_quant_layers(&mut |l| {
+            taps_after += usize::from(l.tap().borrow().act_quant.is_some());
+        });
+        assert_eq!(taps_after, taps_before, "unpack must restore suspended taps");
+        assert_eq!(unet.forward(&x, &t, None).data(), dense.data());
     }
 
     #[test]

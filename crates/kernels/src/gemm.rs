@@ -1,64 +1,151 @@
-//! Dequantize-on-the-fly GEMM over packed weights.
+//! Dequantize-on-the-fly GEMM over packed weights, with the activation
+//! quantizer fused into the tile loop.
 //!
 //! The execution pattern of weight-quantized inference on hardware without
 //! native low-bit units: weights stream from memory in packed form (4-8×
 //! less traffic than FP32) and are expanded to the accumulator type at the
-//! register level. Activations can optionally be fake-quantized on entry,
-//! making the kernel numerically identical to the simulated
-//! weight+activation quantization used in the quality experiments.
+//! register level. In the weight+activation configuration the activations
+//! are quantized *inside* the tile loop through the boundary tables of
+//! [`fpdq_core::BoundaryQuantizer`] — no whole-tensor fake-quant pass, no
+//! `log2`/`powf` per element, no intermediate activation tensor — while
+//! staying bit-exact against the simulated quantizers.
 //!
-//! Both the FP and INT paths share one blocked implementation: each worker
-//! decodes a small tile of packed weight rows into reusable scratch (LUT
-//! decode, one table load per element), then amortises that tile across
-//! every activation row through the register-blocked
-//! [`fpdq_tensor::matmul::gemm_nt_serial`] micro-kernel. No path ever
-//! densifies the whole weight tensor, so the memory-traffic claim holds
-//! for INT formats too.
+//! # Tile schedule
+//!
+//! The output is computed as `[n, m]` (weight rows × activation rows) and
+//! transposed once at the end. Workers split the weight rows on the
+//! register-block grid ([`parallel_rows_aligned`]); each worker owns a
+//! scratch arena (decoded weight tile + packed activation panels) and:
+//!
+//! 1. quantizes + interleaves up to [`ACT_BLOCK`] activation rows into
+//!    `[k][NT_NR]` panels ([`pack_nt_panel`]) — the *fused epilogue*:
+//!    quantization happens as the micro-panel is packed, via branch-free
+//!    boundary-table bisection;
+//! 2. streams its packed weight rows [`WTILE_ROWS`] at a time through the
+//!    LUT decoder into row-major scratch;
+//! 3. runs the shared 4×8 NT micro-kernel ([`gemm_nt_panel`]) tile ×
+//!    panel.
+//!
+//! Because the micro-kernel accumulates each output element in plain `k`
+//! order in every path, the result is bit-identical however the tiles are
+//! scheduled — across thread counts, and between the fused path and the
+//! reference "fake-quantize the whole tensor first" path.
 
 use crate::packed::{PackedFpTensor, PackedIntTensor, PackedWeights};
-use fpdq_core::TensorQuantizer;
-use fpdq_tensor::matmul::gemm_nt_serial;
-use fpdq_tensor::parallel::parallel_rows;
+use fpdq_core::{PanelQuantizer, TensorQuantizer};
+use fpdq_tensor::matmul::{gemm_nt_panel, pack_nt_panel, NT_MR, NT_NR};
+use fpdq_tensor::parallel::parallel_rows_aligned;
 use fpdq_tensor::Tensor;
 
-/// Packed weight rows decoded per scratch refill. Large enough to amortise
-/// the decode across the register tiles, small enough to stay cache-hot
-/// (8 rows × k floats).
-const DECODE_TILE_ROWS: usize = 8;
+/// Packed weight rows decoded per scratch refill. Large enough to
+/// amortise the decode across the register blocks, small enough to stay
+/// cache-hot (8 rows × k floats).
+const WTILE_ROWS: usize = 8;
 
-/// `a [m,k] × wᵀ [n,k] → [m,n]` for any packed weight representation.
-///
-/// Parallelises over weight-row chunks: each worker decodes
-/// [`DECODE_TILE_ROWS`] packed rows at a time into its scratch buffer and
-/// reuses the decoded tile against all `m` activation rows via the tiled
-/// NT micro-kernel, writing an `[n, m]` block that is transposed once at
-/// the end.
+/// Activation rows quantized + packed per scratch block (a multiple of
+/// [`NT_NR`]). Bounds the per-worker activation arena at
+/// `ACT_BLOCK × k` floats — panels are built as they are consumed, never
+/// a whole-tensor copy.
+const ACT_BLOCK: usize = 32;
+
+/// `a [m,k] × wᵀ [n,k] → [m,n]` for any packed weight representation,
+/// optionally fake-quantizing the activations per-tensor on the way in
+/// (the paper's weight+activation configuration).
 ///
 /// # Panics
 ///
 /// Panics on shape mismatches.
 pub fn gemm_packed<W: PackedWeights>(a: &Tensor, w: &W, act: Option<&TensorQuantizer>) -> Tensor {
+    let pq = act.map(PanelQuantizer::per_tensor);
+    gemm_packed_fused(a, w, pq.as_ref())
+}
+
+/// [`gemm_packed`] with an explicit [`PanelQuantizer`], covering the
+/// per-channel activation granularity as well: with `channels == k`,
+/// column `j` of the activations quantizes through table `j`.
+///
+/// # Panics
+///
+/// Panics on shape mismatches, or if a per-channel quantizer's channel
+/// count differs from `k`.
+pub fn gemm_packed_fused<W: PackedWeights>(
+    a: &Tensor,
+    w: &W,
+    act: Option<&PanelQuantizer>,
+) -> Tensor {
     assert_eq!(a.ndim(), 2, "activations must be [m, k]");
     assert_eq!(w.dims().len(), 2, "weights must be [n, k]");
     let (m, k) = (a.dim(0), a.dim(1));
     let (n, wk) = (w.dims()[0], w.dims()[1]);
     assert_eq!(k, wk, "inner dims differ: {k} vs {wk}");
-    let a_q = match act {
-        Some(q) => q.quantize(a),
-        None => a.clone(),
-    };
-    let ad = a_q.data();
+    if let Some(pq) = act {
+        assert!(
+            pq.channels() == 1 || pq.channels() == k,
+            "per-channel activation quantizer has {} channels for k = {k}",
+            pq.channels()
+        );
+    }
+    if m == 0 || n == 0 || k == 0 {
+        // Degenerate dims: an empty sum; the tile loops would slice past
+        // the packed payload.
+        return Tensor::zeros(&[m, n]);
+    }
+    let ad = a.data();
     let mut out = vec![0.0f32; n * m];
-    parallel_rows(&mut out, n, m, 4, |row_start, chunk| {
-        let rows = chunk.len() / m.max(1);
-        let mut wtile = vec![0.0f32; DECODE_TILE_ROWS * k];
-        let mut jt = 0;
-        while jt < rows {
-            let nh = DECODE_TILE_ROWS.min(rows - jt);
-            w.decode_range_into((row_start + jt) * k, &mut wtile[..nh * k]);
-            // c block rows jt..jt+nh of the [n, m] output: w-tile × aᵀ.
-            gemm_nt_serial(&wtile[..nh * k], ad, &mut chunk[jt * m..(jt + nh) * m], nh, k, m);
-            jt += nh;
+    parallel_rows_aligned(&mut out, n, m, 4, NT_MR, |row_start, chunk| {
+        let rows = chunk.len() / m;
+        // Per-worker scratch arena, reused across every tile this worker
+        // touches.
+        let mut wtile = vec![0.0f32; WTILE_ROWS * k];
+        let mut panels = vec![0.0f32; (ACT_BLOCK / NT_NR) * k * NT_NR];
+        let mut qrows = vec![0.0f32; NT_NR * k];
+        let mut mb = 0;
+        while mb < m {
+            let mblock = ACT_BLOCK.min(m - mb);
+            // Fused epilogue: quantize this block's activation rows as
+            // they are interleaved into panels.
+            let mut packed_panels = 0;
+            let mut mp = 0;
+            while mp < mblock {
+                let nw = NT_NR.min(mblock - mp);
+                let src = &ad[(mb + mp) * k..(mb + mp + nw) * k];
+                let bp = &mut panels[packed_panels * k * NT_NR..(packed_panels + 1) * k * NT_NR];
+                match act {
+                    Some(pq) => {
+                        // group = 1: the channel of element `i` within the
+                        // row-major block is `i % k`, i.e. its column.
+                        pq.quantize_panel_into(src, &mut qrows[..nw * k], 1);
+                        pack_nt_panel(&qrows[..nw * k], k, nw, bp);
+                    }
+                    None => pack_nt_panel(src, k, nw, bp),
+                }
+                packed_panels += 1;
+                mp += nw;
+            }
+            // Stream this worker's packed weight rows against the block's
+            // panels (weights re-decode once per activation block; a
+            // single block covers m ≤ ACT_BLOCK, the common GEMM shapes).
+            let mut wt = 0;
+            while wt < rows {
+                let wh = WTILE_ROWS.min(rows - wt);
+                w.decode_range_into((row_start + wt) * k, &mut wtile[..wh * k]);
+                for p in 0..packed_panels {
+                    let j0 = mb + p * NT_NR;
+                    let nw = NT_NR.min(m - j0);
+                    gemm_nt_panel(
+                        &wtile[..wh * k],
+                        &panels[p * k * NT_NR..(p + 1) * k * NT_NR],
+                        &mut chunk[wt * m..(wt + wh) * m],
+                        wh,
+                        k,
+                        m,
+                        j0,
+                        nw,
+                    );
+                }
+                wt += wh;
+            }
+            mb += mblock;
         }
     });
     // `out` is laid out [n, m]; transpose to [m, n].
@@ -66,7 +153,7 @@ pub fn gemm_packed<W: PackedWeights>(a: &Tensor, w: &W, act: Option<&TensorQuant
 }
 
 /// `a [m,k] × wᵀ [n,k] → [m,n]` with packed FP weights, optionally
-/// fake-quantizing the activations with `act` first (the paper's
+/// quantizing the activations in the fused tile loop (the paper's
 /// weight+activation configuration).
 ///
 /// # Panics
@@ -90,6 +177,8 @@ pub fn gemm_packed_int(a: &Tensor, w: &PackedIntTensor, act: Option<&TensorQuant
 mod tests {
     use super::*;
     use fpdq_core::{FpFormat, IntFormat};
+    use fpdq_tensor::parallel::num_threads;
+    use proptest::prelude::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -157,8 +246,9 @@ mod tests {
 
     #[test]
     fn tiled_gemm_handles_edge_shapes() {
-        // m/n/k off the 4×4 tile grid, single activation rows, and tiny k
-        // — every case must agree with the dense reference.
+        // m/n/k off the register-block grid, single activation rows, tiny
+        // k, and m spanning multiple activation blocks — every case must
+        // agree with the dense reference.
         let mut rng = StdRng::seed_from_u64(3);
         let fmt = FpFormat::new(4, 3);
         for (m, n, k) in [
@@ -171,6 +261,7 @@ mod tests {
             (6, 17, 33),
             (9, 8, 128),
             (33, 31, 65),
+            (70, 5, 9),
         ] {
             let a = Tensor::randn(&[m, k], &mut rng);
             let w = Tensor::randn(&[n, k], &mut rng);
@@ -180,6 +271,184 @@ mod tests {
             assert_eq!(fast.dims(), &[m, n]);
             for (i, (x, y)) in fast.data().iter().zip(reference.data()).enumerate() {
                 assert!((x - y).abs() < 1e-3, "({m},{n},{k}) elem {i}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_shapes_produce_empty_or_zero_outputs() {
+        // m == 0 / k == 0 / n == 0 must not slice past the packed payload
+        // — both the packed GEMM and the dense matmul_nt return the
+        // well-defined empty-sum result.
+        let fmt = FpFormat::new(4, 3);
+        for (m, n, k) in [(0usize, 4usize, 3usize), (2, 0, 3), (2, 4, 0), (0, 0, 0)] {
+            let a = Tensor::zeros(&[m, k]);
+            let w = PackedFpTensor::encode(&Tensor::zeros(&[n, k]), fmt);
+            let y = gemm_packed_fp(&a, &w, None);
+            assert_eq!(y.dims(), &[m, n], "({m},{n},{k})");
+            assert!(y.data().iter().all(|&v| v == 0.0));
+            let dense = Tensor::zeros(&[m, k]).matmul_nt(&Tensor::zeros(&[n, k]));
+            assert_eq!(dense.dims(), &[m, n]);
+            let wa = gemm_packed_fp(&a, &w, Some(&TensorQuantizer::Fp(fmt)));
+            assert_eq!(wa.dims(), &[m, n]);
+        }
+    }
+
+    /// Reference for the fused path: fake-quantize the whole activation
+    /// tensor first, then run the identical packed kernel without the
+    /// fused quantizer.
+    fn reference_wa(a: &Tensor, w: &PackedFpTensor, act: &TensorQuantizer) -> Tensor {
+        gemm_packed_fp(&act.quantize(a), w, None)
+    }
+
+    #[test]
+    fn fused_act_quant_is_bit_exact_with_prequantized_path() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = Tensor::randn(&[33, 40], &mut rng).mul_scalar(2.5);
+        let w = Tensor::randn(&[19, 40], &mut rng);
+        for wfmt in [FpFormat::new(4, 3), FpFormat::new(2, 1)] {
+            let packed = PackedFpTensor::encode(&w, wfmt);
+            for act in [
+                TensorQuantizer::Fp(FpFormat::new(4, 3)),
+                TensorQuantizer::Fp(FpFormat::new(2, 1)),
+                TensorQuantizer::Int(IntFormat::fit(&a, 8)),
+                TensorQuantizer::Int(IntFormat::fit(&a, 4)),
+            ] {
+                let fused = gemm_packed_fp(&a, &packed, Some(&act));
+                let reference = reference_wa(&a, &packed, &act);
+                for (i, (x, y)) in fused.data().iter().zip(reference.data()).enumerate() {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "{wfmt}/{act} elem {i}: {x} vs {y} not bit-exact"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_handles_nan_and_inf_activations() {
+        // NaN maps through the boundary table exactly like the simulated
+        // quantizer (to 0 for FP, the zero level for INT); ±∞ clip.
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut vals: Vec<f32> = Tensor::randn(&[6 * 12], &mut rng).data().to_vec();
+        vals[3] = f32::NAN;
+        vals[17] = f32::INFINITY;
+        vals[40] = f32::NEG_INFINITY;
+        let a = Tensor::from_vec(vals, &[6, 12]);
+        let w = Tensor::randn(&[5, 12], &mut rng);
+        let packed = PackedFpTensor::encode(&w, FpFormat::new(4, 3));
+        for act in [
+            TensorQuantizer::Fp(FpFormat::new(4, 3)),
+            TensorQuantizer::Int(IntFormat::from_range(8, -2.0, 2.0)),
+        ] {
+            let fused = gemm_packed_fp(&a, &packed, Some(&act));
+            let reference = reference_wa(&a, &packed, &act);
+            assert!(fused.data().iter().all(|v| v.is_finite()), "{act}: non-finite output");
+            for (x, y) in fused.data().iter().zip(reference.data()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{act}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn per_channel_fused_matches_columnwise_prequantization() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let (m, k, n) = (9usize, 6usize, 7usize);
+        let a = Tensor::randn(&[m, k], &mut rng);
+        let w = Tensor::randn(&[n, k], &mut rng);
+        let packed = PackedFpTensor::encode(&w, FpFormat::new(4, 3));
+        // One distinct format per input feature (column).
+        let formats: Vec<TensorQuantizer> = (0..k)
+            .map(|j| {
+                if j % 2 == 0 {
+                    TensorQuantizer::Fp(FpFormat::with_bias(4, 3, 8.0 + j as f32 * 0.5))
+                } else {
+                    TensorQuantizer::Int(IntFormat::from_range(8, -1.0 - j as f32, 1.0 + j as f32))
+                }
+            })
+            .collect();
+        let pq = PanelQuantizer::per_channel(&formats);
+        let fused = gemm_packed_fused(&a, &packed, Some(&pq));
+        // Reference: quantize each column with its own format, then the
+        // identical kernel without fusion.
+        let mut aq = a.clone();
+        for i in 0..m {
+            for (j, fmt) in formats.iter().enumerate() {
+                let v = Tensor::from_vec(vec![a.data()[i * k + j]], &[1]);
+                aq.data_mut()[i * k + j] = fmt.quantize(&v).data()[0];
+            }
+        }
+        let reference = gemm_packed_fused(&aq, &packed, None);
+        for (i, (x, y)) in fused.data().iter().zip(reference.data()).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "elem {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn multithreaded_output_is_bit_identical_to_single_threaded() {
+        // The kernel accumulates every output element in plain k order in
+        // every code path, so the thread count must not change a single
+        // bit. FPDQ_THREADS is process-wide and cached; emulate the
+        // single-thread schedule by running the serial body directly.
+        let mut rng = StdRng::seed_from_u64(10);
+        let a = Tensor::randn(&[37, 48], &mut rng);
+        let w = Tensor::randn(&[29, 48], &mut rng);
+        let act = TensorQuantizer::Fp(FpFormat::new(4, 3));
+        let packed = PackedFpTensor::encode(&w, FpFormat::new(2, 1));
+        let threaded = gemm_packed_fp(&a, &packed, Some(&act));
+        // Reference schedule: one tile at a time via a 1-row-chunk sweep.
+        let reference = {
+            let aq = act.quantize(&a);
+            let mut bp = vec![0.0f32; 48 * NT_NR];
+            let mut wrow = vec![0.0f32; 48];
+            let mut out = vec![0.0f32; 37 * 29];
+            for j0 in (0..37).step_by(NT_NR) {
+                let nw = NT_NR.min(37 - j0);
+                pack_nt_panel(&aq.data()[j0 * 48..(j0 + nw) * 48], 48, nw, &mut bp);
+                for r in 0..29 {
+                    packed.decode_range_into(r * 48, &mut wrow);
+                    let mut crow = vec![0.0f32; 37];
+                    crow.copy_from_slice(&out[r * 37..(r + 1) * 37]);
+                    gemm_nt_panel(&wrow, &bp, &mut crow, 1, 48, 37, j0, nw);
+                    out[r * 37..(r + 1) * 37].copy_from_slice(&crow);
+                }
+            }
+            Tensor::from_vec(out, &[29, 37]).transpose()
+        };
+        assert!(num_threads() >= 1);
+        for (i, (x, y)) in threaded.data().iter().zip(reference.data()).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "elem {i}: schedule changed the bits");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn fused_wa_gemm_bit_exact_property(
+            seed in 0u64..1000,
+            m in 1usize..20,
+            k in 1usize..24,
+            n in 1usize..12,
+            wpick in 0usize..4,
+            apick in 0usize..4,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let a = Tensor::randn(&[m, k], &mut rng).mul_scalar(3.0);
+            let w = Tensor::randn(&[n, k], &mut rng);
+            let wfmt = [FpFormat::new(4, 3), FpFormat::new(2, 1),
+                        FpFormat::new(5, 2), FpFormat::new(1, 2)][wpick];
+            let act = match apick {
+                0 => TensorQuantizer::Fp(FpFormat::new(4, 3)),
+                1 => TensorQuantizer::Fp(FpFormat::new(2, 1)),
+                2 => TensorQuantizer::Int(IntFormat::fit(&a, 8)),
+                _ => TensorQuantizer::Int(IntFormat::fit(&a, 4)),
+            };
+            let packed = PackedFpTensor::encode(&w, wfmt);
+            let fused = gemm_packed_fp(&a, &packed, Some(&act));
+            let reference = reference_wa(&a, &packed, &act);
+            for (x, y) in fused.data().iter().zip(reference.data()) {
+                prop_assert_eq!(x.to_bits(), y.to_bits(), "{} vs {}", x, y);
             }
         }
     }

@@ -16,9 +16,9 @@
 //!   format and NVIDIA-style structured 2:4 pruning with metadata, the
 //!   "future work" optimisation the paper points at.
 //!
-//! # Packed execution architecture
+//! # Fused-epilogue packed execution architecture
 //!
-//! The hot path is built from three layers, each independently tested for
+//! The hot path is built from four layers, each independently tested for
 //! bit-exactness against the simulated quantizers:
 //!
 //! 1. **LUT decode** ([`packed`]). Formats whose code width divides a byte
@@ -29,27 +29,56 @@
 //!    bisection against the reference quantizer), eliminating the
 //!    per-element `log2`/`powf` + binary search. Odd widths fall back to
 //!    word-level shift unpacking.
-//! 2. **Tiled dequantize-on-the-fly** ([`gemm`], [`conv`]). The GEMM
-//!    decodes a small tile of packed weight rows into per-worker scratch
-//!    and amortises it across all activation rows through the 4×4
-//!    register-blocked NT micro-kernel shared with the dense
-//!    `matmul_nt` path ([`fpdq_tensor::matmul::gemm_nt_serial`]); packed
-//!    weights therefore run within ~10% of dense FP32 while moving 4-8×
-//!    fewer weight bytes. The convolution keeps a per-thread scratch arena
-//!    (decoded filter bank + one `im2col` buffer) reused across its
-//!    batches — nothing allocates per batch element.
-//! 3. **Model wiring** ([`exec`]). `pack_unet` re-encodes a PTQ'd model's
+//! 2. **Fused activation quantization** ([`fpdq_core::BoundaryQuantizer`]
+//!    / [`fpdq_core::PanelQuantizer`]). The weight+activation
+//!    configuration no longer fake-quantizes the whole activation tensor
+//!    up front: activations are quantized *inside* the tile loops through
+//!    signed boundary tables (branch-free, bucket-indexed bisection — no
+//!    transcendentals, no intermediate tensor), per-tensor or
+//!    per-channel, bit-exact with the simulated quantizers.
+//! 3. **Tiled dequantize-on-the-fly** ([`gemm`], [`conv`]). The GEMM
+//!    packs activation micro-panels (quantizing as it packs) into the
+//!    `[k][8]` interleaved layout of the 4×8 NT panel micro-kernel shared
+//!    with dense `matmul_nt` ([`fpdq_tensor::matmul::gemm_nt_panel`]),
+//!    and streams packed weight rows through the LUT decoder 8 rows at a
+//!    time; packed weights therefore run at or below dense-FP32 latency
+//!    while moving 4-8× fewer weight bytes. The convolution picks its
+//!    schedule by batch: batch-parallel with per-worker arenas, or —
+//!    for small batches, the batch-1 sampling case — channel-parallel
+//!    workers that decode only their own filter rows against a shared
+//!    `im2col` lowering. Because the micro-kernel accumulates every
+//!    output element in plain `k` order in every code path, results are
+//!    bit-identical across tile schedules and thread counts, and the
+//!    fused path is bit-exact against "fake-quantize first, then run the
+//!    same kernel".
+//! 4. **Model wiring** ([`exec`]). `pack_unet` re-encodes a PTQ'd model's
 //!    baked weights into their searched formats and installs packed
 //!    forward overrides into every quantized Linear/Conv layer
-//!    ([`fpdq_nn::PackedSlot`]), so end-to-end sampling exercises the
-//!    packed path instead of fake-quantized dense matmuls. Activation
-//!    fake-quantizers keep running in the layer taps ahead of the packed
-//!    kernels.
+//!    ([`fpdq_nn::PackedSlot`]). Layers with one whole-input activation
+//!    format get the *fused* forward: their tap quantizer closure is
+//!    suspended into the slot (restored by `unpack_unet`) and
+//!    quantization runs inside the packed kernel. Split-quantized layers
+//!    (separate trunk/skip formats) keep their tap closures; idempotency
+//!    of fake quantization keeps the packed kernel exact on the
+//!    pre-quantized input.
+//!
+//! # Threading model
+//!
+//! Parallelism comes from `fpdq_tensor::parallel` scoped-thread helpers:
+//! the GEMM splits packed weight rows on the 4-row register-block grid
+//! (`parallel_rows_aligned`), the conv splits batches or output channels,
+//! and every worker owns a scratch arena (decoded weight tile, packed
+//! activation panels, quantized image, `im2col` columns) so no
+//! synchronisation happens inside a tile. Worker-chunk boundaries are
+//! pinned to the block grid, which — together with the fixed-`k`-order
+//! accumulation — makes multi-threaded output bit-identical to
+//! single-threaded output. `FPDQ_THREADS` caps the worker count.
 //!
 //! The pre-optimisation bit-loop implementations survive as `*_bitloop`
 //! reference functions; property tests pin the fast paths to them, and the
 //! `pack`/`gemm` groups of the `fpdq-bench` criterion suite benchmark both
-//! sides (LUT-vs-bitloop decode, tiled-vs-rowwise GEMM) in one run.
+//! sides (LUT-vs-bitloop decode, tiled-vs-rowwise GEMM) in one run and
+//! persist machine-readable results to `BENCH_kernels.json`.
 
 pub mod conv;
 pub mod exec;
@@ -57,8 +86,8 @@ pub mod gemm;
 pub mod packed;
 pub mod sparse;
 
-pub use conv::{conv2d_packed, conv2d_packed_fp, conv2d_packed_int};
+pub use conv::{conv2d_packed, conv2d_packed_fp, conv2d_packed_fused, conv2d_packed_int};
 pub use exec::{install_packed_weight, pack_unet, unpack_unet, PackReport, PackedLayerInfo};
-pub use gemm::{gemm_packed, gemm_packed_fp, gemm_packed_int};
+pub use gemm::{gemm_packed, gemm_packed_fp, gemm_packed_fused, gemm_packed_int};
 pub use packed::{PackedFpTensor, PackedIntTensor, PackedWeights};
 pub use sparse::{CsrWeights, TwoFourWeights};

@@ -23,35 +23,64 @@ pub type ActQuantFn = Rc<dyn Fn(&Tensor) -> Tensor>;
 /// packed execution.
 pub type PackedForwardFn = Rc<dyn Fn(&Tensor) -> Tensor>;
 
-/// Slot on a quantizable layer holding an optional [`PackedForwardFn`].
+/// Slot on a quantizable layer holding an optional [`PackedForwardFn`],
+/// plus the tap's suspended activation quantizer when the packed forward
+/// has *fused* activation quantization (the kernel quantizes inside its
+/// tile loop, so the tap must stop pre-quantizing — but must get its
+/// closure back when the layer reverts to dense execution).
 #[derive(Clone, Default)]
-pub struct PackedSlot(RefCell<Option<PackedForwardFn>>);
+pub struct PackedSlot {
+    forward: RefCell<Option<PackedForwardFn>>,
+    suspended_act: RefCell<Option<ActQuantFn>>,
+}
 
 impl std::fmt::Debug for PackedSlot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_tuple("PackedSlot").field(&self.0.borrow().is_some()).finish()
+        f.debug_struct("PackedSlot")
+            .field("installed", &self.forward.borrow().is_some())
+            .field("suspended_act", &self.suspended_act.borrow().is_some())
+            .finish()
     }
 }
 
 impl PackedSlot {
     /// Installs a packed-execution override.
     pub fn install(&self, f: PackedForwardFn) {
-        *self.0.borrow_mut() = Some(f);
+        *self.forward.borrow_mut() = Some(f);
     }
 
-    /// Removes the override (reverting to dense execution).
-    pub fn clear(&self) {
-        *self.0.borrow_mut() = None;
+    /// Removes the override (reverting to dense execution) and returns
+    /// the suspended tap activation quantizer, if the fused forward had
+    /// parked one. The caller owns the restore: put the closure back into
+    /// `tap.act_quant` (as `fpdq-kernels::unpack_unet` does) — dropping
+    /// it would leave the dense path running *without* activation
+    /// quantization, which is why the result must not be ignored.
+    #[must_use = "reinstall the suspended act quantizer into the tap, or dense execution loses it"]
+    pub fn clear(&self) -> Option<ActQuantFn> {
+        *self.forward.borrow_mut() = None;
+        self.take_suspended_act()
+    }
+
+    /// Parks the tap's activation quantizer while a fused forward owns
+    /// quantization (see [`Self::take_suspended_act`]).
+    pub fn suspend_act(&self, f: ActQuantFn) {
+        *self.suspended_act.borrow_mut() = Some(f);
+    }
+
+    /// Returns (and clears) the suspended activation quantizer so the
+    /// unpacking driver can restore it into the tap.
+    pub fn take_suspended_act(&self) -> Option<ActQuantFn> {
+        self.suspended_act.borrow_mut().take()
     }
 
     /// Whether an override is installed.
     pub fn is_installed(&self) -> bool {
-        self.0.borrow().is_some()
+        self.forward.borrow().is_some()
     }
 
     /// Runs the override on a tapped input, if installed.
     pub fn run(&self, x: &Tensor) -> Option<Tensor> {
-        self.0.borrow().as_ref().map(|f| f(x))
+        self.forward.borrow().as_ref().map(|f| f(x))
     }
 }
 

@@ -7,7 +7,7 @@
 //! paper's gradient-based rounding learning on convolution layers.
 
 use crate::matmul::gemm_serial;
-use crate::parallel::parallel_rows;
+use crate::parallel::{num_threads, parallel_rows, parallel_rows_aligned};
 use crate::Tensor;
 
 /// Hyper-parameters of a 2-D convolution (square stride/padding).
@@ -159,13 +159,51 @@ impl Tensor {
         let oh = spec.out_extent(h, kh);
         let ow = spec.out_extent(w, kw);
         let ckk = c * kh * kw;
-        let mut out = vec![0.0f32; n * o * oh * ow];
+        let ohow = oh * ow;
+        let mut out = vec![0.0f32; n * o * ohow];
         let input = self.data();
         let wdat = weight.data();
-        parallel_rows(&mut out, n, o * oh * ow, 1, |batch_start, chunk| {
-            let mut cols = vec![0.0f32; ckk * oh * ow];
-            for (bi, obatch) in chunk.chunks_mut(o * oh * ow).enumerate() {
-                let batch = batch_start + bi;
+        let add_bias = |chunk: &mut [f32], oc0: usize| {
+            if let Some(b) = bias {
+                for (oc, plane) in chunk.chunks_mut(ohow).enumerate() {
+                    let bv = b.data()[oc0 + oc];
+                    for v in plane.iter_mut() {
+                        *v += bv;
+                    }
+                }
+            }
+        };
+        if n == 0 || o == 0 || ohow == 0 || ckk == 0 {
+            return Tensor::from_vec(out, &[n, o, oh, ow]);
+        }
+        if n >= num_threads() {
+            // Batch-parallel: one im2col buffer per worker, reused across
+            // its batches.
+            parallel_rows(&mut out, n, o * ohow, 1, |batch_start, chunk| {
+                let mut cols = vec![0.0f32; ckk * ohow];
+                for (bi, obatch) in chunk.chunks_mut(o * ohow).enumerate() {
+                    let batch = batch_start + bi;
+                    im2col_into(
+                        &input[batch * c * h * w..(batch + 1) * c * h * w],
+                        c,
+                        h,
+                        w,
+                        kh,
+                        kw,
+                        spec,
+                        &mut cols,
+                    );
+                    gemm_serial(wdat, &cols, obatch, o, ckk, ohow);
+                    add_bias(obatch, 0);
+                }
+            });
+        } else {
+            // Channel-parallel for small batches (the batch-1 sampling
+            // case): lower each image once, split the filter rows across
+            // workers on the 4-row block grid so the schedule matches the
+            // serial row grouping.
+            let mut cols = vec![0.0f32; ckk * ohow];
+            for batch in 0..n {
                 im2col_into(
                     &input[batch * c * h * w..(batch + 1) * c * h * w],
                     c,
@@ -176,17 +214,21 @@ impl Tensor {
                     spec,
                     &mut cols,
                 );
-                gemm_serial(wdat, &cols, obatch, o, ckk, oh * ow);
-                if let Some(b) = bias {
-                    for (oc, plane) in obatch.chunks_mut(oh * ow).enumerate() {
-                        let bv = b.data()[oc];
-                        for v in plane.iter_mut() {
-                            *v += bv;
-                        }
-                    }
-                }
+                let obatch = &mut out[batch * o * ohow..(batch + 1) * o * ohow];
+                parallel_rows_aligned(obatch, o, ohow, 1, 4, |oc0, chunk| {
+                    let rows = chunk.len() / ohow;
+                    gemm_serial(
+                        &wdat[oc0 * ckk..(oc0 + rows) * ckk],
+                        &cols,
+                        chunk,
+                        rows,
+                        ckk,
+                        ohow,
+                    );
+                    add_bias(chunk, oc0);
+                });
             }
-        });
+        }
         Tensor::from_vec(out, &[n, o, oh, ow])
     }
 

@@ -2,20 +2,27 @@
 //!
 //! Two serial micro-kernels back every matmul in the workspace:
 //!
-//! * [`gemm_nt_serial`] — a register-blocked 4×4-output NT kernel
-//!   (`c = a · bᵀ` with rows of both operands contiguous). Each tile keeps
-//!   sixteen accumulators live across the whole `k` loop, so every loaded
-//!   `a`/`b` element feeds four multiplies instead of one. This is the
-//!   kernel [`Tensor::matmul_nt`] parallelises over and the one the packed
-//!   dequantize-on-the-fly kernels in `fpdq-kernels` reuse against decoded
-//!   weight tiles.
+//! * The packed-panel NT kernel ([`pack_nt_panel`] + [`gemm_nt_panel`],
+//!   wrapped by [`gemm_nt_serial`]) — `c = a · bᵀ` with the `b` tile
+//!   pre-interleaved into a `[k][NT_NR]` panel so the inner loop reads one
+//!   contiguous [`NT_NR`]-lane stripe per `k` step. Each 4×8 register
+//!   block keeps 32 accumulators live across the whole `k` loop. Crucially
+//!   every output element accumulates its products in plain `k` order in
+//!   *every* path (full blocks and edges alike), so results are
+//!   bit-identical regardless of tiling, panel boundaries, or how many
+//!   threads the work is split across — the property the fused
+//!   quantized kernels in `fpdq-kernels` lean on for their determinism
+//!   guarantees.
 //! * [`gemm_serial`] — the NN kernel (`c = a · b`) in `i-k-j` order with a
 //!   4-row block over `i`, amortising each streamed `b` row across four
 //!   output rows while keeping the innermost traversal contiguous.
 //!
-//! Work is split across cores by output row chunks via [`crate::parallel`].
+//! Work is split across cores by output row chunks via [`crate::parallel`],
+//! with chunk starts pinned to the register-block grid
+//! ([`crate::parallel::parallel_rows_aligned`]) so the multi-threaded
+//! block decomposition matches the serial one.
 
-use crate::parallel::parallel_rows;
+use crate::parallel::{parallel_rows, parallel_rows_aligned};
 use crate::Tensor;
 
 impl Tensor {
@@ -52,9 +59,52 @@ impl Tensor {
         let a = self.data();
         let b = other.data();
         let mut out = vec![0.0f32; m * n];
-        parallel_rows(&mut out, m, n, 8, |row_start, chunk| {
-            let rows = chunk.len() / n.max(1);
-            gemm_nt_serial(&a[row_start * k..(row_start + rows) * k], b, chunk, rows, k, n);
+        if m == 0 || n == 0 || k == 0 {
+            // Degenerate inner/outer dims: the product is all zeros (an
+            // empty sum); slicing or panel-packing would index past the
+            // operands.
+            return Tensor::from_vec(out, &[m, n]);
+        }
+        if m < NT_MR {
+            // Too few rows to amortise packing the whole of `b` into
+            // panels (the O(n·k) interleave would rival the O(m·n·k)
+            // compute): plain row dots, split over the columns.
+            parallel_rows(&mut out, m * n, 1, 4096, |start, chunk| {
+                for (i, slot) in chunk.iter_mut().enumerate() {
+                    let (r, col) = ((start + i) / n, (start + i) % n);
+                    *slot = dot(&a[r * k..(r + 1) * k], &b[col * k..(col + 1) * k]);
+                }
+            });
+            return Tensor::from_vec(out, &[m, n]);
+        }
+        // Interleave b into [k][NT_NR] panels once (in parallel), then
+        // every row-chunk worker streams the shared panels.
+        let tiles = n.div_ceil(NT_NR);
+        let mut packed = vec![0.0f32; tiles * k * NT_NR];
+        parallel_rows(&mut packed, tiles, k * NT_NR, 4, |tile_start, chunk| {
+            for (t, bp) in chunk.chunks_mut(k * NT_NR).enumerate() {
+                let j0 = (tile_start + t) * NT_NR;
+                let nw = NT_NR.min(n - j0);
+                pack_nt_panel(&b[j0 * k..(j0 + nw) * k], k, nw, bp);
+            }
+        });
+        parallel_rows_aligned(&mut out, m, n, 8, NT_MR, |row_start, chunk| {
+            let rows = chunk.len() / n;
+            let arows = &a[row_start * k..(row_start + rows) * k];
+            for t in 0..tiles {
+                let j0 = t * NT_NR;
+                let nw = NT_NR.min(n - j0);
+                gemm_nt_panel(
+                    arows,
+                    &packed[t * k * NT_NR..(t + 1) * k * NT_NR],
+                    chunk,
+                    rows,
+                    k,
+                    n,
+                    j0,
+                    nw,
+                );
+            }
         });
         Tensor::from_vec(out, &[m, n])
     }
@@ -156,61 +206,134 @@ pub fn gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     });
 }
 
-/// Serial register-blocked NT kernel: `c[m,n] = a[m,k] · b[n,k]ᵀ`
-/// (overwrites `c`). Rows of `a`, `b` and `c` are contiguous.
+/// Panel width of the NT micro-kernel: columns of `c` (rows of `b`)
+/// interleaved per packed panel.
+pub const NT_NR: usize = 8;
+
+/// Row-block height of the NT micro-kernel.
+pub const NT_MR: usize = 4;
+
+/// Interleaves `rows` (≤ [`NT_NR`]) contiguous `k`-length rows of `b`
+/// into a `[k][NT_NR]` panel (`bp[kk * NT_NR + r] = b[r][kk]`), zeroing
+/// any missing lanes so the kernel always runs the full panel width.
 ///
-/// Interior 4×4 tiles keep sixteen accumulators live across the `k` loop;
-/// edge tiles (when `m` or `n` is not a multiple of 4) fall back to plain
-/// dot products, so any shape — including `m = 1` and tiny `k` — is
-/// handled.
+/// # Panics
+///
+/// Panics (debug) on size mismatches.
+pub fn pack_nt_panel(brows: &[f32], k: usize, rows: usize, bp: &mut [f32]) {
+    debug_assert!(rows <= NT_NR, "panel overflow: {rows} rows");
+    debug_assert_eq!(brows.len(), rows * k);
+    debug_assert_eq!(bp.len(), k * NT_NR);
+    if rows < NT_NR {
+        bp.fill(0.0);
+    }
+    for (r, row) in brows.chunks_exact(k.max(1)).enumerate() {
+        for (kk, &v) in row.iter().enumerate() {
+            bp[kk * NT_NR + r] = v;
+        }
+    }
+}
+
+/// The NT micro-kernel over one packed panel: writes columns
+/// `[j0, j0 + nw)` of `c` (rows of length `cstride`) with
+/// `a[m,k] · panelᵀ`, overwriting.
+///
+/// `bp` is a `[k][NT_NR]` panel from [`pack_nt_panel`]. Full 4-row blocks
+/// keep a 4×8 accumulator grid live across `k`; remainder rows run the
+/// same panel one row at a time. Every output element accumulates its
+/// products in ascending-`k` order in both paths, so results do not
+/// depend on block or panel boundaries — the bit-determinism property
+/// the threaded and fused-quantized callers rely on.
+///
+/// # Panics
+///
+/// Panics (debug) on size mismatches.
+#[allow(clippy::too_many_arguments)] // raw-slice micro-kernel signature
+#[inline] // cross-crate: let the packed kernels fuse the call into their tile loop
+pub fn gemm_nt_panel(
+    a: &[f32],
+    bp: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    cstride: usize,
+    j0: usize,
+    nw: usize,
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(bp.len(), k * NT_NR);
+    debug_assert!((1..=NT_NR).contains(&nw), "panel width {nw}");
+    debug_assert!(m == 0 || j0 + nw <= cstride, "columns past row end");
+    debug_assert!(c.len() >= m.saturating_sub(1) * cstride + j0 + nw || m == 0);
+    let mut i0 = 0;
+    while i0 + NT_MR <= m {
+        let arows: [&[f32]; NT_MR] =
+            core::array::from_fn(|ii| &a[(i0 + ii) * k..(i0 + ii + 1) * k]);
+        let mut acc = [[0.0f32; NT_NR]; NT_MR];
+        for kk in 0..k {
+            let bv = &bp[kk * NT_NR..(kk + 1) * NT_NR];
+            for ii in 0..NT_MR {
+                let av = arows[ii][kk];
+                for jj in 0..NT_NR {
+                    acc[ii][jj] += av * bv[jj];
+                }
+            }
+        }
+        for (ii, accrow) in acc.iter().enumerate() {
+            let base = (i0 + ii) * cstride + j0;
+            c[base..base + nw].copy_from_slice(&accrow[..nw]);
+        }
+        i0 += NT_MR;
+    }
+    while i0 < m {
+        let arow = &a[i0 * k..(i0 + 1) * k];
+        let mut acc = [0.0f32; NT_NR];
+        for kk in 0..k {
+            let av = arow[kk];
+            let bv = &bp[kk * NT_NR..(kk + 1) * NT_NR];
+            for jj in 0..NT_NR {
+                acc[jj] += av * bv[jj];
+            }
+        }
+        let base = i0 * cstride + j0;
+        c[base..base + nw].copy_from_slice(&acc[..nw]);
+        i0 += 1;
+    }
+}
+
+/// Serial NT kernel: `c[m,n] = a[m,k] · b[n,k]ᵀ` (overwrites `c`). Rows
+/// of `a`, `b` and `c` are contiguous. Convenience wrapper packing each
+/// `b` tile into a fresh panel; hot loops that can reuse scratch call
+/// [`gemm_nt_serial_with`] instead.
 pub fn gemm_nt_serial(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    let mut bp = vec![0.0f32; k * NT_NR];
+    gemm_nt_serial_with(a, b, c, m, k, n, &mut bp);
+}
+
+/// [`gemm_nt_serial`] with caller-owned panel scratch (`k * NT_NR`
+/// floats), keeping per-tile packing allocation-free.
+///
+/// # Panics
+///
+/// Panics (debug) on size mismatches.
+pub fn gemm_nt_serial_with(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    bp: &mut [f32],
+) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), n * k);
     debug_assert_eq!(c.len(), m * n);
-    const MR: usize = 4;
-    const NR: usize = 4;
-    let mut i0 = 0;
-    while i0 < m {
-        let mh = MR.min(m - i0);
-        let mut j0 = 0;
-        while j0 < n {
-            let nh = NR.min(n - j0);
-            if mh == MR && nh == NR {
-                // Full tile: 16 live accumulators, each a/b load shared
-                // four ways.
-                let a0 = &a[i0 * k..(i0 + 1) * k];
-                let a1 = &a[(i0 + 1) * k..(i0 + 2) * k];
-                let a2 = &a[(i0 + 2) * k..(i0 + 3) * k];
-                let a3 = &a[(i0 + 3) * k..(i0 + 4) * k];
-                let b0 = &b[j0 * k..(j0 + 1) * k];
-                let b1 = &b[(j0 + 1) * k..(j0 + 2) * k];
-                let b2 = &b[(j0 + 2) * k..(j0 + 3) * k];
-                let b3 = &b[(j0 + 3) * k..(j0 + 4) * k];
-                let mut acc = [[0.0f32; NR]; MR];
-                for kk in 0..k {
-                    let bv = [b0[kk], b1[kk], b2[kk], b3[kk]];
-                    let av = [a0[kk], a1[kk], a2[kk], a3[kk]];
-                    for ii in 0..MR {
-                        for jj in 0..NR {
-                            acc[ii][jj] += av[ii] * bv[jj];
-                        }
-                    }
-                }
-                for ii in 0..MR {
-                    c[(i0 + ii) * n + j0..(i0 + ii) * n + j0 + NR].copy_from_slice(&acc[ii]);
-                }
-            } else {
-                for ii in 0..mh {
-                    let arow = &a[(i0 + ii) * k..(i0 + ii + 1) * k];
-                    for jj in 0..nh {
-                        let brow = &b[(j0 + jj) * k..(j0 + jj + 1) * k];
-                        c[(i0 + ii) * n + j0 + jj] = dot(arow, brow);
-                    }
-                }
-            }
-            j0 += nh;
-        }
-        i0 += mh;
+    let mut j0 = 0;
+    while j0 < n {
+        let nw = NT_NR.min(n - j0);
+        pack_nt_panel(&b[j0 * k..(j0 + nw) * k], k, nw, bp);
+        gemm_nt_panel(a, bp, c, m, k, n, j0, nw);
+        j0 += nw;
     }
 }
 

@@ -82,6 +82,26 @@ pub fn parallel_rows<F>(out: &mut [f32], rows: usize, row: usize, min_rows: usiz
 where
     F: Fn(usize, &mut [f32]) + Sync,
 {
+    parallel_rows_aligned(out, rows, row, min_rows, 1, body);
+}
+
+/// [`parallel_rows`] with chunk starts forced to multiples of `align`.
+///
+/// Tiled kernels want worker boundaries on their register-block grid
+/// (e.g. the 4-row blocks of the NT micro-kernel): aligned chunks keep
+/// every worker's block decomposition identical to the single-threaded
+/// run, so blocked kernels that group rows (like `gemm_serial`'s 4-row
+/// zero-skip) partition work exactly as the serial pass would.
+pub fn parallel_rows_aligned<F>(
+    out: &mut [f32],
+    rows: usize,
+    row: usize,
+    min_rows: usize,
+    align: usize,
+    body: F,
+) where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
     assert_eq!(out.len(), rows * row, "output length must equal rows * row");
     if rows == 0 {
         return;
@@ -91,7 +111,8 @@ where
         body(0, out);
         return;
     }
-    let rows_per = rows.div_ceil(workers);
+    let align = align.max(1);
+    let rows_per = rows.div_ceil(workers).next_multiple_of(align);
     std::thread::scope(|scope| {
         let mut rest = out;
         let mut row_start = 0usize;
@@ -149,5 +170,23 @@ mod tests {
     #[test]
     fn num_threads_is_at_least_one() {
         assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn aligned_rows_partition_on_grid() {
+        // Chunk starts must land on multiples of the alignment and still
+        // cover every row exactly once.
+        let mut out = vec![0.0f32; 11 * 3];
+        let starts = Mutex::new(Vec::new());
+        parallel_rows_aligned(&mut out, 11, 3, 1, 4, |row_start, chunk| {
+            starts.lock().unwrap().push((row_start, chunk.len() / 3));
+            for v in chunk.iter_mut() {
+                *v += 1.0;
+            }
+        });
+        for (start, _) in starts.lock().unwrap().iter() {
+            assert_eq!(start % 4, 0, "chunk start {start} off the 4-row grid");
+        }
+        assert!(out.iter().all(|&v| v == 1.0), "rows must be covered exactly once");
     }
 }

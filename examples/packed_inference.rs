@@ -42,8 +42,9 @@ fn main() {
     // dequantize-on-the-fly kernels.
     let pack = pack_unet(&pipeline.unet, &report);
     println!(
-        "packed {} layers | payload {:.1} KiB vs dense {:.1} KiB | compression {:.2}x",
+        "packed {} layers ({} with fused act quant) | payload {:.1} KiB vs dense {:.1} KiB | compression {:.2}x",
         pack.layers.len(),
+        pack.fused_act_layers(),
         pack.payload_bytes() as f32 / 1024.0,
         pack.dense_bytes() as f32 / 1024.0,
         pack.compression(),

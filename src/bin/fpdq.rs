@@ -51,12 +51,16 @@ USAGE: fpdq <COMMAND> [--flag value]...
 
 COMMANDS:
   pretrain                       train and cache every zoo model
-  quantize      --model <ddim|ldm|sd|sdxl> --config <fp8|fp4|fp4-norl|int8|int4>
-  generate      --model <...> --config <...> [--prompt \"...\"] [--count N] [--out DIR]
-  evaluate      --model <...> --config <...> [--count N]
+  quantize      --model <ddim|ldm|sd|sdxl> --config <fp8|fp4|fp4-norl|int8|int4> [--packed]
+  generate      --model <...> --config <...> [--prompt \"...\"] [--count N] [--out DIR] [--packed]
+  evaluate      --model <...> --config <...> [--count N] [--packed]
   sparsity      --model <...> [--config <...>]
   characterize                   roofline latency + memory of an SD-scale U-Net
   help                           this message
+
+FLAGS:
+  --packed      run the real bit-packed engine (fused W+A kernels) instead
+                of fake-quantized dense execution
 
 ENVIRONMENT:
   FPDQ_ZOO_DIR   model cache directory (default target/fpdq-zoo)
@@ -67,15 +71,27 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
     let mut i = 0;
     while i < args.len() {
         if let Some(key) = args[i].strip_prefix("--") {
-            let value = args.get(i + 1).cloned().unwrap_or_default();
-            out.insert(key.to_string(), value);
-            i += 2;
+            // A flag followed by another flag (or nothing) is boolean.
+            match args.get(i + 1).filter(|v| !v.starts_with("--")) {
+                Some(value) => {
+                    out.insert(key.to_string(), value.clone());
+                    i += 2;
+                }
+                None => {
+                    out.insert(key.to_string(), "1".to_string());
+                    i += 1;
+                }
+            }
         } else {
             eprintln!("ignoring stray argument '{}'", args[i]);
             i += 1;
         }
     }
     out
+}
+
+fn flag_set(opts: &HashMap<String, String>, key: &str) -> bool {
+    opts.get(key).is_some_and(|v| v != "0" && v != "false")
 }
 
 fn config_from(name: &str) -> Option<Option<PtqConfig>> {
@@ -122,6 +138,15 @@ impl Pipeline {
         match self {
             Pipeline::Ddim(p) => p.image_size,
             Pipeline::Ldm(_) | Pipeline::Sd(_) => 16,
+        }
+    }
+
+    /// The U-Net's input shape `[c, h, w]` (latent space for LDM/SD).
+    fn unet_input_shape(&self) -> [usize; 3] {
+        match self {
+            Pipeline::Ddim(p) => [p.channels, p.image_size, p.image_size],
+            Pipeline::Ldm(p) => [p.latent_channels, p.latent_size, p.latent_size],
+            Pipeline::Sd(p) => [p.latent_channels, p.latent_size, p.latent_size],
         }
     }
 
@@ -264,7 +289,55 @@ fn quantize(opts: &HashMap<String, String>) -> ExitCode {
         100.0 * report.sparsity_after(),
         report.rl_improved_layers(),
     );
+    if flag_set(opts, "packed") {
+        pack_and_report(&pipeline, &report);
+    }
     ExitCode::SUCCESS
+}
+
+/// Flips the quantized U-Net into the bit-packed engine, reports the real
+/// storage footprint, and times a packed vs fake-quantized-dense forward —
+/// the paper's latency/memory experiment running on the real engine
+/// instead of simulated quantization.
+fn pack_and_report(pipeline: &Pipeline, report: &fpdq::quant::QuantReport) {
+    use std::time::Instant;
+    let [c, h, w] = pipeline.unet_input_shape();
+    let x = Tensor::randn(&[1, c, h, w], &mut StdRng::seed_from_u64(11));
+    let t = Tensor::from_vec(vec![5.0], &[1]);
+    let reps = 3;
+    let time_forward = |label: &str| {
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            std::hint::black_box(pipeline.unet().forward(&x, &t, None));
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        println!("  {label:<28} {:.2} ms / forward", best * 1e3);
+        best
+    };
+    println!("\npacked execution:");
+    let dense = time_forward("fake-quantized dense");
+    let pack = fpdq::kernels::pack_unet(pipeline.unet(), report);
+    for l in &pack.layers {
+        println!(
+            "  {:<26} {:<15} act {:<15} {:>8} B (dense {:>8} B)",
+            l.name,
+            l.format,
+            l.fused_act.as_deref().unwrap_or("-"),
+            l.payload_bytes,
+            l.dense_bytes
+        );
+    }
+    println!(
+        "  {} layers packed ({} fused act) | payload {:.1} KiB vs dense {:.1} KiB | {:.2}x compression",
+        pack.layers.len(),
+        pack.fused_act_layers(),
+        pack.payload_bytes() as f32 / 1024.0,
+        pack.dense_bytes() as f32 / 1024.0,
+        pack.compression(),
+    );
+    let packed = time_forward("packed (fused W+A)");
+    println!("  forward speedup: {:.2}x", dense / packed);
 }
 
 fn generate(opts: &HashMap<String, String>) -> ExitCode {
@@ -281,7 +354,18 @@ fn generate(opts: &HashMap<String, String>) -> ExitCode {
     if let Some(cfg) = &cfg {
         let calib = pipeline.calibrate();
         let mut rng = StdRng::seed_from_u64(1);
-        quantize_unet(pipeline.unet(), &calib, cfg, &mut rng);
+        let report = quantize_unet(pipeline.unet(), &calib, cfg, &mut rng);
+        if flag_set(opts, "packed") {
+            let pack = fpdq::kernels::pack_unet(pipeline.unet(), &report);
+            println!(
+                "sampling on the packed engine: {} layers, {:.2}x weight compression",
+                pack.layers.len(),
+                pack.compression()
+            );
+        }
+    } else if flag_set(opts, "packed") {
+        eprintln!("--packed requires a quantized --config (fp8/fp4/int8/int4)");
+        return ExitCode::FAILURE;
     }
     let count: usize = opts.get("count").and_then(|v| v.parse().ok()).unwrap_or(8);
     let out_dir = std::path::PathBuf::from(
@@ -314,7 +398,10 @@ fn evaluate_cmd(opts: &HashMap<String, String>) -> ExitCode {
     if let Some(cfg) = &cfg {
         let calib = pipeline.calibrate();
         let mut rng = StdRng::seed_from_u64(1);
-        quantize_unet(pipeline.unet(), &calib, cfg, &mut rng);
+        let report = quantize_unet(pipeline.unet(), &calib, cfg, &mut rng);
+        if flag_set(opts, "packed") {
+            fpdq::kernels::pack_unet(pipeline.unet(), &report);
+        }
     }
     let count: usize = opts.get("count").and_then(|v| v.parse().ok()).unwrap_or(64);
     let reference = pipeline.reference(count);

@@ -3,7 +3,7 @@
 //! compute — the property that licenses evaluating image quality with
 //! simulated quantization while claiming real-footprint deployment.
 
-use fpdq::kernels::{gemm_packed_fp, CsrWeights, PackedFpTensor};
+use fpdq::kernels::{gemm_packed_fp, install_packed_weight, CsrWeights, PackedFpTensor};
 use fpdq::nn::{Linear, QuantLayer};
 use fpdq::quant::{search_fp_format, FpFormat, TensorQuantizer};
 use fpdq::tensor::Tensor;
@@ -34,6 +34,54 @@ fn packed_gemm_reproduces_quantized_linear_layer() {
 
     for (a, b) in model_out.data().iter().zip(kernel_out.data()) {
         assert!((a - b).abs() < 1e-4, "model {a} vs kernel {b}");
+    }
+}
+
+#[test]
+fn fused_packed_layer_reproduces_tap_quantized_layer() {
+    // The fused weight+activation forward (tap quantizer suspended,
+    // quantization inside the packed kernel) must reproduce the tap-based
+    // fake-quantized execution.
+    let mut rng = StdRng::seed_from_u64(7);
+    let lin = Linear::new("l", 20, 12, &mut rng);
+    let x = Tensor::randn(&[4, 20], &mut rng);
+    let wfmt = TensorQuantizer::Fp(FpFormat::new(4, 3));
+    let afmt = TensorQuantizer::Fp(FpFormat::new(4, 3));
+    let TensorQuantizer::Fp(wf) = wfmt else { unreachable!() };
+    lin.weight.replace(wf.quantize(&lin.weight.value()));
+    lin.tap().borrow_mut().act_quant = Some(afmt.into_act_fn());
+
+    // Tap-quantized dense reference.
+    let reference = lin.forward(&x);
+
+    // Fused packed execution: the installer suspends the tap quantizer.
+    let info = install_packed_weight(&lin, &wfmt, Some(&afmt));
+    assert!(info.fused_act.is_some(), "whole-input layer must fuse");
+    assert!(lin.tap().borrow().act_quant.is_none(), "tap must be suspended");
+    let fused = lin.forward(&x);
+    for (a, b) in reference.data().iter().zip(fused.data()) {
+        assert!((a - b).abs() < 1e-4, "tap {a} vs fused {b}");
+    }
+
+    // Clearing hands back the suspended tap closure for restoration.
+    if let Some(f) = lin.packed().clear() {
+        lin.tap().borrow_mut().act_quant = Some(f);
+    }
+    assert!(lin.tap().borrow().act_quant.is_some(), "tap must be restored");
+    let restored = lin.forward(&x);
+    assert_eq!(restored.data(), reference.data(), "dense path must restore");
+
+    // Re-packing an already-packed layer is idempotent: the second
+    // install sees the original tap state and still fuses.
+    let first = install_packed_weight(&lin, &wfmt, Some(&afmt));
+    let second = install_packed_weight(&lin, &wfmt, Some(&afmt));
+    assert_eq!(first.fused_act, second.fused_act, "re-pack must still fuse");
+    let refused = lin.forward(&x);
+    for (a, b) in reference.data().iter().zip(refused.data()) {
+        assert!((a - b).abs() < 1e-4, "re-packed layer diverged: {a} vs {b}");
+    }
+    if let Some(f) = lin.packed().clear() {
+        lin.tap().borrow_mut().act_quant = Some(f);
     }
 }
 
