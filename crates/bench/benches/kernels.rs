@@ -9,11 +9,15 @@
 //! LUT-decode and tiled-kernel speedups can be read off one run.
 
 use criterion::{criterion_group, BatchSize, Criterion};
-use fpdq_core::{FpFormat, IntFormat, TensorQuantizer};
+use fpdq_core::{FpFormat, IntFormat, PanelQuantizer, TensorQuantizer};
 use fpdq_kernels::packed::unpack_bits_range_bitloop;
-use fpdq_kernels::{gemm_packed_fp, CsrWeights, PackedFpTensor, PackedIntTensor, TwoFourWeights};
-use fpdq_tensor::matmul::dot;
+use fpdq_kernels::{
+    gemm_packed_fp, gemm_packed_fused_as, CsrWeights, PackedFpTensor, PackedIntTensor,
+    TwoFourWeights,
+};
+use fpdq_tensor::matmul::{dot, gemm_nt_serial_with_as, NT_NR};
 use fpdq_tensor::parallel::parallel_rows;
+use fpdq_tensor::simd;
 use fpdq_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -118,6 +122,23 @@ fn bench_gemm(c: &mut Criterion) {
     g.bench_function("packed_int8_w", |b| {
         b.iter(|| black_box(fpdq_kernels::gemm_packed_int(&a, &int8, None)))
     });
+    // Per-ISA pairs (scalar + every SIMD path this machine supports) so
+    // the runtime-dispatch speedup can be read off a single run: the raw
+    // serial NT micro-kernel, and the full fused W+A packed GEMM.
+    let pq8 = PanelQuantizer::per_tensor(&act8);
+    for &isa in simd::available() {
+        let mut c_out = vec![0.0f32; M * N];
+        let mut bp = vec![0.0f32; K * NT_NR];
+        g.bench_function(format!("matmul_nt_serial_{}", isa.name()), |b| {
+            b.iter(|| {
+                gemm_nt_serial_with_as(isa, a.data(), w.data(), &mut c_out, M, K, N, &mut bp);
+                black_box(c_out[0])
+            })
+        });
+        g.bench_function(format!("packed_fp8_wa_{}", isa.name()), |b| {
+            b.iter(|| black_box(gemm_packed_fused_as(&a, &fp8, Some(&pq8), isa)))
+        });
+    }
     // Before/after: the seed row-at-a-time kernel vs the tiled one above.
     let (payload8, payload4) = (payload_of(&fp8, N * K), payload_of(&fp4, N * K));
     g.bench_function("packed_fp8_w_rowwise_seed", |b| {
@@ -194,13 +215,21 @@ fn main() {
     // Machine-readable results (group/name -> ns/op) so the perf
     // trajectory is tracked across PRs. FPDQ_BENCH_JSON overrides the
     // file name; relative paths resolve against the workspace root
-    // (cargo runs benches from the package directory).
+    // (cargo runs benches from the package directory). The `_meta`
+    // object records which ISA the dispatched kernels actually ran
+    // (scalar/avx2/neon) and whether FPDQ_FORCE_SCALAR pinned it, so
+    // cross-PR and cross-machine numbers are comparable.
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     let path = root.join(
         std::env::var("FPDQ_BENCH_JSON").unwrap_or_else(|_| "BENCH_kernels.json".to_string()),
     );
-    match criterion::write_json_report(&path) {
-        Ok(()) => eprintln!("wrote {}", path.display()),
+    let meta = [
+        ("isa", simd::active().name()),
+        ("detected_isa", simd::detected().name()),
+        ("force_scalar", if simd::force_scalar() { "1" } else { "0" }),
+    ];
+    match criterion::write_json_report_with_meta(&path, &meta) {
+        Ok(()) => eprintln!("wrote {} (isa: {})", path.display(), simd::active().name()),
         Err(e) => eprintln!("failed to write {}: {e}", path.display()),
     }
 }

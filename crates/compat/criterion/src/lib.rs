@@ -40,13 +40,33 @@ pub fn records() -> Vec<BenchRecord> {
 /// `{"label": {"min_ns": .., "mean_ns": ..}, ..}` (labels in execution
 /// order). Numbers use enough digits to round-trip.
 pub fn write_json_report(path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+    write_json_report_with_meta(path, &[])
+}
+
+/// [`write_json_report`] with a leading `"_meta"` object of string
+/// fields — run context (e.g. the dispatched SIMD ISA) that makes the
+/// numbers comparable across commits and machines. An empty `meta` emits
+/// no `"_meta"` entry, keeping the plain report format unchanged.
+pub fn write_json_report_with_meta(
+    path: impl AsRef<std::path::Path>,
+    meta: &[(&str, &str)],
+) -> std::io::Result<()> {
     let records = records();
+    let escape = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
     let mut json = String::from("{\n");
+    if !meta.is_empty() {
+        json.push_str("  \"_meta\": {");
+        for (i, (k, v)) in meta.iter().enumerate() {
+            let comma = if i + 1 == meta.len() { "" } else { ", " };
+            json.push_str(&format!("\"{}\": \"{}\"{comma}", escape(k), escape(v)));
+        }
+        json.push_str(if records.is_empty() { "}\n" } else { "},\n" });
+    }
     for (i, r) in records.iter().enumerate() {
         let comma = if i + 1 == records.len() { "" } else { "," };
         json.push_str(&format!(
             "  \"{}\": {{\"min_ns\": {:.1}, \"mean_ns\": {:.1}}}{comma}\n",
-            r.label.replace('"', "\\\""),
+            escape(&r.label),
             r.min_ns,
             r.mean_ns
         ));
@@ -345,6 +365,20 @@ mod tests {
         let json = std::fs::read_to_string(&path).expect("read report");
         assert!(json.contains("\"record_me\""), "label missing from {json}");
         assert!(json.contains("min_ns"), "min_ns missing");
+        assert!(!json.contains("_meta"), "plain report must not emit _meta");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn meta_report_carries_run_context() {
+        let mut c = quick();
+        c.bench_function("meta_me", |b| b.iter(|| 3 + 3));
+        let path = std::env::temp_dir().join("criterion_compat_meta_test.json");
+        write_json_report_with_meta(&path, &[("isa", "avx2"), ("force_scalar", "0")])
+            .expect("write report");
+        let json = std::fs::read_to_string(&path).expect("read report");
+        assert!(json.contains("\"_meta\": {\"isa\": \"avx2\", \"force_scalar\": \"0\"}"), "{json}");
+        assert!(json.contains("\"meta_me\""), "records must follow the meta: {json}");
         let _ = std::fs::remove_file(&path);
     }
 }

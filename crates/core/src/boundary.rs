@@ -26,6 +26,7 @@
 use crate::format::FpFormat;
 use crate::int::IntFormat;
 use crate::quantizer::TensorQuantizer;
+use fpdq_tensor::simd::{self, Isa};
 use fpdq_tensor::Tensor;
 use std::sync::{Arc, Mutex};
 
@@ -279,7 +280,24 @@ impl BoundaryQuantizer {
     ///
     /// Panics if `src` and `dst` lengths differ.
     pub fn quantize_slice_into(&self, src: &[f32], dst: &mut [f32]) {
+        self.quantize_slice_into_as(simd::active(), src, dst);
+    }
+
+    /// [`Self::quantize_slice_into`] on an explicit ISA path — the
+    /// dispatch point the differential SIMD tests drive from both sides.
+    /// The bucketed FP sweep has an AVX2 variant (8-lane compare stripes
+    /// reduced by mask popcount, bit-exact by construction: the count of
+    /// `boundary <= v` is an integer); an unsupported `isa` falls back to
+    /// the scalar sweep. The INT affine shortcut is a single float
+    /// expression either way and does not dispatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` and `dst` lengths differ.
+    pub fn quantize_slice_into_as(&self, isa: Isa, src: &[f32], dst: &mut [f32]) {
         assert_eq!(src.len(), dst.len(), "quantize slice length mismatch");
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = isa;
         match &self.fast {
             FastPath::Affine { scale, zero_point, qmax } => {
                 let (s, zp, qmax) = (*scale, *zero_point, *qmax);
@@ -295,6 +313,23 @@ impl BoundaryQuantizer {
             }
             FastPath::Buckets { lo, pad, pad_w } => {
                 let pad_w = *pad_w;
+                #[cfg(target_arch = "x86_64")]
+                if isa == Isa::Avx2 && isa.is_supported() {
+                    // Safety: AVX2 (and POPCNT, which detection implies)
+                    // verified at runtime; lengths asserted above.
+                    unsafe {
+                        avx2::quantize_buckets(
+                            &self.values,
+                            lo,
+                            pad,
+                            pad_w,
+                            self.nan_value,
+                            src,
+                            dst,
+                        );
+                    }
+                    return;
+                }
                 for (d, &v) in dst.iter_mut().zip(src) {
                     *d = if v.is_nan() {
                         self.nan_value
@@ -328,6 +363,54 @@ impl BoundaryQuantizer {
         let mut out = vec![0.0f32; x.numel()];
         self.quantize_slice_into(x.data(), &mut out);
         Tensor::from_vec(out, x.dims())
+    }
+}
+
+/// AVX2 variant of the bucketed boundary sweep: the per-element stripe
+/// count runs as full 8-lane `cmp_ps` blocks reduced by `movemask` +
+/// `popcnt` (the stripes are `+∞`-padded to multiples of [`PAD_LANES`] at
+/// construction). The bucket lookup and special-case handling stay
+/// scalar and identical to the reference path.
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::order_key;
+    use core::arch::x86_64::*;
+
+    /// # Safety
+    ///
+    /// Requires AVX2 + POPCNT at runtime; `src`/`dst` must have equal
+    /// lengths and `pad` must be `BUCKETS * pad_w` long with `pad_w` a
+    /// multiple of [`super::PAD_LANES`] (guaranteed by
+    /// [`super::BoundaryQuantizer::build_buckets`]).
+    #[target_feature(enable = "avx2,popcnt")]
+    pub(super) unsafe fn quantize_buckets(
+        values: &[f32],
+        lo: &[u32],
+        pad: &[f32],
+        pad_w: usize,
+        nan_value: f32,
+        src: &[f32],
+        dst: &mut [f32],
+    ) {
+        for (d, &v) in dst.iter_mut().zip(src) {
+            *d = if v.is_nan() {
+                nan_value
+            } else {
+                let v = v.clamp(-f32::MAX, f32::MAX);
+                let t = (order_key(v) >> 23) as usize;
+                let vv = _mm256_set1_ps(v);
+                let mut idx = lo[t] as usize;
+                let stripe = &pad[t * pad_w..(t + 1) * pad_w];
+                for block in stripe.chunks_exact(super::PAD_LANES) {
+                    // b <= v is false for the +∞ padding and for NaN-free
+                    // inputs exactly matches the scalar `b <= v` count.
+                    let b = _mm256_loadu_ps(block.as_ptr());
+                    let le = _mm256_cmp_ps::<_CMP_LE_OQ>(b, vv);
+                    idx += _mm256_movemask_ps(le).count_ones() as usize;
+                }
+                values[idx]
+            };
+        }
     }
 }
 
@@ -370,8 +453,19 @@ impl PanelQuantizer {
     /// Panics if lengths differ or `group` is zero for a per-channel
     /// quantizer.
     pub fn quantize_panel_into(&self, src: &[f32], dst: &mut [f32], group: usize) {
+        self.quantize_panel_into_as(simd::active(), src, dst, group);
+    }
+
+    /// [`Self::quantize_panel_into`] on an explicit ISA path (see
+    /// [`BoundaryQuantizer::quantize_slice_into_as`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ or `group` is zero for a per-channel
+    /// quantizer.
+    pub fn quantize_panel_into_as(&self, isa: Isa, src: &[f32], dst: &mut [f32], group: usize) {
         if let [only] = self.quants.as_slice() {
-            only.quantize_slice_into(src, dst);
+            only.quantize_slice_into_as(isa, src, dst);
             return;
         }
         assert!(group > 0, "channel group must be positive");
@@ -380,8 +474,11 @@ impl PanelQuantizer {
         let mut chan = 0usize;
         while offset < src.len() {
             let n = group.min(src.len() - offset);
-            self.quants[chan % self.quants.len()]
-                .quantize_slice_into(&src[offset..offset + n], &mut dst[offset..offset + n]);
+            self.quants[chan % self.quants.len()].quantize_slice_into_as(
+                isa,
+                &src[offset..offset + n],
+                &mut dst[offset..offset + n],
+            );
             offset += n;
             chan += 1;
         }
@@ -572,6 +669,22 @@ mod tests {
             let mut out = [0.0f32];
             bq.quantize_slice_into(&[v], &mut out);
             prop_assert_eq!(out[0].to_bits(), bq.quantize_scalar(v).to_bits());
+        }
+
+        #[test]
+        fn slice_isa_paths_agree_on_any_bits(bits_pattern in 0u32..u32::MAX, pick in 0usize..3) {
+            // The SIMD bucket sweep must match the scalar sweep on every
+            // input class: NaNs, ±∞, subnormals, both zeros.
+            let v = f32::from_bits(bits_pattern);
+            let fmt = [FpFormat::new(4, 3), FpFormat::new(2, 1), FpFormat::with_bias(3, 4, 6.5)][pick];
+            let bq = BoundaryQuantizer::cached(&TensorQuantizer::Fp(fmt));
+            let mut want = [0.0f32];
+            bq.quantize_slice_into_as(Isa::Scalar, &[v], &mut want);
+            for &isa in simd::available() {
+                let mut got = [0.0f32];
+                bq.quantize_slice_into_as(isa, &[v], &mut got);
+                prop_assert_eq!(got[0].to_bits(), want[0].to_bits(), "{:?} on {}", isa, v);
+            }
         }
     }
 }

@@ -32,6 +32,7 @@ use fpdq_core::{PanelQuantizer, TensorQuantizer};
 use fpdq_tensor::conv::{im2col_into, Conv2dSpec};
 use fpdq_tensor::matmul::gemm_serial;
 use fpdq_tensor::parallel::{num_threads, parallel_rows, parallel_rows_aligned};
+use fpdq_tensor::simd::{self, Isa};
 use fpdq_tensor::Tensor;
 
 /// 2-D convolution with any packed weight representation: input
@@ -68,6 +69,27 @@ pub fn conv2d_packed_fused<W: PackedWeights>(
     spec: Conv2dSpec,
     act: Option<&PanelQuantizer>,
 ) -> Tensor {
+    conv2d_packed_fused_as(x, weight, bias, spec, act, simd::active())
+}
+
+/// [`conv2d_packed_fused`] on an explicit ISA path: filter decode and the
+/// fused input quantization run the named implementation (see
+/// [`fpdq_tensor::simd`]; the NN tile kernel after the `im2col` lowering
+/// is shared by all paths). Results are bit-identical across ISAs; an
+/// unsupported `isa` falls back to scalar.
+///
+/// # Panics
+///
+/// Panics on rank/shape mismatches, or if a per-channel quantizer's
+/// channel count differs from `c`.
+pub fn conv2d_packed_fused_as<W: PackedWeights>(
+    x: &Tensor,
+    weight: &W,
+    bias: Option<&Tensor>,
+    spec: Conv2dSpec,
+    act: Option<&PanelQuantizer>,
+    isa: Isa,
+) -> Tensor {
     assert_eq!(x.ndim(), 4, "input must be [n, c, h, w]");
     let wd = weight.dims();
     assert_eq!(wd.len(), 4, "packed weight must be [o, c, kh, kw]");
@@ -99,13 +121,13 @@ pub fn conv2d_packed_fused<W: PackedWeights>(
         // worker's batches.
         parallel_rows(&mut out, n, o * ohow, 1, |batch_start, chunk| {
             let mut filters = vec![0.0f32; o * ckk];
-            weight.decode_range_into(0, &mut filters);
+            weight.decode_range_into_as(isa, 0, &mut filters);
             let mut cols = vec![0.0f32; ckk * ohow];
             let mut xq = act.map(|_| vec![0.0f32; chw]);
             for (bi, obatch) in chunk.chunks_mut(o * ohow).enumerate() {
                 let batch = batch_start + bi;
                 let src = &xd[batch * chw..(batch + 1) * chw];
-                let img = quantize_image(src, act, xq.as_deref_mut(), h * w);
+                let img = quantize_image(src, act, xq.as_deref_mut(), h * w, isa);
                 im2col_into(img, c, h, w, kh, kw, spec, &mut cols);
                 prefill_bias(obatch, bias, ohow, 0);
                 gemm_serial(&filters, &cols, obatch, o, ckk, ohow);
@@ -119,13 +141,13 @@ pub fn conv2d_packed_fused<W: PackedWeights>(
         let mut xq = act.map(|_| vec![0.0f32; chw]);
         for batch in 0..n {
             let src = &xd[batch * chw..(batch + 1) * chw];
-            let img = quantize_image(src, act, xq.as_deref_mut(), h * w);
+            let img = quantize_image(src, act, xq.as_deref_mut(), h * w, isa);
             im2col_into(img, c, h, w, kh, kw, spec, &mut cols);
             let obatch = &mut out[batch * o * ohow..(batch + 1) * o * ohow];
             parallel_rows_aligned(obatch, o, ohow, 1, 4, |oc0, chunk| {
                 let rows = chunk.len() / ohow;
                 let mut filters = vec![0.0f32; rows * ckk];
-                weight.decode_range_into(oc0 * ckk, &mut filters);
+                weight.decode_range_into_as(isa, oc0 * ckk, &mut filters);
                 prefill_bias(chunk, bias, ohow, oc0);
                 gemm_serial(&filters, &cols, chunk, rows, ckk, ohow);
             });
@@ -142,10 +164,11 @@ fn quantize_image<'a>(
     act: Option<&PanelQuantizer>,
     scratch: Option<&'a mut [f32]>,
     plane: usize,
+    isa: Isa,
 ) -> &'a [f32] {
     match (act, scratch) {
         (Some(pq), Some(buf)) => {
-            pq.quantize_panel_into(src, buf, plane);
+            pq.quantize_panel_into_as(isa, src, buf, plane);
             buf
         }
         _ => src,

@@ -59,6 +59,15 @@ pub struct PackReport {
 }
 
 impl PackReport {
+    /// Name of the SIMD path the packed kernels dispatch to
+    /// (`scalar`/`avx2`/`neon` — see [`fpdq_tensor::simd`]), for CLI
+    /// reports and cross-machine bench comparability. This reflects the
+    /// process-wide dispatch (fixed for the process lifetime), not a
+    /// per-report property.
+    pub fn isa(&self) -> &'static str {
+        fpdq_tensor::simd::active().name()
+    }
+
     /// Total packed payload bytes across layers.
     pub fn payload_bytes(&self) -> usize {
         self.layers.iter().map(|l| l.payload_bytes).sum()

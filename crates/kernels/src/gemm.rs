@@ -33,8 +33,9 @@
 
 use crate::packed::{PackedFpTensor, PackedIntTensor, PackedWeights};
 use fpdq_core::{PanelQuantizer, TensorQuantizer};
-use fpdq_tensor::matmul::{gemm_nt_panel, pack_nt_panel, NT_MR, NT_NR};
+use fpdq_tensor::matmul::{gemm_nt_panel_as, pack_nt_panel, NT_MR, NT_NR};
 use fpdq_tensor::parallel::parallel_rows_aligned;
+use fpdq_tensor::simd::{self, Isa};
 use fpdq_tensor::Tensor;
 
 /// Packed weight rows decoded per scratch refill. Large enough to
@@ -72,6 +73,25 @@ pub fn gemm_packed_fused<W: PackedWeights>(
     a: &Tensor,
     w: &W,
     act: Option<&PanelQuantizer>,
+) -> Tensor {
+    gemm_packed_fused_as(a, w, act, simd::active())
+}
+
+/// [`gemm_packed_fused`] on an explicit ISA path: weight decode,
+/// activation quantization and the NT micro-kernel all run the named
+/// implementation (see [`fpdq_tensor::simd`]). Results are bit-identical
+/// across ISAs — the property `tests/simd_consistency.rs` pins; an
+/// unsupported `isa` falls back to scalar.
+///
+/// # Panics
+///
+/// Panics on shape mismatches, or if a per-channel quantizer's channel
+/// count differs from `k`.
+pub fn gemm_packed_fused_as<W: PackedWeights>(
+    a: &Tensor,
+    w: &W,
+    act: Option<&PanelQuantizer>,
+    isa: Isa,
 ) -> Tensor {
     assert_eq!(a.ndim(), 2, "activations must be [m, k]");
     assert_eq!(w.dims().len(), 2, "weights must be [n, k]");
@@ -114,7 +134,7 @@ pub fn gemm_packed_fused<W: PackedWeights>(
                     Some(pq) => {
                         // group = 1: the channel of element `i` within the
                         // row-major block is `i % k`, i.e. its column.
-                        pq.quantize_panel_into(src, &mut qrows[..nw * k], 1);
+                        pq.quantize_panel_into_as(isa, src, &mut qrows[..nw * k], 1);
                         pack_nt_panel(&qrows[..nw * k], k, nw, bp);
                     }
                     None => pack_nt_panel(src, k, nw, bp),
@@ -128,11 +148,12 @@ pub fn gemm_packed_fused<W: PackedWeights>(
             let mut wt = 0;
             while wt < rows {
                 let wh = WTILE_ROWS.min(rows - wt);
-                w.decode_range_into((row_start + wt) * k, &mut wtile[..wh * k]);
+                w.decode_range_into_as(isa, (row_start + wt) * k, &mut wtile[..wh * k]);
                 for p in 0..packed_panels {
                     let j0 = mb + p * NT_NR;
                     let nw = NT_NR.min(m - j0);
-                    gemm_nt_panel(
+                    gemm_nt_panel_as(
+                        isa,
                         &wtile[..wh * k],
                         &panels[p * k * NT_NR..(p + 1) * k * NT_NR],
                         &mut chunk[wt * m..(wt + wh) * m],
@@ -411,7 +432,7 @@ mod tests {
                     packed.decode_range_into(r * 48, &mut wrow);
                     let mut crow = vec![0.0f32; 37];
                     crow.copy_from_slice(&out[r * 37..(r + 1) * 37]);
-                    gemm_nt_panel(&wrow, &bp, &mut crow, 1, 48, 37, j0, nw);
+                    gemm_nt_panel_as(simd::active(), &wrow, &bp, &mut crow, 1, 48, 37, j0, nw);
                     out[r * 37..(r + 1) * 37].copy_from_slice(&crow);
                 }
             }

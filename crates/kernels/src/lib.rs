@@ -62,6 +62,38 @@
 //!    of fake quantization keeps the packed kernel exact on the
 //!    pre-quantized input.
 //!
+//! # Runtime SIMD dispatch
+//!
+//! The three hot loops — the 4×8 NT micro-kernel
+//! ([`fpdq_tensor::matmul::gemm_nt_panel`]), the per-byte LUT decode
+//! ([`packed`]), and the bucketed boundary-table activation quantizer
+//! ([`fpdq_core::BoundaryQuantizer`]) — carry explicit SIMD
+//! implementations selected at *runtime* by [`fpdq_tensor::simd`]: AVX2
+//! on x86-64 (4×8 accumulator blocks in 256-bit registers; 32-byte
+//! gather/shuffle LUT decode; 8-lane compare-stripe bucket sweeps), NEON
+//! on aarch64 (micro-kernel only; decode and quantize run the scalar walk
+//! there). CPU features are probed once per process and
+//! `FPDQ_FORCE_SCALAR=1` pins everything to the scalar reference
+//! kernels.
+//!
+//! **The bit-identity contract** (specified in [`fpdq_tensor::simd`]):
+//! every ISA path produces bit-identical output to the scalar reference.
+//! The SIMD kernels therefore perform the same IEEE-754 operations in the
+//! same per-element order — mul-then-add per ascending `k`, never a fused
+//! multiply-add, same operand order, same NaN/±∞ handling. Every
+//! dispatched entry point has an explicit-ISA sibling
+//! (`gemm_packed_fused_as`, `conv2d_packed_fused_as`,
+//! [`PackedWeights::decode_range_into_as`], `quantize_slice_into_as`,
+//! `gemm_nt_panel_as`) so the differential suite in
+//! `tests/simd_consistency.rs` drives both sides of every dispatch in one
+//! process; CI re-runs the whole workspace under `FPDQ_FORCE_SCALAR=1`,
+//! under `RUSTFLAGS="-C target-feature=+avx2,+fma"`, and build-checks the
+//! NEON path for `aarch64-unknown-linux-gnu`. To add a new ISA path,
+//! follow the checklist in [`fpdq_tensor::simd`] — implement behind
+//! runtime detection, obey the contract, route it in the `*_as`
+//! dispatchers (falling back to scalar when unsupported), and the
+//! ISA-sweeping tests pick it up automatically.
+//!
 //! # Threading model
 //!
 //! Parallelism comes from `fpdq_tensor::parallel` scoped-thread helpers:
@@ -86,8 +118,12 @@ pub mod gemm;
 pub mod packed;
 pub mod sparse;
 
-pub use conv::{conv2d_packed, conv2d_packed_fp, conv2d_packed_fused, conv2d_packed_int};
+pub use conv::{
+    conv2d_packed, conv2d_packed_fp, conv2d_packed_fused, conv2d_packed_fused_as, conv2d_packed_int,
+};
 pub use exec::{install_packed_weight, pack_unet, unpack_unet, PackReport, PackedLayerInfo};
-pub use gemm::{gemm_packed, gemm_packed_fp, gemm_packed_fused, gemm_packed_int};
+pub use gemm::{
+    gemm_packed, gemm_packed_fp, gemm_packed_fused, gemm_packed_fused_as, gemm_packed_int,
+};
 pub use packed::{PackedFpTensor, PackedIntTensor, PackedWeights};
 pub use sparse::{CsrWeights, TwoFourWeights};

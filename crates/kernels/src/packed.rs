@@ -32,6 +32,7 @@
 
 use bytes::{BufMut, BytesMut};
 use fpdq_core::{FpFormat, IntFormat};
+use fpdq_tensor::simd::{self, Isa};
 use fpdq_tensor::Tensor;
 
 // ---------------------------------------------------------------------------
@@ -211,8 +212,16 @@ pub fn unpack_bits_range_bitloop(bytes: &[u8], bits: u32, start: usize, count: u
 pub trait PackedWeights: Sync {
     /// Logical shape.
     fn dims(&self) -> &[usize];
-    /// Decodes elements `[start, start + out.len())` into caller scratch.
-    fn decode_range_into(&self, start: usize, out: &mut [f32]);
+    /// Decodes elements `[start, start + out.len())` into caller scratch
+    /// through the active SIMD dispatch ([`fpdq_tensor::simd::active`]).
+    fn decode_range_into(&self, start: usize, out: &mut [f32]) {
+        self.decode_range_into_as(simd::active(), start, out);
+    }
+    /// [`Self::decode_range_into`] on an explicit ISA path — the dispatch
+    /// point the differential SIMD tests drive from both sides. Every ISA
+    /// reads the same LUT values, so outputs are bit-identical; an
+    /// unsupported `isa` falls back to the scalar walk.
+    fn decode_range_into_as(&self, isa: Isa, start: usize, out: &mut [f32]);
 }
 
 /// Builds the 256-entry per-byte decode LUT for a `bits`-wide code space
@@ -226,14 +235,46 @@ fn build_byte_lut(bits: u32, decode: impl Fn(u16) -> f32) -> Vec<f32> {
 }
 
 /// Decodes elements `[start, start + out.len())` of a packed payload via
-/// the per-byte LUT (`codes_per_byte` ∈ {1, 2}).
+/// the per-byte LUT (`codes_per_byte` ∈ {1, 2}), on an explicit ISA path.
+///
+/// The AVX2 variants load the *same* table entries as the scalar walk —
+/// byte codes through a 32-byte `vgatherdps` over the 256-entry LUT,
+/// nibble codes through an in-register 16-entry `vpermps` lookup — so
+/// every path is bit-identical by construction. Other ISAs (including
+/// NEON, where the table lookups have no profitable gather equivalent at
+/// these widths) run the scalar walk.
 fn lut_decode_range(
+    isa: Isa,
     lut: &[f32],
     codes_per_byte: usize,
     bytes: &[u8],
     start: usize,
     out: &mut [f32],
 ) {
+    #[cfg(target_arch = "x86_64")]
+    if isa == Isa::Avx2 && isa.is_supported() {
+        // Real asserts, not debug: the AVX2 kernels read through raw
+        // pointers, so the range invariants must hold in release builds
+        // too — where the scalar walk would panic on a bad slice index,
+        // an unchecked gather would be out-of-bounds UB.
+        let end_byte =
+            if codes_per_byte == 2 { (start + out.len()).div_ceil(2) } else { start + out.len() };
+        assert!(end_byte <= bytes.len(), "decode range past payload end");
+        assert!(lut.len() >= 256 * codes_per_byte, "byte LUT too short");
+        // Safety: AVX2 verified at runtime; the byte ranges the kernels
+        // touch are exactly those of the scalar walk below, asserted in
+        // bounds above.
+        unsafe {
+            match codes_per_byte {
+                1 => avx2::lut_decode_bytes(lut, bytes, start, out),
+                2 => avx2::lut_decode_nibbles(lut, bytes, start, out),
+                _ => unreachable!("codes_per_byte must be 1 or 2"),
+            }
+        }
+        return;
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = isa;
     match codes_per_byte {
         1 => {
             let end = start + out.len();
@@ -243,6 +284,126 @@ fn lut_decode_range(
         }
         2 => nibble_walk(bytes, start, out, |b, parity| lut[b as usize * 2 + parity]),
         _ => unreachable!("codes_per_byte must be 1 or 2"),
+    }
+}
+
+/// AVX2 LUT decode: 8 elements per step for byte codes (zero-extend +
+/// gather), 16 per step for nibble codes (split nibbles, two in-register
+/// 16-entry table lookups, interleave). See [`lut_decode_range`] for the
+/// bit-identity argument.
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use core::arch::x86_64::*;
+
+    /// Byte-code decode: `out[i] = lut[bytes[start + i]]`.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2 at runtime; `lut` must cover every byte value (256
+    /// entries) and `bytes[start..start + out.len()]` must be in bounds.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn lut_decode_bytes(
+        lut: &[f32],
+        bytes: &[u8],
+        start: usize,
+        out: &mut [f32],
+    ) {
+        debug_assert!(lut.len() >= 256);
+        debug_assert!(start + out.len() <= bytes.len());
+        let src = bytes.as_ptr().add(start);
+        let n = out.len();
+        let mut i = 0;
+        while i + 8 <= n {
+            let raw = _mm_loadl_epi64(src.add(i) as *const __m128i);
+            let idx = _mm256_cvtepu8_epi32(raw);
+            let v = _mm256_i32gather_ps::<4>(lut.as_ptr(), idx);
+            _mm256_storeu_ps(out.as_mut_ptr().add(i), v);
+            i += 8;
+        }
+        for slot in i..n {
+            out[slot] = lut[*src.add(slot) as usize];
+        }
+    }
+
+    /// Nibble-code decode over the per-byte LUT layout
+    /// (`lut[byte * 2 + parity]`): element index `start + i` is nibble
+    /// `(start + i) % 2` of byte `(start + i) / 2`. Mirrors
+    /// [`super::nibble_walk`]'s mid-byte entry/exit handling; the aligned
+    /// body decodes 8 bytes → 16 values per step.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2 at runtime; `lut` must hold 512 entries and the
+    /// nibble range must be in bounds of `bytes`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn lut_decode_nibbles(
+        lut: &[f32],
+        bytes: &[u8],
+        start: usize,
+        out: &mut [f32],
+    ) {
+        debug_assert!(lut.len() >= 512);
+        if out.is_empty() {
+            return;
+        }
+        debug_assert!((start + out.len()).div_ceil(2) <= bytes.len());
+        let mut idx = start;
+        let mut o = 0usize;
+        if idx % 2 == 1 {
+            // Mid-byte entry: the first element is a high nibble.
+            out[0] = lut[bytes[idx / 2] as usize * 2 + 1];
+            o = 1;
+            idx += 1;
+        }
+        let pairs = (out.len() - o) / 2;
+        // The 16-entry nibble value table, in two 8-lane registers: byte
+        // `t < 16` has low nibble `t`, so `lut[2 t]` enumerates it.
+        let mut nib = [0.0f32; 16];
+        for (t, slot) in nib.iter_mut().enumerate() {
+            *slot = lut[t * 2];
+        }
+        let lo_tbl = _mm256_loadu_ps(nib.as_ptr());
+        let hi_tbl = _mm256_loadu_ps(nib.as_ptr().add(8));
+        let byte0 = idx / 2;
+        let mut p = 0usize;
+        while p + 8 <= pairs {
+            let raw = _mm_loadl_epi64(bytes.as_ptr().add(byte0 + p) as *const __m128i);
+            let lo_n = _mm_and_si128(raw, _mm_set1_epi8(0x0F));
+            let hi_n = _mm_and_si128(_mm_srli_epi16::<4>(raw), _mm_set1_epi8(0x0F));
+            let lov = nib_lookup(lo_tbl, hi_tbl, _mm256_cvtepu8_epi32(lo_n));
+            let hiv = nib_lookup(lo_tbl, hi_tbl, _mm256_cvtepu8_epi32(hi_n));
+            // Interleave low/high nibble values back into element order.
+            let t0 = _mm256_unpacklo_ps(lov, hiv);
+            let t1 = _mm256_unpackhi_ps(lov, hiv);
+            let dst = out.as_mut_ptr().add(o + 2 * p);
+            _mm256_storeu_ps(dst, _mm256_permute2f128_ps::<0x20>(t0, t1));
+            _mm256_storeu_ps(dst.add(8), _mm256_permute2f128_ps::<0x31>(t0, t1));
+            p += 8;
+        }
+        for q in p..pairs {
+            let b = bytes[byte0 + q] as usize;
+            out[o + 2 * q] = lut[b * 2];
+            out[o + 2 * q + 1] = lut[b * 2 + 1];
+        }
+        if (out.len() - o) % 2 == 1 {
+            // Mid-byte exit: the last element is a low nibble.
+            let last = out.len() - 1;
+            out[last] = lut[bytes[(start + last) / 2] as usize * 2];
+        }
+    }
+
+    /// 16-entry `f32` table lookup of 8 indices: `vpermps` through both
+    /// table halves, selected on index bit 3.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2; every lane of `idx` must be in `0..16`.
+    #[target_feature(enable = "avx2")]
+    unsafe fn nib_lookup(lo_tbl: __m256, hi_tbl: __m256, idx: __m256i) -> __m256 {
+        let pl = _mm256_permutevar8x32_ps(lo_tbl, idx);
+        let ph = _mm256_permutevar8x32_ps(hi_tbl, idx);
+        let take_hi = _mm256_castsi256_ps(_mm256_cmpgt_epi32(idx, _mm256_set1_epi32(7)));
+        _mm256_blendv_ps(pl, ph, take_hi)
     }
 }
 
@@ -493,7 +654,7 @@ impl PackedWeights for PackedFpTensor {
         &self.dims
     }
 
-    fn decode_range_into(&self, start: usize, out: &mut [f32]) {
+    fn decode_range_into_as(&self, isa: Isa, start: usize, out: &mut [f32]) {
         debug_assert!(start + out.len() <= self.numel(), "decode range out of bounds");
         if self.byte_lut.is_empty() {
             generic_decode_range(&self.bytes, self.format.total_bits(), start, out, |c| {
@@ -501,7 +662,7 @@ impl PackedWeights for PackedFpTensor {
             });
         } else {
             let cpb = if self.format.total_bits() == 4 { 2 } else { 1 };
-            lut_decode_range(&self.byte_lut, cpb, &self.bytes, start, out);
+            lut_decode_range(isa, &self.byte_lut, cpb, &self.bytes, start, out);
         }
     }
 }
@@ -512,6 +673,12 @@ impl PackedFpTensor {
     /// callers need no trait import).
     pub fn decode_range_into(&self, start: usize, out: &mut [f32]) {
         <Self as PackedWeights>::decode_range_into(self, start, out);
+    }
+
+    /// [`Self::decode_range_into`] on an explicit ISA path (inherent
+    /// forwarding of [`PackedWeights::decode_range_into_as`]).
+    pub fn decode_range_into_as(&self, isa: Isa, start: usize, out: &mut [f32]) {
+        <Self as PackedWeights>::decode_range_into_as(self, isa, start, out);
     }
 }
 
@@ -604,7 +771,7 @@ impl PackedWeights for PackedIntTensor {
         &self.dims
     }
 
-    fn decode_range_into(&self, start: usize, out: &mut [f32]) {
+    fn decode_range_into_as(&self, isa: Isa, start: usize, out: &mut [f32]) {
         debug_assert!(start + out.len() <= self.numel(), "decode range out of bounds");
         if self.byte_lut.is_empty() {
             let (scale, zp) = (self.format.scale(), self.format.zero_point());
@@ -613,7 +780,7 @@ impl PackedWeights for PackedIntTensor {
             });
         } else {
             let cpb = if self.format.bits() == 4 { 2 } else { 1 };
-            lut_decode_range(&self.byte_lut, cpb, &self.bytes, start, out);
+            lut_decode_range(isa, &self.byte_lut, cpb, &self.bytes, start, out);
         }
     }
 }
@@ -623,6 +790,12 @@ impl PackedIntTensor {
     /// (inherent forwarding of [`PackedWeights::decode_range_into`]).
     pub fn decode_range_into(&self, start: usize, out: &mut [f32]) {
         <Self as PackedWeights>::decode_range_into(self, start, out);
+    }
+
+    /// [`Self::decode_range_into`] on an explicit ISA path (inherent
+    /// forwarding of [`PackedWeights::decode_range_into_as`]).
+    pub fn decode_range_into_as(&self, isa: Isa, start: usize, out: &mut [f32]) {
+        <Self as PackedWeights>::decode_range_into_as(self, isa, start, out);
     }
 }
 
@@ -819,6 +992,46 @@ mod tests {
         int4.decode_range_into(3, &mut []);
         let empty = PackedFpTensor::encode(&Tensor::zeros(&[0]), FpFormat::new(4, 3));
         assert_eq!(empty.decode().numel(), 0);
+    }
+
+    #[test]
+    fn decode_isa_paths_are_bit_identical() {
+        // Every supported ISA must decode byte for byte like the scalar
+        // walk — FP8 (gather path), FP4/INT4 (nibble-shuffle path,
+        // including mid-byte entry/exit) and INT8, at odd starts and
+        // lengths straddling the 8/16-element vector bodies.
+        let mut rng = StdRng::seed_from_u64(11);
+        let x = Tensor::randn(&[61], &mut rng).mul_scalar(2.0);
+        let fps = [
+            PackedFpTensor::encode(&x, FpFormat::new(4, 3)),
+            PackedFpTensor::encode(&x, FpFormat::new(2, 1)),
+        ];
+        let ints = [
+            PackedIntTensor::encode(&x, IntFormat::fit(&x, 8)),
+            PackedIntTensor::encode(&x, IntFormat::fit(&x, 4)),
+        ];
+        for (start, len) in
+            [(0usize, 61usize), (1, 60), (1, 17), (3, 16), (2, 7), (5, 1), (60, 1), (7, 0)]
+        {
+            for packed in &fps {
+                let mut want = vec![0.0f32; len];
+                packed.decode_range_into_as(Isa::Scalar, start, &mut want);
+                for &isa in simd::available() {
+                    let mut got = vec![f32::NAN; len];
+                    packed.decode_range_into_as(isa, start, &mut got);
+                    assert_eq!(got, want, "{:?} {} start={start} len={len}", isa, packed.format());
+                }
+            }
+            for packed in &ints {
+                let mut want = vec![0.0f32; len];
+                packed.decode_range_into_as(Isa::Scalar, start, &mut want);
+                for &isa in simd::available() {
+                    let mut got = vec![f32::NAN; len];
+                    packed.decode_range_into_as(isa, start, &mut got);
+                    assert_eq!(got, want, "{:?} {} start={start} len={len}", isa, packed.format());
+                }
+            }
+        }
     }
 
     #[test]

@@ -8,7 +8,9 @@
 //! The library provides exactly what a diffusion-model stack needs:
 //!
 //! * contiguous row-major tensors with NumPy-style broadcasting,
-//! * a threaded matrix multiply and batched matmul (attention),
+//! * a threaded matrix multiply and batched matmul (attention), with the
+//!   NT micro-kernel runtime-dispatched over explicit AVX2/NEON paths
+//!   ([`simd`]) that stay bit-identical to the scalar reference,
 //! * `im2col`-based 2-D convolution plus the gradient kernels that the
 //!   autograd crate builds on,
 //! * pooling / nearest-neighbour upsampling,
@@ -33,6 +35,7 @@ pub mod matmul;
 pub mod parallel;
 pub mod rng;
 pub mod shape;
+pub mod simd;
 mod tensor;
 
 pub use io::{load_tensors, save_tensors, TensorIoError};

@@ -21,8 +21,18 @@
 //! with chunk starts pinned to the register-block grid
 //! ([`crate::parallel::parallel_rows_aligned`]) so the multi-threaded
 //! block decomposition matches the serial one.
+//!
+//! The NT micro-kernel is additionally *runtime-dispatched* over explicit
+//! SIMD implementations ([`crate::simd`]): AVX2 on x86-64 keeps each 4×8
+//! accumulator block in four 256-bit registers, NEON on aarch64 in eight
+//! 128-bit halves. Every path accumulates each output element with the
+//! same mul-then-add per ascending `k` step (no fused multiply-adds), so
+//! all ISAs are bit-identical to the scalar reference
+//! ([`gemm_nt_panel_scalar`]) — the contract `tests/simd_consistency.rs`
+//! pins down.
 
 use crate::parallel::{parallel_rows, parallel_rows_aligned};
+use crate::simd::{self, Isa};
 use crate::Tensor;
 
 impl Tensor {
@@ -260,11 +270,77 @@ pub fn gemm_nt_panel(
     j0: usize,
     nw: usize,
 ) {
+    gemm_nt_panel_as(simd::active(), a, bp, c, m, k, cstride, j0, nw);
+}
+
+/// [`gemm_nt_panel`] on an explicit ISA path — the dispatch point the
+/// differential tests drive from both sides. An `isa` this machine cannot
+/// execute falls back to the scalar reference (never faults), so callers
+/// may pass any variant; results are bit-identical either way.
+///
+/// # Panics
+///
+/// Panics on size mismatches. (Real asserts, not debug: the SIMD kernels
+/// read through raw pointers, so for a safe public entry point the size
+/// invariants must hold in release builds too — where the scalar path
+/// would panic on a bad slice index, an unchecked wide path would be
+/// out-of-bounds UB. The checks are O(1) against the O(m·k·nw) kernel.)
+#[allow(clippy::too_many_arguments)]
+#[inline]
+pub fn gemm_nt_panel_as(
+    isa: Isa,
+    a: &[f32],
+    bp: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    cstride: usize,
+    j0: usize,
+    nw: usize,
+) {
+    assert_eq!(a.len(), m * k, "lhs rows size");
+    assert_eq!(bp.len(), k * NT_NR, "panel size");
+    assert!((1..=NT_NR).contains(&nw), "panel width {nw}");
+    assert!(m == 0 || j0 + nw <= cstride, "columns past row end");
+    assert!(c.len() >= m.saturating_sub(1) * cstride + j0 + nw || m == 0, "output too short");
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 if isa.is_supported() => {
+            // Safety: the AVX2 feature set was verified at runtime, and
+            // the size invariants were asserted above (the kernel touches
+            // exactly the same slice ranges as the scalar path).
+            unsafe { avx2::gemm_nt_panel(a, bp, c, m, k, cstride, j0, nw) }
+        }
+        #[cfg(target_arch = "aarch64")]
+        Isa::Neon => {
+            // Safety: NEON is baseline on aarch64; size invariants as
+            // above.
+            unsafe { neon::gemm_nt_panel(a, bp, c, m, k, cstride, j0, nw) }
+        }
+        _ => gemm_nt_panel_scalar(a, bp, c, m, k, cstride, j0, nw),
+    }
+}
+
+/// The scalar reference implementation of [`gemm_nt_panel`] — the
+/// bit-identity oracle every SIMD path is pinned to.
+///
+/// # Panics
+///
+/// Panics (debug) on size mismatches.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_nt_panel_scalar(
+    a: &[f32],
+    bp: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    cstride: usize,
+    j0: usize,
+    nw: usize,
+) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(bp.len(), k * NT_NR);
     debug_assert!((1..=NT_NR).contains(&nw), "panel width {nw}");
-    debug_assert!(m == 0 || j0 + nw <= cstride, "columns past row end");
-    debug_assert!(c.len() >= m.saturating_sub(1) * cstride + j0 + nw || m == 0);
     let mut i0 = 0;
     while i0 + NT_MR <= m {
         let arows: [&[f32]; NT_MR] =
@@ -301,6 +377,186 @@ pub fn gemm_nt_panel(
     }
 }
 
+/// AVX2 NT micro-kernel: accumulator rows live whole in 256-bit
+/// registers; one broadcast + multiply + add per row per `k` step. The
+/// main block is *eight* rows tall (not the scalar kernel's
+/// [`NT_MR`] = 4): without fused multiply-adds the adds form one
+/// latency-bound dependency chain per accumulator, and eight independent
+/// chains are needed to fill both FP add ports — row blocking never
+/// changes the per-element accumulation order, so bit-identity is
+/// unaffected. Deliberately `_mm256_mul_ps` + `_mm256_add_ps`, **not**
+/// `_mm256_fmadd_ps`: FMA's single rounding would break bit-identity
+/// with the scalar reference (see [`crate::simd`]).
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::{NT_MR, NT_NR};
+    use core::arch::x86_64::*;
+
+    /// Rows per main block: 8 accumulators + the panel stripe + one
+    /// broadcast still fit the 16 `ymm` registers.
+    const MR_WIDE: usize = 2 * NT_MR;
+
+    /// # Safety
+    ///
+    /// Requires AVX2 at runtime; slice sizes per [`super::gemm_nt_panel`].
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn gemm_nt_panel(
+        a: &[f32],
+        bp: &[f32],
+        c: &mut [f32],
+        m: usize,
+        k: usize,
+        cstride: usize,
+        j0: usize,
+        nw: usize,
+    ) {
+        let ap = a.as_ptr();
+        let bpp = bp.as_ptr();
+        let mut i0 = 0;
+        while i0 + MR_WIDE <= m {
+            let rows: [*const f32; MR_WIDE] = core::array::from_fn(|ii| ap.add((i0 + ii) * k));
+            let mut acc = [_mm256_setzero_ps(); MR_WIDE];
+            for kk in 0..k {
+                let bv = _mm256_loadu_ps(bpp.add(kk * NT_NR));
+                for (accr, row) in acc.iter_mut().zip(rows) {
+                    // Same per-element order as the scalar kernel:
+                    // (a * b) then (acc + product), ascending k.
+                    *accr = _mm256_add_ps(*accr, _mm256_mul_ps(_mm256_set1_ps(*row.add(kk)), bv));
+                }
+            }
+            for (ii, accr) in acc.iter().enumerate() {
+                store_lanes(*accr, &mut c[(i0 + ii) * cstride + j0..], nw);
+            }
+            i0 += MR_WIDE;
+        }
+        if i0 + NT_MR <= m {
+            let rows: [*const f32; NT_MR] = core::array::from_fn(|ii| ap.add((i0 + ii) * k));
+            let mut acc = [_mm256_setzero_ps(); NT_MR];
+            for kk in 0..k {
+                let bv = _mm256_loadu_ps(bpp.add(kk * NT_NR));
+                for (accr, row) in acc.iter_mut().zip(rows) {
+                    *accr = _mm256_add_ps(*accr, _mm256_mul_ps(_mm256_set1_ps(*row.add(kk)), bv));
+                }
+            }
+            for (ii, accr) in acc.iter().enumerate() {
+                store_lanes(*accr, &mut c[(i0 + ii) * cstride + j0..], nw);
+            }
+            i0 += NT_MR;
+        }
+        while i0 < m {
+            let arow = ap.add(i0 * k);
+            let mut acc = _mm256_setzero_ps();
+            for kk in 0..k {
+                let bv = _mm256_loadu_ps(bpp.add(kk * NT_NR));
+                acc = _mm256_add_ps(acc, _mm256_mul_ps(_mm256_set1_ps(*arow.add(kk)), bv));
+            }
+            store_lanes(acc, &mut c[i0 * cstride + j0..], nw);
+            i0 += 1;
+        }
+    }
+
+    /// Writes the first `nw` lanes of `v` to `dst` (full-width store when
+    /// the panel is full, spill-and-copy on edge tiles).
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX; `dst` must hold at least `nw` elements.
+    #[target_feature(enable = "avx2")]
+    unsafe fn store_lanes(v: __m256, dst: &mut [f32], nw: usize) {
+        if nw == NT_NR {
+            _mm256_storeu_ps(dst.as_mut_ptr(), v);
+        } else {
+            let mut tmp = [0.0f32; NT_NR];
+            _mm256_storeu_ps(tmp.as_mut_ptr(), v);
+            dst[..nw].copy_from_slice(&tmp[..nw]);
+        }
+    }
+}
+
+/// NEON NT micro-kernel: the 8-lane panel stripe is two 128-bit halves;
+/// each accumulator row is a `float32x4_t` pair. Deliberately `vmulq` +
+/// `vaddq`, **not** `vfmaq`/`vmlaq` (which lower to fused `FMLA`): FMA's
+/// single rounding would break bit-identity with the scalar reference
+/// (see [`crate::simd`]).
+#[cfg(target_arch = "aarch64")]
+mod neon {
+    use super::{NT_MR, NT_NR};
+    use core::arch::aarch64::*;
+
+    /// # Safety
+    ///
+    /// NEON is baseline on aarch64; slice sizes per
+    /// [`super::gemm_nt_panel`].
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn gemm_nt_panel(
+        a: &[f32],
+        bp: &[f32],
+        c: &mut [f32],
+        m: usize,
+        k: usize,
+        cstride: usize,
+        j0: usize,
+        nw: usize,
+    ) {
+        let ap = a.as_ptr();
+        let bpp = bp.as_ptr();
+        let zero = vdupq_n_f32(0.0);
+        let mut i0 = 0;
+        while i0 + NT_MR <= m {
+            let rows: [*const f32; NT_MR] = core::array::from_fn(|ii| ap.add((i0 + ii) * k));
+            let mut acc = [[zero; 2]; NT_MR];
+            for kk in 0..k {
+                let blo = vld1q_f32(bpp.add(kk * NT_NR));
+                let bhi = vld1q_f32(bpp.add(kk * NT_NR + 4));
+                for (accr, row) in acc.iter_mut().zip(rows) {
+                    // Same per-element order as the scalar kernel:
+                    // (a * b) then (acc + product), ascending k.
+                    let av = vdupq_n_f32(*row.add(kk));
+                    accr[0] = vaddq_f32(accr[0], vmulq_f32(av, blo));
+                    accr[1] = vaddq_f32(accr[1], vmulq_f32(av, bhi));
+                }
+            }
+            for (ii, accr) in acc.iter().enumerate() {
+                store_lanes(accr, &mut c[(i0 + ii) * cstride + j0..], nw);
+            }
+            i0 += NT_MR;
+        }
+        while i0 < m {
+            let arow = ap.add(i0 * k);
+            let mut acc = [zero; 2];
+            for kk in 0..k {
+                let blo = vld1q_f32(bpp.add(kk * NT_NR));
+                let bhi = vld1q_f32(bpp.add(kk * NT_NR + 4));
+                let av = vdupq_n_f32(*arow.add(kk));
+                acc[0] = vaddq_f32(acc[0], vmulq_f32(av, blo));
+                acc[1] = vaddq_f32(acc[1], vmulq_f32(av, bhi));
+            }
+            store_lanes(&acc, &mut c[i0 * cstride + j0..], nw);
+            i0 += 1;
+        }
+    }
+
+    /// Writes the first `nw` of the 8 accumulated lanes to `dst`.
+    ///
+    /// # Safety
+    ///
+    /// `dst` must hold at least `nw` elements.
+    #[target_feature(enable = "neon")]
+    unsafe fn store_lanes(v: &[float32x4_t; 2], dst: &mut [f32], nw: usize) {
+        if nw == NT_NR {
+            vst1q_f32(dst.as_mut_ptr(), v[0]);
+            vst1q_f32(dst.as_mut_ptr().add(4), v[1]);
+        } else {
+            let mut tmp = [0.0f32; NT_NR];
+            vst1q_f32(tmp.as_mut_ptr(), v[0]);
+            vst1q_f32(tmp.as_mut_ptr().add(4), v[1]);
+            dst[..nw].copy_from_slice(&tmp[..nw]);
+        }
+    }
+}
+
 /// Serial NT kernel: `c[m,n] = a[m,k] · b[n,k]ᵀ` (overwrites `c`). Rows
 /// of `a`, `b` and `c` are contiguous. Convenience wrapper packing each
 /// `b` tile into a fresh panel; hot loops that can reuse scratch call
@@ -308,6 +564,22 @@ pub fn gemm_nt_panel(
 pub fn gemm_nt_serial(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     let mut bp = vec![0.0f32; k * NT_NR];
     gemm_nt_serial_with(a, b, c, m, k, n, &mut bp);
+}
+
+/// [`gemm_nt_serial`] on an explicit ISA path (see
+/// [`gemm_nt_panel_as`]) — the single-threaded whole-matrix reference the
+/// differential SIMD tests compare the threaded dispatched paths against.
+pub fn gemm_nt_serial_as(
+    isa: Isa,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    let mut bp = vec![0.0f32; k * NT_NR];
+    gemm_nt_serial_with_as(isa, a, b, c, m, k, n, &mut bp);
 }
 
 /// [`gemm_nt_serial`] with caller-owned panel scratch (`k * NT_NR`
@@ -325,6 +597,25 @@ pub fn gemm_nt_serial_with(
     n: usize,
     bp: &mut [f32],
 ) {
+    gemm_nt_serial_with_as(simd::active(), a, b, c, m, k, n, bp);
+}
+
+/// [`gemm_nt_serial_with`] on an explicit ISA path.
+///
+/// # Panics
+///
+/// Panics (debug) on size mismatches.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_nt_serial_with_as(
+    isa: Isa,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    bp: &mut [f32],
+) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), n * k);
     debug_assert_eq!(c.len(), m * n);
@@ -332,7 +623,7 @@ pub fn gemm_nt_serial_with(
     while j0 < n {
         let nw = NT_NR.min(n - j0);
         pack_nt_panel(&b[j0 * k..(j0 + nw) * k], k, nw, bp);
-        gemm_nt_panel(a, bp, c, m, k, n, j0, nw);
+        gemm_nt_panel_as(isa, a, bp, c, m, k, n, j0, nw);
         j0 += nw;
     }
 }
@@ -502,6 +793,48 @@ mod tests {
                 assert!((x - y).abs() < 1e-4);
             }
         }
+    }
+
+    #[test]
+    fn nt_panel_isa_paths_are_bit_identical() {
+        // Every ISA this machine supports must reproduce the scalar
+        // reference bit-for-bit, across full and edge panel widths and
+        // off-grid row counts.
+        for (m, n, k) in [(1usize, 1usize, 1usize), (4, 8, 16), (5, 3, 7), (9, 13, 31), (2, 8, 1)] {
+            let a = rand_tensor(&[m, k], (m * 7 + k) as u64);
+            let b = rand_tensor(&[n, k], (n * 11 + k) as u64);
+            let mut want = vec![0.0f32; m * n];
+            gemm_nt_serial_as(crate::simd::Isa::Scalar, a.data(), b.data(), &mut want, m, k, n);
+            for &isa in crate::simd::available() {
+                let mut got = vec![f32::NAN; m * n];
+                gemm_nt_serial_as(isa, a.data(), b.data(), &mut got, m, k, n);
+                for (i, (x, y)) in got.iter().zip(&want).enumerate() {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "{:?} ({m},{n},{k}) elem {i}: {x} vs {y}",
+                        isa
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nt_panel_unsupported_isa_falls_back_to_scalar() {
+        // Passing an ISA this machine cannot execute must not fault; the
+        // dispatcher silently runs the scalar reference.
+        let foreign = if cfg!(target_arch = "x86_64") {
+            crate::simd::Isa::Neon
+        } else {
+            crate::simd::Isa::Avx2
+        };
+        let a = rand_tensor(&[3, 5], 21);
+        let b = rand_tensor(&[4, 5], 22);
+        let (mut got, mut want) = (vec![0.0f32; 12], vec![0.0f32; 12]);
+        gemm_nt_serial_as(foreign, a.data(), b.data(), &mut got, 3, 5, 4);
+        gemm_nt_serial_as(crate::simd::Isa::Scalar, a.data(), b.data(), &mut want, 3, 5, 4);
+        assert_eq!(got, want);
     }
 
     #[test]

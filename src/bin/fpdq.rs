@@ -329,12 +329,13 @@ fn pack_and_report(pipeline: &Pipeline, report: &fpdq::quant::QuantReport) {
         );
     }
     println!(
-        "  {} layers packed ({} fused act) | payload {:.1} KiB vs dense {:.1} KiB | {:.2}x compression",
+        "  {} layers packed ({} fused act) | payload {:.1} KiB vs dense {:.1} KiB | {:.2}x compression | {} kernels",
         pack.layers.len(),
         pack.fused_act_layers(),
         pack.payload_bytes() as f32 / 1024.0,
         pack.dense_bytes() as f32 / 1024.0,
         pack.compression(),
+        pack.isa(),
     );
     let packed = time_forward("packed (fused W+A)");
     println!("  forward speedup: {:.2}x", dense / packed);

@@ -1,0 +1,446 @@
+//! Differential SIMD-vs-scalar suite: every runtime-dispatched kernel
+//! path (AVX2 on x86-64, NEON on aarch64) must be **bit-identical** to
+//! the scalar reference — the contract that makes shipping explicit SIMD
+//! kernels safe (`fpdq_tensor::simd` documents it).
+//!
+//! Each test sweeps `fpdq::tensor::simd::available()`, so on a machine
+//! without wide instructions the comparisons degenerate to
+//! scalar-vs-scalar (and still run), while on AVX2/NEON hardware both
+//! sides of every dispatch are exercised in one process. The
+//! `FPDQ_FORCE_SCALAR=1` environment override is covered process-wide by
+//! the dedicated CI job that re-runs the entire workspace suite under it:
+//! together with these in-process sweeps, outputs are pinned across
+//! `FPDQ_FORCE_SCALAR=0/1`, across ISAs, and across thread counts
+//! (threaded dispatched kernels are compared against single-threaded
+//! scalar schedules below).
+
+use fpdq::kernels::{
+    conv2d_packed_fused_as, gemm_packed_fused_as, PackedFpTensor, PackedIntTensor,
+};
+use fpdq::quant::{BoundaryQuantizer, FpFormat, IntFormat, PanelQuantizer, TensorQuantizer};
+use fpdq::tensor::conv::Conv2dSpec;
+use fpdq::tensor::matmul::{gemm_nt_panel_as, gemm_nt_serial_as, pack_nt_panel, NT_NR};
+use fpdq::tensor::simd::{self, Isa};
+use fpdq::tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Asserts two tensors are bit-identical (NaNs included).
+fn assert_bits_eq(got: &Tensor, want: &Tensor, ctx: &str) {
+    assert_eq!(got.dims(), want.dims(), "{ctx}: shape");
+    for (i, (g, w)) in got.data().iter().zip(want.data()).enumerate() {
+        assert_eq!(g.to_bits(), w.to_bits(), "{ctx} elem {i}: {g} vs {w} not bit-identical");
+    }
+}
+
+/// Random tensor with NaN/±∞ planted at fixed positions (when it is big
+/// enough), so the non-finite paths of every kernel are exercised.
+fn tensor_with_specials(dims: &[usize], seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut vals: Vec<f32> = Tensor::randn(dims, &mut rng).mul_scalar(2.5).data().to_vec();
+    let n = vals.len();
+    if n >= 4 {
+        vals[n / 4] = f32::NAN;
+        vals[n / 2] = f32::INFINITY;
+        vals[3 * n / 4] = f32::NEG_INFINITY;
+    }
+    Tensor::from_vec(vals, dims)
+}
+
+/// Activation quantizers covering FP4/FP8/INT4/INT8. Fixed INT ranges
+/// (not `fit`): fitting a range to NaN/∞-containing calibration data
+/// yields a degenerate quantizer (infinite scale), and a *well-formed*
+/// quantizer is what maps the non-finite activations to finite values
+/// before they reach the accumulating kernel.
+fn act_quantizers() -> Vec<TensorQuantizer> {
+    vec![
+        TensorQuantizer::Fp(FpFormat::new(4, 3)),
+        TensorQuantizer::Fp(FpFormat::new(2, 1)),
+        TensorQuantizer::Int(IntFormat::from_range(8, -3.0, 3.0)),
+        TensorQuantizer::Int(IntFormat::from_range(4, -2.0, 2.0)),
+    ]
+}
+
+/// Bit views for slice comparisons that must treat NaNs as values.
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Dense NT kernel
+// ---------------------------------------------------------------------------
+
+#[test]
+fn threaded_matmul_nt_matches_serial_scalar_reference() {
+    // The dispatched, threaded matmul_nt against a single-threaded scalar
+    // panel sweep: pins bit-identity across ISA × thread schedule at
+    // once. (Shapes stay on the m ≥ 4 panel path; m < 4 takes the
+    // undispatched row-dot kernel, identical by construction.)
+    for (m, n, k) in [(4usize, 8usize, 16usize), (5, 3, 7), (9, 13, 31), (32, 17, 40), (6, 8, 1)] {
+        let a = tensor_with_specials(&[m, k], (m * 37 + n) as u64);
+        let b = tensor_with_specials(&[n, k], (k * 53 + m) as u64);
+        let fast = a.matmul_nt(&b);
+        let mut want = vec![0.0f32; m * n];
+        gemm_nt_serial_as(Isa::Scalar, a.data(), b.data(), &mut want, m, k, n);
+        assert_bits_eq(&fast, &Tensor::from_vec(want, &[m, n]), &format!("({m},{n},{k})"));
+    }
+}
+
+#[test]
+fn nt_panel_isa_sweep_with_non_finite_inputs() {
+    // The raw micro-kernel on every supported ISA, off-tile shapes
+    // (m = 1, k < 8, n not a multiple of 8) and NaN/∞ operands included:
+    // the SIMD paths keep the scalar path's operand order on every
+    // multiply and add, so even NaN payload propagation matches.
+    for (m, n, k) in [(1usize, 1usize, 1usize), (1, 9, 3), (4, 8, 5), (7, 11, 2), (5, 8, 24)] {
+        let a = tensor_with_specials(&[m, k], (m * 3 + k) as u64);
+        let b = tensor_with_specials(&[n, k], (n * 5 + k) as u64);
+        let mut bp = vec![0.0f32; k * NT_NR];
+        let mut want = vec![0.0f32; m * n];
+        let mut j0 = 0;
+        while j0 < n {
+            let nw = NT_NR.min(n - j0);
+            pack_nt_panel(&b.data()[j0 * k..(j0 + nw) * k], k, nw, &mut bp);
+            gemm_nt_panel_as(Isa::Scalar, a.data(), &bp, &mut want, m, k, n, j0, nw);
+            j0 += nw;
+        }
+        for &isa in simd::available() {
+            let mut got = vec![0.0f32; m * n];
+            gemm_nt_serial_as(isa, a.data(), b.data(), &mut got, m, k, n);
+            for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                assert_eq!(g.to_bits(), w.to_bits(), "{isa:?} ({m},{n},{k}) elem {i}: {g} vs {w}");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Packed decode
+// ---------------------------------------------------------------------------
+
+#[test]
+fn packed_decode_isa_sweep_all_formats() {
+    // FP8 exercises the AVX2 gather path, FP4/INT4 the nibble-shuffle
+    // path (odd starts enter and leave mid-byte), INT8 the gather path
+    // over the affine LUT.
+    let x = tensor_with_specials(&[83], 7);
+    let fp8 = PackedFpTensor::encode(&x, FpFormat::new(4, 3));
+    let fp4 = PackedFpTensor::encode(&x, FpFormat::new(2, 1));
+    let int8 = PackedIntTensor::encode(&x, IntFormat::from_range(8, -3.0, 3.0));
+    let int4 = PackedIntTensor::encode(&x, IntFormat::from_range(4, -2.0, 2.0));
+    for (start, len) in [(0usize, 83usize), (1, 82), (1, 16), (2, 17), (9, 40), (82, 1), (3, 0)] {
+        let mut want = vec![0.0f32; len];
+        let mut got = vec![f32::NAN; len];
+        for &isa in simd::available() {
+            fp8.decode_range_into_as(Isa::Scalar, start, &mut want);
+            fp8.decode_range_into_as(isa, start, &mut got);
+            assert_eq!(bits(&got), bits(&want), "fp8 {isa:?} start={start} len={len}");
+            fp4.decode_range_into_as(Isa::Scalar, start, &mut want);
+            fp4.decode_range_into_as(isa, start, &mut got);
+            assert_eq!(bits(&got), bits(&want), "fp4 {isa:?} start={start} len={len}");
+            int8.decode_range_into_as(Isa::Scalar, start, &mut want);
+            int8.decode_range_into_as(isa, start, &mut got);
+            assert_eq!(bits(&got), bits(&want), "int8 {isa:?} start={start} len={len}");
+            int4.decode_range_into_as(Isa::Scalar, start, &mut want);
+            int4.decode_range_into_as(isa, start, &mut got);
+            assert_eq!(bits(&got), bits(&want), "int4 {isa:?} start={start} len={len}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Boundary-table activation quantizer
+// ---------------------------------------------------------------------------
+
+#[test]
+fn boundary_quantizer_isa_sweep_on_adversarial_values() {
+    // Probe exactly where the bucketed sweep can go wrong: on and one ULP
+    // around every representable value, plus non-finite and subnormal
+    // inputs.
+    for q in [
+        TensorQuantizer::Fp(FpFormat::new(4, 3)),
+        TensorQuantizer::Fp(FpFormat::new(2, 1)),
+        TensorQuantizer::Fp(FpFormat::with_bias(3, 4, 6.5)),
+    ] {
+        let bq = BoundaryQuantizer::cached(&q);
+        let mut probes = vec![
+            0.0f32,
+            -0.0,
+            f32::NAN,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::MIN_POSITIVE / 2.0,
+            f32::MAX,
+            -f32::MAX,
+        ];
+        for pair in bq.values().windows(2) {
+            let mid = ((f64::from(pair[0]) + f64::from(pair[1])) * 0.5) as f32;
+            for v in [pair[0], pair[1], mid] {
+                probes.push(v);
+                probes.push(f32::from_bits(v.to_bits().wrapping_add(1)));
+                probes.push(f32::from_bits(v.to_bits().wrapping_sub(1)));
+            }
+        }
+        let mut want = vec![0.0f32; probes.len()];
+        bq.quantize_slice_into_as(Isa::Scalar, &probes, &mut want);
+        for &isa in simd::available() {
+            let mut got = vec![0.0f32; probes.len()];
+            bq.quantize_slice_into_as(isa, &probes, &mut got);
+            for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                assert_eq!(g.to_bits(), w.to_bits(), "{q} {isa:?} probe {}: {g} vs {w}", probes[i]);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fused W+A GEMM and conv
+// ---------------------------------------------------------------------------
+
+#[test]
+fn fused_wa_gemm_isa_sweep_per_tensor() {
+    // The full fused weight+activation GEMM (decode + boundary-table
+    // quantization + NT kernel, threaded) across FP4/FP8/INT4/INT8
+    // weights and activations, NaN/∞ activations included, on off-tile
+    // shapes.
+    for (m, n, k) in [(1usize, 5usize, 3usize), (4, 8, 16), (33, 19, 40), (6, 7, 5)] {
+        let a = tensor_with_specials(&[m, k], (m + n * 17) as u64);
+        let w = Tensor::randn(&[n, k], &mut StdRng::seed_from_u64((k + m) as u64));
+        let wfp8 = PackedFpTensor::encode(&w, FpFormat::new(4, 3));
+        let wfp4 = PackedFpTensor::encode(&w, FpFormat::new(2, 1));
+        let wint8 = PackedIntTensor::encode(&w, IntFormat::fit(&w, 8));
+        let wint4 = PackedIntTensor::encode(&w, IntFormat::fit(&w, 4));
+        for act in act_quantizers() {
+            let pq = PanelQuantizer::per_tensor(&act);
+            for &isa in simd::available() {
+                let ctx = format!("({m},{n},{k}) act {act} {isa:?}");
+                let want = gemm_packed_fused_as(&a, &wfp8, Some(&pq), Isa::Scalar);
+                assert_bits_eq(&gemm_packed_fused_as(&a, &wfp8, Some(&pq), isa), &want, &ctx);
+                let want = gemm_packed_fused_as(&a, &wfp4, Some(&pq), Isa::Scalar);
+                assert_bits_eq(&gemm_packed_fused_as(&a, &wfp4, Some(&pq), isa), &want, &ctx);
+                let want = gemm_packed_fused_as(&a, &wint8, Some(&pq), Isa::Scalar);
+                assert_bits_eq(&gemm_packed_fused_as(&a, &wint8, Some(&pq), isa), &want, &ctx);
+                let want = gemm_packed_fused_as(&a, &wint4, Some(&pq), Isa::Scalar);
+                assert_bits_eq(&gemm_packed_fused_as(&a, &wint4, Some(&pq), isa), &want, &ctx);
+            }
+        }
+    }
+}
+
+#[test]
+fn fused_wa_gemm_isa_sweep_per_channel() {
+    let (m, k, n) = (9usize, 6usize, 8usize);
+    let a = tensor_with_specials(&[m, k], 23);
+    let w = Tensor::randn(&[n, k], &mut StdRng::seed_from_u64(24));
+    let packed = PackedFpTensor::encode(&w, FpFormat::new(4, 3));
+    let formats: Vec<TensorQuantizer> = (0..k)
+        .map(|j| {
+            if j % 2 == 0 {
+                TensorQuantizer::Fp(FpFormat::with_bias(4, 3, 8.0 + j as f32 * 0.5))
+            } else {
+                TensorQuantizer::Int(IntFormat::from_range(8, -1.0 - j as f32, 1.0 + j as f32))
+            }
+        })
+        .collect();
+    let pq = PanelQuantizer::per_channel(&formats);
+    let want = gemm_packed_fused_as(&a, &packed, Some(&pq), Isa::Scalar);
+    for &isa in simd::available() {
+        let got = gemm_packed_fused_as(&a, &packed, Some(&pq), isa);
+        assert_bits_eq(&got, &want, &format!("per-channel {isa:?}"));
+    }
+}
+
+#[test]
+fn threaded_fused_gemm_matches_serial_scalar_schedule() {
+    // Thread count × ISA at once: the threaded dispatched fused kernel
+    // against a hand-rolled single-tile-at-a-time schedule built entirely
+    // from explicitly-scalar pieces (prequantized activations, scalar
+    // row decode, scalar panel kernel).
+    let (m, n, k) = (37usize, 29usize, 48usize);
+    let a = tensor_with_specials(&[m, k], 31);
+    let w = Tensor::randn(&[n, k], &mut StdRng::seed_from_u64(32));
+    let act = TensorQuantizer::Fp(FpFormat::new(4, 3));
+    let packed = PackedFpTensor::encode(&w, FpFormat::new(2, 1));
+    let pq = PanelQuantizer::per_tensor(&act);
+    let threaded = gemm_packed_fused_as(&a, &packed, Some(&pq), simd::active());
+    let reference = {
+        let mut aq = vec![0.0f32; m * k];
+        BoundaryQuantizer::cached(&act).quantize_slice_into_as(Isa::Scalar, a.data(), &mut aq);
+        let mut bp = vec![0.0f32; k * NT_NR];
+        let mut wrow = vec![0.0f32; k];
+        let mut out = vec![0.0f32; n * m];
+        for j0 in (0..m).step_by(NT_NR) {
+            let nw = NT_NR.min(m - j0);
+            pack_nt_panel(&aq[j0 * k..(j0 + nw) * k], k, nw, &mut bp);
+            for r in 0..n {
+                packed.decode_range_into_as(Isa::Scalar, r * k, &mut wrow);
+                let mut crow = vec![0.0f32; m];
+                crow.copy_from_slice(&out[r * m..(r + 1) * m]);
+                gemm_nt_panel_as(Isa::Scalar, &wrow, &bp, &mut crow, 1, k, m, j0, nw);
+                out[r * m..(r + 1) * m].copy_from_slice(&crow);
+            }
+        }
+        Tensor::from_vec(out, &[n, m]).transpose()
+    };
+    assert_bits_eq(&threaded, &reference, "threaded dispatched vs serial scalar");
+}
+
+#[test]
+fn fused_wa_conv_isa_sweep() {
+    let x = tensor_with_specials(&[2, 3, 7, 7], 41);
+    let w = Tensor::randn(&[5, 3, 3, 3], &mut StdRng::seed_from_u64(42));
+    let b = Tensor::randn(&[5], &mut StdRng::seed_from_u64(43));
+    let spec = Conv2dSpec::new(1, 1);
+    let wfp8 = PackedFpTensor::encode(&w, FpFormat::new(4, 3));
+    let wfp4 = PackedFpTensor::encode(&w, FpFormat::new(2, 1));
+    let wint8 = PackedIntTensor::encode(&w, IntFormat::fit(&w, 8));
+    let wint4 = PackedIntTensor::encode(&w, IntFormat::fit(&w, 4));
+    for act in act_quantizers() {
+        let pq = PanelQuantizer::per_tensor(&act);
+        for &isa in simd::available() {
+            let ctx = format!("conv act {act} {isa:?}");
+            let want = conv2d_packed_fused_as(&x, &wfp8, Some(&b), spec, Some(&pq), Isa::Scalar);
+            let got = conv2d_packed_fused_as(&x, &wfp8, Some(&b), spec, Some(&pq), isa);
+            assert_bits_eq(&got, &want, &ctx);
+            let want = conv2d_packed_fused_as(&x, &wfp4, None, spec, Some(&pq), Isa::Scalar);
+            let got = conv2d_packed_fused_as(&x, &wfp4, None, spec, Some(&pq), isa);
+            assert_bits_eq(&got, &want, &ctx);
+            let want = conv2d_packed_fused_as(&x, &wint8, Some(&b), spec, Some(&pq), Isa::Scalar);
+            let got = conv2d_packed_fused_as(&x, &wint8, Some(&b), spec, Some(&pq), isa);
+            assert_bits_eq(&got, &want, &ctx);
+            let want = conv2d_packed_fused_as(&x, &wint4, None, spec, Some(&pq), Isa::Scalar);
+            let got = conv2d_packed_fused_as(&x, &wint4, None, spec, Some(&pq), isa);
+            assert_bits_eq(&got, &want, &ctx);
+        }
+    }
+}
+
+#[test]
+fn fused_wa_conv_isa_sweep_per_channel() {
+    let (c, h, w_) = (3usize, 6usize, 6usize);
+    let x = tensor_with_specials(&[1, c, h, w_], 51);
+    let w = Tensor::randn(&[4, c, 3, 3], &mut StdRng::seed_from_u64(52));
+    let spec = Conv2dSpec::new(1, 1);
+    let packed = PackedFpTensor::encode(&w, FpFormat::new(4, 3));
+    let formats: Vec<TensorQuantizer> = (0..c)
+        .map(|ci| TensorQuantizer::Fp(FpFormat::with_bias(4, 3, 7.0 + ci as f32)))
+        .collect();
+    let pq = PanelQuantizer::per_channel(&formats);
+    let want = conv2d_packed_fused_as(&x, &packed, None, spec, Some(&pq), Isa::Scalar);
+    for &isa in simd::available() {
+        let got = conv2d_packed_fused_as(&x, &packed, None, spec, Some(&pq), isa);
+        assert_bits_eq(&got, &want, &format!("per-channel conv {isa:?}"));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Property tests
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn gemm_nt_isa_bit_identity_property(
+        seed in 0u64..500,
+        m in 1usize..12,
+        n in 1usize..20,
+        k in 1usize..32,
+    ) {
+        let a = Tensor::randn(&[m, k], &mut StdRng::seed_from_u64(seed)).mul_scalar(3.0);
+        let b = Tensor::randn(&[n, k], &mut StdRng::seed_from_u64(seed ^ 0xABCD));
+        let mut want = vec![0.0f32; m * n];
+        gemm_nt_serial_as(Isa::Scalar, a.data(), b.data(), &mut want, m, k, n);
+        for &isa in simd::available() {
+            let mut got = vec![0.0f32; m * n];
+            gemm_nt_serial_as(isa, a.data(), b.data(), &mut got, m, k, n);
+            for (g, w) in got.iter().zip(&want) {
+                prop_assert_eq!(g.to_bits(), w.to_bits(), "{:?}: {} vs {}", isa, g, w);
+            }
+        }
+    }
+
+    #[test]
+    fn packed_decode_isa_bit_identity_property(
+        vals in prop::collection::vec(-80.0f32..80.0, 1..96),
+        start_frac in 0.0f64..1.0,
+        wpick in 0usize..4,
+    ) {
+        let x = Tensor::from_vec(vals.clone(), &[vals.len()]);
+        let start = (start_frac * (vals.len() - 1) as f64) as usize;
+        let len = vals.len() - start;
+        let mut want = vec![0.0f32; len];
+        let mut got = vec![0.0f32; len];
+        for &isa in simd::available() {
+            match wpick {
+                0 => {
+                    let p = PackedFpTensor::encode(&x, FpFormat::new(4, 3));
+                    p.decode_range_into_as(Isa::Scalar, start, &mut want);
+                    p.decode_range_into_as(isa, start, &mut got);
+                }
+                1 => {
+                    let p = PackedFpTensor::encode(&x, FpFormat::new(2, 1));
+                    p.decode_range_into_as(Isa::Scalar, start, &mut want);
+                    p.decode_range_into_as(isa, start, &mut got);
+                }
+                2 => {
+                    let p = PackedIntTensor::encode(&x, IntFormat::fit(&x, 8));
+                    p.decode_range_into_as(Isa::Scalar, start, &mut want);
+                    p.decode_range_into_as(isa, start, &mut got);
+                }
+                _ => {
+                    let p = PackedIntTensor::encode(&x, IntFormat::fit(&x, 4));
+                    p.decode_range_into_as(Isa::Scalar, start, &mut want);
+                    p.decode_range_into_as(isa, start, &mut got);
+                }
+            }
+            prop_assert_eq!(&got, &want, "{:?} wpick={} start={}", isa, wpick, start);
+        }
+    }
+
+    #[test]
+    fn fused_wa_gemm_isa_bit_identity_property(
+        seed in 0u64..500,
+        m in 1usize..16,
+        n in 1usize..10,
+        k in 1usize..20,
+        wpick in 0usize..4,
+        apick in 0usize..4,
+    ) {
+        let a = Tensor::randn(&[m, k], &mut StdRng::seed_from_u64(seed)).mul_scalar(3.0);
+        let w = Tensor::randn(&[n, k], &mut StdRng::seed_from_u64(seed ^ 0x5EED));
+        let act = match apick {
+            0 => TensorQuantizer::Fp(FpFormat::new(4, 3)),
+            1 => TensorQuantizer::Fp(FpFormat::new(2, 1)),
+            2 => TensorQuantizer::Int(IntFormat::fit(&a, 8)),
+            _ => TensorQuantizer::Int(IntFormat::fit(&a, 4)),
+        };
+        let pq = PanelQuantizer::per_tensor(&act);
+        for &isa in simd::available() {
+            let (want, got) = match wpick {
+                0 => {
+                    let p = PackedFpTensor::encode(&w, FpFormat::new(4, 3));
+                    (gemm_packed_fused_as(&a, &p, Some(&pq), Isa::Scalar),
+                     gemm_packed_fused_as(&a, &p, Some(&pq), isa))
+                }
+                1 => {
+                    let p = PackedFpTensor::encode(&w, FpFormat::new(2, 1));
+                    (gemm_packed_fused_as(&a, &p, Some(&pq), Isa::Scalar),
+                     gemm_packed_fused_as(&a, &p, Some(&pq), isa))
+                }
+                2 => {
+                    let p = PackedIntTensor::encode(&w, IntFormat::fit(&w, 8));
+                    (gemm_packed_fused_as(&a, &p, Some(&pq), Isa::Scalar),
+                     gemm_packed_fused_as(&a, &p, Some(&pq), isa))
+                }
+                _ => {
+                    let p = PackedIntTensor::encode(&w, IntFormat::fit(&w, 4));
+                    (gemm_packed_fused_as(&a, &p, Some(&pq), Isa::Scalar),
+                     gemm_packed_fused_as(&a, &p, Some(&pq), isa))
+                }
+            };
+            for (g, wv) in got.data().iter().zip(want.data()) {
+                prop_assert_eq!(g.to_bits(), wv.to_bits(), "{:?}: {} vs {}", isa, g, wv);
+            }
+        }
+    }
+}
