@@ -150,6 +150,54 @@ fn bench_gemm(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_gemm_batched(c: &mut Criterion) {
+    // Batched multi-image activation matrices (m = batch × 4 rows, the
+    // projection/time-embedding shape where a batch-1 step is *decode-
+    // bound*: expanding the 256×256 packed weight costs more than the
+    // 4-row product consumes) against one weight: per-image cost falls
+    // with the batch as the once-per-call weight decode amortises — the
+    // packed engine's serving-scale regime. Per-image throughput =
+    // entry time / batch.
+    const ROWS_PER_IMAGE: usize = 4;
+    let w = rand_mat(N, K, 9);
+    let fp8 = PackedFpTensor::encode(&w, FpFormat::new(4, 3));
+    let act8 = TensorQuantizer::Fp(FpFormat::new(4, 3));
+    let mut g = c.benchmark_group("gemm_batched_4rows_x256x256");
+    for batch in [1usize, 4, 8] {
+        let a = rand_mat(batch * ROWS_PER_IMAGE, K, 10 + batch as u64);
+        g.bench_function(format!("packed_fp8_wa_batch{batch}"), |b| {
+            b.iter(|| black_box(gemm_packed_fp(&a, &fp8, Some(&act8))))
+        });
+    }
+    // A narrow layer (n = 32) at batch scale exercises the
+    // column-parallel regime.
+    let wn = rand_mat(32, K, 11);
+    let fp8n = PackedFpTensor::encode(&wn, FpFormat::new(4, 3));
+    let an = rand_mat(8 * M, K, 12);
+    g.bench_function("packed_fp8_wa_narrow_n32_batch8", |b| {
+        b.iter(|| black_box(gemm_packed_fp(&an, &fp8n, Some(&act8))))
+    });
+    g.finish();
+}
+
+fn bench_conv_batched(c: &mut Criterion) {
+    use fpdq_kernels::conv2d_packed_fp;
+    use fpdq_tensor::conv::Conv2dSpec;
+    let mut rng = StdRng::seed_from_u64(13);
+    let w = Tensor::randn(&[32, 16, 3, 3], &mut rng);
+    let spec = Conv2dSpec::new(1, 1);
+    let fp8 = PackedFpTensor::encode(&w, FpFormat::new(4, 3));
+    let act8 = TensorQuantizer::Fp(FpFormat::new(4, 3));
+    let mut g = c.benchmark_group("conv_batched_16x16x16_to_32ch");
+    for batch in [1usize, 4, 8] {
+        let x = Tensor::randn(&[batch, 16, 16, 16], &mut rng);
+        g.bench_function(format!("packed_fp8_wa_batch{batch}"), |b| {
+            b.iter(|| black_box(conv2d_packed_fp(&x, &fp8, None, spec, Some(&act8))))
+        });
+    }
+    g.finish();
+}
+
 fn bench_conv(c: &mut Criterion) {
     use fpdq_kernels::conv2d_packed_fp;
     use fpdq_tensor::conv::Conv2dSpec;
@@ -207,7 +255,8 @@ fn configured() -> Criterion {
 criterion_group! {
     name = kernels;
     config = configured();
-    targets = bench_quantize, bench_pack, bench_gemm, bench_conv, bench_sparse
+    targets = bench_quantize, bench_pack, bench_gemm, bench_gemm_batched, bench_conv,
+        bench_conv_batched, bench_sparse
 }
 
 fn main() {

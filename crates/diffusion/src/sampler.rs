@@ -5,10 +5,28 @@
 //! `eps(x_t, t) -> ε̂` — so the full-precision model, the FP-quantized
 //! model and the INT-quantized model all drive the *same* sampling code,
 //! which is what makes the paper's fixed-seed comparisons meaningful.
+//!
+//! # Batched multi-image sampling and per-image RNG streams
+//!
+//! Every sampler runs a whole `[b, c, h, w]` batch through one network
+//! call per step, but the stochastic noise is drawn from **one RNG
+//! stream per image** (`*_batched` take a slice of RNGs, `*_seeded` a
+//! slice of seeds that also derive the starting noise). This is what
+//! makes batch composition irrelevant: image `i` of a batch-N run is
+//! bit-identical to a batch-1 run from the same per-image seed — the
+//! contract `tests/batched_consistency.rs` pins on the packed engine —
+//! and images within a batch are statistically independent.
+//!
+//! The earlier single-`rng` entry points drew one shared stream for the
+//! whole batch, which both correlated the images (each stochastic step
+//! sliced consecutive variates across the batch) and made every image's
+//! noise depend on its position in the batch; they now derive per-image
+//! seeds from the given RNG and delegate to the batched path.
 
 use crate::schedule::NoiseSchedule;
 use fpdq_tensor::Tensor;
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// DDIM sampling options.
 #[derive(Clone, Copy, Debug)]
@@ -38,19 +56,73 @@ fn ddim_timesteps(schedule: &NoiseSchedule, steps: usize) -> Vec<usize> {
     ts
 }
 
+/// Derives one independent RNG stream per image from a master RNG.
+///
+/// The master only hands out seeds, so each image's stream is a pure
+/// function of its own seed — the property that makes batch composition
+/// order-independent.
+pub fn per_image_rngs(b: usize, rng: &mut impl Rng) -> Vec<StdRng> {
+    (0..b).map(|_| StdRng::seed_from_u64(rng.gen())).collect()
+}
+
+/// Draws standard-normal noise `[b, c, h, w]` with image `i` taken
+/// entirely from `rngs[i]` — the batched equivalent of `b` independent
+/// `Tensor::randn(&[1, c, h, w], rng)` calls, bit-for-bit.
+fn randn_per_image(dims: &[usize], rngs: &mut [StdRng]) -> Tensor {
+    debug_assert_eq!(dims[0], rngs.len());
+    let plane: usize = dims[1..].iter().product();
+    let mut data = Vec::with_capacity(rngs.len() * plane);
+    let mut img_dims = dims.to_vec();
+    img_dims[0] = 1;
+    for rng in rngs.iter_mut() {
+        data.extend_from_slice(Tensor::randn(&img_dims, rng).data());
+    }
+    Tensor::from_vec(data, dims)
+}
+
 /// Deterministic (η=0) or stochastic DDIM sampling.
 ///
 /// `x_t` starts from `noise` (`[b, c, h, w]`); `eps` is the noise
 /// predictor. Returns the final `x_0` estimate.
+///
+/// Stochastic steps (η > 0) draw per-image streams derived from `rng`
+/// (see the module docs — a single shared stream would correlate the
+/// batch); callers that need image `i` reproducible outside this batch
+/// should use [`ddim_sample_batched`] with explicit per-image RNGs.
 pub fn ddim_sample(
     schedule: &NoiseSchedule,
     noise: Tensor,
     params: DdimParams,
     rng: &mut impl Rng,
+    eps: impl FnMut(&Tensor, &Tensor) -> Tensor,
+) -> Tensor {
+    let mut rngs = per_image_rngs(noise.dim(0), rng);
+    ddim_sample_batched(schedule, noise, params, &mut rngs, eps)
+}
+
+/// [`ddim_sample`] with one explicit RNG stream per image
+/// (`rngs.len() == b`): all stochastic noise for image `i` is drawn from
+/// `rngs[i]`, so the result for image `i` depends only on its starting
+/// noise and its own stream — never on the rest of the batch.
+///
+/// # Panics
+///
+/// Panics if `rngs.len() != noise.dim(0)`.
+pub fn ddim_sample_batched(
+    schedule: &NoiseSchedule,
+    noise: Tensor,
+    params: DdimParams,
+    rngs: &mut [StdRng],
     mut eps: impl FnMut(&Tensor, &Tensor) -> Tensor,
 ) -> Tensor {
-    let ts = ddim_timesteps(schedule, params.steps);
     let b = noise.dim(0);
+    assert_eq!(rngs.len(), b, "need one RNG stream per image, got {} for b = {b}", rngs.len());
+    if b == 0 {
+        // Degenerate batch: nothing to denoise, and the network must not
+        // be called on an empty tensor.
+        return noise;
+    }
+    let ts = ddim_timesteps(schedule, params.steps);
     let mut x = noise;
     for (i, &t) in ts.iter().enumerate() {
         let t_batch = Tensor::full(&[b], t as f32);
@@ -67,23 +139,76 @@ pub fn ddim_sample(
         let dir = e.mul_scalar((1.0 - ab_prev - sigma * sigma).max(0.0).sqrt());
         x = x0.mul_scalar(ab_prev.sqrt()).add(&dir);
         if sigma > 0.0 && i + 1 < ts.len() {
-            let z = Tensor::randn(x.dims(), rng);
+            let z = randn_per_image(x.dims(), rngs);
             x = x.add(&z.mul_scalar(sigma));
         }
     }
     x
 }
 
+/// [`ddim_sample_batched`] driven entirely by per-image seeds: seed `i`
+/// derives the stream that produces image `i`'s starting noise
+/// (`[1, c, h, w]` from a fresh `StdRng`) and all of its stochastic
+/// sampler noise. A batch-1 call with `&[seeds[i]]` therefore reproduces
+/// image `i` of any batch exactly.
+pub fn ddim_sample_seeded(
+    schedule: &NoiseSchedule,
+    chw: [usize; 3],
+    seeds: &[u64],
+    params: DdimParams,
+    eps: impl FnMut(&Tensor, &Tensor) -> Tensor,
+) -> Tensor {
+    let (mut rngs, noise) = seeded_noise(chw, seeds);
+    ddim_sample_batched(schedule, noise, params, &mut rngs, eps)
+}
+
+/// Builds the per-image streams for `seeds` and draws each image's
+/// starting noise as that stream's first variates.
+fn seeded_noise(chw: [usize; 3], seeds: &[u64]) -> (Vec<StdRng>, Tensor) {
+    let [c, h, w] = chw;
+    let mut rngs: Vec<StdRng> = seeds.iter().map(|&s| StdRng::seed_from_u64(s)).collect();
+    let noise = if seeds.is_empty() {
+        Tensor::zeros(&[0, c, h, w])
+    } else {
+        randn_per_image(&[seeds.len(), c, h, w], &mut rngs)
+    };
+    (rngs, noise)
+}
+
 /// Full-length DDPM ancestral sampling (one network call per schedule
 /// step).
+///
+/// Ancestral noise draws per-image streams derived from `rng` (see the
+/// module docs); use [`ddpm_sample_batched`] for explicit streams.
 pub fn ddpm_sample(
     schedule: &NoiseSchedule,
     noise: Tensor,
     clip_x0: Option<f32>,
     rng: &mut impl Rng,
+    eps: impl FnMut(&Tensor, &Tensor) -> Tensor,
+) -> Tensor {
+    let mut rngs = per_image_rngs(noise.dim(0), rng);
+    ddpm_sample_batched(schedule, noise, clip_x0, &mut rngs, eps)
+}
+
+/// [`ddpm_sample`] with one explicit RNG stream per image (see
+/// [`ddim_sample_batched`] for the contract).
+///
+/// # Panics
+///
+/// Panics if `rngs.len() != noise.dim(0)`.
+pub fn ddpm_sample_batched(
+    schedule: &NoiseSchedule,
+    noise: Tensor,
+    clip_x0: Option<f32>,
+    rngs: &mut [StdRng],
     mut eps: impl FnMut(&Tensor, &Tensor) -> Tensor,
 ) -> Tensor {
     let b = noise.dim(0);
+    assert_eq!(rngs.len(), b, "need one RNG stream per image, got {} for b = {b}", rngs.len());
+    if b == 0 {
+        return noise;
+    }
     let mut x = noise;
     for t in (0..schedule.steps()).rev() {
         let t_batch = Tensor::full(&[b], t as f32);
@@ -104,13 +229,26 @@ pub fn ddpm_sample(
             mean = x0.mul_scalar(coef0).add(&x.mul_scalar(coeft));
         }
         if t > 0 {
-            let z = Tensor::randn(x.dims(), rng);
+            let z = randn_per_image(x.dims(), rngs);
             x = mean.add(&z.mul_scalar(beta_t.sqrt()));
         } else {
             x = mean;
         }
     }
     x
+}
+
+/// [`ddpm_sample_batched`] driven entirely by per-image seeds (see
+/// [`ddim_sample_seeded`] for the contract).
+pub fn ddpm_sample_seeded(
+    schedule: &NoiseSchedule,
+    chw: [usize; 3],
+    seeds: &[u64],
+    clip_x0: Option<f32>,
+    eps: impl FnMut(&Tensor, &Tensor) -> Tensor,
+) -> Tensor {
+    let (mut rngs, noise) = seeded_noise(chw, seeds);
+    ddpm_sample_batched(schedule, noise, clip_x0, &mut rngs, eps)
 }
 
 #[cfg(test)]
@@ -177,6 +315,107 @@ mod tests {
         };
         // Different sampler RNG seeds, same starting noise -> same output.
         assert_eq!(run(1).data(), run(2).data());
+    }
+
+    #[test]
+    fn seeded_batch_matches_independent_single_image_runs() {
+        // The per-image RNG contract: image i of a batch-N seeded run is
+        // bit-identical to the batch-1 run with the same seed — for the
+        // stochastic DDIM (η > 0) and for DDPM.
+        let schedule = NoiseSchedule::linear_scaled(30);
+        let mu = Tensor::full(&[1, 1, 2, 2], 0.3);
+        let seeds = [3u64, 99, 3, 41]; // duplicate seed -> duplicate image
+        let params = DdimParams { steps: 12, eta: 0.7, clip_x0: Some(1.0) };
+        let batch = ddim_sample_seeded(
+            &schedule,
+            [1, 2, 2],
+            &seeds,
+            params,
+            oracle_eps(&schedule, mu.clone()),
+        );
+        assert_eq!(batch.dims(), &[4, 1, 2, 2]);
+        for (i, &s) in seeds.iter().enumerate() {
+            let single = ddim_sample_seeded(
+                &schedule,
+                [1, 2, 2],
+                &[s],
+                params,
+                oracle_eps(&schedule, mu.clone()),
+            );
+            assert_eq!(
+                batch.narrow(0, i, 1).data(),
+                single.data(),
+                "DDIM image {i} differs from its batch-1 run"
+            );
+        }
+        let batch_ddpm = ddpm_sample_seeded(
+            &schedule,
+            [1, 2, 2],
+            &seeds,
+            Some(1.0),
+            oracle_eps(&schedule, mu.clone()),
+        );
+        for (i, &s) in seeds.iter().enumerate() {
+            let single = ddpm_sample_seeded(
+                &schedule,
+                [1, 2, 2],
+                &[s],
+                Some(1.0),
+                oracle_eps(&schedule, mu.clone()),
+            );
+            assert_eq!(
+                batch_ddpm.narrow(0, i, 1).data(),
+                single.data(),
+                "DDPM image {i} differs from its batch-1 run"
+            );
+        }
+        // Identical seeds inside one batch produce identical images.
+        assert_eq!(batch.narrow(0, 0, 1).data(), batch.narrow(0, 2, 1).data());
+    }
+
+    #[test]
+    fn batch_composition_is_order_independent() {
+        // Permuting the seed list permutes the images and changes nothing
+        // else: image content is a function of its seed alone.
+        let schedule = NoiseSchedule::linear_scaled(25);
+        let mu = Tensor::full(&[1, 1, 2, 2], -0.4);
+        let params = DdimParams { steps: 8, eta: 1.0, clip_x0: None };
+        let fwd = ddim_sample_seeded(
+            &schedule,
+            [1, 2, 2],
+            &[7, 8, 9],
+            params,
+            oracle_eps(&schedule, mu.clone()),
+        );
+        let rev = ddim_sample_seeded(
+            &schedule,
+            [1, 2, 2],
+            &[9, 8, 7],
+            params,
+            oracle_eps(&schedule, mu.clone()),
+        );
+        for i in 0..3 {
+            assert_eq!(fwd.narrow(0, i, 1).data(), rev.narrow(0, 2 - i, 1).data(), "image {i}");
+        }
+    }
+
+    #[test]
+    fn empty_batch_returns_empty_without_calling_the_network() {
+        let schedule = NoiseSchedule::linear_scaled(10);
+        let no_eps = |_: &Tensor, _: &Tensor| -> Tensor { panic!("eps must not run on b = 0") };
+        let out = ddim_sample_seeded(&schedule, [3, 4, 4], &[], DdimParams::default(), no_eps);
+        assert_eq!(out.dims(), &[0, 3, 4, 4]);
+        let out = ddpm_sample_seeded(&schedule, [3, 4, 4], &[], None, no_eps);
+        assert_eq!(out.dims(), &[0, 3, 4, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one RNG stream per image")]
+    fn mismatched_rng_count_panics() {
+        let schedule = NoiseSchedule::linear_scaled(10);
+        let noise = Tensor::zeros(&[2, 1, 2, 2]);
+        let mut rngs = vec![StdRng::seed_from_u64(0)];
+        ddim_sample_batched(&schedule, noise, DdimParams::default(), &mut rngs, |x, _| x.clone());
     }
 
     #[test]

@@ -11,27 +11,37 @@
 //!
 //! # Tile schedule
 //!
-//! Two regimes, picked by batch size:
+//! The packed filter bank is decoded **once per call** into a shared
+//! read-only buffer (in parallel, on the 8-row decode grid) — not once
+//! per worker or once per image — so at batch scale the weight-decode
+//! cost is amortised across every image of the step. Execution then
+//! follows one of two regimes, picked by [`pick_conv_regime`] from the
+//! measured tile counts (batch grains vs output-channel tiles against
+//! the worker count — see [`crate::schedule`] for why raw `n < workers`
+//! comparisons misschedule mid-size batches):
 //!
-//! * **Batch-parallel** (`n ≥` worker count): each worker owns a scratch
-//!   arena (decoded filter bank + one `im2col` buffer + quantized-image
-//!   scratch) allocated once and reused across every batch element the
-//!   worker processes.
-//! * **Channel-parallel** (`n <` worker count, the batch-1 sampling
-//!   case): batches run in sequence; within one batch the output-channel
-//!   range is split across workers on the 4-row block grid, and each
-//!   worker decodes *only its own* packed filter rows — the `im2col`
-//!   columns are computed once and shared read-only.
+//! * **Batch-parallel**: each worker owns a scratch arena (one `im2col`
+//!   buffer + quantized-image scratch) allocated once and reused across
+//!   every batch element the worker processes, sweeping the shared
+//!   filter bank.
+//! * **Channel-parallel** (the batch-1 sampling case, and mid-size
+//!   batches whose grains would under-fill the batch split): images run
+//!   in sequence; within one image the output-channel range is split
+//!   across workers on the 4-row block grid against the shared filters
+//!   and a shared `im2col` lowering.
 //!
 //! Both regimes group filter rows in the same 4-row blocks as the serial
-//! kernel (`parallel_rows_aligned`), so the schedule does not change the
-//! results.
+//! kernel (`parallel_rows_aligned_in`), so the schedule does not change
+//! the results: batch-N output for image `i` is bit-identical to the
+//! batch-1 run on image `i`, across regimes, worker counts and ISAs
+//! (pinned by `tests/batched_consistency.rs`).
 
 use crate::packed::{PackedFpTensor, PackedIntTensor, PackedWeights};
+use crate::schedule::{pick_conv_regime, ConvRegime};
 use fpdq_core::{PanelQuantizer, TensorQuantizer};
 use fpdq_tensor::conv::{im2col_into, Conv2dSpec};
 use fpdq_tensor::matmul::gemm_serial;
-use fpdq_tensor::parallel::{num_threads, parallel_rows, parallel_rows_aligned};
+use fpdq_tensor::parallel::{num_threads, parallel_rows_aligned_in, parallel_rows_in};
 use fpdq_tensor::simd::{self, Isa};
 use fpdq_tensor::Tensor;
 
@@ -90,6 +100,29 @@ pub fn conv2d_packed_fused_as<W: PackedWeights>(
     act: Option<&PanelQuantizer>,
     isa: Isa,
 ) -> Tensor {
+    conv2d_packed_fused_in(x, weight, bias, spec, act, isa, num_threads())
+}
+
+/// [`conv2d_packed_fused_as`] with an explicit worker count: both the
+/// regime decision ([`pick_conv_regime`]) and the parallel splits use
+/// `workers` instead of the process-wide thread count, so the batched
+/// differential suite can sweep worker counts in one process. Results
+/// are bit-identical for every worker count.
+///
+/// # Panics
+///
+/// Panics on rank/shape mismatches, or if a per-channel quantizer's
+/// channel count differs from `c`.
+#[allow(clippy::too_many_arguments)] // the explicit-schedule test/tuning entry point
+pub fn conv2d_packed_fused_in<W: PackedWeights>(
+    x: &Tensor,
+    weight: &W,
+    bias: Option<&Tensor>,
+    spec: Conv2dSpec,
+    act: Option<&PanelQuantizer>,
+    isa: Isa,
+    workers: usize,
+) -> Tensor {
     assert_eq!(x.ndim(), 4, "input must be [n, c, h, w]");
     let wd = weight.dims();
     assert_eq!(wd.len(), 4, "packed weight must be [o, c, kh, kw]");
@@ -116,41 +149,54 @@ pub fn conv2d_packed_fused_as<W: PackedWeights>(
     if n == 0 || o == 0 || ohow == 0 || ckk == 0 {
         return Tensor::from_vec(out, &[n, o, oh, ow]);
     }
-    if n >= num_threads() {
-        // Batch-parallel: per-thread scratch arena, reused across this
-        // worker's batches.
-        parallel_rows(&mut out, n, o * ohow, 1, |batch_start, chunk| {
-            let mut filters = vec![0.0f32; o * ckk];
-            weight.decode_range_into_as(isa, 0, &mut filters);
+    // The packed filter bank expands exactly once per call — shared
+    // read-only by every worker in both regimes, so the decode cost is
+    // paid per step, not per image or per worker.
+    let mut filters = vec![0.0f32; o * ckk];
+    parallel_rows_in(workers, &mut filters, o, ckk, 8, |r0, chunk| {
+        weight.decode_range_into_as(isa, r0 * ckk, chunk);
+    });
+    match pick_conv_regime(n, o, workers) {
+        ConvRegime::BatchParallel => {
+            // Per-thread scratch arena, reused across this worker's
+            // batches.
+            parallel_rows_in(workers, &mut out, n, o * ohow, 1, |batch_start, chunk| {
+                let mut cols = vec![0.0f32; ckk * ohow];
+                let mut xq = act.map(|_| vec![0.0f32; chw]);
+                for (bi, obatch) in chunk.chunks_mut(o * ohow).enumerate() {
+                    let batch = batch_start + bi;
+                    let src = &xd[batch * chw..(batch + 1) * chw];
+                    let img = quantize_image(src, act, xq.as_deref_mut(), h * w, isa);
+                    im2col_into(img, c, h, w, kh, kw, spec, &mut cols);
+                    prefill_bias(obatch, bias, ohow, 0);
+                    gemm_serial(&filters, &cols, obatch, o, ckk, ohow);
+                }
+            });
+        }
+        ConvRegime::ChannelParallel => {
+            // Images in sequence; workers split the output channels on
+            // the 4-row block grid against the shared filter bank. The
+            // shared `im2col` lowering is computed once per image.
             let mut cols = vec![0.0f32; ckk * ohow];
             let mut xq = act.map(|_| vec![0.0f32; chw]);
-            for (bi, obatch) in chunk.chunks_mut(o * ohow).enumerate() {
-                let batch = batch_start + bi;
+            for batch in 0..n {
                 let src = &xd[batch * chw..(batch + 1) * chw];
                 let img = quantize_image(src, act, xq.as_deref_mut(), h * w, isa);
                 im2col_into(img, c, h, w, kh, kw, spec, &mut cols);
-                prefill_bias(obatch, bias, ohow, 0);
-                gemm_serial(&filters, &cols, obatch, o, ckk, ohow);
+                let obatch = &mut out[batch * o * ohow..(batch + 1) * o * ohow];
+                parallel_rows_aligned_in(workers, obatch, o, ohow, 1, 4, |oc0, chunk| {
+                    let rows = chunk.len() / ohow;
+                    prefill_bias(chunk, bias, ohow, oc0);
+                    gemm_serial(
+                        &filters[oc0 * ckk..(oc0 + rows) * ckk],
+                        &cols,
+                        chunk,
+                        rows,
+                        ckk,
+                        ohow,
+                    );
+                });
             }
-        });
-    } else {
-        // Channel-parallel: batches in sequence; workers split the
-        // output channels and decode only their own filter rows. The
-        // shared `im2col` lowering is computed once per batch.
-        let mut cols = vec![0.0f32; ckk * ohow];
-        let mut xq = act.map(|_| vec![0.0f32; chw]);
-        for batch in 0..n {
-            let src = &xd[batch * chw..(batch + 1) * chw];
-            let img = quantize_image(src, act, xq.as_deref_mut(), h * w, isa);
-            im2col_into(img, c, h, w, kh, kw, spec, &mut cols);
-            let obatch = &mut out[batch * o * ohow..(batch + 1) * o * ohow];
-            parallel_rows_aligned(obatch, o, ohow, 1, 4, |oc0, chunk| {
-                let rows = chunk.len() / ohow;
-                let mut filters = vec![0.0f32; rows * ckk];
-                weight.decode_range_into_as(isa, oc0 * ckk, &mut filters);
-                prefill_bias(chunk, bias, ohow, oc0);
-                gemm_serial(&filters, &cols, chunk, rows, ckk, ohow);
-            });
         }
     }
     Tensor::from_vec(out, &[n, o, oh, ow])
@@ -371,6 +417,68 @@ mod tests {
         for (i, (a, e)) in fused.data().iter().zip(reference.data()).enumerate() {
             assert_eq!(a.to_bits(), e.to_bits(), "elem {i}: {a} vs {e}");
         }
+    }
+
+    #[test]
+    fn regimes_are_bit_identical_at_worker_count_boundaries() {
+        // n around the worker count is exactly where the old `n < workers`
+        // heuristic flipped schedules; sweep batch sizes across the
+        // boundary (and worker counts across regimes) and require
+        // identical bits everywhere, including batch-N slice i ==
+        // the batch-1 run on image i.
+        use crate::schedule::{pick_conv_regime, ConvRegime};
+        use fpdq_tensor::simd;
+        let mut rng = StdRng::seed_from_u64(31);
+        let (c, o, hw) = (3usize, 8usize, 5usize);
+        let spec = Conv2dSpec::new(1, 1);
+        let w = Tensor::randn(&[o, c, 3, 3], &mut rng);
+        let packed = PackedFpTensor::encode(&w, FpFormat::new(4, 3));
+        let act = TensorQuantizer::Fp(FpFormat::new(4, 3));
+        let pq = PanelQuantizer::per_tensor(&act);
+        // Both regimes must actually occur in this sweep.
+        let workers_swept = [1usize, 2, 4, 8];
+        let batches = [1usize, 3, 4, 5, 8];
+        let mut seen = std::collections::HashSet::new();
+        for &n in &batches {
+            let x = Tensor::randn(&[n, c, hw, hw], &mut rng);
+            let singles: Vec<Tensor> = (0..n)
+                .map(|i| {
+                    let img = Tensor::from_vec(
+                        x.data()[i * c * hw * hw..(i + 1) * c * hw * hw].to_vec(),
+                        &[1, c, hw, hw],
+                    );
+                    conv2d_packed_fused_in(&img, &packed, None, spec, Some(&pq), simd::active(), 1)
+                })
+                .collect();
+            for &workers in &workers_swept {
+                seen.insert(pick_conv_regime(n, o, workers));
+                let full = conv2d_packed_fused_in(
+                    &x,
+                    &packed,
+                    None,
+                    spec,
+                    Some(&pq),
+                    simd::active(),
+                    workers,
+                );
+                let plane = full.numel() / n;
+                for (i, single) in singles.iter().enumerate() {
+                    for (j, (a, e)) in full.data()[i * plane..(i + 1) * plane]
+                        .iter()
+                        .zip(single.data())
+                        .enumerate()
+                    {
+                        assert_eq!(
+                            a.to_bits(),
+                            e.to_bits(),
+                            "n {n} workers {workers} img {i} elem {j}: {a} vs {e}"
+                        );
+                    }
+                }
+            }
+        }
+        assert!(seen.contains(&ConvRegime::BatchParallel), "sweep never hit batch-parallel");
+        assert!(seen.contains(&ConvRegime::ChannelParallel), "sweep never hit channel-parallel");
     }
 
     #[test]

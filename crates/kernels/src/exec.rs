@@ -22,6 +22,19 @@
 //! formats) keep their tap quantizers; the packed kernel then runs on the
 //! already-quantized input, which is idempotent and therefore still
 //! exact. [`unpack_unet`] restores the suspended tap closures.
+//!
+//! # Batched multi-image sampling
+//!
+//! The installed forwards are batch-shaped end to end: a batched sampler
+//! step hands each packed linear an `[batch × positions, k]` activation
+//! matrix and each packed conv an `[batch, c, h, w]` image stack, and
+//! the kernels decode every weight tile **once per call** — once per
+//! sampling step, not once per image — picking their parallel regime
+//! from the actual shape ([`crate::schedule`]). Because every regime is
+//! bit-identical and every layer treats the batch dimension
+//! independently, image `i` of a batch-N packed sampling run is
+//! bit-identical to a batch-1 run with the same per-image seed
+//! (`tests/batched_consistency.rs` pins this end to end).
 
 use crate::conv::conv2d_packed_fused;
 use crate::gemm::gemm_packed_fused;

@@ -10,31 +10,43 @@
 //! `log2`/`powf` per element, no intermediate activation tensor — while
 //! staying bit-exact against the simulated quantizers.
 //!
-//! # Tile schedule
+//! # Tile schedules
 //!
-//! The output is computed as `[n, m]` (weight rows × activation rows) and
-//! transposed once at the end. Workers split the weight rows on the
-//! register-block grid ([`parallel_rows_aligned`]); each worker owns a
-//! scratch arena (decoded weight tile + packed activation panels) and:
+//! Two regimes, picked per call by [`pick_gemm_regime`] from the actual
+//! `m`/`n` tile counts against the worker count (see [`crate::schedule`]):
 //!
-//! 1. quantizes + interleaves up to [`ACT_BLOCK`] activation rows into
-//!    `[k][NT_NR]` panels ([`pack_nt_panel`]) — the *fused epilogue*:
-//!    quantization happens as the micro-panel is packed, via branch-free
-//!    boundary-table bisection;
-//! 2. streams its packed weight rows [`WTILE_ROWS`] at a time through the
-//!    LUT decoder into row-major scratch;
-//! 3. runs the shared 4×8 NT micro-kernel ([`gemm_nt_panel`]) tile ×
-//!    panel.
+//! * **Row-parallel** (weight-stationary; wide layers, the batch-1
+//!   default). The activation rows are quantized + interleaved into
+//!   shared `[k][NT_NR]` panels ([`pack_nt_panel`]) once, in parallel —
+//!   the *fused epilogue*: quantization happens as the micro-panel is
+//!   packed, via branch-free boundary-table bisection, and each
+//!   activation row is quantized exactly once per call (not once per
+//!   worker). Workers then split the weight rows on the register-block
+//!   grid ([`parallel_rows_aligned_in`]), stream their packed rows
+//!   [`WTILE_ROWS`] at a time through the LUT decoder — each weight tile
+//!   decoded **once per call**, however many images the activation
+//!   matrix stacks — and run the shared 4×8 NT micro-kernel
+//!   ([`gemm_nt_panel`]) tile × panel into a `[n, m]` buffer transposed
+//!   once at the end.
+//! * **Column-parallel** (activation-stationary; batched activations
+//!   against narrow layers, where `⌈n/4⌉` grains would under-fill the
+//!   workers). The packed weights are decoded once into a shared panel
+//!   bank; workers split the *activation rows*, quantize their own rows
+//!   in [`ACT_BLOCK`]-row scratch blocks (panel streaming), and sweep
+//!   the weight panels — writing the `[m, n]` output directly, no
+//!   transpose.
 //!
 //! Because the micro-kernel accumulates each output element in plain `k`
-//! order in every path, the result is bit-identical however the tiles are
-//! scheduled — across thread counts, and between the fused path and the
-//! reference "fake-quantize the whole tensor first" path.
+//! order in every path (and `a·w` multiplies commute bitwise), the result
+//! is bit-identical however the tiles are scheduled — across regimes,
+//! thread counts, and between the fused path and the reference
+//! "fake-quantize the whole tensor first" path.
 
 use crate::packed::{PackedFpTensor, PackedIntTensor, PackedWeights};
+use crate::schedule::{pick_gemm_regime, GemmRegime, ACT_BLOCK};
 use fpdq_core::{PanelQuantizer, TensorQuantizer};
 use fpdq_tensor::matmul::{gemm_nt_panel_as, pack_nt_panel, NT_MR, NT_NR};
-use fpdq_tensor::parallel::parallel_rows_aligned;
+use fpdq_tensor::parallel::{num_threads, parallel_rows_aligned_in, parallel_rows_in};
 use fpdq_tensor::simd::{self, Isa};
 use fpdq_tensor::Tensor;
 
@@ -42,12 +54,6 @@ use fpdq_tensor::Tensor;
 /// amortise the decode across the register blocks, small enough to stay
 /// cache-hot (8 rows × k floats).
 const WTILE_ROWS: usize = 8;
-
-/// Activation rows quantized + packed per scratch block (a multiple of
-/// [`NT_NR`]). Bounds the per-worker activation arena at
-/// `ACT_BLOCK × k` floats — panels are built as they are consumed, never
-/// a whole-tensor copy.
-const ACT_BLOCK: usize = 32;
 
 /// `a [m,k] × wᵀ [n,k] → [m,n]` for any packed weight representation,
 /// optionally fake-quantizing the activations per-tensor on the way in
@@ -93,6 +99,26 @@ pub fn gemm_packed_fused_as<W: PackedWeights>(
     act: Option<&PanelQuantizer>,
     isa: Isa,
 ) -> Tensor {
+    gemm_packed_fused_in(a, w, act, isa, num_threads())
+}
+
+/// [`gemm_packed_fused_as`] with an explicit worker count: both the
+/// regime decision ([`pick_gemm_regime`]) and the parallel split use
+/// `workers` instead of the process-wide thread count. The batched
+/// differential suite sweeps this in one process (where `FPDQ_THREADS`
+/// is cached); results are bit-identical for every worker count.
+///
+/// # Panics
+///
+/// Panics on shape mismatches, or if a per-channel quantizer's channel
+/// count differs from `k`.
+pub fn gemm_packed_fused_in<W: PackedWeights>(
+    a: &Tensor,
+    w: &W,
+    act: Option<&PanelQuantizer>,
+    isa: Isa,
+    workers: usize,
+) -> Tensor {
     assert_eq!(a.ndim(), 2, "activations must be [m, k]");
     assert_eq!(w.dims().len(), 2, "weights must be [n, k]");
     let (m, k) = (a.dim(0), a.dim(1));
@@ -110,67 +136,166 @@ pub fn gemm_packed_fused_as<W: PackedWeights>(
         // the packed payload.
         return Tensor::zeros(&[m, n]);
     }
+    match pick_gemm_regime(m, n, workers) {
+        GemmRegime::RowParallel => gemm_row_parallel(a, w, act, isa, workers),
+        GemmRegime::ColParallel => gemm_col_parallel(a, w, act, isa, workers),
+    }
+}
+
+/// Quantizes (when `act` is set) and interleaves activation rows
+/// `[p0 .. p0 + chunk panels)` of `a` into `[k][NT_NR]` panels.
+fn pack_act_panels(
+    ad: &[f32],
+    m: usize,
+    k: usize,
+    act: Option<&PanelQuantizer>,
+    isa: Isa,
+    p0: usize,
+    chunk: &mut [f32],
+) {
+    let mut qrows = act.map(|_| vec![0.0f32; NT_NR * k]);
+    for (pi, bp) in chunk.chunks_mut(k * NT_NR).enumerate() {
+        let j0 = (p0 + pi) * NT_NR;
+        let nw = NT_NR.min(m - j0);
+        let src = &ad[j0 * k..(j0 + nw) * k];
+        match (act, &mut qrows) {
+            (Some(pq), Some(qr)) => {
+                // group = 1: the channel of element `i` within the
+                // row-major block is `i % k`, i.e. its column.
+                pq.quantize_panel_into_as(isa, src, &mut qr[..nw * k], 1);
+                pack_nt_panel(&qr[..nw * k], k, nw, bp);
+            }
+            _ => pack_nt_panel(src, k, nw, bp),
+        }
+    }
+}
+
+/// Weight-stationary schedule: shared pre-quantized activation panels,
+/// workers split the packed weight rows and decode each of their tiles
+/// exactly once per call.
+fn gemm_row_parallel<W: PackedWeights>(
+    a: &Tensor,
+    w: &W,
+    act: Option<&PanelQuantizer>,
+    isa: Isa,
+    workers: usize,
+) -> Tensor {
+    let (m, k) = (a.dim(0), a.dim(1));
+    let n = w.dims()[0];
     let ad = a.data();
+    // Fused epilogue, hoisted: every activation row quantizes + packs
+    // exactly once per call, in parallel, into the shared panel bank.
+    let mpanels = m.div_ceil(NT_NR);
+    let mut panels = vec![0.0f32; mpanels * k * NT_NR];
+    parallel_rows_in(workers, &mut panels, mpanels, k * NT_NR, 1, |p0, chunk| {
+        pack_act_panels(ad, m, k, act, isa, p0, chunk);
+    });
     let mut out = vec![0.0f32; n * m];
-    parallel_rows_aligned(&mut out, n, m, 4, NT_MR, |row_start, chunk| {
+    parallel_rows_aligned_in(workers, &mut out, n, m, 4, NT_MR, |row_start, chunk| {
         let rows = chunk.len() / m;
-        // Per-worker scratch arena, reused across every tile this worker
-        // touches.
+        // Per-worker decode scratch, reused across this worker's tiles.
         let mut wtile = vec![0.0f32; WTILE_ROWS * k];
-        let mut panels = vec![0.0f32; (ACT_BLOCK / NT_NR) * k * NT_NR];
-        let mut qrows = vec![0.0f32; NT_NR * k];
-        let mut mb = 0;
-        while mb < m {
-            let mblock = ACT_BLOCK.min(m - mb);
-            // Fused epilogue: quantize this block's activation rows as
-            // they are interleaved into panels.
-            let mut packed_panels = 0;
-            let mut mp = 0;
-            while mp < mblock {
-                let nw = NT_NR.min(mblock - mp);
-                let src = &ad[(mb + mp) * k..(mb + mp + nw) * k];
-                let bp = &mut panels[packed_panels * k * NT_NR..(packed_panels + 1) * k * NT_NR];
-                match act {
-                    Some(pq) => {
-                        // group = 1: the channel of element `i` within the
-                        // row-major block is `i % k`, i.e. its column.
-                        pq.quantize_panel_into_as(isa, src, &mut qrows[..nw * k], 1);
-                        pack_nt_panel(&qrows[..nw * k], k, nw, bp);
-                    }
-                    None => pack_nt_panel(src, k, nw, bp),
-                }
-                packed_panels += 1;
-                mp += nw;
+        let mut wt = 0;
+        while wt < rows {
+            let wh = WTILE_ROWS.min(rows - wt);
+            // Each weight tile decodes once per call — then streams
+            // against every activation panel (the whole batch).
+            w.decode_range_into_as(isa, (row_start + wt) * k, &mut wtile[..wh * k]);
+            for p in 0..mpanels {
+                let j0 = p * NT_NR;
+                let nw = NT_NR.min(m - j0);
+                gemm_nt_panel_as(
+                    isa,
+                    &wtile[..wh * k],
+                    &panels[p * k * NT_NR..(p + 1) * k * NT_NR],
+                    &mut chunk[wt * m..(wt + wh) * m],
+                    wh,
+                    k,
+                    m,
+                    j0,
+                    nw,
+                );
             }
-            // Stream this worker's packed weight rows against the block's
-            // panels (weights re-decode once per activation block; a
-            // single block covers m ≤ ACT_BLOCK, the common GEMM shapes).
-            let mut wt = 0;
-            while wt < rows {
-                let wh = WTILE_ROWS.min(rows - wt);
-                w.decode_range_into_as(isa, (row_start + wt) * k, &mut wtile[..wh * k]);
-                for p in 0..packed_panels {
-                    let j0 = mb + p * NT_NR;
-                    let nw = NT_NR.min(m - j0);
-                    gemm_nt_panel_as(
-                        isa,
-                        &wtile[..wh * k],
-                        &panels[p * k * NT_NR..(p + 1) * k * NT_NR],
-                        &mut chunk[wt * m..(wt + wh) * m],
-                        wh,
-                        k,
-                        m,
-                        j0,
-                        nw,
-                    );
-                }
-                wt += wh;
-            }
-            mb += mblock;
+            wt += wh;
         }
     });
     // `out` is laid out [n, m]; transpose to [m, n].
     Tensor::from_vec(out, &[n, m]).transpose()
+}
+
+/// Activation-stationary schedule for batched activations against narrow
+/// layers: the packed weights decode once into a shared panel bank, and
+/// workers split the activation rows — quantizing their own rows in
+/// [`ACT_BLOCK`]-row blocks and writing the `[m, n]` output directly.
+///
+/// Bit-identity with the row-parallel schedule: the micro-kernel
+/// accumulates each output element in plain ascending-`k` order in both,
+/// and swapping which operand rides the panel only swaps the factor
+/// order of each IEEE multiply, which is bitwise commutative.
+fn gemm_col_parallel<W: PackedWeights>(
+    a: &Tensor,
+    w: &W,
+    act: Option<&PanelQuantizer>,
+    isa: Isa,
+    workers: usize,
+) -> Tensor {
+    let (m, k) = (a.dim(0), a.dim(1));
+    let n = w.dims()[0];
+    let ad = a.data();
+    // Decode the packed weights exactly once per call, in parallel,
+    // straight into the shared `[k][NT_NR]` panel bank: each worker
+    // expands one panel's rows into a small row-major scratch and
+    // interleaves from there, so the only weight-sized buffer is the
+    // bank itself (~`n × k` floats, transient for this call).
+    let wtiles = n.div_ceil(NT_NR);
+    let mut wpanels = vec![0.0f32; wtiles * k * NT_NR];
+    parallel_rows_in(workers, &mut wpanels, wtiles, k * NT_NR, 1, |t0, chunk| {
+        let mut wrows = vec![0.0f32; NT_NR * k];
+        for (ti, bp) in chunk.chunks_mut(k * NT_NR).enumerate() {
+            let j0 = (t0 + ti) * NT_NR;
+            let nw = NT_NR.min(n - j0);
+            w.decode_range_into_as(isa, j0 * k, &mut wrows[..nw * k]);
+            pack_nt_panel(&wrows[..nw * k], k, nw, bp);
+        }
+    });
+    let mut out = vec![0.0f32; m * n];
+    parallel_rows_aligned_in(workers, &mut out, m, n, 4, NT_MR, |m0, chunk| {
+        let rows = chunk.len() / n;
+        // Fused epilogue: this worker quantizes its own activation rows,
+        // ACT_BLOCK at a time (bounded panel streaming), then sweeps the
+        // shared weight panels.
+        let mut qblock = act.map(|_| vec![0.0f32; ACT_BLOCK * k]);
+        let mut mb = 0;
+        while mb < rows {
+            let mh = ACT_BLOCK.min(rows - mb);
+            let src = &ad[(m0 + mb) * k..(m0 + mb + mh) * k];
+            let arows = match (act, &mut qblock) {
+                (Some(pq), Some(qb)) => {
+                    pq.quantize_panel_into_as(isa, src, &mut qb[..mh * k], 1);
+                    &qb[..mh * k]
+                }
+                _ => src,
+            };
+            let cblock = &mut chunk[mb * n..(mb + mh) * n];
+            for t in 0..wtiles {
+                let j0 = t * NT_NR;
+                let nw = NT_NR.min(n - j0);
+                gemm_nt_panel_as(
+                    isa,
+                    arows,
+                    &wpanels[t * k * NT_NR..(t + 1) * k * NT_NR],
+                    cblock,
+                    mh,
+                    k,
+                    n,
+                    j0,
+                    nw,
+                );
+            }
+            mb += mh;
+        }
+    });
+    Tensor::from_vec(out, &[m, n])
 }
 
 /// `a [m,k] × wᵀ [n,k] → [m,n]` with packed FP weights, optionally
@@ -441,6 +566,72 @@ mod tests {
         assert!(num_threads() >= 1);
         for (i, (x, y)) in threaded.data().iter().zip(reference.data()).enumerate() {
             assert_eq!(x.to_bits(), y.to_bits(), "elem {i}: schedule changed the bits");
+        }
+    }
+
+    #[test]
+    fn row_and_col_regimes_are_bit_identical_across_worker_counts() {
+        // Two shapes pin both regimes: m = 24 stays weight-stationary
+        // (row-parallel) at every worker count, m = 64 over a narrow
+        // n = 8 layer is activation-stationary (column-parallel) — and
+        // in each regime every worker count must produce the same bits.
+        use crate::schedule::{pick_gemm_regime, GemmRegime};
+        let mut rng = StdRng::seed_from_u64(21);
+        let act = TensorQuantizer::Fp(FpFormat::new(4, 3));
+        let pq = PanelQuantizer::per_tensor(&act);
+        assert_eq!(pick_gemm_regime(24, 32, 8), GemmRegime::RowParallel);
+        assert_eq!(pick_gemm_regime(64, 8, 1), GemmRegime::ColParallel);
+        for (m, n) in [(24usize, 32usize), (64, 8)] {
+            let a = Tensor::randn(&[m, 24], &mut rng).mul_scalar(2.0);
+            let w = Tensor::randn(&[n, 24], &mut rng);
+            let packed = PackedFpTensor::encode(&w, FpFormat::new(2, 1));
+            let want = gemm_packed_fused_in(&a, &packed, Some(&pq), simd::active(), 1);
+            // The reference matmul pins cross-regime identity too.
+            let dense = act.quantize(&a).matmul_nt(&FpFormat::new(2, 1).quantize(&w));
+            for (x, y) in want.data().iter().zip(dense.data()) {
+                assert!((x - y).abs() < 1e-4, "({m},{n}): {x} vs {y}");
+            }
+            for workers in [2usize, 3, 8, 16] {
+                let got = gemm_packed_fused_in(&a, &packed, Some(&pq), simd::active(), workers);
+                assert_eq!(got.dims(), want.dims());
+                for (i, (x, y)) in got.data().iter().zip(want.data()).enumerate() {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "({m},{n}) workers {workers} elem {i}: {x} vs {y}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_rows_match_stacked_single_image_calls() {
+        // The core batched-sampling contract at the GEMM level: an
+        // [N·l, k] activation matrix must reproduce N independent [l, k]
+        // calls row-for-row, bitwise, in both regimes.
+        let mut rng = StdRng::seed_from_u64(22);
+        let (l, k, n) = (16usize, 20usize, 6usize);
+        let batch = 5usize;
+        let a = Tensor::randn(&[batch * l, k], &mut rng);
+        let w = Tensor::randn(&[n, k], &mut rng);
+        let act = TensorQuantizer::Fp(FpFormat::new(4, 3));
+        let pq = PanelQuantizer::per_tensor(&act);
+        let packed = PackedFpTensor::encode(&w, FpFormat::new(2, 1));
+        for workers in [1usize, 2, 8] {
+            let full = gemm_packed_fused_in(&a, &packed, Some(&pq), simd::active(), workers);
+            for img in 0..batch {
+                let ai =
+                    Tensor::from_vec(a.data()[img * l * k..(img + 1) * l * k].to_vec(), &[l, k]);
+                let single = gemm_packed_fused_in(&ai, &packed, Some(&pq), simd::active(), workers);
+                for (i, (x, y)) in full.data()[img * l * n..(img + 1) * l * n]
+                    .iter()
+                    .zip(single.data())
+                    .enumerate()
+                {
+                    assert_eq!(x.to_bits(), y.to_bits(), "img {img} workers {workers} elem {i}");
+                }
+            }
         }
     }
 

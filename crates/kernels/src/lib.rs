@@ -36,21 +36,28 @@
 //!    signed boundary tables (branch-free, bucket-indexed bisection — no
 //!    transcendentals, no intermediate tensor), per-tensor or
 //!    per-channel, bit-exact with the simulated quantizers.
-//! 3. **Tiled dequantize-on-the-fly** ([`gemm`], [`conv`]). The GEMM
-//!    packs activation micro-panels (quantizing as it packs) into the
+//! 3. **Tiled dequantize-on-the-fly with batched regimes** ([`gemm`],
+//!    [`conv`], [`schedule`]). The GEMM packs activation micro-panels
+//!    (quantizing as it packs — each row exactly once per call) into the
 //!    `[k][8]` interleaved layout of the 4×8 NT panel micro-kernel shared
 //!    with dense `matmul_nt` ([`fpdq_tensor::matmul::gemm_nt_panel`]),
 //!    and streams packed weight rows through the LUT decoder 8 rows at a
-//!    time; packed weights therefore run at or below dense-FP32 latency
-//!    while moving 4-8× fewer weight bytes. The convolution picks its
-//!    schedule by batch: batch-parallel with per-worker arenas, or —
-//!    for small batches, the batch-1 sampling case — channel-parallel
-//!    workers that decode only their own filter rows against a shared
-//!    `im2col` lowering. Because the micro-kernel accumulates every
+//!    time — each weight tile decoded **once per call**, however many
+//!    images the batched activation matrix stacks; packed weights
+//!    therefore run at or below dense-FP32 latency while moving 4-8×
+//!    fewer weight bytes, and the per-image cost *falls* with the batch.
+//!    Both kernels pick their parallel regime per call from the actual
+//!    tile counts against the worker count ([`schedule`]): the GEMM
+//!    between weight-row-parallel and activation-row-parallel (narrow
+//!    layers under batched activations), the convolution between
+//!    batch-parallel per-worker arenas and channel-parallel workers
+//!    against a shared `im2col` lowering and a shared once-per-call
+//!    decoded filter bank. Because the micro-kernel accumulates every
 //!    output element in plain `k` order in every code path, results are
-//!    bit-identical across tile schedules and thread counts, and the
-//!    fused path is bit-exact against "fake-quantize first, then run the
-//!    same kernel".
+//!    bit-identical across regimes, tile schedules and thread counts,
+//!    and the fused path is bit-exact against "fake-quantize first, then
+//!    run the same kernel" — so batch-N sampling reproduces N batch-1
+//!    runs bit-for-bit (`tests/batched_consistency.rs`).
 //! 4. **Model wiring** ([`exec`]). `pack_unet` re-encodes a PTQ'd model's
 //!    baked weights into their searched formats and installs packed
 //!    forward overrides into every quantized Linear/Conv layer
@@ -97,14 +104,19 @@
 //! # Threading model
 //!
 //! Parallelism comes from `fpdq_tensor::parallel` scoped-thread helpers:
-//! the GEMM splits packed weight rows on the 4-row register-block grid
-//! (`parallel_rows_aligned`), the conv splits batches or output channels,
-//! and every worker owns a scratch arena (decoded weight tile, packed
-//! activation panels, quantized image, `im2col` columns) so no
-//! synchronisation happens inside a tile. Worker-chunk boundaries are
+//! the GEMM splits packed weight rows or activation rows on the 4-row
+//! register-block grid (`parallel_rows_aligned`), the conv splits
+//! batches or output channels — regime chosen per call by [`schedule`]
+//! from tile counts vs. workers — and every worker owns a scratch arena
+//! (decoded weight tile, quantized activation block, quantized image,
+//! `im2col` columns) so no synchronisation happens inside a tile; the
+//! pre-quantized activation panel bank and the decoded filter bank are
+//! built once per call and shared read-only. Worker-chunk boundaries are
 //! pinned to the block grid, which — together with the fixed-`k`-order
 //! accumulation — makes multi-threaded output bit-identical to
-//! single-threaded output. `FPDQ_THREADS` caps the worker count.
+//! single-threaded output. `FPDQ_THREADS` caps the worker count; the
+//! `*_fused_in` entry points take an explicit count so tests and tuners
+//! can sweep schedules in one process.
 //!
 //! The pre-optimisation bit-loop implementations survive as `*_bitloop`
 //! reference functions; property tests pin the fast paths to them, and the
@@ -118,12 +130,19 @@ pub mod gemm;
 pub mod packed;
 pub mod sparse;
 
+/// Batched execution-regime selection (shared with the dense kernels in
+/// `fpdq-tensor`, where the decision functions live).
+pub use fpdq_tensor::schedule;
+
 pub use conv::{
-    conv2d_packed, conv2d_packed_fp, conv2d_packed_fused, conv2d_packed_fused_as, conv2d_packed_int,
+    conv2d_packed, conv2d_packed_fp, conv2d_packed_fused, conv2d_packed_fused_as,
+    conv2d_packed_fused_in, conv2d_packed_int,
 };
 pub use exec::{install_packed_weight, pack_unet, unpack_unet, PackReport, PackedLayerInfo};
 pub use gemm::{
-    gemm_packed, gemm_packed_fp, gemm_packed_fused, gemm_packed_fused_as, gemm_packed_int,
+    gemm_packed, gemm_packed_fp, gemm_packed_fused, gemm_packed_fused_as, gemm_packed_fused_in,
+    gemm_packed_int,
 };
 pub use packed::{PackedFpTensor, PackedIntTensor, PackedWeights};
+pub use schedule::{pick_conv_regime, pick_gemm_regime, ConvRegime, GemmRegime};
 pub use sparse::{CsrWeights, TwoFourWeights};

@@ -200,12 +200,29 @@ impl UNet {
     /// timesteps `t` `[b]` with optional cross-attention `context`
     /// `[b, l, context_dim]`.
     ///
+    /// Every layer treats the batch dimension independently, so image
+    /// `i` of a batch-N forward equals the batch-1 forward on image `i`
+    /// — the property batched packed sampling builds on.
+    ///
     /// # Panics
     ///
-    /// Panics if the config expects context and none is given.
+    /// Panics if the config expects context and none is given, or if the
+    /// timestep/context batch does not match `x` (a shared-timestep
+    /// tensor of the wrong length would silently pair images with wrong
+    /// time embeddings via the downstream broadcast).
     pub fn forward(&self, x: &Tensor, t: &Tensor, context: Option<&Tensor>) -> Tensor {
+        assert_eq!(t.dim(0), x.dim(0), "timestep batch {} != image batch {}", t.dim(0), x.dim(0));
         if self.cfg.context_dim.is_some() {
             assert!(context.is_some(), "this U-Net is conditional: context required");
+        }
+        if let Some(ctx) = context {
+            assert_eq!(
+                ctx.dim(0),
+                x.dim(0),
+                "context batch {} != image batch {}",
+                ctx.dim(0),
+                x.dim(0)
+            );
         }
         let temb = self.time_embed(t);
         let mut h = self.conv_in.forward(x);
@@ -247,6 +264,12 @@ impl UNet {
     }
 
     /// Training forward over autograd variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics on missing required context or on timestep/context batch
+    /// mismatches (same hazard as [`Self::forward`]: a short `t` would
+    /// silently broadcast wrong time embeddings across the batch).
     pub fn forward_var<'t>(
         &self,
         tape: &'t Tape,
@@ -254,8 +277,13 @@ impl UNet {
         t: &Tensor,
         context: Option<Var<'t>>,
     ) -> Var<'t> {
+        let b = x.dims()[0];
+        assert_eq!(t.dim(0), b, "timestep batch {} != image batch {b}", t.dim(0));
         if self.cfg.context_dim.is_some() {
             assert!(context.is_some(), "this U-Net is conditional: context required");
+        }
+        if let Some(ctx) = &context {
+            assert_eq!(ctx.dims()[0], b, "context batch {} != image batch {b}", ctx.dims()[0]);
         }
         let emb = tape.constant(timestep_embedding(t, self.cfg.base_channels, 10_000.0));
         let temb = self.time2.forward_var(tape, self.time1.forward_var(tape, emb).silu());

@@ -8,6 +8,7 @@
 
 use crate::matmul::gemm_serial;
 use crate::parallel::{num_threads, parallel_rows, parallel_rows_aligned};
+use crate::schedule::{pick_conv_regime, ConvRegime};
 use crate::Tensor;
 
 /// Hyper-parameters of a 2-D convolution (square stride/padding).
@@ -176,9 +177,12 @@ impl Tensor {
         if n == 0 || o == 0 || ohow == 0 || ckk == 0 {
             return Tensor::from_vec(out, &[n, o, oh, ow]);
         }
-        if n >= num_threads() {
+        if pick_conv_regime(n, o, num_threads()) == ConvRegime::BatchParallel {
             // Batch-parallel: one im2col buffer per worker, reused across
-            // its batches.
+            // its batches. The regime is decided by measured tile counts
+            // (see [`crate::schedule`]) — the same rule as the packed
+            // conv, and bit-neutral: both schedules group filter rows in
+            // the same 4-row blocks.
             parallel_rows(&mut out, n, o * ohow, 1, |batch_start, chunk| {
                 let mut cols = vec![0.0f32; ckk * ohow];
                 for (bi, obatch) in chunk.chunks_mut(o * ohow).enumerate() {
@@ -491,6 +495,31 @@ mod tests {
             assert_eq!(fast.dims(), slow.dims());
             for (a, e) in fast.data().iter().zip(slow.data().iter()) {
                 assert!((a - e).abs() < 1e-4, "stride={stride} pad={padding}: {a} vs {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn conv2d_batch_slices_match_single_image_calls_bitwise() {
+        // Whatever regime pick_conv_regime selects for this machine's
+        // thread count, image i of a batched conv must equal the
+        // batch-1 conv on image i bit-for-bit (both schedules use the
+        // same 4-row filter blocks); n = 9 sits on the regime boundary
+        // for common worker counts.
+        let x = rand_tensor(&[9, 3, 6, 6], 10);
+        let w = rand_tensor(&[6, 3, 3, 3], 11);
+        let b = rand_tensor(&[6], 12);
+        let spec = Conv2dSpec::new(1, 1);
+        let full = x.conv2d(&w, Some(&b), spec);
+        let plane = full.numel() / 9;
+        for i in 0..9 {
+            let xi =
+                Tensor::from_vec(x.data()[i * 3 * 36..(i + 1) * 3 * 36].to_vec(), &[1, 3, 6, 6]);
+            let single = xi.conv2d(&w, Some(&b), spec);
+            for (j, (a, e)) in
+                full.data()[i * plane..(i + 1) * plane].iter().zip(single.data()).enumerate()
+            {
+                assert_eq!(a.to_bits(), e.to_bits(), "img {i} elem {j}");
             }
         }
     }

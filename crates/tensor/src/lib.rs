@@ -34,6 +34,7 @@ pub mod io;
 pub mod matmul;
 pub mod parallel;
 pub mod rng;
+pub mod schedule;
 pub mod shape;
 pub mod simd;
 mod tensor;

@@ -78,11 +78,16 @@ impl Tensor {
         if m < NT_MR {
             // Too few rows to amortise packing the whole of `b` into
             // panels (the O(n·k) interleave would rival the O(m·n·k)
-            // compute): plain row dots, split over the columns.
+            // compute): plain row dots, split over the columns. The dots
+            // accumulate in ascending-`k` order ([`dot_ordered`]), the
+            // same per-element order as the panel kernel — so a layer
+            // whose row count is the batch size (e.g. a time-embedding
+            // linear) produces bit-identical rows whether it lands on
+            // this path (small batch) or the panel path (large batch).
             parallel_rows(&mut out, m * n, 1, 4096, |start, chunk| {
                 for (i, slot) in chunk.iter_mut().enumerate() {
                     let (r, col) = ((start + i) / n, (start + i) % n);
-                    *slot = dot(&a[r * k..(r + 1) * k], &b[col * k..(col + 1) * k]);
+                    *slot = dot_ordered(&a[r * k..(r + 1) * k], &b[col * k..(col + 1) * k]);
                 }
             });
             return Tensor::from_vec(out, &[m, n]);
@@ -183,6 +188,21 @@ impl Tensor {
         });
         Tensor::from_vec(out, &[b, m, n])
     }
+}
+
+/// Dot product accumulating in plain ascending-`k` order — the exact
+/// per-element order of the NT panel kernel ([`gemm_nt_panel_scalar`]),
+/// so results are bit-identical to a 1-row panel pass. `matmul_nt` uses
+/// this on its small-`m` shortcut to keep outputs independent of which
+/// kernel path the row count selects (batch-size invariance).
+#[inline]
+pub fn dot_ordered(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut s = 0.0f32;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        s += x * y;
+    }
+    s
 }
 
 /// Dot product with 4-way unrolled accumulation.
@@ -764,6 +784,26 @@ mod tests {
             let slow = naive(&a, &b.transpose());
             for (i, (x, y)) in fast.data().iter().zip(slow.data().iter()).enumerate() {
                 assert!((x - y).abs() < 1e-4, "({m},{n},{k}) elem {i}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_nt_rows_are_invariant_to_row_count() {
+        // The m < NT_MR dot shortcut and the m >= NT_MR panel kernel
+        // must produce bit-identical rows: a row's result cannot depend
+        // on how many other rows (e.g. batch images) ride along.
+        let k = 37; // off the unroll grid
+        let b = rand_tensor(&[9, k], 40);
+        let a = rand_tensor(&[6, k], 41);
+        let full = a.matmul_nt(&b); // panel path
+        for r in 0..6 {
+            let row = Tensor::from_vec(a.data()[r * k..(r + 1) * k].to_vec(), &[1, k]);
+            let single = row.matmul_nt(&b); // dot path (m = 1)
+            for (i, (x, y)) in
+                single.data().iter().zip(&full.data()[r * 9..(r + 1) * 9]).enumerate()
+            {
+                assert_eq!(x.to_bits(), y.to_bits(), "row {r} col {i}: {x} vs {y}");
             }
         }
     }

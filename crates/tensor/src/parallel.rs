@@ -85,6 +85,26 @@ where
     parallel_rows_aligned(out, rows, row, min_rows, 1, body);
 }
 
+/// [`parallel_rows`] with an explicit worker-count cap instead of the
+/// process-wide [`num_threads`] default.
+///
+/// The batched packed kernels thread their scheduling decision and their
+/// execution through the same worker count, and the differential test
+/// suite sweeps worker counts in one process (where `FPDQ_THREADS` is
+/// cached and cannot vary). `workers == 0` is treated as 1.
+pub fn parallel_rows_in<F>(
+    workers: usize,
+    out: &mut [f32],
+    rows: usize,
+    row: usize,
+    min_rows: usize,
+    body: F,
+) where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    parallel_rows_aligned_in(workers, out, rows, row, min_rows, 1, body);
+}
+
 /// [`parallel_rows`] with chunk starts forced to multiples of `align`.
 ///
 /// Tiled kernels want worker boundaries on their register-block grid
@@ -102,11 +122,29 @@ pub fn parallel_rows_aligned<F>(
 ) where
     F: Fn(usize, &mut [f32]) + Sync,
 {
+    parallel_rows_aligned_in(num_threads(), out, rows, row, min_rows, align, body);
+}
+
+/// [`parallel_rows_aligned`] with an explicit worker-count cap (see
+/// [`parallel_rows_in`]). The chunk decomposition for a given
+/// `(workers, rows, align)` is deterministic, so callers that pin
+/// `workers` get a reproducible schedule regardless of `FPDQ_THREADS`.
+pub fn parallel_rows_aligned_in<F>(
+    workers: usize,
+    out: &mut [f32],
+    rows: usize,
+    row: usize,
+    min_rows: usize,
+    align: usize,
+    body: F,
+) where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
     assert_eq!(out.len(), rows * row, "output length must equal rows * row");
     if rows == 0 {
         return;
     }
-    let workers = num_threads().min(rows / min_rows.max(1)).max(1);
+    let workers = workers.max(1).min(rows / min_rows.max(1)).max(1);
     if workers <= 1 {
         body(0, out);
         return;
@@ -170,6 +208,33 @@ mod tests {
     #[test]
     fn num_threads_is_at_least_one() {
         assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn explicit_worker_counts_cover_rows_exactly_once() {
+        // The `_in` variants must partition identically for any worker
+        // count, including 0 (treated as 1) and more workers than rows.
+        for workers in [0usize, 1, 2, 3, 8, 64] {
+            let mut out = vec![0.0f32; 13 * 2];
+            parallel_rows_in(workers, &mut out, 13, 2, 1, |_, chunk| {
+                for v in chunk.iter_mut() {
+                    *v += 1.0;
+                }
+            });
+            assert!(out.iter().all(|&v| v == 1.0), "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn explicit_single_worker_gets_whole_slice() {
+        let mut out = vec![0.0f32; 9 * 4];
+        let calls = Mutex::new(0usize);
+        parallel_rows_aligned_in(1, &mut out, 9, 4, 1, 4, |start, chunk| {
+            *calls.lock().unwrap() += 1;
+            assert_eq!(start, 0);
+            assert_eq!(chunk.len(), 9 * 4);
+        });
+        assert_eq!(*calls.lock().unwrap(), 1);
     }
 
     #[test]

@@ -52,8 +52,8 @@ USAGE: fpdq <COMMAND> [--flag value]...
 COMMANDS:
   pretrain                       train and cache every zoo model
   quantize      --model <ddim|ldm|sd|sdxl> --config <fp8|fp4|fp4-norl|int8|int4> [--packed]
-  generate      --model <...> --config <...> [--prompt \"...\"] [--count N] [--out DIR] [--packed]
-  evaluate      --model <...> --config <...> [--count N] [--packed]
+  generate      --model <...> --config <...> [--prompt \"...\"] [--count N] [--batch N] [--out DIR] [--packed]
+  evaluate      --model <...> --config <...> [--count N] [--batch N] [--packed]
   sparsity      --model <...> [--config <...>]
   characterize                   roofline latency + memory of an SD-scale U-Net
   help                           this message
@@ -61,6 +61,10 @@ COMMANDS:
 FLAGS:
   --packed      run the real bit-packed engine (fused W+A kernels) instead
                 of fake-quantized dense execution
+  --batch N     sample N images per U-Net call (1..=16, default 16):
+                per-image seeding makes the images identical at every
+                batch size; larger batches amortise the packed engine's
+                per-step weight decode across the batch
 
 ENVIRONMENT:
   FPDQ_ZOO_DIR   model cache directory (default target/fpdq-zoo)
@@ -92,6 +96,12 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
 
 fn flag_set(opts: &HashMap<String, String>, key: &str) -> bool {
     opts.get(key).is_some_and(|v| v != "0" && v != "false")
+}
+
+/// Sampling batch size from `--batch` (default: the pipelines' 16-image
+/// chunk; values are clamped into `1..=16` by the pipelines).
+fn batch_flag(opts: &HashMap<String, String>) -> usize {
+    opts.get("batch").and_then(|v| v.parse().ok()).unwrap_or(16)
 }
 
 fn config_from(name: &str) -> Option<Option<PtqConfig>> {
@@ -198,11 +208,11 @@ impl Pipeline {
         }
     }
 
-    fn generate(&self, count: usize, prompt: Option<&str>, seed: u64) -> Tensor {
+    fn generate(&self, count: usize, prompt: Option<&str>, seed: u64, batch: usize) -> Tensor {
         let mut rng = StdRng::seed_from_u64(seed);
         match self {
-            Pipeline::Ddim(p) => p.generate(count, 25, &mut rng),
-            Pipeline::Ldm(p) => p.generate(count, 25, &mut rng),
+            Pipeline::Ddim(p) => p.generate_batched(count, 25, batch, &mut rng),
+            Pipeline::Ldm(p) => p.generate_batched(count, 25, batch, &mut rng),
             Pipeline::Sd(p) => {
                 let prompts: Vec<String> = match prompt {
                     Some(text) => vec![text.to_string(); count],
@@ -211,7 +221,7 @@ impl Pipeline {
                         (0..count).map(|i| all[i % all.len()].clone()).collect()
                     }
                 };
-                p.generate(&prompts, 20, &mut rng)
+                p.generate_batched(&prompts, 20, batch, &mut rng)
             }
         }
     }
@@ -369,11 +379,12 @@ fn generate(opts: &HashMap<String, String>) -> ExitCode {
         return ExitCode::FAILURE;
     }
     let count: usize = opts.get("count").and_then(|v| v.parse().ok()).unwrap_or(8);
+    let batch = batch_flag(opts);
     let out_dir = std::path::PathBuf::from(
         opts.get("out").cloned().unwrap_or_else(|| "target/fpdq-cli".into()),
     );
     std::fs::create_dir_all(&out_dir).expect("create output dir");
-    let imgs = pipeline.generate(count, opts.get("prompt").map(String::as_str), 42);
+    let imgs = pipeline.generate(count, opts.get("prompt").map(String::as_str), 42, batch);
     let size = pipeline.image_size();
     let tiles: Vec<Tensor> =
         (0..count).map(|i| imgs.narrow(0, i, 1).reshape(&[3, size, size])).collect();
@@ -406,7 +417,7 @@ fn evaluate_cmd(opts: &HashMap<String, String>) -> ExitCode {
     }
     let count: usize = opts.get("count").and_then(|v| v.parse().ok()).unwrap_or(64);
     let reference = pipeline.reference(count);
-    let imgs = pipeline.generate(count, None, 42);
+    let imgs = pipeline.generate(count, None, 42, batch_flag(opts));
     let net = FeatureNet::for_size(pipeline.image_size());
     let m = fpdq::metrics::evaluate(&reference, &imgs, &net);
     println!("{model} @ {config} over {count} samples: {m}");
