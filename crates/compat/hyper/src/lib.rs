@@ -1,0 +1,389 @@
+//! Offline stand-in for `hyper`: the HTTP/1.1 server slice the serving
+//! layer uses (standing stub policy of `crates/compat/`).
+//!
+//! One accept thread hands each connection to its own handler thread; the
+//! handler parses a single HTTP/1.1 request, drives the async service
+//! future to completion with the stand-in executor, writes the response
+//! with `Connection: close`, and exits. Robustness guards are built in so
+//! a misbehaving client cannot take the server down or wedge a thread:
+//!
+//! * request line, header block and body are size-capped (413/431-style
+//!   rejects mapped to 400/413),
+//! * sockets carry read/write timeouts, so a stalled peer times out
+//!   instead of pinning a thread forever,
+//! * malformed requests get a `400` response, never a panic,
+//! * a handler panic is caught and mapped to a `500` response.
+//!
+//! Graceful shutdown: [`ServeHandle::shutdown`] stops accepting (waking
+//! the blocked accept via a loopback connect) and then joins in-flight
+//! connection threads.
+
+use std::collections::HashMap;
+use std::future::Future;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Longest accepted request line + header block, in bytes.
+const MAX_HEAD_BYTES: usize = 64 * 1024;
+/// Largest accepted request body, in bytes.
+const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+/// Per-socket read/write timeout.
+const IO_TIMEOUT: Duration = Duration::from_secs(20);
+
+/// A parsed HTTP/1.1 request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    method: String,
+    path: String,
+    headers: HashMap<String, String>,
+    body: Vec<u8>,
+}
+
+impl Request {
+    /// Request method, uppercased (`GET`, `POST`, ...).
+    pub fn method(&self) -> &str {
+        &self.method
+    }
+
+    /// Request path including any query string.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Header value by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.get(&name.to_ascii_lowercase()).map(String::as_str)
+    }
+
+    /// Raw request body.
+    pub fn body(&self) -> &[u8] {
+        &self.body
+    }
+}
+
+/// An HTTP response under construction.
+#[derive(Clone, Debug)]
+pub struct Response {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: Vec<u8>,
+}
+
+impl Response {
+    /// An empty response with `status`.
+    pub fn new(status: u16) -> Response {
+        Response { status, headers: Vec::new(), body: Vec::new() }
+    }
+
+    /// Adds a header.
+    pub fn with_header(mut self, name: &str, value: &str) -> Response {
+        self.headers.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// Sets the body.
+    pub fn with_body(mut self, body: impl Into<Vec<u8>>) -> Response {
+        self.body = body.into();
+        self
+    }
+
+    /// The status code.
+    pub fn status(&self) -> u16 {
+        self.status
+    }
+
+    /// The body bytes.
+    pub fn body(&self) -> &[u8] {
+        &self.body
+    }
+
+    fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        let mut head = format!("HTTP/1.1 {} {}\r\n", self.status, reason(self.status));
+        for (k, v) in &self.headers {
+            head.push_str(&format!("{k}: {v}\r\n"));
+        }
+        head.push_str(&format!("content-length: {}\r\nconnection: close\r\n\r\n", self.body.len()));
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "",
+    }
+}
+
+/// The boxed service future type handlers return.
+pub type ResponseFuture = Pin<Box<dyn Future<Output = Response> + Send>>;
+
+/// The service signature: one async response per request.
+pub type Service = Arc<dyn Fn(Request) -> ResponseFuture + Send + Sync>;
+
+/// Wraps a closure as a [`Service`].
+pub fn service_fn<F>(f: F) -> Service
+where
+    F: Fn(Request) -> ResponseFuture + Send + Sync + 'static,
+{
+    Arc::new(f)
+}
+
+/// A bound, not-yet-serving HTTP server.
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+}
+
+impl Server {
+    /// Binds to `addr` (use port 0 for an ephemeral port).
+    pub fn bind(addr: &SocketAddr) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Server { listener, addr })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Starts serving `svc` on a background accept thread.
+    pub fn serve(self, svc: Service) -> ServeHandle {
+        let stop = Arc::new(AtomicBool::new(false));
+        let in_flight = Arc::new(AtomicUsize::new(0));
+        let accept_stop = stop.clone();
+        let accept_in_flight = in_flight.clone();
+        let addr = self.addr;
+        let accept = std::thread::Builder::new()
+            .name("hyper-accept".into())
+            .spawn(move || {
+                for conn in self.listener.incoming() {
+                    if accept_stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let svc = svc.clone();
+                    let conn_in_flight = accept_in_flight.clone();
+                    accept_in_flight.fetch_add(1, Ordering::SeqCst);
+                    let spawned =
+                        std::thread::Builder::new().name("hyper-conn".into()).spawn(move || {
+                            handle_connection(stream, svc);
+                            conn_in_flight.fetch_sub(1, Ordering::SeqCst);
+                        });
+                    if spawned.is_err() {
+                        accept_in_flight.fetch_sub(1, Ordering::SeqCst);
+                    }
+                }
+            })
+            .expect("cannot spawn accept thread");
+        ServeHandle { addr, stop, in_flight, accept: Some(accept) }
+    }
+}
+
+/// Handle to a running server; dropping it leaks the accept thread, call
+/// [`ServeHandle::shutdown`] for an orderly stop.
+pub struct ServeHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    in_flight: Arc<AtomicUsize>,
+    accept: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServeHandle {
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, wakes the accept loop, and waits (bounded) for
+    /// in-flight connections to finish.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // The accept loop blocks in `incoming`; poke it awake.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        while self.in_flight.load(Ordering::SeqCst) > 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, svc: Service) {
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let response = match read_request(&mut stream) {
+        Ok(Some(req)) => {
+            // A panicking handler degrades to a 500, never a dead server.
+            match std::panic::catch_unwind(AssertUnwindSafe(|| tokio::task::block_on(svc(req)))) {
+                Ok(resp) => resp,
+                Err(_) => Response::new(500).with_body("handler panicked"),
+            }
+        }
+        Ok(None) => return, // peer closed without sending a request
+        Err(status) => Response::new(status).with_body("malformed request"),
+    };
+    let _ = response.write_to(&mut stream);
+}
+
+/// Reads and parses one request. `Ok(None)` = clean EOF before any bytes;
+/// `Err(status)` = protocol violation to answer with `status`.
+fn read_request(stream: &mut TcpStream) -> Result<Option<Request>, u16> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    match reader.read_line(&mut line) {
+        Ok(0) => return Ok(None),
+        Ok(_) => {}
+        Err(_) => return Ok(None),
+    }
+    if line.len() > MAX_HEAD_BYTES {
+        return Err(400);
+    }
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(400);
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(400);
+    }
+    let method = method.to_ascii_uppercase();
+    let path = path.to_string();
+
+    let mut headers = HashMap::new();
+    let mut head_bytes = line.len();
+    loop {
+        let mut hline = String::new();
+        match reader.read_line(&mut hline) {
+            Ok(0) => return Err(400), // EOF inside the header block
+            Ok(n) => head_bytes += n,
+            Err(_) => return Err(400),
+        }
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(400);
+        }
+        let trimmed = hline.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            break;
+        }
+        let Some((name, value)) = trimmed.split_once(':') else {
+            return Err(400);
+        };
+        headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+    }
+
+    let content_length = match headers.get("content-length") {
+        Some(v) => v.parse::<usize>().map_err(|_| 400u16)?,
+        None => 0,
+    };
+    if content_length > MAX_BODY_BYTES {
+        return Err(413);
+    }
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        reader.read_exact(&mut body).map_err(|_| 400u16)?;
+    }
+    Ok(Some(Request { method, path, headers, body }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn echo_service() -> Service {
+        service_fn(|req: Request| {
+            Box::pin(async move {
+                let body = format!("{} {} {}", req.method(), req.path(), req.body().len());
+                Response::new(200).with_header("x-test", "1").with_body(body)
+            })
+        })
+    }
+
+    fn raw_roundtrip(addr: SocketAddr, payload: &str) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(payload.as_bytes()).unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_and_shuts_down() {
+        let server = Server::bind(&"127.0.0.1:0".parse().unwrap()).unwrap();
+        let addr = server.local_addr();
+        let handle = server.serve(echo_service());
+        let resp = raw_roundtrip(addr, "POST /x HTTP/1.1\r\ncontent-length: 3\r\n\r\nabc");
+        assert!(resp.starts_with("HTTP/1.1 200 OK"), "{resp}");
+        assert!(resp.contains("POST /x 3"), "{resp}");
+        handle.shutdown();
+        assert!(
+            TcpStream::connect(addr).is_err() || {
+                // The OS may accept the connection into the backlog briefly;
+                // a write+read must fail or return nothing either way.
+                let mut s = TcpStream::connect(addr).unwrap();
+                let _ = s.write_all(b"GET / HTTP/1.1\r\n\r\n");
+                let mut buf = String::new();
+                s.set_read_timeout(Some(Duration::from_millis(200))).unwrap();
+                s.read_to_string(&mut buf).unwrap_or(0) == 0
+            }
+        );
+    }
+
+    #[test]
+    fn malformed_request_line_gets_400() {
+        let server = Server::bind(&"127.0.0.1:0".parse().unwrap()).unwrap();
+        let addr = server.local_addr();
+        let handle = server.serve(echo_service());
+        let resp = raw_roundtrip(addr, "NONSENSE\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn bad_content_length_gets_400() {
+        let server = Server::bind(&"127.0.0.1:0".parse().unwrap()).unwrap();
+        let addr = server.local_addr();
+        let handle = server.serve(echo_service());
+        let resp = raw_roundtrip(addr, "POST / HTTP/1.1\r\ncontent-length: nope\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn handler_panic_degrades_to_500() {
+        let server = Server::bind(&"127.0.0.1:0".parse().unwrap()).unwrap();
+        let addr = server.local_addr();
+        let svc = service_fn(|_req| {
+            Box::pin(async {
+                panic!("poisoned handler");
+                #[allow(unreachable_code)]
+                Response::new(200)
+            }) as ResponseFuture
+        });
+        let handle = server.serve(svc);
+        let resp = raw_roundtrip(addr, "GET / HTTP/1.1\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 500"), "{resp}");
+        // The server survives and answers the next request.
+        let resp = raw_roundtrip(addr, "GET / HTTP/1.1\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 500"), "{resp}");
+        handle.shutdown();
+    }
+}

@@ -1,8 +1,151 @@
 //! Offline stand-in for `serde`.
 //!
 //! Re-exports the no-op derive macros so `#[derive(serde::Serialize,
-//! serde::Deserialize)]` attributes compile without the real crate. No
-//! code in the workspace performs serde serialisation (checkpoints use
-//! `fpdq-tensor::io`), so no trait machinery is needed.
+//! serde::Deserialize)]` attributes compile without the real crate, and —
+//! since the serving layer now does speak JSON over HTTP — provides a
+//! deliberately small data-model slice: a [`json::Value`] tree plus
+//! [`Serialize`]/[`Deserialize`] traits that convert to and from it.
+//!
+//! Divergence from real serde, by design (documented per the stub
+//! policy): there is no visitor/serializer machinery and no derive
+//! support — the handful of wire types in `fpdq-serve` implement the two
+//! traits by hand against `json::Value`. The `serde_json` compat crate
+//! supplies the familiar `to_string`/`from_str` entry points on top.
+
+pub mod json;
 
 pub use serde_derive::{Deserialize, Serialize};
+
+/// Conversion into the JSON data model.
+pub trait Serialize {
+    /// Builds the [`json::Value`] tree for `self`.
+    fn to_value(&self) -> json::Value;
+}
+
+/// Conversion from the JSON data model.
+pub trait Deserialize: Sized {
+    /// Reads `Self` out of a [`json::Value`] tree.
+    fn from_value(value: &json::Value) -> Result<Self, json::JsonError>;
+}
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> json::Value {
+                json::Value::Number(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &json::Value) -> Result<Self, json::JsonError> {
+                let n = value.as_number()?;
+                if n.fract() != 0.0 || n < 0.0 || n > <$t>::MAX as f64 {
+                    return Err(json::JsonError::new(format!(
+                        "expected a {} integer, got {n}",
+                        stringify!($t)
+                    )));
+                }
+                Ok(n as $t)
+            }
+        }
+    )*};
+}
+
+int_impls!(u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> json::Value {
+        json::Value::Number(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &json::Value) -> Result<Self, json::JsonError> {
+        value.as_number()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> json::Value {
+        json::Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &json::Value) -> Result<Self, json::JsonError> {
+        match value {
+            json::Value::Bool(b) => Ok(*b),
+            other => Err(json::JsonError::new(format!("expected a bool, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> json::Value {
+        json::Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &json::Value) -> Result<Self, json::JsonError> {
+        match value {
+            json::Value::String(s) => Ok(s.clone()),
+            other => Err(json::JsonError::new(format!("expected a string, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> json::Value {
+        json::Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> json::Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => json::Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &json::Value) -> Result<Self, json::JsonError> {
+        match value {
+            json::Value::Null => Ok(None),
+            v => T::from_value(v).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> json::Value {
+        json::Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &json::Value) -> Result<Self, json::JsonError> {
+        match value {
+            json::Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(json::JsonError::new(format!("expected an array, got {}", other.kind()))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrips() {
+        for v in [0u64, 1, u32::MAX as u64] {
+            assert_eq!(u64::from_value(&v.to_value()).unwrap(), v);
+        }
+        assert!(u64::from_value(&json::Value::Number(-1.0)).is_err());
+        assert!(u64::from_value(&json::Value::Number(1.5)).is_err());
+        assert_eq!(String::from_value(&"hi".to_value()).unwrap(), "hi");
+        assert_eq!(Option::<u64>::from_value(&json::Value::Null).unwrap(), None);
+        assert_eq!(Vec::<u64>::from_value(&vec![3u64, 4].to_value()).unwrap(), vec![3, 4]);
+    }
+}

@@ -1,0 +1,43 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Thin entry points over the compat `serde` crate's JSON data model:
+//! [`to_string`]/[`from_str`] plus the [`Value`]/[`Error`] re-exports the
+//! serving layer uses. See `serde`'s crate docs for the stub policy and
+//! documented divergences.
+
+pub use serde::json::{JsonError as Error, Value};
+use serde::{Deserialize, Serialize};
+
+/// Serialises `value` to compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_json())
+}
+
+/// Converts `value` into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Parses JSON text into a `T`.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let value = Value::parse(text)?;
+    T::from_value(&value)
+}
+
+/// Reads a `T` out of an already-parsed [`Value`] tree.
+pub fn from_value<T: Deserialize>(value: &Value) -> Result<T, Error> {
+    T::from_value(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_roundtrip() {
+        let v: Vec<u64> = from_str(&to_string(&vec![1u64, 2, 3]).unwrap()).unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+        assert!(from_str::<u64>("not json").is_err());
+        assert!(from_str::<u64>("\"string\"").is_err());
+    }
+}

@@ -1,0 +1,112 @@
+//! Offline stand-in for `tokio`.
+//!
+//! The build environment has no network access, so the serving layer's
+//! async surface is provided by this minimal executor instead of the real
+//! crate (the standing stub policy of `crates/compat/`). Only the API
+//! slice the workspace uses exists:
+//!
+//! * [`runtime::Runtime`] / [`task::block_on`] — drive a future to
+//!   completion on the current thread with a parking waker.
+//! * [`task::spawn`] — run a future on its own thread; the returned
+//!   [`task::JoinHandle`] is itself a future. A thread per task is a
+//!   deliberate simplification: the serving layer spawns one task per
+//!   connection, not per byte, so a work-stealing scheduler would buy
+//!   nothing here.
+//! * [`sync::oneshot`] — single-value channel whose receiver is a future
+//!   (the scheduler's response path).
+//! * [`sync::mpsc`] — bounded multi-producer channel with a non-blocking
+//!   [`sync::mpsc::Sender::try_send`] (the admission queue's backpressure
+//!   primitive) and both async and blocking receive sides (the scheduler
+//!   thread is synchronous; HTTP handlers are async).
+//! * [`time`] — `sleep`/`timeout` backed by one shared timer thread.
+//!
+//! Everything is implemented on `std` only; wakers are real (`std::task`),
+//! so futures compose with any hand-written combinator.
+
+pub mod runtime;
+pub mod sync;
+pub mod task;
+pub mod time;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn block_on_drives_plain_futures() {
+        assert_eq!(task::block_on(async { 40 + 2 }), 42);
+    }
+
+    #[test]
+    fn spawn_and_join() {
+        let h = task::spawn(async { 7u32 });
+        assert_eq!(task::block_on(h).expect("task panicked"), 7);
+    }
+
+    #[test]
+    fn join_handle_reports_panics_as_errors() {
+        let h = task::spawn(async { panic!("boom") });
+        assert!(task::block_on(h).is_err());
+    }
+
+    #[test]
+    fn oneshot_roundtrip_across_threads() {
+        let (tx, rx) = sync::oneshot::channel();
+        let h = task::spawn(rx);
+        tx.send(5i64).expect("receiver alive");
+        assert_eq!(task::block_on(h).unwrap().unwrap(), 5);
+    }
+
+    #[test]
+    fn oneshot_dropped_sender_errors() {
+        let (tx, rx) = sync::oneshot::channel::<u8>();
+        drop(tx);
+        assert!(task::block_on(rx).is_err());
+    }
+
+    #[test]
+    fn mpsc_backpressure_and_async_recv() {
+        let (tx, mut rx) = sync::mpsc::channel(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        match tx.try_send(3) {
+            Err(sync::mpsc::TrySendError::Full(3)) => {}
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(task::block_on(rx.recv()), Some(1));
+        assert_eq!(rx.blocking_recv_timeout(Duration::from_millis(50)), Some(2));
+        drop(tx);
+        assert_eq!(task::block_on(rx.recv()), None);
+    }
+
+    #[test]
+    fn mpsc_blocking_recv_times_out() {
+        let (_tx, mut rx) = sync::mpsc::channel::<u8>(1);
+        let t0 = Instant::now();
+        assert_eq!(rx.blocking_recv_timeout(Duration::from_millis(30)), None);
+        assert!(t0.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn sleep_and_timeout() {
+        let t0 = Instant::now();
+        task::block_on(time::sleep(Duration::from_millis(30)));
+        assert!(t0.elapsed() >= Duration::from_millis(25));
+
+        // Timeout elapses on a never-ready future.
+        let (_tx, rx) = sync::oneshot::channel::<u8>();
+        let out = task::block_on(time::timeout(Duration::from_millis(30), rx));
+        assert!(out.is_err(), "timeout must elapse");
+
+        // Timeout passes through a ready future.
+        let out = task::block_on(time::timeout(Duration::from_secs(5), async { 9 }));
+        assert_eq!(out.unwrap(), 9);
+    }
+
+    #[test]
+    fn runtime_block_on() {
+        let rt = runtime::Runtime::new().unwrap();
+        assert_eq!(rt.block_on(async { "ok" }), "ok");
+    }
+}

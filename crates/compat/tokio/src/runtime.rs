@@ -1,0 +1,22 @@
+//! Runtime entry point mirroring `tokio::runtime::Runtime::block_on`.
+
+use std::future::Future;
+
+/// Handle to the executor. The stand-in executor is ambient (futures are
+/// driven by the calling thread and by per-task threads), so the runtime
+/// carries no state; it exists so call sites keep tokio's shape.
+#[derive(Debug, Default)]
+pub struct Runtime;
+
+impl Runtime {
+    /// Creates the runtime (infallible offline; `Result` kept for API
+    /// compatibility).
+    pub fn new() -> std::io::Result<Runtime> {
+        Ok(Runtime)
+    }
+
+    /// Drives `fut` to completion on the current thread.
+    pub fn block_on<F: Future>(&self, fut: F) -> F::Output {
+        crate::task::block_on(fut)
+    }
+}

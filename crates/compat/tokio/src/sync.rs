@@ -1,0 +1,304 @@
+//! Channels: async-aware `oneshot` and bounded `mpsc`.
+
+/// Single-value, single-producer channel; the receiver is a future.
+pub mod oneshot {
+    use std::future::Future;
+    use std::pin::Pin;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::task::{Context, Poll, Waker};
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        filled: Condvar,
+    }
+
+    struct State<T> {
+        value: Option<T>,
+        closed: bool,
+        waker: Option<Waker>,
+    }
+
+    /// Error returned when the sender was dropped without sending.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "oneshot sender dropped without sending")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Sending half: consumed by [`Sender::send`].
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Receiving half: a future resolving to `Result<T, RecvError>`.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Creates the channel pair.
+    pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State { value: None, closed: false, waker: None }),
+            filled: Condvar::new(),
+        });
+        (Sender { shared: shared.clone() }, Receiver { shared })
+    }
+
+    impl<T> Sender<T> {
+        /// Delivers `value`; fails (returning it) if the receiver is gone.
+        pub fn send(self, value: T) -> Result<(), T> {
+            let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            if st.closed {
+                return Err(value);
+            }
+            st.value = Some(value);
+            let waker = st.waker.take();
+            drop(st);
+            self.shared.filled.notify_all();
+            if let Some(w) = waker {
+                w.wake();
+            }
+            Ok(())
+        }
+
+        /// Whether the receiving half has been dropped.
+        pub fn is_closed(&self) -> bool {
+            self.shared.state.lock().unwrap_or_else(|e| e.into_inner()).closed
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            st.closed = true;
+            let waker = st.waker.take();
+            drop(st);
+            self.shared.filled.notify_all();
+            if let Some(w) = waker {
+                w.wake();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared.state.lock().unwrap_or_else(|e| e.into_inner()).closed = true;
+        }
+    }
+
+    impl<T> Future for Receiver<T> {
+        type Output = Result<T, RecvError>;
+
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(v) = st.value.take() {
+                return Poll::Ready(Ok(v));
+            }
+            if st.closed {
+                return Poll::Ready(Err(RecvError));
+            }
+            st.waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+/// Bounded multi-producer single-consumer channel.
+pub mod mpsc {
+    use std::collections::VecDeque;
+    use std::future::Future;
+    use std::pin::Pin;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::task::{Context, Poll, Waker};
+    use std::time::Duration;
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        pushed: Condvar,
+    }
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        cap: usize,
+        senders: usize,
+        rx_alive: bool,
+        recv_waker: Option<Waker>,
+    }
+
+    /// Error from [`Sender::try_send`], carrying the rejected value.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The queue is at capacity — the backpressure signal.
+        Full(T),
+        /// The receiver is gone.
+        Closed(T),
+    }
+
+    /// Producing half (cloneable).
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Consuming half.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Creates a channel holding at most `cap` queued values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0`.
+    pub fn channel<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(cap > 0, "mpsc channel capacity must be positive");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                cap,
+                senders: 1,
+                rx_alive: true,
+                recv_waker: None,
+            }),
+            pushed: Condvar::new(),
+        });
+        (Sender { shared: shared.clone() }, Receiver { shared })
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.state.lock().unwrap_or_else(|e| e.into_inner()).senders += 1;
+            Sender { shared: self.shared.clone() }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues without blocking; `Full` is the backpressure signal.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            if !st.rx_alive {
+                return Err(TrySendError::Closed(value));
+            }
+            if st.queue.len() >= st.cap {
+                return Err(TrySendError::Full(value));
+            }
+            st.queue.push_back(value);
+            let waker = st.recv_waker.take();
+            drop(st);
+            self.shared.pushed.notify_all();
+            if let Some(w) = waker {
+                w.wake();
+            }
+            Ok(())
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            st.senders -= 1;
+            if st.senders == 0 {
+                let waker = st.recv_waker.take();
+                drop(st);
+                self.shared.pushed.notify_all();
+                if let Some(w) = waker {
+                    w.wake();
+                }
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared.state.lock().unwrap_or_else(|e| e.into_inner()).rx_alive = false;
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Awaits the next value; `None` once all senders are dropped and
+        /// the queue is drained.
+        pub fn recv(&mut self) -> Recv<'_, T> {
+            Recv { rx: self }
+        }
+
+        /// Non-blocking pop (`None` when the queue is momentarily empty —
+        /// use [`Self::blocking_recv_timeout`] to distinguish closure).
+        pub fn try_recv(&mut self) -> Option<T> {
+            self.shared.state.lock().unwrap_or_else(|e| e.into_inner()).queue.pop_front()
+        }
+
+        /// Blocking pop with a timeout, for synchronous consumers (the
+        /// scheduler thread). Returns `None` on timeout *or* closure; call
+        /// [`Self::is_closed`] to distinguish.
+        pub fn blocking_recv_timeout(&mut self, timeout: Duration) -> Option<T> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    return Some(v);
+                }
+                if st.senders == 0 {
+                    return None;
+                }
+                let now = std::time::Instant::now();
+                if now >= deadline {
+                    return None;
+                }
+                let (guard, _) = self
+                    .shared
+                    .pushed
+                    .wait_timeout(st, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                st = guard;
+            }
+        }
+
+        /// Closes the channel for new sends (senders get `Closed`) while
+        /// leaving already-queued values drainable via [`Self::try_recv`]
+        /// — how a draining consumer refuses new work without dropping
+        /// work it already accepted.
+        pub fn close(&mut self) {
+            self.shared.state.lock().unwrap_or_else(|e| e.into_inner()).rx_alive = false;
+        }
+
+        /// Whether every sender has been dropped.
+        pub fn is_closed(&self) -> bool {
+            self.shared.state.lock().unwrap_or_else(|e| e.into_inner()).senders == 0
+        }
+
+        /// Number of values currently queued.
+        pub fn len(&self) -> usize {
+            self.shared.state.lock().unwrap_or_else(|e| e.into_inner()).queue.len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    /// Future returned by [`Receiver::recv`].
+    pub struct Recv<'a, T> {
+        rx: &'a mut Receiver<T>,
+    }
+
+    impl<T> Future for Recv<'_, T> {
+        type Output = Option<T>;
+
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            let mut st = self.rx.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(v) = st.queue.pop_front() {
+                return Poll::Ready(Some(v));
+            }
+            if st.senders == 0 {
+                return Poll::Ready(None);
+            }
+            st.recv_waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}

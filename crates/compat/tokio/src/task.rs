@@ -1,0 +1,90 @@
+//! Task execution: `block_on` on the current thread, `spawn` on its own.
+
+use crate::sync::oneshot;
+use std::future::Future;
+use std::pin::pin;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+use std::thread::{self, Thread};
+
+/// Waker that unparks the thread running `block_on`.
+struct ThreadWaker {
+    thread: Thread,
+    notified: AtomicBool,
+}
+
+impl Wake for ThreadWaker {
+    fn wake(self: Arc<Self>) {
+        self.notified.store(true, Ordering::SeqCst);
+        self.thread.unpark();
+    }
+}
+
+/// Polls `fut` to completion on the current thread, parking between polls.
+pub fn block_on<F: Future>(fut: F) -> F::Output {
+    let waker_state =
+        Arc::new(ThreadWaker { thread: thread::current(), notified: AtomicBool::new(false) });
+    let waker = Waker::from(waker_state.clone());
+    let mut cx = Context::from_waker(&waker);
+    let mut fut = pin!(fut);
+    loop {
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(v) => return v,
+            Poll::Pending => {
+                // Park until woken; `park` may return spuriously, so spin
+                // on the notification flag.
+                while !waker_state.notified.swap(false, Ordering::SeqCst) {
+                    thread::park();
+                }
+            }
+        }
+    }
+}
+
+/// Error returned by [`JoinHandle`] when the task panicked.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JoinError;
+
+impl std::fmt::Display for JoinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task panicked before completing")
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+/// Handle to a spawned task; awaiting it yields the task's output.
+pub struct JoinHandle<T> {
+    rx: oneshot::Receiver<T>,
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = Result<T, JoinError>;
+
+    fn poll(mut self: std::pin::Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        std::pin::Pin::new(&mut self.rx).poll(cx).map(|r| r.map_err(|_| JoinError))
+    }
+}
+
+/// Runs `fut` on a dedicated thread (one task = one thread — see the
+/// crate docs for why this slice does not need a multiplexing scheduler).
+/// A panicking task is contained by its thread and surfaces as
+/// [`JoinError`] when the handle is awaited.
+pub fn spawn<F>(fut: F) -> JoinHandle<F::Output>
+where
+    F: Future + Send + 'static,
+    F::Output: Send + 'static,
+{
+    let (tx, rx) = oneshot::channel();
+    thread::Builder::new()
+        .name("tokio-task".into())
+        .spawn(move || {
+            // If the task panics, `tx` is dropped and the join handle
+            // observes a closed channel (mapped to JoinError).
+            let out = block_on(fut);
+            let _ = tx.send(out);
+        })
+        .expect("cannot spawn task thread");
+    JoinHandle { rx }
+}

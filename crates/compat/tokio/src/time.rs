@@ -1,0 +1,148 @@
+//! Timers: `sleep` and `timeout`, backed by one shared timer thread.
+//!
+//! Futures register `(deadline, waker)` pairs with a global binary heap;
+//! a lazily started thread wakes them when due. Re-polling re-registers —
+//! duplicate entries only cause harmless spurious wakes.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::task::{Context, Poll, Waker};
+use std::time::{Duration, Instant};
+
+struct TimerEntry {
+    deadline: Instant,
+    waker: Waker,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.deadline.cmp(&other.deadline)
+    }
+}
+
+struct TimerWheel {
+    heap: Mutex<BinaryHeap<Reverse<TimerEntry>>>,
+    changed: Condvar,
+}
+
+static WHEEL: OnceLock<&'static TimerWheel> = OnceLock::new();
+
+fn wheel() -> &'static TimerWheel {
+    WHEEL.get_or_init(|| {
+        let wheel: &'static TimerWheel = Box::leak(Box::new(TimerWheel {
+            heap: Mutex::new(BinaryHeap::new()),
+            changed: Condvar::new(),
+        }));
+        std::thread::Builder::new()
+            .name("tokio-timer".into())
+            .spawn(move || timer_loop(wheel))
+            .expect("cannot spawn timer thread");
+        wheel
+    })
+}
+
+fn timer_loop(wheel: &'static TimerWheel) {
+    let mut heap = wheel.heap.lock().unwrap_or_else(|e| e.into_inner());
+    loop {
+        let now = Instant::now();
+        while heap.peek().is_some_and(|Reverse(e)| e.deadline <= now) {
+            let Reverse(entry) = heap.pop().expect("peeked entry");
+            entry.waker.wake();
+        }
+        let wait = heap
+            .peek()
+            .map(|Reverse(e)| e.deadline.saturating_duration_since(now))
+            .unwrap_or(Duration::from_secs(3600));
+        let (guard, _) = wheel.changed.wait_timeout(heap, wait).unwrap_or_else(|e| e.into_inner());
+        heap = guard;
+    }
+}
+
+fn register(deadline: Instant, waker: Waker) {
+    let wheel = wheel();
+    wheel
+        .heap
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(Reverse(TimerEntry { deadline, waker }));
+    wheel.changed.notify_all();
+}
+
+/// Future that resolves once its deadline passes.
+pub struct Sleep {
+    deadline: Instant,
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if Instant::now() >= self.deadline {
+            return Poll::Ready(());
+        }
+        register(self.deadline, cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+/// Resolves after `duration`.
+pub fn sleep(duration: Duration) -> Sleep {
+    Sleep { deadline: Instant::now() + duration }
+}
+
+/// Error returned by [`timeout`] when the deadline elapses first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Elapsed;
+
+impl std::fmt::Display for Elapsed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deadline has elapsed")
+    }
+}
+
+impl std::error::Error for Elapsed {}
+
+/// Future combinator racing an inner future against a deadline.
+pub struct Timeout<F> {
+    fut: F,
+    deadline: Instant,
+}
+
+impl<F: Future> Future for Timeout<F> {
+    type Output = Result<F::Output, Elapsed>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        // Safety: `fut` is structurally pinned (never moved out); `deadline`
+        // is Unpin. Manual projection avoids a pin-project dependency.
+        let this = unsafe { self.get_unchecked_mut() };
+        let fut = unsafe { Pin::new_unchecked(&mut this.fut) };
+        if let Poll::Ready(v) = fut.poll(cx) {
+            return Poll::Ready(Ok(v));
+        }
+        if Instant::now() >= this.deadline {
+            return Poll::Ready(Err(Elapsed));
+        }
+        register(this.deadline, cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+/// Limits `fut` to `duration`, erroring with [`Elapsed`] if it does not
+/// complete in time.
+pub fn timeout<F: Future>(duration: Duration, fut: F) -> Timeout<F> {
+    Timeout { fut, deadline: Instant::now() + duration }
+}

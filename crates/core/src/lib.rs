@@ -49,9 +49,13 @@ pub mod search;
 pub mod sparsity;
 
 pub use boundary::{BoundaryQuantizer, PanelQuantizer};
+// The workspace error taxonomy lives in `fpdq-tensor` (the bottom of the
+// dependency graph, so `fpdq-nn`/`fpdq-diffusion` can return it too) and
+// is re-exported here as the user-facing path.
 pub use calib::{record_trajectories, CalibPoint, CalibrationSet};
 pub use driver::{quantize_unet, LayerReport, PtqConfig, QuantReport, Scheme};
 pub use format::FpFormat;
+pub use fpdq_tensor::FpdqError;
 pub use int::IntFormat;
 pub use perchannel::{search_fp_per_channel, PerChannelFp};
 pub use quantizer::TensorQuantizer;

@@ -21,11 +21,13 @@
 pub mod pipelines;
 pub mod sampler;
 pub mod schedule;
+pub mod stepper;
 pub mod train;
 pub mod zoo;
 
 pub use pipelines::{DdimSim, LdmSim, SdSim};
 pub use sampler::{ddim_sample, ddpm_sample, DdimParams};
 pub use schedule::NoiseSchedule;
+pub use stepper::{advance_batch, DdimStepState};
 pub use train::{train_autoencoder, train_text_to_image, train_unet, TrainConfig};
 pub use zoo::Zoo;

@@ -46,8 +46,9 @@ impl Default for DdimParams {
     }
 }
 
-/// Returns the decreasing timestep subsequence used by DDIM.
-fn ddim_timesteps(schedule: &NoiseSchedule, steps: usize) -> Vec<usize> {
+/// Returns the decreasing timestep subsequence used by DDIM (shared with
+/// the step-wise API in [`crate::stepper`]).
+pub(crate) fn ddim_timesteps(schedule: &NoiseSchedule, steps: usize) -> Vec<usize> {
     let t = schedule.steps();
     let steps = steps.clamp(1, t);
     let mut ts: Vec<usize> = (0..steps).map(|i| i * t / steps).collect();

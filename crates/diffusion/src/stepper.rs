@@ -1,0 +1,284 @@
+//! Step-wise DDIM sampling: one request's denoising loop, inverted.
+//!
+//! [`crate::sampler::ddim_sample_seeded`] owns its whole loop — fine for
+//! offline generation, useless for a serving scheduler that wants to
+//! *interleave* many requests' steps so new requests can join the batch
+//! at any step boundary (continuous batching). [`DdimStepState`] turns
+//! the loop inside out: it holds one image's `x_t`, RNG stream and
+//! position in the timestep subsequence, and [`DdimStepState::advance`]
+//! applies exactly one DDIM update given the noise prediction for the
+//! *current* timestep.
+//!
+//! # Bit-identity contract
+//!
+//! A request stepped to completion through this API is **bit-identical**
+//! to `ddim_sample_seeded` with the same seed/params, no matter how the
+//! scheduler batches it with other requests. Two facts compose into that
+//! guarantee:
+//!
+//! 1. `advance` replays the batched sampler's update op-for-op on the
+//!    request's own `[1, c, h, w]` slice. Every op in the update is
+//!    elementwise with scalar coefficients, so slicing commutes with the
+//!    math, and stochastic noise comes from the request's own stream —
+//!    exactly what `randn_per_image` would have drawn for it.
+//! 2. The U-Net treats the batch dimension independently (pinned by
+//!    `tests/batched_consistency.rs`), so the ε the scheduler computes
+//!    for this image inside any batch equals its batch-1 ε.
+//!
+//! The tests below pin the contract for solo runs, uniform batches, and
+//! the serving-shaped case: requests joining and leaving mid-flight, each
+//! at its own timestep.
+
+use crate::sampler::{ddim_timesteps, DdimParams};
+use crate::schedule::NoiseSchedule;
+use fpdq_tensor::{FpdqError, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One in-flight image's DDIM sampling state.
+#[derive(Clone, Debug)]
+pub struct DdimStepState {
+    x: Tensor,
+    rng: StdRng,
+    ts: Vec<usize>,
+    pos: usize,
+    params: DdimParams,
+    schedule: NoiseSchedule,
+}
+
+impl DdimStepState {
+    /// Starts a request: derives the starting noise `[1, c, h, w]` and
+    /// the stochastic stream from `seed`, exactly as
+    /// [`crate::sampler::ddim_sample_seeded`] does for a batch-1 call.
+    ///
+    /// `params.steps` must be in `1..=schedule.steps()` (a server rejects
+    /// instead of clamping; see `DdimSim::try_generate_seeded`).
+    pub fn new_seeded(
+        schedule: &NoiseSchedule,
+        chw: [usize; 3],
+        seed: u64,
+        params: DdimParams,
+    ) -> Result<DdimStepState, FpdqError> {
+        if params.steps == 0 || params.steps > schedule.steps() {
+            return Err(FpdqError::invalid(format!(
+                "steps must be in 1..={}, got {}",
+                schedule.steps(),
+                params.steps
+            )));
+        }
+        let [c, h, w] = chw;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Tensor::randn(&[1, c, h, w], &mut rng);
+        let ts = ddim_timesteps(schedule, params.steps);
+        Ok(DdimStepState { x, rng, ts, pos: 0, params, schedule: schedule.clone() })
+    }
+
+    /// The current `x_t` `[1, c, h, w]` (the tensor `advance` expects the
+    /// noise prediction for).
+    pub fn x(&self) -> &Tensor {
+        &self.x
+    }
+
+    /// The schedule timestep the next `advance` consumes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request is already done.
+    pub fn current_t(&self) -> usize {
+        assert!(!self.is_done(), "current_t on a finished request");
+        self.ts[self.pos]
+    }
+
+    /// Whether every step has been applied (`x` is now the `x_0` estimate).
+    pub fn is_done(&self) -> bool {
+        self.pos >= self.ts.len()
+    }
+
+    /// Steps applied so far / total steps.
+    pub fn progress(&self) -> (usize, usize) {
+        (self.pos, self.ts.len())
+    }
+
+    /// Applies one DDIM update given `e`, the noise prediction for
+    /// [`Self::x`] at [`Self::current_t`] — the loop body of
+    /// [`crate::sampler::ddim_sample_batched`], verbatim, on this image's
+    /// slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request is already done or `e` has the wrong shape
+    /// (scheduler bookkeeping bugs, not caller input).
+    pub fn advance(&mut self, e: &Tensor) {
+        assert!(!self.is_done(), "advance on a finished request");
+        assert_eq!(e.dims(), self.x.dims(), "noise prediction shape mismatch");
+        let t = self.ts[self.pos];
+        let ab_t = self.schedule.alpha_bar(t);
+        let ab_prev = if self.pos + 1 < self.ts.len() {
+            self.schedule.alpha_bar(self.ts[self.pos + 1])
+        } else {
+            1.0
+        };
+        let mut x0 = self.x.sub(&e.mul_scalar((1.0 - ab_t).sqrt())).mul_scalar(1.0 / ab_t.sqrt());
+        if let Some(c) = self.params.clip_x0 {
+            x0 = x0.clamp(-c, c);
+        }
+        let sigma = self.params.eta
+            * ((1.0 - ab_prev) / (1.0 - ab_t)).sqrt()
+            * (1.0 - ab_t / ab_prev).sqrt();
+        let dir = e.mul_scalar((1.0 - ab_prev - sigma * sigma).max(0.0).sqrt());
+        self.x = x0.mul_scalar(ab_prev.sqrt()).add(&dir);
+        if sigma > 0.0 && self.pos + 1 < self.ts.len() {
+            let z = Tensor::randn(self.x.dims(), &mut self.rng);
+            self.x = self.x.add(&z.mul_scalar(sigma));
+        }
+        self.pos += 1;
+    }
+
+    /// Consumes the finished request, returning the `x_0` estimate
+    /// `[1, c, h, w]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if steps remain.
+    pub fn into_result(self) -> Tensor {
+        assert!(self.is_done(), "into_result on an unfinished request");
+        self.x
+    }
+}
+
+/// Runs one batched ε call for a set of in-flight requests and advances
+/// each: stacks their `x_t`s (`[n, c, h, w]`) and per-image timesteps
+/// (`[n]`), invokes `eps` once, then hands each request its slice. This
+/// is the scheduler's step kernel; it lives here so the batch/slice
+/// plumbing is pinned by the same tests as the update math.
+///
+/// Requests may sit at *different* timesteps — per-image `t` is exactly
+/// what the U-Net's timestep embedding supports.
+///
+/// # Panics
+///
+/// Panics if `states` is empty or any state is already done.
+pub fn advance_batch(
+    states: &mut [&mut DdimStepState],
+    eps: impl FnOnce(&Tensor, &Tensor) -> Tensor,
+) {
+    assert!(!states.is_empty(), "advance_batch on an empty set");
+    let xs: Vec<Tensor> = states.iter().map(|s| s.x().clone()).collect();
+    let refs: Vec<&Tensor> = xs.iter().collect();
+    let x = Tensor::concat(&refs, 0);
+    let t: Vec<f32> = states.iter().map(|s| s.current_t() as f32).collect();
+    let n = t.len();
+    let e = eps(&x, &Tensor::from_vec(t, &[n]));
+    assert_eq!(e.dim(0), n, "eps returned a wrong-sized batch");
+    for (i, s) in states.iter_mut().enumerate() {
+        s.advance(&e.narrow(0, i, 1));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::ddim_sample_seeded;
+
+    fn schedule() -> NoiseSchedule {
+        NoiseSchedule::linear_scaled(20)
+    }
+
+    /// A cheap, batch-independent ε: per image, `e = 0.1·x + 0.01·t`.
+    /// Mirrors the U-Net's contract (image `i` of a batch call equals its
+    /// batch-1 call) without the cost of a real network.
+    fn toy_eps(x: &Tensor, t: &Tensor) -> Tensor {
+        let dims = x.dims();
+        let plane: usize = dims[1..].iter().product();
+        let mut out = Vec::with_capacity(x.numel());
+        for (i, &ti) in t.data().iter().enumerate() {
+            for v in &x.data()[i * plane..(i + 1) * plane] {
+                out.push(0.1 * v + 0.01 * ti);
+            }
+        }
+        Tensor::from_vec(out, dims)
+    }
+
+    fn solo_reference(seed: u64, params: DdimParams) -> Tensor {
+        ddim_sample_seeded(&schedule(), [1, 4, 4], &[seed], params, toy_eps)
+    }
+
+    #[test]
+    fn stepping_to_completion_matches_the_loop_sampler() {
+        for eta in [0.0, 0.7] {
+            let params = DdimParams { steps: 6, eta, clip_x0: Some(1.0) };
+            let mut s = DdimStepState::new_seeded(&schedule(), [1, 4, 4], 42, params).unwrap();
+            let mut steps = 0;
+            while !s.is_done() {
+                let e = toy_eps(s.x(), &Tensor::from_vec(vec![s.current_t() as f32], &[1]));
+                s.advance(&e);
+                steps += 1;
+            }
+            assert_eq!(steps, 6);
+            assert_eq!(
+                s.into_result().data(),
+                solo_reference(42, params).data(),
+                "eta {eta} diverged from the loop sampler"
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_timestep_batches_preserve_bit_identity() {
+        // Serving-shaped schedule: request A starts alone, B joins two
+        // steps later, C joins after A left. Every image must still be
+        // bit-identical to its solo loop-sampler run.
+        let params = DdimParams { steps: 4, eta: 0.3, clip_x0: None };
+        let sch = schedule();
+        let mut a = DdimStepState::new_seeded(&sch, [1, 4, 4], 1, params).unwrap();
+        let mut b = DdimStepState::new_seeded(&sch, [1, 4, 4], 2, params).unwrap();
+        let mut c = DdimStepState::new_seeded(&sch, [1, 4, 4], 3, params).unwrap();
+
+        // A solo for 2 steps.
+        advance_batch(&mut [&mut a], toy_eps);
+        advance_batch(&mut [&mut a], toy_eps);
+        // A and B together (A at step 2, B at step 0) until A finishes.
+        advance_batch(&mut [&mut a, &mut b], toy_eps);
+        advance_batch(&mut [&mut a, &mut b], toy_eps);
+        assert!(a.is_done() && !b.is_done());
+        // C joins B.
+        advance_batch(&mut [&mut b, &mut c], toy_eps);
+        advance_batch(&mut [&mut b, &mut c], toy_eps);
+        assert!(b.is_done());
+        while !c.is_done() {
+            advance_batch(&mut [&mut c], toy_eps);
+        }
+
+        for (state, seed) in [(a, 1u64), (b, 2), (c, 3)] {
+            assert_eq!(
+                state.into_result().data(),
+                solo_reference(seed, params).data(),
+                "seed {seed} depends on batch composition"
+            );
+        }
+    }
+
+    #[test]
+    fn new_seeded_rejects_out_of_range_steps() {
+        let sch = schedule();
+        for steps in [0, sch.steps() + 1] {
+            let r = DdimStepState::new_seeded(
+                &sch,
+                [1, 4, 4],
+                7,
+                DdimParams { steps, eta: 0.0, clip_x0: None },
+            );
+            assert!(matches!(r, Err(FpdqError::InvalidArgument(_))), "steps {steps} accepted");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "finished request")]
+    fn advancing_a_finished_request_panics() {
+        let params = DdimParams { steps: 1, eta: 0.0, clip_x0: None };
+        let mut s = DdimStepState::new_seeded(&schedule(), [1, 2, 2], 9, params).unwrap();
+        let e = Tensor::zeros(&[1, 1, 2, 2]);
+        s.advance(&e);
+        s.advance(&e);
+    }
+}

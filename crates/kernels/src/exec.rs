@@ -42,7 +42,7 @@ use crate::packed::{PackedFpTensor, PackedIntTensor, PackedWeights};
 use fpdq_core::{PanelQuantizer, QuantReport, TensorQuantizer};
 use fpdq_nn::{PackedForwardFn, QuantKind, QuantLayer, UNet};
 use fpdq_tensor::conv::Conv2dSpec;
-use fpdq_tensor::Tensor;
+use fpdq_tensor::{FpdqError, Tensor};
 use std::rc::Rc;
 
 /// Per-layer outcome of packing a model.
@@ -149,12 +149,34 @@ fn conv_forward<W: PackedWeights + 'static>(
 ///
 /// # Panics
 ///
-/// Panics if a conv layer reports no [`Conv2dSpec`].
+/// Panics if a conv layer reports no [`Conv2dSpec`];
+/// [`try_install_packed_weight`] is the non-panicking variant.
 pub fn install_packed_weight(
     layer: &dyn QuantLayer,
     format: &TensorQuantizer,
     act: Option<&TensorQuantizer>,
 ) -> PackedLayerInfo {
+    match try_install_packed_weight(layer, format, act) {
+        Ok(info) => info,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Validating variant of [`install_packed_weight`]: a conv layer without a
+/// [`Conv2dSpec`] comes back as a typed [`FpdqError`] instead of a panic.
+/// Validation happens before any mutation, so an `Err` leaves the layer
+/// exactly as it was.
+pub fn try_install_packed_weight(
+    layer: &dyn QuantLayer,
+    format: &TensorQuantizer,
+    act: Option<&TensorQuantizer>,
+) -> Result<PackedLayerInfo, FpdqError> {
+    if layer.kind() == QuantKind::Conv && layer.conv_spec().is_none() {
+        return Err(FpdqError::missing(format!(
+            "conv layer without spec: {} reports no Conv2dSpec",
+            layer.qname()
+        )));
+    }
     let w = layer.weight().value();
     let bias = layer.bias().map(|b| b.value());
     let dense_bytes = w.numel() * std::mem::size_of::<f32>();
@@ -202,14 +224,14 @@ pub fn install_packed_weight(
         }
     }
     layer.packed().install(forward);
-    PackedLayerInfo {
+    Ok(PackedLayerInfo {
         name: layer.qname().to_string(),
         kind: layer.kind(),
         format: format.describe(),
         fused_act: fused_act.map(TensorQuantizer::describe),
         payload_bytes,
         dense_bytes,
-    }
+    })
 }
 
 /// Switches a quantized U-Net to packed-weight execution: every layer the
@@ -221,19 +243,39 @@ pub fn install_packed_weight(
 /// describes — re-encoding is then bit-exact, so packed sampling matches
 /// the fake-quantized evaluation up to float summation order.
 pub fn pack_unet(unet: &UNet, report: &QuantReport) -> PackReport {
+    match try_pack_unet(unet, report) {
+        Ok(packed) => packed,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Validating variant of [`pack_unet`]: format/spec problems come back as
+/// a typed [`FpdqError`]. On `Err`, layers already packed before the
+/// failing one are reverted via [`unpack_unet`], so the model is never
+/// left half-packed.
+pub fn try_pack_unet(unet: &UNet, report: &QuantReport) -> Result<PackReport, FpdqError> {
     let mut packed = PackReport::default();
+    let mut failed = None;
     unet.visit_quant_layers(&mut |layer| {
+        if failed.is_some() {
+            return;
+        }
         let Some(rep) = report.layers.iter().find(|l| l.name == layer.qname()) else {
             return;
         };
         let Some(format) = &rep.weight_format else {
             return;
         };
-        packed
-            .layers
-            .push(install_packed_weight(layer, format, rep.act_format.as_ref()));
+        match try_install_packed_weight(layer, format, rep.act_format.as_ref()) {
+            Ok(info) => packed.layers.push(info),
+            Err(e) => failed = Some(e),
+        }
     });
-    packed
+    if let Some(e) = failed {
+        unpack_unet(unet);
+        return Err(e);
+    }
+    Ok(packed)
 }
 
 /// Reverts a U-Net to dense execution: clears every packed override and

@@ -9,7 +9,7 @@
 use crate::blocks::{timestep_embedding, Downsample, ResBlock, SpatialTransformer, Upsample};
 use crate::layers::{Conv2d, GroupNorm, Linear, QuantLayer};
 use fpdq_autograd::{Param, Tape, Var};
-use fpdq_tensor::Tensor;
+use fpdq_tensor::{FpdqError, Tensor};
 use rand::Rng;
 
 /// Architecture hyper-parameters of a [`UNet`].
@@ -209,20 +209,42 @@ impl UNet {
     /// Panics if the config expects context and none is given, or if the
     /// timestep/context batch does not match `x` (a shared-timestep
     /// tensor of the wrong length would silently pair images with wrong
-    /// time embeddings via the downstream broadcast).
+    /// time embeddings via the downstream broadcast). [`Self::try_forward`]
+    /// is the non-panicking variant for callers (like the serving layer)
+    /// that must survive malformed inputs.
     pub fn forward(&self, x: &Tensor, t: &Tensor, context: Option<&Tensor>) -> Tensor {
-        assert_eq!(t.dim(0), x.dim(0), "timestep batch {} != image batch {}", t.dim(0), x.dim(0));
-        if self.cfg.context_dim.is_some() {
-            assert!(context.is_some(), "this U-Net is conditional: context required");
+        match self.try_forward(x, t, context) {
+            Ok(y) => y,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Validating forward: like [`Self::forward`] but input mistakes come
+    /// back as a typed [`FpdqError`] instead of a panic.
+    pub fn try_forward(
+        &self,
+        x: &Tensor,
+        t: &Tensor,
+        context: Option<&Tensor>,
+    ) -> Result<Tensor, FpdqError> {
+        if t.dim(0) != x.dim(0) {
+            return Err(FpdqError::shape(format!(
+                "timestep batch {} != image batch {}",
+                t.dim(0),
+                x.dim(0)
+            )));
+        }
+        if self.cfg.context_dim.is_some() && context.is_none() {
+            return Err(FpdqError::missing("this U-Net is conditional: context required"));
         }
         if let Some(ctx) = context {
-            assert_eq!(
-                ctx.dim(0),
-                x.dim(0),
-                "context batch {} != image batch {}",
-                ctx.dim(0),
-                x.dim(0)
-            );
+            if ctx.dim(0) != x.dim(0) {
+                return Err(FpdqError::shape(format!(
+                    "context batch {} != image batch {}",
+                    ctx.dim(0),
+                    x.dim(0)
+                )));
+            }
         }
         let temb = self.time_embed(t);
         let mut h = self.conv_in.forward(x);
@@ -260,7 +282,7 @@ impl UNet {
             }
         }
         debug_assert!(skips.is_empty(), "skip stack not fully consumed");
-        self.conv_out.forward(&self.out_norm.forward(&h).silu())
+        Ok(self.conv_out.forward(&self.out_norm.forward(&h).silu()))
     }
 
     /// Training forward over autograd variables.
@@ -438,6 +460,31 @@ mod tests {
         let unet = UNet::new(cfg, &mut rng);
         let x = Tensor::randn(&[1, 3, 8, 8], &mut rng);
         unet.forward(&x, &Tensor::from_vec(vec![1.0], &[1]), None);
+    }
+
+    #[test]
+    fn try_forward_reports_input_mistakes_as_typed_errors() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = UNetConfig { context_dim: Some(8), ..UNetConfig::tiny(3) };
+        let unet = UNet::new(cfg, &mut rng);
+        let x = Tensor::randn(&[2, 3, 8, 8], &mut rng);
+        let t = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let ctx = Tensor::randn(&[2, 4, 8], &mut rng);
+        // Missing context.
+        let err = unet.try_forward(&x, &t, None).unwrap_err();
+        assert!(matches!(err, FpdqError::MissingInput(_)), "{err}");
+        assert!(err.to_string().contains("context required"));
+        // Timestep batch mismatch.
+        let short_t = Tensor::from_vec(vec![1.0], &[1]);
+        let err = unet.try_forward(&x, &short_t, Some(&ctx)).unwrap_err();
+        assert!(matches!(err, FpdqError::ShapeMismatch(_)), "{err}");
+        assert!(err.to_string().contains("timestep batch 1 != image batch 2"));
+        // Context batch mismatch.
+        let short_ctx = Tensor::randn(&[1, 4, 8], &mut rng);
+        let err = unet.try_forward(&x, &t, Some(&short_ctx)).unwrap_err();
+        assert!(matches!(err, FpdqError::ShapeMismatch(_)), "{err}");
+        // And the happy path still runs.
+        assert_eq!(unet.try_forward(&x, &t, Some(&ctx)).unwrap().dims(), &[2, 3, 8, 8]);
     }
 
     #[test]

@@ -1,0 +1,281 @@
+//! Wire types for the serving API, with hand-written JSON conversions
+//! (the compat `serde` has no derive machinery — see its crate docs).
+//!
+//! Pixels travel as `pixels_hex`: the image's `f32`s in little-endian
+//! byte order, hex-encoded. Hex costs 8 chars per float but is *exact* —
+//! the robustness tests compare served images byte-for-byte against
+//! offline pipeline runs, so the wire format must not round.
+
+use serde::json::{JsonError, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Builds an object [`Value`] from (key, value) pairs.
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect::<BTreeMap<_, _>>())
+}
+
+/// Extracts a required field or errors with the field name.
+fn required<'v>(value: &'v Value, key: &str) -> Result<&'v Value, JsonError> {
+    value.get(key).ok_or_else(|| JsonError::new(format!("missing field '{key}'")))
+}
+
+/// Extracts an optional typed field.
+fn optional<T: Deserialize>(value: &Value, key: &str) -> Result<Option<T>, JsonError> {
+    value.get(key).map(T::from_value).transpose()
+}
+
+/// Hex-encodes `f32`s as little-endian bytes.
+pub fn pixels_to_hex(data: &[f32]) -> String {
+    let mut out = String::with_capacity(data.len() * 8);
+    for v in data {
+        for b in v.to_le_bytes() {
+            out.push_str(&format!("{b:02x}"));
+        }
+    }
+    out
+}
+
+/// Decodes a [`pixels_to_hex`] string back into `f32`s.
+pub fn pixels_from_hex(hex: &str) -> Result<Vec<f32>, JsonError> {
+    let bytes = hex.as_bytes();
+    if !bytes.len().is_multiple_of(8) {
+        return Err(JsonError::new("pixels_hex length must be a multiple of 8"));
+    }
+    let nibble = |b: u8| -> Result<u8, JsonError> {
+        match b {
+            b'0'..=b'9' => Ok(b - b'0'),
+            b'a'..=b'f' => Ok(b - b'a' + 10),
+            b'A'..=b'F' => Ok(b - b'A' + 10),
+            _ => Err(JsonError::new("invalid hex digit in pixels_hex")),
+        }
+    };
+    let mut out = Vec::with_capacity(bytes.len() / 8);
+    for chunk in bytes.chunks_exact(8) {
+        let mut le = [0u8; 4];
+        for (i, pair) in chunk.chunks_exact(2).enumerate() {
+            le[i] = (nibble(pair[0])? << 4) | nibble(pair[1])?;
+        }
+        out.push(f32::from_le_bytes(le));
+    }
+    Ok(out)
+}
+
+/// `POST /v1/generate` request body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GenerateRequest {
+    /// Per-image seed; the sole source of image content.
+    pub seed: u64,
+    /// DDIM steps (validated against the model's schedule on admission).
+    pub steps: usize,
+    /// Optional per-request deadline; expiry evicts the request at the
+    /// next step boundary.
+    pub deadline_ms: Option<u64>,
+    /// Opaque tag matched by the fault-injection plan (test-only knob;
+    /// harmless in production requests).
+    pub fault_tag: Option<String>,
+}
+
+impl Serialize for GenerateRequest {
+    fn to_value(&self) -> Value {
+        obj(vec![
+            ("seed", self.seed.to_value()),
+            ("steps", self.steps.to_value()),
+            ("deadline_ms", self.deadline_ms.to_value()),
+            ("fault_tag", self.fault_tag.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for GenerateRequest {
+    fn from_value(value: &Value) -> Result<Self, JsonError> {
+        Ok(GenerateRequest {
+            seed: u64::from_value(required(value, "seed")?)?,
+            steps: usize::from_value(required(value, "steps")?)?,
+            deadline_ms: optional(value, "deadline_ms")?,
+            fault_tag: optional(value, "fault_tag")?,
+        })
+    }
+}
+
+/// `POST /v1/generate` success body.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GenerateResponse {
+    /// Echo of the request seed.
+    pub seed: u64,
+    /// Echo of the request steps.
+    pub steps: usize,
+    /// Image dims `[1, c, h, w]`.
+    pub dims: Vec<usize>,
+    /// The image, hex-encoded (see [`pixels_to_hex`]).
+    pub pixels_hex: String,
+}
+
+impl Serialize for GenerateResponse {
+    fn to_value(&self) -> Value {
+        obj(vec![
+            ("seed", self.seed.to_value()),
+            ("steps", self.steps.to_value()),
+            ("dims", self.dims.to_value()),
+            ("pixels_hex", self.pixels_hex.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for GenerateResponse {
+    fn from_value(value: &Value) -> Result<Self, JsonError> {
+        Ok(GenerateResponse {
+            seed: u64::from_value(required(value, "seed")?)?,
+            steps: usize::from_value(required(value, "steps")?)?,
+            dims: Vec::from_value(required(value, "dims")?)?,
+            pixels_hex: String::from_value(required(value, "pixels_hex")?)?,
+        })
+    }
+}
+
+/// Error body every non-2xx response carries.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ErrorBody {
+    /// Stable machine-readable code (`queue_full`, `deadline_exceeded`,
+    /// `engine_panic`, `invalid_argument`, `draining`, `bad_request`).
+    pub code: String,
+    /// Human-readable detail.
+    pub error: String,
+    /// Steps completed before the failure, when the request was admitted.
+    pub steps_done: Option<usize>,
+}
+
+impl Serialize for ErrorBody {
+    fn to_value(&self) -> Value {
+        obj(vec![
+            ("code", self.code.to_value()),
+            ("error", self.error.to_value()),
+            ("steps_done", self.steps_done.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for ErrorBody {
+    fn from_value(value: &Value) -> Result<Self, JsonError> {
+        Ok(ErrorBody {
+            code: String::from_value(required(value, "code")?)?,
+            error: String::from_value(required(value, "error")?)?,
+            steps_done: optional(value, "steps_done")?,
+        })
+    }
+}
+
+/// `GET /healthz` body: liveness counters plus the lifecycle state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Healthz {
+    /// `starting` | `ready` | `draining` | `stopped`.
+    pub state: String,
+    /// Requests currently inside the step loop.
+    pub active: u64,
+    /// Requests admitted but not yet active.
+    pub queued: u64,
+    /// Total engine steps executed (monotone liveness heartbeat).
+    pub steps: u64,
+    /// Scheduler loop iterations (advances even when idle).
+    pub ticks: u64,
+    /// Requests finished successfully.
+    pub completed: u64,
+    /// Requests failed by an engine panic.
+    pub failed: u64,
+    /// Requests evicted by their deadline.
+    pub evicted: u64,
+    /// Requests rejected by backpressure (429s).
+    pub rejected: u64,
+}
+
+impl Serialize for Healthz {
+    fn to_value(&self) -> Value {
+        obj(vec![
+            ("state", self.state.to_value()),
+            ("active", self.active.to_value()),
+            ("queued", self.queued.to_value()),
+            ("steps", self.steps.to_value()),
+            ("ticks", self.ticks.to_value()),
+            ("completed", self.completed.to_value()),
+            ("failed", self.failed.to_value()),
+            ("evicted", self.evicted.to_value()),
+            ("rejected", self.rejected.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Healthz {
+    fn from_value(value: &Value) -> Result<Self, JsonError> {
+        Ok(Healthz {
+            state: String::from_value(required(value, "state")?)?,
+            active: u64::from_value(required(value, "active")?)?,
+            queued: u64::from_value(required(value, "queued")?)?,
+            steps: u64::from_value(required(value, "steps")?)?,
+            ticks: u64::from_value(required(value, "ticks")?)?,
+            completed: u64::from_value(required(value, "completed")?)?,
+            failed: u64::from_value(required(value, "failed")?)?,
+            evicted: u64::from_value(required(value, "evicted")?)?,
+            rejected: u64::from_value(required(value, "rejected")?)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_roundtrip_is_bit_exact() {
+        let data = vec![0.0f32, -1.5, f32::MIN_POSITIVE, 1.0e-38, 1.2345678, -0.0];
+        let back = pixels_from_hex(&pixels_to_hex(&data)).unwrap();
+        assert_eq!(
+            data.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            back.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        assert!(pixels_from_hex("0011").is_err());
+        assert!(pixels_from_hex("0011223x").is_err());
+    }
+
+    #[test]
+    fn request_roundtrip_and_missing_fields() {
+        let req = GenerateRequest {
+            seed: 7,
+            steps: 4,
+            deadline_ms: Some(250),
+            fault_tag: Some("boom".to_string()),
+        };
+        let back: GenerateRequest =
+            serde_json::from_str(&serde_json::to_string(&req).unwrap()).unwrap();
+        assert_eq!(back, req);
+        // Optional fields may be absent entirely.
+        let min: GenerateRequest = serde_json::from_str(r#"{"seed":1,"steps":2}"#).unwrap();
+        assert_eq!(min.deadline_ms, None);
+        assert_eq!(min.fault_tag, None);
+        // Missing required fields fail with the field name.
+        let err = serde_json::from_str::<GenerateRequest>(r#"{"steps":2}"#).unwrap_err();
+        assert!(err.to_string().contains("seed"), "{err}");
+        // Wrong types fail.
+        assert!(serde_json::from_str::<GenerateRequest>(r#"{"seed":-1,"steps":2}"#).is_err());
+        assert!(serde_json::from_str::<GenerateRequest>(r#"{"seed":1,"steps":"2"}"#).is_err());
+    }
+
+    #[test]
+    fn response_and_error_roundtrip() {
+        let resp = GenerateResponse {
+            seed: 1,
+            steps: 2,
+            dims: vec![1, 3, 8, 8],
+            pixels_hex: pixels_to_hex(&[1.0, -2.0]),
+        };
+        let back: GenerateResponse =
+            serde_json::from_str(&serde_json::to_string(&resp).unwrap()).unwrap();
+        assert_eq!(back, resp);
+        let err = ErrorBody {
+            code: "engine_panic".to_string(),
+            error: "injected".to_string(),
+            steps_done: Some(3),
+        };
+        let back: ErrorBody = serde_json::from_str(&serde_json::to_string(&err).unwrap()).unwrap();
+        assert_eq!(back, err);
+    }
+}

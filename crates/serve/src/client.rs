@@ -1,0 +1,47 @@
+//! A minimal blocking HTTP/1.1 client for tests, the smoke script's Rust
+//! twin, and `fpdq serve --probe`-style tooling. One request per
+//! connection, matching the server's `Connection: close`.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Per-request socket timeout.
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Sends one request, returns `(status, body)`.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(CLIENT_TIMEOUT))?;
+    stream.set_write_timeout(Some(CLIENT_TIMEOUT))?;
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let status =
+        raw.split_whitespace().nth(1).and_then(|s| s.parse().ok()).ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "no status line")
+        })?;
+    let payload = raw.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    Ok((status, payload))
+}
+
+/// `GET` shorthand.
+pub fn get(addr: SocketAddr, path: &str) -> std::io::Result<(u16, String)> {
+    request(addr, "GET", path, None)
+}
+
+/// `POST` shorthand with a JSON body.
+pub fn post_json(addr: SocketAddr, path: &str, json: &str) -> std::io::Result<(u16, String)> {
+    request(addr, "POST", path, Some(json))
+}

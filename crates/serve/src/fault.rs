@@ -1,0 +1,148 @@
+//! Deterministic fault injection for the scheduler.
+//!
+//! A [`FaultPlan`] is wired in at server construction — from the
+//! `FPDQ_FAULT` environment variable or the builder methods — and the
+//! scheduler consults it at fixed points in its loop, so every injected
+//! failure lands at a *deterministic* step boundary. The grammar
+//! (comma-separated, e.g. `FPDQ_FAULT=panic:boom@2,slow:50`):
+//!
+//! | clause        | effect                                                        |
+//! |---------------|---------------------------------------------------------------|
+//! | `panic:TAG@N` | panic inside the engine step when a request whose `fault_tag` is `TAG` is in the batch at step `N` |
+//! | `slow:MS`     | every engine step sleeps `MS` ms first (makes deadlines fire) |
+//! | `stall:MS`    | admission sleeps `MS` ms before each admit round (backs the queue up deterministically) |
+//!
+//! `panic:TAG@N` only ever fires for requests that *opt in* by sending
+//! `fault_tag: TAG`, so a fault-injected server still serves untagged
+//! requests normally — which is exactly what the isolation tests assert.
+
+use fpdq_tensor::FpdqError;
+use std::time::Duration;
+
+/// Which injected faults are armed (all off by default).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Panic inside the engine step when a request tagged `.0` is in the
+    /// batch at step `.1`.
+    pub panic_at: Option<(String, usize)>,
+    /// Sleep before every engine step.
+    pub slow_step: Option<Duration>,
+    /// Sleep before every admission round.
+    pub stall_admission: Option<Duration>,
+}
+
+impl FaultPlan {
+    /// The plan from `FPDQ_FAULT`, or the empty plan when unset.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed spec — a typo'd fault plan silently doing
+    /// nothing would make a fault-injection CI run vacuous.
+    pub fn from_env() -> FaultPlan {
+        match std::env::var("FPDQ_FAULT") {
+            Ok(spec) => match FaultPlan::parse(&spec) {
+                Ok(plan) => plan,
+                Err(e) => panic!("FPDQ_FAULT: {e}"),
+            },
+            Err(_) => FaultPlan::default(),
+        }
+    }
+
+    /// Parses the comma-separated clause grammar above.
+    pub fn parse(spec: &str) -> Result<FaultPlan, FpdqError> {
+        let mut plan = FaultPlan::default();
+        for clause in spec.split(',').map(str::trim).filter(|c| !c.is_empty()) {
+            let (kind, arg) = clause.split_once(':').ok_or_else(|| {
+                FpdqError::invalid(format!("fault clause '{clause}': expected KIND:ARG"))
+            })?;
+            match kind {
+                "panic" => {
+                    let (tag, step) = arg.split_once('@').ok_or_else(|| {
+                        FpdqError::invalid(format!(
+                            "fault clause '{clause}': expected panic:TAG@STEP"
+                        ))
+                    })?;
+                    if tag.is_empty() {
+                        return Err(FpdqError::invalid(format!(
+                            "fault clause '{clause}': empty tag"
+                        )));
+                    }
+                    let step = step.parse().map_err(|_| {
+                        FpdqError::invalid(format!("fault clause '{clause}': bad step '{step}'"))
+                    })?;
+                    plan.panic_at = Some((tag.to_string(), step));
+                }
+                "slow" => plan.slow_step = Some(parse_ms(clause, arg)?),
+                "stall" => plan.stall_admission = Some(parse_ms(clause, arg)?),
+                other => {
+                    return Err(FpdqError::invalid(format!("unknown fault kind '{other}'")));
+                }
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Builder: arm [`FaultPlan::panic_at`].
+    pub fn with_panic_at(mut self, tag: impl Into<String>, step: usize) -> FaultPlan {
+        self.panic_at = Some((tag.into(), step));
+        self
+    }
+
+    /// Builder: arm [`FaultPlan::slow_step`].
+    pub fn with_slow_step(mut self, delay: Duration) -> FaultPlan {
+        self.slow_step = Some(delay);
+        self
+    }
+
+    /// Builder: arm [`FaultPlan::stall_admission`].
+    pub fn with_stall_admission(mut self, delay: Duration) -> FaultPlan {
+        self.stall_admission = Some(delay);
+        self
+    }
+
+    /// Whether the armed panic fires for a request carrying `tag` that
+    /// has completed `steps_done` steps.
+    pub fn panic_fires(&self, tag: Option<&str>, steps_done: usize) -> bool {
+        match (&self.panic_at, tag) {
+            (Some((want, step)), Some(got)) => want == got && *step == steps_done,
+            _ => false,
+        }
+    }
+}
+
+fn parse_ms(clause: &str, arg: &str) -> Result<Duration, FpdqError> {
+    arg.parse::<u64>().map(Duration::from_millis).map_err(|_| {
+        FpdqError::invalid(format!("fault clause '{clause}': bad milliseconds '{arg}'"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_full_grammar() {
+        let plan = FaultPlan::parse("panic:boom@2, slow:50, stall:10").unwrap();
+        assert_eq!(plan.panic_at, Some(("boom".to_string(), 2)));
+        assert_eq!(plan.slow_step, Some(Duration::from_millis(50)));
+        assert_eq!(plan.stall_admission, Some(Duration::from_millis(10)));
+        assert_eq!(FaultPlan::parse("").unwrap(), FaultPlan::default());
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for bad in ["panic", "panic:boom", "panic:@2", "panic:boom@x", "slow:abc", "nope:1"] {
+            assert!(FaultPlan::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn panic_fires_only_for_the_armed_tag_and_step() {
+        let plan = FaultPlan::default().with_panic_at("boom", 2);
+        assert!(plan.panic_fires(Some("boom"), 2));
+        assert!(!plan.panic_fires(Some("boom"), 1));
+        assert!(!plan.panic_fires(Some("other"), 2));
+        assert!(!plan.panic_fires(None, 2));
+        assert!(!FaultPlan::default().panic_fires(Some("boom"), 2));
+    }
+}

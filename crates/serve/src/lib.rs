@@ -1,0 +1,102 @@
+//! # fpdq-serve
+//!
+//! A fault-tolerant serving layer over the diffusion pipelines:
+//! continuous batching with per-request deadlines, bounded-queue
+//! backpressure, per-step panic isolation, graceful drain, and a
+//! deterministic fault-injection harness. Built entirely on the offline
+//! compat stubs (`tokio`, `hyper`, `serde`/`serde_json` under
+//! `crates/compat/`) — no third-party code.
+//!
+//! # Request lifecycle
+//!
+//! ```text
+//!              POST /v1/generate
+//!                     │
+//!              parse + validate ──▶ 400 bad_request
+//!                     │
+//!        bounded admission queue ──▶ 429 queue_full (backpressure)
+//!                     │                503 draining (shutdown begun)
+//!            ┌────────▼─────────────────────────────┐
+//!            │ scheduler thread (owns the model)    │
+//!            │                                      │
+//!            │   admit ≤ max_batch at the boundary  │
+//!            │        │                             │
+//!            │   ┌────▼──────────────────────────┐  │
+//!            │   │ step boundary:                │  │
+//!            │   │  evict expired deadlines ─────┼──┼─▶ 504 deadline_exceeded
+//!            │   │  batched ε + DDIM update      │  │
+//!            │   │   └─ catch_unwind; on panic,  │  │
+//!            │   │      solo-retry to attribute ─┼──┼─▶ 500 engine_panic
+//!            │   │  retire finished requests     │  │
+//!            │   └────┬──────────────────────────┘  │
+//!            │        │ loop                        │
+//!            └────────▼─────────────────────────────┘
+//!                     │
+//!            finish (clamp/decode) ──▶ 200 {pixels_hex}
+//! ```
+//!
+//! Requests join and leave the batch **only at step boundaries**, each at
+//! its own timestep — continuous batching. Because a request's image is a
+//! pure function of its seed (the [`fpdq_diffusion::stepper`] bit-identity
+//! contract, riding the U-Net's batch independence), admissions,
+//! evictions and neighbours' panics never change what anyone else gets: a
+//! served image is byte-identical to the offline
+//! `DdimSim::generate_seeded(&[seed], steps, 1)` run.
+//!
+//! # Failure modes
+//!
+//! | failure                        | blast radius                    | response            |
+//! |--------------------------------|---------------------------------|---------------------|
+//! | malformed / non-JSON body      | that request                    | 400 `bad_request`   |
+//! | invalid seed/steps             | that request                    | 400 `invalid_argument` |
+//! | admission queue full           | that request                    | 429 `queue_full`    |
+//! | deadline expires               | that request, at a boundary     | 504 `deadline_exceeded` |
+//! | engine panic mid-step          | panicking request(s) only; survivors re-step solo, bit-identical | 500 `engine_panic` |
+//! | decode/finish panic            | that request                    | 500 `engine_panic`  |
+//! | shutdown begun                 | new + queued requests           | 503 `draining`      |
+//! | handler panic in the HTTP layer| that connection                 | 500 (from `hyper`)  |
+//!
+//! The scheduler thread itself never dies: every engine interaction runs
+//! under `catch_unwind`, and `/healthz` exposes monotone `ticks`/`steps`
+//! counters so a wedged loop is observable. Lifecycle:
+//! `starting → ready → draining → stopped`, probed via `/readyz` (200
+//! only when `ready`) and flipped via `POST /admin/shutdown`.
+//!
+//! # Fault injection
+//!
+//! Deterministic failures for tests and CI, armed via `FPDQ_FAULT` or
+//! [`FaultPlan`] builders: `panic:TAG@N` (engine panic when a request
+//! tagged `TAG` reaches step `N`), `slow:MS` (slow steps, makes deadlines
+//! fire), `stall:MS` (slow admission, backs the queue up). See
+//! [`fault`].
+
+pub mod api;
+pub mod client;
+pub mod fault;
+pub mod scheduler;
+pub mod server;
+pub mod shared;
+
+pub use fault::FaultPlan;
+pub use scheduler::{Job, ReqError, ServeModel};
+pub use server::{serve, ServeConfig, ServerHandle};
+pub use shared::{ServeShared, ServerState};
+
+use fpdq_diffusion::{DdimSim, NoiseSchedule};
+use fpdq_nn::{UNet, UNetConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A tiny, deterministic, zoo-free pixel pipeline for tests and CI smoke
+/// runs: fixed-seed random weights, no training, no cache files. Every
+/// call constructs the *same* model, so a test can compare a served image
+/// against its own offline reference bit-for-bit.
+pub fn tiny_ddim() -> DdimSim {
+    let mut rng = StdRng::seed_from_u64(42);
+    DdimSim {
+        unet: UNet::new(UNetConfig::tiny(3), &mut rng),
+        schedule: NoiseSchedule::linear_scaled(20),
+        channels: 3,
+        image_size: 8,
+    }
+}

@@ -1,0 +1,236 @@
+//! The HTTP front end: routing, admission control and lifecycle wiring.
+
+use crate::api::{pixels_to_hex, ErrorBody, GenerateRequest, GenerateResponse};
+use crate::fault::FaultPlan;
+use crate::scheduler::{self, Job, ReqError, SchedulerConfig, ServeModel};
+use crate::shared::{ServeShared, ServerState};
+use hyper::{service_fn, Request, Response, ResponseFuture, Server};
+use serde::Serialize;
+use std::net::SocketAddr;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tokio::sync::{mpsc, oneshot};
+
+/// Serving knobs.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address (port 0 picks an ephemeral port).
+    pub addr: SocketAddr,
+    /// Batch-size cap for each engine step.
+    pub max_batch: usize,
+    /// Admission queue depth; a full queue rejects with 429.
+    pub queue_depth: usize,
+    /// Deadline applied to requests that don't carry their own.
+    pub default_deadline_ms: Option<u64>,
+    /// The armed fault plan (empty by default; see [`FaultPlan`]).
+    pub fault: FaultPlan,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".parse().expect("loopback addr"),
+            max_batch: 4,
+            queue_depth: 8,
+            default_deadline_ms: None,
+            fault: FaultPlan::default(),
+        }
+    }
+}
+
+/// A running server: HTTP front end + scheduler thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<ServeShared>,
+    scheduler: Option<std::thread::JoinHandle<()>>,
+    http: Option<hyper::ServeHandle>,
+}
+
+impl ServerHandle {
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared state (probes read it; tests sequence on it).
+    pub fn shared(&self) -> &Arc<ServeShared> {
+        &self.shared
+    }
+
+    /// Graceful drain-then-stop: flips to `Draining` (new requests get
+    /// 503), waits for the scheduler to finish every in-flight request,
+    /// then tears down the HTTP listener.
+    pub fn shutdown(mut self) {
+        self.shared.advance_state(ServerState::Draining);
+        if let Some(h) = self.scheduler.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.http.take() {
+            h.shutdown();
+        }
+    }
+
+    /// Blocks until the scheduler exits (used by `fpdq serve`, whose
+    /// shutdown arrives over HTTP rather than from this thread).
+    pub fn wait(mut self) {
+        if let Some(h) = self.scheduler.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.http.take() {
+            h.shutdown();
+        }
+    }
+}
+
+/// Binds the HTTP server and starts the scheduler thread.
+///
+/// `build` constructs the model *inside* the scheduler thread — the
+/// U-Net's packed slots hold `Rc`s, so the model itself is `!Send` and
+/// only a builder closure can cross the thread boundary. Until `build`
+/// returns, probes report `starting` and `/readyz` fails.
+pub fn serve<F>(cfg: ServeConfig, build: F) -> std::io::Result<ServerHandle>
+where
+    F: FnOnce() -> Box<dyn ServeModel> + Send + 'static,
+{
+    let server = Server::bind(&cfg.addr)?;
+    let addr = server.local_addr();
+    let shared = Arc::new(ServeShared::default());
+    let (tx, rx) = mpsc::channel::<Job>(cfg.queue_depth);
+
+    let sched_shared = shared.clone();
+    let sched_cfg = SchedulerConfig { max_batch: cfg.max_batch.max(1), fault: cfg.fault.clone() };
+    let scheduler = std::thread::Builder::new()
+        .name("fpdq-scheduler".into())
+        .spawn(move || {
+            let model = build();
+            sched_shared.advance_state(ServerState::Ready);
+            scheduler::run(model, rx, sched_shared, sched_cfg);
+        })
+        .expect("cannot spawn scheduler thread");
+
+    let svc_shared = shared.clone();
+    let default_deadline = cfg.default_deadline_ms;
+    let svc = service_fn(move |req: Request| {
+        let shared = svc_shared.clone();
+        let tx = tx.clone();
+        Box::pin(async move { route(&req, &shared, &tx, default_deadline).await }) as ResponseFuture
+    });
+    let http = server.serve(svc);
+
+    Ok(ServerHandle { addr, shared, scheduler: Some(scheduler), http: Some(http) })
+}
+
+fn json_response(status: u16, body: &impl Serialize) -> Response {
+    let text = serde_json::to_string(body).expect("serializing a wire type cannot fail");
+    Response::new(status)
+        .with_header("content-type", "application/json")
+        .with_body(text)
+}
+
+fn error_response(status: u16, code: &str, message: impl Into<String>) -> Response {
+    json_response(
+        status,
+        &ErrorBody { code: code.to_string(), error: message.into(), steps_done: None },
+    )
+}
+
+async fn route(
+    req: &Request,
+    shared: &Arc<ServeShared>,
+    tx: &mpsc::Sender<Job>,
+    default_deadline_ms: Option<u64>,
+) -> Response {
+    match (req.method(), req.path()) {
+        ("GET", "/healthz") => json_response(200, &shared.healthz()),
+        ("GET", "/readyz") => {
+            let state = shared.state();
+            if state == ServerState::Ready {
+                json_response(200, &shared.healthz())
+            } else {
+                error_response(503, "not_ready", format!("server is {}", state.name()))
+            }
+        }
+        ("POST", "/v1/generate") => generate(req, shared, tx, default_deadline_ms).await,
+        ("POST", "/admin/shutdown") => {
+            // Never moves the state backwards: a shutdown of a stopped
+            // server stays stopped.
+            shared.advance_state(ServerState::Draining);
+            json_response(202, &shared.healthz())
+        }
+        (_, "/healthz" | "/readyz" | "/v1/generate" | "/admin/shutdown") => {
+            error_response(405, "method_not_allowed", format!("{} not allowed here", req.method()))
+        }
+        _ => error_response(404, "not_found", format!("no route for {}", req.path())),
+    }
+}
+
+async fn generate(
+    req: &Request,
+    shared: &Arc<ServeShared>,
+    tx: &mpsc::Sender<Job>,
+    default_deadline_ms: Option<u64>,
+) -> Response {
+    let body = match std::str::from_utf8(req.body()) {
+        Ok(b) => b,
+        Err(_) => return error_response(400, "bad_request", "body is not UTF-8"),
+    };
+    let parsed: GenerateRequest = match serde_json::from_str(body) {
+        Ok(p) => p,
+        Err(e) => return error_response(400, "bad_request", e.to_string()),
+    };
+    match shared.state() {
+        ServerState::Starting => {
+            return error_response(503, "not_ready", "server is starting");
+        }
+        ServerState::Ready => {}
+        state => {
+            return error_response(503, "draining", format!("server is {}", state.name()));
+        }
+    }
+    let deadline = parsed
+        .deadline_ms
+        .or(default_deadline_ms)
+        .map(|ms| Instant::now() + Duration::from_millis(ms));
+    let (respond, done) = oneshot::channel();
+    let job = Job {
+        seed: parsed.seed,
+        steps: parsed.steps,
+        deadline,
+        fault_tag: parsed.fault_tag.clone(),
+        respond,
+    };
+    // Backpressure: the bounded queue is the only buffering; a full queue
+    // answers immediately with 429 instead of stacking latency.
+    shared.queued.fetch_add(1, Ordering::SeqCst);
+    if let Err(e) = tx.try_send(job) {
+        shared.queued.fetch_sub(1, Ordering::SeqCst);
+        return match e {
+            mpsc::TrySendError::Full(_) => {
+                shared.rejected.fetch_add(1, Ordering::SeqCst);
+                error_response(429, "queue_full", "admission queue is full; retry later")
+            }
+            mpsc::TrySendError::Closed(_) => {
+                error_response(503, "draining", "server is shutting down")
+            }
+        };
+    }
+    match done.await {
+        Ok(Ok(img)) => json_response(
+            200,
+            &GenerateResponse {
+                seed: parsed.seed,
+                steps: parsed.steps,
+                dims: img.dims().to_vec(),
+                pixels_hex: pixels_to_hex(img.data()),
+            },
+        ),
+        Ok(Err(ReqError { status, code, message, steps_done })) => {
+            json_response(status, &ErrorBody { code: code.to_string(), error: message, steps_done })
+        }
+        // The scheduler dropped the channel without answering — only
+        // possible if its thread died, which the panic isolation exists
+        // to prevent; surface it rather than hang.
+        Err(_) => error_response(500, "scheduler_gone", "scheduler dropped the request"),
+    }
+}

@@ -1,0 +1,111 @@
+//! State shared between the HTTP layer and the scheduler thread: the
+//! lifecycle state machine and the liveness counters `/healthz` reports.
+
+use crate::api::Healthz;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+/// Server lifecycle: `Starting → Ready → Draining → Stopped` (ordered —
+/// the state machine only moves forward).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum ServerState {
+    /// Model still constructing inside the scheduler thread.
+    Starting = 0,
+    /// Accepting and serving requests.
+    Ready = 1,
+    /// Rejecting new requests, finishing in-flight ones.
+    Draining = 2,
+    /// Scheduler loop exited.
+    Stopped = 3,
+}
+
+impl ServerState {
+    /// Lowercase name used on the wire.
+    pub fn name(self) -> &'static str {
+        match self {
+            ServerState::Starting => "starting",
+            ServerState::Ready => "ready",
+            ServerState::Draining => "draining",
+            ServerState::Stopped => "stopped",
+        }
+    }
+
+    fn from_u8(v: u8) -> ServerState {
+        match v {
+            0 => ServerState::Starting,
+            1 => ServerState::Ready,
+            2 => ServerState::Draining,
+            _ => ServerState::Stopped,
+        }
+    }
+}
+
+/// Counters and state shared across threads (all lock-free: the HTTP
+/// layer reads them on every probe while the scheduler is mid-step).
+#[derive(Debug, Default)]
+pub struct ServeShared {
+    state: AtomicU8,
+    /// Requests enqueued but not yet admitted.
+    pub queued: AtomicU64,
+    /// Requests inside the step loop.
+    pub active: AtomicU64,
+    /// Engine steps executed (monotone heartbeat).
+    pub steps: AtomicU64,
+    /// Scheduler loop iterations (advances even while idle — a stuck
+    /// scheduler is visible as a frozen tick counter on `/healthz`).
+    pub ticks: AtomicU64,
+    /// Requests completed successfully.
+    pub completed: AtomicU64,
+    /// Requests failed by engine panics.
+    pub failed: AtomicU64,
+    /// Requests evicted by deadlines.
+    pub evicted: AtomicU64,
+    /// Requests rejected by backpressure.
+    pub rejected: AtomicU64,
+}
+
+impl ServeShared {
+    /// Current lifecycle state.
+    pub fn state(&self) -> ServerState {
+        ServerState::from_u8(self.state.load(Ordering::SeqCst))
+    }
+
+    /// Moves to `state`, but never backwards (a late `Draining` request
+    /// must not resurrect a `Stopped` server).
+    pub fn advance_state(&self, state: ServerState) {
+        self.state.fetch_max(state as u8, Ordering::SeqCst);
+    }
+
+    /// Snapshot for `/healthz`.
+    pub fn healthz(&self) -> Healthz {
+        Healthz {
+            state: self.state().name().to_string(),
+            active: self.active.load(Ordering::SeqCst),
+            queued: self.queued.load(Ordering::SeqCst),
+            steps: self.steps.load(Ordering::SeqCst),
+            ticks: self.ticks.load(Ordering::SeqCst),
+            completed: self.completed.load(Ordering::SeqCst),
+            failed: self.failed.load(Ordering::SeqCst),
+            evicted: self.evicted.load(Ordering::SeqCst),
+            rejected: self.rejected.load(Ordering::SeqCst),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_only_moves_forward() {
+        let s = ServeShared::default();
+        assert_eq!(s.state(), ServerState::Starting);
+        s.advance_state(ServerState::Ready);
+        s.advance_state(ServerState::Draining);
+        // A stale transition cannot rewind the lifecycle.
+        s.advance_state(ServerState::Ready);
+        assert_eq!(s.state(), ServerState::Draining);
+        s.advance_state(ServerState::Stopped);
+        assert_eq!(s.state(), ServerState::Stopped);
+    }
+}

@@ -1,0 +1,67 @@
+//! The workspace-wide error taxonomy for public API boundaries.
+//!
+//! Defined here (the bottom of the dependency graph) so every crate can
+//! return it; user-facing code imports it as `fpdq_core::FpdqError`. The
+//! split between errors and panics is deliberate: *caller* mistakes —
+//! mismatched shapes, out-of-domain arguments, missing inputs — surface
+//! as `Result<_, FpdqError>` at public entry points, while *internal*
+//! invariant violations (skip-stack bookkeeping, kernel tile geometry)
+//! stay as asserts, because a broken invariant means corrupted state that
+//! no caller can meaningfully recover from.
+
+use std::fmt;
+
+/// Typed error for recoverable failures at public API boundaries.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FpdqError {
+    /// Two inputs disagree on a dimension (batch, channel, length).
+    ShapeMismatch(String),
+    /// An argument value is outside the accepted domain.
+    InvalidArgument(String),
+    /// A required input was not provided.
+    MissingInput(String),
+}
+
+impl FpdqError {
+    /// A [`FpdqError::ShapeMismatch`] with `msg`.
+    pub fn shape(msg: impl Into<String>) -> FpdqError {
+        FpdqError::ShapeMismatch(msg.into())
+    }
+
+    /// A [`FpdqError::InvalidArgument`] with `msg`.
+    pub fn invalid(msg: impl Into<String>) -> FpdqError {
+        FpdqError::InvalidArgument(msg.into())
+    }
+
+    /// A [`FpdqError::MissingInput`] with `msg`.
+    pub fn missing(msg: impl Into<String>) -> FpdqError {
+        FpdqError::MissingInput(msg.into())
+    }
+}
+
+impl fmt::Display for FpdqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Display is just the message: the panicking wrappers forward it
+        // verbatim, keeping historical panic strings stable for callers
+        // (and tests) that match on them.
+        match self {
+            FpdqError::ShapeMismatch(m)
+            | FpdqError::InvalidArgument(m)
+            | FpdqError::MissingInput(m) => f.write_str(m),
+        }
+    }
+}
+
+impl std::error::Error for FpdqError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_the_bare_message() {
+        let e = FpdqError::shape("timestep batch 2 != image batch 3");
+        assert_eq!(e.to_string(), "timestep batch 2 != image batch 3");
+        assert!(matches!(e, FpdqError::ShapeMismatch(_)));
+    }
+}

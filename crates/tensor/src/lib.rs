@@ -30,6 +30,7 @@
 //! ```
 
 pub mod conv;
+pub mod error;
 pub mod io;
 pub mod matmul;
 pub mod parallel;
@@ -39,6 +40,7 @@ pub mod shape;
 pub mod simd;
 mod tensor;
 
+pub use error::FpdqError;
 pub use io::{load_tensors, save_tensors, TensorIoError};
 pub use shape::{broadcast_shapes, Shape};
 pub use tensor::Tensor;

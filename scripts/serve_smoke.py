@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Serve-layer smoke for CI.
+
+Boots ``fpdq serve`` on the zoo-free tiny model with an armed fault plan,
+drives concurrent requests — one of which opts into the injected engine
+panic — and asserts the robustness contract from the outside:
+
+* the server process never dies, even while its engine panics;
+* the faulted request gets a typed ``engine_panic`` error, the rest
+  complete with pixel payloads;
+* ``/healthz`` flips ready -> draining -> stopped across a graceful
+  shutdown and the process exits 0.
+
+Usage: ``python3 scripts/serve_smoke.py [path/to/fpdq]``
+"""
+
+import json
+import re
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+
+BINARY = sys.argv[1] if len(sys.argv) > 1 else "target/release/fpdq"
+REQUESTS = 5  # concurrent healthy requests
+STEPS = 4
+
+
+def http(method, url, body=None):
+    """Returns (status, parsed-json-body)."""
+    req = urllib.request.Request(url, data=body, method=method)
+    try:
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            return resp.status, json.load(resp)
+    except urllib.error.HTTPError as e:
+        return e.code, json.load(e)
+
+
+def main():
+    proc = subprocess.Popen(
+        [BINARY, "serve", "--port", "0", "--max-batch", "4"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env={**__import__("os").environ, "FPDQ_FAULT": "panic:boom@1"},
+    )
+    try:
+        # The CLI resolves --port 0 and prints the bound address (after
+        # the fault-armed banner).
+        m = None
+        for _ in range(10):
+            line = proc.stdout.readline()
+            m = re.search(r"listening on (http://\S+)", line)
+            if m:
+                break
+        assert m, f"no listen line, last got: {line!r}"
+        base = m.group(1)
+        print(f"serving at {base}")
+
+        deadline = time.time() + 60
+        while True:
+            assert proc.poll() is None, "server died during startup"
+            assert time.time() < deadline, "server never became ready"
+            try:
+                status, health = http("GET", f"{base}/readyz")
+                if status == 200:
+                    break
+            except OSError:
+                pass
+            time.sleep(0.1)
+        assert health["state"] == "ready", health
+
+        # Concurrent traffic: REQUESTS healthy seeds plus one request that
+        # detonates the engine at its second step.
+        results = {}
+
+        def generate(name, payload):
+            body = json.dumps(payload).encode()
+            results[name] = http("POST", f"{base}/v1/generate", body)
+
+        threads = [
+            threading.Thread(
+                target=generate, args=(f"ok{i}", {"seed": i, "steps": STEPS})
+            )
+            for i in range(REQUESTS)
+        ]
+        threads.append(
+            threading.Thread(
+                target=generate,
+                args=("boom", {"seed": 99, "steps": STEPS, "fault_tag": "boom"}),
+            )
+        )
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        status, body = results["boom"]
+        assert status == 500, (status, body)
+        assert body["code"] == "engine_panic", body
+        for i in range(REQUESTS):
+            status, body = results[f"ok{i}"]
+            assert status == 200, (status, body)
+            assert len(body["pixels_hex"]) == 1 * 3 * 8 * 8 * 8, body["seed"]
+        assert proc.poll() is None, "server died under the injected panic"
+
+        status, health = http("GET", f"{base}/healthz")
+        assert status == 200 and health["state"] == "ready", health
+        assert health["completed"] == REQUESTS, health
+        assert health["failed"] == 1, health
+
+        # Graceful shutdown: draining on the wire, stopped in the exit.
+        status, health = http("POST", f"{base}/admin/shutdown", b"")
+        assert status == 202, (status, health)
+        assert health["state"] == "draining", health
+        proc.wait(timeout=30)
+        tail = proc.stdout.read()
+        assert proc.returncode == 0, (proc.returncode, tail)
+        assert "stopped" in tail, tail
+        print(
+            f"serve smoke OK: {REQUESTS} served, 1 isolated panic, "
+            "clean ready->draining->stopped shutdown"
+        )
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+
+
+if __name__ == "__main__":
+    main()

@@ -8,6 +8,7 @@
 //! fpdq evaluate   --model ldm --config int8   FID/sFID/P/R vs the dataset
 //! fpdq sparsity   --model sd                  weight-sparsity census
 //! fpdq characterize                           roofline latency + memory
+//! fpdq serve      --model tiny --port 8321    fault-tolerant HTTP serving
 //! ```
 
 use fpdq::data::ppm::{image_grid, save_ppm};
@@ -33,6 +34,7 @@ fn main() -> ExitCode {
         "evaluate" => evaluate_cmd(&opts),
         "sparsity" => sparsity(&opts),
         "characterize" => characterize(),
+        "serve" => serve_cmd(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             ExitCode::SUCCESS
@@ -56,6 +58,8 @@ COMMANDS:
   evaluate      --model <...> --config <...> [--count N] [--batch N] [--packed]
   sparsity      --model <...> [--config <...>]
   characterize                   roofline latency + memory of an SD-scale U-Net
+  serve         [--model <tiny|ddim|ldm>] [--addr HOST] [--port N]
+                [--max-batch N] [--queue-depth N] [--deadline-ms N]
   help                           this message
 
 FLAGS:
@@ -66,9 +70,19 @@ FLAGS:
                 batch size; larger batches amortise the packed engine's
                 per-step weight decode across the batch
 
+SERVE FLAGS:
+  --model M        tiny (default; fixed-seed, no training), ddim or ldm
+                   (trained zoo pipelines — first run trains and caches)
+  --addr HOST      bind host (default 127.0.0.1)
+  --port N         bind port (default 8321; 0 picks an ephemeral port)
+  --max-batch N    batch-size cap per engine step (default 4)
+  --queue-depth N  admission queue depth; full queue answers 429 (default 8)
+  --deadline-ms N  default per-request deadline (none unless given)
+
 ENVIRONMENT:
   FPDQ_ZOO_DIR   model cache directory (default target/fpdq-zoo)
-  FPDQ_FAST=1    reduced training budgets";
+  FPDQ_FAST=1    reduced training budgets
+  FPDQ_FAULT     arm serve-time fault injection, e.g. panic:boom@2,slow:50";
 
 fn parse_flags(args: &[String]) -> HashMap<String, String> {
     let mut out = HashMap::new();
@@ -98,10 +112,49 @@ fn flag_set(opts: &HashMap<String, String>, key: &str) -> bool {
     opts.get(key).is_some_and(|v| v != "0" && v != "false")
 }
 
-/// Sampling batch size from `--batch` (default: the pipelines' 16-image
-/// chunk; values are clamped into `1..=16` by the pipelines).
-fn batch_flag(opts: &HashMap<String, String>) -> usize {
-    opts.get("batch").and_then(|v| v.parse().ok()).unwrap_or(16)
+/// A flag that is present but unparseable is an error — not a silent
+/// fall-through to the default (`--batch four` used to quietly mean 16).
+fn parsed_flag<T: std::str::FromStr>(
+    opts: &HashMap<String, String>,
+    key: &str,
+    default: T,
+    expected: &str,
+) -> Result<T, String> {
+    match opts.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("invalid value '{v}' for --{key}: expected {expected}")),
+    }
+}
+
+/// [`parsed_flag`] for flags with no default (absent stays `None`).
+fn parsed_opt_flag<T: std::str::FromStr>(
+    opts: &HashMap<String, String>,
+    key: &str,
+    expected: &str,
+) -> Result<Option<T>, String> {
+    match opts.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("invalid value '{v}' for --{key}: expected {expected}")),
+    }
+}
+
+/// Unwraps a flag-parse result, or prints the error + usage and exits
+/// non-zero. Shared by every command that takes numeric flags.
+macro_rules! flag_or_fail {
+    ($result:expr) => {
+        match $result {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("{e}\n\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
 }
 
 fn config_from(name: &str) -> Option<Option<PtqConfig>> {
@@ -352,6 +405,8 @@ fn pack_and_report(pipeline: &Pipeline, report: &fpdq::quant::QuantReport) {
 }
 
 fn generate(opts: &HashMap<String, String>) -> ExitCode {
+    let count: usize = flag_or_fail!(parsed_flag(opts, "count", 8, "a positive integer"));
+    let batch: usize = flag_or_fail!(parsed_flag(opts, "batch", 16, "a batch size in 1..=16"));
     let Some(model) = require(opts, "model") else { return ExitCode::FAILURE };
     let Some(pipeline) = Pipeline::load(model) else {
         eprintln!("unknown model '{model}'");
@@ -378,8 +433,6 @@ fn generate(opts: &HashMap<String, String>) -> ExitCode {
         eprintln!("--packed requires a quantized --config (fp8/fp4/int8/int4)");
         return ExitCode::FAILURE;
     }
-    let count: usize = opts.get("count").and_then(|v| v.parse().ok()).unwrap_or(8);
-    let batch = batch_flag(opts);
     let out_dir = std::path::PathBuf::from(
         opts.get("out").cloned().unwrap_or_else(|| "target/fpdq-cli".into()),
     );
@@ -396,6 +449,8 @@ fn generate(opts: &HashMap<String, String>) -> ExitCode {
 }
 
 fn evaluate_cmd(opts: &HashMap<String, String>) -> ExitCode {
+    let count: usize = flag_or_fail!(parsed_flag(opts, "count", 64, "a positive integer"));
+    let batch: usize = flag_or_fail!(parsed_flag(opts, "batch", 16, "a batch size in 1..=16"));
     let (Some(model), Some(config)) = (require(opts, "model"), require(opts, "config")) else {
         return ExitCode::FAILURE;
     };
@@ -415,9 +470,8 @@ fn evaluate_cmd(opts: &HashMap<String, String>) -> ExitCode {
             fpdq::kernels::pack_unet(pipeline.unet(), &report);
         }
     }
-    let count: usize = opts.get("count").and_then(|v| v.parse().ok()).unwrap_or(64);
     let reference = pipeline.reference(count);
-    let imgs = pipeline.generate(count, None, 42, batch_flag(opts));
+    let imgs = pipeline.generate(count, None, 42, batch);
     let net = FeatureNet::for_size(pipeline.image_size());
     let m = fpdq::metrics::evaluate(&reference, &imgs, &net);
     println!("{model} @ {config} over {count} samples: {m}");
@@ -445,6 +499,70 @@ fn sparsity(opts: &HashMap<String, String>) -> ExitCode {
     }
     println!("\noverall: {:.4}% of weights are zero", 100.0 * report.overall());
     ExitCode::SUCCESS
+}
+
+fn serve_cmd(opts: &HashMap<String, String>) -> ExitCode {
+    use fpdq::serve::{serve, FaultPlan, ServeConfig, ServeModel};
+    let model = opts.get("model").map(String::as_str).unwrap_or("tiny");
+    let build: Box<dyn FnOnce() -> Box<dyn ServeModel> + Send> = match model {
+        "tiny" => Box::new(|| Box::new(fpdq::serve::tiny_ddim())),
+        "ddim" => Box::new(|| Box::new(Zoo::open_default().ddim_sim())),
+        "ldm" => Box::new(|| Box::new(Zoo::open_default().ldm_sim())),
+        other => {
+            eprintln!("unknown serve model '{other}': expected tiny, ddim or ldm\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let host = opts.get("addr").map(String::as_str).unwrap_or("127.0.0.1");
+    let port: u16 = flag_or_fail!(parsed_flag(opts, "port", 8321, "a port number"));
+    let addr = match format!("{host}:{port}").parse() {
+        Ok(addr) => addr,
+        Err(_) => {
+            eprintln!("invalid value '{host}' for --addr: expected a host address\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let fault = match std::env::var("FPDQ_FAULT") {
+        Ok(spec) => match FaultPlan::parse(&spec) {
+            Ok(plan) => plan,
+            Err(e) => {
+                eprintln!("invalid FPDQ_FAULT: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(_) => FaultPlan::default(),
+    };
+    let cfg = ServeConfig {
+        addr,
+        max_batch: flag_or_fail!(parsed_flag(opts, "max-batch", 4, "a positive integer")),
+        queue_depth: flag_or_fail!(parsed_flag(opts, "queue-depth", 8, "a positive integer")),
+        default_deadline_ms: flag_or_fail!(parsed_opt_flag(
+            opts,
+            "deadline-ms",
+            "a duration in milliseconds"
+        )),
+        fault,
+    };
+    if fault_armed(&cfg.fault) {
+        println!("fault injection armed: {:?}", cfg.fault);
+    }
+    let handle = match serve(cfg, build) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("fpdq-serve ({model}) listening on http://{}", handle.addr());
+    println!("  POST /v1/generate  {{\"seed\": N, \"steps\": N}}");
+    println!("  GET  /healthz | /readyz      POST /admin/shutdown");
+    handle.wait();
+    println!("stopped");
+    ExitCode::SUCCESS
+}
+
+fn fault_armed(plan: &fpdq::serve::FaultPlan) -> bool {
+    *plan != fpdq::serve::FaultPlan::default()
 }
 
 fn characterize() -> ExitCode {

@@ -21,6 +21,7 @@
 //! | [`metrics`] | `fpdq-metrics` | FID / sFID / precision / recall / CLIP-sim |
 //! | [`perf`] | `fpdq-perf` | roofline latency + memory characterization |
 //! | [`kernels`] | `fpdq-kernels` | bit-packed storage, quantized & sparse GEMM |
+//! | [`serve`] | `fpdq-serve` | fault-tolerant HTTP serving: continuous batching, deadlines, panic isolation |
 //!
 //! # Quickstart
 //!
@@ -57,6 +58,7 @@ pub use fpdq_kernels as kernels;
 pub use fpdq_metrics as metrics;
 pub use fpdq_nn as nn;
 pub use fpdq_perf as perf;
+pub use fpdq_serve as serve;
 pub use fpdq_tensor as tensor;
 
 /// The most common imports for working with fpdq.
