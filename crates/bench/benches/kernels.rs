@@ -235,6 +235,63 @@ fn bench_sparse(c: &mut Criterion) {
     g.finish();
 }
 
+/// Cold-start cost: what a fresh process pays before it can sample. The
+/// container is the whole point of the `cold_start` group — loading a
+/// packed `.fpdq` (`container_load`) must be dramatically cheaper than
+/// re-deriving the model (`quantize_and_pack`), and `pack_write` prices
+/// the crash-safe (temp + fsync + rename) container write itself.
+fn bench_cold_start(c: &mut Criterion) {
+    use fpdq_container::{container_bytes, load_bytes, save, SimPipeline};
+    use fpdq_core::calib::{CalibPoint, CalibrationSet};
+    use fpdq_core::{quantize_unet, PtqConfig, RoundingConfig};
+    use fpdq_diffusion::{DdimSim, NoiseSchedule};
+    use fpdq_nn::{UNet, UNetConfig};
+
+    let mut rng = StdRng::seed_from_u64(21);
+    let unet = UNet::new(UNetConfig::tiny(3), &mut rng);
+    let points: Vec<CalibPoint> = (0..3)
+        .map(|i| CalibPoint {
+            x: Tensor::randn(&[1, 3, 8, 8], &mut rng),
+            t: (i * 4) as f32,
+            ctx: None,
+        })
+        .collect();
+    let calib = CalibrationSet { init: points.clone(), rl: points };
+    let mut cfg = PtqConfig::fp(8, 8);
+    cfg.bias_candidates = 9;
+    cfg.rounding = RoundingConfig { iters: 4, batch: 2, ..RoundingConfig::default() };
+    let report = quantize_unet(&unet, &calib, &cfg, &mut StdRng::seed_from_u64(1));
+    let pipeline = SimPipeline::Ddim(DdimSim {
+        unet,
+        schedule: NoiseSchedule::linear_scaled(12),
+        channels: 3,
+        image_size: 8,
+    });
+    let image = bytes::Bytes::from(container_bytes(&pipeline, &report).expect("container"));
+    let dir = std::env::temp_dir().join("fpdq-bench-cold-start");
+    std::fs::create_dir_all(&dir).expect("bench temp dir");
+    let out = dir.join("tiny.fpdq");
+
+    let mut g = c.benchmark_group("cold_start");
+    // The no-container baseline: re-derive the quantized packed model.
+    g.bench_function("quantize_and_pack", |b| {
+        b.iter(|| {
+            let unet = UNet::new(UNetConfig::tiny(3), &mut StdRng::seed_from_u64(21));
+            let report = quantize_unet(&unet, &calib, &cfg, &mut StdRng::seed_from_u64(1));
+            black_box(fpdq_kernels::pack_unet(&unet, &report))
+        })
+    });
+    // The crash-safe container write (temp file + fsync + atomic rename).
+    g.bench_function("pack_write", |b| b.iter(|| save(&out, &pipeline, &report).expect("save")));
+    // The container fast path: validate + rebuild + install, zero-copy
+    // payloads shared with the source buffer.
+    g.bench_function("container_load", |b| {
+        b.iter(|| black_box(load_bytes(image.clone()).expect("load")))
+    });
+    g.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 fn configured() -> Criterion {
     // FPDQ_BENCH_FAST=1 is the CI smoke mode: one sample per benchmark,
     // minimal budgets — enough to prove every kernel still runs and the
@@ -256,7 +313,7 @@ criterion_group! {
     name = kernels;
     config = configured();
     targets = bench_quantize, bench_pack, bench_gemm, bench_gemm_batched, bench_conv,
-        bench_conv_batched, bench_sparse
+        bench_conv_batched, bench_sparse, bench_cold_start
 }
 
 fn main() {

@@ -1,11 +1,14 @@
 //! Offline stand-in for the `bytes` crate.
 //!
 //! Implements exactly the buffer surface the workspace serialisers use:
-//! [`BytesMut`]/[`BufMut`] for writing little-endian records, and
-//! [`Buf`] over `&[u8]` for cursor-style reading. Backed by plain `Vec`s —
-//! no refcounted views, which the workspace never needed.
+//! [`BytesMut`]/[`BufMut`] for writing little-endian records, [`Buf`]
+//! over `&[u8]` for cursor-style reading, and a refcounted [`Bytes`]
+//! whose [`Bytes::slice`] hands out zero-copy views — the container
+//! loader maps one file buffer and every packed tensor borrows a window
+//! of it, so N workers share a single read-only allocation.
 
-use std::ops::Deref;
+use std::ops::{Deref, Range};
+use std::sync::Arc;
 
 /// Growable byte buffer (write side).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -36,7 +39,7 @@ impl BytesMut {
 
     /// Freezes into an immutable [`Bytes`].
     pub fn freeze(self) -> Bytes {
-        Bytes { buf: self.buf }
+        Bytes::from(self.buf)
     }
 
     /// Copies out as a `Vec`.
@@ -87,45 +90,83 @@ impl BufMut for Vec<u8> {
     }
 }
 
-/// Immutable byte buffer.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+/// Immutable, refcounted byte buffer.
+///
+/// Cloning and [`Bytes::slice`] are O(1): both share the same `Arc`'d
+/// allocation and only adjust the `(offset, len)` window. Equality and
+/// hashing compare the viewed bytes, not the backing allocation.
+#[derive(Clone, Debug, Default)]
 pub struct Bytes {
-    buf: Vec<u8>,
+    buf: Arc<[u8]>,
+    offset: usize,
+    len: usize,
 }
 
 impl Bytes {
     /// Copies a slice into an owned buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes { buf: data.to_vec() }
+        Bytes::from(data.to_vec())
     }
 
     /// Length in bytes.
     pub fn len(&self) -> usize {
-        self.buf.len()
+        self.len
     }
 
     /// Whether the buffer is empty.
     pub fn is_empty(&self) -> bool {
-        self.buf.is_empty()
+        self.len == 0
+    }
+
+    /// A zero-copy sub-view sharing this buffer's allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds (`start > end` or
+    /// `end > len`). Untrusted ranges must be validated by the caller —
+    /// the container parser does — before slicing.
+    pub fn slice(&self, range: Range<usize>) -> Bytes {
+        assert!(range.start <= range.end, "slice start {} > end {}", range.start, range.end);
+        assert!(range.end <= self.len, "slice end {} > len {}", range.end, self.len);
+        Bytes {
+            buf: self.buf.clone(),
+            offset: self.offset + range.start,
+            len: range.end - range.start,
+        }
     }
 }
 
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.buf
+        &self.buf[self.offset..self.offset + self.len]
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.buf
+        self
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(buf: Vec<u8>) -> Self {
-        Bytes { buf }
+        let len = buf.len();
+        Bytes { buf: buf.into(), offset: 0, len }
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        **self == **other
+    }
+}
+
+impl Eq for Bytes {}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        (**self).hash(state);
     }
 }
 
@@ -217,5 +258,28 @@ mod tests {
     fn underrun_panics() {
         let mut r: &[u8] = &[1, 2];
         r.get_u32_le();
+    }
+
+    #[test]
+    fn slices_share_the_allocation() {
+        let whole = Bytes::from((0u8..32).collect::<Vec<_>>());
+        let mid = whole.slice(8..24);
+        assert_eq!(&*mid, &(8u8..24).collect::<Vec<_>>()[..]);
+        // A slice of a slice composes offsets.
+        let inner = mid.slice(4..8);
+        assert_eq!(&*inner, &[12, 13, 14, 15]);
+        // Views alias the same backing storage: no bytes were copied.
+        assert!(std::ptr::eq(whole.as_ref().as_ptr(), mid.as_ref().as_ptr().wrapping_sub(8)));
+        // Equality is by viewed contents.
+        assert_eq!(inner, Bytes::copy_from_slice(&[12, 13, 14, 15]));
+        assert_ne!(inner, mid);
+        // Empty slices at the end are fine.
+        assert!(whole.slice(32..32).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "slice end")]
+    fn out_of_bounds_slice_panics() {
+        Bytes::from(vec![1, 2, 3]).slice(0..4);
     }
 }

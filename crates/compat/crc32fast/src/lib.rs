@@ -1,0 +1,97 @@
+//! Offline stand-in for the `crc32fast` crate.
+//!
+//! Implements the IEEE 802.3 CRC-32 (polynomial `0xEDB88320`, the one
+//! used by zlib, PNG and gzip) with a single 256-entry lookup table —
+//! no SIMD specialisations, which the workspace does not need: the
+//! container checksums sections once at pack time and once at load.
+//! The [`Hasher`] surface matches the real crate (`new`/`update`/
+//! `finalize`), plus the [`hash`] one-shot convenience.
+
+/// Streaming CRC-32 hasher.
+#[derive(Clone, Debug, Default)]
+pub struct Hasher {
+    state: u32,
+}
+
+/// Per-byte table for the reflected IEEE polynomial `0xEDB88320`.
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+const TABLE: [u32; 256] = build_table();
+
+impl Hasher {
+    /// A fresh hasher (initial state `0xFFFF_FFFF`, per the standard).
+    pub fn new() -> Hasher {
+        Hasher { state: 0xFFFF_FFFF }
+    }
+
+    /// Feeds `data` into the checksum.
+    pub fn update(&mut self, data: &[u8]) {
+        let mut crc = self.state;
+        for &b in data {
+            crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// The final checksum (final XOR applied).
+    pub fn finalize(self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+/// One-shot CRC-32 of `data`.
+pub fn hash(data: &[u8]) -> u32 {
+    let mut h = Hasher::new();
+    h.update(data);
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check values for CRC-32/ISO-HDLC.
+        assert_eq!(hash(b""), 0);
+        assert_eq!(hash(b"123456789"), 0xCBF4_3926);
+        assert_eq!(hash(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let data: Vec<u8> = (0..=255).cycle().take(4096).collect();
+        let mut h = Hasher::new();
+        for chunk in data.chunks(37) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finalize(), hash(&data));
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_checksum() {
+        let data: Vec<u8> = (0..64).collect();
+        let base = hash(&data);
+        for i in 0..data.len() {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[i] ^= 1 << bit;
+                assert_ne!(hash(&flipped), base, "flip at byte {i} bit {bit} undetected");
+            }
+        }
+    }
+}

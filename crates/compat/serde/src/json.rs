@@ -91,7 +91,11 @@ impl Value {
             Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
             Value::Number(n) => {
                 if n.is_finite() {
-                    if n.fract() == 0.0 && n.abs() < 9.0e15 {
+                    // Negative zero must keep its sign: `-0.0 as i64` is 0,
+                    // and "0" parses back to +0.0 — a bit-level round-trip
+                    // failure the integer fast path would silently cause.
+                    let negative_zero = *n == 0.0 && n.is_sign_negative();
+                    if n.fract() == 0.0 && n.abs() < 9.0e15 && !negative_zero {
                         out.push_str(&format!("{}", *n as i64));
                     } else {
                         out.push_str(&format!("{n}"));
@@ -376,5 +380,60 @@ mod tests {
     fn unicode_escapes() {
         let v = Value::parse(r#""Aé""#).unwrap();
         assert_eq!(v, Value::String("Aé".to_string()));
+    }
+
+    /// The writer and the parser must agree at the edges of the numeric
+    /// domain — the container format's canonical metadata JSON depends on
+    /// write→parse being a bit-level identity for every finite f64.
+    #[test]
+    fn number_roundtrips_at_the_edges() {
+        let edges = [
+            0.0f64,
+            -0.0, // must print "-0", not collapse to "0"
+            1.0,
+            -1.0,
+            i64::MIN as f64,
+            i64::MAX as f64,
+            9.0e15, // first value past the integer fast path
+            8.999999999999998e15,
+            1e-7,
+            -1e-7,
+            1e300,
+            -1e300,
+            1e-300,
+            f64::MAX,
+            f64::MIN,
+            f64::MIN_POSITIVE,
+            f64::EPSILON,
+            0.1,
+            1.5,
+            -2.5e-10,
+        ];
+        for v in edges {
+            let text = Value::Number(v).to_json();
+            let back = Value::parse(&text).unwrap().as_number().unwrap();
+            assert_eq!(
+                back.to_bits(),
+                v.to_bits(),
+                "{v:?} -> {text:?} -> {back:?} is not a bit-level identity"
+            );
+        }
+    }
+
+    #[test]
+    fn negative_zero_keeps_its_sign_on_the_wire() {
+        assert_eq!(Value::Number(-0.0).to_json(), "-0");
+        assert_eq!(Value::Number(0.0).to_json(), "0");
+        let back = Value::parse("-0").unwrap().as_number().unwrap();
+        assert!(back == 0.0 && back.is_sign_negative(), "parsed {back:?}");
+    }
+
+    #[test]
+    fn integer_fast_path_still_prints_integers() {
+        // The -0.0 carve-out must not disturb ordinary integers, which
+        // sorted-key writers print without a trailing ".0".
+        assert_eq!(Value::Number(42.0).to_json(), "42");
+        assert_eq!(Value::Number(-7.0).to_json(), "-7");
+        assert_eq!(Value::Number(2.5).to_json(), "2.5");
     }
 }

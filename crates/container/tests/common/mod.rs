@@ -1,0 +1,79 @@
+//! Shared fixtures: tiny quantized pipelines cheap enough to pack,
+//! serialize and sample inside unit-test budgets.
+
+use fpdq_container::SimPipeline;
+use fpdq_core::calib::{CalibPoint, CalibrationSet};
+use fpdq_core::{quantize_unet, PtqConfig, QuantReport, RoundingConfig};
+use fpdq_data::Tokenizer;
+use fpdq_diffusion::{DdimSim, LdmSim, NoiseSchedule, SdSim};
+use fpdq_nn::{Autoencoder, AutoencoderConfig, TextEncoder, TextEncoderConfig, UNet, UNetConfig};
+use fpdq_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn quantize(unet: &UNet, ctx_dim: Option<usize>, cfg: PtqConfig, rng: &mut StdRng) -> QuantReport {
+    let in_ch = unet.config().in_channels;
+    let points: Vec<CalibPoint> = (0..3)
+        .map(|i| CalibPoint {
+            x: Tensor::randn(&[1, in_ch, 8, 8], rng),
+            t: (i * 4) as f32,
+            ctx: ctx_dim.map(|d| Tensor::randn(&[1, 8, d], rng)),
+        })
+        .collect();
+    let calib = CalibrationSet { init: points.clone(), rl: points };
+    let mut cfg = cfg;
+    cfg.bias_candidates = 9;
+    cfg.rounding = RoundingConfig { iters: 4, batch: 2, ..RoundingConfig::default() };
+    quantize_unet(unet, &calib, &cfg, rng)
+}
+
+pub fn ddim_fixture(cfg: PtqConfig) -> (SimPipeline, QuantReport) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let unet = UNet::new(UNetConfig::tiny(3), &mut rng);
+    let report = quantize(&unet, None, cfg, &mut rng);
+    let p =
+        DdimSim { unet, schedule: NoiseSchedule::linear_scaled(12), channels: 3, image_size: 8 };
+    (SimPipeline::Ddim(p), report)
+}
+
+#[allow(dead_code)] // each test binary uses its own subset of fixtures
+pub fn ldm_fixture(cfg: PtqConfig) -> (SimPipeline, QuantReport) {
+    let mut rng = StdRng::seed_from_u64(8);
+    let ae = Autoencoder::new(AutoencoderConfig::small(3, 4), &mut rng);
+    let unet = UNet::new(UNetConfig::tiny(4), &mut rng);
+    let report = quantize(&unet, None, cfg, &mut rng);
+    let p = LdmSim {
+        ae,
+        unet,
+        schedule: NoiseSchedule::linear_scaled(12),
+        latent_channels: 4,
+        latent_size: 8,
+        latent_scale: 1.5,
+    };
+    (SimPipeline::Ldm(p), report)
+}
+
+#[allow(dead_code)]
+pub fn sd_fixture(cfg: PtqConfig) -> (SimPipeline, QuantReport) {
+    let mut rng = StdRng::seed_from_u64(9);
+    let tokenizer = Tokenizer::caption_grammar();
+    let text = TextEncoder::new(
+        TextEncoderConfig { layers: 1, ..TextEncoderConfig::small(tokenizer.vocab_size(), 8, 8) },
+        &mut rng,
+    );
+    let ae = Autoencoder::new(AutoencoderConfig::small(3, 4), &mut rng);
+    let unet = UNet::new(UNetConfig { context_dim: Some(8), ..UNetConfig::tiny(4) }, &mut rng);
+    let report = quantize(&unet, Some(8), cfg, &mut rng);
+    let p = SdSim {
+        tokenizer,
+        text,
+        ae,
+        unet,
+        schedule: NoiseSchedule::linear_scaled(12),
+        latent_channels: 4,
+        latent_size: 8,
+        latent_scale: 1.5,
+        guidance: 2.0,
+    };
+    (SimPipeline::Sd(p), report)
+}

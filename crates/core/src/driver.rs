@@ -142,6 +142,11 @@ pub struct LayerReport {
     pub act_format: Option<TensorQuantizer>,
     /// Chosen activation quantizer for the skip half (when split).
     pub act_quantizer_skip: Option<String>,
+    /// The chosen skip-half activation quantizer itself (split layers
+    /// only; lets the container rebuild both tap closures). When this is
+    /// set, `act_format` holds the trunk half and the fused-kernel path
+    /// must not consume either.
+    pub act_format_skip: Option<TensorQuantizer>,
     /// Weight sparsity before quantization.
     pub sparsity_before: f32,
     /// Weight sparsity after quantization.
@@ -291,6 +296,7 @@ pub fn quantize_unet(
                     act_quantizer: None,
                     act_format: None,
                     act_quantizer_skip: None,
+                    act_format_skip: None,
                     sparsity_before: w.sparsity(),
                     sparsity_after: 0.0,
                     weight_numel: w.numel(),
@@ -329,6 +335,7 @@ pub fn quantize_unet(
                         act_quantizer: None,
                         act_format: None,
                         act_quantizer_skip: None,
+                        act_format_skip: None,
                         sparsity_before: w.sparsity(),
                         sparsity_after: w.sparsity(),
                         weight_numel: w.numel(),
@@ -368,6 +375,12 @@ pub fn quantize_unet(
                         let qs = search_act(&skip_refs, cfg);
                         rep.act_quantizer = Some(qt.quantizer.describe());
                         rep.act_quantizer_skip = Some(qs.quantizer.describe());
+                        // Record both formats so the container can rebuild
+                        // the taps; the fused-kernel filter in `fpdq-kernels`
+                        // skips layers whose skip tap is populated, so
+                        // setting `act_format` here does not change packing.
+                        rep.act_format = Some(qt.quantizer);
+                        rep.act_format_skip = Some(qs.quantizer);
                         let mut tap = layer.tap().borrow_mut();
                         tap.act_quant = Some(qt.quantizer.into_act_fn());
                         tap.act_quant_skip = Some(qs.quantizer.into_act_fn());

@@ -7,7 +7,7 @@
 //! format's grid, exactly like the paper's fake-quantized evaluation (the
 //! bit-exact packed representation lives in `fpdq-kernels`).
 
-use fpdq_tensor::Tensor;
+use fpdq_tensor::{FpdqError, Tensor};
 
 /// An ExMy floating-point format with flexible exponent bias.
 ///
@@ -45,6 +45,23 @@ impl FpFormat {
         assert!(man_bits <= 10, "man_bits {man_bits} unreasonably large");
         assert!(bias.is_finite(), "bias must be finite");
         FpFormat { exp_bits, man_bits, bias }
+    }
+
+    /// Fallible [`FpFormat::with_bias`] for untrusted inputs (container
+    /// metadata): returns a typed error instead of panicking.
+    pub fn try_with_bias(exp_bits: u32, man_bits: u32, bias: f32) -> Result<Self, FpdqError> {
+        if !(1..=8).contains(&exp_bits) {
+            return Err(FpdqError::corrupt(format!("fp format exp_bits {exp_bits} outside 1..=8")));
+        }
+        if man_bits > 10 {
+            return Err(FpdqError::corrupt(format!(
+                "fp format man_bits {man_bits} outside 0..=10"
+            )));
+        }
+        if !bias.is_finite() {
+            return Err(FpdqError::corrupt(format!("fp format bias {bias} is not finite")));
+        }
+        Ok(FpFormat { exp_bits, man_bits, bias })
     }
 
     /// Exponent bit count.

@@ -2,7 +2,7 @@
 //! Q-Diffusion-class baseline the floating-point method is compared
 //! against.
 
-use fpdq_tensor::Tensor;
+use fpdq_tensor::{FpdqError, Tensor};
 
 /// A calibrated uniform integer format: `b` bits, scale `s`, zero point
 /// `z`, quantizing as
@@ -33,6 +33,25 @@ impl IntFormat {
     /// Builds a format covering a tensor's full min/max range.
     pub fn fit(x: &Tensor, bits: u32) -> Self {
         Self::from_range(bits, x.min(), x.max())
+    }
+
+    /// Rebuilds a format from its raw calibrated parts (untrusted
+    /// container metadata): returns a typed error instead of panicking.
+    pub fn try_from_parts(bits: u32, scale: f32, zero_point: f32) -> Result<Self, FpdqError> {
+        if !(2..=16).contains(&bits) {
+            return Err(FpdqError::corrupt(format!("int format bits {bits} outside 2..=16")));
+        }
+        if !scale.is_finite() || scale <= 0.0 {
+            return Err(FpdqError::corrupt(format!(
+                "int format scale {scale} not finite positive"
+            )));
+        }
+        if !zero_point.is_finite() {
+            return Err(FpdqError::corrupt(format!(
+                "int format zero_point {zero_point} not finite"
+            )));
+        }
+        Ok(IntFormat { bits, scale, zero_point })
     }
 
     /// Bit count.

@@ -178,6 +178,82 @@ pub fn try_install_packed_weight(
         )));
     }
     let w = layer.weight().value();
+    let packed = match format {
+        TensorQuantizer::Fp(fmt) => PackedTensor::Fp(Rc::new(PackedFpTensor::encode(&w, *fmt))),
+        TensorQuantizer::Int(fmt) => PackedTensor::Int(Rc::new(PackedIntTensor::encode(&w, *fmt))),
+    };
+    install_packed(layer, packed, format, act)
+}
+
+/// A prebuilt packed tensor of either numeric family — what the
+/// container loader constructs over its zero-copy payload views and
+/// hands to [`try_install_prebuilt`].
+#[derive(Clone)]
+pub enum PackedTensor {
+    /// Packed ExMy floating point.
+    Fp(Rc<PackedFpTensor>),
+    /// Packed affine integer.
+    Int(Rc<PackedIntTensor>),
+}
+
+impl PackedTensor {
+    /// Logical shape.
+    pub fn dims(&self) -> &[usize] {
+        match self {
+            PackedTensor::Fp(p) => p.dims(),
+            PackedTensor::Int(p) => p.dims(),
+        }
+    }
+
+    /// Packed payload size in bytes.
+    pub fn payload_bytes(&self) -> usize {
+        match self {
+            PackedTensor::Fp(p) => p.payload_bytes(),
+            PackedTensor::Int(p) => p.payload_bytes(),
+        }
+    }
+}
+
+/// Installs an already-built packed tensor into a layer **without
+/// re-encoding** — the container fast path: the payload is a zero-copy
+/// view of the file mapping, so model load skips the whole
+/// quantize-and-pack cost. Shares the fuse/suspend logic of
+/// [`try_install_packed_weight`], and validates that the packed shape
+/// matches the layer before touching any state.
+pub fn try_install_prebuilt(
+    layer: &dyn QuantLayer,
+    packed: PackedTensor,
+    format: &TensorQuantizer,
+    act: Option<&TensorQuantizer>,
+) -> Result<PackedLayerInfo, FpdqError> {
+    if layer.kind() == QuantKind::Conv && layer.conv_spec().is_none() {
+        return Err(FpdqError::missing(format!(
+            "conv layer without spec: {} reports no Conv2dSpec",
+            layer.qname()
+        )));
+    }
+    let w_dims = layer.weight().value().dims().to_vec();
+    if packed.dims() != w_dims {
+        return Err(FpdqError::corrupt(format!(
+            "packed dims {:?} do not match layer {} weight dims {:?}",
+            packed.dims(),
+            layer.qname(),
+            w_dims
+        )));
+    }
+    install_packed(layer, packed, format, act)
+}
+
+/// Shared tail of the two install paths: fuse decision, forward
+/// construction, tap suspension, slot install. Callers have already
+/// validated the conv spec (and, for prebuilt tensors, the shape).
+fn install_packed(
+    layer: &dyn QuantLayer,
+    packed: PackedTensor,
+    format: &TensorQuantizer,
+    act: Option<&TensorQuantizer>,
+) -> Result<PackedLayerInfo, FpdqError> {
+    let w = layer.weight().value();
     let bias = layer.bias().map(|b| b.value());
     let dense_bytes = w.numel() * std::mem::size_of::<f32>();
     // Re-packing an already-packed layer must behave like packing the
@@ -195,24 +271,17 @@ pub fn try_install_packed_weight(
         tap.act_quant.is_some() && tap.act_quant_skip.is_none()
     });
     let pq = fused_act.map(PanelQuantizer::per_tensor);
-    let (payload_bytes, forward): (usize, PackedForwardFn) = match (format, layer.kind()) {
-        (TensorQuantizer::Fp(fmt), QuantKind::Linear) => {
-            let packed = Rc::new(PackedFpTensor::encode(&w, *fmt));
-            (packed.payload_bytes(), linear_forward(packed, bias, w.dims()[0], pq))
-        }
-        (TensorQuantizer::Fp(fmt), QuantKind::Conv) => {
-            let packed = Rc::new(PackedFpTensor::encode(&w, *fmt));
+    let payload_bytes = packed.payload_bytes();
+    let forward: PackedForwardFn = match (packed, layer.kind()) {
+        (PackedTensor::Fp(p), QuantKind::Linear) => linear_forward(p, bias, w.dims()[0], pq),
+        (PackedTensor::Fp(p), QuantKind::Conv) => {
             let spec = layer.conv_spec().expect("conv layer without spec");
-            (packed.payload_bytes(), conv_forward(packed, bias, spec, pq))
+            conv_forward(p, bias, spec, pq)
         }
-        (TensorQuantizer::Int(fmt), QuantKind::Linear) => {
-            let packed = Rc::new(PackedIntTensor::encode(&w, *fmt));
-            (packed.payload_bytes(), linear_forward(packed, bias, w.dims()[0], pq))
-        }
-        (TensorQuantizer::Int(fmt), QuantKind::Conv) => {
-            let packed = Rc::new(PackedIntTensor::encode(&w, *fmt));
+        (PackedTensor::Int(p), QuantKind::Linear) => linear_forward(p, bias, w.dims()[0], pq),
+        (PackedTensor::Int(p), QuantKind::Conv) => {
             let spec = layer.conv_spec().expect("conv layer without spec");
-            (packed.payload_bytes(), conv_forward(packed, bias, spec, pq))
+            conv_forward(p, bias, spec, pq)
         }
     };
     if fused_act.is_some() {

@@ -138,7 +138,10 @@ pub use conv::{
     conv2d_packed, conv2d_packed_fp, conv2d_packed_fused, conv2d_packed_fused_as,
     conv2d_packed_fused_in, conv2d_packed_int,
 };
-pub use exec::{install_packed_weight, pack_unet, unpack_unet, PackReport, PackedLayerInfo};
+pub use exec::{
+    install_packed_weight, pack_unet, try_install_packed_weight, try_install_prebuilt,
+    try_pack_unet, unpack_unet, PackReport, PackedLayerInfo, PackedTensor,
+};
 pub use gemm::{
     gemm_packed, gemm_packed_fp, gemm_packed_fused, gemm_packed_fused_as, gemm_packed_fused_in,
     gemm_packed_int,

@@ -30,10 +30,10 @@
 //! ([`PackedFpTensor::decode_range_into`]) to stream packed weights into
 //! caller-owned scratch.
 
-use bytes::{BufMut, BytesMut};
+use bytes::{BufMut, Bytes, BytesMut};
 use fpdq_core::{FpFormat, IntFormat};
 use fpdq_tensor::simd::{self, Isa};
-use fpdq_tensor::Tensor;
+use fpdq_tensor::{FpdqError, Tensor};
 
 // ---------------------------------------------------------------------------
 // Bit packing
@@ -532,7 +532,10 @@ fn nearest_index(sorted: &[f32], v: f32) -> usize {
 pub struct PackedFpTensor {
     format: FpFormat,
     dims: Vec<usize>,
-    bytes: Vec<u8>,
+    /// Packed codes as a refcounted [`Bytes`] view — [`Self::encode`]
+    /// owns a fresh buffer, [`Self::from_parts`] borrows a window of a
+    /// shared container mapping (zero copy, zero decode).
+    bytes: Bytes,
     /// Non-negative value table indexed by magnitude code.
     table: Vec<f32>,
     /// Per-byte signed decode LUT (empty unless `total_bits` ∈ {4, 8}).
@@ -545,6 +548,37 @@ impl PackedFpTensor {
         let table = format.enumerate_non_negative();
         let encoder = FpEncoder::new(format, &table);
         let codes: Vec<u16> = x.data().iter().map(|&v| encoder.encode_scalar(v)).collect();
+        let payload: Bytes = pack_bits(&codes, format.total_bits()).into();
+        // Route through `from_parts` so encode-then-store and
+        // load-from-container build their tables through the exact same
+        // code path (bit-identity by construction).
+        Self::from_parts(format, x.dims().to_vec(), payload)
+            .expect("encode produces an exact-length payload")
+    }
+
+    /// Rebuilds a packed tensor around an existing payload (a zero-copy
+    /// window of a container mapping) — the value table and decode LUT
+    /// are regenerated deterministically from `format`, so decodes are
+    /// bit-identical to the [`Self::encode`] that produced the payload.
+    ///
+    /// Returns a typed error if the payload length does not match
+    /// `dims`/`format` exactly; payload *content* needs no validation
+    /// (every code decodes to some table value).
+    pub fn from_parts(
+        format: FpFormat,
+        dims: Vec<usize>,
+        payload: Bytes,
+    ) -> Result<Self, FpdqError> {
+        let numel: usize = dims.iter().product();
+        let want = (numel * format.total_bits() as usize).div_ceil(8);
+        if payload.len() != want {
+            return Err(FpdqError::corrupt(format!(
+                "fp payload length {} != expected {want} for dims {dims:?} at {}",
+                payload.len(),
+                format.name()
+            )));
+        }
+        let table = format.enumerate_non_negative();
         let mag_bits = format.exp_bits() + format.man_bits();
         let byte_lut = build_byte_lut(format.total_bits(), |code| {
             let v = table[(code & ((1 << mag_bits) - 1)) as usize];
@@ -554,13 +588,12 @@ impl PackedFpTensor {
                 v
             }
         });
-        PackedFpTensor {
-            format,
-            dims: x.dims().to_vec(),
-            bytes: pack_bits(&codes, format.total_bits()),
-            table,
-            byte_lut,
-        }
+        Ok(PackedFpTensor { format, dims, bytes: payload, table, byte_lut })
+    }
+
+    /// The packed payload (zero-copy clone of the backing view).
+    pub fn payload(&self) -> Bytes {
+        self.bytes.clone()
     }
 
     /// The storage format.
@@ -691,7 +724,9 @@ impl PackedFpTensor {
 pub struct PackedIntTensor {
     format: IntFormat,
     dims: Vec<usize>,
-    bytes: Vec<u8>,
+    /// Packed levels as a refcounted [`Bytes`] view (see
+    /// [`PackedFpTensor::from_parts`] for the sharing story).
+    bytes: Bytes,
     /// Per-byte decode LUT (empty unless `bits` ∈ {4, 8}).
     byte_lut: Vec<f32>,
 }
@@ -717,13 +752,36 @@ impl PackedIntTensor {
                 }
             })
             .collect();
-        let lut = build_byte_lut(format.bits(), |c| format.scale() * (f32::from(c) - zp));
-        PackedIntTensor {
-            format,
-            dims: x.dims().to_vec(),
-            bytes: pack_bits(&codes, format.bits()),
-            byte_lut: lut,
+        let payload: Bytes = pack_bits(&codes, format.bits()).into();
+        Self::from_parts(format, x.dims().to_vec(), payload)
+            .expect("encode produces an exact-length payload")
+    }
+
+    /// Rebuilds a packed tensor around an existing payload (see
+    /// [`PackedFpTensor::from_parts`]); the decode LUT is regenerated
+    /// deterministically from `format`.
+    pub fn from_parts(
+        format: IntFormat,
+        dims: Vec<usize>,
+        payload: Bytes,
+    ) -> Result<Self, FpdqError> {
+        let numel: usize = dims.iter().product();
+        let want = (numel * format.bits() as usize).div_ceil(8);
+        if payload.len() != want {
+            return Err(FpdqError::corrupt(format!(
+                "int payload length {} != expected {want} for dims {dims:?} at INT{}",
+                payload.len(),
+                format.bits()
+            )));
         }
+        let zp = format.zero_point();
+        let lut = build_byte_lut(format.bits(), |c| format.scale() * (f32::from(c) - zp));
+        Ok(PackedIntTensor { format, dims, bytes: payload, byte_lut: lut })
+    }
+
+    /// The packed payload (zero-copy clone of the backing view).
+    pub fn payload(&self) -> Bytes {
+        self.bytes.clone()
     }
 
     /// The storage format.

@@ -168,7 +168,7 @@ impl Deserialize for ErrorBody {
 /// `GET /healthz` body: liveness counters plus the lifecycle state.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Healthz {
-    /// `starting` | `ready` | `draining` | `stopped`.
+    /// `starting` | `ready` | `failed` | `draining` | `stopped`.
     pub state: String,
     /// Requests currently inside the step loop.
     pub active: u64,
@@ -216,6 +216,35 @@ impl Deserialize for Healthz {
             failed: u64::from_value(required(value, "failed")?)?,
             evicted: u64::from_value(required(value, "evicted")?)?,
             rejected: u64::from_value(required(value, "rejected")?)?,
+        })
+    }
+}
+
+/// `GET /metrics` body: the full [`Healthz`] counter set (flattened on
+/// the wire) plus the boot error of a [`failed`](Healthz::state) server.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Metrics {
+    /// Lifecycle state and every `ServeShared` counter.
+    pub health: Healthz,
+    /// Why the model never came up (`state == "failed"` only).
+    pub boot_error: Option<String>,
+}
+
+impl Serialize for Metrics {
+    fn to_value(&self) -> Value {
+        let Value::Object(mut fields) = self.health.to_value() else {
+            unreachable!("Healthz serializes to an object")
+        };
+        fields.insert("boot_error".to_string(), self.boot_error.to_value());
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for Metrics {
+    fn from_value(value: &Value) -> Result<Self, JsonError> {
+        Ok(Metrics {
+            health: Healthz::from_value(value)?,
+            boot_error: optional(value, "boot_error")?,
         })
     }
 }
@@ -277,5 +306,34 @@ mod tests {
         };
         let back: ErrorBody = serde_json::from_str(&serde_json::to_string(&err).unwrap()).unwrap();
         assert_eq!(back, err);
+    }
+
+    #[test]
+    fn metrics_roundtrip_carries_the_boot_error() {
+        let m = Metrics {
+            health: Healthz {
+                state: "failed".to_string(),
+                active: 0,
+                queued: 0,
+                steps: 0,
+                ticks: 3,
+                completed: 0,
+                failed: 0,
+                evicted: 0,
+                rejected: 2,
+            },
+            boot_error: Some("container is corrupt".to_string()),
+        };
+        let text = serde_json::to_string(&m).unwrap();
+        // Flattened: the counters and the boot error share one object.
+        assert!(text.contains(r#""ticks":3"#), "{text}");
+        assert!(text.contains(r#""boot_error":"container is corrupt""#), "{text}");
+        let back: Metrics = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, m);
+        // A healthy server reports null without losing the field.
+        let healthy = Metrics { boot_error: None, ..m };
+        let back: Metrics =
+            serde_json::from_str(&serde_json::to_string(&healthy).unwrap()).unwrap();
+        assert_eq!(back, healthy);
     }
 }

@@ -55,12 +55,19 @@
 //! | decode/finish panic            | that request                    | 500 `engine_panic`  |
 //! | shutdown begun                 | new + queued requests           | 503 `draining`      |
 //! | handler panic in the HTTP layer| that connection                 | 500 (from `hyper`)  |
+//! | model fails to load (missing / corrupt container, builder panic) | every request, but the process stays alive | 500 `model_unavailable`; `/readyz` 503 with the boot error |
 //!
 //! The scheduler thread itself never dies: every engine interaction runs
 //! under `catch_unwind`, and `/healthz` exposes monotone `ticks`/`steps`
-//! counters so a wedged loop is observable. Lifecycle:
-//! `starting → ready → draining → stopped`, probed via `/readyz` (200
-//! only when `ready`) and flipped via `POST /admin/shutdown`.
+//! counters so a wedged loop is observable (`/metrics` adds the boot
+//! error to the same counters). Lifecycle:
+//! `starting → ready | failed → draining → stopped`, probed via
+//! `/readyz` (200 only when `ready`) and flipped via
+//! `POST /admin/shutdown`. Models come from the [`registry`]: a name
+//! (`tiny`, zoo pipelines) or a path to a `.fpdq` container written by
+//! `fpdq pack` — hot-swapping a model is restarting the server with a
+//! different `--model`, and a bad artifact degrades to `failed` instead
+//! of killing the process.
 //!
 //! # Fault injection
 //!
@@ -73,11 +80,13 @@
 pub mod api;
 pub mod client;
 pub mod fault;
+pub mod registry;
 pub mod scheduler;
 pub mod server;
 pub mod shared;
 
 pub use fault::FaultPlan;
+pub use registry::{resolve, ModelBuilder, MODEL_NAMES};
 pub use scheduler::{Job, ReqError, ServeModel};
 pub use server::{serve, ServeConfig, ServerHandle};
 pub use shared::{ServeShared, ServerState};

@@ -242,6 +242,35 @@ pub fn run(
     shared.advance_state(ServerState::Stopped);
 }
 
+/// The degraded loop a server runs when the model never came up: stays
+/// alive answering every request with a typed `model_unavailable` error
+/// (so probes and operators can see *why*) until a drain is requested,
+/// then stops exactly like the healthy loop. The heartbeat `ticks`
+/// counter keeps advancing — a failed server is degraded, not wedged.
+pub fn run_degraded(mut queue: mpsc::Receiver<Job>, shared: Arc<ServeShared>, reason: String) {
+    loop {
+        shared.ticks.fetch_add(1, Ordering::SeqCst);
+        if shared.state() >= ServerState::Draining {
+            break;
+        }
+        while let Some(job) = queue.blocking_recv_timeout(IDLE_POLL) {
+            shared.queued.fetch_sub(1, Ordering::SeqCst);
+            shared.rejected.fetch_add(1, Ordering::SeqCst);
+            let _ = job.respond.send(Err(ReqError::new(
+                500,
+                "model_unavailable",
+                format!("model failed to load: {reason}"),
+            )));
+        }
+    }
+    queue.close();
+    while let Some(job) = queue.try_recv() {
+        shared.queued.fetch_sub(1, Ordering::SeqCst);
+        let _ = job.respond.send(Err(ReqError::new(503, "draining", "server is draining")));
+    }
+    shared.advance_state(ServerState::Stopped);
+}
+
 /// Validates and admits one job (or answers it with a typed error).
 fn admit(model: &dyn ServeModel, job: Job, active: &mut Vec<ActiveReq>) {
     if job.deadline.is_some_and(|d| Instant::now() >= d) {

@@ -4,6 +4,7 @@ use crate::api::{pixels_to_hex, ErrorBody, GenerateRequest, GenerateResponse};
 use crate::fault::FaultPlan;
 use crate::scheduler::{self, Job, ReqError, SchedulerConfig, ServeModel};
 use crate::shared::{ServeShared, ServerState};
+use fpdq_tensor::FpdqError;
 use hyper::{service_fn, Request, Response, ResponseFuture, Server};
 use serde::Serialize;
 use std::net::SocketAddr;
@@ -89,9 +90,15 @@ impl ServerHandle {
 /// U-Net's packed slots hold `Rc`s, so the model itself is `!Send` and
 /// only a builder closure can cross the thread boundary. Until `build`
 /// returns, probes report `starting` and `/readyz` fails.
+///
+/// A builder that returns `Err` (or panics) does **not** kill the
+/// server: the lifecycle advances to [`ServerState::Failed`], `/readyz`
+/// keeps failing with the boot error, and every request gets a typed
+/// `500 model_unavailable` until the server is drained — a corrupt or
+/// missing model artifact degrades the process instead of crashing it.
 pub fn serve<F>(cfg: ServeConfig, build: F) -> std::io::Result<ServerHandle>
 where
-    F: FnOnce() -> Box<dyn ServeModel> + Send + 'static,
+    F: FnOnce() -> Result<Box<dyn ServeModel>, FpdqError> + Send + 'static,
 {
     let server = Server::bind(&cfg.addr)?;
     let addr = server.local_addr();
@@ -103,9 +110,29 @@ where
     let scheduler = std::thread::Builder::new()
         .name("fpdq-scheduler".into())
         .spawn(move || {
-            let model = build();
-            sched_shared.advance_state(ServerState::Ready);
-            scheduler::run(model, rx, sched_shared, sched_cfg);
+            // A panicking builder is a boot failure too, not a dead
+            // thread — route it through the same degraded path as a
+            // typed load error.
+            let built = std::panic::catch_unwind(std::panic::AssertUnwindSafe(build))
+                .unwrap_or_else(|payload| {
+                    let detail = payload
+                        .downcast_ref::<&str>()
+                        .copied()
+                        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+                        .unwrap_or("non-string panic payload");
+                    Err(FpdqError::corrupt(format!("model builder panicked: {detail}")))
+                });
+            match built {
+                Ok(model) => {
+                    sched_shared.advance_state(ServerState::Ready);
+                    scheduler::run(model, rx, sched_shared, sched_cfg);
+                }
+                Err(e) => {
+                    let reason = e.to_string();
+                    sched_shared.fail_boot(&reason);
+                    scheduler::run_degraded(rx, sched_shared, reason);
+                }
+            }
         })
         .expect("cannot spawn scheduler thread");
 
@@ -143,12 +170,19 @@ async fn route(
 ) -> Response {
     match (req.method(), req.path()) {
         ("GET", "/healthz") => json_response(200, &shared.healthz()),
+        ("GET", "/metrics") => json_response(200, &shared.metrics()),
         ("GET", "/readyz") => {
             let state = shared.state();
-            if state == ServerState::Ready {
-                json_response(200, &shared.healthz())
-            } else {
-                error_response(503, "not_ready", format!("server is {}", state.name()))
+            match state {
+                ServerState::Ready => json_response(200, &shared.healthz()),
+                // Readiness of a failed server reports *why* the model
+                // never came up, not just that it didn't.
+                ServerState::Failed => {
+                    let reason =
+                        shared.boot_error().unwrap_or_else(|| "model failed to load".to_string());
+                    error_response(503, "model_unavailable", reason)
+                }
+                _ => error_response(503, "not_ready", format!("server is {}", state.name())),
             }
         }
         ("POST", "/v1/generate") => generate(req, shared, tx, default_deadline_ms).await,
@@ -158,7 +192,7 @@ async fn route(
             shared.advance_state(ServerState::Draining);
             json_response(202, &shared.healthz())
         }
-        (_, "/healthz" | "/readyz" | "/v1/generate" | "/admin/shutdown") => {
+        (_, "/healthz" | "/metrics" | "/readyz" | "/v1/generate" | "/admin/shutdown") => {
             error_response(405, "method_not_allowed", format!("{} not allowed here", req.method()))
         }
         _ => error_response(404, "not_found", format!("no route for {}", req.path())),
@@ -184,6 +218,17 @@ async fn generate(
             return error_response(503, "not_ready", "server is starting");
         }
         ServerState::Ready => {}
+        ServerState::Failed => {
+            // Answer directly: the degraded scheduler would give the same
+            // typed error, but the fast path spares the queue round-trip.
+            let reason = shared.boot_error().unwrap_or_else(|| "model failed to load".to_string());
+            shared.rejected.fetch_add(1, Ordering::SeqCst);
+            return error_response(
+                500,
+                "model_unavailable",
+                format!("model failed to load: {reason}"),
+            );
+        }
         state => {
             return error_response(503, "draining", format!("server is {}", state.name()));
         }

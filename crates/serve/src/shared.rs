@@ -3,9 +3,13 @@
 
 use crate::api::Healthz;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Mutex;
 
-/// Server lifecycle: `Starting → Ready → Draining → Stopped` (ordered —
-/// the state machine only moves forward).
+/// Server lifecycle: `Starting → Ready | Failed → Draining → Stopped`
+/// (ordered — the state machine only moves forward). `Failed` means the
+/// model never came up: the server stays alive in degraded mode (probes
+/// answer, requests get typed 500s) until drained, so an operator sees
+/// *why* instead of a dead process.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 #[repr(u8)]
 pub enum ServerState {
@@ -13,10 +17,12 @@ pub enum ServerState {
     Starting = 0,
     /// Accepting and serving requests.
     Ready = 1,
+    /// Model construction failed; serving typed errors, never images.
+    Failed = 2,
     /// Rejecting new requests, finishing in-flight ones.
-    Draining = 2,
+    Draining = 3,
     /// Scheduler loop exited.
-    Stopped = 3,
+    Stopped = 4,
 }
 
 impl ServerState {
@@ -25,6 +31,7 @@ impl ServerState {
         match self {
             ServerState::Starting => "starting",
             ServerState::Ready => "ready",
+            ServerState::Failed => "failed",
             ServerState::Draining => "draining",
             ServerState::Stopped => "stopped",
         }
@@ -34,7 +41,8 @@ impl ServerState {
         match v {
             0 => ServerState::Starting,
             1 => ServerState::Ready,
-            2 => ServerState::Draining,
+            2 => ServerState::Failed,
+            3 => ServerState::Draining,
             _ => ServerState::Stopped,
         }
     }
@@ -45,6 +53,9 @@ impl ServerState {
 #[derive(Debug, Default)]
 pub struct ServeShared {
     state: AtomicU8,
+    /// Why the model never came up (set exactly once, before the state
+    /// advances to [`ServerState::Failed`]).
+    boot_error: Mutex<Option<String>>,
     /// Requests enqueued but not yet admitted.
     pub queued: AtomicU64,
     /// Requests inside the step loop.
@@ -74,6 +85,25 @@ impl ServeShared {
     /// must not resurrect a `Stopped` server).
     pub fn advance_state(&self, state: ServerState) {
         self.state.fetch_max(state as u8, Ordering::SeqCst);
+    }
+
+    /// Records a failed boot: stores the reason *then* advances to
+    /// [`ServerState::Failed`], so any reader that observes the state also
+    /// sees the message.
+    pub fn fail_boot(&self, reason: impl Into<String>) {
+        *self.boot_error.lock().expect("boot_error lock") = Some(reason.into());
+        self.advance_state(ServerState::Failed);
+    }
+
+    /// The boot failure message, if the model never came up.
+    pub fn boot_error(&self) -> Option<String> {
+        self.boot_error.lock().expect("boot_error lock").clone()
+    }
+
+    /// Snapshot for `/metrics`: every counter plus the lifecycle state
+    /// and the boot error (when the model never came up).
+    pub fn metrics(&self) -> crate::api::Metrics {
+        crate::api::Metrics { health: self.healthz(), boot_error: self.boot_error() }
     }
 
     /// Snapshot for `/healthz`.
@@ -107,5 +137,22 @@ mod tests {
         assert_eq!(s.state(), ServerState::Draining);
         s.advance_state(ServerState::Stopped);
         assert_eq!(s.state(), ServerState::Stopped);
+    }
+
+    #[test]
+    fn failed_boot_sets_reason_and_still_drains_forward() {
+        let s = ServeShared::default();
+        assert_eq!(s.boot_error(), None);
+        s.fail_boot("no such model");
+        assert_eq!(s.state(), ServerState::Failed);
+        assert_eq!(s.boot_error().as_deref(), Some("no such model"));
+        // A failed server can never be resurrected to ready...
+        s.advance_state(ServerState::Ready);
+        assert_eq!(s.state(), ServerState::Failed);
+        // ...but it drains and stops like any other.
+        s.advance_state(ServerState::Draining);
+        s.advance_state(ServerState::Stopped);
+        assert_eq!(s.state(), ServerState::Stopped);
+        assert_eq!(s.metrics().boot_error.as_deref(), Some("no such model"));
     }
 }

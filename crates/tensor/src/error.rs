@@ -20,6 +20,14 @@ pub enum FpdqError {
     InvalidArgument(String),
     /// A required input was not provided.
     MissingInput(String),
+    /// An operating-system I/O failure (open, read, write, rename).
+    Io(String),
+    /// Untrusted bytes failed validation: bad magic, checksum mismatch,
+    /// truncation, out-of-bounds offsets, or malformed metadata.
+    Corrupt(String),
+    /// Well-formed input the running build cannot handle (e.g. a newer
+    /// container format version).
+    Unsupported(String),
 }
 
 impl FpdqError {
@@ -37,6 +45,21 @@ impl FpdqError {
     pub fn missing(msg: impl Into<String>) -> FpdqError {
         FpdqError::MissingInput(msg.into())
     }
+
+    /// A [`FpdqError::Io`] with `msg`.
+    pub fn io(msg: impl Into<String>) -> FpdqError {
+        FpdqError::Io(msg.into())
+    }
+
+    /// A [`FpdqError::Corrupt`] with `msg`.
+    pub fn corrupt(msg: impl Into<String>) -> FpdqError {
+        FpdqError::Corrupt(msg.into())
+    }
+
+    /// A [`FpdqError::Unsupported`] with `msg`.
+    pub fn unsupported(msg: impl Into<String>) -> FpdqError {
+        FpdqError::Unsupported(msg.into())
+    }
 }
 
 impl fmt::Display for FpdqError {
@@ -47,7 +70,10 @@ impl fmt::Display for FpdqError {
         match self {
             FpdqError::ShapeMismatch(m)
             | FpdqError::InvalidArgument(m)
-            | FpdqError::MissingInput(m) => f.write_str(m),
+            | FpdqError::MissingInput(m)
+            | FpdqError::Io(m)
+            | FpdqError::Corrupt(m)
+            | FpdqError::Unsupported(m) => f.write_str(m),
         }
     }
 }

@@ -1,23 +1,35 @@
 #!/usr/bin/env python3
 """Serve-layer smoke for CI.
 
-Boots ``fpdq serve`` on the zoo-free tiny model with an armed fault plan,
-drives concurrent requests — one of which opts into the injected engine
-panic — and asserts the robustness contract from the outside:
+Three phases, each asserting a robustness contract from the outside:
 
-* the server process never dies, even while its engine panics;
-* the faulted request gets a typed ``engine_panic`` error, the rest
-  complete with pixel payloads;
-* ``/healthz`` flips ready -> draining -> stopped across a graceful
-  shutdown and the process exits 0.
+1. **Fault injection**: boots ``fpdq serve`` on the zoo-free tiny model
+   with an armed fault plan and drives concurrent requests — one of
+   which opts into the injected engine panic. The server never dies, the
+   faulted request gets a typed ``engine_panic`` error, the rest
+   complete with pixel payloads, and ``/healthz`` flips
+   ready -> draining -> stopped across a graceful shutdown (exit 0).
+
+2. **Container round trip**: ``fpdq pack --model tiny --verify`` writes
+   and re-validates a ``.fpdq`` container, ``fpdq generate`` samples
+   from it without re-quantizing, and ``fpdq serve --model <path>``
+   serves it (ready ``/readyz``, 200 generations, ``/metrics``).
+
+3. **Corruption guards**: truncated and bit-flipped copies of that
+   container make ``fpdq generate`` exit 1 with a typed error and no
+   output file, and leave ``fpdq serve`` alive-but-degraded: failing
+   ``/readyz``, typed 500s on generate, nonzero exit after shutdown.
 
 Usage: ``python3 scripts/serve_smoke.py [path/to/fpdq]``
 """
 
 import json
+import os
 import re
+import shutil
 import subprocess
 import sys
+import tempfile
 import threading
 import time
 import urllib.error
@@ -38,38 +50,46 @@ def http(method, url, body=None):
         return e.code, json.load(e)
 
 
-def main():
+def boot_server(extra_args=(), env_extra=None):
+    """Starts ``fpdq serve`` and returns (proc, base_url)."""
     proc = subprocess.Popen(
-        [BINARY, "serve", "--port", "0", "--max-batch", "4"],
+        [BINARY, "serve", "--port", "0", "--max-batch", "4", *extra_args],
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
         text=True,
-        env={**__import__("os").environ, "FPDQ_FAULT": "panic:boom@1"},
+        env={**os.environ, **(env_extra or {})},
     )
-    try:
-        # The CLI resolves --port 0 and prints the bound address (after
-        # the fault-armed banner).
-        m = None
-        for _ in range(10):
-            line = proc.stdout.readline()
-            m = re.search(r"listening on (http://\S+)", line)
-            if m:
-                break
-        assert m, f"no listen line, last got: {line!r}"
-        base = m.group(1)
-        print(f"serving at {base}")
+    # The CLI resolves --port 0 and prints the bound address (after any
+    # banner lines).
+    m = line = None
+    for _ in range(10):
+        line = proc.stdout.readline()
+        m = re.search(r"listening on (http://\S+)", line)
+        if m:
+            break
+    assert m, f"no listen line, last got: {line!r}"
+    return proc, m.group(1)
 
-        deadline = time.time() + 60
-        while True:
-            assert proc.poll() is None, "server died during startup"
-            assert time.time() < deadline, "server never became ready"
-            try:
-                status, health = http("GET", f"{base}/readyz")
-                if status == 200:
-                    break
-            except OSError:
-                pass
-            time.sleep(0.1)
+
+def wait_ready(proc, base):
+    deadline = time.time() + 60
+    while True:
+        assert proc.poll() is None, "server died during startup"
+        assert time.time() < deadline, "server never became ready"
+        try:
+            status, health = http("GET", f"{base}/readyz")
+            if status == 200:
+                return health
+        except OSError:
+            pass
+        time.sleep(0.1)
+
+
+def fault_injection_smoke():
+    proc, base = boot_server(env_extra={"FPDQ_FAULT": "panic:boom@1"})
+    try:
+        print(f"serving at {base}")
+        health = wait_ready(proc, base)
         assert health["state"] == "ready", health
 
         # Concurrent traffic: REQUESTS healthy seeds plus one request that
@@ -111,6 +131,13 @@ def main():
         assert health["completed"] == REQUESTS, health
         assert health["failed"] == 1, health
 
+        # The counters are also exported on /metrics, with the boot error
+        # slot empty on a healthy boot.
+        status, metrics = http("GET", f"{base}/metrics")
+        assert status == 200, (status, metrics)
+        assert metrics["completed"] == REQUESTS, metrics
+        assert metrics.get("boot_error") is None, metrics
+
         # Graceful shutdown: draining on the wire, stopped in the exit.
         status, health = http("POST", f"{base}/admin/shutdown", b"")
         assert status == 202, (status, health)
@@ -126,6 +153,138 @@ def main():
     finally:
         if proc.poll() is None:
             proc.kill()
+
+
+def pack_container(tmp):
+    """Packs the tiny model with full verification; returns the path."""
+    container = os.path.join(tmp, "tiny_fp8.fpdq")
+    out = subprocess.run(
+        [BINARY, "pack", "--model", "tiny", "--config", "fp8",
+         "--out", container, "--verify"],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert out.returncode == 0, (out.returncode, out.stdout, out.stderr)
+    assert "verify OK" in out.stdout, out.stdout
+    assert os.path.getsize(container) > 0
+    print(f"pack smoke OK: {container} ({os.path.getsize(container)} bytes)")
+    return container
+
+
+def container_roundtrip_smoke(tmp, container):
+    # Offline sampling from the container: no calibration, no
+    # re-quantization, just load + generate.
+    out_dir = os.path.join(tmp, "gen")
+    out = subprocess.run(
+        [BINARY, "generate", "--model", container, "--count", "1",
+         "--batch", "1", "--out", out_dir],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert out.returncode == 0, (out.returncode, out.stdout, out.stderr)
+    ppm = os.path.join(out_dir, "tiny_fp8_packed.ppm")
+    assert os.path.getsize(ppm) > 0, os.listdir(out_dir)
+
+    # Serving from the container.
+    proc, base = boot_server(extra_args=["--model", container])
+    try:
+        health = wait_ready(proc, base)
+        assert health["state"] == "ready", health
+        status, body = http(
+            "POST", f"{base}/v1/generate",
+            json.dumps({"seed": 7, "steps": STEPS}).encode(),
+        )
+        assert status == 200, (status, body)
+        assert len(body["pixels_hex"]) == 1 * 3 * 8 * 8 * 8, body
+        status, metrics = http("GET", f"{base}/metrics")
+        assert status == 200 and metrics["state"] == "ready", metrics
+        status, health = http("POST", f"{base}/admin/shutdown", b"")
+        assert status == 202, (status, health)
+        proc.wait(timeout=30)
+        assert proc.returncode == 0, (proc.returncode, proc.stdout.read())
+        print("container round-trip OK: pack -> generate -> serve, all green")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+
+
+def corrupt_copies(tmp, container):
+    """Returns (truncated, bit_flipped) copies of the container."""
+    data = open(container, "rb").read()
+    truncated = os.path.join(tmp, "truncated.fpdq")
+    with open(truncated, "wb") as f:
+        f.write(data[: len(data) // 2])
+    flipped = os.path.join(tmp, "flipped.fpdq")
+    body = bytearray(data)
+    body[len(body) // 2] ^= 0x40  # one bit, deep in a payload section
+    with open(flipped, "wb") as f:
+        f.write(bytes(body))
+    return truncated, flipped
+
+
+def corruption_guard_smoke(tmp, container):
+    truncated, flipped = corrupt_copies(tmp, container)
+
+    # CLI guard: generate on a corrupt container is a typed error, exit
+    # 1, and no output file is ever written.
+    for name, bad in (("truncated", truncated), ("bit-flipped", flipped)):
+        out_dir = os.path.join(tmp, f"gen-{name}")
+        out = subprocess.run(
+            [BINARY, "generate", "--model", bad, "--count", "1", "--out", out_dir],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert out.returncode == 1, (name, out.returncode, out.stdout, out.stderr)
+        assert "cannot load container" in out.stderr, (name, out.stderr)
+        assert "container" in out.stderr, (name, out.stderr)
+        assert not os.path.exists(out_dir), f"{name}: output written on failure"
+        print(f"corruption guard OK ({name}): exit 1, typed error, no output")
+
+    # Serve guard: a corrupt --model leaves the process alive and
+    # probeable — failing /readyz with the boot reason, typed 500s on
+    # generate — and the exit code after shutdown is nonzero.
+    proc, base = boot_server(extra_args=["--model", truncated])
+    try:
+        deadline = time.time() + 60
+        while True:
+            assert proc.poll() is None, "server died instead of degrading"
+            assert time.time() < deadline, "server never reported the boot failure"
+            status, body = http("GET", f"{base}/readyz")
+            if status == 503 and body.get("code") == "model_unavailable":
+                break
+            time.sleep(0.1)
+        assert "container" in body["error"], body
+        status, body = http(
+            "POST", f"{base}/v1/generate",
+            json.dumps({"seed": 1, "steps": STEPS}).encode(),
+        )
+        assert status == 500 and body["code"] == "model_unavailable", (status, body)
+        status, metrics = http("GET", f"{base}/metrics")
+        assert status == 200 and metrics["state"] == "failed", metrics
+        assert metrics["boot_error"], metrics
+        status, health = http("POST", f"{base}/admin/shutdown", b"")
+        assert status == 202, (status, health)
+        proc.wait(timeout=30)
+        tail = proc.stdout.read()
+        assert proc.returncode != 0, (proc.returncode, tail)
+        print("corruption guard OK (serve): degraded-but-alive, nonzero exit")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+
+
+def main():
+    fault_injection_smoke()
+    tmp = tempfile.mkdtemp(prefix="fpdq-smoke-")
+    try:
+        container = pack_container(tmp)
+        container_roundtrip_smoke(tmp, container)
+        corruption_guard_smoke(tmp, container)
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
 
 
 if __name__ == "__main__":

@@ -34,6 +34,7 @@ fn main() -> ExitCode {
         "evaluate" => evaluate_cmd(&opts),
         "sparsity" => sparsity(&opts),
         "characterize" => characterize(),
+        "pack" => pack_cmd(&opts),
         "serve" => serve_cmd(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -58,7 +59,9 @@ COMMANDS:
   evaluate      --model <...> --config <...> [--count N] [--batch N] [--packed]
   sparsity      --model <...> [--config <...>]
   characterize                   roofline latency + memory of an SD-scale U-Net
-  serve         [--model <tiny|ddim|ldm>] [--addr HOST] [--port N]
+  pack          --model <...> --config <...> --out FILE.fpdq [--verify]
+                quantize once and write a checksummed .fpdq container
+  serve         [--model <name|FILE.fpdq>] [--addr HOST] [--port N]
                 [--max-batch N] [--queue-depth N] [--deadline-ms N]
   help                           this message
 
@@ -70,9 +73,20 @@ FLAGS:
                 batch size; larger batches amortise the packed engine's
                 per-step weight decode across the batch
 
+PACK FLAGS:
+  --model M     tiny (fixed-seed, no training) or a zoo pipeline
+                (ddim, ldm, sd, sdxl — first run trains and caches)
+  --out FILE    target path; the write is atomic (temp + fsync + rename)
+  --verify      re-open the written file, fully validate it (checksums,
+                metadata) and bit-compare a one-step generation against
+                the in-process model before exiting 0
+
 SERVE FLAGS:
   --model M        tiny (default; fixed-seed, no training), ddim or ldm
-                   (trained zoo pipelines — first run trains and caches)
+                   (trained zoo pipelines — first run trains and caches),
+                   or a path to a .fpdq container from `fpdq pack`; a
+                   missing/corrupt container keeps the server alive in a
+                   degraded state (failed /readyz, typed 500s)
   --addr HOST      bind host (default 127.0.0.1)
   --port N         bind port (default 8321; 0 picks an ephemeral port)
   --max-batch N    batch-size cap per engine step (default 4)
@@ -189,6 +203,22 @@ impl Pipeline {
         }
     }
 
+    fn into_sim(self) -> fpdq::container::SimPipeline {
+        match self {
+            Pipeline::Ddim(p) => fpdq::container::SimPipeline::Ddim(p),
+            Pipeline::Ldm(p) => fpdq::container::SimPipeline::Ldm(p),
+            Pipeline::Sd(p) => fpdq::container::SimPipeline::Sd(p),
+        }
+    }
+
+    fn from_sim(sim: fpdq::container::SimPipeline) -> Pipeline {
+        match sim {
+            fpdq::container::SimPipeline::Ddim(p) => Pipeline::Ddim(p),
+            fpdq::container::SimPipeline::Ldm(p) => Pipeline::Ldm(p),
+            fpdq::container::SimPipeline::Sd(p) => Pipeline::Sd(p),
+        }
+    }
+
     fn unet(&self) -> &UNet {
         match self {
             Pipeline::Ddim(p) => &p.unet,
@@ -263,9 +293,17 @@ impl Pipeline {
 
     fn generate(&self, count: usize, prompt: Option<&str>, seed: u64, batch: usize) -> Tensor {
         let mut rng = StdRng::seed_from_u64(seed);
+        // Clamp to the schedule: container-loaded models may carry
+        // shorter schedules than the zoo defaults.
         match self {
-            Pipeline::Ddim(p) => p.generate_batched(count, 25, batch, &mut rng),
-            Pipeline::Ldm(p) => p.generate_batched(count, 25, batch, &mut rng),
+            Pipeline::Ddim(p) => {
+                let steps = 25.min(p.schedule.steps());
+                p.generate_batched(count, steps, batch, &mut rng)
+            }
+            Pipeline::Ldm(p) => {
+                let steps = 25.min(p.schedule.steps());
+                p.generate_batched(count, steps, batch, &mut rng)
+            }
             Pipeline::Sd(p) => {
                 let prompts: Vec<String> = match prompt {
                     Some(text) => vec![text.to_string(); count],
@@ -274,7 +312,8 @@ impl Pipeline {
                         (0..count).map(|i| all[i % all.len()].clone()).collect()
                     }
                 };
-                p.generate_batched(&prompts, 20, batch, &mut rng)
+                let steps = 20.min(p.schedule.steps());
+                p.generate_batched(&prompts, steps, batch, &mut rng)
             }
         }
     }
@@ -404,35 +443,70 @@ fn pack_and_report(pipeline: &Pipeline, report: &fpdq::quant::QuantReport) {
     println!("  forward speedup: {:.2}x", dense / packed);
 }
 
+/// True when a `--model` value names a `.fpdq` container on disk rather
+/// than a zoo pipeline.
+fn is_container_spec(model: &str) -> bool {
+    model.ends_with(".fpdq") || std::path::Path::new(model).is_file()
+}
+
 fn generate(opts: &HashMap<String, String>) -> ExitCode {
     let count: usize = flag_or_fail!(parsed_flag(opts, "count", 8, "a positive integer"));
     let batch: usize = flag_or_fail!(parsed_flag(opts, "batch", 16, "a batch size in 1..=16"));
     let Some(model) = require(opts, "model") else { return ExitCode::FAILURE };
-    let Some(pipeline) = Pipeline::load(model) else {
-        eprintln!("unknown model '{model}'");
-        return ExitCode::FAILURE;
-    };
-    let config = opts.get("config").map(String::as_str).unwrap_or("fp32");
-    let Some(cfg) = config_from(config) else {
-        eprintln!("unknown config '{config}'");
-        return ExitCode::FAILURE;
-    };
-    if let Some(cfg) = &cfg {
-        let calib = pipeline.calibrate();
-        let mut rng = StdRng::seed_from_u64(1);
-        let report = quantize_unet(pipeline.unet(), &calib, cfg, &mut rng);
-        if flag_set(opts, "packed") {
-            let pack = fpdq::kernels::pack_unet(pipeline.unet(), &report);
-            println!(
-                "sampling on the packed engine: {} layers, {:.2}x weight compression",
-                pack.layers.len(),
-                pack.compression()
-            );
+    let (pipeline, label, config) = if is_container_spec(model) {
+        // Sampling from a container: the quantized formats and packed
+        // payloads are baked in — no calibration, no re-quantization. A
+        // corrupt or truncated file is a typed error and a non-zero
+        // exit, before any output file is touched.
+        let loaded = match fpdq::container::load(std::path::Path::new(model)) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("cannot load container '{model}': {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if opts.contains_key("config") || flag_set(opts, "packed") {
+            println!("note: --config/--packed are baked into the container and ignored");
         }
-    } else if flag_set(opts, "packed") {
-        eprintln!("--packed requires a quantized --config (fp8/fp4/int8/int4)");
-        return ExitCode::FAILURE;
-    }
+        println!(
+            "loaded container: {} layers packed ({} fused act), no re-quantization",
+            loaded.pack.layers.len(),
+            loaded.pack.fused_act_layers()
+        );
+        let stem = std::path::Path::new(model)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("container")
+            .to_string();
+        (Pipeline::from_sim(loaded.pipeline), stem, "packed".to_string())
+    } else {
+        let Some(pipeline) = Pipeline::load(model) else {
+            eprintln!("unknown model '{model}': expected ddim, ldm, sd, sdxl or a .fpdq path");
+            return ExitCode::FAILURE;
+        };
+        let config = opts.get("config").map(String::as_str).unwrap_or("fp32");
+        let Some(cfg) = config_from(config) else {
+            eprintln!("unknown config '{config}'");
+            return ExitCode::FAILURE;
+        };
+        if let Some(cfg) = &cfg {
+            let calib = pipeline.calibrate();
+            let mut rng = StdRng::seed_from_u64(1);
+            let report = quantize_unet(pipeline.unet(), &calib, cfg, &mut rng);
+            if flag_set(opts, "packed") {
+                let pack = fpdq::kernels::pack_unet(pipeline.unet(), &report);
+                println!(
+                    "sampling on the packed engine: {} layers, {:.2}x weight compression",
+                    pack.layers.len(),
+                    pack.compression()
+                );
+            }
+        } else if flag_set(opts, "packed") {
+            eprintln!("--packed requires a quantized --config (fp8/fp4/int8/int4)");
+            return ExitCode::FAILURE;
+        }
+        (pipeline, model.to_string(), config.to_string())
+    };
     let out_dir = std::path::PathBuf::from(
         opts.get("out").cloned().unwrap_or_else(|| "target/fpdq-cli".into()),
     );
@@ -442,7 +516,7 @@ fn generate(opts: &HashMap<String, String>) -> ExitCode {
     let tiles: Vec<Tensor> =
         (0..count).map(|i| imgs.narrow(0, i, 1).reshape(&[3, size, size])).collect();
     let sheet = image_grid(&tiles, 4);
-    let path = out_dir.join(format!("{model}_{config}.ppm"));
+    let path = out_dir.join(format!("{label}_{config}.ppm"));
     save_ppm(&sheet, &path, 8).expect("write ppm");
     println!("wrote {} ({count} samples, config {config})", path.display());
     ExitCode::SUCCESS
@@ -501,15 +575,110 @@ fn sparsity(opts: &HashMap<String, String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `fpdq pack`: quantize a pipeline once and write it as a `.fpdq`
+/// container. With `--verify`, the just-written file is re-opened,
+/// fully validated (header, checksums, metadata domain checks) and a
+/// one-step generation from the loaded model is bit-compared against
+/// the in-process packed model before the command exits 0.
+fn pack_cmd(opts: &HashMap<String, String>) -> ExitCode {
+    use fpdq::container::SimPipeline;
+    let (Some(model), Some(config), Some(out)) =
+        (require(opts, "model"), require(opts, "config"), require(opts, "out"))
+    else {
+        return ExitCode::FAILURE;
+    };
+    let pipeline = match model {
+        "tiny" => Pipeline::Ddim(fpdq::serve::tiny_ddim()),
+        _ => match Pipeline::load(model) {
+            Some(p) => p,
+            None => {
+                eprintln!("unknown model '{model}': expected one of tiny, ddim, ldm, sd, sdxl");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let Some(Some(cfg)) = config_from(config) else {
+        eprintln!("unknown or trivial config '{config}': a container stores quantized formats");
+        return ExitCode::FAILURE;
+    };
+    // The tiny test model gets a synthetic calibration set: it exists to
+    // exercise the pack/serve round trip (CI smoke, local experiments),
+    // and recording full trajectories would dominate its runtime.
+    let calib = if model == "tiny" {
+        let mut rng = StdRng::seed_from_u64(0xCA11B);
+        let [c, h, w] = pipeline.unet_input_shape();
+        let points: Vec<fpdq::quant::CalibPoint> = (0..3)
+            .map(|i| fpdq::quant::CalibPoint {
+                x: Tensor::randn(&[1, c, h, w], &mut rng),
+                t: (i * 4) as f32,
+                ctx: None,
+            })
+            .collect();
+        CalibrationSet { init: points.clone(), rl: points }
+    } else {
+        pipeline.calibrate()
+    };
+    let mut rng = StdRng::seed_from_u64(1);
+    let report = quantize_unet(pipeline.unet(), &calib, &cfg, &mut rng);
+    let sim = pipeline.into_sim();
+    let out = std::path::PathBuf::from(out);
+    if let Err(e) = fpdq::container::save(&out, &sim, &report) {
+        eprintln!("cannot write container '{}': {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    let size = std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0);
+    println!("wrote {} ({size} bytes, {model} @ {config})", out.display());
+    if !flag_set(opts, "verify") {
+        return ExitCode::SUCCESS;
+    }
+    // Full re-validation from disk: every checksum and domain check runs.
+    let loaded = match fpdq::container::load(&out) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("verify FAILED: written container does not validate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // One-step forward bit-compare against the in-process packed model.
+    fpdq::kernels::pack_unet(sim.unet(), &report);
+    let bits = |t: &Tensor| t.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+    let (want, got) = match (&sim, &loaded.pipeline) {
+        (SimPipeline::Ddim(p), SimPipeline::Ddim(q)) => {
+            (bits(&p.generate_seeded(&[1], 1, 1)), bits(&q.generate_seeded(&[1], 1, 1)))
+        }
+        (SimPipeline::Ldm(p), SimPipeline::Ldm(q)) => {
+            (bits(&p.generate_seeded(&[1], 1, 1)), bits(&q.generate_seeded(&[1], 1, 1)))
+        }
+        (SimPipeline::Sd(p), SimPipeline::Sd(q)) => {
+            let prompts = vec![CaptionedScenes::all_captions()[0].clone()];
+            (
+                bits(&p.generate_seeded(&prompts, &[1], 1, 1)),
+                bits(&q.generate_seeded(&prompts, &[1], 1, 1)),
+            )
+        }
+        _ => {
+            eprintln!("verify FAILED: loaded pipeline kind differs from the packed one");
+            return ExitCode::FAILURE;
+        }
+    };
+    if want != got {
+        eprintln!("verify FAILED: loaded model is not bit-identical to the in-process model");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "verify OK: checksums valid, {} packed layers, one-step generation bit-identical",
+        loaded.pack.layers.len()
+    );
+    ExitCode::SUCCESS
+}
+
 fn serve_cmd(opts: &HashMap<String, String>) -> ExitCode {
-    use fpdq::serve::{serve, FaultPlan, ServeConfig, ServeModel};
+    use fpdq::serve::{serve, FaultPlan, ServeConfig};
     let model = opts.get("model").map(String::as_str).unwrap_or("tiny");
-    let build: Box<dyn FnOnce() -> Box<dyn ServeModel> + Send> = match model {
-        "tiny" => Box::new(|| Box::new(fpdq::serve::tiny_ddim())),
-        "ddim" => Box::new(|| Box::new(Zoo::open_default().ddim_sim())),
-        "ldm" => Box::new(|| Box::new(Zoo::open_default().ldm_sim())),
-        other => {
-            eprintln!("unknown serve model '{other}': expected tiny, ddim or ldm\n\n{USAGE}");
+    let build = match fpdq::serve::resolve(model) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("{e}\n\n{USAGE}");
             return ExitCode::FAILURE;
         }
     };
@@ -555,8 +724,15 @@ fn serve_cmd(opts: &HashMap<String, String>) -> ExitCode {
     };
     println!("fpdq-serve ({model}) listening on http://{}", handle.addr());
     println!("  POST /v1/generate  {{\"seed\": N, \"steps\": N}}");
-    println!("  GET  /healthz | /readyz      POST /admin/shutdown");
+    println!("  GET  /healthz | /readyz | /metrics      POST /admin/shutdown");
+    let shared = handle.shared().clone();
     handle.wait();
+    // A server that only ever ran degraded (model never loaded) exits
+    // non-zero so scripts notice, even though it stayed up to be probed.
+    if let Some(reason) = shared.boot_error() {
+        eprintln!("stopped; model never became ready: {reason}");
+        return ExitCode::FAILURE;
+    }
     println!("stopped");
     ExitCode::SUCCESS
 }

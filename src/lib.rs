@@ -21,7 +21,8 @@
 //! | [`metrics`] | `fpdq-metrics` | FID / sFID / precision / recall / CLIP-sim |
 //! | [`perf`] | `fpdq-perf` | roofline latency + memory characterization |
 //! | [`kernels`] | `fpdq-kernels` | bit-packed storage, quantized & sparse GEMM |
-//! | [`serve`] | `fpdq-serve` | fault-tolerant HTTP serving: continuous batching, deadlines, panic isolation |
+//! | [`container`] | `fpdq-container` | the versioned `.fpdq` on-disk model format: checksummed, zero-copy, crash-safe |
+//! | [`serve`] | `fpdq-serve` | fault-tolerant HTTP serving: continuous batching, deadlines, panic isolation, model registry |
 //!
 //! # Quickstart
 //!
@@ -51,6 +52,7 @@
 //! Release notes: see `CHANGELOG.md` in the repository root.
 
 pub use fpdq_autograd as autograd;
+pub use fpdq_container as container;
 pub use fpdq_core as quant;
 pub use fpdq_data as data;
 pub use fpdq_diffusion as diffusion;

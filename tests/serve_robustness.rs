@@ -16,7 +16,8 @@ use std::net::SocketAddr;
 use std::time::{Duration, Instant};
 
 fn start(cfg: ServeConfig) -> ServerHandle {
-    serve(cfg, || Box::new(fpdq::serve::tiny_ddim()) as Box<dyn ServeModel>).expect("bind server")
+    serve(cfg, || Ok(Box::new(fpdq::serve::tiny_ddim()) as Box<dyn ServeModel>))
+        .expect("bind server")
 }
 
 fn wait_ready(addr: SocketAddr) {
@@ -318,4 +319,107 @@ fn shutdown_drains_in_flight_work_and_rejects_the_rest() {
     handle.shutdown();
     assert_eq!(shared.state(), ServerState::Stopped);
     assert_eq!(shared.healthz().completed, 1);
+}
+
+/// Waits for the lifecycle to reach `failed` (boot runs on the scheduler
+/// thread, so the transition races the first probe).
+fn wait_failed(handle: &ServerHandle) {
+    let t0 = Instant::now();
+    while handle.shared().state() != ServerState::Failed {
+        assert!(t0.elapsed() < Duration::from_secs(10), "server never reached failed");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Drives the shared degraded-server checks: probes stay up, requests get
+/// typed `model_unavailable` errors, `/metrics` carries the boot error,
+/// and the server still drains cleanly.
+fn assert_degraded_but_alive(handle: ServerHandle, reason_needle: &str) {
+    let addr = handle.addr();
+    wait_failed(&handle);
+
+    // Readiness fails *with the reason*, not just a generic 503.
+    let (status, body) = client::get(addr, "/readyz").unwrap();
+    assert_eq!(status, 503, "{body}");
+    let e = error_body(&body);
+    assert_eq!(e.code, "model_unavailable");
+    assert!(e.error.contains(reason_needle), "{}", e.error);
+
+    // Requests are answered, typed, with the process intact.
+    let (status, body) = client::post_json(addr, "/v1/generate", &gen_body(1, 4)).unwrap();
+    assert_eq!(status, 500, "{body}");
+    let e = error_body(&body);
+    assert_eq!(e.code, "model_unavailable");
+    assert!(e.error.contains(reason_needle), "{}", e.error);
+
+    // /metrics exports every counter plus the boot error.
+    let (status, body) = client::get(addr, "/metrics").unwrap();
+    assert_eq!(status, 200, "{body}");
+    let m: fpdq::serve::api::Metrics = serde_json::from_str(&body).unwrap();
+    assert_eq!(m.health.state, "failed");
+    assert!(m.boot_error.as_deref().unwrap_or("").contains(reason_needle), "{m:?}");
+    assert!(m.health.rejected >= 1, "the failed generate must be counted");
+
+    // The degraded loop's heartbeat keeps ticking — degraded, not wedged.
+    let t1 = healthz(addr).ticks;
+    let t0 = Instant::now();
+    while healthz(addr).ticks == t1 {
+        assert!(t0.elapsed() < Duration::from_secs(10), "degraded heartbeat froze");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // And it still shuts down like a healthy server.
+    let shared = handle.shared().clone();
+    handle.shutdown();
+    assert_eq!(shared.state(), ServerState::Stopped);
+}
+
+#[test]
+fn failed_model_load_degrades_the_server_instead_of_killing_it() {
+    use fpdq::tensor::FpdqError;
+    let handle = serve(ServeConfig::default(), || {
+        Err::<Box<dyn ServeModel>, _>(FpdqError::corrupt("checksum mismatch in section 5"))
+    })
+    .expect("bind server");
+    assert_degraded_but_alive(handle, "checksum mismatch");
+}
+
+#[test]
+fn panicking_model_builder_is_a_boot_failure_not_a_dead_thread() {
+    let build = || -> Result<Box<dyn ServeModel>, fpdq::tensor::FpdqError> {
+        panic!("zoo cache is poisoned")
+    };
+    let handle = serve(ServeConfig::default(), build).expect("bind server");
+    assert_degraded_but_alive(handle, "zoo cache is poisoned");
+}
+
+#[test]
+fn serving_a_corrupt_container_path_stays_alive_with_failed_readyz() {
+    // The operator path: `fpdq serve --model <path>` where the file is
+    // garbage. The registry resolves the path eagerly; the *load* failure
+    // happens on the scheduler thread and degrades the server.
+    let dir = std::env::temp_dir().join("fpdq-serve-corrupt-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bad.fpdq");
+    std::fs::write(&path, b"FPDQCNTR but then garbage").unwrap();
+    let build = fpdq::serve::resolve(path.to_str().unwrap()).expect("paths resolve eagerly");
+    let handle = serve(ServeConfig::default(), build).expect("bind server");
+    assert_degraded_but_alive(handle, "container");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn metrics_on_a_healthy_server_tracks_the_counters() {
+    let handle = start(ServeConfig::default());
+    let addr = handle.addr();
+    wait_ready(addr);
+    let (status, body) = client::post_json(addr, "/v1/generate", &gen_body(55, 3)).unwrap();
+    assert_eq!(status, 200, "{body}");
+    let (status, body) = client::get(addr, "/metrics").unwrap();
+    assert_eq!(status, 200, "{body}");
+    let m: fpdq::serve::api::Metrics = serde_json::from_str(&body).unwrap();
+    assert_eq!(m.health.state, "ready");
+    assert_eq!(m.health.completed, 1);
+    assert_eq!(m.boot_error, None);
+    handle.shutdown();
 }
