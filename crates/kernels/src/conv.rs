@@ -1,46 +1,57 @@
-//! Dequantize-on-the-fly 2-D convolution over packed weights, with the
-//! activation quantizer fused into the per-batch pipeline.
+//! Implicit-GEMM 2-D convolution over packed weights — the conv face of
+//! the packed panel engine, not a parallel implementation of it.
 //!
-//! Shares the exact `im2col` lowering of the dense path
-//! ([`fpdq_tensor::conv::im2col_into`]) but expands the filter bank from
-//! its packed low-bit representation — the memory-traffic pattern of
-//! weight-quantized convolution inference. Input activations quantize
-//! through the boundary tables of [`fpdq_core::BoundaryQuantizer`]
-//! (per-tensor or per-input-channel) into a per-worker scratch image just
-//! before lowering: no whole-tensor fake-quant pass, no `log2`/`powf`.
+//! The convolution is the GEMM `out[o, oh·ow] = filters[o, ckk] ·
+//! colsᵀ[ckk, oh·ow]`, but the column matrix never exists: output-pixel
+//! tiles are lowered on the fly ([`fpdq_tensor::conv::im2col_panel_into`])
+//! straight into the interleaved `[ckk][NT_NR]` activation micro-panels
+//! that the shared NT micro-kernel
+//! ([`fpdq_tensor::matmul::gemm_nt_panel`]) consumes. Conv therefore
+//! inherits every GEMM win instead of duplicating it:
+//!
+//! * **AVX2/NEON dispatch** — the panel kernel is the dispatched one; the
+//!   explicit-ISA entry points (`conv2d_packed_fused_as`) thread the same
+//!   `Isa` through decode, fused quantization and the micro-kernel.
+//! * **Fused boundary-table activation quant** — each input image streams
+//!   through [`fpdq_core::PanelQuantizer`]'s boundary tables (per-tensor
+//!   or per-input-channel) into a per-worker scratch image exactly once
+//!   before lowering: no whole-tensor fake-quant pass, no `log2`/`powf`.
+//! * **Shared once-per-call filter-bank decode** — the packed filter bank
+//!   expands exactly once per call (in parallel, on the 8-row decode
+//!   grid) into a read-only `[o, ckk]` bank swept by every worker, so at
+//!   batch scale the weight-decode cost is amortised across every image
+//!   of the step — the packed GEMM's batching property.
+//! * **Regime scheduling** — [`pick_conv_regime`] costs both parallel
+//!   decompositions in wall-clock tile units (see [`crate::schedule`]).
 //!
 //! # Tile schedule
 //!
-//! The packed filter bank is decoded **once per call** into a shared
-//! read-only buffer (in parallel, on the 8-row decode grid) — not once
-//! per worker or once per image — so at batch scale the weight-decode
-//! cost is amortised across every image of the step. Execution then
-//! follows one of two regimes, picked by [`pick_conv_regime`] from the
-//! measured tile counts (batch grains vs output-channel tiles against
-//! the worker count — see [`crate::schedule`] for why raw `n < workers`
-//! comparisons misschedule mid-size batches):
-//!
-//! * **Batch-parallel**: each worker owns a scratch arena (one `im2col`
-//!   buffer + quantized-image scratch) allocated once and reused across
-//!   every batch element the worker processes, sweeping the shared
-//!   filter bank.
+//! * **Batch-parallel**: each worker owns one `ckk × NT_NR` panel arena
+//!   (plus quantized-image scratch) reused across every image and panel
+//!   tile it processes; panels are lowered and consumed in place, so the
+//!   per-image footprint is one micro-panel, not an `im2col` matrix.
 //! * **Channel-parallel** (the batch-1 sampling case, and mid-size
 //!   batches whose grains would under-fill the batch split): images run
-//!   in sequence; within one image the output-channel range is split
-//!   across workers on the 4-row block grid against the shared filters
-//!   and a shared `im2col` lowering.
+//!   in sequence; each image's panels are lowered once into a shared
+//!   read-only bank (in parallel over panel tiles), then the
+//!   output-channel range splits across workers on the [`NT_MR`]-row
+//!   register-block grid against the shared filter bank.
 //!
-//! Both regimes group filter rows in the same 4-row blocks as the serial
-//! kernel (`parallel_rows_aligned_in`), so the schedule does not change
-//! the results: batch-N output for image `i` is bit-identical to the
-//! batch-1 run on image `i`, across regimes, worker counts and ISAs
-//! (pinned by `tests/batched_consistency.rs`).
+//! Both regimes feed the identical micro-kernel, which accumulates every
+//! output element in plain ascending-`k` order in every code path (no
+//! FMA, same operand order — see [`fpdq_tensor::simd`]), and the bias is
+//! added in a separate epilogue after the panel sweep. Row blocking,
+//! panel order, worker count and ISA therefore cannot change a single
+//! output bit: batch-N output for image `i` is bit-identical to the
+//! batch-1 run on image `i` (pinned by `tests/batched_consistency.rs`),
+//! and the fused activation quant is bit-exact with quantize-first
+//! execution.
 
 use crate::packed::{PackedFpTensor, PackedIntTensor, PackedWeights};
 use crate::schedule::{pick_conv_regime, ConvRegime};
 use fpdq_core::{PanelQuantizer, TensorQuantizer};
-use fpdq_tensor::conv::{im2col_into, Conv2dSpec};
-use fpdq_tensor::matmul::gemm_serial;
+use fpdq_tensor::conv::{im2col_panel_into, Conv2dSpec};
+use fpdq_tensor::matmul::{gemm_nt_panel_as, NT_MR, NT_NR};
 use fpdq_tensor::parallel::{num_threads, parallel_rows_aligned_in, parallel_rows_in};
 use fpdq_tensor::simd::{self, Isa};
 use fpdq_tensor::Tensor;
@@ -82,11 +93,10 @@ pub fn conv2d_packed_fused<W: PackedWeights>(
     conv2d_packed_fused_as(x, weight, bias, spec, act, simd::active())
 }
 
-/// [`conv2d_packed_fused`] on an explicit ISA path: filter decode and the
-/// fused input quantization run the named implementation (see
-/// [`fpdq_tensor::simd`]; the NN tile kernel after the `im2col` lowering
-/// is shared by all paths). Results are bit-identical across ISAs; an
-/// unsupported `isa` falls back to scalar.
+/// [`conv2d_packed_fused`] on an explicit ISA path: filter decode, the
+/// fused input quantization *and* the NT micro-kernel all run the named
+/// implementation (see [`fpdq_tensor::simd`]). Results are bit-identical
+/// across ISAs; an unsupported `isa` falls back to scalar.
 ///
 /// # Panics
 ///
@@ -146,7 +156,15 @@ pub fn conv2d_packed_fused_in<W: PackedWeights>(
     let chw = c * h * w;
     let ohow = oh * ow;
     let mut out = vec![0.0f32; n * o * ohow];
-    if n == 0 || o == 0 || ohow == 0 || ckk == 0 {
+    if n == 0 || o == 0 || ohow == 0 {
+        return Tensor::from_vec(out, &[n, o, oh, ow]);
+    }
+    if ckk == 0 {
+        // Empty reduction (zero input channels or a zero-extent kernel):
+        // every output pixel is the bare bias — same as the dense path.
+        for obatch in out.chunks_mut(o * ohow) {
+            add_bias(obatch, bias, ohow, 0);
+        }
         return Tensor::from_vec(out, &[n, o, oh, ow]);
     }
     // The packed filter bank expands exactly once per call — shared
@@ -156,45 +174,56 @@ pub fn conv2d_packed_fused_in<W: PackedWeights>(
     parallel_rows_in(workers, &mut filters, o, ckk, 8, |r0, chunk| {
         weight.decode_range_into_as(isa, r0 * ckk, chunk);
     });
+    let npanels = ohow.div_ceil(NT_NR);
     match pick_conv_regime(n, o, workers) {
         ConvRegime::BatchParallel => {
-            // Per-thread scratch arena, reused across this worker's
-            // batches.
+            // Per-thread arena: one quantized-image scratch plus one
+            // `ckk × NT_NR` micro-panel, reused across this worker's
+            // batches — panels are lowered and consumed on the fly.
             parallel_rows_in(workers, &mut out, n, o * ohow, 1, |batch_start, chunk| {
-                let mut cols = vec![0.0f32; ckk * ohow];
+                let mut panel = vec![0.0f32; ckk * NT_NR];
                 let mut xq = act.map(|_| vec![0.0f32; chw]);
                 for (bi, obatch) in chunk.chunks_mut(o * ohow).enumerate() {
                     let batch = batch_start + bi;
                     let src = &xd[batch * chw..(batch + 1) * chw];
                     let img = quantize_image(src, act, xq.as_deref_mut(), h * w, isa);
-                    im2col_into(img, c, h, w, kh, kw, spec, &mut cols);
-                    prefill_bias(obatch, bias, ohow, 0);
-                    gemm_serial(&filters, &cols, obatch, o, ckk, ohow);
+                    for t in 0..npanels {
+                        let j0 = t * NT_NR;
+                        let nw = NT_NR.min(ohow - j0);
+                        im2col_panel_into(img, c, h, w, kh, kw, spec, j0, nw, &mut panel);
+                        gemm_nt_panel_as(isa, &filters, &panel, obatch, o, ckk, ohow, j0, nw);
+                    }
+                    add_bias(obatch, bias, ohow, 0);
                 }
             });
         }
         ConvRegime::ChannelParallel => {
-            // Images in sequence; workers split the output channels on
-            // the 4-row block grid against the shared filter bank. The
-            // shared `im2col` lowering is computed once per image.
-            let mut cols = vec![0.0f32; ckk * ohow];
+            // Images in sequence; each image's panels are lowered once
+            // into a shared bank (parallel over panel tiles), then the
+            // output channels split across workers on the register-block
+            // grid against the shared filter bank.
             let mut xq = act.map(|_| vec![0.0f32; chw]);
+            let mut bank = vec![0.0f32; npanels * ckk * NT_NR];
             for batch in 0..n {
                 let src = &xd[batch * chw..(batch + 1) * chw];
                 let img = quantize_image(src, act, xq.as_deref_mut(), h * w, isa);
-                im2col_into(img, c, h, w, kh, kw, spec, &mut cols);
+                parallel_rows_in(workers, &mut bank, npanels, ckk * NT_NR, 1, |t0, pchunk| {
+                    for (ti, panel) in pchunk.chunks_mut(ckk * NT_NR).enumerate() {
+                        let j0 = (t0 + ti) * NT_NR;
+                        let nw = NT_NR.min(ohow - j0);
+                        im2col_panel_into(img, c, h, w, kh, kw, spec, j0, nw, panel);
+                    }
+                });
                 let obatch = &mut out[batch * o * ohow..(batch + 1) * o * ohow];
-                parallel_rows_aligned_in(workers, obatch, o, ohow, 1, 4, |oc0, chunk| {
+                parallel_rows_aligned_in(workers, obatch, o, ohow, 1, NT_MR, |oc0, chunk| {
                     let rows = chunk.len() / ohow;
-                    prefill_bias(chunk, bias, ohow, oc0);
-                    gemm_serial(
-                        &filters[oc0 * ckk..(oc0 + rows) * ckk],
-                        &cols,
-                        chunk,
-                        rows,
-                        ckk,
-                        ohow,
-                    );
+                    let frows = &filters[oc0 * ckk..(oc0 + rows) * ckk];
+                    for (t, panel) in bank.chunks(ckk * NT_NR).enumerate() {
+                        let j0 = t * NT_NR;
+                        let nw = NT_NR.min(ohow - j0);
+                        gemm_nt_panel_as(isa, frows, panel, chunk, rows, ckk, ohow, j0, nw);
+                    }
+                    add_bias(chunk, bias, ohow, oc0);
                 });
             }
         }
@@ -221,17 +250,17 @@ fn quantize_image<'a>(
     }
 }
 
-/// Prefills an output-channel block with its bias values (or zeros), so
-/// the row-blocked kernel can accumulate on top — preserving the
-/// quantization-induced sparsity shortcut of the dense conv.
-fn prefill_bias(chunk: &mut [f32], bias: Option<&Tensor>, ohow: usize, oc0: usize) {
-    match bias {
-        Some(b) => {
-            for (oc, plane) in chunk.chunks_mut(ohow).enumerate() {
-                plane.fill(b.data()[oc0 + oc]);
+/// Adds the bias to an output-channel block *after* the panel sweep (the
+/// NT micro-kernel overwrites its output columns, so the bias cannot be
+/// prefilled). One add per output element, identical in both regimes.
+fn add_bias(chunk: &mut [f32], bias: Option<&Tensor>, ohow: usize, oc0: usize) {
+    if let Some(b) = bias {
+        for (oc, plane) in chunk.chunks_mut(ohow).enumerate() {
+            let bv = b.data()[oc0 + oc];
+            for v in plane.iter_mut() {
+                *v += bv;
             }
         }
-        None => chunk.fill(0.0),
     }
 }
 
@@ -489,12 +518,78 @@ mod tests {
         let y =
             conv2d_packed_fp(&Tensor::zeros(&[0, 3, 5, 5]), &w, None, Conv2dSpec::new(1, 1), None);
         assert_eq!(y.dims(), &[0, 2, 5, 5]);
-        // Zero input channels: an empty reduction, all-zero output.
+        // Zero input channels: an empty reduction — zeros without a bias,
+        // the broadcast bias with one (same as the dense reference).
         let w2 = PackedFpTensor::encode(&Tensor::zeros(&[2, 0, 3, 3]), fmt);
         let y2 =
             conv2d_packed_fp(&Tensor::zeros(&[1, 0, 5, 5]), &w2, None, Conv2dSpec::new(1, 1), None);
         assert_eq!(y2.dims(), &[1, 2, 5, 5]);
         assert!(y2.data().iter().all(|&v| v == 0.0));
+        let b = Tensor::from_vec(vec![0.5, -1.25], &[2]);
+        let y2b = conv2d_packed_fp(
+            &Tensor::zeros(&[1, 0, 5, 5]),
+            &w2,
+            Some(&b),
+            Conv2dSpec::new(1, 1),
+            None,
+        );
+        for (oc, plane) in y2b.data().chunks(25).enumerate() {
+            assert!(plane.iter().all(|&v| v == b.data()[oc]), "channel {oc} not bias-filled");
+        }
+        // Zero output channels.
+        let w3 = PackedFpTensor::encode(&Tensor::zeros(&[0, 3, 3, 3]), fmt);
+        let y3 =
+            conv2d_packed_fp(&Tensor::zeros(&[2, 3, 5, 5]), &w3, None, Conv2dSpec::new(1, 1), None);
+        assert_eq!(y3.dims(), &[2, 0, 5, 5]);
+        assert!(y3.data().is_empty());
+        // Kernel exceeding the padded input: empty output plane, no OOB.
+        let w4 = PackedFpTensor::encode(&Tensor::zeros(&[2, 3, 5, 5]), fmt);
+        let y4 =
+            conv2d_packed_fp(&Tensor::zeros(&[2, 3, 2, 6]), &w4, None, Conv2dSpec::new(1, 0), None);
+        assert_eq!(y4.dims(), &[2, 2, 0, 2]);
+        assert!(y4.data().is_empty());
+    }
+
+    #[test]
+    fn edge_shapes_match_dense_reference() {
+        // The degenerate/edge sweep of the implicit-GEMM path against the
+        // dense conv on the *same* quantized weights: kernels at least as
+        // large as the (padded) image, stride above the kernel extent,
+        // and 1×1 pointwise lowering. Every worker count must agree.
+        let mut rng = StdRng::seed_from_u64(40);
+        for (h, w_, kh, kw, stride, padding) in [
+            (2usize, 2usize, 3usize, 3usize, 1usize, 1usize), // kernel > image, padded
+            (3, 5, 3, 3, 1, 2),                               // padding > image edge
+            (6, 6, 2, 2, 3, 0),                               // stride > kernel
+            (2, 6, 2, 3, 3, 1),                               // mixed tall/wide
+            (5, 5, 1, 1, 1, 0),                               // pointwise
+        ] {
+            let x = Tensor::randn(&[2, 3, h, w_], &mut rng);
+            let w = Tensor::randn(&[5, 3, kh, kw], &mut rng);
+            let b = Tensor::randn(&[5], &mut rng);
+            let spec = Conv2dSpec::new(stride, padding);
+            let fmt = FpFormat::new(4, 3);
+            let packed = PackedFpTensor::encode(&w, fmt);
+            let reference = x.conv2d(&fmt.quantize(&w), Some(&b), spec);
+            for workers in [1usize, 2, 8] {
+                let fast = conv2d_packed_fused_in(
+                    &x,
+                    &packed,
+                    Some(&b),
+                    spec,
+                    None,
+                    simd::active(),
+                    workers,
+                );
+                assert_eq!(fast.dims(), reference.dims(), "k={kh}x{kw} s={stride} p={padding}");
+                for (a, e) in fast.data().iter().zip(reference.data()) {
+                    assert!(
+                        (a - e).abs() < 1e-4,
+                        "k={kh}x{kw} s={stride} p={padding} workers={workers}: {a} vs {e}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -28,9 +28,10 @@
 //! The installed forwards are batch-shaped end to end: a batched sampler
 //! step hands each packed linear an `[batch × positions, k]` activation
 //! matrix and each packed conv an `[batch, c, h, w]` image stack, and
-//! the kernels decode every weight tile **once per call** — once per
-//! sampling step, not once per image — picking their parallel regime
-//! from the actual shape ([`crate::schedule`]). Because every regime is
+//! the kernels — the conv via the same implicit-GEMM micro-kernel as the
+//! linear ([`crate::conv`]) — decode every weight tile **once per
+//! call** — once per sampling step, not once per image — picking their
+//! parallel regime from the actual shape ([`crate::schedule`]). Because every regime is
 //! bit-identical and every layer treats the batch dimension
 //! independently, image `i` of a batch-N packed sampling run is
 //! bit-identical to a batch-1 run with the same per-image seed

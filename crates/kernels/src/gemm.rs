@@ -41,6 +41,13 @@
 //! is bit-identical however the tiles are scheduled — across regimes,
 //! thread counts, and between the fused path and the reference
 //! "fake-quantize the whole tensor first" path.
+//!
+//! The packed convolution ([`crate::conv`]) is *implicit GEMM* on the
+//! same micro-kernel: it lowers `im2col` micro-panels on the fly into
+//! the `[k][NT_NR]` layout described above, so every property of this
+//! module — once-per-call decode, fused activation quant, SIMD dispatch,
+//! the bit-identity contract — carries over to conv without a second
+//! implementation.
 
 use crate::packed::{PackedFpTensor, PackedIntTensor, PackedWeights};
 use crate::schedule::{pick_gemm_regime, GemmRegime, ACT_BLOCK};

@@ -46,13 +46,20 @@
 //!    images the batched activation matrix stacks; packed weights
 //!    therefore run at or below dense-FP32 latency while moving 4-8×
 //!    fewer weight bytes, and the per-image cost *falls* with the batch.
-//!    Both kernels pick their parallel regime per call from the actual
-//!    tile counts against the worker count ([`schedule`]): the GEMM
-//!    between weight-row-parallel and activation-row-parallel (narrow
-//!    layers under batched activations), the convolution between
-//!    batch-parallel per-worker arenas and channel-parallel workers
-//!    against a shared `im2col` lowering and a shared once-per-call
-//!    decoded filter bank. Because the micro-kernel accumulates every
+//!    The convolution is *implicit GEMM on the same micro-kernel*: each
+//!    8-pixel output tile's `im2col` columns are lowered on the fly
+//!    directly into an NT micro-panel arena
+//!    ([`fpdq_tensor::conv::im2col_panel_into`]) and fed straight to
+//!    `gemm_nt_panel` against the once-per-call decoded filter bank — the
+//!    whole-image `im2col` matrix never materialises, and conv inherits
+//!    the GEMM's SIMD dispatch, fused activation quant, and decode
+//!    amortisation instead of duplicating them. Both kernels pick their
+//!    parallel regime per call from the actual tile counts against the
+//!    worker count ([`schedule`]): the GEMM between weight-row-parallel
+//!    and activation-row-parallel (narrow layers under batched
+//!    activations), the convolution between batch-parallel per-worker
+//!    panel arenas and channel-parallel workers against a shared
+//!    per-image panel bank. Because the micro-kernel accumulates every
 //!    output element in plain `k` order in every code path, results are
 //!    bit-identical across regimes, tile schedules and thread counts,
 //!    and the fused path is bit-exact against "fake-quantize first, then
@@ -109,9 +116,10 @@
 //! batches or output channels — regime chosen per call by [`schedule`]
 //! from tile counts vs. workers — and every worker owns a scratch arena
 //! (decoded weight tile, quantized activation block, quantized image,
-//! `im2col` columns) so no synchronisation happens inside a tile; the
-//! pre-quantized activation panel bank and the decoded filter bank are
-//! built once per call and shared read-only. Worker-chunk boundaries are
+//! `im2col` micro-panel) so no synchronisation happens inside a tile;
+//! the pre-quantized activation panel bank, the decoded filter bank, and
+//! the channel-parallel conv's per-image lowered panel bank are built
+//! once per call and shared read-only. Worker-chunk boundaries are
 //! pinned to the block grid, which — together with the fixed-`k`-order
 //! accumulation — makes multi-threaded output bit-identical to
 //! single-threaded output. `FPDQ_THREADS` caps the worker count; the

@@ -50,8 +50,11 @@ impl CsrWeights {
         self.values.len()
     }
 
-    /// Fraction of zeros skipped.
+    /// Fraction of zeros skipped (0.0 for an empty matrix).
     pub fn sparsity(&self) -> f32 {
+        if self.n * self.k == 0 {
+            return 0.0;
+        }
         1.0 - self.nnz() as f32 / (self.n * self.k) as f32
     }
 
@@ -69,6 +72,14 @@ impl CsrWeights {
         assert_eq!(a.ndim(), 2, "activations must be [m, k]");
         let (m, k) = (a.dim(0), a.dim(1));
         assert_eq!(k, self.k, "inner dims differ: {k} vs {}", self.k);
+        // Degenerate shapes: an empty activation batch or a zero-row weight
+        // matrix has an empty (but well-shaped) product; the row-chunked
+        // parallel sweep below cannot represent zero-width rows
+        // (`chunks_mut(0)` panics), so return early — mirroring the packed
+        // GEMM's m==0/k==0 guards.
+        if m == 0 || self.n == 0 {
+            return Tensor::from_vec(Vec::new(), &[m, self.n]);
+        }
         let mut out = vec![0.0f32; m * self.n];
         let n = self.n;
         parallel_rows(&mut out, m, n, 4, |row_start, chunk| {
@@ -147,8 +158,12 @@ impl TwoFourWeights {
         self.values.len() * 4 + self.positions.len()
     }
 
-    /// Relative Frobenius error introduced by pruning.
+    /// Relative Frobenius error introduced by pruning (0.0 for an empty
+    /// matrix, which pruning cannot perturb).
     pub fn pruning_error(&self, original: &Tensor) -> f32 {
+        if original.numel() == 0 {
+            return 0.0;
+        }
         let dense = self.to_dense();
         (dense.mse(original) * original.numel() as f32).sqrt()
             / (original.data().iter().map(|v| v * v).sum::<f32>().sqrt() + 1e-12)
@@ -160,6 +175,11 @@ impl TwoFourWeights {
         assert_eq!(a.ndim(), 2, "activations must be [m, k]");
         let (m, k) = (a.dim(0), a.dim(1));
         assert_eq!(k, self.k, "inner dims differ");
+        // Same degenerate-shape guard as [`CsrWeights::gemm`]: zero-width
+        // output rows would panic the chunked sweep.
+        if m == 0 || self.n == 0 {
+            return Tensor::from_vec(Vec::new(), &[m, self.n]);
+        }
         let groups_per_row = self.k / 4;
         let mut out = vec![0.0f32; m * self.n];
         let n = self.n;
@@ -263,6 +283,48 @@ mod tests {
         let dense_bytes = 32 * 32 * 4;
         // values: half the elements ×4 B; metadata: 1 B per 4 elements.
         assert_eq!(tf.payload_bytes(), dense_bytes / 2 + 32 * 32 / 4);
+    }
+
+    #[test]
+    fn degenerate_sparse_shapes_are_panic_free() {
+        let mut rng = StdRng::seed_from_u64(6);
+
+        // Zero-row weights: [m, 0] product, no panic from zero-width rows.
+        let csr = CsrWeights::from_dense(&Tensor::from_vec(Vec::new(), &[0, 8]));
+        let out = csr.gemm(&Tensor::randn(&[3, 8], &mut rng));
+        assert_eq!(out.dims(), &[3, 0]);
+        assert!(out.data().is_empty());
+        assert_eq!(csr.sparsity(), 0.0);
+        assert_eq!(csr.nnz(), 0);
+
+        // Empty activation batch against real weights.
+        let w = sparse_matrix(5, 8, 0.5, &mut rng);
+        let csr = CsrWeights::from_dense(&w);
+        let out = csr.gemm(&Tensor::from_vec(Vec::new(), &[0, 8]));
+        assert_eq!(out.dims(), &[0, 5]);
+
+        // k == 0: every dot product is an empty reduction (all zeros).
+        let csr = CsrWeights::from_dense(&Tensor::from_vec(Vec::new(), &[4, 0]));
+        let out = csr.gemm(&Tensor::from_vec(Vec::new(), &[2, 0]));
+        assert_eq!(out.dims(), &[2, 4]);
+        assert!(out.data().iter().all(|&v| v == 0.0));
+
+        // The same sweep through the 2:4 structured path.
+        let tf = TwoFourWeights::prune(&Tensor::from_vec(Vec::new(), &[0, 8]));
+        let out = tf.gemm(&Tensor::randn(&[3, 8], &mut rng));
+        assert_eq!(out.dims(), &[3, 0]);
+        assert_eq!(tf.to_dense().dims(), &[0, 8]);
+        assert_eq!(tf.pruning_error(&Tensor::from_vec(Vec::new(), &[0, 8])), 0.0);
+
+        let tf = TwoFourWeights::prune(&Tensor::randn(&[5, 8], &mut rng));
+        let out = tf.gemm(&Tensor::from_vec(Vec::new(), &[0, 8]));
+        assert_eq!(out.dims(), &[0, 5]);
+
+        let empty = Tensor::from_vec(Vec::new(), &[3, 0]);
+        let tf = TwoFourWeights::prune(&empty);
+        let out = tf.gemm(&Tensor::from_vec(Vec::new(), &[2, 0]));
+        assert_eq!(out.dims(), &[2, 3]);
+        assert!(out.data().iter().all(|&v| v == 0.0));
     }
 
     #[test]

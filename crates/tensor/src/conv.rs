@@ -1,12 +1,17 @@
 //! 2-D convolution, pooling and upsampling kernels (NCHW layout).
 //!
-//! Convolution lowers to `im2col` + GEMM, the textbook CPU strategy and the
-//! one whose cost model (`fpdq-perf`) mirrors what GPU libraries do. The
-//! gradient kernels (`conv2d_grad_input` / `conv2d_grad_weight`) are used by
-//! `fpdq-autograd` both for training the substrate models and for the
+//! Convolution runs as *implicit GEMM*: output-pixel tiles are lowered on
+//! the fly ([`im2col_panel_into`]) straight into the interleaved
+//! `[k][NT_NR]` micro-panels of the shared NT kernel
+//! ([`crate::matmul::gemm_nt_panel`]) — the textbook `im2col` + GEMM
+//! strategy without ever materialising the `[c·kh·kw, oh·ow]` column
+//! matrix, and with the same SIMD dispatch and bit-identity contract as
+//! `matmul_nt`. The whole-matrix [`im2col_into`] lowering survives for the
+//! gradient kernels (`conv2d_grad_input` / `conv2d_grad_weight`), which
+//! `fpdq-autograd` uses both for training the substrate models and for the
 //! paper's gradient-based rounding learning on convolution layers.
 
-use crate::matmul::gemm_serial;
+use crate::matmul::{gemm_nt_panel, NT_MR, NT_NR};
 use crate::parallel::{num_threads, parallel_rows, parallel_rows_aligned};
 use crate::schedule::{pick_conv_regime, ConvRegime};
 use crate::Tensor;
@@ -28,8 +33,18 @@ impl Conv2dSpec {
     }
 
     /// Output spatial extent for an input extent and kernel extent.
+    ///
+    /// Zero when the kernel does not fit the padded input even once
+    /// (`input + 2·padding < kernel`): there is no valid output position,
+    /// so the convolution result is empty along that axis. (An earlier
+    /// version saturated to one output of a mostly-out-of-bounds patch,
+    /// which disagreed with the direct-convolution definition.)
     pub fn out_extent(&self, input: usize, kernel: usize) -> usize {
-        (input + 2 * self.padding).saturating_sub(kernel) / self.stride + 1
+        let span = input + 2 * self.padding;
+        if span < kernel {
+            return 0;
+        }
+        (span - kernel) / self.stride + 1
     }
 }
 
@@ -92,6 +107,79 @@ pub fn im2col_into(
                         cols[orow + ox] =
                             if ix < 0 || ix >= w as isize { 0.0 } else { img[irow + ix as usize] };
                     }
+                }
+                row += 1;
+            }
+        }
+    }
+}
+
+/// Lowers `nw` (1 ≤ `nw` ≤ [`NT_NR`]) consecutive output pixels
+/// `[j0, j0 + nw)` of one image `[c, h, w]` directly into a `[ckk][NT_NR]`
+/// activation micro-panel for the NT panel kernel
+/// ([`crate::matmul::gemm_nt_panel`]): `bp[kk * NT_NR + r]` is element `kk`
+/// of output pixel `j0 + r`'s im2col patch (zero where the patch reads
+/// padding; missing lanes beyond `nw` are zeroed like
+/// [`crate::matmul::pack_nt_panel`]).
+///
+/// This is the tiled `im2col` slice API of the implicit-GEMM convolution:
+/// instead of materialising the whole `[ckk, oh·ow]` column matrix and
+/// re-reading it through a scalar GEMM, callers lower one panel-width tile
+/// at a time into a `ckk × NT_NR` arena and feed the packed panel kernel —
+/// the panel is produced in exactly the interleaved layout the kernel
+/// consumes, so the classic im2col buffer never exists.
+///
+/// # Panics
+///
+/// Panics (debug) on size mismatches or when `[j0, j0 + nw)` leaves the
+/// output plane.
+#[allow(clippy::too_many_arguments)] // raw-slice kernel signature
+pub fn im2col_panel_into(
+    img: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    spec: Conv2dSpec,
+    j0: usize,
+    nw: usize,
+    bp: &mut [f32],
+) {
+    use crate::matmul::NT_NR;
+    let oh = spec.out_extent(h, kh);
+    let ow = spec.out_extent(w, kw);
+    debug_assert_eq!(img.len(), c * h * w);
+    debug_assert_eq!(bp.len(), c * kh * kw * NT_NR);
+    debug_assert!((1..=NT_NR).contains(&nw), "panel width {nw}");
+    debug_assert!(j0 + nw <= oh * ow, "pixels {j0}+{nw} past output plane {oh}x{ow}");
+    let (s, p) = (spec.stride as isize, spec.padding as isize);
+    if nw < NT_NR {
+        bp.fill(0.0);
+    }
+    // Top-left input coordinate of each lane's patch.
+    let mut iy0 = [0isize; NT_NR];
+    let mut ix0 = [0isize; NT_NR];
+    for (r, (y0, x0)) in iy0.iter_mut().zip(ix0.iter_mut()).enumerate().take(nw) {
+        let pix = j0 + r;
+        *y0 = (pix / ow) as isize * s - p;
+        *x0 = (pix % ow) as isize * s - p;
+    }
+    let mut row = 0usize;
+    for ci in 0..c {
+        let cbase = ci * h * w;
+        for ky in 0..kh {
+            let ky = ky as isize;
+            for kx in 0..kw {
+                let kx = kx as isize;
+                let stripe = &mut bp[row * NT_NR..(row + 1) * NT_NR];
+                for r in 0..nw {
+                    let (iy, ix) = (iy0[r] + ky, ix0[r] + kx);
+                    stripe[r] = if iy < 0 || iy >= h as isize || ix < 0 || ix >= w as isize {
+                        0.0
+                    } else {
+                        img[cbase + iy as usize * w + ix as usize]
+                    };
                 }
                 row += 1;
             }
@@ -174,61 +262,69 @@ impl Tensor {
                 }
             }
         };
-        if n == 0 || o == 0 || ohow == 0 || ckk == 0 {
+        if n == 0 || o == 0 || ohow == 0 {
             return Tensor::from_vec(out, &[n, o, oh, ow]);
         }
+        if ckk == 0 {
+            // Empty reduction (zero input channels or a zero-extent
+            // kernel): every output pixel is the bare bias.
+            for obatch in out.chunks_mut(o * ohow) {
+                add_bias(obatch, 0);
+            }
+            return Tensor::from_vec(out, &[n, o, oh, ow]);
+        }
+        // Implicit GEMM: output-pixel tiles are lowered one NT panel at a
+        // time ([`im2col_panel_into`]) straight into the interleaved
+        // layout of the shared NT micro-kernel — the same engine as
+        // `matmul_nt` and the packed conv, SIMD dispatch included. The
+        // whole-image column matrix is never materialised.
+        let chw = c * h * w;
+        let npanels = ohow.div_ceil(NT_NR);
         if pick_conv_regime(n, o, num_threads()) == ConvRegime::BatchParallel {
-            // Batch-parallel: one im2col buffer per worker, reused across
-            // its batches. The regime is decided by measured tile counts
-            // (see [`crate::schedule`]) — the same rule as the packed
-            // conv, and bit-neutral: both schedules group filter rows in
-            // the same 4-row blocks.
+            // Batch-parallel: one `ckk × NT_NR` panel arena per worker,
+            // reused across its batches and panel tiles. The regime is
+            // decided by measured tile counts (see [`crate::schedule`]) —
+            // the same rule as the packed conv, and bit-neutral: the
+            // micro-kernel accumulates each output element in plain
+            // ascending-`k` order in every code path.
             parallel_rows(&mut out, n, o * ohow, 1, |batch_start, chunk| {
-                let mut cols = vec![0.0f32; ckk * ohow];
+                let mut panel = vec![0.0f32; ckk * NT_NR];
                 for (bi, obatch) in chunk.chunks_mut(o * ohow).enumerate() {
                     let batch = batch_start + bi;
-                    im2col_into(
-                        &input[batch * c * h * w..(batch + 1) * c * h * w],
-                        c,
-                        h,
-                        w,
-                        kh,
-                        kw,
-                        spec,
-                        &mut cols,
-                    );
-                    gemm_serial(wdat, &cols, obatch, o, ckk, ohow);
+                    let img = &input[batch * chw..(batch + 1) * chw];
+                    for t in 0..npanels {
+                        let j0 = t * NT_NR;
+                        let nw = NT_NR.min(ohow - j0);
+                        im2col_panel_into(img, c, h, w, kh, kw, spec, j0, nw, &mut panel);
+                        gemm_nt_panel(wdat, &panel, obatch, o, ckk, ohow, j0, nw);
+                    }
                     add_bias(obatch, 0);
                 }
             });
         } else {
             // Channel-parallel for small batches (the batch-1 sampling
-            // case): lower each image once, split the filter rows across
-            // workers on the 4-row block grid so the schedule matches the
-            // serial row grouping.
-            let mut cols = vec![0.0f32; ckk * ohow];
+            // case): lower each image's panels once (in parallel over
+            // panel tiles) into a shared bank, then split the filter rows
+            // across workers on the register-block grid.
+            let mut bank = vec![0.0f32; npanels * ckk * NT_NR];
             for batch in 0..n {
-                im2col_into(
-                    &input[batch * c * h * w..(batch + 1) * c * h * w],
-                    c,
-                    h,
-                    w,
-                    kh,
-                    kw,
-                    spec,
-                    &mut cols,
-                );
+                let img = &input[batch * chw..(batch + 1) * chw];
+                parallel_rows(&mut bank, npanels, ckk * NT_NR, 1, |t0, pchunk| {
+                    for (ti, panel) in pchunk.chunks_mut(ckk * NT_NR).enumerate() {
+                        let j0 = (t0 + ti) * NT_NR;
+                        let nw = NT_NR.min(ohow - j0);
+                        im2col_panel_into(img, c, h, w, kh, kw, spec, j0, nw, panel);
+                    }
+                });
                 let obatch = &mut out[batch * o * ohow..(batch + 1) * o * ohow];
-                parallel_rows_aligned(obatch, o, ohow, 1, 4, |oc0, chunk| {
+                parallel_rows_aligned(obatch, o, ohow, 1, NT_MR, |oc0, chunk| {
                     let rows = chunk.len() / ohow;
-                    gemm_serial(
-                        &wdat[oc0 * ckk..(oc0 + rows) * ckk],
-                        &cols,
-                        chunk,
-                        rows,
-                        ckk,
-                        ohow,
-                    );
+                    let frows = &wdat[oc0 * ckk..(oc0 + rows) * ckk];
+                    for (t, panel) in bank.chunks(ckk * NT_NR).enumerate() {
+                        let j0 = t * NT_NR;
+                        let nw = NT_NR.min(ohow - j0);
+                        gemm_nt_panel(frows, panel, chunk, rows, ckk, ohow, j0, nw);
+                    }
                     add_bias(chunk, oc0);
                 });
             }
@@ -614,5 +710,103 @@ mod tests {
         assert_eq!(s.out_extent(8, 3), 8); // same padding
         let s2 = Conv2dSpec::new(2, 1);
         assert_eq!(s2.out_extent(8, 3), 4); // halving conv
+
+        // Kernel exceeding the padded input: no valid position, empty
+        // output (an earlier version saturated to 1 here).
+        let s3 = Conv2dSpec::new(1, 0);
+        assert_eq!(s3.out_extent(2, 5), 0);
+        assert_eq!(s3.out_extent(0, 3), 0);
+        // ... but enough padding restores valid positions.
+        let s4 = Conv2dSpec::new(1, 2);
+        assert_eq!(s4.out_extent(2, 5), 2);
+    }
+
+    #[test]
+    fn panel_lowering_matches_whole_matrix_im2col() {
+        use crate::matmul::NT_NR;
+        // Every panel stripe of im2col_panel_into must equal the
+        // corresponding column slice of the materialised im2col matrix,
+        // across strides, paddings and kernels-larger-than-the-image.
+        for (hw, kh, kw, stride, padding) in
+            [(6, 3, 3, 1, 1), (6, 3, 3, 2, 1), (5, 2, 3, 3, 0), (2, 3, 3, 1, 1), (4, 1, 1, 1, 0)]
+        {
+            let c = 3usize;
+            let spec = Conv2dSpec::new(stride, padding);
+            let img = rand_tensor(&[c, hw, hw], (hw * kh * stride) as u64);
+            let (oh, ow) = (spec.out_extent(hw, kh), spec.out_extent(hw, kw));
+            let (ckk, ohow) = (c * kh * kw, oh * ow);
+            let mut cols = vec![0.0f32; ckk * ohow];
+            im2col_into(img.data(), c, hw, hw, kh, kw, spec, &mut cols);
+            let mut panel = vec![f32::NAN; ckk * NT_NR];
+            for j0 in (0..ohow).step_by(NT_NR) {
+                let nw = NT_NR.min(ohow - j0);
+                im2col_panel_into(img.data(), c, hw, hw, kh, kw, spec, j0, nw, &mut panel);
+                for kk in 0..ckk {
+                    for r in 0..NT_NR {
+                        let want = if r < nw { cols[kk * ohow + j0 + r] } else { 0.0 };
+                        assert_eq!(
+                            panel[kk * NT_NR + r].to_bits(),
+                            want.to_bits(),
+                            "k={kh}x{kw} s={stride} p={padding} j0={j0} kk={kk} lane={r}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conv2d_edge_shapes_match_naive() {
+        // Kernel ≥ image with padding, and stride > kernel: the implicit-
+        // GEMM path must agree with the direct-definition reference.
+        for (h, w_, kh, kw, stride, padding) in
+            [(2, 2, 3, 3, 1, 1), (3, 5, 3, 3, 1, 2), (6, 6, 2, 2, 3, 0), (2, 6, 2, 3, 3, 1)]
+        {
+            let x = rand_tensor(&[2, 3, h, w_], 20 + h as u64);
+            let w = rand_tensor(&[5, 3, kh, kw], 21 + kw as u64);
+            let b = rand_tensor(&[5], 22);
+            let spec = Conv2dSpec::new(stride, padding);
+            let fast = x.conv2d(&w, Some(&b), spec);
+            let slow = conv2d_naive(&x, &w, Some(&b), spec);
+            assert_eq!(fast.dims(), slow.dims());
+            for (a, e) in fast.data().iter().zip(slow.data().iter()) {
+                assert!(
+                    (a - e).abs() < 1e-4,
+                    "k={kh}x{kw} s={stride} p={padding} h={h}: {a} vs {e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn conv2d_empty_output_when_kernel_exceeds_padded_input() {
+        // 5×5 kernel on a 2-pixel extent with no padding: zero valid
+        // positions, so the output plane is empty — not a phantom pixel
+        // computed from an almost-entirely-out-of-bounds patch.
+        let x = rand_tensor(&[2, 3, 2, 6], 30);
+        let w = rand_tensor(&[4, 3, 5, 5], 31);
+        let y = x.conv2d(&w, None, Conv2dSpec::new(1, 0));
+        assert_eq!(y.dims(), &[2, 4, 0, 2]);
+        assert!(y.data().is_empty());
+    }
+
+    #[test]
+    fn conv2d_zero_channel_input_is_bias_broadcast() {
+        // c == 0 is an empty reduction: every output pixel is exactly the
+        // bias (and zero without one), never uninitialised or OOB.
+        let x = Tensor::zeros(&[2, 0, 5, 5]);
+        let w = Tensor::zeros(&[3, 0, 3, 3]);
+        let b = Tensor::from_vec(vec![1.5, -2.0, 0.25], &[3]);
+        let y = x.conv2d(&w, Some(&b), Conv2dSpec::new(1, 1));
+        assert_eq!(y.dims(), &[2, 3, 5, 5]);
+        for batch in 0..2 {
+            for (oc, &bv) in b.data().iter().enumerate() {
+                for px in 0..25 {
+                    assert_eq!(y.at(&[batch, oc, px / 5, px % 5]), bv);
+                }
+            }
+        }
+        let y0 = x.conv2d(&w, None, Conv2dSpec::new(1, 1));
+        assert!(y0.data().iter().all(|&v| v == 0.0));
     }
 }

@@ -29,8 +29,8 @@
 //! element in plain `k` order, so the choice never changes a single
 //! output bit (the property `tests/batched_consistency.rs` pins).
 
-/// Row-block height shared by the conv's `gemm_serial` grouping and the
-/// NT micro-kernel ([`crate::matmul::NT_MR`]).
+/// Row-block height of the NT micro-kernel ([`crate::matmul::NT_MR`]) —
+/// the tile grain of both the packed GEMM and the implicit-GEMM conv.
 const BLOCK_ROWS: usize = 4;
 
 /// Activation rows per quantize/stream block of the packed GEMM (the
@@ -59,8 +59,9 @@ pub enum GemmRegime {
 /// Parallel decomposition of the packed convolution.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ConvRegime {
-    /// One batch image per work grain; each worker owns an `im2col` +
-    /// quantize arena and sweeps the shared decoded filter bank.
+    /// One batch image per work grain; each worker owns an `im2col`
+    /// micro-panel + quantize arena and sweeps the shared decoded
+    /// filter bank.
     BatchParallel,
     /// Images in sequence; within one image the output channels split
     /// across workers on the 4-row block grid.
@@ -107,7 +108,7 @@ pub fn pick_gemm_regime(m: usize, n: usize, workers: usize) -> GemmRegime {
 /// Compares the wall-clock tile cost of the two schedules directly:
 /// batch-parallel runs `⌈n/W⌉` rounds of a full image (`⌈o/4⌉` tiles),
 /// channel-parallel runs `n` images of `⌈⌈o/4⌉/W⌉` tiles each. Ties go
-/// to batch-parallel (its per-worker arenas also reuse one `im2col`
+/// to batch-parallel (its per-worker arenas also reuse one micro-panel
 /// buffer across images). With one worker both costs coincide and the
 /// batch-parallel (single pass) schedule is used.
 ///

@@ -186,6 +186,86 @@ fn batched_conv_matches_per_image_calls_across_formats_isas_workers() {
 }
 
 #[test]
+fn conv_tower_batches_match_singles_across_formats_isas_workers() {
+    // A conv-heavy three-layer tower through the implicit-GEMM path at
+    // off-tile batch sizes {1, 2, 7, 8}: the layer shapes are chosen so
+    // panel widths land off the NT_NR tile at every depth (6×6 → 36
+    // pixels = 4.5 panels, the stride-2 stage → 9 pixels, the valid 3×3
+    // stage → a single-pixel panel), and batches 7/8 straddle the
+    // batch-parallel/channel-parallel regime boundary for the larger
+    // worker counts. Image i of every batch must equal the batch-1
+    // tower on image i, bitwise, for FP4/FP8/INT4/INT8 weights ×
+    // scalar+dispatched ISAs × workers 1/2/8.
+    let mut rng = StdRng::seed_from_u64(7);
+    let specs = [Conv2dSpec::new(1, 1), Conv2dSpec::new(2, 1), Conv2dSpec::new(1, 0)];
+    let ws = [
+        Tensor::randn(&[5, 3, 3, 3], &mut rng),
+        Tensor::randn(&[6, 5, 3, 3], &mut rng),
+        Tensor::randn(&[4, 6, 3, 3], &mut rng),
+    ];
+    let biases: Vec<Tensor> = ws.iter().map(|w| Tensor::randn(&[w.dim(0)], &mut rng)).collect();
+    let pq = PanelQuantizer::per_tensor(&TensorQuantizer::Fp(FpFormat::new(4, 3)));
+    let images: Vec<Tensor> = (0..8).map(|_| Tensor::randn(&[1, 3, 6, 6], &mut rng)).collect();
+    for fidx in 0..4 {
+        for &isa in simd::available() {
+            for &workers in &WORKER_SWEEP {
+                let tower = |x: &Tensor| {
+                    let mut y = x.clone();
+                    for ((w, bias), &spec) in ws.iter().zip(&biases).zip(&specs) {
+                        y = match &weight_quantizers(w)[fidx] {
+                            TensorQuantizer::Fp(f) => {
+                                let packed = PackedFpTensor::encode(w, *f);
+                                conv2d_packed_fused_in(
+                                    &y,
+                                    &packed,
+                                    Some(bias),
+                                    spec,
+                                    Some(&pq),
+                                    isa,
+                                    workers,
+                                )
+                            }
+                            TensorQuantizer::Int(f) => {
+                                let packed = PackedIntTensor::encode(w, *f);
+                                conv2d_packed_fused_in(
+                                    &y,
+                                    &packed,
+                                    Some(bias),
+                                    spec,
+                                    Some(&pq),
+                                    isa,
+                                    workers,
+                                )
+                            }
+                        };
+                    }
+                    y
+                };
+                let singles: Vec<Tensor> = images.iter().map(&tower).collect();
+                for batch in [1usize, 2, 7, 8] {
+                    let mut stacked = Vec::new();
+                    for img in images.iter().take(batch) {
+                        stacked.extend_from_slice(img.data());
+                    }
+                    let full = tower(&Tensor::from_vec(stacked, &[batch, 3, 6, 6]));
+                    let plane = full.numel() / batch;
+                    for (img, single) in singles.iter().take(batch).enumerate() {
+                        assert_slices_bit_eq(
+                            &full.data()[img * plane..(img + 1) * plane],
+                            single.data(),
+                            &format!(
+                                "tower fmt={fidx} isa={isa:?} workers={workers} \
+                                 batch={batch} img={img}"
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn degenerate_batched_shapes_stay_panic_free_in_both_regimes() {
     // batch == 0 / m == 0 must return empty tensors from every regime
     // and worker count, never slice past the packed payload.
@@ -263,6 +343,52 @@ fn packed_unet_forward_is_batch_invariant_per_image() {
                 single.data(),
                 &format!("packed U-Net img {img}"),
             );
+        }
+    }
+}
+
+#[test]
+fn conv_heavy_packed_unet_forward_matches_singles_at_off_tile_batches() {
+    // The model-level face of the conv tower test: packed U-Net forwards
+    // (conv-dominated — every resolution stage is 3×3 convs through the
+    // implicit-GEMM path) at off-tile batch sizes {1, 2, 7, 8} for all
+    // four deployed formats. Each batch image must equal its batch-1
+    // forward bitwise. The ISA and worker axes are process-wide here
+    // (the packed forward dispatches internally), so the CI
+    // forced-scalar/+avx2 and FPDQ_THREADS 1/16 jobs sweep them by
+    // re-running this whole suite.
+    for cfg in
+        [PtqConfig::fp(4, 8), PtqConfig::fp(8, 8), PtqConfig::int(4, 8), PtqConfig::int(8, 8)]
+    {
+        let tag = cfg.tag();
+        let (unet, report, mut rng) = quantized_tiny_unet(cfg);
+        let pack = pack_unet(&unet, &report);
+        assert!(!pack.layers.is_empty());
+        let images: Vec<Tensor> = (0..8).map(|_| Tensor::randn(&[1, 2, 8, 8], &mut rng)).collect();
+        let singles: Vec<Tensor> = images
+            .iter()
+            .enumerate()
+            .map(|(i, xi)| {
+                let ti = Tensor::from_vec(vec![(3 + i) as f32], &[1]);
+                unet.forward(xi, &ti, None)
+            })
+            .collect();
+        for batch in [1usize, 2, 7, 8] {
+            let mut stacked = Vec::new();
+            for img in images.iter().take(batch) {
+                stacked.extend_from_slice(img.data());
+            }
+            let x = Tensor::from_vec(stacked, &[batch, 2, 8, 8]);
+            let t = Tensor::from_vec((0..batch).map(|i| (3 + i) as f32).collect(), &[batch]);
+            let full = unet.forward(&x, &t, None);
+            let plane = full.numel() / batch;
+            for (img, single) in singles.iter().take(batch).enumerate() {
+                assert_slices_bit_eq(
+                    &full.data()[img * plane..(img + 1) * plane],
+                    single.data(),
+                    &format!("{tag} batch={batch} img={img}"),
+                );
+            }
         }
     }
 }
