@@ -40,6 +40,7 @@
 use crate::conv::conv2d_packed_fused;
 use crate::gemm::gemm_packed_fused;
 use crate::packed::{PackedFpTensor, PackedIntTensor, PackedWeights};
+use crate::sparse::{CsrWeights, TwoFourWeights};
 use fpdq_core::{PanelQuantizer, QuantReport, TensorQuantizer};
 use fpdq_nn::{PackedForwardFn, QuantKind, QuantLayer, UNet};
 use fpdq_tensor::conv::Conv2dSpec;
@@ -62,6 +63,15 @@ pub struct PackedLayerInfo {
     pub payload_bytes: usize,
     /// Dense FP32 bytes the payload replaces.
     pub dense_bytes: usize,
+    /// Fraction of zeros in the installed weight, when the layer went
+    /// through a sparsity mode ([`pack_unet_sparse`]); `None` for plain
+    /// packed installs and for layers the mode skipped.
+    pub sparsity: Option<f32>,
+    /// Relative Frobenius error pruning introduces *on top of* value
+    /// quantization, measured against the quantized dense weights (0.0
+    /// for CSR, which only drops exact zeros); `None` when no sparsity
+    /// mode applied.
+    pub pruning_error: Option<f32>,
 }
 
 /// Outcome of [`pack_unet`]: which layers now execute packed, and the
@@ -245,6 +255,39 @@ pub fn try_install_prebuilt(
     install_packed(layer, packed, format, act)
 }
 
+/// The front half of every install path: restore a previously suspended
+/// tap closure (idempotency of re-packing), then decide whether this
+/// install fuses activation quantization into its kernel. Only fuses
+/// when the tap holds exactly the whole-input quantizer the format
+/// describes (split trunk/skip taps keep their closures — the fused
+/// kernel would need the concatenation geometry).
+fn fuse_decision<'a>(
+    layer: &dyn QuantLayer,
+    act: Option<&'a TensorQuantizer>,
+) -> Option<&'a TensorQuantizer> {
+    if let Some(f) = layer.packed().take_suspended_act() {
+        layer.tap().borrow_mut().act_quant = Some(f);
+    }
+    act.filter(|_| {
+        let tap = layer.tap().borrow();
+        tap.act_quant.is_some() && tap.act_quant_skip.is_none()
+    })
+}
+
+/// The back half of every install path: when the install fused, park the
+/// tap's quantizer closure in the slot (so unpacking can restore it),
+/// then install the forward override.
+fn finish_install(layer: &dyn QuantLayer, forward: PackedForwardFn, fused: bool) {
+    if fused {
+        // The fused kernel now owns activation quantization.
+        let suspended = layer.tap().borrow_mut().act_quant.take();
+        if let Some(f) = suspended {
+            layer.packed().suspend_act(f);
+        }
+    }
+    layer.packed().install(forward);
+}
+
 /// Shared tail of the two install paths: fuse decision, forward
 /// construction, tap suspension, slot install. Callers have already
 /// validated the conv spec (and, for prebuilt tensors, the shape).
@@ -257,20 +300,7 @@ fn install_packed(
     let w = layer.weight().value();
     let bias = layer.bias().map(|b| b.value());
     let dense_bytes = w.numel() * std::mem::size_of::<f32>();
-    // Re-packing an already-packed layer must behave like packing the
-    // dense layer: restore any closure a previous fused install parked,
-    // so the fusing decision below sees the original tap state
-    // (idempotency).
-    if let Some(f) = layer.packed().take_suspended_act() {
-        layer.tap().borrow_mut().act_quant = Some(f);
-    }
-    // Only fuse when the tap holds exactly the whole-input quantizer this
-    // format describes (split trunk/skip taps keep their closures — the
-    // fused kernel would need the concatenation geometry).
-    let fused_act = act.filter(|_| {
-        let tap = layer.tap().borrow();
-        tap.act_quant.is_some() && tap.act_quant_skip.is_none()
-    });
+    let fused_act = fuse_decision(layer, act);
     let pq = fused_act.map(PanelQuantizer::per_tensor);
     let payload_bytes = packed.payload_bytes();
     let forward: PackedForwardFn = match (packed, layer.kind()) {
@@ -285,15 +315,7 @@ fn install_packed(
             conv_forward(p, bias, spec, pq)
         }
     };
-    if fused_act.is_some() {
-        // The fused kernel now owns activation quantization; park the
-        // tap's closure so unpacking can restore it.
-        let suspended = layer.tap().borrow_mut().act_quant.take();
-        if let Some(f) = suspended {
-            layer.packed().suspend_act(f);
-        }
-    }
-    layer.packed().install(forward);
+    finish_install(layer, forward, fused_act.is_some());
     Ok(PackedLayerInfo {
         name: layer.qname().to_string(),
         kind: layer.kind(),
@@ -301,7 +323,256 @@ fn install_packed(
         fused_act: fused_act.map(TensorQuantizer::describe),
         payload_bytes,
         dense_bytes,
+        sparsity: None,
+        pruning_error: None,
     })
+}
+
+/// Which sparse weight structure [`pack_unet_sparse`] installs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SparseMode {
+    /// NVIDIA-style structured 2:4: prune each group of 4 consecutive
+    /// weights to its 2 largest magnitudes, then quantize the survivors
+    /// (prune-then-quantize — the order of the paper's fig. 11 sparsity
+    /// ablation).
+    TwoFour,
+    /// Unstructured CSR over the exact zeros the quantizer creates; no
+    /// pruning error by construction.
+    Csr,
+}
+
+impl SparseMode {
+    /// Parses the CLI spelling (`"2:4"` / `"csr"`, case-insensitive).
+    pub fn parse(s: &str) -> Option<SparseMode> {
+        match s.to_ascii_lowercase().as_str() {
+            "2:4" | "24" | "two_four" => Some(SparseMode::TwoFour),
+            "csr" => Some(SparseMode::Csr),
+            _ => None,
+        }
+    }
+
+    /// CLI-facing name.
+    pub fn describe(&self) -> &'static str {
+        match self {
+            SparseMode::TwoFour => "2:4",
+            SparseMode::Csr => "csr",
+        }
+    }
+}
+
+/// The sparse weight behind a packed linear forward, dispatching through
+/// each format's crossover-aware fused GEMM.
+enum SparseWeight {
+    TwoFour(Rc<TwoFourWeights>),
+    Csr(Rc<CsrWeights>),
+}
+
+impl SparseWeight {
+    fn gemm_fused(&self, x: &Tensor, act: Option<&PanelQuantizer>) -> Tensor {
+        match self {
+            SparseWeight::TwoFour(w) => w.gemm_fused(x, act),
+            SparseWeight::Csr(w) => w.gemm_fused(x, act),
+        }
+    }
+}
+
+/// [`linear_forward`] over a sparse weight structure: the same 2-D/3-D
+/// input handling, with the GEMM routed through the sparse kernels (or
+/// their dense-regime fallback — the crossover lives inside the call).
+fn sparse_linear_forward(
+    w: SparseWeight,
+    bias: Option<Tensor>,
+    out_features: usize,
+    act: Option<PanelQuantizer>,
+) -> PackedForwardFn {
+    Rc::new(move |x: &Tensor| {
+        let affine = |x2: &Tensor| {
+            let y = w.gemm_fused(x2, act.as_ref());
+            match &bias {
+                Some(b) => y.add(b),
+                None => y,
+            }
+        };
+        match x.ndim() {
+            2 => affine(x),
+            3 => {
+                let (b, l, d) = (x.dim(0), x.dim(1), x.dim(2));
+                affine(&x.reshape(&[b * l, d])).reshape(&[b, l, out_features])
+            }
+            n => panic!("packed Linear expects 2-D or 3-D input, got rank {n}"),
+        }
+    })
+}
+
+/// Installs one layer's weight through a sparsity mode (prune, then
+/// quantize into `format`) and reports sparsity + pruning error.
+///
+/// * **Linear** layers get a true sparse forward: 2:4 or CSR structures
+///   executing the panel-packed sparse kernels, with the density
+///   crossover deciding sparse-vs-dense per call. A linear whose `k` is
+///   not a multiple of 4 cannot carry 2:4 structure and falls back to
+///   the plain packed install (`sparsity: None`).
+/// * **Conv** layers prune their flattened `[o, c·kh·kw]` filter bank
+///   (2:4 mode, when divisible by 4) but execute *dense* packed conv on
+///   the pruned-and-quantized weights — the implicit-GEMM conv has no
+///   sparse micro-kernel yet; the report still carries the sparsity and
+///   pruning error so the fig. 11 ablation measures the full model.
+///
+/// Validation happens before any mutation, so an `Err` leaves the layer
+/// exactly as it was.
+pub fn try_install_sparse_weight(
+    layer: &dyn QuantLayer,
+    format: &TensorQuantizer,
+    act: Option<&TensorQuantizer>,
+    mode: SparseMode,
+) -> Result<PackedLayerInfo, FpdqError> {
+    let w = layer.weight().value();
+    if layer.kind() == QuantKind::Conv
+        || (mode == SparseMode::TwoFour && !w.dim(1).is_multiple_of(4))
+    {
+        return install_sparse_dense_fallback(layer, format, act, mode);
+    }
+    let bias = layer.bias().map(|b| b.value());
+    let dense_bytes = w.numel() * std::mem::size_of::<f32>();
+    let (sparse, payload_bytes, sparsity, pruning_error) = match mode {
+        SparseMode::TwoFour => {
+            let tf = TwoFourWeights::try_prune(&w, format)?;
+            // Pruning error excludes the value-quantization error that
+            // dense packed execution shares: measure against the
+            // quantized dense weights.
+            let stats = (tf.payload_bytes(), tf.sparsity(), tf.pruning_error(&format.quantize(&w)));
+            (SparseWeight::TwoFour(Rc::new(tf)), stats.0, stats.1, stats.2)
+        }
+        SparseMode::Csr => {
+            let csr = CsrWeights::try_from_dense(&w, format)?;
+            // CSR stores every nonzero of the quantized weights verbatim,
+            // so pruning adds no error beyond quantization.
+            let stats = (csr.payload_bytes(), csr.sparsity(), 0.0);
+            (SparseWeight::Csr(Rc::new(csr)), stats.0, stats.1, stats.2)
+        }
+    };
+    let fused_act = fuse_decision(layer, act);
+    let pq = fused_act.map(PanelQuantizer::per_tensor);
+    let forward = sparse_linear_forward(sparse, bias, w.dims()[0], pq);
+    finish_install(layer, forward, fused_act.is_some());
+    Ok(PackedLayerInfo {
+        name: layer.qname().to_string(),
+        kind: layer.kind(),
+        format: format.describe(),
+        fused_act: fused_act.map(TensorQuantizer::describe),
+        payload_bytes,
+        dense_bytes,
+        sparsity: Some(sparsity),
+        pruning_error: Some(pruning_error),
+    })
+}
+
+/// The dense-execution arm of [`try_install_sparse_weight`]: conv layers
+/// (and 2:4-incompatible linears) install the ordinary packed forward —
+/// over the *pruned* weights when 2:4 applies to their flattened shape —
+/// with the sparsity statistics reported alongside.
+fn install_sparse_dense_fallback(
+    layer: &dyn QuantLayer,
+    format: &TensorQuantizer,
+    act: Option<&TensorQuantizer>,
+    mode: SparseMode,
+) -> Result<PackedLayerInfo, FpdqError> {
+    if layer.kind() == QuantKind::Conv && layer.conv_spec().is_none() {
+        return Err(FpdqError::missing(format!(
+            "conv layer without spec: {} reports no Conv2dSpec",
+            layer.qname()
+        )));
+    }
+    let w = layer.weight().value();
+    let dims = w.dims().to_vec();
+    let (o, flat_k) = (dims[0], w.numel() / dims[0].max(1));
+    let stats = match mode {
+        SparseMode::TwoFour if flat_k % 4 == 0 && flat_k > 0 => {
+            let flat = w.reshape(&[o, flat_k]);
+            let tf = TwoFourWeights::try_prune(&flat, format)?;
+            let stats = (tf.sparsity(), tf.pruning_error(&format.quantize(&flat)));
+            // Bake the pruned values in: the installed packed tensor
+            // encodes the pruned-and-quantized matrix (encode of already
+            // quantized values is bit-exact).
+            let pruned = tf.to_dense().reshape(&dims);
+            let packed = match format {
+                TensorQuantizer::Fp(fmt) => {
+                    PackedTensor::Fp(Rc::new(PackedFpTensor::encode(&pruned, *fmt)))
+                }
+                TensorQuantizer::Int(fmt) => {
+                    PackedTensor::Int(Rc::new(PackedIntTensor::encode(&pruned, *fmt)))
+                }
+            };
+            let mut info = install_packed(layer, packed, format, act)?;
+            info.sparsity = Some(stats.0);
+            info.pruning_error = Some(stats.1);
+            return Ok(info);
+        }
+        SparseMode::TwoFour => None, // cannot carry 2:4 structure: plain install
+        SparseMode::Csr => {
+            // CSR drops only exact zeros; dense execution of the same
+            // quantized weights is value-identical, so just measure them.
+            let q = format.quantize(&w);
+            let zeros = q.data().iter().filter(|&&v| v == 0.0).count();
+            let sparsity = if q.numel() == 0 { 0.0 } else { zeros as f32 / q.numel() as f32 };
+            Some((sparsity, 0.0))
+        }
+    };
+    let mut info = try_install_packed_weight(layer, format, act)?;
+    if let Some((sparsity, pruning_error)) = stats {
+        info.sparsity = Some(sparsity);
+        info.pruning_error = Some(pruning_error);
+    }
+    Ok(info)
+}
+
+/// [`pack_unet`] through a sparsity mode: every layer the report assigned
+/// a weight format is pruned (per `mode`), quantized, and installed —
+/// sparse kernels for compatible linears, dense packed execution on
+/// pruned weights elsewhere — so fig. 11's sparsity ablation runs on the
+/// real engine end to end.
+///
+/// # Panics
+///
+/// Panics on format/spec problems; [`try_pack_unet_sparse`] is the
+/// non-panicking variant.
+pub fn pack_unet_sparse(unet: &UNet, report: &QuantReport, mode: SparseMode) -> PackReport {
+    match try_pack_unet_sparse(unet, report, mode) {
+        Ok(packed) => packed,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Validating variant of [`pack_unet_sparse`]. On `Err`, layers already
+/// packed before the failing one are reverted via [`unpack_unet`], so
+/// the model is never left half-packed.
+pub fn try_pack_unet_sparse(
+    unet: &UNet,
+    report: &QuantReport,
+    mode: SparseMode,
+) -> Result<PackReport, FpdqError> {
+    let mut packed = PackReport::default();
+    let mut failed = None;
+    unet.visit_quant_layers(&mut |layer| {
+        if failed.is_some() {
+            return;
+        }
+        let Some(rep) = report.layers.iter().find(|l| l.name == layer.qname()) else {
+            return;
+        };
+        let Some(format) = &rep.weight_format else {
+            return;
+        };
+        match try_install_sparse_weight(layer, format, rep.act_format.as_ref(), mode) {
+            Ok(info) => packed.layers.push(info),
+            Err(e) => failed = Some(e),
+        }
+    });
+    if let Some(e) = failed {
+        unpack_unet(unet);
+        return Err(e);
+    }
+    Ok(packed)
 }
 
 /// Switches a quantized U-Net to packed-weight execution: every layer the
@@ -458,6 +729,53 @@ mod tests {
             "FP8 compression {} != ~4x",
             pack.compression()
         );
+    }
+
+    #[test]
+    fn sparse_packed_unet_runs_and_reports_sparsity() {
+        let (unet, report, mut rng) = quantized_tiny_unet(PtqConfig::fp(8, 8));
+        let x = Tensor::randn(&[1, 2, 8, 8], &mut rng);
+        let t = Tensor::from_vec(vec![3.0], &[1]);
+        let dense = unet.forward(&x, &t, None);
+        for mode in [SparseMode::TwoFour, SparseMode::Csr] {
+            let pack = pack_unet_sparse(&unet, &report, mode);
+            assert_eq!(pack.layers.len(), report.layers.len(), "{mode:?}: every layer packs");
+            // Every layer that went through the mode reports sparsity
+            // (2:4-incompatible linears are allowed to skip).
+            let with_stats = pack.layers.iter().filter(|l| l.sparsity.is_some()).count();
+            assert!(with_stats > 0, "{mode:?}: no layer reported sparsity");
+            for l in pack.layers.iter().filter(|l| l.sparsity.is_some()) {
+                let s = l.sparsity.unwrap();
+                assert!((0.0..=1.0).contains(&s), "{mode:?} {}: sparsity {s}", l.name);
+                let e = l.pruning_error.unwrap();
+                assert!(e.is_finite() && e >= 0.0, "{mode:?} {}: error {e}", l.name);
+                if mode == SparseMode::Csr {
+                    assert_eq!(e, 0.0, "CSR must be lossless vs the baked weights");
+                }
+            }
+            let forward = unet.forward(&x, &t, None);
+            let scale = dense.data().iter().fold(0.0f32, |m, v| m.max(v.abs())).max(1.0);
+            if mode == SparseMode::Csr {
+                // CSR executes exactly the quantized weights.
+                for (a, b) in dense.data().iter().zip(forward.data()) {
+                    assert!((a - b).abs() < 1e-3 * scale, "{mode:?}: {a} vs {b}");
+                }
+            } else {
+                // 2:4 pruning perturbs weights; the forward must still be
+                // finite and in the same ballpark.
+                assert!(forward.data().iter().all(|v| v.is_finite()), "{mode:?}: non-finite");
+            }
+            unpack_unet(&unet);
+            assert_eq!(unet.forward(&x, &t, None).data(), dense.data(), "{mode:?}: unpack");
+        }
+    }
+
+    #[test]
+    fn sparse_mode_parses_cli_spellings() {
+        assert_eq!(SparseMode::parse("2:4"), Some(SparseMode::TwoFour));
+        assert_eq!(SparseMode::parse("CSR"), Some(SparseMode::Csr));
+        assert_eq!(SparseMode::parse("dense"), None);
+        assert_eq!(SparseMode::TwoFour.describe(), "2:4");
     }
 
     #[test]

@@ -150,8 +150,10 @@ pub fn gemm_packed_fused_in<W: PackedWeights>(
 }
 
 /// Quantizes (when `act` is set) and interleaves activation rows
-/// `[p0 .. p0 + chunk panels)` of `a` into `[k][NT_NR]` panels.
-fn pack_act_panels(
+/// `[p0 .. p0 + chunk panels)` of `a` into `[k][NT_NR]` panels. Shared
+/// with the sparse row-parallel schedule ([`crate::sparse`]), which
+/// builds the identical panel bank before its index-driven kernels.
+pub(crate) fn pack_act_panels(
     ad: &[f32],
     m: usize,
     k: usize,

@@ -11,10 +11,15 @@
 //!   inference);
 //! * [`exec`] — the wiring layer that flips a quantized U-Net from dense
 //!   fake-quantized execution to these packed kernels;
-//! * [`sparse`] — sparsity-exploiting kernels over the zeros that the
-//!   paper's quantizer creates (§VI-G): an unstructured compressed-row
-//!   format and NVIDIA-style structured 2:4 pruning with metadata, the
-//!   "future work" optimisation the paper points at.
+//! * [`sparse`] — panel-packed sparse kernels over the zeros that the
+//!   paper's quantizer creates (§VI-G): unstructured CSR and NVIDIA-style
+//!   structured 2:4 pruning, both storing quantized codes decoded through
+//!   the same LUTs as [`packed`], running the dense GEMM's row-parallel
+//!   panel schedule with AVX2/NEON index-driven kernels under the
+//!   bit-identity contract, and dispatching back to the dense engine
+//!   above the measured density crossover
+//!   ([`schedule::pick_sparse_regime`]) so sparsity never loses to dense
+//!   (layout contract in `docs/sparse.md`).
 //!
 //! # Fused-epilogue packed execution architecture
 //!
@@ -147,13 +152,16 @@ pub use conv::{
     conv2d_packed_fused_in, conv2d_packed_int,
 };
 pub use exec::{
-    install_packed_weight, pack_unet, try_install_packed_weight, try_install_prebuilt,
-    try_pack_unet, unpack_unet, PackReport, PackedLayerInfo, PackedTensor,
+    install_packed_weight, pack_unet, pack_unet_sparse, try_install_packed_weight,
+    try_install_prebuilt, try_install_sparse_weight, try_pack_unet, try_pack_unet_sparse,
+    unpack_unet, PackReport, PackedLayerInfo, PackedTensor, SparseMode,
 };
 pub use gemm::{
     gemm_packed, gemm_packed_fp, gemm_packed_fused, gemm_packed_fused_as, gemm_packed_fused_in,
     gemm_packed_int,
 };
 pub use packed::{PackedFpTensor, PackedIntTensor, PackedWeights};
-pub use schedule::{pick_conv_regime, pick_gemm_regime, ConvRegime, GemmRegime};
+pub use schedule::{
+    pick_conv_regime, pick_gemm_regime, pick_sparse_regime, ConvRegime, GemmRegime, SparseRegime,
+};
 pub use sparse::{CsrWeights, TwoFourWeights};

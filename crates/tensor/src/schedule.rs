@@ -130,6 +130,63 @@ pub fn pick_conv_regime(n: usize, o: usize, workers: usize) -> ConvRegime {
     }
 }
 
+/// Execution path of a sparse-weight GEMM call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SparseRegime {
+    /// Run the panel-streaming sparse kernel: per weight row, only the
+    /// stored non-zeros multiply against the activation panels.
+    Sparse,
+    /// Hand the call to the dense packed GEMM through the sparse type's
+    /// `PackedWeights` decode — the density is too high for index-driven
+    /// accumulation to beat the dense micro-kernel.
+    Dense,
+}
+
+/// Maximum density (in 1/256ths) at which the unstructured CSR kernel
+/// still beats the dense packed GEMM. Measured on the bench shapes
+/// (`sparse_gemm_32x256x256` in `BENCH_kernels.json`): the CSR kernel
+/// runs one broadcast-multiply-add per stored non-zero per panel with an
+/// index load on the critical path, while the dense micro-kernel
+/// amortises its decode over 4-panel register blocks — the break-even
+/// sits between the 0.1-density win (~3×) and the 0.5-density loss.
+const CSR_MAX_DENSITY_256THS: usize = 72; // ≈ 0.28
+
+/// Maximum density for the structured 2:4 kernel. Its metadata expands to
+/// column indices in-register (no per-non-zero index memory traffic on
+/// the build side) and its stored density is exactly 0.5, which measures
+/// ~2× faster than dense at the bench shapes — so the threshold only has
+/// to exclude degenerate "2:4" inputs that are barely sparse after
+/// decode-time zero counting is folded in by the caller.
+const STRUCTURED_MAX_DENSITY_256THS: usize = 160; // ≈ 0.63
+
+/// Picks sparse-vs-dense execution for an `[n, k]` sparse weight matrix
+/// with `nnz` *stored* values (the work the sparse kernel actually
+/// iterates — for 2:4 that is `n·k/2` regardless of how many survivors
+/// quantize to zero).
+///
+/// The decision is a pure density threshold — deliberately independent of
+/// the worker count and ISA: both paths parallelise over the same weight
+/// rows and carry the same bit-identity contract, so the regime (and
+/// therefore every output bit) stays fixed across `FPDQ_THREADS` and
+/// forced-scalar runs. The thresholds are measured crossovers
+/// ([`CSR_MAX_DENSITY_256THS`], [`STRUCTURED_MAX_DENSITY_256THS`]), kept
+/// conservative so sparsity can never make a layer slower than the dense
+/// engine it falls back to.
+pub fn pick_sparse_regime(nnz: usize, n: usize, k: usize, structured: bool) -> SparseRegime {
+    let numel = n * k;
+    if numel == 0 {
+        // Degenerate matrices carry no work; the dense path owns the
+        // empty-shape guards.
+        return SparseRegime::Dense;
+    }
+    let limit = if structured { STRUCTURED_MAX_DENSITY_256THS } else { CSR_MAX_DENSITY_256THS };
+    if nnz * 256 <= numel * limit {
+        SparseRegime::Sparse
+    } else {
+        SparseRegime::Dense
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -209,5 +266,38 @@ mod tests {
     fn degenerate_worker_counts_do_not_panic() {
         assert_eq!(pick_gemm_regime(8, 8, 0), GemmRegime::RowParallel);
         assert_eq!(pick_conv_regime(2, 8, 0), ConvRegime::BatchParallel);
+    }
+
+    #[test]
+    fn sparse_regime_boundaries() {
+        let (n, k) = (256usize, 256usize);
+        let numel = n * k;
+        // The bench densities: 0.1 CSR must run sparse, 0.5 CSR must fall
+        // back to dense, and 2:4 (stored density exactly 0.5) must run
+        // the structured kernel.
+        assert_eq!(pick_sparse_regime(numel / 10, n, k, false), SparseRegime::Sparse);
+        assert_eq!(pick_sparse_regime(numel / 2, n, k, false), SparseRegime::Dense);
+        assert_eq!(pick_sparse_regime(numel / 2, n, k, true), SparseRegime::Sparse);
+        // Exact threshold boundaries (≤ runs sparse, one past is dense).
+        let csr_limit = numel * 72 / 256;
+        assert_eq!(pick_sparse_regime(csr_limit, n, k, false), SparseRegime::Sparse);
+        assert_eq!(pick_sparse_regime(csr_limit + 1, n, k, false), SparseRegime::Dense);
+        let tf_limit = numel * 160 / 256;
+        assert_eq!(pick_sparse_regime(tf_limit, n, k, true), SparseRegime::Sparse);
+        assert_eq!(pick_sparse_regime(tf_limit + 1, n, k, true), SparseRegime::Dense);
+    }
+
+    #[test]
+    fn sparse_regime_tracks_density_not_shape() {
+        // Same density, different shapes: the decision tracks density, so
+        // tiny and huge matrices at 10% both run sparse.
+        assert_eq!(pick_sparse_regime(6, 8, 8, false), SparseRegime::Sparse);
+        assert_eq!(pick_sparse_regime(6554, 256, 256, false), SparseRegime::Sparse);
+        // An empty matrix is dense (no work; dense path owns the guards).
+        assert_eq!(pick_sparse_regime(0, 0, 8, false), SparseRegime::Dense);
+        assert_eq!(pick_sparse_regime(0, 8, 0, true), SparseRegime::Dense);
+        // A fully dense "sparse" matrix is dense in both modes.
+        assert_eq!(pick_sparse_regime(64, 8, 8, false), SparseRegime::Dense);
+        assert_eq!(pick_sparse_regime(64, 8, 8, true), SparseRegime::Dense);
     }
 }

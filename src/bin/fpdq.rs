@@ -54,7 +54,8 @@ USAGE: fpdq <COMMAND> [--flag value]...
 
 COMMANDS:
   pretrain                       train and cache every zoo model
-  quantize      --model <ddim|ldm|sd|sdxl> --config <fp8|fp4|fp4-norl|int8|int4> [--packed]
+  quantize      --model <ddim|ldm|sd|sdxl> --config <fp8|fp4|fp4-norl|int8|int4>
+                [--packed] [--sparse <2:4|csr>]
   generate      --model <...> --config <...> [--prompt \"...\"] [--count N] [--batch N] [--out DIR] [--packed]
   evaluate      --model <...> --config <...> [--count N] [--batch N] [--packed]
   sparsity      --model <...> [--config <...>]
@@ -68,6 +69,9 @@ COMMANDS:
 FLAGS:
   --packed      run the real bit-packed engine (fused W+A kernels) instead
                 of fake-quantized dense execution
+  --sparse M    prune-then-quantize through a sparsity mode (2:4 structured
+                or csr) and run the sparse kernels where they win; reports
+                per-layer sparsity and pruning error (requires --packed)
   --batch N     sample N images per U-Net call (1..=16, default 16):
                 per-image seeding makes the images identical at every
                 batch size; larger batches amortise the packed engine's
@@ -391,8 +395,21 @@ fn quantize(opts: &HashMap<String, String>) -> ExitCode {
         100.0 * report.sparsity_after(),
         report.rl_improved_layers(),
     );
+    let sparse = match opts.get("sparse").map(String::as_str) {
+        None => None,
+        Some(spec) => match fpdq::kernels::SparseMode::parse(spec) {
+            Some(mode) => Some(mode),
+            None => {
+                eprintln!("unknown sparse mode '{spec}' (expected 2:4 or csr)");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
     if flag_set(opts, "packed") {
-        pack_and_report(&pipeline, &report);
+        pack_and_report(&pipeline, &report, sparse);
+    } else if sparse.is_some() {
+        eprintln!("--sparse requires --packed (sparse kernels run in the packed engine)");
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }
@@ -400,8 +417,14 @@ fn quantize(opts: &HashMap<String, String>) -> ExitCode {
 /// Flips the quantized U-Net into the bit-packed engine, reports the real
 /// storage footprint, and times a packed vs fake-quantized-dense forward —
 /// the paper's latency/memory experiment running on the real engine
-/// instead of simulated quantization.
-fn pack_and_report(pipeline: &Pipeline, report: &fpdq::quant::QuantReport) {
+/// instead of simulated quantization. With a sparse mode the weights are
+/// pruned first (fig. 11's ablation) and per-layer sparsity / pruning
+/// error are reported alongside.
+fn pack_and_report(
+    pipeline: &Pipeline,
+    report: &fpdq::quant::QuantReport,
+    sparse: Option<fpdq::kernels::SparseMode>,
+) {
     use std::time::Instant;
     let [c, h, w] = pipeline.unet_input_shape();
     let x = Tensor::randn(&[1, c, h, w], &mut StdRng::seed_from_u64(11));
@@ -417,12 +440,22 @@ fn pack_and_report(pipeline: &Pipeline, report: &fpdq::quant::QuantReport) {
         println!("  {label:<28} {:.2} ms / forward", best * 1e3);
         best
     };
-    println!("\npacked execution:");
+    match sparse {
+        Some(mode) => println!("\npacked execution ({} sparse):", mode.describe()),
+        None => println!("\npacked execution:"),
+    }
     let dense = time_forward("fake-quantized dense");
-    let pack = fpdq::kernels::pack_unet(pipeline.unet(), report);
+    let pack = match sparse {
+        Some(mode) => fpdq::kernels::pack_unet_sparse(pipeline.unet(), report, mode),
+        None => fpdq::kernels::pack_unet(pipeline.unet(), report),
+    };
     for l in &pack.layers {
+        let sparse_cols = match (l.sparsity, l.pruning_error) {
+            (Some(s), Some(e)) => format!("  {:>6.2}% zero  prune err {:.2e}", 100.0 * s, e),
+            _ => String::new(),
+        };
         println!(
-            "  {:<26} {:<15} act {:<15} {:>8} B (dense {:>8} B)",
+            "  {:<26} {:<15} act {:<15} {:>8} B (dense {:>8} B){sparse_cols}",
             l.name,
             l.format,
             l.fused_act.as_deref().unwrap_or("-"),

@@ -108,7 +108,7 @@ fn sparse_kernel_exploits_quantization_zeros() {
     let quantized = fmt.quantize(&w);
     assert!(quantized.sparsity() > 0.2, "expected quantization-induced zeros");
 
-    let csr = CsrWeights::from_dense(&quantized);
+    let csr = CsrWeights::from_dense(&w, &TensorQuantizer::Fp(fmt));
     let x = Tensor::randn(&[3, 32], &mut rng);
     let sparse_out = csr.gemm(&x);
     let dense_out = x.matmul_nt(&quantized);
