@@ -502,6 +502,76 @@ fn bench_cold_start(c: &mut Criterion) {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// One classifier-free-guidance step on a packed conditional U-Net:
+/// the folded single-call batch (`conditioning::eps_folded`, 2n rows,
+/// one weight-decode pass) against the seed double forward (two
+/// sequential n-row calls + mix — the pre-fold `SdSim` sampling loop).
+/// The packed engine decodes each weight tile once per *call*, so the
+/// fold halves the per-step decode cost; CI's bench smoke asserts the
+/// folded entry wins per-image at batch 4.
+fn bench_sd_cfg_step(c: &mut Criterion) {
+    use fpdq_core::calib::{CalibPoint, CalibrationSet};
+    use fpdq_core::{quantize_unet, PtqConfig, RoundingConfig};
+    use fpdq_diffusion::{eps_folded, Conditioning};
+    use fpdq_nn::{UNet, UNetConfig};
+
+    let mut rng = StdRng::seed_from_u64(33);
+    let unet = UNet::new(UNetConfig { context_dim: Some(8), ..UNetConfig::tiny(4) }, &mut rng);
+    // A 4×4 latent keeps each call decode-bound (few output positions
+    // per weight tile), which is exactly the regime the fold targets:
+    // the packed engine re-decodes every weight once per *call*.
+    let points: Vec<CalibPoint> = (0..3)
+        .map(|i| CalibPoint {
+            x: Tensor::randn(&[1, 4, 4, 4], &mut rng),
+            t: (i * 4) as f32,
+            ctx: Some(Tensor::randn(&[1, 8, 8], &mut rng)),
+        })
+        .collect();
+    let calib = CalibrationSet { init: points.clone(), rl: points };
+    let mut cfg = PtqConfig::fp(8, 8);
+    cfg.bias_candidates = 9;
+    cfg.rounding = RoundingConfig { iters: 4, batch: 2, ..RoundingConfig::default() };
+    let report = quantize_unet(&unet, &calib, &cfg, &mut StdRng::seed_from_u64(1));
+    fpdq_kernels::pack_unet(&unet, &report);
+
+    // CI asserts a ratio between paired entries below; pin min-of-5
+    // samples in smoke mode like the conv amortization group.
+    let saved = c.clone();
+    if std::env::var("FPDQ_BENCH_FAST").is_ok_and(|v| v == "1") {
+        *c = Criterion::default()
+            .sample_size(5)
+            .warm_up_time(std::time::Duration::from_millis(50))
+            .measurement_time(std::time::Duration::from_millis(250));
+    }
+    let mut g = c.benchmark_group("sd_cfg_step");
+    let guidance = 3.0f32;
+    for n in [1usize, 4] {
+        let x = Tensor::randn(&[n, 4, 4, 4], &mut rng);
+        let t = Tensor::from_vec(vec![5.0; n], &[n]);
+        let cond = Tensor::randn(&[n, 8, 8], &mut rng);
+        let null = Tensor::randn(&[1, 8, 8], &mut rng);
+        let conds: Vec<Conditioning> = (0..n)
+            .map(|i| Conditioning::guided(cond.narrow(0, i, 1), null.clone(), guidance))
+            .collect();
+        let refs: Vec<&Conditioning> = conds.iter().collect();
+        g.bench_function(format!("folded_batch{n}"), |b| {
+            b.iter(|| black_box(eps_folded(|x, t, ctx| unet.forward(x, t, ctx), &x, &t, &refs)))
+        });
+        // Before/after: the seed CFG loop — two sequential engine calls
+        // per step (cond batch, then null batch), mixed outside.
+        let null_n = Tensor::concat(&vec![&null; n], 0);
+        g.bench_function(format!("double_forward_batch{n}_seed"), |b| {
+            b.iter(|| {
+                let e_cond = unet.forward(&x, &t, Some(&cond));
+                let e_null = unet.forward(&x, &t, Some(&null_n));
+                black_box(e_null.add(&e_cond.sub(&e_null).mul_scalar(guidance)))
+            })
+        });
+    }
+    g.finish();
+    *c = saved;
+}
+
 fn configured() -> Criterion {
     // FPDQ_BENCH_FAST=1 is the CI smoke mode: one sample per benchmark,
     // minimal budgets — enough to prove every kernel still runs and the
@@ -523,7 +593,7 @@ criterion_group! {
     name = kernels;
     config = configured();
     targets = bench_quantize, bench_pack, bench_gemm, bench_gemm_batched, bench_conv,
-        bench_conv_batched, bench_sparse, bench_cold_start
+        bench_conv_batched, bench_sparse, bench_cold_start, bench_sd_cfg_step
 }
 
 fn main() {

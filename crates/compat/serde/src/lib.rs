@@ -64,6 +64,20 @@ impl Deserialize for f64 {
     }
 }
 
+impl Serialize for f32 {
+    fn to_value(&self) -> json::Value {
+        // f32 → f64 is exact, so an f32 round-trips bit-for-bit through
+        // the f64-backed number node.
+        json::Value::Number(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &json::Value) -> Result<Self, json::JsonError> {
+        Ok(value.as_number()? as f32)
+    }
+}
+
 impl Serialize for bool {
     fn to_value(&self) -> json::Value {
         json::Value::Bool(*self)
@@ -144,6 +158,9 @@ mod tests {
         }
         assert!(u64::from_value(&json::Value::Number(-1.0)).is_err());
         assert!(u64::from_value(&json::Value::Number(1.5)).is_err());
+        for v in [0.0f32, -1.5, 7.5, f32::MIN_POSITIVE] {
+            assert_eq!(f32::from_value(&v.to_value()).unwrap().to_bits(), v.to_bits());
+        }
         assert_eq!(String::from_value(&"hi".to_value()).unwrap(), "hi");
         assert_eq!(Option::<u64>::from_value(&json::Value::Null).unwrap(), None);
         assert_eq!(Vec::<u64>::from_value(&vec![3u64, 4].to_value()).unwrap(), vec![3, 4]);

@@ -18,6 +18,7 @@
 //! same full-precision baseline — exactly the role the paper's pretrained
 //! checkpoints play.
 
+pub mod conditioning;
 pub mod pipelines;
 pub mod sampler;
 pub mod schedule;
@@ -25,9 +26,10 @@ pub mod stepper;
 pub mod train;
 pub mod zoo;
 
+pub use conditioning::{eps_folded, Conditioning};
 pub use pipelines::{DdimSim, LdmSim, SdSim};
 pub use sampler::{ddim_sample, ddpm_sample, DdimParams};
 pub use schedule::NoiseSchedule;
-pub use stepper::{advance_batch, DdimStepState};
+pub use stepper::{advance_batch, advance_batch_conditioned, DdimStepState};
 pub use train::{train_autoencoder, train_text_to_image, train_unet, TrainConfig};
 pub use zoo::Zoo;

@@ -29,6 +29,7 @@
 //! the serving-shaped case: requests joining and leaving mid-flight, each
 //! at its own timestep.
 
+use crate::conditioning::{eps_folded, Conditioning};
 use crate::sampler::{ddim_timesteps, DdimParams};
 use crate::schedule::NoiseSchedule;
 use fpdq_tensor::{FpdqError, Tensor};
@@ -44,11 +45,12 @@ pub struct DdimStepState {
     pos: usize,
     params: DdimParams,
     schedule: NoiseSchedule,
+    cond: Conditioning,
 }
 
 impl DdimStepState {
-    /// Starts a request: derives the starting noise `[1, c, h, w]` and
-    /// the stochastic stream from `seed`, exactly as
+    /// Starts an unconditioned request: derives the starting noise
+    /// `[1, c, h, w]` and the stochastic stream from `seed`, exactly as
     /// [`crate::sampler::ddim_sample_seeded`] does for a batch-1 call.
     ///
     /// `params.steps` must be in `1..=schedule.steps()` (a server rejects
@@ -58,6 +60,26 @@ impl DdimStepState {
         chw: [usize; 3],
         seed: u64,
         params: DdimParams,
+    ) -> Result<DdimStepState, FpdqError> {
+        Self::new_conditioned(schedule, chw, seed, params, Conditioning::Uncond)
+    }
+
+    /// [`Self::new_seeded`] with per-request conditioning: the context
+    /// (and guidance, when [`Conditioning::Guided`]) travels with the
+    /// request's state, so a conditional request can join and leave a
+    /// running batch at step boundaries exactly like an unconditional
+    /// one — [`advance_batch_conditioned`] folds every member's halves
+    /// into one engine call per step.
+    ///
+    /// The seed's role is unchanged: conditioning shapes ε, never the
+    /// noise streams, so the bit-identity contract (solo run == any batch
+    /// composition) holds per (seed, conditioning) pair.
+    pub fn new_conditioned(
+        schedule: &NoiseSchedule,
+        chw: [usize; 3],
+        seed: u64,
+        params: DdimParams,
+        cond: Conditioning,
     ) -> Result<DdimStepState, FpdqError> {
         if params.steps == 0 || params.steps > schedule.steps() {
             return Err(FpdqError::invalid(format!(
@@ -70,7 +92,13 @@ impl DdimStepState {
         let mut rng = StdRng::seed_from_u64(seed);
         let x = Tensor::randn(&[1, c, h, w], &mut rng);
         let ts = ddim_timesteps(schedule, params.steps);
-        Ok(DdimStepState { x, rng, ts, pos: 0, params, schedule: schedule.clone() })
+        Ok(DdimStepState { x, rng, ts, pos: 0, params, schedule: schedule.clone(), cond })
+    }
+
+    /// This request's conditioning (what [`advance_batch_conditioned`]
+    /// stacks into the folded engine batch).
+    pub fn conditioning(&self) -> &Conditioning {
+        &self.cond
     }
 
     /// The current `x_t` `[1, c, h, w]` (the tensor `advance` expects the
@@ -175,6 +203,38 @@ pub fn advance_batch(
     }
 }
 
+/// [`advance_batch`] for requests that carry [`Conditioning`]: stacks the
+/// batch exactly the same way, but routes ε through
+/// [`eps_folded`] so every member's conditioning — including both CFG
+/// halves of guided requests — shares **one** `forward(x, t, context)`
+/// engine call per step. Uncond-only batches degenerate to a context-free
+/// call, making this a drop-in superset of [`advance_batch`] for a
+/// scheduler serving any pipeline.
+///
+/// # Panics
+///
+/// Panics if `states` is empty, any state is already done, or the batch
+/// mixes context-free and conditioned requests (cannot come from one
+/// model; see [`eps_folded`]).
+pub fn advance_batch_conditioned(
+    states: &mut [&mut DdimStepState],
+    forward: impl FnOnce(&Tensor, &Tensor, Option<&Tensor>) -> Tensor,
+) {
+    assert!(!states.is_empty(), "advance_batch on an empty set");
+    let xs: Vec<Tensor> = states.iter().map(|s| s.x().clone()).collect();
+    let refs: Vec<&Tensor> = xs.iter().collect();
+    let x = Tensor::concat(&refs, 0);
+    let t: Vec<f32> = states.iter().map(|s| s.current_t() as f32).collect();
+    let n = t.len();
+    let conds: Vec<&Conditioning> = states.iter().map(|s| s.conditioning()).collect();
+    let e = eps_folded(forward, &x, &Tensor::from_vec(t, &[n]), &conds);
+    drop(conds);
+    assert_eq!(e.dim(0), n, "eps returned a wrong-sized batch");
+    for (i, s) in states.iter_mut().enumerate() {
+        s.advance(&e.narrow(0, i, 1));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -270,6 +330,91 @@ mod tests {
             );
             assert!(matches!(r, Err(FpdqError::InvalidArgument(_))), "steps {steps} accepted");
         }
+    }
+
+    /// Context-aware toy network mirroring the U-Net contract: per row,
+    /// `e = 0.1·x + 0.5·mean(ctx_row) + 0.01·t` (no context → 0 bias).
+    fn toy_forward(x: &Tensor, t: &Tensor, ctx: Option<&Tensor>) -> Tensor {
+        let dims = x.dims();
+        let plane: usize = dims[1..].iter().product();
+        let ctx_plane = ctx.map(|c| c.numel() / c.dim(0)).unwrap_or(0);
+        let mut out = Vec::with_capacity(x.numel());
+        for (i, &ti) in t.data().iter().enumerate() {
+            let bias = ctx
+                .map(|c| {
+                    let row = &c.data()[i * ctx_plane..(i + 1) * ctx_plane];
+                    0.5 * row.iter().sum::<f32>() / ctx_plane as f32
+                })
+                .unwrap_or(0.0);
+            for v in &x.data()[i * plane..(i + 1) * plane] {
+                out.push(0.1 * v + bias + 0.01 * ti);
+            }
+        }
+        Tensor::from_vec(out, dims)
+    }
+
+    #[test]
+    fn conditioned_requests_join_and_leave_batches_bit_identically() {
+        use crate::conditioning::ddim_sample_seeded_conditioned;
+        use rand::SeedableRng;
+
+        let params = DdimParams { steps: 4, eta: 0.3, clip_x0: None };
+        let sch = schedule();
+        let ctx = |seed: u64| Tensor::randn(&[1, 3, 4], &mut StdRng::seed_from_u64(seed));
+        // A guided, a direct and a differently guided request, each with
+        // its own conditioning, interleaved serving-style.
+        let conds = [
+            Conditioning::guided(ctx(1), ctx(0), 3.0),
+            Conditioning::Direct(ctx(2)),
+            Conditioning::guided(ctx(3), ctx(0), 1.5),
+        ];
+        let mk = |seed: u64, cond: &Conditioning| {
+            DdimStepState::new_conditioned(&sch, [1, 4, 4], seed, params, cond.clone()).unwrap()
+        };
+        let mut a = mk(1, &conds[0]);
+        let mut b = mk(2, &conds[1]);
+        let mut c = mk(3, &conds[2]);
+
+        advance_batch_conditioned(&mut [&mut a], toy_forward);
+        advance_batch_conditioned(&mut [&mut a], toy_forward);
+        advance_batch_conditioned(&mut [&mut a, &mut b], toy_forward);
+        advance_batch_conditioned(&mut [&mut a, &mut b], toy_forward);
+        assert!(a.is_done() && !b.is_done());
+        advance_batch_conditioned(&mut [&mut b, &mut c], toy_forward);
+        advance_batch_conditioned(&mut [&mut b, &mut c], toy_forward);
+        assert!(b.is_done());
+        while !c.is_done() {
+            advance_batch_conditioned(&mut [&mut c], toy_forward);
+        }
+
+        for (state, seed, cond) in [(a, 1u64, &conds[0]), (b, 2, &conds[1]), (c, 3, &conds[2])] {
+            let solo = ddim_sample_seeded_conditioned(
+                &sch,
+                [1, 4, 4],
+                &[seed],
+                params,
+                &[cond],
+                toy_forward,
+            );
+            assert_eq!(
+                state.into_result().data(),
+                solo.data(),
+                "seed {seed} depends on batch composition"
+            );
+        }
+    }
+
+    #[test]
+    fn uncond_states_step_identically_through_both_batch_kernels() {
+        let params = DdimParams { steps: 3, eta: 0.0, clip_x0: Some(1.0) };
+        let sch = schedule();
+        let mut via_eps = DdimStepState::new_seeded(&sch, [1, 4, 4], 5, params).unwrap();
+        let mut via_fold = DdimStepState::new_seeded(&sch, [1, 4, 4], 5, params).unwrap();
+        while !via_eps.is_done() {
+            advance_batch(&mut [&mut via_eps], |x, t| toy_forward(x, t, None));
+            advance_batch_conditioned(&mut [&mut via_fold], toy_forward);
+        }
+        assert_eq!(via_eps.into_result().data(), via_fold.into_result().data());
     }
 
     #[test]

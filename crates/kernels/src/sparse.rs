@@ -253,7 +253,7 @@ impl CsrWeights {
         if let Some(t) = sparse_entry_guard(a, self.n, self.k, act) {
             return t;
         }
-        if pick_sparse_regime(self.nnz(), self.n, self.k, false) == SparseRegime::Dense {
+        if pick_sparse_regime(self.nnz(), a.dim(0), self.n, self.k, false) == SparseRegime::Dense {
             return gemm_packed_fused_in(a, self, act, isa, workers);
         }
         let (m, k) = (a.dim(0), a.dim(1));
@@ -479,7 +479,8 @@ impl TwoFourWeights {
         if let Some(t) = sparse_entry_guard(a, self.n, self.k, act) {
             return t;
         }
-        if pick_sparse_regime(self.stored(), self.n, self.k, true) == SparseRegime::Dense {
+        if pick_sparse_regime(self.stored(), a.dim(0), self.n, self.k, true) == SparseRegime::Dense
+        {
             return gemm_packed_fused_in(a, self, act, isa, workers);
         }
         let (m, k) = (a.dim(0), a.dim(1));
@@ -897,7 +898,7 @@ mod tests {
         let a = Tensor::randn(&[7, 32], &mut rng);
         let csr = CsrWeights::from_dense(&dense_side, &fmt);
         assert!(
-            pick_sparse_regime(csr.nnz(), 24, 32, false) == SparseRegime::Dense,
+            pick_sparse_regime(csr.nnz(), 7, 24, 32, false) == SparseRegime::Dense,
             "expected dense regime at density {}",
             1.0 - csr.sparsity()
         );

@@ -62,12 +62,20 @@ pub fn pixels_from_hex(hex: &str) -> Result<Vec<f32>, JsonError> {
 }
 
 /// `POST /v1/generate` request body.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct GenerateRequest {
-    /// Per-image seed; the sole source of image content.
+    /// Per-image seed; with `prompt` fixed, the sole source of image
+    /// content.
     pub seed: u64,
     /// DDIM steps (validated against the model's schedule on admission).
     pub steps: usize,
+    /// Conditioning prompt, encoded once at admission. Only valid for
+    /// conditional models (`sd` pipelines); the unconditional pipelines
+    /// reject it with `invalid_argument`.
+    pub prompt: Option<String>,
+    /// Classifier-free guidance scale override; requires `prompt`.
+    /// Defaults to the model's packed guidance scale.
+    pub guidance: Option<f32>,
     /// Optional per-request deadline; expiry evicts the request at the
     /// next step boundary.
     pub deadline_ms: Option<u64>,
@@ -76,11 +84,27 @@ pub struct GenerateRequest {
     pub fault_tag: Option<String>,
 }
 
+impl GenerateRequest {
+    /// An unconditional request (the pre-prompt wire shape).
+    pub fn unconditional(seed: u64, steps: usize) -> GenerateRequest {
+        GenerateRequest {
+            seed,
+            steps,
+            prompt: None,
+            guidance: None,
+            deadline_ms: None,
+            fault_tag: None,
+        }
+    }
+}
+
 impl Serialize for GenerateRequest {
     fn to_value(&self) -> Value {
         obj(vec![
             ("seed", self.seed.to_value()),
             ("steps", self.steps.to_value()),
+            ("prompt", self.prompt.to_value()),
+            ("guidance", self.guidance.to_value()),
             ("deadline_ms", self.deadline_ms.to_value()),
             ("fault_tag", self.fault_tag.to_value()),
         ])
@@ -92,6 +116,8 @@ impl Deserialize for GenerateRequest {
         Ok(GenerateRequest {
             seed: u64::from_value(required(value, "seed")?)?,
             steps: usize::from_value(required(value, "steps")?)?,
+            prompt: optional(value, "prompt")?,
+            guidance: optional(value, "guidance")?,
             deadline_ms: optional(value, "deadline_ms")?,
             fault_tag: optional(value, "fault_tag")?,
         })
@@ -268,24 +294,48 @@ mod tests {
     #[test]
     fn request_roundtrip_and_missing_fields() {
         let req = GenerateRequest {
-            seed: 7,
-            steps: 4,
+            prompt: Some("a red square".to_string()),
+            guidance: Some(3.5),
             deadline_ms: Some(250),
             fault_tag: Some("boom".to_string()),
+            ..GenerateRequest::unconditional(7, 4)
         };
         let back: GenerateRequest =
             serde_json::from_str(&serde_json::to_string(&req).unwrap()).unwrap();
         assert_eq!(back, req);
         // Optional fields may be absent entirely.
         let min: GenerateRequest = serde_json::from_str(r#"{"seed":1,"steps":2}"#).unwrap();
-        assert_eq!(min.deadline_ms, None);
-        assert_eq!(min.fault_tag, None);
+        assert_eq!(min, GenerateRequest::unconditional(1, 2));
         // Missing required fields fail with the field name.
         let err = serde_json::from_str::<GenerateRequest>(r#"{"steps":2}"#).unwrap_err();
         assert!(err.to_string().contains("seed"), "{err}");
         // Wrong types fail.
         assert!(serde_json::from_str::<GenerateRequest>(r#"{"seed":-1,"steps":2}"#).is_err());
         assert!(serde_json::from_str::<GenerateRequest>(r#"{"seed":1,"steps":"2"}"#).is_err());
+        assert!(
+            serde_json::from_str::<GenerateRequest>(r#"{"seed":1,"steps":2,"prompt":7}"#).is_err()
+        );
+        assert!(serde_json::from_str::<GenerateRequest>(
+            r#"{"seed":1,"steps":2,"guidance":"high"}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn guidance_survives_the_wire_bit_exactly() {
+        // f32 → f64 JSON number → shortest-round-trip text → f32 is
+        // lossless; a served guidance scale must match the offline one
+        // exactly or the CFG mix (and thus the image bytes) drifts.
+        for g in [1.0f32, 1.5, 3.3, 7.5, f32::MIN_POSITIVE] {
+            let req = GenerateRequest {
+                guidance: Some(g),
+                prompt: Some("p".to_string()),
+                ..GenerateRequest::unconditional(1, 2)
+            };
+            let back: GenerateRequest =
+                serde_json::from_str(&serde_json::to_string(&req).unwrap()).unwrap();
+            assert_eq!(back.guidance.unwrap().to_bits(), g.to_bits());
+        }
     }
 
     #[test]

@@ -37,11 +37,16 @@
 //!
 //! Requests join and leave the batch **only at step boundaries**, each at
 //! its own timestep — continuous batching. Because a request's image is a
-//! pure function of its seed (the [`fpdq_diffusion::stepper`] bit-identity
-//! contract, riding the U-Net's batch independence), admissions,
-//! evictions and neighbours' panics never change what anyone else gets: a
-//! served image is byte-identical to the offline
-//! `DdimSim::generate_seeded(&[seed], steps, 1)` run.
+//! pure function of its seed and conditioning (the
+//! [`fpdq_diffusion::stepper`] bit-identity contract, riding the U-Net's
+//! batch independence), admissions, evictions and neighbours' panics
+//! never change what anyone else gets: a served image is byte-identical
+//! to the offline `DdimSim::generate_seeded(&[seed], steps, 1)` run —
+//! and a served `(seed, prompt)` to the offline
+//! `SdSim::generate_seeded(&[prompt], &[seed], steps, 1)` run.
+//! Conditional models encode the prompt **once at admission** and fold
+//! the classifier-free-guidance double forward into the shared engine
+//! batch; see `docs/serving.md` for the conditioning contract.
 //!
 //! # Failure modes
 //!
@@ -49,6 +54,7 @@
 //! |--------------------------------|---------------------------------|---------------------|
 //! | malformed / non-JSON body      | that request                    | 400 `bad_request`   |
 //! | invalid seed/steps             | that request                    | 400 `invalid_argument` |
+//! | prompt/guidance on an unconditional model, or guidance without prompt | that request | 400 `invalid_argument` |
 //! | admission queue full           | that request                    | 429 `queue_full`    |
 //! | deadline expires               | that request, at a boundary     | 504 `deadline_exceeded` |
 //! | engine panic mid-step          | panicking request(s) only; survivors re-step solo, bit-identical | 500 `engine_panic` |
@@ -91,8 +97,9 @@ pub use scheduler::{Job, ReqError, ServeModel};
 pub use server::{serve, ServeConfig, ServerHandle};
 pub use shared::{ServeShared, ServerState};
 
-use fpdq_diffusion::{DdimSim, NoiseSchedule};
-use fpdq_nn::{UNet, UNetConfig};
+use fpdq_data::Tokenizer;
+use fpdq_diffusion::{DdimSim, NoiseSchedule, SdSim};
+use fpdq_nn::{Autoencoder, AutoencoderConfig, TextEncoder, TextEncoderConfig, UNet, UNetConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -107,5 +114,31 @@ pub fn tiny_ddim() -> DdimSim {
         schedule: NoiseSchedule::linear_scaled(20),
         channels: 3,
         image_size: 8,
+    }
+}
+
+/// The conditional analogue of [`tiny_ddim`]: a tiny, deterministic,
+/// zoo-free text-to-image pipeline (tokenizer + text encoder +
+/// autoencoder + conditional U-Net) for tests and CI smoke runs. Every
+/// call constructs the *same* model, so a served `(seed, prompt)` image
+/// can be compared byte-for-byte against an offline
+/// [`SdSim::generate_seeded`] run of the same construction.
+pub fn tiny_sd() -> SdSim {
+    let mut rng = StdRng::seed_from_u64(43);
+    let tokenizer = Tokenizer::caption_grammar();
+    let text = TextEncoder::new(
+        TextEncoderConfig { layers: 1, ..TextEncoderConfig::small(tokenizer.vocab_size(), 8, 8) },
+        &mut rng,
+    );
+    SdSim {
+        tokenizer,
+        text,
+        ae: Autoencoder::new(AutoencoderConfig::small(3, 4), &mut rng),
+        unet: UNet::new(UNetConfig { context_dim: Some(8), ..UNetConfig::tiny(4) }, &mut rng),
+        schedule: NoiseSchedule::linear_scaled(20),
+        latent_channels: 4,
+        latent_size: 8,
+        latent_scale: 1.0,
+        guidance: 3.0,
     }
 }

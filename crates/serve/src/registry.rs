@@ -20,7 +20,7 @@ use fpdq_tensor::FpdqError;
 use std::path::{Path, PathBuf};
 
 /// Every name [`resolve`] accepts, in the order help text lists them.
-pub const MODEL_NAMES: &[&str] = &["tiny", "ddim", "ldm"];
+pub const MODEL_NAMES: &[&str] = &["tiny", "tiny-sd", "ddim", "ldm", "sd"];
 
 /// A deferred model constructor, run on the scheduler thread.
 pub type ModelBuilder = Box<dyn FnOnce() -> Result<Box<dyn ServeModel>, FpdqError> + Send>;
@@ -45,12 +45,14 @@ pub fn resolve(spec: &str) -> Result<ModelBuilder, FpdqError> {
     }
     match spec {
         "tiny" => Ok(Box::new(|| Ok(Box::new(crate::tiny_ddim()) as Box<dyn ServeModel>))),
+        "tiny-sd" => Ok(Box::new(|| Ok(Box::new(crate::tiny_sd()) as Box<dyn ServeModel>))),
         "ddim" => {
             Ok(Box::new(|| Ok(Box::new(Zoo::open_default().ddim_sim()) as Box<dyn ServeModel>)))
         }
         "ldm" => {
             Ok(Box::new(|| Ok(Box::new(Zoo::open_default().ldm_sim()) as Box<dyn ServeModel>)))
         }
+        "sd" => Ok(Box::new(|| Ok(Box::new(Zoo::open_default().sd_sim()) as Box<dyn ServeModel>))),
         other => Err(FpdqError::missing(format!(
             "unknown model '{other}': expected one of {} or a path to a .fpdq container",
             MODEL_NAMES.join(", ")
@@ -66,10 +68,10 @@ pub fn load_container(path: &Path) -> Result<Box<dyn ServeModel>, FpdqError> {
     match loaded.pipeline {
         SimPipeline::Ddim(p) => Ok(Box::new(p)),
         SimPipeline::Ldm(p) => Ok(Box::new(p)),
-        SimPipeline::Sd(_) => Err(FpdqError::unsupported(format!(
-            "{}: sd containers need per-request prompt encoding and stay offline-only",
-            path.display()
-        ))),
+        // An sd container carries everything serving needs: the packed
+        // U-Net plus the full-precision tokenizer, text encoder and
+        // autoencoder (TEXT_PARAMS / AE_PARAMS sections).
+        SimPipeline::Sd(p) => Ok(Box::new(p)),
     }
 }
 

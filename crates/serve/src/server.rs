@@ -241,6 +241,8 @@ async fn generate(
     let job = Job {
         seed: parsed.seed,
         steps: parsed.steps,
+        prompt: parsed.prompt.clone(),
+        guidance: parsed.guidance,
         deadline,
         fault_tag: parsed.fault_tag.clone(),
         respond,

@@ -20,6 +20,13 @@ Three phases, each asserting a robustness contract from the outside:
    output file, and leave ``fpdq serve`` alive-but-degraded: failing
    ``/readyz``, typed 500s on generate, nonzero exit after shutdown.
 
+4. **Conditional (sd) round trip**: ``fpdq pack --model tiny-sd``
+   writes a text-to-image container, ``fpdq generate --prompt --seeds
+   --raw-out`` samples it offline to raw bytes, and a server booted on
+   the same container answers a ``(seed, prompt)`` request with
+   **byte-identical** pixels — the served folded-CFG path against the
+   offline pipeline. Guidance without a prompt gets a typed 400.
+
 Usage: ``python3 scripts/serve_smoke.py [path/to/fpdq]``
 """
 
@@ -276,6 +283,81 @@ def corruption_guard_smoke(tmp, container):
             proc.kill()
 
 
+SD_PROMPT = "a red ball in a dark room"
+SD_SEED = 7
+# Offline `generate` runs min(20, schedule steps) = 20 steps for the
+# tiny-sd container; the served request must match to compare bytes.
+SD_STEPS = 20
+
+
+def sd_roundtrip_smoke(tmp):
+    # Pack the conditional tiny-sd pipeline (tokenizer + text encoder +
+    # autoencoder ride along full-precision in TEXT_PARAMS/AE_PARAMS).
+    container = os.path.join(tmp, "tiny_sd_fp8.fpdq")
+    out = subprocess.run(
+        [BINARY, "pack", "--model", "tiny-sd", "--config", "fp8",
+         "--out", container, "--verify"],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert out.returncode == 0, (out.returncode, out.stdout, out.stderr)
+    assert "verify OK" in out.stdout, out.stdout
+
+    # Offline reference: raw little-endian f32 pixels for (seed, prompt).
+    raw = os.path.join(tmp, "sd_offline.bin")
+    out = subprocess.run(
+        [BINARY, "generate", "--model", container, "--prompt", SD_PROMPT,
+         "--seeds", str(SD_SEED), "--batch", "1", "--raw-out", raw,
+         "--out", os.path.join(tmp, "sd-gen")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert out.returncode == 0, (out.returncode, out.stdout, out.stderr)
+    offline = open(raw, "rb").read()
+    assert len(offline) == 1 * 3 * 16 * 16 * 4, len(offline)
+
+    # Served path: same container, same (seed, prompt), folded CFG in
+    # the shared engine batch. pixels_hex is the same bytes hex-encoded.
+    proc, base = boot_server(extra_args=["--model", container])
+    try:
+        health = wait_ready(proc, base)
+        assert health["state"] == "ready", health
+        status, body = http(
+            "POST", f"{base}/v1/generate",
+            json.dumps({"seed": SD_SEED, "steps": SD_STEPS,
+                        "prompt": SD_PROMPT}).encode(),
+        )
+        assert status == 200, (status, body)
+        served = bytes.fromhex(body["pixels_hex"])
+        assert served == offline, (
+            f"served sd pixels diverge from offline: {len(served)} vs "
+            f"{len(offline)} bytes, first diff at "
+            f"{next((i for i, (a, b) in enumerate(zip(served, offline)) if a != b), -1)}"
+        )
+
+        # Conditioning contract: guidance is meaningless without a
+        # prompt — typed 400, and the server keeps serving afterwards.
+        status, body = http(
+            "POST", f"{base}/v1/generate",
+            json.dumps({"seed": 8, "steps": SD_STEPS, "guidance": 2.0}).encode(),
+        )
+        assert status == 400 and body["code"] == "invalid_argument", (status, body)
+
+        status, health = http("POST", f"{base}/admin/shutdown", b"")
+        assert status == 202, (status, health)
+        proc.wait(timeout=30)
+        assert proc.returncode == 0, (proc.returncode, proc.stdout.read())
+        print(
+            "sd round-trip OK: served (seed, prompt) byte-identical to "
+            f"offline ({len(offline)} bytes), guidance-sans-prompt typed 400"
+        )
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+
+
 def main():
     fault_injection_smoke()
     tmp = tempfile.mkdtemp(prefix="fpdq-smoke-")
@@ -283,6 +365,7 @@ def main():
         container = pack_container(tmp)
         container_roundtrip_smoke(tmp, container)
         corruption_guard_smoke(tmp, container)
+        sd_roundtrip_smoke(tmp)
     finally:
         shutil.rmtree(tmp, ignore_errors=True)
 

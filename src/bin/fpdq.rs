@@ -57,6 +57,7 @@ COMMANDS:
   quantize      --model <ddim|ldm|sd|sdxl> --config <fp8|fp4|fp4-norl|int8|int4>
                 [--packed] [--sparse <2:4|csr>]
   generate      --model <...> --config <...> [--prompt \"...\"] [--count N] [--batch N] [--out DIR] [--packed]
+                [--seeds N,N,...] [--raw-out FILE]
   evaluate      --model <...> --config <...> [--count N] [--batch N] [--packed]
   sparsity      --model <...> [--config <...>]
   characterize                   roofline latency + memory of an SD-scale U-Net
@@ -76,9 +77,15 @@ FLAGS:
                 per-image seeding makes the images identical at every
                 batch size; larger batches amortise the packed engine's
                 per-step weight decode across the batch
+  --seeds L     explicit comma-separated per-image seeds for generate
+                (overrides --count; the same seed list reproduces the
+                same bytes, including through `fpdq serve`)
+  --raw-out F   also dump the generated images as raw little-endian f32
+                bytes to F (exact; for byte-comparison against served
+                pixels_hex payloads)
 
 PACK FLAGS:
-  --model M     tiny (fixed-seed, no training) or a zoo pipeline
+  --model M     tiny / tiny-sd (fixed-seed, no training) or a zoo pipeline
                 (ddim, ldm, sd, sdxl — first run trains and caches)
   --out FILE    target path; the write is atomic (temp + fsync + rename)
   --verify      re-open the written file, fully validate it (checksums,
@@ -86,11 +93,14 @@ PACK FLAGS:
                 the in-process model before exiting 0
 
 SERVE FLAGS:
-  --model M        tiny (default; fixed-seed, no training), ddim or ldm
-                   (trained zoo pipelines — first run trains and caches),
-                   or a path to a .fpdq container from `fpdq pack`; a
+  --model M        tiny (default) or tiny-sd (fixed-seed, no training);
+                   ddim, ldm or sd (trained zoo pipelines — first run
+                   trains and caches); or a path to a .fpdq container
+                   from `fpdq pack` (sd containers serve prompts); a
                    missing/corrupt container keeps the server alive in a
-                   degraded state (failed /readyz, typed 500s)
+                   degraded state (failed /readyz, typed 500s). On
+                   conditional models, requests may carry \"prompt\" and
+                   \"guidance\" fields
   --addr HOST      bind host (default 127.0.0.1)
   --port N         bind port (default 8321; 0 picks an ephemeral port)
   --max-batch N    batch-size cap per engine step (default 4)
@@ -322,6 +332,25 @@ impl Pipeline {
         }
     }
 
+    /// [`Self::generate`] with explicit per-image seeds — the same seed
+    /// list reproduces the same bytes, offline or served.
+    fn generate_seeded(&self, seeds: &[u64], prompt: Option<&str>, batch: usize) -> Tensor {
+        match self {
+            Pipeline::Ddim(p) => p.generate_seeded(seeds, 25.min(p.schedule.steps()), batch),
+            Pipeline::Ldm(p) => p.generate_seeded(seeds, 25.min(p.schedule.steps()), batch),
+            Pipeline::Sd(p) => {
+                let prompts: Vec<String> = match prompt {
+                    Some(text) => vec![text.to_string(); seeds.len()],
+                    None => {
+                        let all = CaptionedScenes::all_captions();
+                        (0..seeds.len()).map(|i| all[i % all.len()].clone()).collect()
+                    }
+                };
+                p.generate_seeded(&prompts, seeds, 20.min(p.schedule.steps()), batch)
+            }
+        }
+    }
+
     fn reference(&self, count: usize) -> Tensor {
         let mut rng = StdRng::seed_from_u64(7);
         match self {
@@ -540,11 +569,34 @@ fn generate(opts: &HashMap<String, String>) -> ExitCode {
         }
         (pipeline, model.to_string(), config.to_string())
     };
+    // Explicit --seeds pins per-image seeds (and the image count); the
+    // default path derives seeds from the fixed master seed 42.
+    let seeds: Option<Vec<u64>> = match opts.get("seeds") {
+        None => None,
+        Some(spec) => match spec.split(',').map(|s| s.trim().parse()).collect() {
+            Ok(seeds) => Some(seeds),
+            Err(_) => {
+                eprintln!("invalid value '{spec}' for --seeds: expected N,N,...");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
     let out_dir = std::path::PathBuf::from(
         opts.get("out").cloned().unwrap_or_else(|| "target/fpdq-cli".into()),
     );
     std::fs::create_dir_all(&out_dir).expect("create output dir");
-    let imgs = pipeline.generate(count, opts.get("prompt").map(String::as_str), 42, batch);
+    let prompt = opts.get("prompt").map(String::as_str);
+    let (imgs, count) = match &seeds {
+        Some(seeds) => (pipeline.generate_seeded(seeds, prompt, batch), seeds.len()),
+        None => (pipeline.generate(count, prompt, 42, batch), count),
+    };
+    if let Some(raw) = opts.get("raw-out") {
+        // Raw little-endian f32 dump — the exact bytes `pixels_hex`
+        // encodes on the serving wire, for byte-comparison.
+        let bytes: Vec<u8> = imgs.data().iter().flat_map(|v| v.to_le_bytes()).collect();
+        std::fs::write(raw, &bytes).expect("write raw dump");
+        println!("wrote {raw} ({} bytes raw f32)", bytes.len());
+    }
     let size = pipeline.image_size();
     let tiles: Vec<Tensor> =
         (0..count).map(|i| imgs.narrow(0, i, 1).reshape(&[3, size, size])).collect();
@@ -622,10 +674,13 @@ fn pack_cmd(opts: &HashMap<String, String>) -> ExitCode {
     };
     let pipeline = match model {
         "tiny" => Pipeline::Ddim(fpdq::serve::tiny_ddim()),
+        "tiny-sd" => Pipeline::Sd(fpdq::serve::tiny_sd()),
         _ => match Pipeline::load(model) {
             Some(p) => p,
             None => {
-                eprintln!("unknown model '{model}': expected one of tiny, ddim, ldm, sd, sdxl");
+                eprintln!(
+                    "unknown model '{model}': expected one of tiny, tiny-sd, ddim, ldm, sd, sdxl"
+                );
                 return ExitCode::FAILURE;
             }
         },
@@ -634,17 +689,24 @@ fn pack_cmd(opts: &HashMap<String, String>) -> ExitCode {
         eprintln!("unknown or trivial config '{config}': a container stores quantized formats");
         return ExitCode::FAILURE;
     };
-    // The tiny test model gets a synthetic calibration set: it exists to
+    // The tiny test models get a synthetic calibration set: they exist to
     // exercise the pack/serve round trip (CI smoke, local experiments),
-    // and recording full trajectories would dominate its runtime.
-    let calib = if model == "tiny" {
+    // and recording full trajectories would dominate their runtime. The
+    // conditional tiny model calibrates with random context rows of the
+    // text encoder's output shape (its cross-attention layers need a
+    // context to trace).
+    let calib = if matches!(model, "tiny" | "tiny-sd") {
         let mut rng = StdRng::seed_from_u64(0xCA11B);
         let [c, h, w] = pipeline.unet_input_shape();
+        let ctx_dims: Option<Vec<usize>> = match &pipeline {
+            Pipeline::Sd(p) => Some(p.null_context(1).dims().to_vec()),
+            _ => None,
+        };
         let points: Vec<fpdq::quant::CalibPoint> = (0..3)
             .map(|i| fpdq::quant::CalibPoint {
                 x: Tensor::randn(&[1, c, h, w], &mut rng),
                 t: (i * 4) as f32,
-                ctx: None,
+                ctx: ctx_dims.as_ref().map(|d| Tensor::randn(d, &mut rng)),
             })
             .collect();
         CalibrationSet { init: points.clone(), rl: points }
@@ -756,7 +818,7 @@ fn serve_cmd(opts: &HashMap<String, String>) -> ExitCode {
         }
     };
     println!("fpdq-serve ({model}) listening on http://{}", handle.addr());
-    println!("  POST /v1/generate  {{\"seed\": N, \"steps\": N}}");
+    println!("  POST /v1/generate  {{\"seed\": N, \"steps\": N[, \"prompt\": \"...\", \"guidance\": G]}}");
     println!("  GET  /healthz | /readyz | /metrics      POST /admin/shutdown");
     let shared = handle.shared().clone();
     handle.wait();

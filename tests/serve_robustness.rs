@@ -49,14 +49,18 @@ fn solo_pixels(seed: u64, steps: usize) -> Vec<u32> {
     img.data().iter().map(|v| v.to_bits()).collect()
 }
 
-fn served_pixels(body: &str) -> Vec<u32> {
+fn served_pixels_sized(body: &str, dims: &[usize]) -> Vec<u32> {
     let resp: GenerateResponse = serde_json::from_str(body).expect("generate body");
-    assert_eq!(resp.dims, vec![1, 3, 8, 8]);
+    assert_eq!(resp.dims, dims);
     pixels_from_hex(&resp.pixels_hex)
         .expect("pixels")
         .iter()
         .map(|v| v.to_bits())
         .collect()
+}
+
+fn served_pixels(body: &str) -> Vec<u32> {
+    served_pixels_sized(body, &[1, 3, 8, 8])
 }
 
 fn error_body(body: &str) -> ErrorBody {
@@ -406,6 +410,145 @@ fn serving_a_corrupt_container_path_stays_alive_with_failed_readyz() {
     let handle = serve(ServeConfig::default(), build).expect("bind server");
     assert_degraded_but_alive(handle, "container");
     std::fs::remove_dir_all(&dir).ok();
+}
+
+// ---- Conditional (text-to-image) serving ------------------------------
+
+fn start_sd(cfg: ServeConfig) -> ServerHandle {
+    serve(cfg, || Ok(Box::new(fpdq::serve::tiny_sd()) as Box<dyn ServeModel>)).expect("bind server")
+}
+
+/// The offline reference for a served `(seed, prompt, guidance)` triple:
+/// [`fpdq::serve::tiny_sd`] rebuilds the same model every call, so a solo
+/// batch-1 `generate_seeded` run gives the bytes the server must match.
+fn sd_solo_pixels(seed: u64, prompt: &str, guidance: Option<f32>, steps: usize) -> Vec<u32> {
+    let mut sim = fpdq::serve::tiny_sd();
+    if let Some(g) = guidance {
+        sim.guidance = g;
+    }
+    let img = sim.generate_seeded(&[prompt.to_string()], &[seed], steps, 1);
+    img.data().iter().map(|v| v.to_bits()).collect()
+}
+
+fn sd_served_pixels(body: &str) -> Vec<u32> {
+    served_pixels_sized(body, &[1, 3, 16, 16])
+}
+
+#[test]
+fn served_sd_prompts_are_bit_identical_to_offline_runs() {
+    let handle = start_sd(ServeConfig { max_batch: 3, ..ServeConfig::default() });
+    let addr = handle.addr();
+    wait_ready(addr);
+    // Different prompts, seeds, step counts and guidance scales share
+    // folded CFG batches at the scheduler's discretion; every image must
+    // still be byte-for-byte the offline batch-1 run for its request.
+    let specs: [(u64, usize, &str, Option<f32>); 4] = [
+        (61, 6, "a red ball in a dark room", None),
+        (62, 9, "a blue cube on a white floor", None),
+        (63, 6, "a red ball in a dark room", Some(1.5)),
+        (64, 4, "a green pyramid", Some(7.0)),
+    ];
+    let threads: Vec<_> = specs
+        .iter()
+        .map(|&(seed, steps, prompt, guidance)| {
+            std::thread::spawn(move || {
+                let g = guidance.map(|g| format!(r#", "guidance": {g}"#)).unwrap_or_default();
+                let body =
+                    format!(r#"{{"seed": {seed}, "steps": {steps}, "prompt": "{prompt}"{g}}}"#);
+                client::post_json(addr, "/v1/generate", &body).unwrap()
+            })
+        })
+        .collect();
+    for (t, &(seed, steps, prompt, guidance)) in threads.into_iter().zip(&specs) {
+        let (status, body) = t.join().unwrap();
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(
+            sd_served_pixels(&body),
+            sd_solo_pixels(seed, prompt, guidance, steps),
+            "seed {seed} prompt '{prompt}'"
+        );
+    }
+    let h = healthz(addr);
+    assert_eq!(h.completed, specs.len() as u64);
+    assert_eq!(h.failed + h.evicted + h.rejected, 0);
+    handle.shutdown();
+}
+
+#[test]
+fn mixed_conditional_and_unconditional_requests_stay_isolated() {
+    let handle = start_sd(ServeConfig { max_batch: 4, ..ServeConfig::default() });
+    let addr = handle.addr();
+    wait_ready(addr);
+    // A prompt-less request on a conditional model samples the null
+    // context (no CFG rows); it shares engine batches with guided
+    // requests whose folds add extra rows. Neither may perturb the other.
+    let guided = std::thread::spawn(move || {
+        let body = r#"{"seed": 71, "steps": 7, "prompt": "a red ball in a dark room"}"#;
+        client::post_json(addr, "/v1/generate", body).unwrap()
+    });
+    let uncond = std::thread::spawn(move || {
+        client::post_json(addr, "/v1/generate", &gen_body(72, 7)).unwrap()
+    });
+
+    let (status, body) = guided.join().unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(sd_served_pixels(&body), sd_solo_pixels(71, "a red ball in a dark room", None, 7));
+
+    // The offline reference for the prompt-less request: the empty
+    // prompt encodes to the null context, and guidance 1 collapses the
+    // fold to a single direct-context row.
+    let (status, body) = uncond.join().unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(sd_served_pixels(&body), sd_solo_pixels(72, "", Some(1.0), 7));
+    handle.shutdown();
+}
+
+#[test]
+fn prompt_payload_errors_get_typed_400s_on_both_model_kinds() {
+    // On a conditional model: structurally bad conditioning fields are
+    // `bad_request`; well-typed but meaningless ones are
+    // `invalid_argument` from admission.
+    let handle = start_sd(ServeConfig::default());
+    let addr = handle.addr();
+    wait_ready(addr);
+    for (bad, code) in [
+        (r#"{"seed": 1, "steps": 4, "prompt": 7}"#, "bad_request"),
+        (r#"{"seed": 1, "steps": 4, "prompt": ["a"]}"#, "bad_request"),
+        (r#"{"seed": 1, "steps": 4, "guidance": "high"}"#, "bad_request"),
+        (r#"{"seed": 1, "steps": 4, "guidance": 2.0}"#, "invalid_argument"),
+    ] {
+        let (status, body) = client::post_json(addr, "/v1/generate", bad).unwrap();
+        assert_eq!(status, 400, "{bad} -> {body}");
+        assert_eq!(error_body(&body).code, code, "{bad}");
+    }
+    // The server shrugged it off and still serves prompts.
+    let (status, body) = client::post_json(
+        addr,
+        "/v1/generate",
+        r#"{"seed": 2, "steps": 3, "prompt": "a red ball in a dark room"}"#,
+    )
+    .unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(sd_served_pixels(&body), sd_solo_pixels(2, "a red ball in a dark room", None, 3));
+    handle.shutdown();
+
+    // On an unconditional model: conditioning fields of any kind are
+    // rejected at admission with a typed `invalid_argument`.
+    let handle = start(ServeConfig::default());
+    let addr = handle.addr();
+    wait_ready(addr);
+    for bad in [
+        r#"{"seed": 1, "steps": 4, "prompt": "a red ball"}"#,
+        r#"{"seed": 1, "steps": 4, "guidance": 3.0}"#,
+    ] {
+        let (status, body) = client::post_json(addr, "/v1/generate", bad).unwrap();
+        assert_eq!(status, 400, "{bad} -> {body}");
+        assert_eq!(error_body(&body).code, "invalid_argument", "{bad}");
+    }
+    let (status, body) = client::post_json(addr, "/v1/generate", &gen_body(3, 4)).unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(served_pixels(&body), solo_pixels(3, 4));
+    handle.shutdown();
 }
 
 #[test]
